@@ -1,0 +1,62 @@
+// Figure 3(g): cuckoo filter membership-test throughput vs load factor.
+// Paper: +31.8% average over eBPF, +35.7% at full load; ~0.8% below kernel.
+#include <memory>
+
+#include "bench/bench_util.h"
+#include "nf/cuckoo_filter.h"
+
+namespace {
+
+using bench::u32;
+
+std::vector<ebpf::FiveTuple> Fill(nf::CuckooFilterBase& filter,
+                                  double load_factor,
+                                  const std::vector<ebpf::FiveTuple>& flows) {
+  std::vector<ebpf::FiveTuple> resident;
+  const u32 target = static_cast<u32>(filter.capacity() * load_factor);
+  for (const auto& flow : flows) {
+    if (resident.size() >= target) {
+      break;
+    }
+    if (filter.Add(flow)) {
+      resident.push_back(flow);
+    }
+  }
+  return resident;
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader("Figure 3(g): cuckoo filter membership test vs load");
+  nf::CuckooFilterConfig config;
+  config.num_buckets = 2048;  // capacity 8192
+  const auto flows = pktgen::MakeFlowPopulation(
+      config.num_buckets * nf::kFilterSlotsPerBucket, 41);
+
+  bench::PrintSweepHeader("load_factor");
+  bench::SweepAccumulator acc;
+  for (double load : {0.1, 0.25, 0.5, 0.75, 0.9}) {
+    nf::CuckooFilterEbpf ebpf_cf(config);
+    nf::CuckooFilterKernel kernel_cf(config);
+    nf::CuckooFilterEnetstl enetstl_cf(config);
+
+    const auto resident_e = Fill(ebpf_cf, load, flows);
+    const auto resident_k = Fill(kernel_cf, load, flows);
+    const auto resident_s = Fill(enetstl_cf, load, flows);
+
+    const auto trace_e = pktgen::MakeUniformTrace(resident_e, 8192, 42);
+    const auto trace_k = pktgen::MakeUniformTrace(resident_k, 8192, 42);
+    const auto trace_s = pktgen::MakeUniformTrace(resident_s, 8192, 42);
+
+    const double e = bench::MeasureMpps(ebpf_cf.Handler(), trace_e);
+    const double k = bench::MeasureMpps(kernel_cf.Handler(), trace_k);
+    const double s = bench::MeasureMpps(enetstl_cf.Handler(), trace_s);
+    char label[32];
+    std::snprintf(label, sizeof(label), "%.2f", load);
+    bench::PrintSweepRow(label, e, k, s);
+    acc.Add(e, k, s);
+  }
+  acc.PrintSummary("cuckoo filter (paper: +31.8% avg, +35.7% @full load)");
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Figure 3(a)/(b): skip-list key-value query in NFD-HCS.
+//  (a) lookup throughput vs number of elements;
+//  (b) update+delete (1:1 mix) throughput vs number of elements.
+// Pure eBPF cannot implement this NF at all (problem P1), so the comparison
+// is Kernel vs eNetSTL; the paper reports gaps of ~7.33% (lookup) and ~8.54%
+// (update/delete).
+#include <memory>
+
+#include "bench/bench_util.h"
+#include "nf/skiplist.h"
+
+namespace {
+
+using bench::u32;
+
+void Preload(nf::SkipListBase& list, const std::vector<ebpf::FiveTuple>& flows) {
+  for (const auto& flow : flows) {
+    nf::SkipValue value{};
+    list.Update(nf::SkipKey::FromTuple(flow), value);
+  }
+}
+
+void RunSweep(bool update_delete) {
+  bench::PrintSweepHeader("elements");
+  double kernel_sum = 0, enetstl_sum = 0;
+  int rows = 0;
+  for (u32 load : {1024u, 4096u, 16384u, 65536u}) {
+    const auto flows = pktgen::MakeFlowPopulation(load, 42);
+    const auto trace =
+        update_delete
+            ? pktgen::MakeOpMixTrace(flows, 8192, 0.0, 0.5, 0.5, 43)
+            : pktgen::MakeOpMixTrace(flows, 8192, 1.0, 0.0, 0.0, 43);
+
+    nf::SkipListKernel kernel;
+    Preload(kernel, flows);
+    const double kernel_mpps = bench::MeasureMpps(kernel.Handler(), trace);
+
+    nf::SkipListEnetstl enetstl;
+    Preload(enetstl, flows);
+    const double enetstl_mpps = bench::MeasureMpps(enetstl.Handler(), trace);
+
+    std::printf("%-14u %12s %12.3f %12.3f %14s %+14.1f\n", load, "n/a (P1)",
+                kernel_mpps, enetstl_mpps, "enabled",
+                -bench::PercentGap(enetstl_mpps, kernel_mpps));
+    kernel_sum += kernel_mpps;
+    enetstl_sum += enetstl_mpps;
+    ++rows;
+  }
+  std::printf("-- avg gap vs kernel: %.2f%% (paper: %s)\n",
+              bench::PercentGap(enetstl_sum / rows, kernel_sum / rows),
+              update_delete ? "8.54%" : "7.33%");
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader(
+      "Figure 3(a): skip-list LOOKUP vs load (eBPF infeasible - P1)");
+  RunSweep(/*update_delete=*/false);
+  bench::PrintHeader("Figure 3(b): skip-list UPDATE+DELETE (1:1) vs load");
+  RunSweep(/*update_delete=*/true);
+  return 0;
+}

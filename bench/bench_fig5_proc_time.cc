@@ -1,0 +1,34 @@
+// Figure 5: per-packet processing time of the NFs (the paper brackets each
+// program with bpf_ktime_get_ns; here the throughput pipeline's ns/packet is
+// the same quantity measured over a long window). Claim to reproduce:
+// eNetSTL reduces per-packet processing time versus pure eBPF.
+#include "bench/bench_util.h"
+#include "bench/nf_roster.h"
+
+int main() {
+  bench::PrintHeader("Figure 5: per-packet processing time (ns/packet)");
+  std::printf("%-16s %12s %12s %12s %14s\n", "nf", "eBPF", "Kernel", "eNetSTL",
+              "STL vs eBPF(%)");
+  auto roster = bench::MakeRoster();
+  const auto pipeline = bench::MakePipeline();
+  for (auto& setup : roster) {
+    double e = 0, k = 0, s = 0;
+    if (setup.ebpf) {
+      e = pipeline.MeasureThroughput(setup.ebpf->Handler(), setup.trace)
+              .ns_per_packet;
+    }
+    k = pipeline.MeasureThroughput(setup.kernel->Handler(), setup.trace)
+            .ns_per_packet;
+    s = pipeline.MeasureThroughput(setup.enetstl->Handler(), setup.trace)
+            .ns_per_packet;
+    if (setup.ebpf) {
+      std::printf("%-16s %12.1f %12.1f %12.1f %+14.1f\n", setup.name.c_str(),
+                  e, k, s, (e - s) / e * 100.0);
+    } else {
+      std::printf("%-16s %12s %12.1f %12.1f %14s\n", setup.name.c_str(),
+                  "n/a (P1)", k, s, "enabled");
+    }
+  }
+  std::printf("-- expectation (paper): eNetSTL < eBPF for every NF\n");
+  return 0;
+}

@@ -1,0 +1,71 @@
+// The P1 completeness story: Table 1 marks three NFs as impossible to
+// implement in pure eBPF — key-value query on a skip list (NFD-HCS [47]),
+// Space-Saving counting [50], and rbtree-based fair-queue pacing (fq [24]).
+// All three exist in this repository on top of the memory wrapper. This
+// harness runs each against its in-kernel twin: the claim is capability
+// (the eBPF column would be empty), the kernel gap is the price of the
+// wrapper's safety (reference counting + kfunc boundary).
+#include <memory>
+
+#include "bench/bench_util.h"
+#include "nf/fq_pacer.h"
+#include "nf/skiplist.h"
+#include "nf/space_saving.h"
+
+namespace {
+
+using bench::u32;
+using bench::u64;
+
+void Row(const char* name, double kernel_mpps, double enetstl_mpps) {
+  std::printf("%-16s %12s %12.3f %14.3f %+12.1f%%\n", name, "x (P1)",
+              kernel_mpps, enetstl_mpps,
+              -bench::PercentGap(enetstl_mpps, kernel_mpps));
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader(
+      "P1 NFs enabled by the memory wrapper (no eBPF implementation exists)");
+  std::printf("%-16s %12s %12s %14s %13s\n", "nf", "eBPF", "Kernel(Mpps)",
+              "eNetSTL(Mpps)", "vs Kernel");
+  ebpf::SetCurrentCpu(0);
+  const auto flows = pktgen::MakeFlowPopulation(4096, 81);
+
+  {  // Skip-list key-value query (lookups over 2048 resident keys).
+    nf::SkipListKernel kernel;
+    nf::SkipListEnetstl enetstl;
+    for (u32 i = 0; i < 2048; ++i) {
+      nf::SkipValue value{};
+      kernel.Update(nf::SkipKey::FromTuple(flows[i]), value);
+      enetstl.Update(nf::SkipKey::FromTuple(flows[i]), value);
+    }
+    const auto trace = pktgen::MakeOpMixTrace(
+        std::vector<ebpf::FiveTuple>(flows.begin(), flows.begin() + 2048),
+        8192, 1.0, 0.0, 0.0, 82);
+    Row("skiplist-kv", bench::MeasureMpps(kernel.Handler(), trace),
+        bench::MeasureMpps(enetstl.Handler(), trace));
+  }
+
+  {  // Space-Saving top-k counting over Zipf traffic.
+    nf::SpaceSavingKernel kernel(64);
+    nf::SpaceSavingEnetstl enetstl(64);
+    const auto trace = pktgen::MakeZipfTrace(flows, 8192, 1.1, 83);
+    Row("space-saving", bench::MeasureMpps(kernel.Handler(), trace),
+        bench::MeasureMpps(enetstl.Handler(), trace));
+  }
+
+  {  // FQ pacing: enqueue/dequeue mix against the scheduling tree.
+    nf::FqPacerKernel kernel(1024);
+    nf::FqPacerEnetstl enetstl(1024);
+    const auto trace = pktgen::MakeQueueingTrace(flows, 8192, 4096, 84);
+    Row("fq-pacer", bench::MeasureMpps(kernel.Handler(), trace),
+        bench::MeasureMpps(enetstl.Handler(), trace));
+  }
+
+  std::printf(
+      "-- paper (skip list): gap to kernel 7.33%% lookup / 8.54%% update; the "
+      "other two P1 NFs were not evaluated there\n");
+  return 0;
+}

@@ -1,0 +1,262 @@
+// Builds the full roster of 11 network functions under their heavy
+// configurations, each in every implementable variant with a matching
+// workload trace. Shared by the Figure 4 (latency), Figure 5 (per-packet
+// processing time) and Table 1 (feasibility/degradation matrix) harnesses.
+#ifndef ENETSTL_BENCH_NF_ROSTER_H_
+#define ENETSTL_BENCH_NF_ROSTER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ebpf/helper.h"
+#include "nf/cms.h"
+#include "nf/cuckoo_filter.h"
+#include "nf/cuckoo_switch.h"
+#include "nf/efd.h"
+#include "nf/eiffel.h"
+#include "nf/heavykeeper.h"
+#include "nf/nitro.h"
+#include "nf/skiplist.h"
+#include "nf/timewheel.h"
+#include "nf/tss.h"
+#include "nf/vbf.h"
+#include "pktgen/flowgen.h"
+
+namespace bench {
+
+struct NfSetup {
+  std::string name;
+  std::string category;
+  // Null ebpf means the NF is infeasible in pure eBPF (problem P1).
+  std::unique_ptr<nf::NetworkFunction> ebpf;
+  std::unique_ptr<nf::NetworkFunction> kernel;
+  std::unique_ptr<nf::NetworkFunction> enetstl;
+  pktgen::Trace trace;
+};
+
+inline std::vector<NfSetup> MakeRoster() {
+  ebpf::helpers::SeedPrandom(0xfeed);
+  std::vector<NfSetup> roster;
+  const auto flows = pktgen::MakeFlowPopulation(4096, 71);
+  const auto zipf = pktgen::MakeZipfTrace(flows, 16384, 1.1, 72);
+  const auto uniform = pktgen::MakeUniformTrace(flows, 16384, 73);
+
+  {  // Key-value query: skip list (eBPF infeasible).
+    NfSetup s;
+    s.name = "skiplist-kv";
+    s.category = "key-value query";
+    auto kernel = std::make_unique<nf::SkipListKernel>();
+    auto enetstl = std::make_unique<nf::SkipListEnetstl>();
+    for (ebpf::u32 i = 0; i < 2048; ++i) {
+      nf::SkipValue v{};
+      kernel->Update(nf::SkipKey::FromTuple(flows[i]), v);
+      enetstl->Update(nf::SkipKey::FromTuple(flows[i]), v);
+    }
+    s.kernel = std::move(kernel);
+    s.enetstl = std::move(enetstl);
+    s.trace = pktgen::MakeOpMixTrace(
+        std::vector<ebpf::FiveTuple>(flows.begin(), flows.begin() + 2048),
+        16384, 1.0, 0.0, 0.0, 74);
+    roster.push_back(std::move(s));
+  }
+
+  {  // Key-value query: blocked cuckoo hash at high load.
+    NfSetup s;
+    s.name = "cuckoo-switch";
+    s.category = "key-value query";
+    nf::CuckooSwitchConfig config;
+    config.num_buckets = 1024;
+    auto e = std::make_unique<nf::CuckooSwitchEbpf>(config);
+    auto k = std::make_unique<nf::CuckooSwitchKernel>(config);
+    auto st = std::make_unique<nf::CuckooSwitchEnetstl>(config);
+    std::vector<ebpf::FiveTuple> resident;
+    for (const auto& flow : flows) {
+      if (resident.size() >= e->capacity() * 95 / 100) {
+        break;
+      }
+      if (e->Insert(flow, 1) && k->Insert(flow, 1) && st->Insert(flow, 1)) {
+        resident.push_back(flow);
+      }
+    }
+    s.ebpf = std::move(e);
+    s.kernel = std::move(k);
+    s.enetstl = std::move(st);
+    s.trace = pktgen::MakeUniformTrace(resident, 16384, 75);
+    roster.push_back(std::move(s));
+  }
+
+  {  // Membership test: cuckoo filter at high load.
+    NfSetup s;
+    s.name = "cuckoo-filter";
+    s.category = "membership test";
+    nf::CuckooFilterConfig config;
+    config.num_buckets = 1024;
+    auto e = std::make_unique<nf::CuckooFilterEbpf>(config);
+    auto k = std::make_unique<nf::CuckooFilterKernel>(config);
+    auto st = std::make_unique<nf::CuckooFilterEnetstl>(config);
+    for (ebpf::u32 i = 0; i < 3500; ++i) {
+      e->Add(flows[i]);
+      k->Add(flows[i]);
+      st->Add(flows[i]);
+    }
+    s.ebpf = std::move(e);
+    s.kernel = std::move(k);
+    s.enetstl = std::move(st);
+    s.trace = uniform;
+    roster.push_back(std::move(s));
+  }
+
+  {  // Membership test: vector of bloom filters, 8 hash rows.
+    NfSetup s;
+    s.name = "vbf-membership";
+    s.category = "membership test";
+    nf::VbfConfig config;
+    config.rows = 8;
+    config.positions = 1u << 16;
+    auto e = std::make_unique<nf::VbfEbpf>(config);
+    auto k = std::make_unique<nf::VbfKernel>(config);
+    auto st = std::make_unique<nf::VbfEnetstl>(config);
+    for (ebpf::u32 i = 0; i < 2048; ++i) {
+      e->AddToSet(&flows[i], sizeof(flows[i]), i % 16);
+      k->AddToSet(&flows[i], sizeof(flows[i]), i % 16);
+      st->AddToSet(&flows[i], sizeof(flows[i]), i % 16);
+    }
+    s.ebpf = std::move(e);
+    s.kernel = std::move(k);
+    s.enetstl = std::move(st);
+    s.trace = uniform;
+    roster.push_back(std::move(s));
+  }
+
+  {  // Packet classification: TSS with 16 tuples.
+    NfSetup s;
+    s.name = "tss-classifier";
+    s.category = "packet classification";
+    nf::TssConfig config;
+    config.buckets_per_tuple = 1024;
+    auto e = std::make_unique<nf::TssEbpf>(config);
+    auto k = std::make_unique<nf::TssKernel>(config);
+    auto st = std::make_unique<nf::TssEnetstl>(config);
+    pktgen::Rng rng(76);
+    for (ebpf::u32 t = 0; t < 16; ++t) {
+      ebpf::FiveTuple mask{};
+      mask.dst_port = 0xffff;
+      mask.dst_ip = 0xffff0000u | t;
+      for (ebpf::u32 r = 0; r < 64; ++r) {
+        const nf::TssRule rule{flows[rng.NextBounded(flows.size())], mask,
+                               t * 100 + r, r};
+        e->AddRule(rule);
+        k->AddRule(rule);
+        st->AddRule(rule);
+      }
+    }
+    s.ebpf = std::move(e);
+    s.kernel = std::move(k);
+    s.enetstl = std::move(st);
+    s.trace = zipf;
+    roster.push_back(std::move(s));
+  }
+
+  {  // Load balancing: EFD.
+    NfSetup s;
+    s.name = "efd-lb";
+    s.category = "load balancing";
+    nf::EfdConfig config;
+    config.num_groups = 1024;
+    auto e = std::make_unique<nf::EfdEbpf>(config);
+    auto k = std::make_unique<nf::EfdKernel>(config);
+    auto st = std::make_unique<nf::EfdEnetstl>(config);
+    for (ebpf::u32 i = 0; i < 2048; ++i) {
+      const auto backend = static_cast<ebpf::u8>(i % 16);
+      e->Insert(flows[i], backend);
+      k->Insert(flows[i], backend);
+      st->Insert(flows[i], backend);
+    }
+    s.ebpf = std::move(e);
+    s.kernel = std::move(k);
+    s.enetstl = std::move(st);
+    s.trace = uniform;
+    roster.push_back(std::move(s));
+  }
+
+  {  // Counting: HeavyKeeper, 8 rows.
+    NfSetup s;
+    s.name = "heavykeeper";
+    s.category = "counting";
+    nf::HeavyKeeperConfig config;
+    config.rows = 8;
+    config.cols = 8192;
+    config.topk = 32;
+    s.ebpf = std::make_unique<nf::HeavyKeeperEbpf>(config);
+    s.kernel = std::make_unique<nf::HeavyKeeperKernel>(config);
+    s.enetstl = std::make_unique<nf::HeavyKeeperEnetstl>(config);
+    s.trace = zipf;
+    roster.push_back(std::move(s));
+  }
+
+  {  // Sketching: count-min with 8 hash functions.
+    NfSetup s;
+    s.name = "count-min";
+    s.category = "sketching";
+    nf::CmsConfig config;
+    config.rows = 8;
+    config.cols = 4096;
+    s.ebpf = std::make_unique<nf::CmsEbpf>(config);
+    s.kernel = std::make_unique<nf::CmsKernel>(config);
+    s.enetstl = std::make_unique<nf::CmsEnetstl>(config);
+    s.trace = zipf;
+    roster.push_back(std::move(s));
+  }
+
+  {  // Sketching: NitroSketch at p = 1/16.
+    NfSetup s;
+    s.name = "nitro-sketch";
+    s.category = "sketching";
+    nf::NitroConfig config;
+    config.rows = 8;
+    config.cols = 4096;
+    config.update_prob = 1.0 / 16;
+    s.ebpf = std::make_unique<nf::NitroEbpf>(config);
+    s.kernel = std::make_unique<nf::NitroKernel>(config);
+    s.enetstl = std::make_unique<nf::NitroEnetstl>(config);
+    s.trace = zipf;
+    roster.push_back(std::move(s));
+  }
+
+  {  // Queuing: two-level time wheel.
+    NfSetup s;
+    s.name = "timewheel";
+    s.category = "queuing";
+    nf::TimeWheelConfig config;
+    config.granularity_ns = 1024;
+    config.capacity = 65536;
+    s.ebpf = std::make_unique<nf::TimeWheelEbpf>(config);
+    s.kernel = std::make_unique<nf::TimeWheelKernel>(config);
+    s.enetstl = std::make_unique<nf::TimeWheelEnetstl>(config);
+    s.trace = pktgen::MakeQueueingTrace(
+        flows, 16384, nf::kTvrSize * (nf::kTvnSize - 1) / 2, 77);
+    roster.push_back(std::move(s));
+  }
+
+  {  // Queuing: Eiffel cFFS at 3 levels.
+    NfSetup s;
+    s.name = "eiffel-cffs";
+    s.category = "queuing";
+    nf::EiffelConfig config;
+    config.levels = 3;
+    config.capacity = 65536;
+    auto e = std::make_unique<nf::EiffelEbpf>(config);
+    s.trace = pktgen::MakeQueueingTrace(flows, 16384, e->num_priorities(), 78);
+    s.ebpf = std::move(e);
+    s.kernel = std::make_unique<nf::EiffelKernel>(config);
+    s.enetstl = std::make_unique<nf::EiffelEnetstl>(config);
+    roster.push_back(std::move(s));
+  }
+
+  return roster;
+}
+
+}  // namespace bench
+
+#endif  // ENETSTL_BENCH_NF_ROSTER_H_

@@ -1,0 +1,34 @@
+#include "apps/ebpf_sketch.h"
+
+namespace apps {
+
+SketchService::SketchService(CoreKind core, const SketchServiceConfig& config)
+    : core_(core) {
+  if (core_ == CoreKind::kOrigin) {
+    nitro_ = std::make_unique<nf::NitroEbpf>(config.nitro);
+    heavykeeper_ = std::make_unique<nf::HeavyKeeperEbpf>(config.heavykeeper);
+  } else {
+    nitro_ = std::make_unique<nf::NitroEnetstl>(config.nitro);
+    heavykeeper_ = std::make_unique<nf::HeavyKeeperEnetstl>(config.heavykeeper);
+  }
+}
+
+ebpf::XdpAction SketchService::Process(ebpf::XdpContext& ctx) {
+  ebpf::FiveTuple tuple;
+  if (!ebpf::ParseFiveTuple(ctx, &tuple)) {
+    return ebpf::XdpAction::kAborted;
+  }
+  nitro_->Update(&tuple, sizeof(tuple));
+  heavykeeper_->Update(&tuple, sizeof(tuple), tuple.src_ip);
+  return ebpf::XdpAction::kPass;
+}
+
+u32 SketchService::EstimateRate(const ebpf::FiveTuple& tuple) {
+  return nitro_->Query(&tuple, sizeof(tuple));
+}
+
+std::vector<nf::HkTopEntry> SketchService::TopFlows() const {
+  return heavykeeper_->TopK();
+}
+
+}  // namespace apps

@@ -1,0 +1,50 @@
+// Miniature eBPF-sketch-style telemetry service (Figure 7 integration case;
+// after Miano et al., "Fast In-kernel Traffic Sketching in eBPF").
+//
+// Per packet the service feeds two estimators: a NitroSketch for per-flow
+// rate estimation and a HeavyKeeper for top-k elephant detection.
+//
+// Origin core: pure-eBPF sketches (per-row helper randomness, scalar
+// hashing). eNetSTL core: geometric random pool + fused-hash sketches.
+#ifndef ENETSTL_APPS_EBPF_SKETCH_H_
+#define ENETSTL_APPS_EBPF_SKETCH_H_
+
+#include <memory>
+
+#include "apps/katran_lb.h"  // CoreKind
+#include "nf/heavykeeper.h"
+#include "nf/nf_interface.h"
+#include "nf/nitro.h"
+
+namespace apps {
+
+struct SketchServiceConfig {
+  nf::NitroConfig nitro;
+  nf::HeavyKeeperConfig heavykeeper;
+};
+
+class SketchService : public nf::NetworkFunction {
+ public:
+  SketchService(CoreKind core, const SketchServiceConfig& config);
+
+  ebpf::XdpAction Process(ebpf::XdpContext& ctx) override;
+
+  // Telemetry read-out.
+  u32 EstimateRate(const ebpf::FiveTuple& tuple);
+  std::vector<nf::HkTopEntry> TopFlows() const;
+
+  std::string_view name() const override { return "sketch-service"; }
+  nf::Variant variant() const override {
+    return core_ == CoreKind::kOrigin ? nf::Variant::kEbpf
+                                      : nf::Variant::kEnetstl;
+  }
+
+ private:
+  CoreKind core_;
+  std::unique_ptr<nf::NitroBase> nitro_;
+  std::unique_ptr<nf::HeavyKeeperBase> heavykeeper_;
+};
+
+}  // namespace apps
+
+#endif  // ENETSTL_APPS_EBPF_SKETCH_H_

@@ -1,0 +1,100 @@
+#include "apps/katran_lb.h"
+
+#include "core/hash.h"
+
+namespace apps {
+
+std::vector<u32> BuildMaglevRing(const std::vector<u32>& backends,
+                                 u32 ring_size, u32 seed) {
+  constexpr u32 kUnset = 0xffffffffu;
+  std::vector<u32> ring(ring_size, kUnset);
+  if (backends.empty()) {
+    return ring;
+  }
+  // Per-backend permutation parameters (offset, skip) from two hashes of
+  // the backend identifier.
+  struct Perm {
+    u32 offset;
+    u32 skip;
+    u32 next = 0;  // how many permutation steps this backend has consumed
+  };
+  std::vector<Perm> perms;
+  perms.reserve(backends.size());
+  for (u32 backend : backends) {
+    Perm p;
+    p.offset = enetstl::XxHash32(&backend, sizeof(backend), seed) % ring_size;
+    p.skip = enetstl::XxHash32(&backend, sizeof(backend), seed ^ 0x9e3779b9u) %
+                 (ring_size - 1) +
+             1;
+    perms.push_back(p);
+  }
+  // Round-robin: each backend claims its next unclaimed permutation slot.
+  u32 filled = 0;
+  while (filled < ring_size) {
+    for (std::size_t b = 0; b < backends.size() && filled < ring_size; ++b) {
+      Perm& p = perms[b];
+      u32 slot;
+      do {
+        slot = (p.offset + p.next * p.skip) % ring_size;
+        ++p.next;
+      } while (ring[slot] != kUnset);
+      ring[slot] = backends[b];
+      ++filled;
+    }
+  }
+  return ring;
+}
+
+KatranLb::KatranLb(CoreKind core, const KatranConfig& config)
+    : core_(core), config_(config) {
+  std::vector<u32> backends(config.num_backends);
+  for (u32 b = 0; b < config.num_backends; ++b) {
+    backends[b] = b;
+  }
+  ring_ = BuildMaglevRing(backends, config.ring_size, config.seed);
+  if (core_ == CoreKind::kOrigin) {
+    lru_conn_ = std::make_unique<ebpf::LruHashMap<ebpf::FiveTuple, u32>>(
+        config.conn_table_size);
+  } else {
+    nf::CuckooSwitchConfig cc;
+    cc.num_buckets = config.conn_table_size / nf::kCuckooSlotsPerBucket;
+    cc.seed = config.seed;
+    cuckoo_conn_ = std::make_unique<nf::CuckooSwitchEnetstl>(cc);
+  }
+}
+
+u32 KatranLb::PickBackend(const ebpf::FiveTuple& tuple) {
+  if (core_ == CoreKind::kOrigin) {
+    // BPF LRU hash lookup (helper call).
+    if (u32* backend = lru_conn_->LookupElem(tuple)) {
+      ++hits_;
+      return *backend;
+    }
+    ++misses_;
+    const u32 h = enetstl::XxHash32Bpf(&tuple, sizeof(tuple), config_.seed);
+    const u32 backend = ring_[h % config_.ring_size];
+    lru_conn_->UpdateElem(tuple, backend);
+    return backend;
+  }
+  // eNetSTL core: blocked-cuckoo connection table + hardware CRC ring hash.
+  if (auto backend = cuckoo_conn_->Lookup(tuple)) {
+    ++hits_;
+    return static_cast<u32>(*backend);
+  }
+  ++misses_;
+  const u32 h = enetstl::HwHashCrc(&tuple, sizeof(tuple), config_.seed);
+  const u32 backend = ring_[h % config_.ring_size];
+  cuckoo_conn_->Insert(tuple, backend);
+  return backend;
+}
+
+ebpf::XdpAction KatranLb::Process(ebpf::XdpContext& ctx) {
+  ebpf::FiveTuple tuple;
+  if (!ebpf::ParseFiveTuple(ctx, &tuple)) {
+    return ebpf::XdpAction::kAborted;
+  }
+  (void)PickBackend(tuple);
+  return ebpf::XdpAction::kTx;
+}
+
+}  // namespace apps

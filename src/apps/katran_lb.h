@@ -1,0 +1,80 @@
+// Miniature Katran-style L4 load balancer (Figure 7 integration case).
+//
+// Pipeline per packet: parse 5-tuple -> connection-table lookup (affinity) ->
+// on miss, pick a backend from the VIP's consistent-hash ring and record the
+// connection -> forward.
+//
+// Origin core: BPF LRU hash connection table + scalar software hash over the
+// ring (what Katran's eBPF datapath uses). eNetSTL core: blocked-cuckoo
+// connection table (CuckooSwitchEnetstl) + hardware-CRC ring hash — the
+// component swap the paper performs.
+#ifndef ENETSTL_APPS_KATRAN_LB_H_
+#define ENETSTL_APPS_KATRAN_LB_H_
+
+#include <memory>
+#include <vector>
+
+#include "ebpf/maps.h"
+#include "nf/cuckoo_switch.h"
+#include "nf/nf_interface.h"
+
+namespace apps {
+
+using ebpf::u32;
+using ebpf::u64;
+using ebpf::u8;
+
+enum class CoreKind {
+  kOrigin,   // BPF-map based components
+  kEnetstl,  // eNetSTL based components
+};
+
+struct KatranConfig {
+  u32 ring_size = 4099;        // consistent-hash ring entries (prime, Maglev)
+  u32 num_backends = 16;
+  u32 conn_table_size = 16384; // connections tracked
+  u32 seed = 0x8f1bbcdcu;
+};
+
+// Builds a Maglev consistent-hash ring (Eisenbud et al., NSDI '16 — the
+// algorithm Katran uses): each backend fills the ring through its own
+// (offset, skip) permutation, giving near-perfect balance and minimal
+// disruption when the backend set changes. ring_size must be prime.
+std::vector<u32> BuildMaglevRing(const std::vector<u32>& backends,
+                                 u32 ring_size, u32 seed);
+
+class KatranLb : public nf::NetworkFunction {
+ public:
+  KatranLb(CoreKind core, const KatranConfig& config);
+
+  ebpf::XdpAction Process(ebpf::XdpContext& ctx) override;
+
+  // Backend chosen for the given connection (records it, as Process does).
+  u32 PickBackend(const ebpf::FiveTuple& tuple);
+
+  std::string_view name() const override { return "katran-lb"; }
+  nf::Variant variant() const override {
+    return core_ == CoreKind::kOrigin ? nf::Variant::kEbpf
+                                      : nf::Variant::kEnetstl;
+  }
+
+  u64 hits() const { return hits_; }
+  u64 misses() const { return misses_; }
+
+ private:
+  CoreKind core_;
+  KatranConfig config_;
+  std::vector<u32> ring_;  // ring slot -> backend id
+
+  // Origin connection table.
+  std::unique_ptr<ebpf::LruHashMap<ebpf::FiveTuple, u32>> lru_conn_;
+  // eNetSTL connection table.
+  std::unique_ptr<nf::CuckooSwitchEnetstl> cuckoo_conn_;
+
+  u64 hits_ = 0;
+  u64 misses_ = 0;
+};
+
+}  // namespace apps
+
+#endif  // ENETSTL_APPS_KATRAN_LB_H_

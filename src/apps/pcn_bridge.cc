@@ -1,0 +1,80 @@
+#include "apps/pcn_bridge.h"
+
+#include "core/post_hash.h"
+
+namespace apps {
+
+PcnBridge::PcnBridge(CoreKind core, const PcnBridgeConfig& config)
+    : core_(core), config_(config), route_map_(config.route_capacity) {
+  nf::CmsConfig cms_config;
+  cms_config.rows = config.rate_rows;
+  cms_config.cols = config.rate_cols;
+  cms_config.seed = config.seed ^ 0x51ed270bu;
+  if (core_ == CoreKind::kOrigin) {
+    acl_map_ = std::make_unique<ebpf::HashMap<ebpf::FiveTuple, u32>>(
+        config.acl_capacity);
+    rate_sketch_ = std::make_unique<nf::CmsEbpf>(cms_config);
+  } else {
+    acl_bloom_map_ =
+        std::make_unique<ebpf::RawArrayMap>(1, config.acl_bits / 8);
+    rate_sketch_ = std::make_unique<nf::CmsEnetstl>(cms_config);
+  }
+}
+
+void PcnBridge::BlockFlow(const ebpf::FiveTuple& tuple) {
+  if (core_ == CoreKind::kOrigin) {
+    acl_map_->UpdateElem(tuple, 1);
+    return;
+  }
+  auto* bitmap = static_cast<ebpf::u64*>(acl_bloom_map_->LookupElem(0));
+  if (bitmap != nullptr) {
+    enetstl::HashSetBits(bitmap, config_.acl_hashes, config_.acl_bits - 1,
+                         &tuple, sizeof(tuple), config_.seed);
+  }
+}
+
+bool PcnBridge::AddRoute(u32 dst_ip, u32 port) {
+  return route_map_.UpdateElem(dst_ip, port) == ebpf::kOk;
+}
+
+ebpf::XdpAction PcnBridge::Process(ebpf::XdpContext& ctx) {
+  ebpf::FiveTuple tuple;
+  if (!ebpf::ParseFiveTuple(ctx, &tuple)) {
+    return ebpf::XdpAction::kAborted;
+  }
+
+  // Stage 1: ACL deny list.
+  if (core_ == CoreKind::kOrigin) {
+    if (acl_map_->LookupElem(tuple) != nullptr) {
+      ++blocked_;
+      return ebpf::XdpAction::kDrop;
+    }
+  } else {
+    auto* bitmap = static_cast<ebpf::u64*>(acl_bloom_map_->LookupElem(0));
+    if (bitmap != nullptr &&
+        enetstl::HashTestBits(bitmap, config_.acl_hashes, config_.acl_bits - 1,
+                              &tuple, sizeof(tuple), config_.seed)) {
+      ++blocked_;
+      return ebpf::XdpAction::kDrop;
+    }
+  }
+
+  // Stage 2: DDoS mitigation — estimate the source's packet count and drop
+  // it once it exceeds the budget.
+  rate_sketch_->Update(&tuple.src_ip, sizeof(tuple.src_ip), 1);
+  if (rate_sketch_->Query(&tuple.src_ip, sizeof(tuple.src_ip)) >
+      config_.rate_threshold) {
+    ++rate_limited_;
+    return ebpf::XdpAction::kDrop;
+  }
+
+  // Stage 3: route lookup on destination IP (shared BPF hash table).
+  if (route_map_.LookupElem(tuple.dst_ip) != nullptr) {
+    ++routed_;
+    return ebpf::XdpAction::kTx;
+  }
+  ++unrouted_;
+  return ebpf::XdpAction::kPass;  // punt to the stack
+}
+
+}  // namespace apps

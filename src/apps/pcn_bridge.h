@@ -1,0 +1,79 @@
+// Miniature PolyCube-style service chain (Figure 7 integration case):
+// an ACL stage (deny-list membership over the 5-tuple), a DDoS-mitigation
+// stage (per-source rate estimation, as PolyCube's ddosmitigator service),
+// and an IP routing stage (dst-ip -> port).
+//
+// The component swap mirrors the paper's PolyCube integration: the
+// map-based cores of the ACL and the rate estimator are replaced by eNetSTL
+// implementations — a fused-hash bloom deny-list (hash_set_bits /
+// hash_test_bits kfuncs) and a fused-hash count-min sketch. The routing
+// stage keeps its BPF hash table in both cores (it is not one of the
+// swapped components).
+#ifndef ENETSTL_APPS_PCN_BRIDGE_H_
+#define ENETSTL_APPS_PCN_BRIDGE_H_
+
+#include <memory>
+
+#include "apps/katran_lb.h"  // CoreKind
+#include "ebpf/maps.h"
+#include "nf/cms.h"
+#include "nf/nf_interface.h"
+
+namespace apps {
+
+struct PcnBridgeConfig {
+  u32 acl_capacity = 4096;    // deny-list entries (origin hash map)
+  u32 acl_bits = 1u << 16;    // eNetSTL bloom bits (power of two)
+  u32 acl_hashes = 4;
+  u32 rate_rows = 4;          // DDoS estimator sketch shape
+  u32 rate_cols = 8192;
+  u32 rate_threshold = 0xffffffffu;  // per-source packet budget (off by default)
+  u32 route_capacity = 8192;
+  u32 seed = 0x811c9dc5u;
+};
+
+class PcnBridge : public nf::NetworkFunction {
+ public:
+  PcnBridge(CoreKind core, const PcnBridgeConfig& config);
+
+  // Control plane.
+  void BlockFlow(const ebpf::FiveTuple& tuple);  // add to ACL deny list
+  bool AddRoute(u32 dst_ip, u32 port);
+
+  // Datapath: ACL check -> rate check -> route lookup.
+  ebpf::XdpAction Process(ebpf::XdpContext& ctx) override;
+
+  std::string_view name() const override { return "pcn-chain"; }
+  nf::Variant variant() const override {
+    return core_ == CoreKind::kOrigin ? nf::Variant::kEbpf
+                                      : nf::Variant::kEnetstl;
+  }
+
+  u64 blocked() const { return blocked_; }
+  u64 rate_limited() const { return rate_limited_; }
+  u64 routed() const { return routed_; }
+  u64 unrouted() const { return unrouted_; }
+
+ private:
+  CoreKind core_;
+  PcnBridgeConfig config_;
+
+  // ACL: origin = exact-match BPF hash map; eNetSTL = fused-hash bloom.
+  std::unique_ptr<ebpf::HashMap<ebpf::FiveTuple, u32>> acl_map_;
+  std::unique_ptr<ebpf::RawArrayMap> acl_bloom_map_;
+
+  // DDoS rate estimator: count-min sketch, eBPF core vs eNetSTL core.
+  std::unique_ptr<nf::CmsBase> rate_sketch_;
+
+  // Routing: the same BPF hash table in both cores.
+  ebpf::HashMap<u32, u32> route_map_;
+
+  u64 blocked_ = 0;
+  u64 rate_limited_ = 0;
+  u64 routed_ = 0;
+  u64 unrouted_ = 0;
+};
+
+}  // namespace apps
+
+#endif  // ENETSTL_APPS_PCN_BRIDGE_H_

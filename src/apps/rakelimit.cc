@@ -1,0 +1,70 @@
+#include "apps/rakelimit.h"
+
+#include <cstring>
+
+namespace apps {
+
+namespace {
+
+// Aggregation keys for the three levels (flat, hashable as raw bytes).
+struct Level0Key {
+  u32 src_ip;
+};
+
+struct Level1Key {
+  u32 src_ip;
+  ebpf::u16 dst_port;
+  ebpf::u16 pad;
+};
+
+}  // namespace
+
+RakeLimit::RakeLimit(CoreKind core, const RakeLimitConfig& config)
+    : core_(core), config_(config) {
+  level0_ = MakeSketch();
+  level1_ = MakeSketch();
+  level2_ = MakeSketch();
+}
+
+std::unique_ptr<nf::CmsBase> RakeLimit::MakeSketch() const {
+  nf::CmsConfig cc;
+  cc.rows = config_.rows;
+  cc.cols = config_.cols;
+  cc.seed = config_.seed;
+  if (core_ == CoreKind::kOrigin) {
+    return std::make_unique<nf::CmsEbpf>(cc);
+  }
+  return std::make_unique<nf::CmsEnetstl>(cc);
+}
+
+ebpf::XdpAction RakeLimit::Process(ebpf::XdpContext& ctx) {
+  ebpf::FiveTuple tuple;
+  if (!ebpf::ParseFiveTuple(ctx, &tuple)) {
+    return ebpf::XdpAction::kAborted;
+  }
+
+  if (++epoch_count_ >= config_.epoch_packets) {
+    epoch_count_ = 0;
+    level0_->Reset();
+    level1_->Reset();
+    level2_->Reset();
+  }
+
+  const Level0Key k0{tuple.src_ip};
+  const Level1Key k1{tuple.src_ip, tuple.dst_port, 0};
+
+  level0_->Update(&k0, sizeof(k0), 1);
+  level1_->Update(&k1, sizeof(k1), 1);
+  level2_->Update(&tuple, sizeof(tuple), 1);
+
+  if (level0_->Query(&k0, sizeof(k0)) > config_.level0_budget ||
+      level1_->Query(&k1, sizeof(k1)) > config_.level1_budget ||
+      level2_->Query(&tuple, sizeof(tuple)) > config_.level2_budget) {
+    ++dropped_;
+    return ebpf::XdpAction::kDrop;
+  }
+  ++passed_;
+  return ebpf::XdpAction::kPass;
+}
+
+}  // namespace apps

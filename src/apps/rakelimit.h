@@ -1,0 +1,62 @@
+// Miniature RakeLimit-style hierarchical fair rate limiter (Figure 7
+// integration case; after Cloudflare's rakelimit).
+//
+// Packet rates are estimated at three aggregation levels — source host,
+// (source host, destination port), and full 5-tuple — each with its own
+// count-min sketch; a packet is dropped when any level's estimate exceeds
+// that level's budget within the current epoch.
+//
+// Origin core: pure-eBPF count-min sketches (scalar hashing). eNetSTL core:
+// fused-hash count-min sketches (CmsEnetstl) — the paper's component swap.
+#ifndef ENETSTL_APPS_RAKELIMIT_H_
+#define ENETSTL_APPS_RAKELIMIT_H_
+
+#include <memory>
+
+#include "apps/katran_lb.h"  // CoreKind
+#include "nf/cms.h"
+#include "nf/nf_interface.h"
+
+namespace apps {
+
+struct RakeLimitConfig {
+  u32 rows = 4;
+  u32 cols = 8192;
+  u64 epoch_packets = 65536;  // counters reset every epoch
+  u32 level0_budget = 4096;   // per-source budget per epoch
+  u32 level1_budget = 2048;   // per (source, dst port)
+  u32 level2_budget = 1024;   // per 5-tuple
+  u32 seed = 0xcbf29ce4u;
+};
+
+class RakeLimit : public nf::NetworkFunction {
+ public:
+  RakeLimit(CoreKind core, const RakeLimitConfig& config);
+
+  ebpf::XdpAction Process(ebpf::XdpContext& ctx) override;
+
+  std::string_view name() const override { return "rakelimit"; }
+  nf::Variant variant() const override {
+    return core_ == CoreKind::kOrigin ? nf::Variant::kEbpf
+                                      : nf::Variant::kEnetstl;
+  }
+
+  u64 dropped() const { return dropped_; }
+  u64 passed() const { return passed_; }
+
+ private:
+  std::unique_ptr<nf::CmsBase> MakeSketch() const;
+
+  CoreKind core_;
+  RakeLimitConfig config_;
+  std::unique_ptr<nf::CmsBase> level0_;  // keyed by src ip
+  std::unique_ptr<nf::CmsBase> level1_;  // keyed by (src ip, dst port)
+  std::unique_ptr<nf::CmsBase> level2_;  // keyed by 5-tuple
+  u64 epoch_count_ = 0;
+  u64 dropped_ = 0;
+  u64 passed_ = 0;
+};
+
+}  // namespace apps
+
+#endif  // ENETSTL_APPS_RAKELIMIT_H_

@@ -1,0 +1,22 @@
+#include "core/bits_kfunc.h"
+
+namespace enetstl {
+namespace kfunc {
+
+ENETSTL_NOINLINE u32 Ffs64(u64 x) {
+  ebpf::CompilerBarrier();
+  return ::enetstl::Ffs64(x);
+}
+
+ENETSTL_NOINLINE u32 Fls64(u64 x) {
+  ebpf::CompilerBarrier();
+  return ::enetstl::Fls64(x);
+}
+
+ENETSTL_NOINLINE u32 Popcnt64(u64 x) {
+  ebpf::CompilerBarrier();
+  return ::enetstl::Popcnt64(x);
+}
+
+}  // namespace kfunc
+}  // namespace enetstl

@@ -1,0 +1,24 @@
+// kfunc-shaped (out-of-line) wrappers around the hardware bit-manipulation
+// algorithms in bits.h. Register-in/register-out, so the call boundary is the
+// only cost — the paper's rationale for exposing individual bit instructions
+// as low-level interfaces (§4.3, "Algorithms: bit manipulation").
+//
+// eNetSTL-variant NFs call these; kernel-native baselines inline bits.h
+// directly; pure-eBPF variants use the Soft* emulations.
+#ifndef ENETSTL_CORE_BITS_KFUNC_H_
+#define ENETSTL_CORE_BITS_KFUNC_H_
+
+#include "core/bits.h"
+#include "ebpf/helper.h"
+
+namespace enetstl {
+namespace kfunc {
+
+ENETSTL_NOINLINE u32 Ffs64(u64 x);
+ENETSTL_NOINLINE u32 Fls64(u64 x);
+ENETSTL_NOINLINE u32 Popcnt64(u64 x);
+
+}  // namespace kfunc
+}  // namespace enetstl
+
+#endif  // ENETSTL_CORE_BITS_KFUNC_H_

@@ -1,0 +1,32 @@
+#include "core/compare.h"
+
+#include "core/compare_inl.h"
+
+namespace enetstl {
+
+ENETSTL_NOINLINE s32 FindU32(const u32* arr, u32 count, u32 key) {
+  ebpf::CompilerBarrier();
+  return internal::FindU32Impl(arr, count, key);
+}
+
+ENETSTL_NOINLINE s32 FindU16(const u16* arr, u32 count, u16 key) {
+  ebpf::CompilerBarrier();
+  return internal::FindU16Impl(arr, count, key);
+}
+
+ENETSTL_NOINLINE s32 FindKey16(const u8* keys, u32 count, const u8* key) {
+  ebpf::CompilerBarrier();
+  return internal::FindKey16Impl(keys, count, key);
+}
+
+ENETSTL_NOINLINE s32 MinIndexU32(const u32* arr, u32 count, u32* min_val) {
+  ebpf::CompilerBarrier();
+  return internal::MinIndexU32Impl(arr, count, min_val);
+}
+
+ENETSTL_NOINLINE s32 MaxIndexU32(const u32* arr, u32 count, u32* max_val) {
+  ebpf::CompilerBarrier();
+  return internal::MaxIndexU32Impl(arr, count, max_val);
+}
+
+}  // namespace enetstl

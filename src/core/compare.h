@@ -1,0 +1,122 @@
+// Parallel comparing & reducing algorithms of eNetSTL (§4.3, "Algorithms:
+// parallel comparing and reducing").
+//
+// High-level single-call interfaces: the input array is loaded into SIMD
+// registers once, the whole compare/reduce runs in registers, and only a
+// small scalar result (index / value) returns through R0. This is the
+// find_simd design of Listing 1 — contrast with the per-instruction wrappers
+// in simd.h used by the Figure 6 ablation.
+//
+// Typical users: blocked cuckoo hash bucket probing (CuckooSwitch), cuckoo
+// filter fingerprint matching, min-counter reduction (HeavyKeeper, sketch
+// heaps), and EFD group reduction.
+#ifndef ENETSTL_CORE_COMPARE_H_
+#define ENETSTL_CORE_COMPARE_H_
+
+#include <cstddef>
+
+#include "ebpf/helper.h"
+#include "ebpf/types.h"
+
+namespace enetstl {
+
+using ebpf::s32;
+using ebpf::u16;
+using ebpf::u32;
+using ebpf::u64;
+using ebpf::u8;
+
+// Index of the first element equal to key, or -1. `count` need not be a
+// multiple of the vector width.
+ENETSTL_NOINLINE s32 FindU32(const u32* arr, u32 count, u32 key);
+
+// 16-bit variant (fingerprint arrays in cuckoo filters).
+ENETSTL_NOINLINE s32 FindU16(const u16* arr, u32 count, u16 key);
+
+// Index of the first 16-byte key in `keys` (count packed 16-byte entries)
+// equal to `key`, or -1. Full-key comparison for blocked cuckoo hash buckets.
+ENETSTL_NOINLINE s32 FindKey16(const u8* keys, u32 count, const u8* key);
+
+// Index of the first minimum element; *min_val receives the minimum.
+// count == 0 returns -1.
+ENETSTL_NOINLINE s32 MinIndexU32(const u32* arr, u32 count, u32* min_val);
+
+// Index of the first maximum element; *max_val receives the maximum.
+ENETSTL_NOINLINE s32 MaxIndexU32(const u32* arr, u32 count, u32* max_val);
+
+// Scalar reference implementations. They define the semantics the SIMD
+// versions must match (property-tested), and they are the code shape the
+// pure-eBPF NF variants use inline.
+namespace scalar {
+
+inline s32 FindU32(const u32* arr, u32 count, u32 key) {
+  for (u32 i = 0; i < count; ++i) {
+    if (arr[i] == key) {
+      return static_cast<s32>(i);
+    }
+  }
+  return -1;
+}
+
+inline s32 FindU16(const u16* arr, u32 count, u16 key) {
+  for (u32 i = 0; i < count; ++i) {
+    if (arr[i] == key) {
+      return static_cast<s32>(i);
+    }
+  }
+  return -1;
+}
+
+inline s32 FindKey16(const u8* keys, u32 count, const u8* key) {
+  for (u32 i = 0; i < count; ++i) {
+    bool equal = true;
+    for (u32 b = 0; b < 16; ++b) {
+      if (keys[i * 16 + b] != key[b]) {
+        equal = false;
+        break;
+      }
+    }
+    if (equal) {
+      return static_cast<s32>(i);
+    }
+  }
+  return -1;
+}
+
+inline s32 MinIndexU32(const u32* arr, u32 count, u32* min_val) {
+  if (count == 0) {
+    return -1;
+  }
+  u32 best = arr[0];
+  s32 best_idx = 0;
+  for (u32 i = 1; i < count; ++i) {
+    if (arr[i] < best) {
+      best = arr[i];
+      best_idx = static_cast<s32>(i);
+    }
+  }
+  *min_val = best;
+  return best_idx;
+}
+
+inline s32 MaxIndexU32(const u32* arr, u32 count, u32* max_val) {
+  if (count == 0) {
+    return -1;
+  }
+  u32 best = arr[0];
+  s32 best_idx = 0;
+  for (u32 i = 1; i < count; ++i) {
+    if (arr[i] > best) {
+      best = arr[i];
+      best_idx = static_cast<s32>(i);
+    }
+  }
+  *max_val = best;
+  return best_idx;
+}
+
+}  // namespace scalar
+
+}  // namespace enetstl
+
+#endif  // ENETSTL_CORE_COMPARE_H_

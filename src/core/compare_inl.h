@@ -1,0 +1,157 @@
+// Internal: inline implementations of the parallel compare/reduce kernels.
+// compare.cc wraps them as out-of-line kfuncs (the eNetSTL API); the
+// kernel-native NF baselines include this header directly so they get the
+// same SIMD code with no call boundary. Not part of the public API.
+#ifndef ENETSTL_CORE_COMPARE_INL_H_
+#define ENETSTL_CORE_COMPARE_INL_H_
+
+#include <cstring>
+
+#include "core/bits.h"
+#include "core/compare.h"
+
+#if defined(ENETSTL_HAVE_AVX2)
+#include <immintrin.h>
+#endif
+
+namespace enetstl {
+namespace internal {
+
+inline s32 FindU32Impl(const u32* arr, u32 count, u32 key) {
+#if defined(ENETSTL_HAVE_AVX2)
+  const __m256i vkey = _mm256_set1_epi32(static_cast<int>(key));
+  u32 i = 0;
+  for (; i + 8 <= count; i += 8) {
+    const __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(arr + i));
+    const u32 mask = static_cast<u32>(
+        _mm256_movemask_epi8(_mm256_cmpeq_epi32(v, vkey)));
+    if (mask != 0) {
+      return static_cast<s32>(i + (Ffs64(mask) >> 2));
+    }
+  }
+  for (; i < count; ++i) {
+    if (arr[i] == key) {
+      return static_cast<s32>(i);
+    }
+  }
+  return -1;
+#else
+  return scalar::FindU32(arr, count, key);
+#endif
+}
+
+inline s32 FindU16Impl(const u16* arr, u32 count, u16 key) {
+#if defined(ENETSTL_HAVE_AVX2)
+  const __m256i vkey = _mm256_set1_epi16(static_cast<short>(key));
+  u32 i = 0;
+  for (; i + 16 <= count; i += 16) {
+    const __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(arr + i));
+    const u32 mask = static_cast<u32>(
+        _mm256_movemask_epi8(_mm256_cmpeq_epi16(v, vkey)));
+    if (mask != 0) {
+      return static_cast<s32>(i + (Ffs64(mask) >> 1));
+    }
+  }
+  for (; i < count; ++i) {
+    if (arr[i] == key) {
+      return static_cast<s32>(i);
+    }
+  }
+  return -1;
+#else
+  return scalar::FindU16(arr, count, key);
+#endif
+}
+
+inline s32 FindKey16Impl(const u8* keys, u32 count, const u8* key) {
+#if defined(ENETSTL_HAVE_AVX2)
+  const __m128i k128 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(key));
+  const __m256i vkey = _mm256_broadcastsi128_si256(k128);
+  u32 i = 0;
+  for (; i + 2 <= count; i += 2) {
+    const __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(keys + i * 16));
+    const u32 mask = static_cast<u32>(
+        _mm256_movemask_epi8(_mm256_cmpeq_epi8(v, vkey)));
+    if ((mask & 0xffffu) == 0xffffu) {
+      return static_cast<s32>(i);
+    }
+    if ((mask >> 16) == 0xffffu) {
+      return static_cast<s32>(i + 1);
+    }
+  }
+  if (i < count && std::memcmp(keys + i * 16, key, 16) == 0) {
+    return static_cast<s32>(i);
+  }
+  return -1;
+#else
+  return scalar::FindKey16(keys, count, key);
+#endif
+}
+
+inline s32 MinIndexU32Impl(const u32* arr, u32 count, u32* min_val) {
+  if (count == 0) {
+    return -1;
+  }
+#if defined(ENETSTL_HAVE_AVX2)
+  if (count >= 8) {
+    __m256i vmin = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(arr));
+    u32 i = 8;
+    for (; i + 8 <= count; i += 8) {
+      const __m256i v =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(arr + i));
+      vmin = _mm256_min_epu32(vmin, v);
+    }
+    alignas(32) u32 lanes[8];
+    _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), vmin);
+    u32 best = lanes[0];
+    for (int l = 1; l < 8; ++l) {
+      best = lanes[l] < best ? lanes[l] : best;
+    }
+    for (u32 t = i; t < count; ++t) {
+      best = arr[t] < best ? arr[t] : best;
+    }
+    const s32 idx = FindU32Impl(arr, count, best);
+    *min_val = best;
+    return idx;
+  }
+#endif
+  return scalar::MinIndexU32(arr, count, min_val);
+}
+
+inline s32 MaxIndexU32Impl(const u32* arr, u32 count, u32* max_val) {
+  if (count == 0) {
+    return -1;
+  }
+#if defined(ENETSTL_HAVE_AVX2)
+  if (count >= 8) {
+    __m256i vmax = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(arr));
+    u32 i = 8;
+    for (; i + 8 <= count; i += 8) {
+      const __m256i v =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(arr + i));
+      vmax = _mm256_max_epu32(vmax, v);
+    }
+    alignas(32) u32 lanes[8];
+    _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), vmax);
+    u32 best = lanes[0];
+    for (int l = 1; l < 8; ++l) {
+      best = lanes[l] > best ? lanes[l] : best;
+    }
+    for (u32 t = i; t < count; ++t) {
+      best = arr[t] > best ? arr[t] : best;
+    }
+    const s32 idx = FindU32Impl(arr, count, best);
+    *max_val = best;
+    return idx;
+  }
+#endif
+  return scalar::MaxIndexU32(arr, count, max_val);
+}
+
+}  // namespace internal
+}  // namespace enetstl
+
+#endif  // ENETSTL_CORE_COMPARE_INL_H_

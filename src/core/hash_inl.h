@@ -1,0 +1,50 @@
+// Internal: inline hardware-CRC hash kernel. hash.cc wraps it as the
+// out-of-line hw_hash_crc kfunc; kernel-native NF baselines include this
+// header to get the same instruction sequence with no call boundary.
+#ifndef ENETSTL_CORE_HASH_INL_H_
+#define ENETSTL_CORE_HASH_INL_H_
+
+#include <cstring>
+
+#include "core/hash.h"
+
+#if defined(ENETSTL_HAVE_SSE42)
+#include <nmmintrin.h>
+#endif
+
+namespace enetstl {
+namespace internal {
+
+inline u32 HwHashCrcImpl(const void* key, std::size_t len, u32 seed) {
+#if defined(ENETSTL_HAVE_SSE42)
+  const u8* p = static_cast<const u8*>(key);
+  u32 crc = ~seed;
+  while (len >= 8) {
+    u64 w;
+    std::memcpy(&w, p, 8);
+    crc = static_cast<u32>(_mm_crc32_u64(crc, w));
+    p += 8;
+    len -= 8;
+  }
+  if (len >= 4) {
+    u32 w;
+    std::memcpy(&w, p, 4);
+    crc = _mm_crc32_u32(crc, w);
+    p += 4;
+    len -= 4;
+  }
+  while (len > 0) {
+    crc = _mm_crc32_u8(crc, *p);
+    ++p;
+    --len;
+  }
+  return ~crc;
+#else
+  return SoftCrc32c(key, len, seed);
+#endif
+}
+
+}  // namespace internal
+}  // namespace enetstl
+
+#endif  // ENETSTL_CORE_HASH_INL_H_

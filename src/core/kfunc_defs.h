@@ -1,0 +1,21 @@
+// Registration of every eNetSTL API as a kfunc with verifier metadata.
+//
+// Loading eNetSTL (the kernel module) registers its kfunc id set together
+// with per-function annotations; the stock verifier then enforces correct
+// usage from eBPF programs. RegisterEnetstlKfuncs() performs the equivalent
+// registration into the simulated KfuncRegistry. Idempotent.
+#ifndef ENETSTL_CORE_KFUNC_DEFS_H_
+#define ENETSTL_CORE_KFUNC_DEFS_H_
+
+#include "ebpf/verifier.h"
+
+namespace enetstl {
+
+// Registers all eNetSTL kfuncs into `registry` (the global one by default).
+// Returns the number of kfuncs newly registered.
+int RegisterEnetstlKfuncs(
+    ebpf::KfuncRegistry& registry = ebpf::KfuncRegistry::Global());
+
+}  // namespace enetstl
+
+#endif  // ENETSTL_CORE_KFUNC_DEFS_H_

@@ -1,0 +1,137 @@
+#include "core/list_buckets.h"
+
+namespace enetstl {
+
+ListBuckets::ListBuckets(u32 num_buckets, u32 capacity, u32 elem_size)
+    : num_buckets_(num_buckets), capacity_(capacity), elem_size_(elem_size) {
+  for (PerCpu& c : percpu_) {
+    c.head.assign(num_buckets, kNil);
+    c.tail.assign(num_buckets, kNil);
+    c.len.assign(num_buckets, 0);
+    c.next.resize(capacity);
+    c.payload.resize(static_cast<std::size_t>(capacity) * elem_size);
+    c.occupancy.assign((num_buckets + 63) / 64, 0);
+    for (u32 i = 0; i < capacity; ++i) {
+      c.next[i] = (i + 1 < capacity) ? i + 1 : kNil;
+    }
+    c.free_head = capacity > 0 ? 0 : kNil;
+  }
+}
+
+ENETSTL_NOINLINE int ListBuckets::InsertFront(u32 bucket, const void* data,
+                                              u32 size) {
+  ebpf::CompilerBarrier();
+  if (bucket >= num_buckets_ || size != elem_size_) {
+    return ebpf::kErrInval;
+  }
+  PerCpu& c = Cpu();
+  const u32 idx = AllocNode(c);
+  if (idx == kNil) {
+    return ebpf::kErrNoSpc;
+  }
+  std::memcpy(&c.payload[static_cast<std::size_t>(idx) * elem_size_], data,
+              elem_size_);
+  c.next[idx] = c.head[bucket];
+  c.head[bucket] = idx;
+  if (c.tail[bucket] == kNil) {
+    c.tail[bucket] = idx;
+  }
+  if (c.len[bucket]++ == 0) {
+    MarkOccupied(c, bucket);
+  }
+  return ebpf::kOk;
+}
+
+ENETSTL_NOINLINE int ListBuckets::InsertTail(u32 bucket, const void* data,
+                                             u32 size) {
+  ebpf::CompilerBarrier();
+  if (bucket >= num_buckets_ || size != elem_size_) {
+    return ebpf::kErrInval;
+  }
+  PerCpu& c = Cpu();
+  const u32 idx = AllocNode(c);
+  if (idx == kNil) {
+    return ebpf::kErrNoSpc;
+  }
+  std::memcpy(&c.payload[static_cast<std::size_t>(idx) * elem_size_], data,
+              elem_size_);
+  c.next[idx] = kNil;
+  if (c.tail[bucket] != kNil) {
+    c.next[c.tail[bucket]] = idx;
+  } else {
+    c.head[bucket] = idx;
+  }
+  c.tail[bucket] = idx;
+  if (c.len[bucket]++ == 0) {
+    MarkOccupied(c, bucket);
+  }
+  return ebpf::kOk;
+}
+
+ENETSTL_NOINLINE int ListBuckets::PopFront(u32 bucket, void* out, u32 size) {
+  ebpf::CompilerBarrier();
+  if (bucket >= num_buckets_ || size != elem_size_) {
+    return ebpf::kErrInval;
+  }
+  PerCpu& c = Cpu();
+  const u32 idx = c.head[bucket];
+  if (idx == kNil) {
+    return ebpf::kErrNoEnt;
+  }
+  std::memcpy(out, &c.payload[static_cast<std::size_t>(idx) * elem_size_],
+              elem_size_);
+  c.head[bucket] = c.next[idx];
+  if (c.head[bucket] == kNil) {
+    c.tail[bucket] = kNil;
+  }
+  FreeNode(c, idx);
+  if (--c.len[bucket] == 0) {
+    MarkEmpty(c, bucket);
+  }
+  return ebpf::kOk;
+}
+
+ENETSTL_NOINLINE int ListBuckets::PeekFront(u32 bucket, void* out, u32 size) {
+  ebpf::CompilerBarrier();
+  if (bucket >= num_buckets_ || size != elem_size_) {
+    return ebpf::kErrInval;
+  }
+  PerCpu& c = Cpu();
+  const u32 idx = c.head[bucket];
+  if (idx == kNil) {
+    return ebpf::kErrNoEnt;
+  }
+  std::memcpy(out, &c.payload[static_cast<std::size_t>(idx) * elem_size_],
+              elem_size_);
+  return ebpf::kOk;
+}
+
+ENETSTL_NOINLINE s32 ListBuckets::FirstNonEmpty(u32 from) {
+  ebpf::CompilerBarrier();
+  if (from >= num_buckets_) {
+    return -1;
+  }
+  PerCpu& c = Cpu();
+  u32 word = from >> 6;
+  u64 w = c.occupancy[word] & (~0ull << (from & 63));
+  const u32 words = static_cast<u32>(c.occupancy.size());
+  while (true) {
+    if (w != 0) {
+      const u32 bucket = (word << 6) + Ffs64(w);
+      return bucket < num_buckets_ ? static_cast<s32>(bucket) : -1;
+    }
+    if (++word >= words) {
+      return -1;
+    }
+    w = c.occupancy[word];
+  }
+}
+
+u32 ListBuckets::BucketLen(u32 bucket) const {
+  if (bucket >= num_buckets_) {
+    return 0;
+  }
+  return percpu_[ebpf::CurrentCpu()].len[bucket];
+}
+
+}  // namespace enetstl

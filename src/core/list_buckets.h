@@ -1,0 +1,108 @@
+// List-buckets (bucket-queues) data structure (§4.3, "Data structure:
+// list-buckets").
+//
+// NFs that queue elements (time wheels, calendar queues, FIFO shapers) almost
+// always need *many* linked lists at once — one per bucket. Doing this with
+// eBPF primitives costs, per operation: one bpf_map_lookup_elem to reach the
+// chosen list (each list is a separate map element) plus a mandatory
+// bpf_spin_lock/unlock pair around the list mutation.
+//
+// ListBuckets replaces that with a single kfunc call: the bucket index is a
+// parameter, the instance holds percpu state so no locks are needed, and an
+// occupancy bitmap (maintained on push/pop) gives O(ceil(n/64)) first-nonempty
+// lookup via the hardware FFS path in bits.h.
+//
+// Elements are fixed-size flat byte payloads (declared at construction), as a
+// kfunc-based interface requires.
+#ifndef ENETSTL_CORE_LIST_BUCKETS_H_
+#define ENETSTL_CORE_LIST_BUCKETS_H_
+
+#include <array>
+#include <cstring>
+#include <vector>
+
+#include "core/bits.h"
+#include "ebpf/helper.h"
+#include "ebpf/types.h"
+
+namespace enetstl {
+
+using ebpf::s32;
+using ebpf::u32;
+using ebpf::u64;
+using ebpf::u8;
+
+class ListBuckets {
+ public:
+  // num_buckets queues per CPU; capacity nodes per CPU shared across all
+  // buckets of that CPU; each element carries elem_size bytes of payload.
+  ListBuckets(u32 num_buckets, u32 capacity, u32 elem_size);
+
+  // kfunc: insert `size` bytes (must equal elem_size) at the front/tail of
+  // bucket `bucket` on the current CPU. Returns kOk, kErrInval (bad bucket or
+  // size), or kErrNoSpc (pool exhausted).
+  ENETSTL_NOINLINE int InsertFront(u32 bucket, const void* data, u32 size);
+  ENETSTL_NOINLINE int InsertTail(u32 bucket, const void* data, u32 size);
+
+  // kfunc: pop the front element of `bucket` into out. Returns kOk or
+  // kErrNoEnt if the bucket is empty.
+  ENETSTL_NOINLINE int PopFront(u32 bucket, void* out, u32 size);
+
+  // kfunc: copy the front element without removing it.
+  ENETSTL_NOINLINE int PeekFront(u32 bucket, void* out, u32 size);
+
+  // kfunc: index of the first non-empty bucket at or after `from` on the
+  // current CPU (wrapping NOT applied); -1 if all empty. Uses the occupancy
+  // bitmap + hardware FFS.
+  ENETSTL_NOINLINE s32 FirstNonEmpty(u32 from);
+
+  // Introspection (harness side).
+  u32 BucketLen(u32 bucket) const;
+  u32 num_buckets() const { return num_buckets_; }
+  u32 elem_size() const { return elem_size_; }
+
+ private:
+  static constexpr u32 kNil = 0xffffffffu;
+
+  struct PerCpu {
+    std::vector<u32> head;      // per bucket
+    std::vector<u32> tail;      // per bucket
+    std::vector<u32> len;       // per bucket
+    std::vector<u32> next;      // per node
+    std::vector<u8> payload;    // capacity * elem_size
+    std::vector<u64> occupancy; // bitmap over buckets
+    u32 free_head = kNil;
+  };
+
+  PerCpu& Cpu() { return percpu_[ebpf::CurrentCpu()]; }
+
+  u32 AllocNode(PerCpu& c) {
+    const u32 idx = c.free_head;
+    if (idx != kNil) {
+      c.free_head = c.next[idx];
+    }
+    return idx;
+  }
+
+  void FreeNode(PerCpu& c, u32 idx) {
+    c.next[idx] = c.free_head;
+    c.free_head = idx;
+  }
+
+  void MarkOccupied(PerCpu& c, u32 bucket) {
+    c.occupancy[bucket >> 6] |= 1ull << (bucket & 63);
+  }
+
+  void MarkEmpty(PerCpu& c, u32 bucket) {
+    c.occupancy[bucket >> 6] &= ~(1ull << (bucket & 63));
+  }
+
+  u32 num_buckets_;
+  u32 capacity_;
+  u32 elem_size_;
+  std::array<PerCpu, ebpf::kNumPossibleCpus> percpu_;
+};
+
+}  // namespace enetstl
+
+#endif  // ENETSTL_CORE_LIST_BUCKETS_H_

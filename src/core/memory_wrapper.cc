@@ -1,0 +1,260 @@
+#include "core/memory_wrapper.h"
+
+#include <cstdlib>
+#include <cstring>
+#include <new>
+
+namespace enetstl {
+
+namespace {
+
+// Caps keeping a single allocation sane; real kfuncs validate constant args
+// via __k annotations, this is the runtime equivalent.
+constexpr u32 kMaxSlots = 64;
+constexpr u32 kMaxDataSize = 64 * 1024;
+
+}  // namespace
+
+NodeProxy::NodeProxy(CheckMode mode) : mode_(mode) {}
+
+NodeProxy::~NodeProxy() {
+  // Destroy all still-owned nodes. Owned nodes hold exactly the proxy's
+  // reference once programs have released theirs; force-destroy regardless so
+  // teardown cannot leak (mirrors BPF map destruction releasing kptrs).
+  std::vector<Node*> owned(owned_.begin(), owned_.end());
+  for (Node* node : owned) {
+    Destroy(node);
+  }
+  for (auto& [size, blocks] : freelists_) {
+    for (void* block : blocks) {
+      ::operator delete(block, std::align_val_t{alignof(Node)});
+    }
+  }
+}
+
+std::size_t NodeProxy::BlockSize(u32 num_outs, u32 num_ins, u32 data_size) {
+  std::size_t size = sizeof(Node);
+  size += static_cast<std::size_t>(num_outs) * sizeof(Node*);
+  size += static_cast<std::size_t>(num_ins) * sizeof(Node::InEdge);
+  size += data_size;
+  // Round to 16 so size classes coalesce.
+  return (size + 15) & ~static_cast<std::size_t>(15);
+}
+
+u64 NodeProxy::EdgeKey(const Node* from, u32 out_idx) {
+  return reinterpret_cast<u64>(from) ^ (static_cast<u64>(out_idx) << 48);
+}
+
+void* NodeProxy::AllocBlock(std::size_t size) {
+  auto it = freelists_.find(size);
+  if (it != freelists_.end() && !it->second.empty()) {
+    void* block = it->second.back();
+    it->second.pop_back();
+    return block;
+  }
+  return ::operator new(size, std::align_val_t{alignof(Node)}, std::nothrow);
+}
+
+void NodeProxy::FreeBlock(void* block, std::size_t size) {
+  freelists_[size].push_back(block);
+}
+
+ENETSTL_NOINLINE Node* NodeProxy::NodeAlloc(u32 num_outs, u32 num_ins,
+                                            u32 data_size) {
+  ebpf::CompilerBarrier();
+  if (num_outs > kMaxSlots || num_ins > kMaxSlots || data_size > kMaxDataSize) {
+    return nullptr;
+  }
+  if (alloc_fail_countdown_ >= 0 && alloc_fail_countdown_-- == 0) {
+    return nullptr;  // injected bpf_obj_new failure
+  }
+  const std::size_t size = BlockSize(num_outs, num_ins, data_size);
+  void* block = AllocBlock(size);
+  if (block == nullptr) {
+    return nullptr;
+  }
+  Node* node = new (block) Node();
+  node->refcount = 1;
+  node->num_outs = num_outs;
+  node->num_ins = num_ins;
+  node->data_size = data_size;
+  node->owner = nullptr;
+  for (u32 i = 0; i < num_outs; ++i) {
+    node->outs()[i] = nullptr;
+  }
+  for (u32 i = 0; i < num_ins; ++i) {
+    node->ins()[i] = Node::InEdge{};
+  }
+  std::memset(node->data(), 0, data_size);
+  ++live_nodes_;
+  return node;
+}
+
+ENETSTL_NOINLINE void NodeProxy::SetOwner(Node* node) {
+  ebpf::CompilerBarrier();
+  if (node == nullptr || node->owner == this) {
+    return;
+  }
+  node->owner = this;
+  owned_.insert(node);
+  ++node->refcount;
+}
+
+ENETSTL_NOINLINE void NodeProxy::UnsetOwner(Node* node) {
+  ebpf::CompilerBarrier();
+  if (node == nullptr || node->owner != this) {
+    return;
+  }
+  node->owner = nullptr;
+  owned_.erase(node);
+  NodeRelease(node);
+}
+
+ENETSTL_NOINLINE int NodeProxy::NodeConnect(Node* from, u32 out_idx, Node* to,
+                                            u32 in_idx) {
+  ebpf::CompilerBarrier();
+  if (from == nullptr || to == nullptr || out_idx >= from->num_outs ||
+      in_idx >= to->num_ins) {
+    return ebpf::kErrInval;
+  }
+  // Clear whatever occupied either endpoint so reverse edges stay exact.
+  if (from->outs()[out_idx] != nullptr) {
+    NodeDisconnect(from, out_idx);
+  }
+  Node::InEdge& in = to->ins()[in_idx];
+  if (in.from != nullptr) {
+    // The old upstream still points at `to`; sever that edge completely.
+    NodeDisconnect(in.from, in.out_idx);
+  }
+  from->outs()[out_idx] = to;
+  to->ins()[in_idx] = Node::InEdge{from, out_idx};
+  if (mode_ == CheckMode::kEager) {
+    valid_edges_.insert(EdgeKey(from, out_idx));
+  }
+  return ebpf::kOk;
+}
+
+ENETSTL_NOINLINE int NodeProxy::NodeDisconnect(Node* from, u32 out_idx) {
+  ebpf::CompilerBarrier();
+  if (from == nullptr || out_idx >= from->num_outs) {
+    return ebpf::kErrInval;
+  }
+  Node* to = from->outs()[out_idx];
+  if (to == nullptr) {
+    return ebpf::kOk;
+  }
+  from->outs()[out_idx] = nullptr;
+  for (u32 i = 0; i < to->num_ins; ++i) {
+    Node::InEdge& in = to->ins()[i];
+    if (in.from == from && in.out_idx == out_idx) {
+      in = Node::InEdge{};
+      break;
+    }
+  }
+  if (mode_ == CheckMode::kEager) {
+    valid_edges_.erase(EdgeKey(from, out_idx));
+  }
+  return ebpf::kOk;
+}
+
+ENETSTL_NOINLINE Node* NodeProxy::GetNext(Node* node, u32 out_idx) {
+  ebpf::CompilerBarrier();
+  if (node == nullptr || out_idx >= node->num_outs) {
+    return nullptr;
+  }
+  if (mode_ == CheckMode::kEager) {
+    // Ablation path: validate the relationship before following it.
+    if (valid_edges_.find(EdgeKey(node, out_idx)) == valid_edges_.end()) {
+      return nullptr;
+    }
+  }
+  Node* next = node->outs()[out_idx];
+  if (next == nullptr) {
+    return nullptr;
+  }
+  ++next->refcount;
+  return next;
+}
+
+ENETSTL_NOINLINE Node* NodeProxy::NodeAcquire(Node* node) {
+  ebpf::CompilerBarrier();
+  if (node == nullptr) {
+    return nullptr;
+  }
+  ++node->refcount;
+  return node;
+}
+
+ENETSTL_NOINLINE void NodeProxy::NodeRelease(Node* node) {
+  ebpf::CompilerBarrier();
+  if (node == nullptr || node->refcount == 0) {
+    return;
+  }
+  if (--node->refcount == 0) {
+    Destroy(node);
+  }
+}
+
+void NodeProxy::Destroy(Node* node) {
+  // Lazy safety checking: every out-pointer still targeting this node is
+  // nulled using the recorded reverse edges, so no dangling pointer survives.
+  for (u32 i = 0; i < node->num_ins; ++i) {
+    Node::InEdge& in = node->ins()[i];
+    if (in.from != nullptr && in.from != node) {
+      if (in.out_idx < in.from->num_outs && in.from->outs()[in.out_idx] == node) {
+        in.from->outs()[in.out_idx] = nullptr;
+        if (mode_ == CheckMode::kEager) {
+          valid_edges_.erase(EdgeKey(in.from, in.out_idx));
+        }
+      }
+      in = Node::InEdge{};
+    }
+  }
+  // Drop this node's own outgoing edges from the targets' in-slots.
+  for (u32 i = 0; i < node->num_outs; ++i) {
+    Node* to = node->outs()[i];
+    if (to == nullptr || to == node) {
+      continue;
+    }
+    for (u32 j = 0; j < to->num_ins; ++j) {
+      Node::InEdge& in = to->ins()[j];
+      if (in.from == node && in.out_idx == i) {
+        in = Node::InEdge{};
+        break;
+      }
+    }
+    if (mode_ == CheckMode::kEager) {
+      valid_edges_.erase(EdgeKey(node, i));
+    }
+  }
+  if (node->owner == this) {
+    owned_.erase(node);
+  }
+  const std::size_t size =
+      BlockSize(node->num_outs, node->num_ins, node->data_size);
+  node->~Node();
+  FreeBlock(node, size);
+  --live_nodes_;
+}
+
+ENETSTL_NOINLINE int NodeProxy::NodeWrite(Node* node, u32 off, const void* src,
+                                          u32 size) {
+  ebpf::CompilerBarrier();
+  if (node == nullptr || off > node->data_size || size > node->data_size - off) {
+    return ebpf::kErrInval;
+  }
+  std::memcpy(node->data() + off, src, size);
+  return ebpf::kOk;
+}
+
+ENETSTL_NOINLINE int NodeProxy::NodeRead(const Node* node, u32 off, void* dst,
+                                         u32 size) {
+  ebpf::CompilerBarrier();
+  if (node == nullptr || off > node->data_size || size > node->data_size - off) {
+    return ebpf::kErrInval;
+  }
+  std::memcpy(dst, node->data() + off, size);
+  return ebpf::kOk;
+}
+
+}  // namespace enetstl

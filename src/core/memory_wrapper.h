@@ -1,0 +1,160 @@
+// Memory wrapper with proxy-based ownership management and lazy safety
+// checking (§4.2 of the paper).
+//
+// Problem: eBPF cannot persist an *unpredictable number* of dynamically
+// allocated memories, which rules out NFs built on non-contiguous layouts
+// (skip lists, custom trees). eNetSTL's answer:
+//
+//  * Proxy-based ownership — every allocated node's ownership is transferred
+//    to a proxy object (NodeProxy) with SetOwner; the proxy is what the eBPF
+//    program persists in a BPF map, so an arbitrary number of nodes persists
+//    through one map slot.
+//  * Explicit relationships — nodes carry a fixed number of out-pointer slots
+//    and in-edge slots. NodeConnect(A, i, B, j) sets A->out[i] = B and
+//    records the reverse edge in B->in[j]; GetNext(A, i) follows A->out[i]
+//    and returns a reference-counted pointer.
+//  * Lazy safety checking — GetNext performs NO validity check (traversals
+//    dominate, so this is the hot path). Instead, when a node is destroyed,
+//    the recorded reverse edges are used to null every out-pointer that
+//    still targets it. A->out[i] is therefore always either NULL or valid —
+//    use-after-free cannot occur even in buggy programs, and the cost is
+//    paid on the rare release path.
+//
+// The eager alternative (validate every GetNext against a hash set of live
+// relationships) is implemented behind CheckMode::kEager solely for the
+// lazy-vs-eager ablation benchmark.
+//
+// kfunc metadata (registered in kfunc_defs.cc): NodeAlloc and GetNext are
+// KF_ACQUIRE | KF_RET_NULL of resource class "mw_node"; NodeRelease is
+// KF_RELEASE. The verifier model enforces null checks and balance.
+#ifndef ENETSTL_CORE_MEMORY_WRAPPER_H_
+#define ENETSTL_CORE_MEMORY_WRAPPER_H_
+
+#include <cstddef>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "ebpf/helper.h"
+#include "ebpf/types.h"
+
+namespace enetstl {
+
+using ebpf::s32;
+using ebpf::u32;
+using ebpf::u64;
+using ebpf::u8;
+
+class NodeProxy;
+
+// Node header. The full allocation is laid out as:
+//   [Node][Node* outs[num_outs]][InEdge ins[num_ins]][u8 data[data_size]]
+// Treat as opaque outside the wrapper; all access goes through NodeProxy.
+struct Node {
+  u32 refcount = 0;
+  u32 num_outs = 0;
+  u32 num_ins = 0;
+  u32 data_size = 0;
+  NodeProxy* owner = nullptr;
+
+  struct InEdge {
+    Node* from = nullptr;
+    u32 out_idx = 0;
+  };
+
+  Node** outs() { return reinterpret_cast<Node**>(this + 1); }
+  Node* const* outs() const { return reinterpret_cast<Node* const*>(this + 1); }
+  InEdge* ins() { return reinterpret_cast<InEdge*>(outs() + num_outs); }
+  const InEdge* ins() const {
+    return reinterpret_cast<const InEdge*>(outs() + num_outs);
+  }
+  u8* data() { return reinterpret_cast<u8*>(ins() + num_ins); }
+  const u8* data() const { return reinterpret_cast<const u8*>(ins() + num_ins); }
+};
+
+class NodeProxy {
+ public:
+  enum class CheckMode {
+    kLazy,   // production design: zero checks in GetNext
+    kEager,  // ablation: every GetNext validated against the edge set
+  };
+
+  explicit NodeProxy(CheckMode mode = CheckMode::kLazy);
+  ~NodeProxy();
+  NodeProxy(const NodeProxy&) = delete;
+  NodeProxy& operator=(const NodeProxy&) = delete;
+
+  // kfunc [KF_ACQUIRE | KF_RET_NULL]: allocates a node with the given slot
+  // counts and payload size. The caller holds one reference. Returns nullptr
+  // on allocation failure or absurd sizes.
+  ENETSTL_NOINLINE Node* NodeAlloc(u32 num_outs, u32 num_ins, u32 data_size);
+
+  // kfunc: transfers ownership to this proxy (the proxy takes a reference,
+  // keeping the node alive while it is "persisted"). No-op if already owned.
+  ENETSTL_NOINLINE void SetOwner(Node* node);
+
+  // kfunc: detaches the node from the proxy (drops the proxy's reference;
+  // the node is destroyed when the last reference goes).
+  ENETSTL_NOINLINE void UnsetOwner(Node* node);
+
+  // kfunc: from->out[out_idx] = to, recording the reverse edge in
+  // to->in[in_idx]. Existing edges on either slot are disconnected first so
+  // the reverse-edge bookkeeping stays exact. Returns kOk/kErrInval.
+  ENETSTL_NOINLINE int NodeConnect(Node* from, u32 out_idx, Node* to, u32 in_idx);
+
+  // kfunc: from->out[out_idx] = NULL (and clears the reverse edge).
+  ENETSTL_NOINLINE int NodeDisconnect(Node* from, u32 out_idx);
+
+  // kfunc [KF_ACQUIRE | KF_RET_NULL]: follows node->out[out_idx]; returns the
+  // target with its refcount incremented, or nullptr. The lazy-mode hot path:
+  // one load, one null test, one increment.
+  ENETSTL_NOINLINE Node* GetNext(Node* node, u32 out_idx);
+
+  // kfunc [KF_ACQUIRE]: takes an additional reference on a node the program
+  // already holds validly (the analogue of bpf_refcount_acquire). Used when
+  // a pointer must outlive the reference it was obtained with, e.g. the
+  // per-level predecessor array of a skip-list update.
+  ENETSTL_NOINLINE Node* NodeAcquire(Node* node);
+
+  // kfunc [KF_RELEASE]: drops one reference; destroys the node (with lazy
+  // reverse-edge cleanup) when the count reaches zero.
+  ENETSTL_NOINLINE void NodeRelease(Node* node);
+
+  // kfunc: bounds-checked payload write/read (the verifier model requires
+  // all payload access to go through checked accessors).
+  ENETSTL_NOINLINE int NodeWrite(Node* node, u32 off, const void* src, u32 size);
+  ENETSTL_NOINLINE int NodeRead(const Node* node, u32 off, void* dst, u32 size);
+
+  // Introspection.
+  u32 live_nodes() const { return live_nodes_; }
+  u32 owned_nodes() const { return static_cast<u32>(owned_.size()); }
+  CheckMode mode() const { return mode_; }
+
+  // Failure injection (tests only): after `countdown` further successful
+  // allocations, NodeAlloc returns nullptr once and the countdown disarms.
+  // Models bpf_obj_new exhaustion so callers' error paths can be exercised.
+  void InjectAllocFailureAfter(u32 countdown) {
+    alloc_fail_countdown_ = static_cast<s32>(countdown);
+  }
+
+ private:
+  void Destroy(Node* node);
+  void* AllocBlock(std::size_t size);
+  void FreeBlock(void* block, std::size_t size);
+
+  static std::size_t BlockSize(u32 num_outs, u32 num_ins, u32 data_size);
+  static u64 EdgeKey(const Node* from, u32 out_idx);
+
+  CheckMode mode_;
+  u32 live_nodes_ = 0;
+  s32 alloc_fail_countdown_ = -1;  // -1 = disarmed
+  std::unordered_set<Node*> owned_;
+  // Eager mode only: the set of live (from, out_idx) relationships.
+  std::unordered_set<u64> valid_edges_;
+  // Size-class freelists so datapath alloc/release avoids malloc.
+  std::unordered_map<std::size_t, std::vector<void*>> freelists_;
+};
+
+}  // namespace enetstl
+
+#endif  // ENETSTL_CORE_MEMORY_WRAPPER_H_

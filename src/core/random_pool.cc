@@ -1,0 +1,103 @@
+#include "core/random_pool.h"
+
+#include <cmath>
+
+namespace enetstl {
+
+namespace {
+
+// xorshift128+ step; fast enough that a whole-pool refill is a tight loop.
+inline u64 XorShift128Plus(u64& s0, u64& s1) {
+  u64 x = s0;
+  const u64 y = s1;
+  s0 = y;
+  x ^= x << 23;
+  s1 = x ^ y ^ (x >> 17) ^ (y >> 26);
+  return s1 + y;
+}
+
+inline void SeedState(u64 seed, u64& s0, u64& s1) {
+  // SplitMix64 expansion so any seed (including 0) yields a valid state.
+  auto splitmix = [](u64& z) {
+    z += 0x9e3779b97f4a7c15ull;
+    u64 v = z;
+    v = (v ^ (v >> 30)) * 0xbf58476d1ce4e5b9ull;
+    v = (v ^ (v >> 27)) * 0x94d049bb133111ebull;
+    return v ^ (v >> 31);
+  };
+  u64 z = seed;
+  s0 = splitmix(z);
+  s1 = splitmix(z);
+  if (s0 == 0 && s1 == 0) {
+    s0 = 1;
+  }
+}
+
+}  // namespace
+
+RandomPool::RandomPool(u32 capacity, u64 seed) : pool_(capacity) {
+  SeedState(seed, state0_, state1_);
+  Refill();
+}
+
+void RandomPool::Refill() {
+  const u32 n = static_cast<u32>(pool_.size());
+  for (u32 i = 0; i + 1 < n; i += 2) {
+    const u64 v = XorShift128Plus(state0_, state1_);
+    pool_[i] = static_cast<u32>(v);
+    pool_[i + 1] = static_cast<u32>(v >> 32);
+  }
+  if ((n & 1u) != 0) {
+    pool_[n - 1] = static_cast<u32>(XorShift128Plus(state0_, state1_));
+  }
+  remaining_ = n;
+  ++refill_count_;
+}
+
+ENETSTL_NOINLINE u32 RandomPool::Next() {
+  ebpf::CompilerBarrier();
+  if (remaining_ == 0) {
+    Refill();
+  }
+  return pool_[--remaining_];
+}
+
+GeoRandomPool::GeoRandomPool(u32 capacity, double p, u64 seed)
+    : pool_(capacity), p_(p) {
+  if (p_ <= 0.0) {
+    p_ = 1.0 / 4294967296.0;  // effectively never
+  }
+  if (p_ > 1.0) {
+    p_ = 1.0;
+  }
+  inv_log1m_p_ = p_ < 1.0 ? 1.0 / std::log1p(-p_) : 0.0;
+  SeedState(seed, state0_, state1_);
+  Refill();
+}
+
+void GeoRandomPool::Refill() {
+  const u32 n = static_cast<u32>(pool_.size());
+  for (u32 i = 0; i < n; ++i) {
+    if (p_ >= 1.0) {
+      pool_[i] = 1;
+      continue;
+    }
+    // Inverse transform: G = floor(ln(U) / ln(1-p)) + 1, U in (0, 1].
+    const u64 raw = XorShift128Plus(state0_, state1_);
+    const double u = (static_cast<double>(raw >> 11) + 1.0) * 0x1.0p-53;
+    const double g = std::floor(std::log(u) * inv_log1m_p_) + 1.0;
+    pool_[i] = g > 4294967294.0 ? 0xffffffffu : static_cast<u32>(g);
+  }
+  remaining_ = n;
+  ++refill_count_;
+}
+
+ENETSTL_NOINLINE u32 GeoRandomPool::NextGeo() {
+  ebpf::CompilerBarrier();
+  if (remaining_ == 0) {
+    Refill();
+  }
+  return pool_[--remaining_];
+}
+
+}  // namespace enetstl

@@ -1,0 +1,78 @@
+// Random-pool data structure (§4.3, "Data structures: random-pool").
+//
+// bpf_get_prandom_u32 on a per-packet basis costs a helper call each time
+// (the paper measures a 46.6% average degradation). The random pool
+// amortizes that: a batch of pseudo-random words is generated at once with a
+// cheap xorshift128+ generator, consumed one by one, and automatically
+// reinjected (refilled) when the pool runs dry — the enhancement over prior
+// fixed-pool designs the paper describes.
+//
+// GeoRandomPool additionally stores samples of a geometric distribution,
+// serving NitroSketch-style probabilistic updates: instead of flipping a
+// biased coin per row, the NF asks "how many rows until the next update?"
+// and skips ahead.
+#ifndef ENETSTL_CORE_RANDOM_POOL_H_
+#define ENETSTL_CORE_RANDOM_POOL_H_
+
+#include <vector>
+
+#include "ebpf/helper.h"
+#include "ebpf/types.h"
+
+namespace enetstl {
+
+using ebpf::u32;
+using ebpf::u64;
+
+// Uniform pool of u32 values.
+class RandomPool {
+ public:
+  // capacity: number of words buffered per refill (power of two recommended).
+  RandomPool(u32 capacity, u64 seed);
+
+  // kfunc: next pseudo-random u32. Refills the whole pool (amortized) when
+  // empty — the automatic reinjection mechanism.
+  ENETSTL_NOINLINE u32 Next();
+
+  // Number of values left before the next refill (introspection/tests).
+  u32 Remaining() const { return remaining_; }
+  u64 refill_count() const { return refill_count_; }
+
+ private:
+  void Refill();
+
+  std::vector<u32> pool_;
+  u32 remaining_ = 0;
+  u64 refill_count_ = 0;
+  u64 state0_;
+  u64 state1_;
+};
+
+// Pool of geometric-distribution samples: Next() returns the number of
+// Bernoulli(p) trials up to and including the first success (values >= 1).
+class GeoRandomPool {
+ public:
+  GeoRandomPool(u32 capacity, double p, u64 seed);
+
+  // kfunc: next geometric sample.
+  ENETSTL_NOINLINE u32 NextGeo();
+
+  double p() const { return p_; }
+  u32 Remaining() const { return remaining_; }
+  u64 refill_count() const { return refill_count_; }
+
+ private:
+  void Refill();
+
+  std::vector<u32> pool_;
+  u32 remaining_ = 0;
+  u64 refill_count_ = 0;
+  double p_;
+  double inv_log1m_p_;  // 1 / ln(1 - p), precomputed
+  u64 state0_;
+  u64 state1_;
+};
+
+}  // namespace enetstl
+
+#endif  // ENETSTL_CORE_RANDOM_POOL_H_

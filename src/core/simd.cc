@@ -1,0 +1,172 @@
+#include "core/simd.h"
+
+#include <algorithm>
+#include <cstring>
+
+#if defined(ENETSTL_HAVE_AVX2)
+#include <immintrin.h>
+#endif
+
+namespace enetstl {
+namespace lowlevel {
+
+ENETSTL_NOINLINE void LoadU256(Vec256* dst, const void* src) {
+  ebpf::CompilerBarrier();
+  std::memcpy(dst->bytes, src, 32);
+}
+
+ENETSTL_NOINLINE void StoreU256(void* dst, const Vec256& src) {
+  ebpf::CompilerBarrier();
+  std::memcpy(dst, src.bytes, 32);
+}
+
+ENETSTL_NOINLINE void CmpEqU32x8(Vec256* dst, const Vec256& a, const Vec256& b) {
+  ebpf::CompilerBarrier();
+#if defined(ENETSTL_HAVE_AVX2)
+  const __m256i va = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a.bytes));
+  const __m256i vb = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b.bytes));
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst->bytes),
+                      _mm256_cmpeq_epi32(va, vb));
+#else
+  u32 wa[8], wb[8], wd[8];
+  std::memcpy(wa, a.bytes, 32);
+  std::memcpy(wb, b.bytes, 32);
+  for (int i = 0; i < 8; ++i) {
+    wd[i] = wa[i] == wb[i] ? 0xffffffffu : 0;
+  }
+  std::memcpy(dst->bytes, wd, 32);
+#endif
+}
+
+ENETSTL_NOINLINE void BroadcastU32x8(Vec256* dst, u32 value) {
+  ebpf::CompilerBarrier();
+  u32 w[8];
+  for (int i = 0; i < 8; ++i) {
+    w[i] = value;
+  }
+  std::memcpy(dst->bytes, w, 32);
+}
+
+ENETSTL_NOINLINE u32 MovemaskU8x32(const Vec256& a) {
+  ebpf::CompilerBarrier();
+#if defined(ENETSTL_HAVE_AVX2)
+  const __m256i va = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a.bytes));
+  return static_cast<u32>(_mm256_movemask_epi8(va));
+#else
+  u32 mask = 0;
+  for (int i = 0; i < 32; ++i) {
+    if (a.bytes[i] & 0x80u) {
+      mask |= 1u << i;
+    }
+  }
+  return mask;
+#endif
+}
+
+ENETSTL_NOINLINE void MinU32x8(Vec256* dst, const Vec256& a, const Vec256& b) {
+  ebpf::CompilerBarrier();
+#if defined(ENETSTL_HAVE_AVX2)
+  const __m256i va = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a.bytes));
+  const __m256i vb = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b.bytes));
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst->bytes),
+                      _mm256_min_epu32(va, vb));
+#else
+  u32 wa[8], wb[8], wd[8];
+  std::memcpy(wa, a.bytes, 32);
+  std::memcpy(wb, b.bytes, 32);
+  for (int i = 0; i < 8; ++i) {
+    wd[i] = std::min(wa[i], wb[i]);
+  }
+  std::memcpy(dst->bytes, wd, 32);
+#endif
+}
+
+ENETSTL_NOINLINE void AddU32x8(Vec256* dst, const Vec256& a, const Vec256& b) {
+  ebpf::CompilerBarrier();
+#if defined(ENETSTL_HAVE_AVX2)
+  const __m256i va = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a.bytes));
+  const __m256i vb = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b.bytes));
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst->bytes),
+                      _mm256_add_epi32(va, vb));
+#else
+  u32 wa[8], wb[8], wd[8];
+  std::memcpy(wa, a.bytes, 32);
+  std::memcpy(wb, b.bytes, 32);
+  for (int i = 0; i < 8; ++i) {
+    wd[i] = wa[i] + wb[i];
+  }
+  std::memcpy(dst->bytes, wd, 32);
+#endif
+}
+
+ENETSTL_NOINLINE void MulloU32x8(Vec256* dst, const Vec256& a, const Vec256& b) {
+  ebpf::CompilerBarrier();
+#if defined(ENETSTL_HAVE_AVX2)
+  const __m256i va = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a.bytes));
+  const __m256i vb = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b.bytes));
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst->bytes),
+                      _mm256_mullo_epi32(va, vb));
+#else
+  u32 wa[8], wb[8], wd[8];
+  std::memcpy(wa, a.bytes, 32);
+  std::memcpy(wb, b.bytes, 32);
+  for (int i = 0; i < 8; ++i) {
+    wd[i] = wa[i] * wb[i];
+  }
+  std::memcpy(dst->bytes, wd, 32);
+#endif
+}
+
+ENETSTL_NOINLINE void XorU32x8(Vec256* dst, const Vec256& a, const Vec256& b) {
+  ebpf::CompilerBarrier();
+#if defined(ENETSTL_HAVE_AVX2)
+  const __m256i va = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a.bytes));
+  const __m256i vb = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b.bytes));
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst->bytes),
+                      _mm256_xor_si256(va, vb));
+#else
+  u32 wa[8], wb[8], wd[8];
+  std::memcpy(wa, a.bytes, 32);
+  std::memcpy(wb, b.bytes, 32);
+  for (int i = 0; i < 8; ++i) {
+    wd[i] = wa[i] ^ wb[i];
+  }
+  std::memcpy(dst->bytes, wd, 32);
+#endif
+}
+
+ENETSTL_NOINLINE void ShrU32x8(Vec256* dst, const Vec256& a, int r) {
+  ebpf::CompilerBarrier();
+#if defined(ENETSTL_HAVE_AVX2)
+  const __m256i va = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a.bytes));
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst->bytes),
+                      _mm256_srli_epi32(va, r));
+#else
+  u32 wa[8], wd[8];
+  std::memcpy(wa, a.bytes, 32);
+  for (int i = 0; i < 8; ++i) {
+    wd[i] = wa[i] >> r;
+  }
+  std::memcpy(dst->bytes, wd, 32);
+#endif
+}
+
+ENETSTL_NOINLINE void RotlU32x8(Vec256* dst, const Vec256& a, int r) {
+  ebpf::CompilerBarrier();
+#if defined(ENETSTL_HAVE_AVX2)
+  const __m256i va = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a.bytes));
+  _mm256_storeu_si256(
+      reinterpret_cast<__m256i*>(dst->bytes),
+      _mm256_or_si256(_mm256_slli_epi32(va, r), _mm256_srli_epi32(va, 32 - r)));
+#else
+  u32 wa[8], wd[8];
+  std::memcpy(wa, a.bytes, 32);
+  for (int i = 0; i < 8; ++i) {
+    wd[i] = (wa[i] << r) | (wa[i] >> (32 - r));
+  }
+  std::memcpy(dst->bytes, wd, 32);
+#endif
+}
+
+}  // namespace lowlevel
+}  // namespace enetstl

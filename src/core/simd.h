@@ -1,0 +1,70 @@
+// Low-level, instruction-shaped SIMD wrappers.
+//
+// These model the rejected design discussed in §4.3 of the paper: exposing
+// each SIMD instruction as its own kfunc. Every call is out-of-line and its
+// operands/results live in memory, so each "instruction" pays a load and a
+// store across the call boundary — exactly the overhead the paper's Listing 1
+// illustrates with bpf_mm256_mul_epu32. They exist solely so the Figure 6
+// ablation can measure that overhead against the high-level interfaces in
+// compare.h / post_hash.h; nothing else should use them.
+#ifndef ENETSTL_CORE_SIMD_H_
+#define ENETSTL_CORE_SIMD_H_
+
+#include <cstddef>
+
+#include "ebpf/helper.h"
+#include "ebpf/types.h"
+
+namespace enetstl {
+
+using ebpf::u16;
+using ebpf::u32;
+using ebpf::u64;
+using ebpf::u8;
+
+// A 256-bit value as plain memory. eBPF cannot hold it in a register, so in
+// the modeled design it always round-trips through the program's stack.
+struct Vec256 {
+  alignas(32) u8 bytes[32];
+};
+
+namespace lowlevel {
+
+// dst = load 32 bytes from src (unaligned).
+ENETSTL_NOINLINE void LoadU256(Vec256* dst, const void* src);
+
+// store 32 bytes of src to dst (unaligned).
+ENETSTL_NOINLINE void StoreU256(void* dst, const Vec256& src);
+
+// dst.u32[i] = (a.u32[i] == b.u32[i]) ? 0xffffffff : 0.
+ENETSTL_NOINLINE void CmpEqU32x8(Vec256* dst, const Vec256& a, const Vec256& b);
+
+// dst.u32[i] = broadcast value.
+ENETSTL_NOINLINE void BroadcastU32x8(Vec256* dst, u32 value);
+
+// Byte-granularity movemask of the sign bits.
+ENETSTL_NOINLINE u32 MovemaskU8x32(const Vec256& a);
+
+// dst.u32[i] = min(a.u32[i], b.u32[i]).
+ENETSTL_NOINLINE void MinU32x8(Vec256* dst, const Vec256& a, const Vec256& b);
+
+// dst.u32[i] = a.u32[i] + b.u32[i].
+ENETSTL_NOINLINE void AddU32x8(Vec256* dst, const Vec256& a, const Vec256& b);
+
+// dst.u32[i] = a.u32[i] * b.u32[i] (low 32 bits).
+ENETSTL_NOINLINE void MulloU32x8(Vec256* dst, const Vec256& a, const Vec256& b);
+
+// dst.u32[i] = a.u32[i] ^ b.u32[i].
+ENETSTL_NOINLINE void XorU32x8(Vec256* dst, const Vec256& a, const Vec256& b);
+
+// dst.u32[i] = a.u32[i] >> r (logical).
+ENETSTL_NOINLINE void ShrU32x8(Vec256* dst, const Vec256& a, int r);
+
+// dst.u32[i] = rotl(a.u32[i], r).
+ENETSTL_NOINLINE void RotlU32x8(Vec256* dst, const Vec256& a, int r);
+
+}  // namespace lowlevel
+
+}  // namespace enetstl
+
+#endif  // ENETSTL_CORE_SIMD_H_

@@ -1,0 +1,74 @@
+#include "ebpf/helper.h"
+
+#include <chrono>
+
+namespace ebpf {
+
+namespace {
+
+// Thread-local so concurrent test runners do not interfere; the measurement
+// pipeline itself is single-threaded.
+thread_local u32 g_current_cpu = 0;
+
+// State of the kernel's prandom (tausworthe LFSR113) generator. Kept in a
+// plain struct loaded/stored on every call, mirroring the per-cpu state
+// access a real helper invocation performs.
+struct PrandomState {
+  u32 s1 = 0x6eef3a45u;
+  u32 s2 = 0x9d3c17bbu;
+  u32 s3 = 0x35ba0d2cu;
+  u32 s4 = 0x42f18d05u;
+};
+
+PrandomState g_prandom_state;
+
+}  // namespace
+
+u32 CurrentCpu() { return g_current_cpu; }
+
+void SetCurrentCpu(u32 cpu) { g_current_cpu = cpu % kNumPossibleCpus; }
+
+HelperStats& GlobalHelperStats() {
+  static HelperStats stats;
+  return stats;
+}
+
+namespace helpers {
+
+ENETSTL_NOINLINE u32 BpfGetPrandomU32() {
+  ++GlobalHelperStats().prandom_calls;
+  PrandomState& s = g_prandom_state;
+  // LFSR113 step, as in the Linux kernel's prandom_u32_state.
+  s.s1 = ((s.s1 & 0xfffffffeu) << 18) ^ (((s.s1 << 6) ^ s.s1) >> 13);
+  s.s2 = ((s.s2 & 0xfffffff8u) << 2) ^ (((s.s2 << 2) ^ s.s2) >> 27);
+  s.s3 = ((s.s3 & 0xfffffff0u) << 7) ^ (((s.s3 << 13) ^ s.s3) >> 21);
+  s.s4 = ((s.s4 & 0xffffff80u) << 13) ^ (((s.s4 << 3) ^ s.s4) >> 12);
+  CompilerBarrier();
+  return s.s1 ^ s.s2 ^ s.s3 ^ s.s4;
+}
+
+ENETSTL_NOINLINE u64 BpfKtimeGetNs() {
+  ++GlobalHelperStats().ktime_calls;
+  auto now = std::chrono::steady_clock::now().time_since_epoch();
+  return static_cast<u64>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(now).count());
+}
+
+void SeedPrandom(u64 seed) {
+  // The LFSR requires each word to exceed a small minimum; fold the seed in
+  // and force the required low-bit patterns.
+  PrandomState s;
+  s.s1 = static_cast<u32>(seed) | 0x10u;
+  s.s2 = static_cast<u32>(seed >> 16) | 0x10u;
+  s.s3 = static_cast<u32>(seed >> 32) | 0x20u;
+  s.s4 = static_cast<u32>(seed >> 48) | 0x80u;
+  g_prandom_state = s;
+  // Warm the generator so nearby seeds diverge.
+  for (int i = 0; i < 8; ++i) {
+    (void)BpfGetPrandomU32();
+  }
+}
+
+}  // namespace helpers
+
+}  // namespace ebpf

@@ -1,0 +1,68 @@
+// Helper-call boundary of the simulated eBPF environment.
+//
+// In real eBPF, helper functions (and kfuncs) are out-of-line calls from JITed
+// bytecode: they clobber caller-saved registers, cannot be inlined into the
+// program, and each invocation pays a call/return plus the helper body. The
+// paper attributes large degradations (e.g. 46.6% for per-packet
+// bpf_get_prandom_u32) to exactly this boundary.
+//
+// This header models that boundary: every helper is a `noinline` function
+// with an internal compiler barrier, so the optimizer can neither inline the
+// body into the "program" nor hoist it out of loops. Code that models an
+// eBPF program MUST use these entry points; kernel-native code may call the
+// underlying primitives directly.
+#ifndef ENETSTL_EBPF_HELPER_H_
+#define ENETSTL_EBPF_HELPER_H_
+
+#include "ebpf/types.h"
+
+#if defined(__GNUC__)
+#define ENETSTL_NOINLINE __attribute__((noinline))
+#else
+#define ENETSTL_NOINLINE
+#endif
+
+namespace ebpf {
+
+// Identifier of the CPU the simulated program is currently running on.
+// The pipeline pins itself to CPU 0 by default (single-queue RSS setup).
+u32 CurrentCpu();
+void SetCurrentCpu(u32 cpu);
+
+// Global counters for helper invocations; used by tests and by the Figure 1
+// execution-time breakdown to attribute cost to the helper boundary. Plain
+// (non-atomic) counters: the datapath is single-threaded and an atomic RMW
+// per helper call would charge the simulation a cost real helpers don't pay.
+struct HelperStats {
+  u64 prandom_calls = 0;
+  u64 ktime_calls = 0;
+  u64 map_lookup_calls = 0;
+  u64 map_update_calls = 0;
+  u64 map_delete_calls = 0;
+
+  void Reset() { *this = HelperStats{}; }
+};
+
+HelperStats& GlobalHelperStats();
+
+namespace helpers {
+
+// bpf_get_prandom_u32: the kernel's tausworthe generator, including the
+// per-call state load/store that makes it expensive on a per-packet basis.
+ENETSTL_NOINLINE u32 BpfGetPrandomU32();
+
+// bpf_ktime_get_ns: monotonic nanosecond clock.
+ENETSTL_NOINLINE u64 BpfKtimeGetNs();
+
+// Seeds the prandom state (tests / reproducible benchmarks).
+void SeedPrandom(u64 seed);
+
+}  // namespace helpers
+
+// A compiler barrier used inside helper bodies so the boundary cost is not
+// optimized away when a helper result is unused by the caller.
+inline void CompilerBarrier() { asm volatile("" ::: "memory"); }
+
+}  // namespace ebpf
+
+#endif  // ENETSTL_EBPF_HELPER_H_

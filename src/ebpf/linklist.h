@@ -1,0 +1,185 @@
+// BPF-style linked list (bpf_list_head / bpf_obj_new utilities).
+//
+// The eBPF runtime exposes linked lists only under two constraints the paper
+// identifies as performance problems:
+//   1. Every push/pop must be performed while holding the bpf_spin_lock that
+//      the verifier associates with the list head (lock coupling).
+//   2. Nodes come from bpf_obj_new, i.e. an allocator call at the helper
+//      boundary.
+// BpfList models both: mutations are noinline, acquire the coupled lock, and
+// nodes are drawn from a preallocated pool through an out-of-line allocator.
+//
+// Simulated eBPF NFs that need queues of elements use arrays of BpfList, one
+// BPF map element per list — which is exactly the extra-helper-call pattern
+// eNetSTL's list-buckets data structure is designed to replace.
+#ifndef ENETSTL_EBPF_LINKLIST_H_
+#define ENETSTL_EBPF_LINKLIST_H_
+
+#include <vector>
+
+#include "ebpf/helper.h"
+#include "ebpf/spinlock.h"
+#include "ebpf/types.h"
+
+namespace ebpf {
+
+// Shared node pool modeling the bpf_obj_new allocator. Elements are fixed
+// size; the pool is sized at construction (bpf_mem_alloc prefills caches).
+template <typename T>
+class BpfObjPool {
+ public:
+  explicit BpfObjPool(u32 capacity) : nodes_(capacity) {
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "BPF objects must be flat types");
+    for (u32 i = 0; i < capacity; ++i) {
+      nodes_[i].next = (i + 1 < capacity) ? i + 1 : kNil;
+    }
+    free_head_ = capacity > 0 ? 0 : kNil;
+  }
+
+  static constexpr u32 kNil = 0xffffffffu;
+
+  struct Node {
+    T value{};
+    u32 next = kNil;
+    u32 prev = kNil;
+  };
+
+  ENETSTL_NOINLINE u32 Alloc() {
+    CompilerBarrier();
+    if (free_head_ == kNil) {
+      return kNil;
+    }
+    const u32 idx = free_head_;
+    free_head_ = nodes_[idx].next;
+    nodes_[idx].next = kNil;
+    nodes_[idx].prev = kNil;
+    ++in_use_;
+    return idx;
+  }
+
+  ENETSTL_NOINLINE void Free(u32 idx) {
+    CompilerBarrier();
+    nodes_[idx].next = free_head_;
+    free_head_ = idx;
+    --in_use_;
+  }
+
+  Node& node(u32 idx) { return nodes_[idx]; }
+  const Node& node(u32 idx) const { return nodes_[idx]; }
+  u32 in_use() const { return in_use_; }
+  u32 capacity() const { return static_cast<u32>(nodes_.size()); }
+
+ private:
+  std::vector<Node> nodes_;
+  u32 free_head_ = kNil;
+  u32 in_use_ = 0;
+};
+
+// A bpf_list_head. All operations require the coupled lock, which they
+// acquire and release internally (the verifier would reject code that does
+// not hold it, so well-formed programs always pay it).
+template <typename T>
+class BpfList {
+ public:
+  using Pool = BpfObjPool<T>;
+  static constexpr u32 kNil = Pool::kNil;
+
+  BpfList() = default;
+
+  // Pushes a value at the front. Returns false if the pool is exhausted.
+  ENETSTL_NOINLINE bool PushFront(Pool& pool, BpfSpinLock& lock, const T& value) {
+    const u32 idx = pool.Alloc();
+    if (idx == kNil) {
+      return false;
+    }
+    pool.node(idx).value = value;
+    lock.Lock();
+    pool.node(idx).next = head_;
+    pool.node(idx).prev = kNil;
+    if (head_ != kNil) {
+      pool.node(head_).prev = idx;
+    }
+    head_ = idx;
+    if (tail_ == kNil) {
+      tail_ = idx;
+    }
+    ++size_;
+    lock.Unlock();
+    return true;
+  }
+
+  ENETSTL_NOINLINE bool PushBack(Pool& pool, BpfSpinLock& lock, const T& value) {
+    const u32 idx = pool.Alloc();
+    if (idx == kNil) {
+      return false;
+    }
+    pool.node(idx).value = value;
+    lock.Lock();
+    pool.node(idx).prev = tail_;
+    pool.node(idx).next = kNil;
+    if (tail_ != kNil) {
+      pool.node(tail_).next = idx;
+    }
+    tail_ = idx;
+    if (head_ == kNil) {
+      head_ = idx;
+    }
+    ++size_;
+    lock.Unlock();
+    return true;
+  }
+
+  // Pops from the front into *out. Returns false if empty.
+  ENETSTL_NOINLINE bool PopFront(Pool& pool, BpfSpinLock& lock, T* out) {
+    lock.Lock();
+    if (head_ == kNil) {
+      lock.Unlock();
+      return false;
+    }
+    const u32 idx = head_;
+    head_ = pool.node(idx).next;
+    if (head_ != kNil) {
+      pool.node(head_).prev = kNil;
+    } else {
+      tail_ = kNil;
+    }
+    --size_;
+    lock.Unlock();
+    *out = pool.node(idx).value;
+    pool.Free(idx);
+    return true;
+  }
+
+  ENETSTL_NOINLINE bool PopBack(Pool& pool, BpfSpinLock& lock, T* out) {
+    lock.Lock();
+    if (tail_ == kNil) {
+      lock.Unlock();
+      return false;
+    }
+    const u32 idx = tail_;
+    tail_ = pool.node(idx).prev;
+    if (tail_ != kNil) {
+      pool.node(tail_).next = kNil;
+    } else {
+      head_ = kNil;
+    }
+    --size_;
+    lock.Unlock();
+    *out = pool.node(idx).value;
+    pool.Free(idx);
+    return true;
+  }
+
+  bool Empty() const { return head_ == kNil; }
+  u32 size() const { return size_; }
+
+ private:
+  u32 head_ = kNil;
+  u32 tail_ = kNil;
+  u32 size_ = 0;
+};
+
+}  // namespace ebpf
+
+#endif  // ENETSTL_EBPF_LINKLIST_H_

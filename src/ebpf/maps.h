@@ -1,0 +1,499 @@
+// BPF map emulation: BPF_ARRAY, BPF_PERCPU_ARRAY, BPF_HASH, BPF_LRU_HASH.
+//
+// All map access methods are `noinline`, modeling the helper-call boundary
+// (bpf_map_lookup_elem & friends) that every map operation in a real eBPF
+// program pays. Simulated eBPF programs must use these maps for all state;
+// kernel-native baselines use plain data structures instead.
+//
+// Maps are fixed-capacity (max_entries is declared up front, as in BPF) and
+// never allocate on the datapath. The hash map is open-chained over a
+// preallocated element pool with a freelist, matching the kernel's
+// implementation of preallocated BPF hash maps.
+#ifndef ENETSTL_EBPF_MAPS_H_
+#define ENETSTL_EBPF_MAPS_H_
+
+#include <array>
+#include <cstring>
+#include <vector>
+
+#include "ebpf/helper.h"
+#include "ebpf/spinlock.h"
+#include "ebpf/types.h"
+
+namespace ebpf {
+
+namespace detail {
+
+// Deterministically shuffles the initial freelist order. Kernel hash-map
+// elements come from slab allocations scattered across memory; handing out
+// pool slots in shuffled order reproduces that pointer-chase cache behaviour
+// instead of the artificially perfect locality of a sequential freelist.
+inline void ShuffleFreelist(std::vector<u32>& order) {
+  u64 state = 0x9e3779b97f4a7c15ull;
+  for (std::size_t i = order.size(); i > 1; --i) {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    std::swap(order[i - 1], order[state % i]);
+  }
+}
+
+// 32-bit mixing used by map bucket selection (jhash-style finalizer). Kept
+// deliberately scalar: map hashing inside the kernel is scalar too.
+inline u32 HashBytes(const void* key, std::size_t len, u32 seed) {
+  const auto* p = static_cast<const u8*>(key);
+  u32 h = seed ^ static_cast<u32>(len);
+  while (len >= 4) {
+    u32 k;
+    std::memcpy(&k, p, 4);
+    k *= 0xcc9e2d51u;
+    k = (k << 15) | (k >> 17);
+    k *= 0x1b873593u;
+    h ^= k;
+    h = (h << 13) | (h >> 19);
+    h = h * 5 + 0xe6546b64u;
+    p += 4;
+    len -= 4;
+  }
+  u32 tail = 0;
+  std::memcpy(&tail, p, len);
+  h ^= tail;
+  h ^= h >> 16;
+  h *= 0x85ebca6bu;
+  h ^= h >> 13;
+  h *= 0xc2b2ae35u;
+  h ^= h >> 16;
+  return h;
+}
+
+}  // namespace detail
+
+// BPF_MAP_TYPE_ARRAY. Values are zero-initialized, as in the kernel.
+template <typename V>
+class ArrayMap {
+ public:
+  explicit ArrayMap(u32 max_entries) : values_(max_entries) {}
+
+  ENETSTL_NOINLINE V* LookupElem(u32 index) {
+    ++GlobalHelperStats().map_lookup_calls;
+    CompilerBarrier();
+    if (index >= values_.size()) {
+      return nullptr;
+    }
+    return &values_[index];
+  }
+
+  ENETSTL_NOINLINE int UpdateElem(u32 index, const V& value) {
+    ++GlobalHelperStats().map_update_calls;
+    CompilerBarrier();
+    if (index >= values_.size()) {
+      return kErrInval;
+    }
+    values_[index] = value;
+    return kOk;
+  }
+
+  u32 max_entries() const { return static_cast<u32>(values_.size()); }
+
+ private:
+  std::vector<V> values_;
+};
+
+// BPF_MAP_TYPE_ARRAY with a runtime-sized byte-blob value. Real eBPF NFs
+// declare their whole working state (a full sketch, a filter, a table) as one
+// map value so a single bpf_map_lookup_elem per packet yields a pointer to
+// everything; this map models that pattern without templating on the size.
+class RawArrayMap {
+ public:
+  RawArrayMap(u32 max_entries, u32 value_size)
+      : max_entries_(max_entries),
+        value_size_(value_size),
+        storage_(static_cast<std::size_t>(max_entries) * value_size, 0) {}
+
+  ENETSTL_NOINLINE void* LookupElem(u32 index) {
+    ++GlobalHelperStats().map_lookup_calls;
+    CompilerBarrier();
+    if (index >= max_entries_) {
+      return nullptr;
+    }
+    return storage_.data() + static_cast<std::size_t>(index) * value_size_;
+  }
+
+  u32 max_entries() const { return max_entries_; }
+  u32 value_size() const { return value_size_; }
+
+ private:
+  u32 max_entries_;
+  u32 value_size_;
+  std::vector<u8> storage_;
+};
+
+// Percpu variant of RawArrayMap.
+class RawPercpuArrayMap {
+ public:
+  RawPercpuArrayMap(u32 max_entries, u32 value_size)
+      : max_entries_(max_entries), value_size_(value_size) {
+    for (auto& per_cpu : storage_) {
+      per_cpu.assign(static_cast<std::size_t>(max_entries) * value_size, 0);
+    }
+  }
+
+  ENETSTL_NOINLINE void* LookupElem(u32 index) {
+    ++GlobalHelperStats().map_lookup_calls;
+    CompilerBarrier();
+    if (index >= max_entries_) {
+      return nullptr;
+    }
+    return storage_[CurrentCpu()].data() +
+           static_cast<std::size_t>(index) * value_size_;
+  }
+
+  void* LookupElemOnCpu(u32 index, u32 cpu) {
+    if (index >= max_entries_ || cpu >= kNumPossibleCpus) {
+      return nullptr;
+    }
+    return storage_[cpu].data() + static_cast<std::size_t>(index) * value_size_;
+  }
+
+  u32 max_entries() const { return max_entries_; }
+  u32 value_size() const { return value_size_; }
+
+ private:
+  u32 max_entries_;
+  u32 value_size_;
+  std::array<std::vector<u8>, kNumPossibleCpus> storage_;
+};
+
+// BPF_MAP_TYPE_PERCPU_ARRAY. Each possible CPU owns a private copy of every
+// slot; LookupElem returns the current CPU's copy.
+template <typename V>
+class PercpuArrayMap {
+ public:
+  explicit PercpuArrayMap(u32 max_entries) : max_entries_(max_entries) {
+    for (auto& per_cpu : values_) {
+      per_cpu.resize(max_entries);
+    }
+  }
+
+  ENETSTL_NOINLINE V* LookupElem(u32 index) {
+    ++GlobalHelperStats().map_lookup_calls;
+    CompilerBarrier();
+    if (index >= max_entries_) {
+      return nullptr;
+    }
+    return &values_[CurrentCpu()][index];
+  }
+
+  // Harness-side accessor for aggregating percpu values (maps to the
+  // user-space view of a percpu map); not a datapath helper.
+  V* LookupElemOnCpu(u32 index, u32 cpu) {
+    if (index >= max_entries_ || cpu >= kNumPossibleCpus) {
+      return nullptr;
+    }
+    return &values_[cpu][index];
+  }
+
+  u32 max_entries() const { return max_entries_; }
+
+ private:
+  u32 max_entries_;
+  std::array<std::vector<V>, kNumPossibleCpus> values_;
+};
+
+// BPF_MAP_TYPE_HASH with preallocated storage. Keys and values are flat
+// (memcpy-able) types, as BPF requires. Per-bucket spinlocks mirror the
+// kernel's htab bucket locks.
+template <typename K, typename V>
+class HashMap {
+ public:
+  explicit HashMap(u32 max_entries)
+      : max_entries_(max_entries),
+        bucket_count_(NextPow2(max_entries | 1)),
+        buckets_(bucket_count_, kNil),
+        bucket_locks_(bucket_count_),
+        elems_(max_entries) {
+    static_assert(std::is_trivially_copyable_v<K>);
+    static_assert(std::is_trivially_copyable_v<V>);
+    // Build the freelist in shuffled (slab-like) order.
+    std::vector<u32> order(max_entries);
+    for (u32 i = 0; i < max_entries; ++i) {
+      order[i] = i;
+    }
+    detail::ShuffleFreelist(order);
+    for (u32 i = 0; i < max_entries; ++i) {
+      elems_[order[i]].next = (i + 1 < max_entries) ? order[i + 1] : kNil;
+    }
+    free_head_ = max_entries > 0 ? order[0] : kNil;
+  }
+
+  ENETSTL_NOINLINE V* LookupElem(const K& key) {
+    ++GlobalHelperStats().map_lookup_calls;
+    CompilerBarrier();
+    const u32 b = BucketOf(key);
+    for (u32 idx = buckets_[b]; idx != kNil; idx = elems_[idx].next) {
+      if (std::memcmp(&elems_[idx].key, &key, sizeof(K)) == 0) {
+        return &elems_[idx].value;
+      }
+    }
+    return nullptr;
+  }
+
+  ENETSTL_NOINLINE int UpdateElem(const K& key, const V& value) {
+    ++GlobalHelperStats().map_update_calls;
+    CompilerBarrier();
+    const u32 b = BucketOf(key);
+    BpfSpinLockGuard guard(bucket_locks_[b]);
+    for (u32 idx = buckets_[b]; idx != kNil; idx = elems_[idx].next) {
+      if (std::memcmp(&elems_[idx].key, &key, sizeof(K)) == 0) {
+        elems_[idx].value = value;
+        return kOk;
+      }
+    }
+    if (free_head_ == kNil) {
+      return kErrNoSpc;
+    }
+    const u32 idx = free_head_;
+    free_head_ = elems_[idx].next;
+    elems_[idx].key = key;
+    elems_[idx].value = value;
+    elems_[idx].next = buckets_[b];
+    buckets_[b] = idx;
+    ++size_;
+    return kOk;
+  }
+
+  ENETSTL_NOINLINE int DeleteElem(const K& key) {
+    ++GlobalHelperStats().map_delete_calls;
+    CompilerBarrier();
+    const u32 b = BucketOf(key);
+    BpfSpinLockGuard guard(bucket_locks_[b]);
+    u32 prev = kNil;
+    for (u32 idx = buckets_[b]; idx != kNil; prev = idx, idx = elems_[idx].next) {
+      if (std::memcmp(&elems_[idx].key, &key, sizeof(K)) == 0) {
+        if (prev == kNil) {
+          buckets_[b] = elems_[idx].next;
+        } else {
+          elems_[prev].next = elems_[idx].next;
+        }
+        elems_[idx].next = free_head_;
+        free_head_ = idx;
+        --size_;
+        return kOk;
+      }
+    }
+    return kErrNoEnt;
+  }
+
+  u32 size() const { return size_; }
+  u32 max_entries() const { return max_entries_; }
+
+ private:
+  static constexpr u32 kNil = 0xffffffffu;
+
+  struct Elem {
+    K key;
+    V value;
+    u32 next = kNil;
+  };
+
+  static u32 NextPow2(u32 v) {
+    u32 p = 1;
+    while (p < v) {
+      p <<= 1;
+    }
+    return p;
+  }
+
+  u32 BucketOf(const K& key) const {
+    return detail::HashBytes(&key, sizeof(K), 0x9e3779b9u) & (bucket_count_ - 1);
+  }
+
+  u32 max_entries_;
+  u32 bucket_count_;
+  u32 size_ = 0;
+  u32 free_head_ = kNil;
+  std::vector<u32> buckets_;
+  mutable std::vector<BpfSpinLock> bucket_locks_;
+  std::vector<Elem> elems_;
+};
+
+// BPF_MAP_TYPE_LRU_HASH: hash map that evicts the least recently used entry
+// when full instead of failing the update. Recency is tracked with an
+// intrusive doubly-linked use list, as the kernel does (approximately).
+template <typename K, typename V>
+class LruHashMap {
+ public:
+  explicit LruHashMap(u32 max_entries)
+      : max_entries_(max_entries),
+        bucket_count_(NextPow2(max_entries | 1)),
+        buckets_(bucket_count_, kNil),
+        elems_(max_entries) {
+    std::vector<u32> order(max_entries);
+    for (u32 i = 0; i < max_entries; ++i) {
+      order[i] = i;
+    }
+    detail::ShuffleFreelist(order);
+    for (u32 i = 0; i < max_entries; ++i) {
+      elems_[order[i]].next = (i + 1 < max_entries) ? order[i + 1] : kNil;
+    }
+    free_head_ = max_entries > 0 ? order[0] : kNil;
+  }
+
+  ENETSTL_NOINLINE V* LookupElem(const K& key) {
+    ++GlobalHelperStats().map_lookup_calls;
+    CompilerBarrier();
+    const u32 idx = Find(key);
+    if (idx == kNil) {
+      return nullptr;
+    }
+    Touch(idx);
+    return &elems_[idx].value;
+  }
+
+  ENETSTL_NOINLINE int UpdateElem(const K& key, const V& value) {
+    ++GlobalHelperStats().map_update_calls;
+    CompilerBarrier();
+    u32 idx = Find(key);
+    if (idx != kNil) {
+      elems_[idx].value = value;
+      Touch(idx);
+      return kOk;
+    }
+    if (free_head_ == kNil) {
+      EvictOldest();
+    }
+    if (free_head_ == kNil) {
+      return kErrNoSpc;
+    }
+    idx = free_head_;
+    free_head_ = elems_[idx].next;
+    elems_[idx].key = key;
+    elems_[idx].value = value;
+    const u32 b = BucketOf(key);
+    elems_[idx].next = buckets_[b];
+    buckets_[b] = idx;
+    LruPushFront(idx);
+    ++size_;
+    return kOk;
+  }
+
+  ENETSTL_NOINLINE int DeleteElem(const K& key) {
+    ++GlobalHelperStats().map_delete_calls;
+    CompilerBarrier();
+    const u32 idx = Find(key);
+    if (idx == kNil) {
+      return kErrNoEnt;
+    }
+    Remove(idx);
+    return kOk;
+  }
+
+  u32 size() const { return size_; }
+  u32 max_entries() const { return max_entries_; }
+
+ private:
+  static constexpr u32 kNil = 0xffffffffu;
+
+  struct Elem {
+    K key;
+    V value;
+    u32 next = kNil;      // hash chain
+    u32 lru_prev = kNil;  // recency list
+    u32 lru_next = kNil;
+  };
+
+  static u32 NextPow2(u32 v) {
+    u32 p = 1;
+    while (p < v) {
+      p <<= 1;
+    }
+    return p;
+  }
+
+  u32 BucketOf(const K& key) const {
+    return detail::HashBytes(&key, sizeof(K), 0x85ebca6bu) & (bucket_count_ - 1);
+  }
+
+  u32 Find(const K& key) const {
+    const u32 b = BucketOf(key);
+    for (u32 idx = buckets_[b]; idx != kNil; idx = elems_[idx].next) {
+      if (std::memcmp(&elems_[idx].key, &key, sizeof(K)) == 0) {
+        return idx;
+      }
+    }
+    return kNil;
+  }
+
+  void LruPushFront(u32 idx) {
+    elems_[idx].lru_prev = kNil;
+    elems_[idx].lru_next = lru_head_;
+    if (lru_head_ != kNil) {
+      elems_[lru_head_].lru_prev = idx;
+    }
+    lru_head_ = idx;
+    if (lru_tail_ == kNil) {
+      lru_tail_ = idx;
+    }
+  }
+
+  void LruUnlink(u32 idx) {
+    const u32 p = elems_[idx].lru_prev;
+    const u32 n = elems_[idx].lru_next;
+    if (p != kNil) {
+      elems_[p].lru_next = n;
+    } else {
+      lru_head_ = n;
+    }
+    if (n != kNil) {
+      elems_[n].lru_prev = p;
+    } else {
+      lru_tail_ = p;
+    }
+  }
+
+  void Touch(u32 idx) {
+    if (lru_head_ == idx) {
+      return;
+    }
+    LruUnlink(idx);
+    LruPushFront(idx);
+  }
+
+  void Remove(u32 idx) {
+    const u32 b = BucketOf(elems_[idx].key);
+    u32 prev = kNil;
+    for (u32 cur = buckets_[b]; cur != kNil; prev = cur, cur = elems_[cur].next) {
+      if (cur == idx) {
+        if (prev == kNil) {
+          buckets_[b] = elems_[cur].next;
+        } else {
+          elems_[prev].next = elems_[cur].next;
+        }
+        break;
+      }
+    }
+    LruUnlink(idx);
+    elems_[idx].next = free_head_;
+    free_head_ = idx;
+    --size_;
+  }
+
+  void EvictOldest() {
+    if (lru_tail_ != kNil) {
+      Remove(lru_tail_);
+    }
+  }
+
+  u32 max_entries_;
+  u32 bucket_count_;
+  u32 size_ = 0;
+  u32 free_head_ = kNil;
+  u32 lru_head_ = kNil;
+  u32 lru_tail_ = kNil;
+  std::vector<u32> buckets_;
+  std::vector<Elem> elems_;
+};
+
+}  // namespace ebpf
+
+#endif  // ENETSTL_EBPF_MAPS_H_

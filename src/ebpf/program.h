@@ -1,0 +1,116 @@
+// XDP program abstraction: packet context, frame parsing, and the
+// load-verify-attach lifecycle of the simulated environment.
+#ifndef ENETSTL_EBPF_PROGRAM_H_
+#define ENETSTL_EBPF_PROGRAM_H_
+
+#include <functional>
+#include <stdexcept>
+#include <string>
+
+#include "ebpf/types.h"
+#include "ebpf/verifier.h"
+
+namespace ebpf {
+
+// Minimal Ethernet + IPv4 + UDP/TCP frame offsets used by the synthetic
+// traffic. All generated packets are 64 bytes, the paper's traffic size.
+inline constexpr u32 kFrameSize = 64;
+inline constexpr u32 kEthHeaderSize = 14;
+inline constexpr u32 kIpHeaderOffset = kEthHeaderSize;
+inline constexpr u32 kIpHeaderSize = 20;
+inline constexpr u32 kL4HeaderOffset = kIpHeaderOffset + kIpHeaderSize;
+inline constexpr u16 kEtherTypeIpv4 = 0x0800;
+
+// The xdp_md context handed to a program: bounded packet memory. Programs
+// must bounds-check accesses against data_end, as the real verifier forces.
+struct XdpContext {
+  u8* data = nullptr;
+  u8* data_end = nullptr;
+  // Receive timestamp (ns) assigned by the pipeline; mirrors hardware RX
+  // timestamping used for the latency experiments.
+  u64 rx_timestamp_ns = 0;
+
+  u32 length() const { return static_cast<u32>(data_end - data); }
+};
+
+// Parses the 5-tuple from an IPv4 frame. Returns false (and leaves *tuple
+// untouched) if the frame is too short or not IPv4 — the bounds-checked
+// style every XDP program must follow.
+inline bool ParseFiveTuple(const XdpContext& ctx, FiveTuple* tuple) {
+  if (ctx.data + kL4HeaderOffset + 4 > ctx.data_end) {
+    return false;
+  }
+  u16 ether_type;
+  std::memcpy(&ether_type, ctx.data + 12, 2);
+  if (ether_type != kEtherTypeIpv4) {
+    return false;
+  }
+  const u8* ip = ctx.data + kIpHeaderOffset;
+  FiveTuple t;
+  t.protocol = ip[9];
+  std::memcpy(&t.src_ip, ip + 12, 4);
+  std::memcpy(&t.dst_ip, ip + 16, 4);
+  const u8* l4 = ctx.data + kL4HeaderOffset;
+  std::memcpy(&t.src_port, l4, 2);
+  std::memcpy(&t.dst_port, l4 + 2, 2);
+  *tuple = t;
+  return true;
+}
+
+// Writes a well-formed 64-byte frame carrying the given 5-tuple into buf
+// (which must hold kFrameSize bytes). Used by the traffic generator.
+inline void BuildFrame(const FiveTuple& tuple, u8* buf) {
+  std::memset(buf, 0, kFrameSize);
+  // Destination/source MACs left zero; ethertype = IPv4.
+  const u16 ether_type = kEtherTypeIpv4;
+  std::memcpy(buf + 12, &ether_type, 2);
+  u8* ip = buf + kIpHeaderOffset;
+  ip[0] = 0x45;  // version 4, IHL 5
+  ip[8] = 64;    // TTL
+  ip[9] = tuple.protocol;
+  std::memcpy(ip + 12, &tuple.src_ip, 4);
+  std::memcpy(ip + 16, &tuple.dst_ip, 4);
+  u8* l4 = buf + kL4HeaderOffset;
+  std::memcpy(l4, &tuple.src_port, 2);
+  std::memcpy(l4 + 2, &tuple.dst_port, 2);
+}
+
+// A loaded XDP program: a manifest (ProgramSpec) plus the packet handler.
+// Load() runs the metadata-assisted verifier; Run() may only be called on a
+// successfully loaded program, mirroring the kernel's load-then-attach flow.
+class XdpProgram {
+ public:
+  using Handler = std::function<XdpAction(XdpContext&)>;
+
+  XdpProgram(ProgramSpec spec, Handler handler)
+      : spec_(std::move(spec)), handler_(std::move(handler)) {}
+
+  // Verifies the manifest against the registry. Returns the verifier result;
+  // the program is runnable only if result.ok.
+  VerifyResult Load(const KfuncRegistry& registry = KfuncRegistry::Global()) {
+    Verifier verifier(registry);
+    VerifyResult result = verifier.Verify(spec_);
+    loaded_ = result.ok;
+    return result;
+  }
+
+  XdpAction Run(XdpContext& ctx) const {
+    if (!loaded_) {
+      throw std::logic_error("XdpProgram::Run on unloaded program '" +
+                             spec_.name + "'");
+    }
+    return handler_(ctx);
+  }
+
+  bool loaded() const { return loaded_; }
+  const ProgramSpec& spec() const { return spec_; }
+
+ private:
+  ProgramSpec spec_;
+  Handler handler_;
+  bool loaded_ = false;
+};
+
+}  // namespace ebpf
+
+#endif  // ENETSTL_EBPF_PROGRAM_H_

@@ -1,0 +1,58 @@
+// bpf_spin_lock equivalent.
+//
+// eBPF couples every linked-list (and rbtree) mutation to a bpf_spin_lock
+// held around the operation; the verifier rejects programs that touch a list
+// without the owning lock. The simulated BpfList API takes a BpfSpinLock by
+// reference on every mutation to model that mandatory coupling, and the lock
+// is a real atomic spinlock so its cost shows up in measurements.
+#ifndef ENETSTL_EBPF_SPINLOCK_H_
+#define ENETSTL_EBPF_SPINLOCK_H_
+
+#include <atomic>
+
+#include "ebpf/helper.h"
+#include "ebpf/types.h"
+
+namespace ebpf {
+
+class BpfSpinLock {
+ public:
+  BpfSpinLock() = default;
+  BpfSpinLock(const BpfSpinLock&) = delete;
+  BpfSpinLock& operator=(const BpfSpinLock&) = delete;
+
+  // bpf_spin_lock / bpf_spin_unlock are helper calls (not inline atomics) in
+  // real eBPF programs, so the boundary is out-of-line here as well.
+  ENETSTL_NOINLINE void Lock() {
+    while (flag_.exchange(1, std::memory_order_acquire) != 0) {
+      while (flag_.load(std::memory_order_relaxed) != 0) {
+      }
+    }
+  }
+
+  ENETSTL_NOINLINE void Unlock() {
+    flag_.store(0, std::memory_order_release);
+  }
+
+  bool IsLocked() const { return flag_.load(std::memory_order_relaxed) != 0; }
+
+ private:
+  std::atomic<u32> flag_{0};
+};
+
+// RAII guard for harness-side use; simulated eBPF programs call Lock/Unlock
+// explicitly, as real BPF programs do.
+class BpfSpinLockGuard {
+ public:
+  explicit BpfSpinLockGuard(BpfSpinLock& lock) : lock_(lock) { lock_.Lock(); }
+  ~BpfSpinLockGuard() { lock_.Unlock(); }
+  BpfSpinLockGuard(const BpfSpinLockGuard&) = delete;
+  BpfSpinLockGuard& operator=(const BpfSpinLockGuard&) = delete;
+
+ private:
+  BpfSpinLock& lock_;
+};
+
+}  // namespace ebpf
+
+#endif  // ENETSTL_EBPF_SPINLOCK_H_

@@ -1,0 +1,82 @@
+// Kernel-flavoured scalar types and packet-facing value types shared by the
+// eBPF environment model, the eNetSTL library, and the network functions.
+//
+// The simulated eBPF programs in this repository are written against these
+// types so they read like real eBPF-C, while the rest of the codebase uses
+// them as plain aliases.
+#ifndef ENETSTL_EBPF_TYPES_H_
+#define ENETSTL_EBPF_TYPES_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <functional>
+
+namespace ebpf {
+
+using u8 = std::uint8_t;
+using u16 = std::uint16_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using s8 = std::int8_t;
+using s16 = std::int16_t;
+using s32 = std::int32_t;
+using s64 = std::int64_t;
+
+// Number of simulated CPUs for percpu maps / percpu data structures. The
+// measurement pipeline is single-core (matching the paper's RSS-to-one-queue
+// setup), but percpu structures are modeled faithfully so that the CPU-local
+// fast path is exercised.
+inline constexpr u32 kNumPossibleCpus = 4;
+
+// Return codes mirroring the XDP program verdicts.
+enum class XdpAction : u32 {
+  kAborted = 0,
+  kDrop = 1,
+  kPass = 2,
+  kTx = 3,
+  kRedirect = 4,
+};
+
+// Error codes used by map/helper operations, mirroring -ENOENT style returns.
+inline constexpr int kOk = 0;
+inline constexpr int kErrNoEnt = -2;
+inline constexpr int kErrNoMem = -12;
+inline constexpr int kErrBusy = -16;
+inline constexpr int kErrExist = -17;
+inline constexpr int kErrInval = -22;
+inline constexpr int kErrNoSpc = -28;
+
+// Connection 5-tuple parsed from a packet. Stored packed so that it can be
+// hashed as a flat byte string, exactly how eBPF NFs treat it.
+struct FiveTuple {
+  u32 src_ip = 0;
+  u32 dst_ip = 0;
+  u16 src_port = 0;
+  u16 dst_port = 0;
+  u8 protocol = 0;
+  u8 pad[3] = {0, 0, 0};
+
+  friend bool operator==(const FiveTuple& a, const FiveTuple& b) {
+    return std::memcmp(&a, &b, sizeof(FiveTuple)) == 0;
+  }
+};
+static_assert(sizeof(FiveTuple) == 16, "FiveTuple must be a flat 16-byte key");
+
+struct FiveTupleHash {
+  std::size_t operator()(const FiveTuple& t) const {
+    // FNV-1a over the packed bytes; used only by std:: containers in tests
+    // and harness code, never on the simulated datapath.
+    const auto* p = reinterpret_cast<const unsigned char*>(&t);
+    std::size_t h = 1469598103934665603ull;
+    for (std::size_t i = 0; i < sizeof(FiveTuple); ++i) {
+      h ^= p[i];
+      h *= 1099511628211ull;
+    }
+    return h;
+  }
+};
+
+}  // namespace ebpf
+
+#endif  // ENETSTL_EBPF_TYPES_H_

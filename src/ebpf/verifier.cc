@@ -1,0 +1,120 @@
+#include "ebpf/verifier.h"
+
+#include <algorithm>
+
+namespace ebpf {
+
+bool KfuncRegistry::Register(const KfuncDesc& desc) {
+  auto [it, inserted] = kfuncs_.emplace(desc.name, desc);
+  return inserted;
+}
+
+const KfuncDesc* KfuncRegistry::Lookup(const std::string& name) const {
+  auto it = kfuncs_.find(name);
+  return it == kfuncs_.end() ? nullptr : &it->second;
+}
+
+KfuncRegistry& KfuncRegistry::Global() {
+  static KfuncRegistry registry;
+  return registry;
+}
+
+const std::set<std::string>& Verifier::KnownHelpers() {
+  static const std::set<std::string> helpers = {
+      "bpf_map_lookup_elem",  "bpf_map_update_elem", "bpf_map_delete_elem",
+      "bpf_get_prandom_u32",  "bpf_ktime_get_ns",    "bpf_spin_lock",
+      "bpf_spin_unlock",      "bpf_obj_new",         "bpf_obj_drop",
+      "bpf_list_push_front",  "bpf_list_push_back",  "bpf_list_pop_front",
+      "bpf_list_pop_back",    "bpf_kptr_xchg",       "bpf_xdp_adjust_head",
+      "bpf_redirect",         "bpf_csum_diff",
+  };
+  return helpers;
+}
+
+VerifyResult Verifier::Verify(const ProgramSpec& spec) const {
+  VerifyResult result;
+
+  if (spec.has_unbounded_loop) {
+    result.Fail(spec.name + ": unbounded loop rejected");
+  }
+  if (spec.max_loop_bound > kMaxLoopBound) {
+    result.Fail(spec.name + ": loop bound exceeds complexity budget");
+  }
+  if (spec.estimated_insns > kMaxInsns) {
+    result.Fail(spec.name + ": verified-instruction estimate exceeds the 1M budget");
+  }
+
+  for (const auto& helper : spec.helpers_used) {
+    if (KnownHelpers().count(helper) == 0) {
+      result.Fail(spec.name + ": unknown helper '" + helper + "'");
+    }
+  }
+
+  // Acquire/release balance per resource class.
+  std::map<std::string, int> balance;
+
+  for (const auto& call : spec.kfunc_calls) {
+    const KfuncDesc* desc = registry_.Lookup(call.name);
+    if (desc == nullptr) {
+      result.Fail(spec.name + ": unknown kfunc '" + call.name + "'");
+      continue;
+    }
+    if (!desc->allowed_types.empty() &&
+        std::find(desc->allowed_types.begin(), desc->allowed_types.end(),
+                  spec.type) == desc->allowed_types.end()) {
+      result.Fail(spec.name + ": kfunc '" + call.name +
+                  "' not allowed for this program type");
+    }
+    if ((desc->flags & kKfRetNull) != 0 && !call.null_checked) {
+      result.Fail(spec.name + ": result of KF_RET_NULL kfunc '" + call.name +
+                  "' used without a null check");
+    }
+    if ((desc->flags & kKfAcquire) != 0) {
+      balance[desc->resource_class] += 1;
+    }
+    if ((desc->flags & kKfRelease) != 0) {
+      balance[desc->resource_class] -= 1;
+    }
+  }
+
+  for (const auto& [resource_class, count] : balance) {
+    if (count > 0) {
+      result.Fail(spec.name + ": " + std::to_string(count) +
+                  " unreleased reference(s) of class '" + resource_class + "'");
+    } else if (count < 0) {
+      result.Fail(spec.name + ": release without matching acquire for class '" +
+                  resource_class + "'");
+    }
+  }
+
+  return result;
+}
+
+void RefLeakChecker::OnAcquire(const void* ptr, const std::string& resource_class) {
+  live_[ptr] = resource_class;
+}
+
+bool RefLeakChecker::OnRelease(const void* ptr, const std::string& resource_class) {
+  auto it = live_.find(ptr);
+  if (it == live_.end() || it->second != resource_class) {
+    return false;
+  }
+  live_.erase(it);
+  return true;
+}
+
+std::size_t RefLeakChecker::LiveCount() const { return live_.size(); }
+
+std::size_t RefLeakChecker::LiveCount(const std::string& resource_class) const {
+  std::size_t count = 0;
+  for (const auto& [ptr, cls] : live_) {
+    if (cls == resource_class) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+void RefLeakChecker::Reset() { live_.clear(); }
+
+}  // namespace ebpf

@@ -1,0 +1,138 @@
+// Metadata-assisted verifier model.
+//
+// eNetSTL does not extend the real verifier; it supplies *metadata* for each
+// kfunc (KF_ACQUIRE / KF_RELEASE / KF_RET_NULL, allowed program types,
+// constant-argument annotations) and the stock verifier enforces correct API
+// usage from that metadata. This module models exactly that contract:
+//
+//  * KfuncRegistry — the kfunc id set a module (eNetSTL) registers, with
+//    per-function metadata flags and resource classes.
+//  * ProgramSpec — a declarative summary of an eBPF program: which helpers
+//    and kfuncs it calls, whether KF_RET_NULL results are null-checked,
+//    and its loop bounds. Real verification derives this from bytecode; the
+//    simulation takes it as a manifest and enforces the same rules.
+//  * Verifier — rejects specs that violate the metadata contract: unknown
+//    helpers/kfuncs, kfuncs called from a disallowed program type, missing
+//    null checks, unbalanced acquire/release per resource class, and
+//    unbounded loops.
+//  * RefLeakChecker — a runtime companion used in tests to confirm that the
+//    acquire/release discipline the static rules enforce actually keeps the
+//    reference counts balanced at runtime.
+#ifndef ENETSTL_EBPF_VERIFIER_H_
+#define ENETSTL_EBPF_VERIFIER_H_
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "ebpf/types.h"
+
+namespace ebpf {
+
+enum class ProgramType {
+  kXdp,
+  kTcIngress,
+  kTcEgress,
+  kSocketFilter,
+};
+
+// Kfunc metadata flags, mirroring the kernel's KF_* annotations.
+enum KfuncFlag : u32 {
+  kKfAcquire = 1u << 0,   // returns a reference the program must release
+  kKfRelease = 1u << 1,   // consumes (releases) a reference argument
+  kKfRetNull = 1u << 2,   // may return NULL; caller must check
+  kKfTrustedArgs = 1u << 3,  // pointer args must be verifier-trusted
+};
+
+struct KfuncDesc {
+  std::string name;
+  u32 flags = 0;
+  // Resource class ties acquire-kfuncs to the release-kfuncs that free their
+  // result (e.g. "mw_node" for node_alloc/get_next vs node_release).
+  std::string resource_class;
+  std::vector<ProgramType> allowed_types;
+};
+
+class KfuncRegistry {
+ public:
+  // Registers a kfunc; returns false (and ignores the call) on duplicates.
+  bool Register(const KfuncDesc& desc);
+  const KfuncDesc* Lookup(const std::string& name) const;
+  std::size_t size() const { return kfuncs_.size(); }
+
+  // Global registry shared by the library registration code and programs.
+  static KfuncRegistry& Global();
+
+ private:
+  std::map<std::string, KfuncDesc> kfuncs_;
+};
+
+// One call site in a program manifest.
+struct KfuncCall {
+  std::string name;
+  bool null_checked = false;  // program checks the returned pointer
+};
+
+struct ProgramSpec {
+  std::string name;
+  ProgramType type = ProgramType::kXdp;
+  std::vector<std::string> helpers_used;
+  std::vector<KfuncCall> kfunc_calls;
+  // 0 means "program declares no loops"; loops must declare a static bound.
+  u32 max_loop_bound = 0;
+  bool has_unbounded_loop = false;
+  // Verified-instruction estimate; 0 = not declared. The verifier enforces
+  // the kernel's 1M-instruction complexity budget against it.
+  u64 estimated_insns = 0;
+};
+
+struct VerifyResult {
+  bool ok = true;
+  std::vector<std::string> errors;
+
+  void Fail(std::string msg) {
+    ok = false;
+    errors.push_back(std::move(msg));
+  }
+};
+
+class Verifier {
+ public:
+  explicit Verifier(const KfuncRegistry& registry) : registry_(registry) {}
+
+  VerifyResult Verify(const ProgramSpec& spec) const;
+
+  // The complexity budget: 1M verified instructions in modern kernels; we
+  // cap declared loop bounds at this many iterations and reject programs
+  // whose declared instruction estimate exceeds it.
+  static constexpr u32 kMaxLoopBound = 1u << 20;
+  static constexpr u64 kMaxInsns = 1u << 20;
+
+  // Helper functions known to the environment model.
+  static const std::set<std::string>& KnownHelpers();
+
+ private:
+  const KfuncRegistry& registry_;
+};
+
+// Runtime acquire/release tracker. Datapath code does not use it; tests wrap
+// API sequences with it to prove the discipline holds dynamically.
+class RefLeakChecker {
+ public:
+  void OnAcquire(const void* ptr, const std::string& resource_class);
+  // Returns false if the pointer was never acquired (double release /
+  // release of foreign pointer).
+  bool OnRelease(const void* ptr, const std::string& resource_class);
+  std::size_t LiveCount() const;
+  std::size_t LiveCount(const std::string& resource_class) const;
+  void Reset();
+
+ private:
+  std::map<const void*, std::string> live_;
+};
+
+}  // namespace ebpf
+
+#endif  // ENETSTL_EBPF_VERIFIER_H_

@@ -1,0 +1,158 @@
+#include "nf/cms.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "core/hash.h"
+#include "core/hash_inl.h"
+#include "core/multihash_inl.h"
+#include "core/post_hash.h"
+
+namespace nf {
+
+// ---------------------------------------------------------------------------
+// CmsEbpf: percpu blob map + scalar hashes, the pure-eBPF shape.
+// ---------------------------------------------------------------------------
+
+CmsEbpf::CmsEbpf(const CmsConfig& config)
+    : CmsBase(config),
+      sketch_map_(/*max_entries=*/1,
+                  /*value_size=*/config.rows * config.cols * sizeof(u32)) {}
+
+void CmsEbpf::Update(const void* key, std::size_t len, u32 inc) {
+  auto* counters = static_cast<u32*>(sketch_map_.LookupElem(0));
+  if (counters == nullptr) {  // verifier-mandated null check
+    return;
+  }
+  for (u32 r = 0; r < config_.rows; ++r) {
+    // Scalar software hash per row: no SIMD (and no rotate) in the eBPF ISA.
+    const u32 h =
+        enetstl::XxHash32Bpf(key, len, enetstl::LaneSeed(config_.seed, r));
+    u32& c = counters[r * config_.cols + (h & col_mask_)];
+    const u32 next = c + inc;
+    c = next >= c ? next : 0xffffffffu;
+  }
+}
+
+u32 CmsEbpf::Query(const void* key, std::size_t len) {
+  auto* counters = static_cast<u32*>(sketch_map_.LookupElem(0));
+  if (counters == nullptr) {
+    return 0;
+  }
+  u32 best = 0xffffffffu;
+  for (u32 r = 0; r < config_.rows; ++r) {
+    const u32 h = enetstl::XxHash32Bpf(key, len, enetstl::LaneSeed(config_.seed, r));
+    const u32 c = counters[r * config_.cols + (h & col_mask_)];
+    best = c < best ? c : best;
+  }
+  return best;
+}
+
+void CmsEbpf::Reset() {
+  for (u32 cpu = 0; cpu < ebpf::kNumPossibleCpus; ++cpu) {
+    void* blob = sketch_map_.LookupElemOnCpu(0, cpu);
+    std::memset(blob, 0, sketch_map_.value_size());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// CmsKernel: native implementation — fused multi-hash inlined, no boundary.
+// ---------------------------------------------------------------------------
+
+CmsKernel::CmsKernel(const CmsConfig& config)
+    : CmsBase(config),
+      counters_(static_cast<std::size_t>(config.rows) * config.cols, 0) {}
+
+void CmsKernel::Update(const void* key, std::size_t len, u32 inc) {
+  alignas(32) u32 h[8];
+  if (config_.rows <= 2) {
+    h[0] = enetstl::internal::HwHashCrcImpl(key, len, config_.seed);
+    h[1] = enetstl::Fmix32(h[0] + 0x9e3779b9u);
+  } else {
+    enetstl::internal::MultiHashImpl(key, len, config_.seed, config_.rows, h);
+  }
+  for (u32 r = 0; r < config_.rows; ++r) {
+    u32& c = counters_[r * config_.cols + (h[r] & col_mask_)];
+    const u32 next = c + inc;
+    c = next >= c ? next : 0xffffffffu;
+  }
+}
+
+u32 CmsKernel::Query(const void* key, std::size_t len) {
+  alignas(32) u32 h[8];
+  if (config_.rows <= 2) {
+    h[0] = enetstl::internal::HwHashCrcImpl(key, len, config_.seed);
+    h[1] = enetstl::Fmix32(h[0] + 0x9e3779b9u);
+  } else {
+    enetstl::internal::MultiHashImpl(key, len, config_.seed, config_.rows, h);
+  }
+  u32 best = 0xffffffffu;
+  for (u32 r = 0; r < config_.rows; ++r) {
+    const u32 c = counters_[r * config_.cols + (h[r] & col_mask_)];
+    best = c < best ? c : best;
+  }
+  return best;
+}
+
+void CmsKernel::Reset() { std::fill(counters_.begin(), counters_.end(), 0u); }
+
+// ---------------------------------------------------------------------------
+// CmsEnetstl: eBPF program shape using the fused eNetSTL kfuncs.
+// ---------------------------------------------------------------------------
+
+CmsEnetstl::CmsEnetstl(const CmsConfig& config)
+    : CmsBase(config),
+      sketch_map_(/*max_entries=*/1,
+                  /*value_size=*/config.rows * config.cols * sizeof(u32)) {}
+
+void CmsEnetstl::Update(const void* key, std::size_t len, u32 inc) {
+  auto* counters = static_cast<u32*>(sketch_map_.LookupElem(0));
+  if (counters == nullptr) {
+    return;
+  }
+  if (config_.rows <= 2) {
+    // Few hash functions: one hardware CRC beats the SIMD setup cost. The
+    // second row's position is derived through the nonlinear finalizer — a
+    // second seeded CRC would be affinely correlated with the first and the
+    // two rows would share every collision (effectively d = 1).
+    const u32 h0 = enetstl::HwHashCrc(key, len, config_.seed);
+    u32 h = h0;
+    for (u32 r = 0; r < config_.rows; ++r) {
+      u32& c = counters[r * config_.cols + (h & col_mask_)];
+      const u32 next = c + inc;
+      c = next >= c ? next : 0xffffffffu;
+      h = enetstl::Fmix32(h0 + 0x9e3779b9u);
+    }
+    return;
+  }
+  enetstl::HashCnt(counters, config_.rows, col_mask_, key, len, config_.seed,
+                   inc);
+}
+
+u32 CmsEnetstl::Query(const void* key, std::size_t len) {
+  auto* counters = static_cast<u32*>(sketch_map_.LookupElem(0));
+  if (counters == nullptr) {
+    return 0;
+  }
+  if (config_.rows <= 2) {
+    const u32 h0 = enetstl::HwHashCrc(key, len, config_.seed);
+    u32 h = h0;
+    u32 best = 0xffffffffu;
+    for (u32 r = 0; r < config_.rows; ++r) {
+      const u32 c = counters[r * config_.cols + (h & col_mask_)];
+      best = c < best ? c : best;
+      h = enetstl::Fmix32(h0 + 0x9e3779b9u);
+    }
+    return best;
+  }
+  return enetstl::HashCntMin(counters, config_.rows, col_mask_, key, len,
+                             config_.seed);
+}
+
+void CmsEnetstl::Reset() {
+  for (u32 cpu = 0; cpu < ebpf::kNumPossibleCpus; ++cpu) {
+    void* blob = sketch_map_.LookupElemOnCpu(0, cpu);
+    std::memset(blob, 0, sketch_map_.value_size());
+  }
+}
+}  // namespace nf

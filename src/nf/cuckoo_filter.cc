@@ -1,0 +1,252 @@
+#include "nf/cuckoo_filter.h"
+
+#include <cstring>
+
+#include "core/compare.h"
+#include "core/compare_inl.h"
+#include "core/hash.h"
+#include "core/hash_inl.h"
+
+namespace nf {
+
+namespace {
+
+constexpr u32 kAltMix = 0x5bd1e995u;
+
+// Fingerprint derived from the bucket hash via the nonlinear finalizer; a
+// second seeded CRC would correlate with the bucket index and inflate the
+// false-positive rate by orders of magnitude.
+inline u16 MakeFp(u32 h) {
+  const u16 fp = static_cast<u16>(enetstl::Fmix32(h) & 0xffffu);
+  return fp == 0 ? u16{1} : fp;
+}
+
+inline u32 AltBucket(u32 bucket, u16 fp, u32 mask) {
+  return (bucket ^ (static_cast<u32>(fp) * kAltMix)) & mask;
+}
+
+inline ebpf::s32 ScalarFindFp(const FilterBucket& b, u16 fp) {
+  for (u32 s = 0; s < kFilterSlotsPerBucket; ++s) {
+    if (b.fps[s] == fp) {
+      return static_cast<ebpf::s32>(s);
+    }
+  }
+  return -1;
+}
+
+// Shared displacement insert (fingerprints carry no key, so random-walk
+// kicking loses nothing: a displaced fingerprint is re-placed each step).
+template <typename FindFp>
+bool GenericAdd(FilterBucket* buckets, u32 mask, u32 max_kicks, u64& rng,
+                u32 b1, u16 fp, FindFp find_empty, u32* size) {
+  const u32 b2 = AltBucket(b1, fp, mask);
+  for (u32 b : {b1, b2}) {
+    const ebpf::s32 empty = find_empty(buckets[b], u16{0});
+    if (empty >= 0) {
+      buckets[b].fps[empty] = fp;
+      ++*size;
+      return true;
+    }
+  }
+  // Random-walk kicks.
+  u32 cur = (rng & 1u) ? b2 : b1;
+  u16 in_hand = fp;
+  for (u32 kick = 0; kick < max_kicks; ++kick) {
+    rng ^= rng << 13;
+    rng ^= rng >> 7;
+    rng ^= rng << 17;
+    const u32 victim = static_cast<u32>(rng) % kFilterSlotsPerBucket;
+    const u16 displaced = buckets[cur].fps[victim];
+    buckets[cur].fps[victim] = in_hand;
+    in_hand = displaced;
+    cur = AltBucket(cur, in_hand, mask);
+    const ebpf::s32 empty = find_empty(buckets[cur], u16{0});
+    if (empty >= 0) {
+      buckets[cur].fps[empty] = in_hand;
+      ++*size;
+      return true;
+    }
+  }
+  // Undo is impossible for a random walk; report failure with the last
+  // displaced fingerprint re-inserted where the new one went. To keep the
+  // filter lossless we swap the in-hand fingerprint back along... instead we
+  // simply re-place the in-hand fingerprint in its primary bucket by
+  // overwriting a pseudo-random slot: membership of previously added keys is
+  // preserved except for that one slot's fingerprint, which is the standard
+  // cuckoo-filter failure mode (the caller should treat Add() == false as
+  // "filter is over capacity").
+  rng ^= rng << 13;
+  rng ^= rng >> 7;
+  rng ^= rng << 17;
+  buckets[cur].fps[static_cast<u32>(rng) % kFilterSlotsPerBucket] = in_hand;
+  return false;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// CuckooFilterEbpf
+// ---------------------------------------------------------------------------
+
+CuckooFilterEbpf::CuckooFilterEbpf(const CuckooFilterConfig& config)
+    : CuckooFilterBase(config),
+      table_map_(1, config.num_buckets * sizeof(FilterBucket)) {}
+
+bool CuckooFilterEbpf::Add(const ebpf::FiveTuple& key) {
+  auto* buckets = static_cast<FilterBucket*>(table_map_.LookupElem(0));
+  if (buckets == nullptr) {
+    return false;
+  }
+  const u32 h = enetstl::XxHash32Bpf(&key, sizeof(key), config_.seed);
+  const u16 fp = MakeFp(h);
+  return GenericAdd(buckets, bucket_mask_, config_.max_kicks, kick_rng_,
+                    h & bucket_mask_, fp, ScalarFindFp, &size_);
+}
+
+bool CuckooFilterEbpf::Contains(const ebpf::FiveTuple& key) {
+  auto* buckets = static_cast<FilterBucket*>(table_map_.LookupElem(0));
+  if (buckets == nullptr) {
+    return false;
+  }
+  const u32 h = enetstl::XxHash32Bpf(&key, sizeof(key), config_.seed);
+  const u16 fp = MakeFp(h);
+  const u32 b1 = h & bucket_mask_;
+  if (ScalarFindFp(buckets[b1], fp) >= 0) {
+    return true;
+  }
+  const u32 b2 = AltBucket(b1, fp, bucket_mask_);
+  return ScalarFindFp(buckets[b2], fp) >= 0;
+}
+
+bool CuckooFilterEbpf::Remove(const ebpf::FiveTuple& key) {
+  auto* buckets = static_cast<FilterBucket*>(table_map_.LookupElem(0));
+  if (buckets == nullptr) {
+    return false;
+  }
+  const u32 h = enetstl::XxHash32Bpf(&key, sizeof(key), config_.seed);
+  const u16 fp = MakeFp(h);
+  const u32 b1 = h & bucket_mask_;
+  for (u32 b : {b1, AltBucket(b1, fp, bucket_mask_)}) {
+    const ebpf::s32 slot = ScalarFindFp(buckets[b], fp);
+    if (slot >= 0) {
+      buckets[b].fps[slot] = 0;
+      --size_;
+      return true;
+    }
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// CuckooFilterKernel
+// ---------------------------------------------------------------------------
+
+CuckooFilterKernel::CuckooFilterKernel(const CuckooFilterConfig& config)
+    : CuckooFilterBase(config), buckets_(config.num_buckets) {
+  std::memset(buckets_.data(), 0, buckets_.size() * sizeof(FilterBucket));
+}
+
+namespace {
+
+inline ebpf::s32 KernelFindFp(const FilterBucket& b, u16 fp) {
+  return enetstl::internal::FindU16Impl(b.fps, kFilterSlotsPerBucket, fp);
+}
+
+}  // namespace
+
+bool CuckooFilterKernel::Add(const ebpf::FiveTuple& key) {
+  const u32 h =
+      enetstl::internal::HwHashCrcImpl(&key, sizeof(key), config_.seed);
+  const u16 fp = MakeFp(h);
+  return GenericAdd(buckets_.data(), bucket_mask_, config_.max_kicks, kick_rng_,
+                    h & bucket_mask_, fp, KernelFindFp, &size_);
+}
+
+bool CuckooFilterKernel::Contains(const ebpf::FiveTuple& key) {
+  const u32 h =
+      enetstl::internal::HwHashCrcImpl(&key, sizeof(key), config_.seed);
+  const u16 fp = MakeFp(h);
+  const u32 b1 = h & bucket_mask_;
+  if (KernelFindFp(buckets_[b1], fp) >= 0) {
+    return true;
+  }
+  return KernelFindFp(buckets_[AltBucket(b1, fp, bucket_mask_)], fp) >= 0;
+}
+
+bool CuckooFilterKernel::Remove(const ebpf::FiveTuple& key) {
+  const u32 h =
+      enetstl::internal::HwHashCrcImpl(&key, sizeof(key), config_.seed);
+  const u16 fp = MakeFp(h);
+  const u32 b1 = h & bucket_mask_;
+  for (u32 b : {b1, AltBucket(b1, fp, bucket_mask_)}) {
+    const ebpf::s32 slot = KernelFindFp(buckets_[b], fp);
+    if (slot >= 0) {
+      buckets_[b].fps[slot] = 0;
+      --size_;
+      return true;
+    }
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// CuckooFilterEnetstl
+// ---------------------------------------------------------------------------
+
+CuckooFilterEnetstl::CuckooFilterEnetstl(const CuckooFilterConfig& config)
+    : CuckooFilterBase(config),
+      table_map_(1, config.num_buckets * sizeof(FilterBucket)) {}
+
+namespace {
+
+inline ebpf::s32 EnetstlFindFp(const FilterBucket& b, u16 fp) {
+  return enetstl::FindU16(b.fps, kFilterSlotsPerBucket, fp);  // kfunc
+}
+
+}  // namespace
+
+bool CuckooFilterEnetstl::Add(const ebpf::FiveTuple& key) {
+  auto* buckets = static_cast<FilterBucket*>(table_map_.LookupElem(0));
+  if (buckets == nullptr) {
+    return false;
+  }
+  const u32 h = enetstl::HwHashCrc(&key, sizeof(key), config_.seed);
+  const u16 fp = MakeFp(h);
+  return GenericAdd(buckets, bucket_mask_, config_.max_kicks, kick_rng_,
+                    h & bucket_mask_, fp, EnetstlFindFp, &size_);
+}
+
+bool CuckooFilterEnetstl::Contains(const ebpf::FiveTuple& key) {
+  auto* buckets = static_cast<FilterBucket*>(table_map_.LookupElem(0));
+  if (buckets == nullptr) {
+    return false;
+  }
+  const u32 h = enetstl::HwHashCrc(&key, sizeof(key), config_.seed);
+  const u16 fp = MakeFp(h);
+  const u32 b1 = h & bucket_mask_;
+  if (EnetstlFindFp(buckets[b1], fp) >= 0) {
+    return true;
+  }
+  return EnetstlFindFp(buckets[AltBucket(b1, fp, bucket_mask_)], fp) >= 0;
+}
+
+bool CuckooFilterEnetstl::Remove(const ebpf::FiveTuple& key) {
+  auto* buckets = static_cast<FilterBucket*>(table_map_.LookupElem(0));
+  if (buckets == nullptr) {
+    return false;
+  }
+  const u32 h = enetstl::HwHashCrc(&key, sizeof(key), config_.seed);
+  const u16 fp = MakeFp(h);
+  const u32 b1 = h & bucket_mask_;
+  for (u32 b : {b1, AltBucket(b1, fp, bucket_mask_)}) {
+    const ebpf::s32 slot = EnetstlFindFp(buckets[b], fp);
+    if (slot >= 0) {
+      buckets[b].fps[slot] = 0;
+      --size_;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace nf

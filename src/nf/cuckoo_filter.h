@@ -1,0 +1,101 @@
+// Cuckoo filter (Fan et al., CoNEXT '14) — approximate set membership with
+// deletion support.
+//
+// Buckets of four 16-bit fingerprints; a key maps to two buckets (partial-key
+// cuckoo hashing: the alternate bucket is derived from the fingerprint), and
+// membership is a fingerprint search across both candidate buckets — the
+// parallel-compare behaviour eNetSTL accelerates with find_simd.
+//
+// Variants mirror cuckoo_switch: eBPF (scalar hash + slot loop), kernel
+// (inline CRC + inline SIMD FindU16), eNetSTL (hw_hash_crc + FindU16 kfuncs).
+#ifndef ENETSTL_NF_CUCKOO_FILTER_H_
+#define ENETSTL_NF_CUCKOO_FILTER_H_
+
+#include <vector>
+
+#include "ebpf/maps.h"
+#include "nf/nf_interface.h"
+
+namespace nf {
+
+struct CuckooFilterConfig {
+  u32 num_buckets = 4096;  // power of two
+  u32 seed = 0xc3a5c85cu;
+  u32 max_kicks = 256;
+};
+
+inline constexpr u32 kFilterSlotsPerBucket = 4;
+
+struct FilterBucket {
+  u16 fps[kFilterSlotsPerBucket];  // 0 = empty
+};
+
+class CuckooFilterBase : public NetworkFunction {
+ public:
+  explicit CuckooFilterBase(const CuckooFilterConfig& config)
+      : config_(config), bucket_mask_(config.num_buckets - 1) {}
+
+  virtual bool Add(const ebpf::FiveTuple& key) = 0;
+  virtual bool Contains(const ebpf::FiveTuple& key) = 0;
+  virtual bool Remove(const ebpf::FiveTuple& key) = 0;
+
+  // Packet path: membership test on the 5-tuple; member -> PASS, else DROP.
+  ebpf::XdpAction Process(ebpf::XdpContext& ctx) override {
+    ebpf::FiveTuple tuple;
+    if (!ebpf::ParseFiveTuple(ctx, &tuple)) {
+      return ebpf::XdpAction::kAborted;
+    }
+    return Contains(tuple) ? ebpf::XdpAction::kPass : ebpf::XdpAction::kDrop;
+  }
+
+  std::string_view name() const override { return "cuckoo-filter"; }
+  const CuckooFilterConfig& config() const { return config_; }
+  u32 size() const { return size_; }
+  u32 capacity() const { return config_.num_buckets * kFilterSlotsPerBucket; }
+
+ protected:
+  CuckooFilterConfig config_;
+  u32 bucket_mask_;
+  u32 size_ = 0;
+  u64 kick_rng_ = 0x9e3779b97f4a7c15ull;
+};
+
+class CuckooFilterEbpf : public CuckooFilterBase {
+ public:
+  explicit CuckooFilterEbpf(const CuckooFilterConfig& config);
+  bool Add(const ebpf::FiveTuple& key) override;
+  bool Contains(const ebpf::FiveTuple& key) override;
+  bool Remove(const ebpf::FiveTuple& key) override;
+  Variant variant() const override { return Variant::kEbpf; }
+
+ private:
+  ebpf::RawArrayMap table_map_;
+};
+
+class CuckooFilterKernel : public CuckooFilterBase {
+ public:
+  explicit CuckooFilterKernel(const CuckooFilterConfig& config);
+  bool Add(const ebpf::FiveTuple& key) override;
+  bool Contains(const ebpf::FiveTuple& key) override;
+  bool Remove(const ebpf::FiveTuple& key) override;
+  Variant variant() const override { return Variant::kKernel; }
+
+ private:
+  std::vector<FilterBucket> buckets_;
+};
+
+class CuckooFilterEnetstl : public CuckooFilterBase {
+ public:
+  explicit CuckooFilterEnetstl(const CuckooFilterConfig& config);
+  bool Add(const ebpf::FiveTuple& key) override;
+  bool Contains(const ebpf::FiveTuple& key) override;
+  bool Remove(const ebpf::FiveTuple& key) override;
+  Variant variant() const override { return Variant::kEnetstl; }
+
+ private:
+  ebpf::RawArrayMap table_map_;
+};
+
+}  // namespace nf
+
+#endif  // ENETSTL_NF_CUCKOO_FILTER_H_

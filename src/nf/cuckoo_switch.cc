@@ -1,0 +1,384 @@
+#include "nf/cuckoo_switch.h"
+
+#include <cstring>
+
+#include "core/compare.h"
+#include "core/compare_inl.h"
+#include "core/hash.h"
+#include "core/hash_inl.h"
+
+namespace nf {
+
+namespace {
+
+// Multiplier mixing the signature into the alternate-bucket computation
+// (partial-key cuckoo: alt(b, sig) = b ^ mix(sig), an involution).
+constexpr u32 kAltMix = 0x5bd1e995u;
+
+inline u32 AltBucket(u32 bucket, u32 sig, u32 mask) {
+  return (bucket ^ (sig * kAltMix)) & mask;
+}
+
+// Signature derived from the bucket hash through the nonlinear finalizer
+// (a second seeded CRC would be affinely correlated with the first).
+inline u32 MakeSig(u32 h) {
+  const u32 sig = enetstl::Fmix32(h);
+  return sig == 0 ? 1u : sig;
+}
+
+struct Entry {
+  u32 sig;
+  u8 key[16];
+  u64 value;
+};
+
+inline void WriteSlot(CuckooBucket& b, u32 slot, const Entry& e) {
+  b.sigs[slot] = e.sig;
+  std::memcpy(b.keys[slot], e.key, 16);
+  b.values[slot] = e.value;
+}
+
+inline void ReadSlot(const CuckooBucket& b, u32 slot, Entry* e) {
+  e->sig = b.sigs[slot];
+  std::memcpy(e->key, b.keys[slot], 16);
+  e->value = b.values[slot];
+}
+
+inline void ClearSlot(CuckooBucket& b, u32 slot) {
+  b.sigs[slot] = 0;
+  std::memset(b.keys[slot], 0, 16);
+  b.values[slot] = 0;
+}
+
+// Scalar first-empty-slot search (insert path; shared by all variants —
+// inserts are control-plane operations and are not what Figure 3(c)
+// measures).
+inline ebpf::s32 FindEmptySlot(const CuckooBucket& b) {
+  for (u32 s = 0; s < kCuckooSlotsPerBucket; ++s) {
+    if (b.sigs[s] == 0) {
+      return static_cast<ebpf::s32>(s);
+    }
+  }
+  return -1;
+}
+
+// BFS cuckoo insert: finds a displacement path to an empty slot and applies
+// it back-to-front, so a failed insert leaves the table untouched (no key is
+// ever lost). Shared across variants, parameterized only by the hash.
+template <typename HashFn>
+bool GenericInsert(CuckooBucket* buckets, u32 mask, u32 seed, HashFn hash,
+                   const ebpf::FiveTuple& key, u64 value, u32* size) {
+  const u32 h = hash(&key, sizeof(key), seed);
+  const u32 sig = MakeSig(h);
+  const u32 b1 = h & mask;
+  const u32 b2 = AltBucket(b1, sig, mask);
+
+  // Update in place if present.
+  for (u32 b : {b1, b2}) {
+    for (u32 s = 0; s < kCuckooSlotsPerBucket; ++s) {
+      if (buckets[b].sigs[s] == sig &&
+          std::memcmp(buckets[b].keys[s], &key, 16) == 0) {
+        buckets[b].values[s] = value;
+        return true;
+      }
+    }
+  }
+
+  Entry entry;
+  entry.sig = sig;
+  std::memcpy(entry.key, &key, 16);
+  entry.value = value;
+
+  for (u32 b : {b1, b2}) {
+    const ebpf::s32 empty = FindEmptySlot(buckets[b]);
+    if (empty >= 0) {
+      WriteSlot(buckets[b], static_cast<u32>(empty), entry);
+      ++*size;
+      return true;
+    }
+  }
+
+  // BFS over displacement paths. Each node remembers the bucket it examines
+  // and how it was reached (parent node + victim slot).
+  struct PathNode {
+    u32 bucket;
+    ebpf::s32 parent;
+    u32 victim_slot;
+  };
+  constexpr std::size_t kMaxNodes = 2048;
+  std::vector<PathNode> nodes;
+  nodes.reserve(kMaxNodes);
+  nodes.push_back({b1, -1, 0});
+  nodes.push_back({b2, -1, 0});
+
+  for (std::size_t i = 0; i < nodes.size() && nodes.size() < kMaxNodes; ++i) {
+    const u32 bucket = nodes[i].bucket;
+    for (u32 s = 0; s < kCuckooSlotsPerBucket; ++s) {
+      const u32 victim_sig = buckets[bucket].sigs[s];
+      const u32 ab = AltBucket(bucket, victim_sig, mask);
+      const ebpf::s32 empty = FindEmptySlot(buckets[ab]);
+      if (empty >= 0) {
+        // Apply the path from the back: move the victim chain forward.
+        Entry moved;
+        ReadSlot(buckets[bucket], s, &moved);
+        WriteSlot(buckets[ab], static_cast<u32>(empty), moved);
+        u32 hole_bucket = bucket;
+        u32 hole_slot = s;
+        ebpf::s32 cur = static_cast<ebpf::s32>(i);
+        while (nodes[cur].parent >= 0) {
+          const PathNode& parent_node = nodes[nodes[cur].parent];
+          Entry shifted;
+          ReadSlot(buckets[parent_node.bucket], nodes[cur].victim_slot,
+                   &shifted);
+          WriteSlot(buckets[hole_bucket], hole_slot, shifted);
+          hole_bucket = parent_node.bucket;
+          hole_slot = nodes[cur].victim_slot;
+          cur = nodes[cur].parent;
+        }
+        WriteSlot(buckets[hole_bucket], hole_slot, entry);
+        ++*size;
+        return true;
+      }
+      if (nodes.size() < kMaxNodes) {
+        nodes.push_back({ab, static_cast<ebpf::s32>(i), s});
+      }
+    }
+  }
+  return false;
+}
+
+template <typename HashFn, typename EraseFind>
+bool GenericErase(CuckooBucket* buckets, u32 mask, u32 seed, HashFn hash,
+                  EraseFind find_slot, const ebpf::FiveTuple& key, u32* size) {
+  const u32 h = hash(&key, sizeof(key), seed);
+  const u32 sig = MakeSig(h);
+  const u32 b1 = h & mask;
+  const u32 b2 = AltBucket(b1, sig, mask);
+  for (u32 b : {b1, b2}) {
+    const ebpf::s32 slot = find_slot(buckets[b], key, sig);
+    if (slot >= 0) {
+      ClearSlot(buckets[b], static_cast<u32>(slot));
+      --*size;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// CuckooSwitchEbpf
+// ---------------------------------------------------------------------------
+
+CuckooSwitchEbpf::CuckooSwitchEbpf(const CuckooSwitchConfig& config)
+    : CuckooSwitchBase(config),
+      table_map_(/*max_entries=*/1,
+                 /*value_size=*/config.num_buckets * sizeof(CuckooBucket)) {}
+
+namespace {
+
+// Scalar in-bucket search, eBPF style: slot-by-slot signature check followed
+// by a two-word full-key comparison (the widest compare the eBPF ISA has).
+inline ebpf::s32 EbpfFindSlot(const CuckooBucket& b, const ebpf::FiveTuple& key,
+                              u32 sig) {
+  u64 k0, k1;
+  std::memcpy(&k0, &key, 8);
+  std::memcpy(&k1, reinterpret_cast<const u8*>(&key) + 8, 8);
+  for (u32 s = 0; s < kCuckooSlotsPerBucket; ++s) {
+    if (b.sigs[s] != sig) {
+      continue;
+    }
+    u64 s0, s1;
+    std::memcpy(&s0, b.keys[s], 8);
+    std::memcpy(&s1, b.keys[s] + 8, 8);
+    if (s0 == k0 && s1 == k1) {
+      return static_cast<ebpf::s32>(s);
+    }
+  }
+  return -1;
+}
+
+inline u32 EbpfHash(const void* key, std::size_t len, u32 seed) {
+  return enetstl::XxHash32Bpf(key, len, seed);
+}
+
+}  // namespace
+
+bool CuckooSwitchEbpf::Insert(const ebpf::FiveTuple& key, u64 value) {
+  auto* buckets = static_cast<CuckooBucket*>(table_map_.LookupElem(0));
+  if (buckets == nullptr) {
+    return false;
+  }
+  return GenericInsert(buckets, bucket_mask_, config_.seed, EbpfHash, key,
+                       value, &size_);
+}
+
+std::optional<u64> CuckooSwitchEbpf::Lookup(const ebpf::FiveTuple& key) {
+  auto* buckets = static_cast<CuckooBucket*>(table_map_.LookupElem(0));
+  if (buckets == nullptr) {
+    return std::nullopt;
+  }
+  const u32 h = EbpfHash(&key, sizeof(key), config_.seed);
+  const u32 sig = MakeSig(h);
+  const u32 b1 = h & bucket_mask_;
+  ebpf::s32 slot = EbpfFindSlot(buckets[b1], key, sig);
+  if (slot >= 0) {
+    return buckets[b1].values[slot];
+  }
+  const u32 b2 = AltBucket(b1, sig, bucket_mask_);
+  slot = EbpfFindSlot(buckets[b2], key, sig);
+  if (slot >= 0) {
+    return buckets[b2].values[slot];
+  }
+  return std::nullopt;
+}
+
+bool CuckooSwitchEbpf::Erase(const ebpf::FiveTuple& key) {
+  auto* buckets = static_cast<CuckooBucket*>(table_map_.LookupElem(0));
+  if (buckets == nullptr) {
+    return false;
+  }
+  return GenericErase(buckets, bucket_mask_, config_.seed, EbpfHash,
+                      EbpfFindSlot, key, &size_);
+}
+
+// ---------------------------------------------------------------------------
+// CuckooSwitchKernel
+// ---------------------------------------------------------------------------
+
+CuckooSwitchKernel::CuckooSwitchKernel(const CuckooSwitchConfig& config)
+    : CuckooSwitchBase(config), buckets_(config.num_buckets) {
+  std::memset(buckets_.data(), 0, buckets_.size() * sizeof(CuckooBucket));
+}
+
+namespace {
+
+inline u32 KernelHash(const void* key, std::size_t len, u32 seed) {
+  return enetstl::internal::HwHashCrcImpl(key, len, seed);
+}
+
+// Signature-first probing (the CuckooSwitch design): one SIMD compare over
+// the 32-byte signature lane finds the candidate slot, and only that slot's
+// full key is touched — one cache line per probed bucket on the common path.
+// A signature collision with a key mismatch (rare: ~2^-32 per slot) falls
+// back to a scalar scan of the remaining slots.
+template <typename FindSigFn>
+inline ebpf::s32 SigFirstFindSlot(const CuckooBucket& b,
+                                  const ebpf::FiveTuple& key, u32 sig,
+                                  FindSigFn find_sig) {
+  const ebpf::s32 slot = find_sig(b.sigs, kCuckooSlotsPerBucket, sig);
+  if (slot < 0) {
+    return -1;
+  }
+  if (std::memcmp(b.keys[slot], &key, 16) == 0) {
+    return slot;
+  }
+  for (u32 s = static_cast<u32>(slot) + 1; s < kCuckooSlotsPerBucket; ++s) {
+    if (b.sigs[s] == sig && std::memcmp(b.keys[s], &key, 16) == 0) {
+      return static_cast<ebpf::s32>(s);
+    }
+  }
+  return -1;
+}
+
+inline ebpf::s32 KernelFindSlot(const CuckooBucket& b,
+                                const ebpf::FiveTuple& key, u32 sig) {
+  return SigFirstFindSlot(b, key, sig, [](const u32* sigs, u32 n, u32 target) {
+    return enetstl::internal::FindU32Impl(sigs, n, target);
+  });
+}
+
+}  // namespace
+
+bool CuckooSwitchKernel::Insert(const ebpf::FiveTuple& key, u64 value) {
+  return GenericInsert(buckets_.data(), bucket_mask_, config_.seed, KernelHash,
+                       key, value, &size_);
+}
+
+std::optional<u64> CuckooSwitchKernel::Lookup(const ebpf::FiveTuple& key) {
+  const u32 h = KernelHash(&key, sizeof(key), config_.seed);
+  const u32 sig = MakeSig(h);
+  const u32 b1 = h & bucket_mask_;
+  ebpf::s32 slot = KernelFindSlot(buckets_[b1], key, sig);
+  if (slot >= 0) {
+    return buckets_[b1].values[slot];
+  }
+  const u32 b2 = AltBucket(b1, sig, bucket_mask_);
+  slot = KernelFindSlot(buckets_[b2], key, sig);
+  if (slot >= 0) {
+    return buckets_[b2].values[slot];
+  }
+  return std::nullopt;
+}
+
+bool CuckooSwitchKernel::Erase(const ebpf::FiveTuple& key) {
+  return GenericErase(buckets_.data(), bucket_mask_, config_.seed, KernelHash,
+                      KernelFindSlot, key, &size_);
+}
+
+// ---------------------------------------------------------------------------
+// CuckooSwitchEnetstl
+// ---------------------------------------------------------------------------
+
+CuckooSwitchEnetstl::CuckooSwitchEnetstl(const CuckooSwitchConfig& config)
+    : CuckooSwitchBase(config),
+      table_map_(/*max_entries=*/1,
+                 /*value_size=*/config.num_buckets * sizeof(CuckooBucket)) {}
+
+namespace {
+
+inline u32 EnetstlHash(const void* key, std::size_t len, u32 seed) {
+  return enetstl::HwHashCrc(key, len, seed);  // kfunc call
+}
+
+// find_simd kfunc over the bucket's signature lane, then a single full-key
+// confirm — the signature-first probe, with the SIMD compare as a kfunc.
+inline ebpf::s32 EnetstlFindSlot(const CuckooBucket& b,
+                                 const ebpf::FiveTuple& key, u32 sig) {
+  return SigFirstFindSlot(b, key, sig, [](const u32* sigs, u32 n, u32 target) {
+    return enetstl::FindU32(sigs, n, target);  // kfunc
+  });
+}
+
+}  // namespace
+
+bool CuckooSwitchEnetstl::Insert(const ebpf::FiveTuple& key, u64 value) {
+  auto* buckets = static_cast<CuckooBucket*>(table_map_.LookupElem(0));
+  if (buckets == nullptr) {
+    return false;
+  }
+  return GenericInsert(buckets, bucket_mask_, config_.seed, EnetstlHash, key,
+                       value, &size_);
+}
+
+std::optional<u64> CuckooSwitchEnetstl::Lookup(const ebpf::FiveTuple& key) {
+  auto* buckets = static_cast<CuckooBucket*>(table_map_.LookupElem(0));
+  if (buckets == nullptr) {
+    return std::nullopt;
+  }
+  const u32 h = EnetstlHash(&key, sizeof(key), config_.seed);
+  const u32 sig = MakeSig(h);
+  const u32 b1 = h & bucket_mask_;
+  ebpf::s32 slot = EnetstlFindSlot(buckets[b1], key, sig);
+  if (slot >= 0) {
+    return buckets[b1].values[slot];
+  }
+  const u32 b2 = AltBucket(b1, sig, bucket_mask_);
+  slot = EnetstlFindSlot(buckets[b2], key, sig);
+  if (slot >= 0) {
+    return buckets[b2].values[slot];
+  }
+  return std::nullopt;
+}
+
+bool CuckooSwitchEnetstl::Erase(const ebpf::FiveTuple& key) {
+  auto* buckets = static_cast<CuckooBucket*>(table_map_.LookupElem(0));
+  if (buckets == nullptr) {
+    return false;
+  }
+  return GenericErase(buckets, bucket_mask_, config_.seed, EnetstlHash,
+                      EnetstlFindSlot, key, &size_);
+}
+
+}  // namespace nf

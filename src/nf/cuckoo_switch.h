@@ -1,0 +1,116 @@
+// CuckooSwitch FIB lookup — key-value query based on a blocked cuckoo hash
+// (Zhou et al., CoNEXT '13; blocked bins per Dietzfelbinger & Weidling).
+//
+// Layout: an array of buckets, each with kSlotsPerBucket entries; every entry
+// stores a 32-bit signature, the full 16-byte key (the packet 5-tuple) and an
+// 8-byte value (the output port in the paper's setup). A key hashes to two
+// candidate buckets; lookup compares the signature across all slots of a
+// bucket at once, then verifies the full key.
+//
+// Variants:
+//  * CuckooSwitchEbpf    — blob map lookup + scalar software hash + scalar
+//                          slot-by-slot signature/key comparison.
+//  * CuckooSwitchKernel  — native: hardware CRC hash + inline SIMD compares.
+//  * CuckooSwitchEnetstl — eBPF shape: blob map lookup + hw_hash_crc kfunc +
+//                          find_simd kfuncs (FindU32 over signatures,
+//                          FindKey16 full-key confirm).
+#ifndef ENETSTL_NF_CUCKOO_SWITCH_H_
+#define ENETSTL_NF_CUCKOO_SWITCH_H_
+
+#include <optional>
+#include <vector>
+
+#include "ebpf/maps.h"
+#include "nf/nf_interface.h"
+
+namespace nf {
+
+struct CuckooSwitchConfig {
+  u32 num_buckets = 1024;  // power of two
+  u32 seed = 0x5bd1e995u;
+  u32 max_kicks = 128;     // displacement bound on insert
+};
+
+inline constexpr u32 kCuckooSlotsPerBucket = 8;
+
+// Flat bucket layout shared by all variants (SoA within the bucket so the
+// signature lane is contiguous for SIMD).
+struct CuckooBucket {
+  u32 sigs[kCuckooSlotsPerBucket];                 // 0 = empty slot
+  u8 keys[kCuckooSlotsPerBucket][16];
+  u64 values[kCuckooSlotsPerBucket];
+};
+
+class CuckooSwitchBase : public NetworkFunction {
+ public:
+  explicit CuckooSwitchBase(const CuckooSwitchConfig& config)
+      : config_(config), bucket_mask_(config.num_buckets - 1) {}
+
+  // Returns false when the table could not place the key (insert failure
+  // after max_kicks displacements).
+  virtual bool Insert(const ebpf::FiveTuple& key, u64 value) = 0;
+  virtual std::optional<u64> Lookup(const ebpf::FiveTuple& key) = 0;
+  virtual bool Erase(const ebpf::FiveTuple& key) = 0;
+
+  // Packet path: FIB lookup on the 5-tuple; hit -> TX, miss -> DROP.
+  ebpf::XdpAction Process(ebpf::XdpContext& ctx) override {
+    ebpf::FiveTuple tuple;
+    if (!ebpf::ParseFiveTuple(ctx, &tuple)) {
+      return ebpf::XdpAction::kAborted;
+    }
+    return Lookup(tuple).has_value() ? ebpf::XdpAction::kTx
+                                     : ebpf::XdpAction::kDrop;
+  }
+
+  std::string_view name() const override { return "cuckoo-switch"; }
+  const CuckooSwitchConfig& config() const { return config_; }
+  u32 size() const { return size_; }
+  u32 capacity() const {
+    return config_.num_buckets * kCuckooSlotsPerBucket;
+  }
+
+ protected:
+  CuckooSwitchConfig config_;
+  u32 bucket_mask_;
+  u32 size_ = 0;
+};
+
+class CuckooSwitchEbpf : public CuckooSwitchBase {
+ public:
+  explicit CuckooSwitchEbpf(const CuckooSwitchConfig& config);
+  bool Insert(const ebpf::FiveTuple& key, u64 value) override;
+  std::optional<u64> Lookup(const ebpf::FiveTuple& key) override;
+  bool Erase(const ebpf::FiveTuple& key) override;
+  Variant variant() const override { return Variant::kEbpf; }
+
+ private:
+  ebpf::RawArrayMap table_map_;
+};
+
+class CuckooSwitchKernel : public CuckooSwitchBase {
+ public:
+  explicit CuckooSwitchKernel(const CuckooSwitchConfig& config);
+  bool Insert(const ebpf::FiveTuple& key, u64 value) override;
+  std::optional<u64> Lookup(const ebpf::FiveTuple& key) override;
+  bool Erase(const ebpf::FiveTuple& key) override;
+  Variant variant() const override { return Variant::kKernel; }
+
+ private:
+  std::vector<CuckooBucket> buckets_;
+};
+
+class CuckooSwitchEnetstl : public CuckooSwitchBase {
+ public:
+  explicit CuckooSwitchEnetstl(const CuckooSwitchConfig& config);
+  bool Insert(const ebpf::FiveTuple& key, u64 value) override;
+  std::optional<u64> Lookup(const ebpf::FiveTuple& key) override;
+  bool Erase(const ebpf::FiveTuple& key) override;
+  Variant variant() const override { return Variant::kEnetstl; }
+
+ private:
+  ebpf::RawArrayMap table_map_;
+};
+
+}  // namespace nf
+
+#endif  // ENETSTL_NF_CUCKOO_SWITCH_H_

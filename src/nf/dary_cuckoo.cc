@@ -1,0 +1,295 @@
+#include "nf/dary_cuckoo.h"
+
+#include <cstring>
+
+#include "core/hash.h"
+#include "core/multihash_inl.h"
+#include "core/post_hash.h"
+
+namespace nf {
+
+namespace {
+
+constexpr u32 kSigSeedXor = 0x5f3759dfu;
+
+// The signature is a shared scalar hash (same value in every variant, so the
+// variants build identical tables and the equivalence tests can compare them
+// slot for slot). Derived via Fmix32 so it does not correlate with the
+// position lanes.
+inline u32 MakeSig(const ebpf::FiveTuple& key, u32 seed) {
+  const u32 sig = enetstl::Fmix32(
+      enetstl::XxHash32(&key, sizeof(key), seed ^ kSigSeedXor));
+  return sig == enetstl::kEmptySig ? 1u : sig;
+}
+
+inline void Positions(const ebpf::FiveTuple& key, u32 seed, u32 d, u32 mask,
+                      u32 pos[8]) {
+  alignas(32) u32 h[8];
+  enetstl::internal::MultiHashImpl(&key, sizeof(key), seed, d, h);
+  for (u32 r = 0; r < d; ++r) {
+    pos[r] = h[r] & mask;
+  }
+}
+
+inline bool KeyEquals(const DaryCuckooState& state, u32 pos,
+                      const ebpf::FiveTuple& key) {
+  return std::memcmp(state.keys[pos].data(), &key, 16) == 0;
+}
+
+inline void WriteSlot(DaryCuckooState& state, u32 pos, u32 sig,
+                      const ebpf::FiveTuple& key, u64 value) {
+  state.sigs[pos] = sig;
+  std::memcpy(state.keys[pos].data(), &key, 16);
+  state.values[pos] = value;
+}
+
+inline void ClearSlot(DaryCuckooState& state, u32 pos) {
+  state.sigs[pos] = enetstl::kEmptySig;
+  state.keys[pos].fill(0);
+  state.values[pos] = 0;
+}
+
+DaryCuckooState MakeState(u32 num_slots) {
+  DaryCuckooState state;
+  state.sigs.assign(num_slots, enetstl::kEmptySig);
+  state.keys.assign(num_slots, {});
+  state.values.assign(num_slots, 0);
+  return state;
+}
+
+// Shared insert: control-plane operation, identical across variants (the
+// datapath-difference is in Lookup).
+bool GenericInsert(DaryCuckooState& state, const DaryCuckooConfig& config,
+                   u32 slot_mask, u64& rng, const ebpf::FiveTuple& key,
+                   u64 value, u32* size) {
+  u32 pos[8];
+  Positions(key, config.seed, config.d, slot_mask, pos);
+  const u32 sig = MakeSig(key, config.seed);
+
+  // Update in place.
+  for (u32 r = 0; r < config.d; ++r) {
+    if (state.sigs[pos[r]] == sig && KeyEquals(state, pos[r], key)) {
+      state.values[pos[r]] = value;
+      return true;
+    }
+  }
+  // Empty candidate.
+  for (u32 r = 0; r < config.d; ++r) {
+    if (state.sigs[pos[r]] == enetstl::kEmptySig) {
+      WriteSlot(state, pos[r], sig, key, value);
+      ++*size;
+      return true;
+    }
+  }
+
+  // Random-walk displacement. On failure the final in-hand entry is parked
+  // at its first candidate, displacing that occupant — the standard cuckoo
+  // over-capacity failure mode; callers treat false as "table full".
+  ebpf::FiveTuple in_key = key;
+  u64 in_value = value;
+  u32 in_sig = sig;
+  u32 in_pos[8];
+  std::memcpy(in_pos, pos, sizeof(in_pos));
+  for (u32 kick = 0; kick < config.max_kicks; ++kick) {
+    rng ^= rng << 13;
+    rng ^= rng >> 7;
+    rng ^= rng << 17;
+    const u32 victim_pos = in_pos[static_cast<u32>(rng) % config.d];
+    // Swap the in-hand entry with the victim.
+    ebpf::FiveTuple victim_key;
+    std::memcpy(&victim_key, state.keys[victim_pos].data(), 16);
+    const u64 victim_value = state.values[victim_pos];
+    const u32 victim_sig = state.sigs[victim_pos];
+    WriteSlot(state, victim_pos, in_sig, in_key, in_value);
+    in_key = victim_key;
+    in_value = victim_value;
+    in_sig = victim_sig;
+    Positions(in_key, config.seed, config.d, slot_mask, in_pos);
+    for (u32 r = 0; r < config.d; ++r) {
+      if (state.sigs[in_pos[r]] == enetstl::kEmptySig) {
+        WriteSlot(state, in_pos[r], in_sig, in_key, in_value);
+        ++*size;
+        return true;
+      }
+    }
+  }
+  WriteSlot(state, in_pos[0], in_sig, in_key, in_value);
+  return false;
+}
+
+template <typename FindFn>
+bool GenericErase(DaryCuckooState& state, FindFn find,
+                  const ebpf::FiveTuple& key, u32* size) {
+  const auto pos = find(key);
+  if (!pos.has_value()) {
+    return false;
+  }
+  ClearSlot(state, *pos);
+  --*size;
+  return true;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// DaryCuckooEbpf: d scalar BPF-codegen hashes + per-position compares.
+// ---------------------------------------------------------------------------
+
+DaryCuckooEbpf::DaryCuckooEbpf(const DaryCuckooConfig& config)
+    : DaryCuckooBase(config) {
+  state_ = MakeState(config.num_slots);
+}
+
+namespace {
+
+// The eBPF probe: one scalar software hash and one compare per candidate.
+std::optional<u32> EbpfFind(const DaryCuckooState& state,
+                            const DaryCuckooConfig& config, u32 slot_mask,
+                            const ebpf::FiveTuple& key) {
+  const u32 sig = MakeSig(key, config.seed);
+  for (u32 r = 0; r < config.d; ++r) {
+    const u32 h =
+        enetstl::XxHash32Bpf(&key, sizeof(key), enetstl::LaneSeed(config.seed, r));
+    const u32 pos = h & slot_mask;
+    if (state.sigs[pos] == sig && KeyEquals(state, pos, key)) {
+      return pos;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+bool DaryCuckooEbpf::Insert(const ebpf::FiveTuple& key, u64 value) {
+  return GenericInsert(state_, config_, slot_mask_, kick_rng_, key, value,
+                       &size_);
+}
+
+std::optional<u64> DaryCuckooEbpf::Lookup(const ebpf::FiveTuple& key) {
+  const auto pos = EbpfFind(state_, config_, slot_mask_, key);
+  if (!pos.has_value()) {
+    return std::nullopt;
+  }
+  return state_.values[*pos];
+}
+
+bool DaryCuckooEbpf::Erase(const ebpf::FiveTuple& key) {
+  return GenericErase(
+      state_,
+      [&](const ebpf::FiveTuple& k) {
+        return EbpfFind(state_, config_, slot_mask_, k);
+      },
+      key, &size_);
+}
+
+// ---------------------------------------------------------------------------
+// DaryCuckooKernel: inline multi-hash + inline compares.
+// ---------------------------------------------------------------------------
+
+DaryCuckooKernel::DaryCuckooKernel(const DaryCuckooConfig& config)
+    : DaryCuckooBase(config) {
+  state_ = MakeState(config.num_slots);
+}
+
+namespace {
+
+std::optional<u32> KernelFind(const DaryCuckooState& state,
+                              const DaryCuckooConfig& config, u32 slot_mask,
+                              const ebpf::FiveTuple& key) {
+  u32 pos[8];
+  Positions(key, config.seed, config.d, slot_mask, pos);
+  const u32 sig = MakeSig(key, config.seed);
+  for (u32 r = 0; r < config.d; ++r) {
+    if (state.sigs[pos[r]] == sig && KeyEquals(state, pos[r], key)) {
+      return pos[r];
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+bool DaryCuckooKernel::Insert(const ebpf::FiveTuple& key, u64 value) {
+  return GenericInsert(state_, config_, slot_mask_, kick_rng_, key, value,
+                       &size_);
+}
+
+std::optional<u64> DaryCuckooKernel::Lookup(const ebpf::FiveTuple& key) {
+  const auto pos = KernelFind(state_, config_, slot_mask_, key);
+  if (!pos.has_value()) {
+    return std::nullopt;
+  }
+  return state_.values[*pos];
+}
+
+bool DaryCuckooKernel::Erase(const ebpf::FiveTuple& key) {
+  return GenericErase(
+      state_,
+      [&](const ebpf::FiveTuple& k) {
+        return KernelFind(state_, config_, slot_mask_, k);
+      },
+      key, &size_);
+}
+
+// ---------------------------------------------------------------------------
+// DaryCuckooEnetstl: one fused HashCmp kfunc per probe.
+// ---------------------------------------------------------------------------
+
+DaryCuckooEnetstl::DaryCuckooEnetstl(const DaryCuckooConfig& config)
+    : DaryCuckooBase(config) {
+  state_ = MakeState(config.num_slots);
+}
+
+namespace {
+
+std::optional<u32> EnetstlFind(const DaryCuckooState& state,
+                               const DaryCuckooConfig& config, u32 slot_mask,
+                               const ebpf::FiveTuple& key) {
+  const u32 sig = MakeSig(key, config.seed);
+  u32 pos = 0;
+  const ebpf::s32 row =
+      enetstl::HashCmp(state.sigs.data(), slot_mask, &key, sizeof(key),
+                       config.seed, config.d, sig, &pos, nullptr);
+  if (row >= 0 && KeyEquals(state, pos, key)) {
+    return pos;
+  }
+  if (row >= 0) {
+    // Signature collision with a key mismatch (~2^-32 per slot): fall back
+    // to scanning all candidate positions.
+    u32 all[8];
+    enetstl::HashPositions(all, config.d, slot_mask, &key, sizeof(key),
+                           config.seed);
+    for (u32 r = 0; r < config.d; ++r) {
+      if (state.sigs[all[r]] == sig && KeyEquals(state, all[r], key)) {
+        return all[r];
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+bool DaryCuckooEnetstl::Insert(const ebpf::FiveTuple& key, u64 value) {
+  return GenericInsert(state_, config_, slot_mask_, kick_rng_, key, value,
+                       &size_);
+}
+
+std::optional<u64> DaryCuckooEnetstl::Lookup(const ebpf::FiveTuple& key) {
+  const auto pos = EnetstlFind(state_, config_, slot_mask_, key);
+  if (!pos.has_value()) {
+    return std::nullopt;
+  }
+  return state_.values[*pos];
+}
+
+bool DaryCuckooEnetstl::Erase(const ebpf::FiveTuple& key) {
+  return GenericErase(
+      state_,
+      [&](const ebpf::FiveTuple& k) {
+        return EnetstlFind(state_, config_, slot_mask_, k);
+      },
+      key, &size_);
+}
+
+}  // namespace nf

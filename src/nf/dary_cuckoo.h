@@ -1,0 +1,113 @@
+// d-ary cuckoo hash key-value store (Fotakis et al. [27] in the paper's
+// survey): every key has d candidate slots, one per hash function, giving
+// worst-case-constant lookups at very high load factors (d = 4 sustains
+// ~97% occupancy with single-slot buckets).
+//
+// This NF exercises the one fused post-hash operation no other NF uses:
+// "comparing after hashing" (enetstl::HashCmp) — one kfunc call computes all
+// d positions AND compares the stored signatures, returning the matching row
+// plus the first empty candidate for the insert path.
+//
+// Variants:
+//  * DaryCuckooEbpf    — d scalar software hashes + per-position compares.
+//  * DaryCuckooKernel  — inline multi-hash + inline compares.
+//  * DaryCuckooEnetstl — one HashCmp kfunc per probe.
+#ifndef ENETSTL_NF_DARY_CUCKOO_H_
+#define ENETSTL_NF_DARY_CUCKOO_H_
+
+#include <array>
+#include <optional>
+#include <vector>
+
+#include "ebpf/maps.h"
+#include "nf/nf_interface.h"
+
+namespace nf {
+
+struct DaryCuckooConfig {
+  u32 num_slots = 8192;  // power of two
+  u32 d = 4;             // hash functions / candidate positions (2..8)
+  u32 max_kicks = 256;
+  u32 seed = 0x243f6a88u;
+};
+
+// SoA layout: the signature lane is contiguous (HashCmp's input); keys and
+// values are parallel arrays.
+struct DaryCuckooState {
+  std::vector<u32> sigs;            // 0 = empty (enetstl::kEmptySig)
+  std::vector<std::array<u8, 16>> keys;
+  std::vector<u64> values;
+};
+
+class DaryCuckooBase : public NetworkFunction {
+ public:
+  explicit DaryCuckooBase(const DaryCuckooConfig& config)
+      : config_(config), slot_mask_(config.num_slots - 1) {}
+
+  // Returns false when no displacement sequence places the key within
+  // max_kicks (treat as over-capacity; one resident entry may be displaced
+  // to its own alternate position in the failing walk).
+  virtual bool Insert(const ebpf::FiveTuple& key, u64 value) = 0;
+  virtual std::optional<u64> Lookup(const ebpf::FiveTuple& key) = 0;
+  virtual bool Erase(const ebpf::FiveTuple& key) = 0;
+
+  ebpf::XdpAction Process(ebpf::XdpContext& ctx) override {
+    ebpf::FiveTuple tuple;
+    if (!ebpf::ParseFiveTuple(ctx, &tuple)) {
+      return ebpf::XdpAction::kAborted;
+    }
+    return Lookup(tuple).has_value() ? ebpf::XdpAction::kTx
+                                     : ebpf::XdpAction::kDrop;
+  }
+
+  std::string_view name() const override { return "dary-cuckoo-kv"; }
+  const DaryCuckooConfig& config() const { return config_; }
+  u32 size() const { return size_; }
+  u32 capacity() const { return config_.num_slots; }
+
+ protected:
+  DaryCuckooConfig config_;
+  u32 slot_mask_;
+  u32 size_ = 0;
+  u64 kick_rng_ = 0x0123456789abcdefull;
+};
+
+class DaryCuckooEbpf : public DaryCuckooBase {
+ public:
+  explicit DaryCuckooEbpf(const DaryCuckooConfig& config);
+  bool Insert(const ebpf::FiveTuple& key, u64 value) override;
+  std::optional<u64> Lookup(const ebpf::FiveTuple& key) override;
+  bool Erase(const ebpf::FiveTuple& key) override;
+  Variant variant() const override { return Variant::kEbpf; }
+
+ private:
+  DaryCuckooState state_;
+};
+
+class DaryCuckooKernel : public DaryCuckooBase {
+ public:
+  explicit DaryCuckooKernel(const DaryCuckooConfig& config);
+  bool Insert(const ebpf::FiveTuple& key, u64 value) override;
+  std::optional<u64> Lookup(const ebpf::FiveTuple& key) override;
+  bool Erase(const ebpf::FiveTuple& key) override;
+  Variant variant() const override { return Variant::kKernel; }
+
+ private:
+  DaryCuckooState state_;
+};
+
+class DaryCuckooEnetstl : public DaryCuckooBase {
+ public:
+  explicit DaryCuckooEnetstl(const DaryCuckooConfig& config);
+  bool Insert(const ebpf::FiveTuple& key, u64 value) override;
+  std::optional<u64> Lookup(const ebpf::FiveTuple& key) override;
+  bool Erase(const ebpf::FiveTuple& key) override;
+  Variant variant() const override { return Variant::kEnetstl; }
+
+ private:
+  DaryCuckooState state_;
+};
+
+}  // namespace nf
+
+#endif  // ENETSTL_NF_DARY_CUCKOO_H_

@@ -1,0 +1,158 @@
+#include "nf/efd.h"
+
+#include <cstring>
+
+#include "core/hash.h"
+#include "core/hash_inl.h"
+
+namespace nf {
+
+namespace {
+
+// In-group slot of a key under seed index `seed_idx`, derived from the
+// key's base hash through the nonlinear finalizer. A second *seeded CRC*
+// would be affine in the seed (every key's slot would shift by the same
+// constant when the seed changes), making the perfect-hash search useless;
+// the fmix avalanche re-randomizes the whole permutation per seed index.
+inline u32 SlotOf(u32 base_hash, u32 seed_idx, u32 slot_mask) {
+  return enetstl::Fmix32(base_hash + seed_idx * 0x9e3779b1u) & slot_mask;
+}
+
+}  // namespace
+
+bool EfdBase::RebuildGroup(
+    u32 group_idx,
+    const std::unordered_map<ebpf::FiveTuple, u8, ebpf::FiveTupleHash>& keys,
+    EfdGroup* group) const {
+  auto* self = const_cast<EfdBase*>(this);
+  const u32 slot_mask = config_.slots_per_group - 1;
+  for (u32 seed_idx = 0; seed_idx < config_.max_seed_tries; ++seed_idx) {
+    u8 values[64] = {};
+    bool assigned[64] = {};
+    bool ok = true;
+    for (const auto& [key, backend] : keys) {
+      const u32 slot = SlotOf(self->DatapathHash(&key, sizeof(key), config_.seed),
+                              seed_idx, slot_mask);
+      if (assigned[slot] && values[slot] != backend) {
+        ok = false;
+        break;
+      }
+      assigned[slot] = true;
+      values[slot] = backend;
+    }
+    if (ok) {
+      group->seed_idx = seed_idx;
+      std::memcpy(group->values, values, sizeof(values));
+      return true;
+    }
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// EfdEbpf
+// ---------------------------------------------------------------------------
+
+EfdEbpf::EfdEbpf(const EfdConfig& config)
+    : EfdBase(config), group_map_(1, config.num_groups * sizeof(EfdGroup)) {}
+
+u32 EfdEbpf::DatapathHash(const void* key, std::size_t len, u32 seed) {
+  return enetstl::XxHash32Bpf(key, len, seed);
+}
+
+bool EfdEbpf::Insert(const ebpf::FiveTuple& key, u8 backend) {
+  auto* groups = static_cast<EfdGroup*>(group_map_.LookupElem(0));
+  if (groups == nullptr) {
+    return false;
+  }
+  const u32 g = DatapathHash(&key, sizeof(key), config_.seed) & group_mask_;
+  auto& keys = group_keys_[g];
+  keys[key] = backend;
+  EfdGroup rebuilt;
+  if (!RebuildGroup(g, keys, &rebuilt)) {
+    keys.erase(key);
+    return false;
+  }
+  groups[g] = rebuilt;
+  return true;
+}
+
+u8 EfdEbpf::Lookup(const ebpf::FiveTuple& key) {
+  auto* groups = static_cast<EfdGroup*>(group_map_.LookupElem(0));
+  if (groups == nullptr) {
+    return 0;
+  }
+  const u32 h = DatapathHash(&key, sizeof(key), config_.seed);
+  const EfdGroup& group = groups[h & group_mask_];
+  return group.values[SlotOf(h, group.seed_idx, config_.slots_per_group - 1)];
+}
+
+// ---------------------------------------------------------------------------
+// EfdKernel
+// ---------------------------------------------------------------------------
+
+EfdKernel::EfdKernel(const EfdConfig& config)
+    : EfdBase(config), groups_(config.num_groups) {}
+
+u32 EfdKernel::DatapathHash(const void* key, std::size_t len, u32 seed) {
+  return enetstl::internal::HwHashCrcImpl(key, len, seed);
+}
+
+bool EfdKernel::Insert(const ebpf::FiveTuple& key, u8 backend) {
+  const u32 g = DatapathHash(&key, sizeof(key), config_.seed) & group_mask_;
+  auto& keys = group_keys_[g];
+  keys[key] = backend;
+  EfdGroup rebuilt;
+  if (!RebuildGroup(g, keys, &rebuilt)) {
+    keys.erase(key);
+    return false;
+  }
+  groups_[g] = rebuilt;
+  return true;
+}
+
+u8 EfdKernel::Lookup(const ebpf::FiveTuple& key) {
+  const u32 h = DatapathHash(&key, sizeof(key), config_.seed);
+  const EfdGroup& group = groups_[h & group_mask_];
+  return group.values[SlotOf(h, group.seed_idx, config_.slots_per_group - 1)];
+}
+
+// ---------------------------------------------------------------------------
+// EfdEnetstl
+// ---------------------------------------------------------------------------
+
+EfdEnetstl::EfdEnetstl(const EfdConfig& config)
+    : EfdBase(config), group_map_(1, config.num_groups * sizeof(EfdGroup)) {}
+
+u32 EfdEnetstl::DatapathHash(const void* key, std::size_t len, u32 seed) {
+  return enetstl::HwHashCrc(key, len, seed);  // kfunc
+}
+
+bool EfdEnetstl::Insert(const ebpf::FiveTuple& key, u8 backend) {
+  auto* groups = static_cast<EfdGroup*>(group_map_.LookupElem(0));
+  if (groups == nullptr) {
+    return false;
+  }
+  const u32 g = DatapathHash(&key, sizeof(key), config_.seed) & group_mask_;
+  auto& keys = group_keys_[g];
+  keys[key] = backend;
+  EfdGroup rebuilt;
+  if (!RebuildGroup(g, keys, &rebuilt)) {
+    keys.erase(key);
+    return false;
+  }
+  groups[g] = rebuilt;
+  return true;
+}
+
+u8 EfdEnetstl::Lookup(const ebpf::FiveTuple& key) {
+  auto* groups = static_cast<EfdGroup*>(group_map_.LookupElem(0));
+  if (groups == nullptr) {
+    return 0;
+  }
+  const u32 h = DatapathHash(&key, sizeof(key), config_.seed);
+  const EfdGroup& group = groups[h & group_mask_];
+  return group.values[SlotOf(h, group.seed_idx, config_.slots_per_group - 1)];
+}
+
+}  // namespace nf

@@ -1,0 +1,248 @@
+#include "nf/eiffel.h"
+
+#include <cstring>
+
+#include "core/bits.h"
+#include "core/bits_kfunc.h"
+
+namespace nf {
+
+namespace {
+
+inline u32 Pow64(u32 k) {
+  u32 v = 1;
+  for (u32 i = 0; i < k; ++i) {
+    v *= 64;
+  }
+  return v;
+}
+
+inline std::size_t AlignUp8(std::size_t v) { return (v + 7) & ~std::size_t{7}; }
+
+}  // namespace
+
+std::size_t EiffelState::BlobSize(const EiffelConfig& config) {
+  const u32 p = Pow64(config.levels);
+  // Bitmap words: sum_{k=0}^{levels-1} 64^k.
+  u32 words = 0;
+  for (u32 k = 0; k < config.levels; ++k) {
+    words += Pow64(k);
+  }
+  std::size_t size = AlignUp8(words * sizeof(u64));
+  size += AlignUp8(static_cast<std::size_t>(p) * sizeof(u32));          // head
+  size += AlignUp8(static_cast<std::size_t>(p) * sizeof(u32));          // tail
+  size += AlignUp8(static_cast<std::size_t>(config.capacity) * 4);      // next
+  size += AlignUp8(static_cast<std::size_t>(config.capacity) * 4);      // flow
+  size += AlignUp8(2 * sizeof(u32));  // free_head + size
+  return size;
+}
+
+EiffelState::EiffelState(void* blob, const EiffelConfig& config)
+    : levels_(config.levels), capacity_(config.capacity) {
+  num_priorities_ = Pow64(levels_);
+  total_words_ = 0;
+  for (u32 k = 0; k < levels_; ++k) {
+    level_offset_[k] = total_words_;
+    total_words_ += Pow64(k);
+  }
+  u8* p = static_cast<u8*>(blob);
+  words_ = reinterpret_cast<u64*>(p);
+  p += AlignUp8(total_words_ * sizeof(u64));
+  head_ = reinterpret_cast<u32*>(p);
+  p += AlignUp8(static_cast<std::size_t>(num_priorities_) * sizeof(u32));
+  tail_ = reinterpret_cast<u32*>(p);
+  p += AlignUp8(static_cast<std::size_t>(num_priorities_) * sizeof(u32));
+  next_ = reinterpret_cast<u32*>(p);
+  p += AlignUp8(static_cast<std::size_t>(capacity_) * sizeof(u32));
+  flow_ = reinterpret_cast<u32*>(p);
+  p += AlignUp8(static_cast<std::size_t>(capacity_) * sizeof(u32));
+  free_head_ = reinterpret_cast<u32*>(p);
+  size_ = free_head_ + 1;
+}
+
+void EiffelState::Init() {
+  std::memset(words_, 0, total_words_ * sizeof(u64));
+  for (u32 i = 0; i < num_priorities_; ++i) {
+    head_[i] = kNil;
+    tail_[i] = kNil;
+  }
+  for (u32 i = 0; i < capacity_; ++i) {
+    next_[i] = (i + 1 < capacity_) ? i + 1 : kNil;
+  }
+  *free_head_ = capacity_ > 0 ? 0 : kNil;
+  *size_ = 0;
+}
+
+void EiffelState::SetBits(u32 prio) {
+  for (u32 k = 0; k < levels_; ++k) {
+    const u32 digit = (prio >> (6 * (levels_ - 1 - k))) & 63u;
+    const u32 prefix = k == 0 ? 0 : (prio >> (6 * (levels_ - k)));
+    words_[level_offset_[k] + prefix] |= 1ull << digit;
+  }
+}
+
+void EiffelState::ClearBits(u32 prio) {
+  // Bottom-up: clear the leaf bit; propagate upward only while words empty.
+  for (int k = static_cast<int>(levels_) - 1; k >= 0; --k) {
+    const u32 digit = (prio >> (6 * (levels_ - 1 - k))) & 63u;
+    const u32 prefix =
+        k == 0 ? 0 : (prio >> (6 * (levels_ - static_cast<u32>(k))));
+    u64& w = words_[level_offset_[static_cast<u32>(k)] + prefix];
+    w &= ~(1ull << digit);
+    if (w != 0) {
+      break;
+    }
+  }
+}
+
+template <typename FfsFn>
+bool EiffelState::Enqueue(const EiffelItem& item, FfsFn ffs) {
+  (void)ffs;
+  if (item.priority >= num_priorities_) {
+    return false;
+  }
+  const u32 node = *free_head_;
+  if (node == kNil) {
+    return false;
+  }
+  *free_head_ = next_[node];
+  flow_[node] = item.flow;
+  next_[node] = kNil;
+  const u32 prio = item.priority;
+  if (tail_[prio] != kNil) {
+    next_[tail_[prio]] = node;
+  } else {
+    head_[prio] = node;
+    SetBits(prio);
+  }
+  tail_[prio] = node;
+  ++*size_;
+  return true;
+}
+
+template <typename FfsFn>
+bool EiffelState::DequeueMin(EiffelItem* out, FfsFn ffs) {
+  // Root-to-leaf FFS walk: one query per level.
+  u32 idx = 0;
+  for (u32 k = 0; k < levels_; ++k) {
+    const u64 w = words_[level_offset_[k] + idx];
+    const u32 bit = ffs(w);
+    if (bit >= 64) {
+      return false;  // only reachable at the root: queue empty
+    }
+    idx = idx * 64 + bit;
+  }
+  const u32 prio = idx;
+  const u32 node = head_[prio];
+  out->priority = prio;
+  out->flow = flow_[node];
+  head_[prio] = next_[node];
+  if (head_[prio] == kNil) {
+    tail_[prio] = kNil;
+    ClearBits(prio);
+  }
+  next_[node] = *free_head_;
+  *free_head_ = node;
+  --*size_;
+  return true;
+}
+
+ebpf::XdpAction EiffelBase::Process(ebpf::XdpContext& ctx) {
+  ebpf::FiveTuple tuple;
+  if (!ebpf::ParseFiveTuple(ctx, &tuple)) {
+    return ebpf::XdpAction::kAborted;
+  }
+  u32 op = 0;
+  u32 prio = 0;
+  std::memcpy(&op, ctx.data + ebpf::kL4HeaderOffset + 8, 4);
+  std::memcpy(&prio, ctx.data + ebpf::kL4HeaderOffset + 12, 4);
+  if (op == 1) {
+    EiffelItem item;
+    item.priority = prio % num_priorities_;
+    item.flow = tuple.src_ip;
+    Enqueue(item);
+  } else {
+    EiffelItem item;
+    (void)DequeueMin(&item);
+  }
+  return ebpf::XdpAction::kDrop;
+}
+
+// ---------------------------------------------------------------------------
+// EiffelEbpf: blob map + software FFS emulation.
+// ---------------------------------------------------------------------------
+
+EiffelEbpf::EiffelEbpf(const EiffelConfig& config)
+    : EiffelBase(config),
+      state_map_(1, static_cast<u32>(EiffelState::BlobSize(config))),
+      state_(state_map_.LookupElem(0), config) {
+  state_.Init();
+}
+
+bool EiffelEbpf::Enqueue(const EiffelItem& item) {
+  // The map lookup is the verifier-mandated way to reach the blob; the view
+  // over it is stable (map memory never moves).
+  if (state_map_.LookupElem(0) == nullptr) {
+    return false;
+  }
+  return state_.Enqueue(item, enetstl::SoftFfsLoop64);
+}
+
+bool EiffelEbpf::DequeueMin(EiffelItem* out) {
+  if (state_map_.LookupElem(0) == nullptr) {
+    return false;
+  }
+  return state_.DequeueMin(out, enetstl::SoftFfsLoop64);
+}
+
+u32 EiffelEbpf::size() const { return state_.size(); }
+
+// ---------------------------------------------------------------------------
+// EiffelKernel: native buffer + hardware FFS inline.
+// ---------------------------------------------------------------------------
+
+EiffelKernel::EiffelKernel(const EiffelConfig& config)
+    : EiffelBase(config),
+      blob_(EiffelState::BlobSize(config), 0),
+      state_(blob_.data(), config) {
+  state_.Init();
+}
+
+bool EiffelKernel::Enqueue(const EiffelItem& item) {
+  return state_.Enqueue(item, [](u64 w) { return enetstl::Ffs64(w); });
+}
+
+bool EiffelKernel::DequeueMin(EiffelItem* out) {
+  return state_.DequeueMin(out, [](u64 w) { return enetstl::Ffs64(w); });
+}
+
+u32 EiffelKernel::size() const { return state_.size(); }
+
+// ---------------------------------------------------------------------------
+// EiffelEnetstl: blob map + ffs kfunc.
+// ---------------------------------------------------------------------------
+
+EiffelEnetstl::EiffelEnetstl(const EiffelConfig& config)
+    : EiffelBase(config),
+      state_map_(1, static_cast<u32>(EiffelState::BlobSize(config))),
+      state_(state_map_.LookupElem(0), config) {
+  state_.Init();
+}
+
+bool EiffelEnetstl::Enqueue(const EiffelItem& item) {
+  if (state_map_.LookupElem(0) == nullptr) {
+    return false;
+  }
+  return state_.Enqueue(item, enetstl::kfunc::Ffs64);
+}
+
+bool EiffelEnetstl::DequeueMin(EiffelItem* out) {
+  if (state_map_.LookupElem(0) == nullptr) {
+    return false;
+  }
+  return state_.DequeueMin(out, enetstl::kfunc::Ffs64);
+}
+
+u32 EiffelEnetstl::size() const { return state_.size(); }
+
+}  // namespace nf

@@ -1,0 +1,233 @@
+#include "nf/fq_pacer.h"
+
+#include <vector>
+
+namespace nf {
+
+namespace {
+
+// Packs a schedule time and a uniquifying sequence number into one ordered
+// key, so equal timestamps dequeue in FIFO order in every variant.
+inline u64 MakeKey(u64 time, u64 seq) { return (time << 16) | (seq & 0xffffu); }
+inline u64 KeyTime(u64 key) { return key >> 16; }
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// FqPacerKernel: std::map schedule.
+// ---------------------------------------------------------------------------
+
+u64 FqPacerKernel::Enqueue(u32 flow, u64 now) {
+  u64& slot = next_slot_[flow];
+  const u64 when = slot > now ? slot : now;
+  slot = when + gap_ns_;
+  schedule_.emplace(MakeKey(when, seq_++), flow);
+  return when;
+}
+
+std::optional<FqItem> FqPacerKernel::Dequeue(u64 now) {
+  if (schedule_.empty()) {
+    return std::nullopt;
+  }
+  const auto it = schedule_.begin();
+  if (KeyTime(it->first) > now) {
+    return std::nullopt;
+  }
+  const FqItem item{KeyTime(it->first), it->second};
+  schedule_.erase(it);
+  return item;
+}
+
+// ---------------------------------------------------------------------------
+// FqPacerEnetstl: memory-wrapper treap.
+// ---------------------------------------------------------------------------
+
+FqPacerEnetstl::FqPacerEnetstl(u64 ns_per_packet, u32 max_items)
+    : FqPacerBase(ns_per_packet), next_slot_(max_items) {
+  anchor_ = proxy_.NodeAlloc(2, 0, kDataSize);
+  proxy_.SetOwner(anchor_);
+  proxy_.NodeRelease(anchor_);
+}
+
+FqPacerEnetstl::NodeInfo FqPacerEnetstl::Read(enetstl::Node* node) const {
+  NodeInfo info;
+  auto* self = const_cast<FqPacerEnetstl*>(this);
+  self->proxy_.NodeRead(node, kKeyOff, &info.key, 8);
+  self->proxy_.NodeRead(node, kFlowOff, &info.flow, 4);
+  self->proxy_.NodeRead(node, kPrioOff, &info.prio, 4);
+  return info;
+}
+
+void FqPacerEnetstl::RotateUp(enetstl::Node* grandparent, u32 pdir,
+                              enetstl::Node* parent, u32 dir,
+                              enetstl::Node* node) {
+  // Left rotation mirrors right rotation; `dir` is node's side of parent.
+  const u32 other = dir == kLeft ? kRight : kLeft;
+  // 1. Node's `other` subtree becomes parent's `dir` child (replacing node).
+  enetstl::Node* middle = proxy_.GetNext(node, other);
+  if (middle != nullptr) {
+    proxy_.NodeConnect(parent, dir, middle, 0);
+    proxy_.NodeRelease(middle);
+  } else {
+    proxy_.NodeDisconnect(parent, dir);
+  }
+  // 2. Parent becomes node's `other` child (this also severs the
+  //    grandparent->parent edge via the reverse-edge bookkeeping).
+  proxy_.NodeConnect(node, other, parent, 0);
+  // 3. Node takes parent's old place under the grandparent.
+  proxy_.NodeConnect(grandparent, pdir, node, 0);
+}
+
+u64 FqPacerEnetstl::Enqueue(u32 flow, u64 now) {
+  u64 when = now;
+  if (u64* slot = next_slot_.LookupElem(flow)) {
+    when = *slot > now ? *slot : now;
+    *slot = when + gap_ns_;
+  } else {
+    next_slot_.UpdateElem(flow, when + gap_ns_);
+  }
+  const u64 key = MakeKey(when, seq_++);
+
+  prio_rng_ ^= prio_rng_ << 13;
+  prio_rng_ ^= prio_rng_ >> 7;
+  prio_rng_ ^= prio_rng_ << 17;
+  const u32 prio = static_cast<u32>(prio_rng_);
+
+  enetstl::Node* node = proxy_.NodeAlloc(2, 1, kDataSize);
+  if (node == nullptr) {
+    return when;
+  }
+  proxy_.NodeWrite(node, kKeyOff, &key, 8);
+  proxy_.NodeWrite(node, kFlowOff, &flow, 4);
+  proxy_.NodeWrite(node, kPrioOff, &prio, 4);
+  proxy_.SetOwner(node);
+
+  // Descend to the insertion point, keeping a referenced ancestor stack.
+  struct PathEntry {
+    enetstl::Node* n;
+    u32 dir;      // direction taken from n along the search path
+    bool refed;   // whether we hold a GetNext reference on n
+  };
+  std::vector<PathEntry> path;
+  path.reserve(kMaxDepth);
+  path.push_back({anchor_, kLeft, false});
+  while (path.size() < kMaxDepth) {
+    PathEntry& top = path.back();
+    enetstl::Node* child = proxy_.GetNext(top.n, top.dir);
+    if (child == nullptr) {
+      break;
+    }
+    const NodeInfo info = Read(child);
+    path.push_back({child, key < info.key ? kLeft : kRight, true});
+  }
+  proxy_.NodeConnect(path.back().n, path.back().dir, node, 0);
+
+  // Rotate the new node up while it violates the min-heap priority order.
+  while (path.size() > 1) {
+    PathEntry& par = path.back();
+    const NodeInfo pinfo = Read(par.n);
+    if (pinfo.prio <= prio) {
+      break;
+    }
+    PathEntry& gp = path[path.size() - 2];
+    RotateUp(gp.n, gp.dir, par.n, par.dir, node);
+    if (par.refed) {
+      proxy_.NodeRelease(par.n);
+    }
+    path.pop_back();
+  }
+  for (std::size_t i = 1; i < path.size(); ++i) {
+    if (path[i].refed) {
+      proxy_.NodeRelease(path[i].n);
+    }
+  }
+  proxy_.NodeRelease(node);  // ownership stays with the proxy
+  ++size_;
+  return when;
+}
+
+std::optional<FqItem> FqPacerEnetstl::Dequeue(u64 now) {
+  enetstl::Node* parent = anchor_;  // borrowed
+  bool parent_refed = false;
+  enetstl::Node* cur = proxy_.GetNext(anchor_, kLeft);
+  if (cur == nullptr) {
+    return std::nullopt;
+  }
+  // Walk to the leftmost (minimum-key) node.
+  while (true) {
+    enetstl::Node* left = proxy_.GetNext(cur, kLeft);
+    if (left == nullptr) {
+      break;
+    }
+    if (parent_refed) {
+      proxy_.NodeRelease(parent);
+    }
+    parent = cur;
+    parent_refed = true;
+    cur = left;
+  }
+  const NodeInfo info = Read(cur);
+  if (KeyTime(info.key) > now) {
+    proxy_.NodeRelease(cur);
+    if (parent_refed) {
+      proxy_.NodeRelease(parent);
+    }
+    return std::nullopt;
+  }
+  // Splice: the minimum has no left child; its right subtree takes its slot.
+  enetstl::Node* right = proxy_.GetNext(cur, kRight);
+  if (right != nullptr) {
+    proxy_.NodeConnect(parent, kLeft, right, 0);
+    proxy_.NodeRelease(right);
+  } else {
+    proxy_.NodeDisconnect(parent, kLeft);
+  }
+  proxy_.UnsetOwner(cur);
+  proxy_.NodeRelease(cur);
+  if (parent_refed) {
+    proxy_.NodeRelease(parent);
+  }
+  --size_;
+  return FqItem{KeyTime(info.key), info.flow};
+}
+
+bool FqPacerEnetstl::CheckSubtree(enetstl::Node* node, u64 lo, u64 hi,
+                                  u32 parent_prio, u32 depth) const {
+  if (node == nullptr) {
+    return true;
+  }
+  auto* self = const_cast<FqPacerEnetstl*>(this);
+  if (depth > kMaxDepth) {
+    return false;
+  }
+  const NodeInfo info = Read(node);
+  bool ok = info.key >= lo && info.key < hi && info.prio >= parent_prio;
+  if (ok) {
+    enetstl::Node* left = self->proxy_.GetNext(node, kLeft);
+    ok = CheckSubtree(left, lo, info.key, info.prio, depth + 1);
+    if (left != nullptr) {
+      self->proxy_.NodeRelease(left);
+    }
+  }
+  if (ok) {
+    enetstl::Node* right = self->proxy_.GetNext(node, kRight);
+    ok = CheckSubtree(right, info.key + 1, hi, info.prio, depth + 1);
+    if (right != nullptr) {
+      self->proxy_.NodeRelease(right);
+    }
+  }
+  return ok;
+}
+
+bool FqPacerEnetstl::CheckInvariants() const {
+  auto* self = const_cast<FqPacerEnetstl*>(this);
+  enetstl::Node* root = self->proxy_.GetNext(self->anchor_, kLeft);
+  const bool ok =
+      CheckSubtree(root, 0, ~0ull, 0, 0);
+  if (root != nullptr) {
+    self->proxy_.NodeRelease(root);
+  }
+  return ok;
+}
+
+}  // namespace nf

@@ -1,0 +1,138 @@
+// FQ pacing (Eric Dumazet's fq qdisc [24]) — the third NF the paper's
+// Table 1 marks infeasible in pure eBPF (P1): fq queues flows in a
+// red-black tree ordered by each flow's next transmit time, i.e. a balanced
+// search tree of dynamically allocated, pointer-routed nodes.
+//
+// The eNetSTL variant builds the ordered structure as a TREAP on the memory
+// wrapper — a balanced search tree whose rebalancing (rotations) is a pair
+// of NodeConnect calls, demonstrating that the wrapper supports fully
+// customized tree layouts, not just lists. Out-slot 0 = left child,
+// out-slot 1 = right child; each node has one in-slot (its parent edge).
+//
+// The pacer itself is faithful fq logic: each flow has a rate; enqueueing a
+// packet schedules it at the flow's next transmit time; Dequeue releases
+// the earliest-scheduled packet whose time has come.
+//
+// Variants: kernel (std::multimap tree) and eNetSTL (memory-wrapper treap);
+// no eBPF variant can exist (the paper's classification).
+#ifndef ENETSTL_NF_FQ_PACER_H_
+#define ENETSTL_NF_FQ_PACER_H_
+
+#include <map>
+#include <optional>
+#include <unordered_map>
+
+#include "core/memory_wrapper.h"
+#include "ebpf/maps.h"
+#include "nf/nf_interface.h"
+
+namespace nf {
+
+struct FqItem {
+  u64 time = 0;  // scheduled transmit time (ns); unique tiebreak in low bits
+  u32 flow = 0;
+};
+
+class FqPacerBase : public NetworkFunction {
+ public:
+  // ns_per_packet: the pacing gap each flow's packets are spread by.
+  explicit FqPacerBase(u64 ns_per_packet) : gap_ns_(ns_per_packet) {}
+
+  // Schedules one packet of `flow` at max(now, flow's next slot); the flow's
+  // next slot then advances by the pacing gap. Returns the scheduled time.
+  virtual u64 Enqueue(u32 flow, u64 now) = 0;
+  // Releases the earliest scheduled packet with time <= now.
+  virtual std::optional<FqItem> Dequeue(u64 now) = 0;
+  virtual u32 size() const = 0;
+
+  // Packet path: payload word 0 = 1 -> enqueue at the packet's rx time;
+  // 0 -> dequeue whatever is due.
+  ebpf::XdpAction Process(ebpf::XdpContext& ctx) override {
+    ebpf::FiveTuple tuple;
+    if (!ebpf::ParseFiveTuple(ctx, &tuple)) {
+      return ebpf::XdpAction::kAborted;
+    }
+    u32 op = 0;
+    std::memcpy(&op, ctx.data + ebpf::kL4HeaderOffset + 8, 4);
+    virtual_now_ += gap_ns_ / 4;
+    if (op == 1) {
+      Enqueue(tuple.src_ip, virtual_now_);
+    } else {
+      (void)Dequeue(virtual_now_);
+    }
+    return ebpf::XdpAction::kDrop;
+  }
+
+  std::string_view name() const override { return "fq-pacer"; }
+
+ protected:
+  u64 gap_ns_;
+  u64 virtual_now_ = 0;
+  u64 seq_ = 0;  // uniquifies equal timestamps (low bits of the key)
+};
+
+class FqPacerKernel : public FqPacerBase {
+ public:
+  explicit FqPacerKernel(u64 ns_per_packet) : FqPacerBase(ns_per_packet) {}
+
+  u64 Enqueue(u32 flow, u64 now) override;
+  std::optional<FqItem> Dequeue(u64 now) override;
+  u32 size() const override { return static_cast<u32>(schedule_.size()); }
+  Variant variant() const override { return Variant::kKernel; }
+
+ private:
+  std::map<u64, u32> schedule_;  // unique key -> flow
+  std::unordered_map<u32, u64> next_slot_;
+};
+
+class FqPacerEnetstl : public FqPacerBase {
+ public:
+  explicit FqPacerEnetstl(u64 ns_per_packet, u32 max_items = 65536);
+  ~FqPacerEnetstl() override = default;
+  FqPacerEnetstl(const FqPacerEnetstl&) = delete;
+  FqPacerEnetstl& operator=(const FqPacerEnetstl&) = delete;
+
+  u64 Enqueue(u32 flow, u64 now) override;
+  std::optional<FqItem> Dequeue(u64 now) override;
+  u32 size() const override { return size_; }
+  Variant variant() const override { return Variant::kEnetstl; }
+
+  const enetstl::NodeProxy& proxy() const { return proxy_; }
+  // Test hook: walks the tree and checks the BST-order and heap-priority
+  // invariants; returns false if either is violated.
+  bool CheckInvariants() const;
+
+ private:
+  // Node payload: [u64 key][u32 flow][u32 prio].
+  static constexpr u32 kKeyOff = 0;
+  static constexpr u32 kFlowOff = 8;
+  static constexpr u32 kPrioOff = 12;
+  static constexpr u32 kDataSize = 16;
+  static constexpr u32 kLeft = 0;
+  static constexpr u32 kRight = 1;
+  static constexpr u32 kMaxDepth = 96;
+
+  struct NodeInfo {
+    u64 key;
+    u32 flow;
+    u32 prio;
+  };
+
+  NodeInfo Read(enetstl::Node* node) const;
+  // Rotates `node` (a child of `parent` via `dir`) above its parent;
+  // `grandparent` points to `parent` via `pdir`.
+  void RotateUp(enetstl::Node* grandparent, u32 pdir, enetstl::Node* parent,
+                u32 dir, enetstl::Node* node);
+  bool CheckSubtree(enetstl::Node* node, u64 lo, u64 hi, u32 parent_prio,
+                    u32 depth) const;
+
+  enetstl::NodeProxy proxy_;
+  enetstl::Node* anchor_;  // sentinel; out-slot kLeft holds the root
+  ebpf::HashMap<u32, u64> next_slot_;
+  u32 size_ = 0;
+  u64 prio_rng_ = 0x9e3779b97f4a7c15ull;
+};
+
+}  // namespace nf
+
+#endif  // ENETSTL_NF_FQ_PACER_H_

@@ -1,0 +1,140 @@
+#include "nf/lru_cache.h"
+
+namespace nf {
+
+// ---------------------------------------------------------------------------
+// LruCacheKernel: std::list + hash index, native pointers.
+// ---------------------------------------------------------------------------
+
+void LruCacheKernel::Put(const ebpf::FiveTuple& key, u64 value) {
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    it->second->value = value;
+    recency_.splice(recency_.begin(), recency_, it->second);
+    return;
+  }
+  if (index_.size() >= capacity_) {
+    index_.erase(recency_.back().key);
+    recency_.pop_back();
+  }
+  recency_.push_front({key, value});
+  index_[key] = recency_.begin();
+}
+
+std::optional<u64> LruCacheKernel::Get(const ebpf::FiveTuple& key) {
+  auto it = index_.find(key);
+  if (it == index_.end()) {
+    return std::nullopt;
+  }
+  recency_.splice(recency_.begin(), recency_, it->second);
+  return it->second->value;
+}
+
+// ---------------------------------------------------------------------------
+// LruCacheEnetstl: memory-wrapper recency list + BPF hash index of kptrs.
+// ---------------------------------------------------------------------------
+
+LruCacheEnetstl::LruCacheEnetstl(u32 capacity)
+    : LruCacheBase(capacity), index_(capacity) {
+  head_ = proxy_.NodeAlloc(2, 2, kDataSize);
+  tail_ = proxy_.NodeAlloc(2, 2, kDataSize);
+  proxy_.SetOwner(head_);
+  proxy_.SetOwner(tail_);
+  proxy_.NodeConnect(head_, kNext, tail_, kNext);
+  proxy_.NodeConnect(tail_, kPrev, head_, kPrev);
+  proxy_.NodeRelease(head_);
+  proxy_.NodeRelease(tail_);
+}
+
+void LruCacheEnetstl::Unlink(enetstl::Node* node) {
+  enetstl::Node* prev = proxy_.GetNext(node, kPrev);
+  enetstl::Node* next = proxy_.GetNext(node, kNext);
+  if (prev == nullptr || next == nullptr) {
+    // Not linked (already unlinked); nothing to do.
+    if (prev != nullptr) {
+      proxy_.NodeRelease(prev);
+    }
+    if (next != nullptr) {
+      proxy_.NodeRelease(next);
+    }
+    return;
+  }
+  // Connecting prev->next overwrites next's in-edge, which disconnects
+  // node->next as a side effect; symmetrically for the prev direction.
+  proxy_.NodeConnect(prev, kNext, next, kNext);
+  proxy_.NodeConnect(next, kPrev, prev, kPrev);
+  proxy_.NodeRelease(prev);
+  proxy_.NodeRelease(next);
+}
+
+void LruCacheEnetstl::PushFront(enetstl::Node* node) {
+  enetstl::Node* first = proxy_.GetNext(head_, kNext);
+  // head -> node -> first, with the reverse (prev) chain mirrored.
+  proxy_.NodeConnect(node, kNext, first, kNext);
+  proxy_.NodeConnect(first, kPrev, node, kPrev);
+  proxy_.NodeConnect(head_, kNext, node, kNext);
+  proxy_.NodeConnect(node, kPrev, head_, kPrev);
+  proxy_.NodeRelease(first);
+}
+
+void LruCacheEnetstl::EvictOldest() {
+  enetstl::Node* victim = proxy_.GetNext(tail_, kPrev);
+  if (victim == nullptr || victim == head_) {
+    if (victim != nullptr) {
+      proxy_.NodeRelease(victim);
+    }
+    return;
+  }
+  ebpf::FiveTuple key;
+  proxy_.NodeRead(victim, kKeyOff, &key, sizeof(key));
+  Unlink(victim);
+  index_.DeleteElem(key);
+  proxy_.UnsetOwner(victim);
+  proxy_.NodeRelease(victim);
+  --size_;
+}
+
+void LruCacheEnetstl::Put(const ebpf::FiveTuple& key, u64 value) {
+  if (enetstl::Node** slot = index_.LookupElem(key)) {
+    enetstl::Node* node = *slot;
+    proxy_.NodeWrite(node, kValueOff, &value, sizeof(value));
+    Unlink(node);
+    PushFront(node);
+    return;
+  }
+  if (size_ >= capacity_) {
+    EvictOldest();
+  }
+  enetstl::Node* node = proxy_.NodeAlloc(2, 2, kDataSize);
+  if (node == nullptr) {
+    return;
+  }
+  proxy_.NodeWrite(node, kKeyOff, &key, sizeof(key));
+  proxy_.NodeWrite(node, kValueOff, &value, sizeof(value));
+  proxy_.SetOwner(node);
+  PushFront(node);
+  if (index_.UpdateElem(key, node) != ebpf::kOk) {
+    // Index full (cannot happen while size_ < capacity_, but stay safe).
+    Unlink(node);
+    proxy_.UnsetOwner(node);
+    proxy_.NodeRelease(node);
+    return;
+  }
+  proxy_.NodeRelease(node);
+  ++size_;
+}
+
+std::optional<u64> LruCacheEnetstl::Get(const ebpf::FiveTuple& key) {
+  enetstl::Node** slot = index_.LookupElem(key);
+  if (slot == nullptr) {
+    return std::nullopt;
+  }
+  enetstl::Node* node = *slot;
+  u64 value = 0;
+  proxy_.NodeRead(node, kValueOff, &value, sizeof(value));
+  Unlink(node);
+  PushFront(node);
+  return value;
+}
+
+}  // namespace nf

@@ -1,0 +1,126 @@
+// LRU flow cache — the paper's §4.5 flexibility claim made concrete:
+// "the incorporation of support for non-contiguous memory significantly
+// enhances eBPF's flexibility in facilitating other NFs, such as LRU based
+// on lists."
+//
+// A classic LRU needs a doubly-linked recency list whose nodes are also
+// reachable from a hash index — exactly the variable-count, pointer-routed
+// allocation pattern pure eBPF cannot express (P1; the kernel's LRU map
+// exists precisely because programs cannot build their own). With the
+// memory wrapper it becomes an ordinary eBPF program:
+//   * each entry is a node with two out-slots (next, prev);
+//   * two sentinel nodes delimit the list;
+//   * the hash index stores node kptrs as map values;
+//   * a move-to-front is two NodeConnects (the wrapper's reverse-edge
+//     bookkeeping unlinks the node as a side effect);
+//   * eviction releases the tail node — lazy safety checking guarantees no
+//     dangling pointer can survive even a buggy eviction order.
+//
+// Variants: kernel (native pointers) and eNetSTL (memory wrapper); as with
+// the skip list, there is no pure-eBPF variant.
+#ifndef ENETSTL_NF_LRU_CACHE_H_
+#define ENETSTL_NF_LRU_CACHE_H_
+
+#include <list>
+#include <optional>
+#include <unordered_map>
+
+#include "core/memory_wrapper.h"
+#include "ebpf/maps.h"
+#include "nf/nf_interface.h"
+
+namespace nf {
+
+class LruCacheBase : public NetworkFunction {
+ public:
+  explicit LruCacheBase(u32 capacity) : capacity_(capacity) {}
+
+  // Inserts or refreshes key -> value; evicts the least recently used entry
+  // when the cache is full.
+  virtual void Put(const ebpf::FiveTuple& key, u64 value) = 0;
+  // Returns the value and marks the entry most recently used.
+  virtual std::optional<u64> Get(const ebpf::FiveTuple& key) = 0;
+  virtual u32 size() const = 0;
+
+  // Packet path: cache hit -> TX; miss -> insert and PASS (flow setup).
+  ebpf::XdpAction Process(ebpf::XdpContext& ctx) override {
+    ebpf::FiveTuple tuple;
+    if (!ebpf::ParseFiveTuple(ctx, &tuple)) {
+      return ebpf::XdpAction::kAborted;
+    }
+    if (Get(tuple).has_value()) {
+      return ebpf::XdpAction::kTx;
+    }
+    Put(tuple, tuple.src_ip);
+    return ebpf::XdpAction::kPass;
+  }
+
+  std::string_view name() const override { return "lru-flow-cache"; }
+  u32 capacity() const { return capacity_; }
+
+ protected:
+  u32 capacity_;
+};
+
+class LruCacheKernel : public LruCacheBase {
+ public:
+  explicit LruCacheKernel(u32 capacity) : LruCacheBase(capacity) {}
+
+  void Put(const ebpf::FiveTuple& key, u64 value) override;
+  std::optional<u64> Get(const ebpf::FiveTuple& key) override;
+  u32 size() const override { return static_cast<u32>(index_.size()); }
+  Variant variant() const override { return Variant::kKernel; }
+
+ private:
+  struct Entry {
+    ebpf::FiveTuple key;
+    u64 value;
+  };
+
+  std::list<Entry> recency_;  // front = most recent
+  std::unordered_map<ebpf::FiveTuple, std::list<Entry>::iterator,
+                     ebpf::FiveTupleHash>
+      index_;
+};
+
+class LruCacheEnetstl : public LruCacheBase {
+ public:
+  explicit LruCacheEnetstl(u32 capacity);
+  ~LruCacheEnetstl() override = default;  // proxy frees all nodes
+  LruCacheEnetstl(const LruCacheEnetstl&) = delete;
+  LruCacheEnetstl& operator=(const LruCacheEnetstl&) = delete;
+
+  void Put(const ebpf::FiveTuple& key, u64 value) override;
+  std::optional<u64> Get(const ebpf::FiveTuple& key) override;
+  u32 size() const override { return size_; }
+  Variant variant() const override { return Variant::kEnetstl; }
+
+  const enetstl::NodeProxy& proxy() const { return proxy_; }
+
+ private:
+  // Node payload: [FiveTuple key][u64 value].
+  static constexpr u32 kKeyOff = 0;
+  static constexpr u32 kValueOff = sizeof(ebpf::FiveTuple);
+  static constexpr u32 kDataSize = kValueOff + sizeof(u64);
+  // Out-slot 0 = next (toward tail), out-slot 1 = prev (toward head).
+  static constexpr u32 kNext = 0;
+  static constexpr u32 kPrev = 1;
+
+  // Splices `node` out of the recency list (two NodeConnects; the wrapper's
+  // reverse-edge bookkeeping clears the node's own out-slots).
+  void Unlink(enetstl::Node* node);
+  // Inserts `node` right after the head sentinel.
+  void PushFront(enetstl::Node* node);
+  void EvictOldest();
+
+  enetstl::NodeProxy proxy_;
+  enetstl::Node* head_;  // sentinel
+  enetstl::Node* tail_;  // sentinel
+  // The hash index holds node kptrs as map values (bpf_kptr_xchg pattern).
+  ebpf::HashMap<ebpf::FiveTuple, enetstl::Node*> index_;
+  u32 size_ = 0;
+};
+
+}  // namespace nf
+
+#endif  // ENETSTL_NF_LRU_CACHE_H_

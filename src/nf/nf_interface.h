@@ -1,0 +1,60 @@
+// Common interface every network-function variant implements, so tests,
+// examples, and the measurement pipeline can drive eBPF / kernel / eNetSTL
+// variants of one NF interchangeably.
+#ifndef ENETSTL_NF_NF_INTERFACE_H_
+#define ENETSTL_NF_NF_INTERFACE_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "ebpf/program.h"
+#include "pktgen/pipeline.h"
+
+namespace nf {
+
+using ebpf::s32;
+using ebpf::u16;
+using ebpf::u32;
+using ebpf::u64;
+using ebpf::u8;
+
+// Which execution model an NF implementation targets.
+enum class Variant {
+  kEbpf,     // pure eBPF: scalar code, helper-call boundary, BPF maps/lists
+  kKernel,   // native in-kernel baseline: no boundary, full instruction set
+  kEnetstl,  // eBPF program using eNetSTL kfuncs for the hot operations
+};
+
+inline std::string_view VariantName(Variant v) {
+  switch (v) {
+    case Variant::kEbpf:
+      return "eBPF";
+    case Variant::kKernel:
+      return "Kernel";
+    case Variant::kEnetstl:
+      return "eNetSTL";
+  }
+  return "?";
+}
+
+// Base class for packet-driven NFs.
+class NetworkFunction {
+ public:
+  virtual ~NetworkFunction() = default;
+
+  // Processes one packet (the XDP entry point of this NF).
+  virtual ebpf::XdpAction Process(ebpf::XdpContext& ctx) = 0;
+
+  virtual std::string_view name() const = 0;
+  virtual Variant variant() const = 0;
+
+  // Adapter for the measurement pipeline.
+  pktgen::PacketHandler Handler() {
+    return [this](ebpf::XdpContext& ctx) { return Process(ctx); };
+  }
+};
+
+}  // namespace nf
+
+#endif  // ENETSTL_NF_NF_INTERFACE_H_

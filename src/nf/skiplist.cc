@@ -1,0 +1,388 @@
+#include "nf/skiplist.h"
+
+#include "pktgen/flowgen.h"
+
+namespace nf {
+
+namespace {
+
+inline u64 XorShift64(u64& state) {
+  state ^= state << 13;
+  state ^= state >> 7;
+  state ^= state << 17;
+  return state;
+}
+
+// Geometric height with p = 1/2, capped at the configured maximum.
+inline u32 GeometricHeight(u64& state, u32 max_height) {
+  u32 h = 1;
+  u64 bits = XorShift64(state);
+  while ((bits & 1ull) != 0 && h < max_height) {
+    ++h;
+    bits >>= 1;
+    if (bits == 0) {
+      bits = XorShift64(state);
+    }
+  }
+  return h;
+}
+
+inline SkipValue ValueFromTuple(const ebpf::FiveTuple& tuple) {
+  SkipValue v;
+  for (u32 off = 0; off + sizeof(tuple) <= kSkipValueSize;
+       off += sizeof(tuple)) {
+    std::memcpy(v.bytes + off, &tuple, sizeof(tuple));
+  }
+  return v;
+}
+
+}  // namespace
+
+ebpf::XdpAction SkipListBase::Process(ebpf::XdpContext& ctx) {
+  ebpf::FiveTuple tuple;
+  if (!ebpf::ParseFiveTuple(ctx, &tuple)) {
+    return ebpf::XdpAction::kAborted;
+  }
+  u32 op = 0;
+  std::memcpy(&op, ctx.data + ebpf::kL4HeaderOffset + 8, 4);
+  const SkipKey key = SkipKey::FromTuple(tuple);
+  switch (static_cast<pktgen::KvOp>(op)) {
+    case pktgen::KvOp::kLookup: {
+      SkipValue value;
+      return Lookup(key, &value) ? ebpf::XdpAction::kPass
+                                 : ebpf::XdpAction::kDrop;
+    }
+    case pktgen::KvOp::kUpdate:
+      Update(key, ValueFromTuple(tuple));
+      return ebpf::XdpAction::kDrop;
+    case pktgen::KvOp::kDelete:
+      return Erase(key) ? ebpf::XdpAction::kDrop : ebpf::XdpAction::kPass;
+  }
+  return ebpf::XdpAction::kAborted;
+}
+
+// ---------------------------------------------------------------------------
+// SkipListKernel: native pointers.
+// ---------------------------------------------------------------------------
+
+SkipListKernel::SkipListKernel(u64 seed) : rng_state_(seed | 1ull) {
+  head_ = new Node();
+  head_->height = kSkipListMaxHeight;
+  for (u32 i = 0; i < kSkipListMaxHeight; ++i) {
+    head_->next[i] = nullptr;
+  }
+}
+
+SkipListKernel::~SkipListKernel() {
+  Node* node = head_;
+  while (node != nullptr) {
+    Node* next = node->next[0];
+    delete node;
+    node = next;
+  }
+}
+
+u32 SkipListKernel::RandomHeight() {
+  return GeometricHeight(rng_state_, kSkipListMaxHeight);
+}
+
+bool SkipListKernel::Lookup(const SkipKey& key, SkipValue* value) {
+  Node* x = head_;
+  for (int lvl = static_cast<int>(cur_height_) - 1; lvl >= 0; --lvl) {
+    while (x->next[lvl] != nullptr && CompareKeys(x->next[lvl]->key, key) < 0) {
+      x = x->next[lvl];
+    }
+  }
+  Node* cand = x->next[0];
+  if (cand != nullptr && cand->key == key) {
+    *value = cand->value;
+    return true;
+  }
+  return false;
+}
+
+void SkipListKernel::Update(const SkipKey& key, const SkipValue& value) {
+  Node* preds[kSkipListMaxHeight];
+  for (u32 lvl = cur_height_; lvl < kSkipListMaxHeight; ++lvl) {
+    preds[lvl] = head_;  // levels above the populated height
+  }
+  Node* x = head_;
+  for (int lvl = static_cast<int>(cur_height_) - 1; lvl >= 0; --lvl) {
+    while (x->next[lvl] != nullptr && CompareKeys(x->next[lvl]->key, key) < 0) {
+      x = x->next[lvl];
+    }
+    preds[lvl] = x;
+  }
+  Node* cand = x->next[0];
+  if (cand != nullptr && cand->key == key) {
+    cand->value = value;
+    return;
+  }
+  const u32 height = RandomHeight();
+  if (height > cur_height_) {
+    cur_height_ = height;
+  }
+  Node* node = new Node();
+  node->key = key;
+  node->value = value;
+  node->height = height;
+  for (u32 lvl = 0; lvl < height; ++lvl) {
+    node->next[lvl] = preds[lvl]->next[lvl];
+    preds[lvl]->next[lvl] = node;
+  }
+  for (u32 lvl = height; lvl < kSkipListMaxHeight; ++lvl) {
+    node->next[lvl] = nullptr;
+  }
+  ++size_;
+}
+
+bool SkipListKernel::Erase(const SkipKey& key) {
+  Node* preds[kSkipListMaxHeight];
+  for (u32 lvl = cur_height_; lvl < kSkipListMaxHeight; ++lvl) {
+    preds[lvl] = head_;
+  }
+  Node* x = head_;
+  for (int lvl = static_cast<int>(cur_height_) - 1; lvl >= 0; --lvl) {
+    while (x->next[lvl] != nullptr && CompareKeys(x->next[lvl]->key, key) < 0) {
+      x = x->next[lvl];
+    }
+    preds[lvl] = x;
+  }
+  Node* cand = x->next[0];
+  if (cand == nullptr || !(cand->key == key)) {
+    return false;
+  }
+  for (u32 lvl = 0; lvl < cand->height; ++lvl) {
+    if (preds[lvl]->next[lvl] == cand) {
+      preds[lvl]->next[lvl] = cand->next[lvl];
+    }
+  }
+  delete cand;
+  --size_;
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// SkipListEnetstl: memory-wrapper nodes, reference-counted traversal.
+// ---------------------------------------------------------------------------
+
+SkipListEnetstl::SkipListEnetstl(u64 seed, enetstl::NodeProxy::CheckMode mode)
+    : proxy_(mode), rng_state_(seed | 1ull) {
+  head_ = proxy_.NodeAlloc(kSkipListMaxHeight, 0, sizeof(u32));
+  proxy_.SetOwner(head_);
+  const u32 height = kSkipListMaxHeight;
+  proxy_.NodeWrite(head_, 0, &height, sizeof(height));
+  // The constructor's alloc reference is handed over to the proxy.
+  proxy_.NodeRelease(head_);
+}
+
+SkipListEnetstl::~SkipListEnetstl() = default;  // proxy destructor frees all
+
+u32 SkipListEnetstl::RandomHeight() {
+  return GeometricHeight(rng_state_, kSkipListMaxHeight);
+}
+
+namespace {
+
+// The node payload starts with the key; reads of kfunc-returned node memory
+// are bounds-verified from metadata, so the key compare reads it in place.
+inline int CompareNodeKey(const enetstl::Node* node, const SkipKey& key) {
+  return std::memcmp(node->data(), key.bytes, kSkipKeySize);
+}
+
+}  // namespace
+
+bool SkipListEnetstl::Lookup(const SkipKey& key, SkipValue* value) {
+  enetstl::Node* x = head_;       // borrowed: proxy keeps the head alive
+  enetstl::Node* x_ref = nullptr; // the reference we currently hold (if any)
+  for (int lvl = static_cast<int>(cur_height_) - 1; lvl >= 0; --lvl) {
+    while (true) {
+      enetstl::Node* next = proxy_.GetNext(x, static_cast<u32>(lvl));
+      if (next == nullptr) {
+        break;
+      }
+      if (CompareNodeKey(next, key) < 0) {
+        if (x_ref != nullptr) {
+          proxy_.NodeRelease(x_ref);
+        }
+        x = next;
+        x_ref = next;
+      } else {
+        proxy_.NodeRelease(next);
+        break;
+      }
+    }
+  }
+  enetstl::Node* cand = proxy_.GetNext(x, 0);
+  bool found = false;
+  if (cand != nullptr) {
+    if (CompareNodeKey(cand, key) == 0) {
+      proxy_.NodeRead(cand, kValueOff, value->bytes, kSkipValueSize);
+      found = true;
+    }
+    proxy_.NodeRelease(cand);
+  }
+  if (x_ref != nullptr) {
+    proxy_.NodeRelease(x_ref);
+  }
+  return found;
+}
+
+void SkipListEnetstl::Update(const SkipKey& key, const SkipValue& value) {
+  enetstl::Node* preds[kSkipListMaxHeight];
+  for (u32 lvl = cur_height_; lvl < kSkipListMaxHeight; ++lvl) {
+    preds[lvl] = head_;
+  }
+  enetstl::Node* x = head_;
+  enetstl::Node* x_ref = nullptr;
+  for (int lvl = static_cast<int>(cur_height_) - 1; lvl >= 0; --lvl) {
+    while (true) {
+      enetstl::Node* next = proxy_.GetNext(x, static_cast<u32>(lvl));
+      if (next == nullptr) {
+        break;
+      }
+      if (CompareNodeKey(next, key) < 0) {
+        if (x_ref != nullptr) {
+          proxy_.NodeRelease(x_ref);
+        }
+        x = next;
+        x_ref = next;
+      } else {
+        proxy_.NodeRelease(next);
+        break;
+      }
+    }
+    // Hold a per-level reference on the predecessor (head is proxy-owned).
+    preds[lvl] = x;
+    if (x != head_) {
+      proxy_.NodeAcquire(x);
+    }
+  }
+  if (x_ref != nullptr) {
+    proxy_.NodeRelease(x_ref);
+  }
+
+  auto release_preds = [&]() {
+    for (u32 lvl = 0; lvl < kSkipListMaxHeight; ++lvl) {
+      if (preds[lvl] != head_) {
+        proxy_.NodeRelease(preds[lvl]);
+      }
+    }
+  };
+
+  enetstl::Node* cand = proxy_.GetNext(preds[0], 0);
+  if (cand != nullptr) {
+    if (CompareNodeKey(cand, key) == 0) {
+      proxy_.NodeWrite(cand, kValueOff, value.bytes, kSkipValueSize);
+      proxy_.NodeRelease(cand);
+      release_preds();
+      return;
+    }
+    proxy_.NodeRelease(cand);
+  }
+
+  const u32 height = RandomHeight();
+  if (height > cur_height_) {
+    cur_height_ = height;
+  }
+  enetstl::Node* node = proxy_.NodeAlloc(height, height, kDataSize);
+  if (node == nullptr) {  // verifier-mandated null check
+    release_preds();
+    return;
+  }
+  proxy_.NodeWrite(node, kKeyOff, key.bytes, kSkipKeySize);
+  proxy_.NodeWrite(node, kValueOff, value.bytes, kSkipValueSize);
+  proxy_.NodeWrite(node, kHeightOff, &height, sizeof(height));
+  proxy_.SetOwner(node);
+
+  for (u32 lvl = 0; lvl < height; ++lvl) {
+    enetstl::Node* succ = proxy_.GetNext(preds[lvl], lvl);
+    if (succ != nullptr) {
+      proxy_.NodeConnect(node, lvl, succ, lvl);
+      proxy_.NodeRelease(succ);
+    }
+    proxy_.NodeConnect(preds[lvl], lvl, node, lvl);
+  }
+  proxy_.NodeRelease(node);  // ownership stays with the proxy
+  release_preds();
+  ++size_;
+}
+
+bool SkipListEnetstl::Erase(const SkipKey& key) {
+  enetstl::Node* preds[kSkipListMaxHeight];
+  for (u32 lvl = cur_height_; lvl < kSkipListMaxHeight; ++lvl) {
+    preds[lvl] = head_;
+  }
+  enetstl::Node* x = head_;
+  enetstl::Node* x_ref = nullptr;
+  for (int lvl = static_cast<int>(cur_height_) - 1; lvl >= 0; --lvl) {
+    while (true) {
+      enetstl::Node* next = proxy_.GetNext(x, static_cast<u32>(lvl));
+      if (next == nullptr) {
+        break;
+      }
+      if (CompareNodeKey(next, key) < 0) {
+        if (x_ref != nullptr) {
+          proxy_.NodeRelease(x_ref);
+        }
+        x = next;
+        x_ref = next;
+      } else {
+        proxy_.NodeRelease(next);
+        break;
+      }
+    }
+    preds[lvl] = x;
+    if (x != head_) {
+      proxy_.NodeAcquire(x);
+    }
+  }
+  if (x_ref != nullptr) {
+    proxy_.NodeRelease(x_ref);
+  }
+
+  auto release_preds = [&]() {
+    for (u32 lvl = 0; lvl < kSkipListMaxHeight; ++lvl) {
+      if (preds[lvl] != head_) {
+        proxy_.NodeRelease(preds[lvl]);
+      }
+    }
+  };
+
+  enetstl::Node* cand = proxy_.GetNext(preds[0], 0);
+  if (cand == nullptr || CompareNodeKey(cand, key) != 0) {
+    if (cand != nullptr) {
+      proxy_.NodeRelease(cand);
+    }
+    release_preds();
+    return false;
+  }
+
+  u32 height = 0;
+  proxy_.NodeRead(cand, kHeightOff, &height, sizeof(height));
+  // Bypass the victim at every level it participates in: well-implemented
+  // functions update relationships before release, keeping the release-time
+  // lazy cleanup a no-op on the hot structure.
+  for (u32 lvl = 0; lvl < height; ++lvl) {
+    enetstl::Node* at = proxy_.GetNext(preds[lvl], lvl);
+    if (at == cand) {
+      enetstl::Node* succ = proxy_.GetNext(cand, lvl);
+      if (succ != nullptr) {
+        proxy_.NodeConnect(preds[lvl], lvl, succ, lvl);
+        proxy_.NodeRelease(succ);
+      } else {
+        proxy_.NodeDisconnect(preds[lvl], lvl);
+      }
+    }
+    if (at != nullptr) {
+      proxy_.NodeRelease(at);
+    }
+  }
+  proxy_.UnsetOwner(cand);   // drop the proxy's reference
+  proxy_.NodeRelease(cand);  // drop ours: node destroys here
+  release_preds();
+  --size_;
+  return true;
+}
+
+}  // namespace nf

@@ -1,0 +1,136 @@
+// Skip-list key-value query — the paper's Case Study 1 (NFD-HCS hierarchical
+// content store).
+//
+// This NF cannot be written in pure eBPF at all (problem P1): a skip list is
+// a variable number of dynamically allocated nodes with fully customized
+// pointer routing, which the verifier does not admit. There are therefore
+// only two variants:
+//  * SkipListKernel  — native pointers, the upper baseline.
+//  * SkipListEnetstl — nodes are memory-wrapper nodes: out-slot i is the
+//    level-i forward pointer, in-slot i records the level-i predecessor;
+//    traversal uses the check-free GetNext, mutation uses NodeConnect, and
+//    node destruction relies on lazy safety checking to null every
+//    predecessor pointer.
+//
+// Paper parameters: max height 16, 32-byte keys, 128-byte values.
+#ifndef ENETSTL_NF_SKIPLIST_H_
+#define ENETSTL_NF_SKIPLIST_H_
+
+#include <cstring>
+#include <memory>
+#include <optional>
+
+#include "core/memory_wrapper.h"
+#include "nf/nf_interface.h"
+
+namespace nf {
+
+inline constexpr u32 kSkipListMaxHeight = 16;
+inline constexpr u32 kSkipKeySize = 32;
+inline constexpr u32 kSkipValueSize = 128;
+
+struct SkipKey {
+  u8 bytes[kSkipKeySize] = {};
+
+  // Expands a packet 5-tuple into the fixed 32-byte key format.
+  static SkipKey FromTuple(const ebpf::FiveTuple& tuple) {
+    SkipKey k;
+    std::memcpy(k.bytes, &tuple, sizeof(tuple));
+    std::memcpy(k.bytes + 16, &tuple, sizeof(tuple));
+    return k;
+  }
+
+  friend bool operator==(const SkipKey& a, const SkipKey& b) {
+    return std::memcmp(a.bytes, b.bytes, kSkipKeySize) == 0;
+  }
+};
+
+inline int CompareKeys(const SkipKey& a, const SkipKey& b) {
+  return std::memcmp(a.bytes, b.bytes, kSkipKeySize);
+}
+
+struct SkipValue {
+  u8 bytes[kSkipValueSize] = {};
+};
+
+class SkipListBase : public NetworkFunction {
+ public:
+  virtual bool Lookup(const SkipKey& key, SkipValue* value) = 0;
+  virtual void Update(const SkipKey& key, const SkipValue& value) = 0;
+  virtual bool Erase(const SkipKey& key) = 0;
+  virtual u32 size() const = 0;
+
+  // Packet path: payload word 0 selects the operation (KvOp encoding);
+  // lookups that hit pass, misses drop.
+  ebpf::XdpAction Process(ebpf::XdpContext& ctx) override;
+
+  std::string_view name() const override { return "skiplist-kv"; }
+};
+
+class SkipListKernel : public SkipListBase {
+ public:
+  explicit SkipListKernel(u64 seed = 0x853c49e6748fea9bull);
+  ~SkipListKernel() override;
+  SkipListKernel(const SkipListKernel&) = delete;
+  SkipListKernel& operator=(const SkipListKernel&) = delete;
+
+  bool Lookup(const SkipKey& key, SkipValue* value) override;
+  void Update(const SkipKey& key, const SkipValue& value) override;
+  bool Erase(const SkipKey& key) override;
+  u32 size() const override { return size_; }
+  Variant variant() const override { return Variant::kKernel; }
+
+ private:
+  struct Node {
+    SkipKey key;
+    SkipValue value;
+    u32 height;
+    Node* next[kSkipListMaxHeight];
+  };
+
+  u32 RandomHeight();
+
+  Node* head_;
+  u32 size_ = 0;
+  u32 cur_height_ = 1;  // highest level currently populated
+  u64 rng_state_;
+};
+
+class SkipListEnetstl : public SkipListBase {
+ public:
+  // `mode` selects lazy (production) or eager (ablation) safety checking in
+  // the underlying memory wrapper.
+  explicit SkipListEnetstl(
+      u64 seed = 0x853c49e6748fea9bull,
+      enetstl::NodeProxy::CheckMode mode = enetstl::NodeProxy::CheckMode::kLazy);
+  ~SkipListEnetstl() override;
+  SkipListEnetstl(const SkipListEnetstl&) = delete;
+  SkipListEnetstl& operator=(const SkipListEnetstl&) = delete;
+
+  bool Lookup(const SkipKey& key, SkipValue* value) override;
+  void Update(const SkipKey& key, const SkipValue& value) override;
+  bool Erase(const SkipKey& key) override;
+  u32 size() const override { return size_; }
+  Variant variant() const override { return Variant::kEnetstl; }
+
+  const enetstl::NodeProxy& proxy() const { return proxy_; }
+
+ private:
+  u32 RandomHeight();
+
+  // Node payload layout: [SkipKey][SkipValue][u32 height].
+  static constexpr u32 kKeyOff = 0;
+  static constexpr u32 kValueOff = kSkipKeySize;
+  static constexpr u32 kHeightOff = kSkipKeySize + kSkipValueSize;
+  static constexpr u32 kDataSize = kHeightOff + sizeof(u32);
+
+  enetstl::NodeProxy proxy_;
+  enetstl::Node* head_;
+  u32 size_ = 0;
+  u32 cur_height_ = 1;  // highest level currently populated
+  u64 rng_state_;
+};
+
+}  // namespace nf
+
+#endif  // ENETSTL_NF_SKIPLIST_H_

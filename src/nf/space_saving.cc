@@ -1,0 +1,215 @@
+#include "nf/space_saving.h"
+
+namespace nf {
+
+// ---------------------------------------------------------------------------
+// SpaceSavingKernel: std::list + hash index.
+// ---------------------------------------------------------------------------
+
+void SpaceSavingKernel::Update(u32 flow) {
+  auto it = index_.find(flow);
+  if (it != index_.end()) {
+    auto pos = it->second;
+    ++pos->count;
+    // Bubble toward the head past smaller counts (list is non-increasing).
+    auto insert_before = pos;
+    while (insert_before != entries_.begin() &&
+           std::prev(insert_before)->count < pos->count) {
+      --insert_before;
+    }
+    if (insert_before != pos) {
+      entries_.splice(insert_before, entries_, pos);
+    }
+    return;
+  }
+  if (index_.size() < capacity_) {
+    entries_.push_back({flow, 1, 0});
+    index_[flow] = std::prev(entries_.end());
+    // A count-1 entry belongs at the tail; nothing to reorder.
+    return;
+  }
+  // Replace the minimum (tail) element: the Space-Saving step.
+  auto victim = std::prev(entries_.end());
+  index_.erase(victim->flow);
+  const u32 inherited = victim->count;
+  victim->flow = flow;
+  victim->error = inherited;
+  victim->count = inherited + 1;
+  index_[flow] = victim;
+  auto insert_before = victim;
+  while (insert_before != entries_.begin() &&
+         std::prev(insert_before)->count < victim->count) {
+    --insert_before;
+  }
+  if (insert_before != victim) {
+    entries_.splice(insert_before, entries_, victim);
+  }
+}
+
+std::optional<SpaceSavingEntry> SpaceSavingKernel::Query(u32 flow) const {
+  auto it = index_.find(flow);
+  if (it == index_.end()) {
+    return std::nullopt;
+  }
+  return *it->second;
+}
+
+std::vector<SpaceSavingEntry> SpaceSavingKernel::Entries() const {
+  return {entries_.begin(), entries_.end()};
+}
+
+// ---------------------------------------------------------------------------
+// SpaceSavingEnetstl: memory-wrapper list + BPF hash index.
+// ---------------------------------------------------------------------------
+
+SpaceSavingEnetstl::SpaceSavingEnetstl(u32 capacity)
+    : SpaceSavingBase(capacity), index_(capacity) {
+  head_ = proxy_.NodeAlloc(2, 2, kDataSize);
+  tail_ = proxy_.NodeAlloc(2, 2, kDataSize);
+  proxy_.SetOwner(head_);
+  proxy_.SetOwner(tail_);
+  proxy_.NodeConnect(head_, kNext, tail_, kNext);
+  proxy_.NodeConnect(tail_, kPrev, head_, kPrev);
+  proxy_.NodeRelease(head_);
+  proxy_.NodeRelease(tail_);
+}
+
+void SpaceSavingEnetstl::Unlink(enetstl::Node* node) {
+  enetstl::Node* prev = proxy_.GetNext(node, kPrev);
+  enetstl::Node* next = proxy_.GetNext(node, kNext);
+  if (prev != nullptr && next != nullptr) {
+    proxy_.NodeConnect(prev, kNext, next, kNext);
+    proxy_.NodeConnect(next, kPrev, prev, kPrev);
+  }
+  if (prev != nullptr) {
+    proxy_.NodeRelease(prev);
+  }
+  if (next != nullptr) {
+    proxy_.NodeRelease(next);
+  }
+}
+
+void SpaceSavingEnetstl::InsertAfter(enetstl::Node* where,
+                                     enetstl::Node* node) {
+  enetstl::Node* next = proxy_.GetNext(where, kNext);
+  proxy_.NodeConnect(node, kNext, next, kNext);
+  proxy_.NodeConnect(next, kPrev, node, kPrev);
+  proxy_.NodeConnect(where, kNext, node, kNext);
+  proxy_.NodeConnect(node, kPrev, where, kPrev);
+  proxy_.NodeRelease(next);
+}
+
+void SpaceSavingEnetstl::Bubble(enetstl::Node* node, u32 count) {
+  // Find the last predecessor whose count is >= count (or the head
+  // sentinel), then splice the node right after it.
+  enetstl::Node* anchor = proxy_.GetNext(node, kPrev);
+  if (anchor == nullptr) {
+    return;
+  }
+  bool moved = false;
+  while (anchor != head_) {
+    SpaceSavingEntry entry;
+    proxy_.NodeRead(anchor, 0, &entry, sizeof(entry));
+    if (entry.count >= count) {
+      break;
+    }
+    enetstl::Node* further = proxy_.GetNext(anchor, kPrev);
+    proxy_.NodeRelease(anchor);
+    anchor = further;
+    moved = true;
+    if (anchor == nullptr) {
+      return;  // unreachable in a consistent list; stay safe
+    }
+  }
+  if (moved) {
+    Unlink(node);
+    InsertAfter(anchor, node);
+  }
+  proxy_.NodeRelease(anchor);  // GetNext ref, held even for the sentinel
+}
+
+void SpaceSavingEnetstl::Update(u32 flow) {
+  if (enetstl::Node** slot = index_.LookupElem(flow)) {
+    enetstl::Node* node = *slot;
+    SpaceSavingEntry entry;
+    proxy_.NodeRead(node, 0, &entry, sizeof(entry));
+    ++entry.count;
+    proxy_.NodeWrite(node, 0, &entry, sizeof(entry));
+    Bubble(node, entry.count);
+    return;
+  }
+  if (size_ < capacity_) {
+    enetstl::Node* node = proxy_.NodeAlloc(2, 2, kDataSize);
+    if (node == nullptr) {
+      return;
+    }
+    const SpaceSavingEntry entry{flow, 1, 0};
+    proxy_.NodeWrite(node, 0, &entry, sizeof(entry));
+    proxy_.SetOwner(node);
+    // A count-1 entry is a minimum: insert just before the tail sentinel.
+    enetstl::Node* last = proxy_.GetNext(tail_, kPrev);
+    if (last != nullptr) {
+      InsertAfter(last, node);
+      proxy_.NodeRelease(last);
+    }
+    if (index_.UpdateElem(flow, node) != ebpf::kOk) {
+      Unlink(node);
+      proxy_.UnsetOwner(node);
+      proxy_.NodeRelease(node);
+      return;
+    }
+    proxy_.NodeRelease(node);
+    ++size_;
+    return;
+  }
+  // Replace the minimum element (the node before the tail sentinel).
+  enetstl::Node* victim = proxy_.GetNext(tail_, kPrev);
+  if (victim == nullptr || victim == head_) {
+    if (victim != nullptr) {
+      proxy_.NodeRelease(victim);
+    }
+    return;
+  }
+  SpaceSavingEntry entry;
+  proxy_.NodeRead(victim, 0, &entry, sizeof(entry));
+  index_.DeleteElem(entry.flow);
+  const u32 inherited = entry.count;
+  entry.flow = flow;
+  entry.error = inherited;
+  entry.count = inherited + 1;
+  proxy_.NodeWrite(victim, 0, &entry, sizeof(entry));
+  index_.UpdateElem(flow, victim);
+  Bubble(victim, entry.count);
+  proxy_.NodeRelease(victim);
+}
+
+std::optional<SpaceSavingEntry> SpaceSavingEnetstl::Query(u32 flow) const {
+  auto* self = const_cast<SpaceSavingEnetstl*>(this);
+  enetstl::Node** slot = self->index_.LookupElem(flow);
+  if (slot == nullptr) {
+    return std::nullopt;
+  }
+  SpaceSavingEntry entry;
+  self->proxy_.NodeRead(*slot, 0, &entry, sizeof(entry));
+  return entry;
+}
+
+std::vector<SpaceSavingEntry> SpaceSavingEnetstl::Entries() const {
+  auto* self = const_cast<SpaceSavingEnetstl*>(this);
+  std::vector<SpaceSavingEntry> out;
+  enetstl::Node* cur = self->proxy_.GetNext(self->head_, kNext);
+  while (cur != nullptr && cur != self->tail_) {
+    SpaceSavingEntry entry;
+    self->proxy_.NodeRead(cur, 0, &entry, sizeof(entry));
+    out.push_back(entry);
+    enetstl::Node* next = self->proxy_.GetNext(cur, kNext);
+    self->proxy_.NodeRelease(cur);
+    cur = next;
+  }
+  if (cur != nullptr) {
+    self->proxy_.NodeRelease(cur);
+  }
+  return out;
+}
+
+}  // namespace nf

@@ -1,0 +1,117 @@
+// Space-Saving top-k counting (Metwally et al. [50]) — the second of the
+// three NFs the paper's Table 1 marks as infeasible in pure eBPF (P1).
+//
+// Space-Saving monitors exactly m elements in a Stream-Summary: a linked
+// structure ordered by count whose shape depends on the traffic — a variable
+// number of dynamically allocated, pointer-routed nodes. That is precisely
+// the non-contiguous-memory pattern eBPF cannot persist, and precisely what
+// the memory wrapper provides.
+//
+// This implementation keeps the monitored elements in a doubly-linked list
+// maintained in non-increasing count order (head = heaviest, tail = minimum)
+// with a hash index from flow to node. An increment bubbles the element past
+// equal-count neighbours; a new flow replaces the tail (minimum) element and
+// inherits its count — the Space-Saving overestimate guarantee:
+//     true_count <= reported_count <= true_count + min_count.
+//
+// Variants: kernel (std::list) and eNetSTL (memory wrapper); no eBPF
+// variant exists, by the paper's own classification.
+#ifndef ENETSTL_NF_SPACE_SAVING_H_
+#define ENETSTL_NF_SPACE_SAVING_H_
+
+#include <list>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "core/memory_wrapper.h"
+#include "ebpf/maps.h"
+#include "nf/nf_interface.h"
+
+namespace nf {
+
+struct SpaceSavingEntry {
+  u32 flow = 0;
+  u32 count = 0;
+  u32 error = 0;  // upper bound on the overestimate
+};
+
+class SpaceSavingBase : public NetworkFunction {
+ public:
+  explicit SpaceSavingBase(u32 capacity) : capacity_(capacity) {}
+
+  virtual void Update(u32 flow) = 0;
+  // Count if the flow is currently monitored.
+  virtual std::optional<SpaceSavingEntry> Query(u32 flow) const = 0;
+  // All monitored entries, heaviest first.
+  virtual std::vector<SpaceSavingEntry> Entries() const = 0;
+  virtual u32 size() const = 0;
+
+  ebpf::XdpAction Process(ebpf::XdpContext& ctx) override {
+    ebpf::FiveTuple tuple;
+    if (!ebpf::ParseFiveTuple(ctx, &tuple)) {
+      return ebpf::XdpAction::kAborted;
+    }
+    Update(tuple.src_ip);
+    return ebpf::XdpAction::kDrop;
+  }
+
+  std::string_view name() const override { return "space-saving"; }
+  u32 capacity() const { return capacity_; }
+
+ protected:
+  u32 capacity_;
+};
+
+class SpaceSavingKernel : public SpaceSavingBase {
+ public:
+  explicit SpaceSavingKernel(u32 capacity) : SpaceSavingBase(capacity) {}
+
+  void Update(u32 flow) override;
+  std::optional<SpaceSavingEntry> Query(u32 flow) const override;
+  std::vector<SpaceSavingEntry> Entries() const override;
+  u32 size() const override { return static_cast<u32>(index_.size()); }
+  Variant variant() const override { return Variant::kKernel; }
+
+ private:
+  std::list<SpaceSavingEntry> entries_;  // non-increasing count from head
+  std::unordered_map<u32, std::list<SpaceSavingEntry>::iterator> index_;
+};
+
+class SpaceSavingEnetstl : public SpaceSavingBase {
+ public:
+  explicit SpaceSavingEnetstl(u32 capacity);
+  ~SpaceSavingEnetstl() override = default;
+  SpaceSavingEnetstl(const SpaceSavingEnetstl&) = delete;
+  SpaceSavingEnetstl& operator=(const SpaceSavingEnetstl&) = delete;
+
+  void Update(u32 flow) override;
+  std::optional<SpaceSavingEntry> Query(u32 flow) const override;
+  std::vector<SpaceSavingEntry> Entries() const override;
+  u32 size() const override { return size_; }
+  Variant variant() const override { return Variant::kEnetstl; }
+
+  const enetstl::NodeProxy& proxy() const { return proxy_; }
+
+ private:
+  // Node payload: SpaceSavingEntry. Out-slot 0 = next (toward tail, smaller
+  // counts), out-slot 1 = prev (toward head).
+  static constexpr u32 kNext = 0;
+  static constexpr u32 kPrev = 1;
+  static constexpr u32 kDataSize = sizeof(SpaceSavingEntry);
+
+  void Unlink(enetstl::Node* node);
+  void InsertAfter(enetstl::Node* where, enetstl::Node* node);
+  // Moves `node` toward the head while its predecessor's count is smaller.
+  void Bubble(enetstl::Node* node, u32 count);
+
+  enetstl::NodeProxy proxy_;
+  enetstl::Node* head_;  // sentinel (before the heaviest)
+  enetstl::Node* tail_;  // sentinel (after the minimum)
+  ebpf::HashMap<u32, enetstl::Node*> index_;
+  u32 size_ = 0;
+};
+
+}  // namespace nf
+
+#endif  // ENETSTL_NF_SPACE_SAVING_H_

@@ -1,0 +1,270 @@
+#include "nf/timewheel.h"
+
+namespace nf {
+
+namespace {
+
+constexpr u32 kLvl1Mask = kTvrSize - 1;
+constexpr u32 kLvl2Mask = kTvnSize - 1;
+constexpr u32 kTotalBuckets = kTvrSize + kTvnSize;
+
+// Bucket index for an expiry given the current clock; kTotalBuckets when the
+// expiry lies beyond the wheel's horizon. The clock always sits on a slot
+// boundary (it only advances by whole slots), and AdvanceOneSlot drains slot
+// (clk/g + 1), so anything due now-or-earlier must be parked there — parking
+// it at clk/g would strand it for a full wheel revolution.
+inline u32 BucketFor(u64 expires, u64 clk, u32 shift) {
+  const u64 cur_slot = clk >> shift;
+  u64 exp_slot = expires >> shift;
+  if (exp_slot <= cur_slot) {
+    exp_slot = cur_slot + 1;  // already due: deliver at the next advance
+  }
+  const u64 delta = exp_slot - cur_slot;
+  if (delta < kTvrSize) {
+    return static_cast<u32>(exp_slot) & kLvl1Mask;
+  }
+  if (delta < static_cast<u64>(kTvrSize) * (kTvnSize - 1)) {
+    return kTvrSize +
+           (static_cast<u32>(exp_slot / kTvrSize) & kLvl2Mask);
+  }
+  return kTotalBuckets;
+}
+
+}  // namespace
+
+ebpf::XdpAction TimeWheelBase::Process(ebpf::XdpContext& ctx) {
+  ebpf::FiveTuple tuple;
+  if (!ebpf::ParseFiveTuple(ctx, &tuple)) {
+    return ebpf::XdpAction::kAborted;
+  }
+  u32 op = 0;
+  u32 offset = 0;
+  std::memcpy(&op, ctx.data + ebpf::kL4HeaderOffset + 8, 4);
+  std::memcpy(&offset, ctx.data + ebpf::kL4HeaderOffset + 12, 4);
+  if (op == 1) {
+    const u64 max_slots = static_cast<u64>(kTvrSize) * (kTvnSize - 1);
+    TwElem elem;
+    elem.expires = clock_ns_ + (1 + offset % (max_slots - 1)) *
+                                   config_.granularity_ns;
+    elem.flow = tuple.src_ip;
+    Enqueue(elem);
+    return ebpf::XdpAction::kDrop;
+  }
+  TwElem out[64];
+  (void)AdvanceOneSlot(out, 64);
+  return ebpf::XdpAction::kDrop;
+}
+
+// ---------------------------------------------------------------------------
+// TimeWheelEbpf: one map element + one lock per bucket, BPF linked lists.
+// ---------------------------------------------------------------------------
+
+TimeWheelEbpf::TimeWheelEbpf(const TimeWheelConfig& config)
+    : TimeWheelBase(config),
+      bucket_map_(kTotalBuckets),
+      locks_(kTotalBuckets),
+      pool_(config.capacity) {}
+
+bool TimeWheelEbpf::PushBucket(u32 index, const TwElem& elem) {
+  // Extra helper call per operation: fetch the bucket's list from its map
+  // element, then the lock-coupled push.
+  ebpf::BpfList<TwElem>* list = bucket_map_.LookupElem(index);
+  if (list == nullptr) {
+    return false;
+  }
+  return list->PushBack(pool_, locks_[index], elem);
+}
+
+bool TimeWheelEbpf::Enqueue(const TwElem& elem) {
+  const u32 bucket = BucketFor(elem.expires, clock_ns_, shift_);
+  if (bucket >= kTotalBuckets) {
+    return false;
+  }
+  if (!PushBucket(bucket, elem)) {
+    return false;
+  }
+  ++size_;
+  return true;
+}
+
+void TimeWheelEbpf::Cascade() {
+  const u32 idx2 =
+      kTvrSize + (static_cast<u32>(clock_ns_ >> (shift_ + 8)) & kLvl2Mask);
+  ebpf::BpfList<TwElem>* list = bucket_map_.LookupElem(idx2);
+  if (list == nullptr) {
+    return;
+  }
+  TwElem elem;
+  while (list->PopFront(pool_, locks_[idx2], &elem)) {
+    const u32 bucket = BucketFor(elem.expires, clock_ns_, shift_);
+    if (bucket < kTotalBuckets) {
+      PushBucket(bucket, elem);
+    } else {
+      --size_;  // beyond horizon after cascade: dropped
+    }
+  }
+}
+
+u32 TimeWheelEbpf::AdvanceOneSlot(TwElem* out, u32 max) {
+  clock_ns_ += config_.granularity_ns;
+  const u32 cur = static_cast<u32>(clock_ns_ >> shift_) & kLvl1Mask;
+  if (cur == 0) {
+    Cascade();
+  }
+  ebpf::BpfList<TwElem>* list = bucket_map_.LookupElem(cur);
+  if (list == nullptr) {
+    return 0;
+  }
+  u32 n = 0;
+  while (n < max && list->PopFront(pool_, locks_[cur], &out[n])) {
+    ++n;
+  }
+  size_ -= n;
+  return n;
+}
+
+// ---------------------------------------------------------------------------
+// TimeWheelKernel: native intrusive bucket queues.
+// ---------------------------------------------------------------------------
+
+TimeWheelKernel::TimeWheelKernel(const TimeWheelConfig& config)
+    : TimeWheelBase(config),
+      head_(kTotalBuckets, kNil),
+      tail_(kTotalBuckets, kNil),
+      elems_(config.capacity),
+      next_(config.capacity),
+      pending_((kTotalBuckets + 63) / 64, 0) {
+  for (u32 i = 0; i < config.capacity; ++i) {
+    next_[i] = (i + 1 < config.capacity) ? i + 1 : kNil;
+  }
+  free_head_ = config.capacity > 0 ? 0 : kNil;
+}
+
+bool TimeWheelKernel::PushBucket(u32 index, const TwElem& elem) {
+  const u32 node = free_head_;
+  if (node == kNil) {
+    return false;
+  }
+  free_head_ = next_[node];
+  elems_[node] = elem;
+  next_[node] = kNil;
+  if (tail_[index] != kNil) {
+    next_[tail_[index]] = node;
+  } else {
+    head_[index] = node;
+    pending_[index >> 6] |= 1ull << (index & 63);
+  }
+  tail_[index] = node;
+  return true;
+}
+
+bool TimeWheelKernel::Enqueue(const TwElem& elem) {
+  const u32 bucket = BucketFor(elem.expires, clock_ns_, shift_);
+  if (bucket >= kTotalBuckets) {
+    return false;
+  }
+  if (!PushBucket(bucket, elem)) {
+    return false;
+  }
+  ++size_;
+  return true;
+}
+
+void TimeWheelKernel::Cascade() {
+  const u32 idx2 =
+      kTvrSize + (static_cast<u32>(clock_ns_ >> (shift_ + 8)) & kLvl2Mask);
+  u32 node = head_[idx2];
+  head_[idx2] = kNil;
+  tail_[idx2] = kNil;
+  pending_[idx2 >> 6] &= ~(1ull << (idx2 & 63));
+  while (node != kNil) {
+    const u32 nxt = next_[node];
+    const TwElem elem = elems_[node];
+    next_[node] = free_head_;
+    free_head_ = node;
+    const u32 bucket = BucketFor(elem.expires, clock_ns_, shift_);
+    if (bucket < kTotalBuckets) {
+      PushBucket(bucket, elem);
+    } else {
+      --size_;
+    }
+    node = nxt;
+  }
+}
+
+u32 TimeWheelKernel::AdvanceOneSlot(TwElem* out, u32 max) {
+  clock_ns_ += config_.granularity_ns;
+  const u32 cur = static_cast<u32>(clock_ns_ >> shift_) & kLvl1Mask;
+  if (cur == 0) {
+    Cascade();
+  }
+  u32 n = 0;
+  while (n < max && head_[cur] != kNil) {
+    const u32 node = head_[cur];
+    out[n++] = elems_[node];
+    head_[cur] = next_[node];
+    if (head_[cur] == kNil) {
+      tail_[cur] = kNil;
+      pending_[cur >> 6] &= ~(1ull << (cur & 63));
+    }
+    next_[node] = free_head_;
+    free_head_ = node;
+  }
+  size_ -= n;
+  return n;
+}
+
+// ---------------------------------------------------------------------------
+// TimeWheelEnetstl: list-buckets kfuncs.
+// ---------------------------------------------------------------------------
+
+TimeWheelEnetstl::TimeWheelEnetstl(const TimeWheelConfig& config)
+    : TimeWheelBase(config),
+      buckets_(kTotalBuckets, config.capacity, sizeof(TwElem)) {}
+
+bool TimeWheelEnetstl::PushBucket(u32 index, const TwElem& elem) {
+  return buckets_.InsertTail(index, &elem, sizeof(elem)) == ebpf::kOk;
+}
+
+bool TimeWheelEnetstl::Enqueue(const TwElem& elem) {
+  const u32 bucket = BucketFor(elem.expires, clock_ns_, shift_);
+  if (bucket >= kTotalBuckets) {
+    return false;
+  }
+  if (!PushBucket(bucket, elem)) {
+    return false;
+  }
+  ++size_;
+  return true;
+}
+
+void TimeWheelEnetstl::Cascade() {
+  const u32 idx2 =
+      kTvrSize + (static_cast<u32>(clock_ns_ >> (shift_ + 8)) & kLvl2Mask);
+  TwElem elem;
+  while (buckets_.PopFront(idx2, &elem, sizeof(elem)) == ebpf::kOk) {
+    const u32 bucket = BucketFor(elem.expires, clock_ns_, shift_);
+    if (bucket < kTotalBuckets) {
+      PushBucket(bucket, elem);
+    } else {
+      --size_;
+    }
+  }
+}
+
+u32 TimeWheelEnetstl::AdvanceOneSlot(TwElem* out, u32 max) {
+  clock_ns_ += config_.granularity_ns;
+  const u32 cur = static_cast<u32>(clock_ns_ >> shift_) & kLvl1Mask;
+  if (cur == 0) {
+    Cascade();
+  }
+  u32 n = 0;
+  while (n < max &&
+         buckets_.PopFront(cur, &out[n], sizeof(TwElem)) == ebpf::kOk) {
+    ++n;
+  }
+  size_ -= n;
+  return n;
+}
+
+}  // namespace nf

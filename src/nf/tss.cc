@@ -1,0 +1,249 @@
+#include "nf/tss.h"
+
+#include <cstring>
+
+#include "core/compare.h"
+#include "core/compare_inl.h"
+#include "core/hash.h"
+#include "core/hash_inl.h"
+
+namespace nf {
+
+namespace {
+
+constexpr u32 kMaxTuples = 64;
+
+inline ebpf::FiveTuple MaskTuple(const ebpf::FiveTuple& packet,
+                                 const ebpf::FiveTuple& mask) {
+  ebpf::FiveTuple out;
+  const auto* p = reinterpret_cast<const u8*>(&packet);
+  const auto* m = reinterpret_cast<const u8*>(&mask);
+  auto* o = reinterpret_cast<u8*>(&out);
+  for (u32 i = 0; i < sizeof(ebpf::FiveTuple); ++i) {
+    o[i] = p[i] & m[i];
+  }
+  return out;
+}
+
+// Inserts a rule into a tuple's bucket array (linear displacement-free:
+// first free slot of the hashed bucket). Shared control-plane code.
+template <typename HashFn>
+bool InsertRule(TssBucket* buckets, u32 bucket_mask, u32 seed, HashFn hash,
+                const ebpf::FiveTuple& masked, u32 priority, u32 action) {
+  const u32 b = hash(&masked, sizeof(masked), seed) & bucket_mask;
+  TssBucket& bucket = buckets[b];
+  // Update in place if the masked key already exists.
+  for (u32 s = 0; s < kTssSlotsPerBucket; ++s) {
+    if (bucket.used[s] != 0 &&
+        std::memcmp(bucket.keys[s], &masked, 16) == 0) {
+      bucket.priority[s] = priority;
+      bucket.action[s] = action;
+      return true;
+    }
+  }
+  for (u32 s = 0; s < kTssSlotsPerBucket; ++s) {
+    if (bucket.used[s] == 0) {
+      bucket.used[s] = 1;
+      std::memcpy(bucket.keys[s], &masked, 16);
+      bucket.priority[s] = priority;
+      bucket.action[s] = action;
+      return true;
+    }
+  }
+  return false;  // bucket overflow
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// TssEbpf
+// ---------------------------------------------------------------------------
+
+TssEbpf::TssEbpf(const TssConfig& config)
+    : TssBase(config),
+      tables_map_(kMaxTuples, config.buckets_per_tuple * sizeof(TssBucket)),
+      max_tuples_(kMaxTuples) {}
+
+bool TssEbpf::AddRule(const TssRule& rule) {
+  u32 tuple_id = kMaxTuples;
+  for (u32 i = 0; i < masks_.size(); ++i) {
+    if (masks_[i] == rule.mask) {
+      tuple_id = i;
+      break;
+    }
+  }
+  if (tuple_id == kMaxTuples) {
+    if (masks_.size() >= max_tuples_) {
+      return false;
+    }
+    tuple_id = static_cast<u32>(masks_.size());
+    masks_.push_back(rule.mask);
+  }
+  auto* buckets = static_cast<TssBucket*>(tables_map_.LookupElem(tuple_id));
+  if (buckets == nullptr) {
+    return false;
+  }
+  const ebpf::FiveTuple masked = MaskTuple(rule.key, rule.mask);
+  return InsertRule(
+      buckets, bucket_mask_, config_.seed,
+      [](const void* k, std::size_t n, u32 s) {
+        return enetstl::XxHash32Bpf(k, n, s);
+      },
+      masked, rule.priority, rule.action);
+}
+
+std::optional<u32> TssEbpf::Classify(const ebpf::FiveTuple& packet) {
+  s32 best_priority = -1;
+  u32 best_action = 0;
+  u64 pk0, pk1;
+  for (u32 t = 0; t < masks_.size(); ++t) {
+    const ebpf::FiveTuple masked = MaskTuple(packet, masks_[t]);
+    const u32 h = enetstl::XxHash32Bpf(&masked, sizeof(masked), config_.seed);
+    // One helper call per tuple to reach that tuple's table.
+    auto* buckets = static_cast<TssBucket*>(tables_map_.LookupElem(t));
+    if (buckets == nullptr) {
+      continue;
+    }
+    const TssBucket& bucket = buckets[h & bucket_mask_];
+    std::memcpy(&pk0, &masked, 8);
+    std::memcpy(&pk1, reinterpret_cast<const u8*>(&masked) + 8, 8);
+    for (u32 s = 0; s < kTssSlotsPerBucket; ++s) {
+      if (bucket.used[s] == 0) {
+        continue;
+      }
+      u64 s0, s1;
+      std::memcpy(&s0, bucket.keys[s], 8);
+      std::memcpy(&s1, bucket.keys[s] + 8, 8);
+      if (s0 == pk0 && s1 == pk1 &&
+          static_cast<s32>(bucket.priority[s]) > best_priority) {
+        best_priority = static_cast<s32>(bucket.priority[s]);
+        best_action = bucket.action[s];
+      }
+    }
+  }
+  if (best_priority < 0) {
+    return std::nullopt;
+  }
+  return best_action;
+}
+
+// ---------------------------------------------------------------------------
+// TssKernel
+// ---------------------------------------------------------------------------
+
+TssKernel::TssKernel(const TssConfig& config) : TssBase(config) {}
+
+bool TssKernel::AddRule(const TssRule& rule) {
+  u32 tuple_id = kMaxTuples;
+  for (u32 i = 0; i < masks_.size(); ++i) {
+    if (masks_[i] == rule.mask) {
+      tuple_id = i;
+      break;
+    }
+  }
+  if (tuple_id == kMaxTuples) {
+    if (masks_.size() >= kMaxTuples) {
+      return false;
+    }
+    tuple_id = static_cast<u32>(masks_.size());
+    masks_.push_back(rule.mask);
+    tables_.emplace_back(config_.buckets_per_tuple);
+    std::memset(tables_.back().data(), 0,
+                config_.buckets_per_tuple * sizeof(TssBucket));
+  }
+  const ebpf::FiveTuple masked = MaskTuple(rule.key, rule.mask);
+  return InsertRule(
+      tables_[tuple_id].data(), bucket_mask_, config_.seed,
+      [](const void* k, std::size_t n, u32 s) {
+        return enetstl::internal::HwHashCrcImpl(k, n, s);
+      },
+      masked, rule.priority, rule.action);
+}
+
+std::optional<u32> TssKernel::Classify(const ebpf::FiveTuple& packet) {
+  s32 best_priority = -1;
+  u32 best_action = 0;
+  for (u32 t = 0; t < masks_.size(); ++t) {
+    const ebpf::FiveTuple masked = MaskTuple(packet, masks_[t]);
+    const u32 h =
+        enetstl::internal::HwHashCrcImpl(&masked, sizeof(masked), config_.seed);
+    const TssBucket& bucket = tables_[t][h & bucket_mask_];
+    const ebpf::s32 slot = enetstl::internal::FindKey16Impl(
+        &bucket.keys[0][0], kTssSlotsPerBucket,
+        reinterpret_cast<const u8*>(&masked));
+    if (slot >= 0 && bucket.used[slot] != 0 &&
+        static_cast<s32>(bucket.priority[slot]) > best_priority) {
+      best_priority = static_cast<s32>(bucket.priority[slot]);
+      best_action = bucket.action[slot];
+    }
+  }
+  if (best_priority < 0) {
+    return std::nullopt;
+  }
+  return best_action;
+}
+
+// ---------------------------------------------------------------------------
+// TssEnetstl
+// ---------------------------------------------------------------------------
+
+TssEnetstl::TssEnetstl(const TssConfig& config)
+    : TssBase(config),
+      tables_map_(kMaxTuples, config.buckets_per_tuple * sizeof(TssBucket)),
+      max_tuples_(kMaxTuples) {}
+
+bool TssEnetstl::AddRule(const TssRule& rule) {
+  u32 tuple_id = kMaxTuples;
+  for (u32 i = 0; i < masks_.size(); ++i) {
+    if (masks_[i] == rule.mask) {
+      tuple_id = i;
+      break;
+    }
+  }
+  if (tuple_id == kMaxTuples) {
+    if (masks_.size() >= max_tuples_) {
+      return false;
+    }
+    tuple_id = static_cast<u32>(masks_.size());
+    masks_.push_back(rule.mask);
+  }
+  auto* buckets = static_cast<TssBucket*>(tables_map_.LookupElem(tuple_id));
+  if (buckets == nullptr) {
+    return false;
+  }
+  const ebpf::FiveTuple masked = MaskTuple(rule.key, rule.mask);
+  return InsertRule(
+      buckets, bucket_mask_, config_.seed,
+      [](const void* k, std::size_t n, u32 s) {
+        return enetstl::HwHashCrc(k, n, s);
+      },
+      masked, rule.priority, rule.action);
+}
+
+std::optional<u32> TssEnetstl::Classify(const ebpf::FiveTuple& packet) {
+  s32 best_priority = -1;
+  u32 best_action = 0;
+  for (u32 t = 0; t < masks_.size(); ++t) {
+    const ebpf::FiveTuple masked = MaskTuple(packet, masks_[t]);
+    const u32 h = enetstl::HwHashCrc(&masked, sizeof(masked), config_.seed);
+    auto* buckets = static_cast<TssBucket*>(tables_map_.LookupElem(t));
+    if (buckets == nullptr) {
+      continue;
+    }
+    const TssBucket& bucket = buckets[h & bucket_mask_];
+    const ebpf::s32 slot =
+        enetstl::FindKey16(&bucket.keys[0][0], kTssSlotsPerBucket,
+                           reinterpret_cast<const u8*>(&masked));
+    if (slot >= 0 && bucket.used[slot] != 0 &&
+        static_cast<s32>(bucket.priority[slot]) > best_priority) {
+      best_priority = static_cast<s32>(bucket.priority[slot]);
+      best_action = bucket.action[slot];
+    }
+  }
+  if (best_priority < 0) {
+    return std::nullopt;
+  }
+  return best_action;
+}
+
+}  // namespace nf

@@ -1,0 +1,123 @@
+// Tuple Space Search packet classification (Srinivasan et al., SIGCOMM '99).
+//
+// Rules are grouped by their wildcard mask ("tuple"); each tuple owns a hash
+// table keyed by the masked header fields. Classification masks the packet's
+// 5-tuple once per tuple, hashes it, and probes that tuple's table, keeping
+// the highest-priority match across all tuples — so the per-packet cost is
+// (#tuples) x (hash + bucket compare), the multiple-hash + multiple-bucket
+// behaviour eNetSTL accelerates.
+//
+// Variants: eBPF (scalar hash + scalar bucket scan), kernel (inline CRC +
+// inline SIMD key compare), eNetSTL (hw_hash_crc + find_simd kfuncs).
+#ifndef ENETSTL_NF_TSS_H_
+#define ENETSTL_NF_TSS_H_
+
+#include <optional>
+#include <vector>
+
+#include "ebpf/maps.h"
+#include "nf/nf_interface.h"
+
+namespace nf {
+
+// A classification rule: match = (packet & mask) == key; higher priority
+// wins. action is an opaque verdict id.
+struct TssRule {
+  ebpf::FiveTuple key;
+  ebpf::FiveTuple mask;
+  u32 priority = 0;
+  u32 action = 0;
+};
+
+struct TssConfig {
+  u32 buckets_per_tuple = 512;  // power of two
+  u32 seed = 0x6c62272eu;
+};
+
+inline constexpr u32 kTssSlotsPerBucket = 4;
+
+// Bucket layout mirrors the cuckoo-switch SoA shape so the key lane is
+// contiguous for SIMD comparison.
+struct TssBucket {
+  u32 used[kTssSlotsPerBucket];  // 0 = empty
+  u8 keys[kTssSlotsPerBucket][16];
+  u32 priority[kTssSlotsPerBucket];
+  u32 action[kTssSlotsPerBucket];
+};
+
+class TssBase : public NetworkFunction {
+ public:
+  explicit TssBase(const TssConfig& config)
+      : config_(config), bucket_mask_(config.buckets_per_tuple - 1) {}
+
+  // Registers a rule; creates the tuple (mask group) on first use. Returns
+  // false if the tuple's table overflows.
+  virtual bool AddRule(const TssRule& rule) = 0;
+  // Highest-priority matching rule's action, if any.
+  virtual std::optional<u32> Classify(const ebpf::FiveTuple& packet) = 0;
+  virtual u32 num_tuples() const = 0;
+
+  ebpf::XdpAction Process(ebpf::XdpContext& ctx) override {
+    ebpf::FiveTuple tuple;
+    if (!ebpf::ParseFiveTuple(ctx, &tuple)) {
+      return ebpf::XdpAction::kAborted;
+    }
+    return Classify(tuple).has_value() ? ebpf::XdpAction::kPass
+                                       : ebpf::XdpAction::kDrop;
+  }
+
+  std::string_view name() const override { return "tss-classifier"; }
+  const TssConfig& config() const { return config_; }
+
+ protected:
+  TssConfig config_;
+  u32 bucket_mask_;
+};
+
+// Shared per-variant state: the list of masks plus one bucket array per
+// tuple. eBPF/eNetSTL variants keep the bucket arrays in one blob map
+// (indexed by tuple id); the kernel variant holds them natively.
+class TssEbpf : public TssBase {
+ public:
+  explicit TssEbpf(const TssConfig& config);
+  bool AddRule(const TssRule& rule) override;
+  std::optional<u32> Classify(const ebpf::FiveTuple& packet) override;
+  u32 num_tuples() const override { return static_cast<u32>(masks_.size()); }
+  Variant variant() const override { return Variant::kEbpf; }
+
+ private:
+  std::vector<ebpf::FiveTuple> masks_;
+  ebpf::RawArrayMap tables_map_;  // one element per tuple
+  u32 max_tuples_;
+};
+
+class TssKernel : public TssBase {
+ public:
+  explicit TssKernel(const TssConfig& config);
+  bool AddRule(const TssRule& rule) override;
+  std::optional<u32> Classify(const ebpf::FiveTuple& packet) override;
+  u32 num_tuples() const override { return static_cast<u32>(masks_.size()); }
+  Variant variant() const override { return Variant::kKernel; }
+
+ private:
+  std::vector<ebpf::FiveTuple> masks_;
+  std::vector<std::vector<TssBucket>> tables_;
+};
+
+class TssEnetstl : public TssBase {
+ public:
+  explicit TssEnetstl(const TssConfig& config);
+  bool AddRule(const TssRule& rule) override;
+  std::optional<u32> Classify(const ebpf::FiveTuple& packet) override;
+  u32 num_tuples() const override { return static_cast<u32>(masks_.size()); }
+  Variant variant() const override { return Variant::kEnetstl; }
+
+ private:
+  std::vector<ebpf::FiveTuple> masks_;
+  ebpf::RawArrayMap tables_map_;
+  u32 max_tuples_;
+};
+
+}  // namespace nf
+
+#endif  // ENETSTL_NF_TSS_H_

@@ -1,0 +1,93 @@
+#include "nf/vbf.h"
+
+#include "core/hash.h"
+#include "core/multihash_inl.h"
+#include "core/post_hash.h"
+
+namespace nf {
+
+// ---------------------------------------------------------------------------
+// VbfEbpf: scalar hash per row.
+// ---------------------------------------------------------------------------
+
+VbfEbpf::VbfEbpf(const VbfConfig& config)
+    : VbfBase(config), table_map_(1, config.positions * sizeof(u32)) {}
+
+void VbfEbpf::AddToSet(const void* key, std::size_t len, u32 set_id) {
+  auto* table = static_cast<u32*>(table_map_.LookupElem(0));
+  if (table == nullptr || set_id >= config_.num_sets) {
+    return;
+  }
+  for (u32 r = 0; r < config_.rows; ++r) {
+    const u32 h = enetstl::XxHash32Bpf(key, len, enetstl::LaneSeed(config_.seed, r));
+    table[h & pos_mask_] |= 1u << set_id;
+  }
+}
+
+u32 VbfEbpf::LookupSets(const void* key, std::size_t len) {
+  auto* table = static_cast<u32*>(table_map_.LookupElem(0));
+  if (table == nullptr) {
+    return 0;
+  }
+  u32 result = 0xffffffffu;
+  for (u32 r = 0; r < config_.rows; ++r) {
+    const u32 h = enetstl::XxHash32Bpf(key, len, enetstl::LaneSeed(config_.seed, r));
+    result &= table[h & pos_mask_];
+  }
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// VbfKernel: inline fused multi-hash.
+// ---------------------------------------------------------------------------
+
+VbfKernel::VbfKernel(const VbfConfig& config)
+    : VbfBase(config), table_(config.positions, 0) {}
+
+void VbfKernel::AddToSet(const void* key, std::size_t len, u32 set_id) {
+  if (set_id >= config_.num_sets) {
+    return;
+  }
+  alignas(32) u32 h[8];
+  enetstl::internal::MultiHashImpl(key, len, config_.seed, config_.rows, h);
+  for (u32 r = 0; r < config_.rows; ++r) {
+    table_[h[r] & pos_mask_] |= 1u << set_id;
+  }
+}
+
+u32 VbfKernel::LookupSets(const void* key, std::size_t len) {
+  alignas(32) u32 h[8];
+  enetstl::internal::MultiHashImpl(key, len, config_.seed, config_.rows, h);
+  u32 result = 0xffffffffu;
+  for (u32 r = 0; r < config_.rows; ++r) {
+    result &= table_[h[r] & pos_mask_];
+  }
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// VbfEnetstl: one fused kfunc per operation.
+// ---------------------------------------------------------------------------
+
+VbfEnetstl::VbfEnetstl(const VbfConfig& config)
+    : VbfBase(config), table_map_(1, config.positions * sizeof(u32)) {}
+
+void VbfEnetstl::AddToSet(const void* key, std::size_t len, u32 set_id) {
+  auto* table = static_cast<u32*>(table_map_.LookupElem(0));
+  if (table == nullptr || set_id >= config_.num_sets) {
+    return;
+  }
+  enetstl::HashMaskOr(table, config_.rows, pos_mask_, key, len, config_.seed,
+                      1u << set_id);
+}
+
+u32 VbfEnetstl::LookupSets(const void* key, std::size_t len) {
+  auto* table = static_cast<u32*>(table_map_.LookupElem(0));
+  if (table == nullptr) {
+    return 0;
+  }
+  return enetstl::HashMaskAnd(table, config_.rows, pos_mask_, key, len,
+                              config_.seed);
+}
+
+}  // namespace nf

@@ -1,0 +1,185 @@
+#include "pktgen/flowgen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace pktgen {
+
+Rng::Rng(u64 seed) {
+  auto splitmix = [](u64& z) {
+    z += 0x9e3779b97f4a7c15ull;
+    u64 v = z;
+    v = (v ^ (v >> 30)) * 0xbf58476d1ce4e5b9ull;
+    v = (v ^ (v >> 27)) * 0x94d049bb133111ebull;
+    return v ^ (v >> 31);
+  };
+  u64 z = seed;
+  s0_ = splitmix(z);
+  s1_ = splitmix(z);
+  if (s0_ == 0 && s1_ == 0) {
+    s0_ = 0x1234567890abcdefull;
+  }
+}
+
+u64 Rng::NextU64() {
+  u64 x = s0_;
+  const u64 y = s1_;
+  s0_ = y;
+  x ^= x << 23;
+  s1_ = x ^ y ^ (x >> 17) ^ (y >> 26);
+  return s1_ + y;
+}
+
+u64 Rng::NextBounded(u64 bound) {
+  if (bound == 0) {
+    return 0;
+  }
+  return NextU64() % bound;
+}
+
+double Rng::NextDouble() {
+  return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+}
+
+std::vector<FiveTuple> MakeFlowPopulation(u32 count, u64 seed) {
+  Rng rng(seed);
+  std::vector<FiveTuple> flows;
+  flows.reserve(count);
+  for (u32 i = 0; i < count; ++i) {
+    FiveTuple t;
+    t.src_ip = 0x0a000000u | (i & 0x00ffffffu);  // 10.x.y.z, unique per flow
+    t.dst_ip = rng.NextU32() | 0x01000000u;
+    t.src_port = static_cast<u16>(1024 + (rng.NextU32() % 60000));
+    t.dst_port = static_cast<u16>(1 + (i % 1024));
+    t.protocol = (rng.NextU32() & 1u) ? 6 : 17;  // TCP or UDP
+    flows.push_back(t);
+  }
+  return flows;
+}
+
+Trace MakeUniformTrace(const std::vector<FiveTuple>& flows, u32 length,
+                       u64 seed) {
+  Rng rng(seed);
+  Trace trace;
+  trace.reserve(length);
+  for (u32 i = 0; i < length; ++i) {
+    const auto& flow = flows[rng.NextBounded(flows.size())];
+    trace.push_back(Packet::FromTuple(flow));
+  }
+  return trace;
+}
+
+Trace MakeZipfTrace(const std::vector<FiveTuple>& flows, u32 length,
+                    double alpha, u64 seed) {
+  Rng rng(seed);
+  // Cumulative Zipf mass over ranks 1..N; sampled by binary search.
+  const std::size_t n = flows.size();
+  std::vector<double> cdf(n);
+  double total = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    total += 1.0 / std::pow(static_cast<double>(i + 1), alpha);
+    cdf[i] = total;
+  }
+  Trace trace;
+  trace.reserve(length);
+  for (u32 i = 0; i < length; ++i) {
+    const double u = rng.NextDouble() * total;
+    const auto it = std::lower_bound(cdf.begin(), cdf.end(), u);
+    const std::size_t rank =
+        static_cast<std::size_t>(std::distance(cdf.begin(), it));
+    trace.push_back(Packet::FromTuple(flows[std::min(rank, n - 1)]));
+  }
+  return trace;
+}
+
+Trace MakeOpMixTrace(const std::vector<FiveTuple>& flows, u32 length,
+                     double lookup_w, double update_w, double delete_w,
+                     u64 seed) {
+  Rng rng(seed);
+  const double total = lookup_w + update_w + delete_w;
+  Trace trace;
+  trace.reserve(length);
+  for (u32 i = 0; i < length; ++i) {
+    const auto& flow = flows[rng.NextBounded(flows.size())];
+    Packet p = Packet::FromTuple(flow);
+    const double u = rng.NextDouble() * total;
+    KvOp op = KvOp::kLookup;
+    if (u >= lookup_w) {
+      op = (u < lookup_w + update_w) ? KvOp::kUpdate : KvOp::kDelete;
+    }
+    p.SetPayloadWord(0, static_cast<u32>(op));
+    trace.push_back(p);
+  }
+  return trace;
+}
+
+Trace MakeQueueingTrace(const std::vector<FiveTuple>& flows, u32 length,
+                        u32 horizon, u64 seed) {
+  Rng rng(seed);
+  Trace trace;
+  trace.reserve(length);
+  for (u32 i = 0; i < length; ++i) {
+    const auto& flow = flows[rng.NextBounded(flows.size())];
+    Packet p = Packet::FromTuple(flow);
+    p.SetPayloadWord(0, i & 1u);  // alternate enqueue/dequeue
+    p.SetPayloadWord(1, static_cast<u32>(rng.NextBounded(horizon)));
+    trace.push_back(p);
+  }
+  return trace;
+}
+
+bool SaveTraceCsv(const Trace& trace, const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return false;
+  }
+  for (const Packet& p : trace) {
+    ebpf::XdpContext ctx{const_cast<u8*>(p.frame),
+                         const_cast<u8*>(p.frame) + ebpf::kFrameSize, 0};
+    FiveTuple t;
+    if (!ebpf::ParseFiveTuple(ctx, &t)) {
+      continue;
+    }
+    std::fprintf(f, "%u,%u,%u,%u,%u,%u,%u\n", t.src_ip, t.dst_ip, t.src_port,
+                 t.dst_port, t.protocol, p.PayloadWord(0), p.PayloadWord(1));
+  }
+  return std::fclose(f) == 0;
+}
+
+Trace LoadTraceCsv(const std::string& path) {
+  Trace trace;
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) {
+    return trace;
+  }
+  char line[256];
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    unsigned src_ip, dst_ip, src_port, dst_port, protocol;
+    unsigned w0 = 0, w1 = 0;
+    const int fields = std::sscanf(line, "%u,%u,%u,%u,%u,%u,%u", &src_ip,
+                                   &dst_ip, &src_port, &dst_port, &protocol,
+                                   &w0, &w1);
+    if (fields < 5) {
+      continue;  // malformed line
+    }
+    FiveTuple t;
+    t.src_ip = src_ip;
+    t.dst_ip = dst_ip;
+    t.src_port = static_cast<u16>(src_port);
+    t.dst_port = static_cast<u16>(dst_port);
+    t.protocol = static_cast<u8>(protocol);
+    Packet p = Packet::FromTuple(t);
+    if (fields >= 6) {
+      p.SetPayloadWord(0, w0);
+    }
+    if (fields >= 7) {
+      p.SetPayloadWord(1, w1);
+    }
+    trace.push_back(p);
+  }
+  std::fclose(f);
+  return trace;
+}
+
+}  // namespace pktgen

@@ -1,0 +1,71 @@
+// Flow and trace generators: uniform and Zipf-distributed flow populations,
+// plus operation-mix traces (lookup/update/delete) for key-value workloads.
+// All generators are deterministic given a seed so experiments reproduce.
+#ifndef ENETSTL_PKTGEN_FLOWGEN_H_
+#define ENETSTL_PKTGEN_FLOWGEN_H_
+
+#include <string>
+#include <vector>
+
+#include "pktgen/packet.h"
+
+namespace pktgen {
+
+// Deterministic 64-bit generator used by all traffic synthesis.
+class Rng {
+ public:
+  explicit Rng(u64 seed);
+  u64 NextU64();
+  u32 NextU32() { return static_cast<u32>(NextU64()); }
+  // Uniform in [0, bound).
+  u64 NextBounded(u64 bound);
+  double NextDouble();  // [0, 1)
+
+ private:
+  u64 s0_;
+  u64 s1_;
+};
+
+// A population of `count` distinct flows with deterministic 5-tuples.
+std::vector<FiveTuple> MakeFlowPopulation(u32 count, u64 seed);
+
+// Trace of `length` packets choosing flows uniformly at random.
+Trace MakeUniformTrace(const std::vector<FiveTuple>& flows, u32 length,
+                       u64 seed);
+
+// Trace of `length` packets with flow popularity ~ Zipf(alpha). alpha = 0 is
+// uniform; alpha ~ 1.0+ produces heavy elephants (sketch/heavy-hitter
+// workloads use this).
+Trace MakeZipfTrace(const std::vector<FiveTuple>& flows, u32 length,
+                    double alpha, u64 seed);
+
+// Key-value operation kinds carried in the packet payload word 0.
+enum class KvOp : u32 {
+  kLookup = 0,
+  kUpdate = 1,
+  kDelete = 2,
+};
+
+// Trace in which each packet's payload word 0 encodes an operation drawn
+// from the given mix (weights need not sum to anything particular).
+Trace MakeOpMixTrace(const std::vector<FiveTuple>& flows, u32 length,
+                     double lookup_w, double update_w, double delete_w,
+                     u64 seed);
+
+// Trace for queueing NFs: payload word 0 = enqueue(1)/dequeue(0) alternating,
+// payload word 1 = a timestamp/priority offset in [0, horizon).
+Trace MakeQueueingTrace(const std::vector<FiveTuple>& flows, u32 length,
+                        u32 horizon, u64 seed);
+
+// Trace persistence: one packet per line as
+//   src_ip,dst_ip,src_port,dst_port,protocol[,payload_word0,payload_word1]
+// (IPs and ports in decimal host order). Lets experiments replay captured
+// or externally generated flow sequences. SaveTraceCsv returns false on I/O
+// failure; LoadTraceCsv returns an empty trace on failure and skips
+// malformed lines.
+bool SaveTraceCsv(const Trace& trace, const std::string& path);
+Trace LoadTraceCsv(const std::string& path);
+
+}  // namespace pktgen
+
+#endif  // ENETSTL_PKTGEN_FLOWGEN_H_

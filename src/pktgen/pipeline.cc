@@ -1,0 +1,128 @@
+#include "pktgen/pipeline.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "ebpf/helper.h"
+
+namespace pktgen {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+inline ebpf::XdpContext MakeContext(Packet& packet, ebpf::u64 ts_ns) {
+  ebpf::XdpContext ctx;
+  ctx.data = packet.frame;
+  ctx.data_end = packet.frame + ebpf::kFrameSize;
+  ctx.rx_timestamp_ns = ts_ns;
+  return ctx;
+}
+
+}  // namespace
+
+ThroughputStats Pipeline::MeasureThroughput(const PacketHandler& handler,
+                                            const Trace& trace) const {
+  ThroughputStats stats;
+  if (trace.empty()) {
+    return stats;
+  }
+  ebpf::SetCurrentCpu(options_.cpu);
+  // The trace is mutated in place (contexts expose writable frames, as XDP
+  // does); copy so repeated measurements start from identical frames.
+  Trace working = trace;
+  const std::size_t n = working.size();
+
+  std::size_t cursor = 0;
+  for (u64 i = 0; i < options_.warmup_packets; ++i) {
+    ebpf::XdpContext ctx = MakeContext(working[cursor], 0);
+    (void)handler(ctx);
+    cursor = cursor + 1 < n ? cursor + 1 : 0;
+  }
+
+  const auto start = Clock::now();
+  for (u64 i = 0; i < options_.measure_packets; ++i) {
+    ebpf::XdpContext ctx = MakeContext(working[cursor], 0);
+    const ebpf::XdpAction action = handler(ctx);
+    switch (action) {
+      case ebpf::XdpAction::kDrop:
+        ++stats.dropped;
+        break;
+      case ebpf::XdpAction::kAborted:
+        ++stats.aborted;
+        break;
+      default:
+        ++stats.passed;
+        break;
+    }
+    cursor = cursor + 1 < n ? cursor + 1 : 0;
+  }
+  const auto end = Clock::now();
+
+  stats.packets = options_.measure_packets;
+  stats.seconds =
+      std::chrono::duration_cast<std::chrono::duration<double>>(end - start)
+          .count();
+  if (stats.seconds > 0.0) {
+    stats.pps = static_cast<double>(stats.packets) / stats.seconds;
+    stats.ns_per_packet = stats.seconds * 1e9 / static_cast<double>(stats.packets);
+  }
+  return stats;
+}
+
+LatencyStats Pipeline::MeasureLatency(const PacketHandler& handler,
+                                      const Trace& trace, u64 packets) const {
+  LatencyStats stats;
+  if (trace.empty() || packets == 0) {
+    return stats;
+  }
+  ebpf::SetCurrentCpu(options_.cpu);
+  Trace working = trace;
+  const std::size_t n = working.size();
+
+  std::vector<double> samples;
+  samples.reserve(packets);
+  std::size_t cursor = 0;
+  double total = 0.0;
+  for (u64 i = 0; i < packets; ++i) {
+    const auto t0 = Clock::now();
+    ebpf::XdpContext ctx = MakeContext(
+        working[cursor],
+        static_cast<u64>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                             t0.time_since_epoch())
+                             .count()));
+    (void)handler(ctx);
+    const auto t1 = Clock::now();
+    const double ns =
+        std::chrono::duration_cast<std::chrono::duration<double, std::nano>>(
+            t1 - t0)
+            .count();
+    samples.push_back(ns);
+    total += ns;
+    cursor = cursor + 1 < n ? cursor + 1 : 0;
+  }
+
+  std::sort(samples.begin(), samples.end());
+  auto percentile = [&](double p) {
+    const std::size_t idx = static_cast<std::size_t>(
+        p * static_cast<double>(samples.size() - 1));
+    return samples[idx];
+  };
+  stats.packets = packets;
+  stats.p50_ns = percentile(0.50);
+  stats.p90_ns = percentile(0.90);
+  stats.p99_ns = percentile(0.99);
+  stats.mean_ns = total / static_cast<double>(packets);
+  stats.max_ns = samples.back();
+  return stats;
+}
+
+void ReplayOnce(const PacketHandler& handler, const Trace& trace) {
+  Trace working = trace;
+  for (Packet& packet : working) {
+    ebpf::XdpContext ctx = MakeContext(packet, 0);
+    (void)handler(ctx);
+  }
+}
+
+}  // namespace pktgen

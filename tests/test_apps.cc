@@ -1,0 +1,221 @@
+// Integration tests for the four real-world app pipelines (Figure 7): each
+// must behave identically with the Origin (BPF-map) core and the eNetSTL
+// core at the functional level — the swap is a performance change only.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "apps/ebpf_sketch.h"
+#include "apps/katran_lb.h"
+#include "apps/pcn_bridge.h"
+#include "apps/rakelimit.h"
+#include "pktgen/flowgen.h"
+#include "pktgen/pipeline.h"
+
+namespace apps {
+namespace {
+
+class AppsBothCores : public ::testing::TestWithParam<CoreKind> {
+ protected:
+  void SetUp() override { ebpf::SetCurrentCpu(0); }
+};
+
+TEST_P(AppsBothCores, KatranConnectionAffinity) {
+  KatranConfig config;
+  KatranLb lb(GetParam(), config);
+  const auto flows = pktgen::MakeFlowPopulation(64, 5);
+  // First packet of each flow picks a backend; all later packets of the
+  // same flow must hit the connection table and get the same backend.
+  std::map<ebpf::u32, ebpf::u32> first_choice;
+  for (u32 i = 0; i < 64; ++i) {
+    first_choice[i] = lb.PickBackend(flows[i]);
+  }
+  for (int round = 0; round < 10; ++round) {
+    for (u32 i = 0; i < 64; ++i) {
+      ASSERT_EQ(lb.PickBackend(flows[i]), first_choice[i])
+          << "flow " << i << " round " << round;
+    }
+  }
+  EXPECT_EQ(lb.misses(), 64u);
+  EXPECT_EQ(lb.hits(), 640u);
+}
+
+TEST_P(AppsBothCores, KatranSpreadsAcrossBackends) {
+  KatranConfig config;
+  config.num_backends = 8;
+  KatranLb lb(GetParam(), config);
+  const auto flows = pktgen::MakeFlowPopulation(1000, 6);
+  std::map<ebpf::u32, u32> spread;
+  for (const auto& flow : flows) {
+    ++spread[lb.PickBackend(flow)];
+  }
+  EXPECT_EQ(spread.size(), 8u);
+  for (const auto& [backend, count] : spread) {
+    EXPECT_GT(count, 50u) << "backend " << backend;  // expected 125
+    EXPECT_LT(count, 300u) << "backend " << backend;
+  }
+}
+
+TEST_P(AppsBothCores, KatranPacketPathForwards) {
+  KatranConfig config;
+  KatranLb lb(GetParam(), config);
+  const auto flows = pktgen::MakeFlowPopulation(16, 7);
+  const auto trace = pktgen::MakeUniformTrace(flows, 500, 8);
+  u32 tx = 0;
+  for (const auto& p : trace) {
+    pktgen::Packet copy = p;
+    ebpf::XdpContext ctx{copy.frame, copy.frame + ebpf::kFrameSize, 0};
+    if (lb.Process(ctx) == ebpf::XdpAction::kTx) {
+      ++tx;
+    }
+  }
+  EXPECT_EQ(tx, 500u);
+  EXPECT_EQ(lb.hits() + lb.misses(), 500u);
+  EXPECT_EQ(lb.misses(), 16u);  // one miss per flow
+}
+
+TEST_P(AppsBothCores, RakeLimitDropsHeavySource) {
+  RakeLimitConfig config;
+  config.level0_budget = 500;
+  config.level1_budget = 400;
+  config.level2_budget = 300;
+  RakeLimit limiter(GetParam(), config);
+  const auto flows = pktgen::MakeFlowPopulation(2, 9);
+  // Flood flow 0; trickle flow 1.
+  auto flood = pktgen::Packet::FromTuple(flows[0]);
+  u32 flood_drops = 0;
+  for (int i = 0; i < 2000; ++i) {
+    pktgen::Packet copy = flood;
+    ebpf::XdpContext ctx{copy.frame, copy.frame + ebpf::kFrameSize, 0};
+    if (limiter.Process(ctx) == ebpf::XdpAction::kDrop) {
+      ++flood_drops;
+    }
+  }
+  // After the budget is exhausted, everything drops: ~1700 of 2000.
+  EXPECT_GT(flood_drops, 1500u);
+  // The innocent flow still passes.
+  auto innocent = pktgen::Packet::FromTuple(flows[1]);
+  ebpf::XdpContext ctx{innocent.frame, innocent.frame + ebpf::kFrameSize, 0};
+  EXPECT_EQ(limiter.Process(ctx), ebpf::XdpAction::kPass);
+}
+
+TEST_P(AppsBothCores, RakeLimitEpochResetsBudgets) {
+  RakeLimitConfig config;
+  config.epoch_packets = 1000;
+  config.level0_budget = 100;
+  config.level1_budget = 100;
+  config.level2_budget = 100;
+  RakeLimit limiter(GetParam(), config);
+  const auto flows = pktgen::MakeFlowPopulation(1, 10);
+  auto packet = pktgen::Packet::FromTuple(flows[0]);
+  // Exhaust the budget.
+  for (int i = 0; i < 500; ++i) {
+    pktgen::Packet copy = packet;
+    ebpf::XdpContext ctx{copy.frame, copy.frame + ebpf::kFrameSize, 0};
+    limiter.Process(ctx);
+  }
+  // Push past the epoch boundary; budget must be fresh right after.
+  for (int i = 0; i < 500; ++i) {
+    pktgen::Packet copy = packet;
+    ebpf::XdpContext ctx{copy.frame, copy.frame + ebpf::kFrameSize, 0};
+    limiter.Process(ctx);
+  }
+  pktgen::Packet copy = packet;
+  ebpf::XdpContext ctx{copy.frame, copy.frame + ebpf::kFrameSize, 0};
+  EXPECT_EQ(limiter.Process(ctx), ebpf::XdpAction::kPass);
+}
+
+TEST_P(AppsBothCores, PcnBridgeBlocksAndRoutes) {
+  PcnBridgeConfig config;
+  PcnBridge bridge(GetParam(), config);
+  const auto flows = pktgen::MakeFlowPopulation(6, 11);
+  bridge.BlockFlow(flows[0]);
+  ASSERT_TRUE(bridge.AddRoute(flows[1].dst_ip, 3));
+
+  auto blocked = pktgen::Packet::FromTuple(flows[0]);
+  ebpf::XdpContext ctx0{blocked.frame, blocked.frame + ebpf::kFrameSize, 0};
+  EXPECT_EQ(bridge.Process(ctx0), ebpf::XdpAction::kDrop);
+
+  auto routed = pktgen::Packet::FromTuple(flows[1]);
+  ebpf::XdpContext ctx1{routed.frame, routed.frame + ebpf::kFrameSize, 0};
+  EXPECT_EQ(bridge.Process(ctx1), ebpf::XdpAction::kTx);
+
+  auto unknown = pktgen::Packet::FromTuple(flows[2]);
+  ebpf::XdpContext ctx2{unknown.frame, unknown.frame + ebpf::kFrameSize, 0};
+  EXPECT_EQ(bridge.Process(ctx2), ebpf::XdpAction::kPass);
+
+  EXPECT_EQ(bridge.blocked(), 1u);
+  EXPECT_EQ(bridge.routed(), 1u);
+  EXPECT_EQ(bridge.unrouted(), 1u);
+}
+
+TEST_P(AppsBothCores, PcnBridgeRateLimitsFloodingSources) {
+  PcnBridgeConfig config;
+  config.rate_threshold = 100;
+  PcnBridge bridge(GetParam(), config);
+  const auto flows = pktgen::MakeFlowPopulation(2, 14);
+  bridge.AddRoute(flows[0].dst_ip, 1);
+  auto packet = pktgen::Packet::FromTuple(flows[0]);
+  // First 100 packets route; the rest trip the per-source budget.
+  for (int i = 0; i < 400; ++i) {
+    pktgen::Packet copy = packet;
+    ebpf::XdpContext ctx{copy.frame, copy.frame + ebpf::kFrameSize, 0};
+    bridge.Process(ctx);
+  }
+  EXPECT_EQ(bridge.routed(), 100u);
+  EXPECT_EQ(bridge.rate_limited(), 300u);
+  // A different source (sharing nothing) is unaffected.
+  auto other = pktgen::Packet::FromTuple(flows[1]);
+  ebpf::XdpContext ctx{other.frame, other.frame + ebpf::kFrameSize, 0};
+  EXPECT_NE(bridge.Process(ctx), ebpf::XdpAction::kDrop);
+}
+
+TEST_P(AppsBothCores, PcnBridgeScalesToManyRoutes) {
+  PcnBridgeConfig config;
+  PcnBridge bridge(GetParam(), config);
+  for (u32 i = 0; i < 2000; ++i) {
+    ASSERT_TRUE(bridge.AddRoute(0x0a000000u + i, i % 16)) << i;
+  }
+  const auto flows = pktgen::MakeFlowPopulation(1, 12);
+  ebpf::FiveTuple probe = flows[0];
+  probe.dst_ip = 0x0a000000u + 1234;
+  auto packet = pktgen::Packet::FromTuple(probe);
+  ebpf::XdpContext ctx{packet.frame, packet.frame + ebpf::kFrameSize, 0};
+  EXPECT_EQ(bridge.Process(ctx), ebpf::XdpAction::kTx);
+}
+
+TEST_P(AppsBothCores, SketchServiceTracksElephants) {
+  SketchServiceConfig config;
+  config.nitro.update_prob = 0.5;
+  config.heavykeeper.topk = 8;
+  SketchService service(GetParam(), config);
+  ebpf::helpers::SeedPrandom(0x777);
+  const auto flows = pktgen::MakeFlowPopulation(200, 13);
+  const auto trace = pktgen::MakeZipfTrace(flows, 30000, 1.3, 14);
+  pktgen::ReplayOnce(service.Handler(), trace);
+  // The Zipf head flow must be in the top-k with a meaningful estimate.
+  const auto top = service.TopFlows();
+  ASSERT_FALSE(top.empty());
+  bool head_found = false;
+  for (const auto& entry : top) {
+    if (entry.flow == flows[0].src_ip) {
+      head_found = true;
+      EXPECT_GT(entry.est, 1000u);
+    }
+  }
+  EXPECT_TRUE(head_found);
+  // Its Nitro rate estimate is also substantial.
+  EXPECT_GT(service.EstimateRate(flows[0]), 1000u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Cores, AppsBothCores,
+                         ::testing::Values(CoreKind::kOrigin,
+                                           CoreKind::kEnetstl),
+                         [](const auto& info) {
+                           return info.param == CoreKind::kOrigin
+                                      ? "Origin"
+                                      : "eNetSTL";
+                         });
+
+}  // namespace
+}  // namespace apps

@@ -1,0 +1,179 @@
+// Unit and property tests for the bit-manipulation algorithms (core/bits.h)
+// and their kfunc wrappers. The central property: the software emulations an
+// eBPF program must use agree bit-for-bit with the hardware-backed versions.
+#include "core/bits.h"
+
+#include <gtest/gtest.h>
+
+#include "core/bits_kfunc.h"
+#include "pktgen/flowgen.h"
+
+namespace enetstl {
+namespace {
+
+TEST(Ffs64, ZeroReturns64) {
+  EXPECT_EQ(Ffs64(0), 64u);
+  EXPECT_EQ(SoftFfs64(0), 64u);
+  EXPECT_EQ(kfunc::Ffs64(0), 64u);
+}
+
+TEST(Ffs64, SingleBitPositions) {
+  for (u32 i = 0; i < 64; ++i) {
+    const u64 x = 1ull << i;
+    EXPECT_EQ(Ffs64(x), i) << "bit " << i;
+    EXPECT_EQ(SoftFfs64(x), i) << "bit " << i;
+  }
+}
+
+TEST(Ffs64, LowestOfMultipleBits) {
+  EXPECT_EQ(Ffs64(0b1100), 2u);
+  EXPECT_EQ(Ffs64(0x8000000000000001ull), 0u);
+  EXPECT_EQ(SoftFfs64(0b1100), 2u);
+}
+
+TEST(Fls64, ZeroReturns64) {
+  EXPECT_EQ(Fls64(0), 64u);
+  EXPECT_EQ(SoftFls64(0), 64u);
+  EXPECT_EQ(kfunc::Fls64(0), 64u);
+}
+
+TEST(Fls64, SingleBitPositions) {
+  for (u32 i = 0; i < 64; ++i) {
+    const u64 x = 1ull << i;
+    EXPECT_EQ(Fls64(x), i) << "bit " << i;
+    EXPECT_EQ(SoftFls64(x), i) << "bit " << i;
+  }
+}
+
+TEST(Fls64, HighestOfMultipleBits) {
+  EXPECT_EQ(Fls64(0b1100), 3u);
+  EXPECT_EQ(Fls64(0x8000000000000001ull), 63u);
+}
+
+TEST(Popcnt64, KnownValues) {
+  EXPECT_EQ(Popcnt64(0), 0u);
+  EXPECT_EQ(Popcnt64(~0ull), 64u);
+  EXPECT_EQ(Popcnt64(0xaaaaaaaaaaaaaaaaull), 32u);
+  EXPECT_EQ(SoftPopcnt64(0xaaaaaaaaaaaaaaaaull), 32u);
+  EXPECT_EQ(kfunc::Popcnt64(0xff), 8u);
+}
+
+// Property: software emulations agree with the hardware versions on random
+// inputs — the eBPF baseline computes the same values, just slower.
+TEST(BitsProperty, SoftMatchesHardRandom) {
+  pktgen::Rng rng(0xbeefcafe);
+  for (int i = 0; i < 100000; ++i) {
+    const u64 x = rng.NextU64();
+    ASSERT_EQ(SoftFfs64(x), Ffs64(x)) << std::hex << x;
+    ASSERT_EQ(SoftFls64(x), Fls64(x)) << std::hex << x;
+    ASSERT_EQ(SoftPopcnt64(x), Popcnt64(x)) << std::hex << x;
+  }
+}
+
+TEST(BitsProperty, KfuncMatchesInline) {
+  pktgen::Rng rng(0x12345);
+  for (int i = 0; i < 10000; ++i) {
+    const u64 x = rng.NextU64();
+    ASSERT_EQ(kfunc::Ffs64(x), Ffs64(x));
+    ASSERT_EQ(kfunc::Fls64(x), Fls64(x));
+    ASSERT_EQ(kfunc::Popcnt64(x), Popcnt64(x));
+  }
+}
+
+TEST(Bitmap, SetTestClear) {
+  Bitmap bm(200);
+  EXPECT_FALSE(bm.Test(0));
+  bm.Set(0);
+  bm.Set(63);
+  bm.Set(64);
+  bm.Set(199);
+  EXPECT_TRUE(bm.Test(0));
+  EXPECT_TRUE(bm.Test(63));
+  EXPECT_TRUE(bm.Test(64));
+  EXPECT_TRUE(bm.Test(199));
+  EXPECT_FALSE(bm.Test(1));
+  bm.Clear(63);
+  EXPECT_FALSE(bm.Test(63));
+  EXPECT_EQ(bm.CountSet(), 3u);
+}
+
+TEST(Bitmap, FindFirstSetEmpty) {
+  Bitmap bm(128);
+  EXPECT_EQ(bm.FindFirstSet(), 128u);
+  EXPECT_EQ(bm.FindFirstSetFrom(64), 128u);
+  EXPECT_EQ(bm.FindFirstSetFrom(500), 128u);
+}
+
+TEST(Bitmap, FindFirstSetFromSkipsEarlierBits) {
+  Bitmap bm(256);
+  bm.Set(10);
+  bm.Set(100);
+  bm.Set(200);
+  EXPECT_EQ(bm.FindFirstSet(), 10u);
+  EXPECT_EQ(bm.FindFirstSetFrom(10), 10u);
+  EXPECT_EQ(bm.FindFirstSetFrom(11), 100u);
+  EXPECT_EQ(bm.FindFirstSetFrom(101), 200u);
+  EXPECT_EQ(bm.FindFirstSetFrom(201), 256u);
+}
+
+TEST(Bitmap, FindFirstSetCrossesWordBoundary) {
+  Bitmap bm(192);
+  bm.Set(190);
+  EXPECT_EQ(bm.FindFirstSetFrom(0), 190u);
+  EXPECT_EQ(bm.FindFirstSetFrom(64), 190u);
+  EXPECT_EQ(bm.FindFirstSetFrom(190), 190u);
+  EXPECT_EQ(bm.FindFirstSetFrom(191), 192u);
+}
+
+TEST(Bitmap, ResetClearsEverything) {
+  Bitmap bm(100);
+  for (u32 i = 0; i < 100; i += 7) {
+    bm.Set(i);
+  }
+  bm.Reset();
+  EXPECT_EQ(bm.CountSet(), 0u);
+  EXPECT_EQ(bm.FindFirstSet(), 100u);
+}
+
+// Property: FindFirstSetFrom agrees with a naive linear scan.
+TEST(BitmapProperty, FindMatchesNaiveScan) {
+  pktgen::Rng rng(777);
+  for (int round = 0; round < 200; ++round) {
+    const u32 bits = 1 + static_cast<u32>(rng.NextBounded(300));
+    Bitmap bm(bits);
+    for (u32 i = 0; i < bits; ++i) {
+      if (rng.NextBounded(4) == 0) {
+        bm.Set(i);
+      }
+    }
+    for (u32 from = 0; from <= bits; from += 1 + from / 7) {
+      u32 naive = bits;
+      for (u32 i = from; i < bits; ++i) {
+        if (bm.Test(i)) {
+          naive = i;
+          break;
+        }
+      }
+      ASSERT_EQ(bm.FindFirstSetFrom(from), naive)
+          << "bits=" << bits << " from=" << from;
+    }
+  }
+}
+
+// Parameterized sweep: bitmaps with exactly one bit set at every position.
+class BitmapSingleBit : public ::testing::TestWithParam<u32> {};
+
+TEST_P(BitmapSingleBit, FindsTheOnlyBit) {
+  const u32 pos = GetParam();
+  Bitmap bm(512);
+  bm.Set(pos);
+  EXPECT_EQ(bm.FindFirstSet(), pos);
+  EXPECT_EQ(bm.CountSet(), 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWordOffsets, BitmapSingleBit,
+                         ::testing::Values(0u, 1u, 63u, 64u, 65u, 127u, 128u,
+                                           255u, 256u, 300u, 511u));
+
+}  // namespace
+}  // namespace enetstl

@@ -1,0 +1,181 @@
+// Tests for the cuckoo filter: zero false negatives, bounded false
+// positives, deletion support, occupancy under displacement, and the packet
+// membership path — across all three variants.
+#include "nf/cuckoo_filter.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "pktgen/flowgen.h"
+#include "pktgen/pipeline.h"
+
+namespace nf {
+namespace {
+
+enum class Kind { kEbpf, kKernel, kEnetstl };
+
+std::unique_ptr<CuckooFilterBase> Make(Kind kind,
+                                       const CuckooFilterConfig& config) {
+  switch (kind) {
+    case Kind::kEbpf:
+      return std::make_unique<CuckooFilterEbpf>(config);
+    case Kind::kKernel:
+      return std::make_unique<CuckooFilterKernel>(config);
+    case Kind::kEnetstl:
+      return std::make_unique<CuckooFilterEnetstl>(config);
+  }
+  return nullptr;
+}
+
+ebpf::FiveTuple KeyOf(u32 i) {
+  ebpf::FiveTuple t;
+  t.src_ip = 0x0a010000u + i;
+  t.dst_ip = 0x0a020000u + i * 3;
+  t.src_port = static_cast<ebpf::u16>(i + 1);
+  t.dst_port = 443;
+  t.protocol = 6;
+  return t;
+}
+
+class CuckooFilterAllVariants : public ::testing::TestWithParam<Kind> {};
+
+TEST_P(CuckooFilterAllVariants, AddedKeysAlwaysFound) {
+  CuckooFilterConfig config;
+  config.num_buckets = 1024;
+  auto filter = Make(GetParam(), config);
+  std::vector<u32> added;
+  for (u32 i = 0; i < 2000; ++i) {
+    if (filter->Add(KeyOf(i))) {
+      added.push_back(i);
+    }
+  }
+  ASSERT_GT(added.size(), 1900u);
+  for (u32 i : added) {
+    EXPECT_TRUE(filter->Contains(KeyOf(i))) << i;  // no false negatives
+  }
+}
+
+TEST_P(CuckooFilterAllVariants, FalsePositiveRateBounded) {
+  CuckooFilterConfig config;
+  config.num_buckets = 4096;  // capacity 16384
+  auto filter = Make(GetParam(), config);
+  for (u32 i = 0; i < 8000; ++i) {
+    filter->Add(KeyOf(i));
+  }
+  u32 false_positives = 0;
+  const u32 kProbes = 20000;
+  for (u32 i = 0; i < kProbes; ++i) {
+    if (filter->Contains(KeyOf(1000000 + i))) {
+      ++false_positives;
+    }
+  }
+  // 16-bit fingerprints, 2x4 slots inspected: theoretical fpr ~ 8/2^16 ~
+  // 0.012%; allow an order of magnitude slack.
+  EXPECT_LT(false_positives, kProbes / 500);
+}
+
+TEST_P(CuckooFilterAllVariants, RemoveDeletesExactlyOneCopy) {
+  CuckooFilterConfig config;
+  config.num_buckets = 256;
+  auto filter = Make(GetParam(), config);
+  ASSERT_TRUE(filter->Add(KeyOf(1)));
+  ASSERT_TRUE(filter->Add(KeyOf(1)));  // duplicate fingerprints allowed
+  EXPECT_TRUE(filter->Remove(KeyOf(1)));
+  EXPECT_TRUE(filter->Contains(KeyOf(1)));  // one copy remains
+  EXPECT_TRUE(filter->Remove(KeyOf(1)));
+  EXPECT_FALSE(filter->Contains(KeyOf(1)));
+  EXPECT_FALSE(filter->Remove(KeyOf(1)));
+}
+
+TEST_P(CuckooFilterAllVariants, RemoveNeverAffectsOtherKeys) {
+  CuckooFilterConfig config;
+  config.num_buckets = 512;
+  auto filter = Make(GetParam(), config);
+  std::vector<u32> added;
+  for (u32 i = 0; i < 500; ++i) {
+    if (filter->Add(KeyOf(i))) {
+      added.push_back(i);
+    }
+  }
+  // Remove every even key.
+  for (u32 i : added) {
+    if (i % 2 == 0) {
+      EXPECT_TRUE(filter->Remove(KeyOf(i)));
+    }
+  }
+  // Odd keys must all remain (no false negatives from deletion).
+  for (u32 i : added) {
+    if (i % 2 == 1) {
+      EXPECT_TRUE(filter->Contains(KeyOf(i))) << i;
+    }
+  }
+}
+
+TEST_P(CuckooFilterAllVariants, ReachesHighLoadViaKicking) {
+  CuckooFilterConfig config;
+  config.num_buckets = 128;  // capacity 512
+  auto filter = Make(GetParam(), config);
+  u32 inserted = 0;
+  for (u32 i = 0; i < 512; ++i) {
+    if (filter->Add(KeyOf(i))) {
+      ++inserted;
+    }
+  }
+  // Cuckoo filters with bucket size 4 sustain ~95% load.
+  EXPECT_GT(inserted, 512u * 90 / 100);
+  EXPECT_EQ(filter->size(), inserted);
+}
+
+TEST_P(CuckooFilterAllVariants, PacketPathPassesMembers) {
+  CuckooFilterConfig config;
+  config.num_buckets = 256;
+  auto filter = Make(GetParam(), config);
+  const auto flows = pktgen::MakeFlowPopulation(10, 77);
+  for (u32 i = 0; i < 5; ++i) {
+    ASSERT_TRUE(filter->Add(flows[i]));
+  }
+  u32 pass = 0;
+  for (const auto& flow : flows) {
+    auto packet = pktgen::Packet::FromTuple(flow);
+    ebpf::XdpContext ctx{packet.frame, packet.frame + ebpf::kFrameSize, 0};
+    if (filter->Process(ctx) == ebpf::XdpAction::kPass) {
+      ++pass;
+    }
+  }
+  EXPECT_GE(pass, 5u);   // all members pass
+  EXPECT_LE(pass, 6u);   // at most one false positive among 5 non-members
+}
+
+INSTANTIATE_TEST_SUITE_P(Variants, CuckooFilterAllVariants,
+                         ::testing::Values(Kind::kEbpf, Kind::kKernel,
+                                           Kind::kEnetstl),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case Kind::kEbpf:
+                               return "eBPF";
+                             case Kind::kKernel:
+                               return "Kernel";
+                             default:
+                               return "eNetSTL";
+                           }
+                         });
+
+// Kernel and eNetSTL share the CRC hash family: identical membership
+// answers for identical insertion sequences.
+TEST(CuckooFilterEquivalence, KernelAndEnetstlAgree) {
+  CuckooFilterConfig config;
+  config.num_buckets = 512;
+  CuckooFilterKernel kern(config);
+  CuckooFilterEnetstl stl(config);
+  for (u32 i = 0; i < 1500; ++i) {
+    ASSERT_EQ(kern.Add(KeyOf(i)), stl.Add(KeyOf(i))) << i;
+  }
+  for (u32 i = 0; i < 3000; ++i) {
+    ASSERT_EQ(kern.Contains(KeyOf(i)), stl.Contains(KeyOf(i))) << i;
+  }
+}
+
+}  // namespace
+}  // namespace nf

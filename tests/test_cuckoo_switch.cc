@@ -1,0 +1,212 @@
+// Tests for the CuckooSwitch blocked-cuckoo-hash FIB: insert/lookup/erase
+// semantics per variant, displacement (BFS kick) correctness under high
+// load, update-in-place, and the packet datapath.
+#include "nf/cuckoo_switch.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <unordered_map>
+
+#include "pktgen/flowgen.h"
+#include "pktgen/pipeline.h"
+
+namespace nf {
+namespace {
+
+enum class Kind { kEbpf, kKernel, kEnetstl };
+
+std::unique_ptr<CuckooSwitchBase> Make(Kind kind,
+                                       const CuckooSwitchConfig& config) {
+  switch (kind) {
+    case Kind::kEbpf:
+      return std::make_unique<CuckooSwitchEbpf>(config);
+    case Kind::kKernel:
+      return std::make_unique<CuckooSwitchKernel>(config);
+    case Kind::kEnetstl:
+      return std::make_unique<CuckooSwitchEnetstl>(config);
+  }
+  return nullptr;
+}
+
+ebpf::FiveTuple KeyOf(u32 i) {
+  ebpf::FiveTuple t;
+  t.src_ip = 0x0a000000u + i;
+  t.dst_ip = 0x0b000000u + i * 7;
+  t.src_port = static_cast<ebpf::u16>(i * 13 + 1);
+  t.dst_port = static_cast<ebpf::u16>(i % 1024);
+  t.protocol = 6;
+  return t;
+}
+
+class CuckooSwitchAllVariants : public ::testing::TestWithParam<Kind> {};
+
+TEST_P(CuckooSwitchAllVariants, InsertThenLookup) {
+  CuckooSwitchConfig config;
+  config.num_buckets = 64;
+  auto sw = Make(GetParam(), config);
+  ASSERT_TRUE(sw->Insert(KeyOf(1), 100));
+  ASSERT_TRUE(sw->Insert(KeyOf(2), 200));
+  EXPECT_EQ(sw->Lookup(KeyOf(1)), std::optional<u64>(100));
+  EXPECT_EQ(sw->Lookup(KeyOf(2)), std::optional<u64>(200));
+  EXPECT_EQ(sw->Lookup(KeyOf(3)), std::nullopt);
+  EXPECT_EQ(sw->size(), 2u);
+}
+
+TEST_P(CuckooSwitchAllVariants, UpdateInPlace) {
+  CuckooSwitchConfig config;
+  config.num_buckets = 64;
+  auto sw = Make(GetParam(), config);
+  ASSERT_TRUE(sw->Insert(KeyOf(5), 1));
+  ASSERT_TRUE(sw->Insert(KeyOf(5), 2));
+  EXPECT_EQ(sw->Lookup(KeyOf(5)), std::optional<u64>(2));
+  EXPECT_EQ(sw->size(), 1u);
+}
+
+TEST_P(CuckooSwitchAllVariants, EraseRemovesOnlyTarget) {
+  CuckooSwitchConfig config;
+  config.num_buckets = 64;
+  auto sw = Make(GetParam(), config);
+  ASSERT_TRUE(sw->Insert(KeyOf(1), 10));
+  ASSERT_TRUE(sw->Insert(KeyOf(2), 20));
+  EXPECT_TRUE(sw->Erase(KeyOf(1)));
+  EXPECT_EQ(sw->Lookup(KeyOf(1)), std::nullopt);
+  EXPECT_EQ(sw->Lookup(KeyOf(2)), std::optional<u64>(20));
+  EXPECT_FALSE(sw->Erase(KeyOf(1)));
+  EXPECT_EQ(sw->size(), 1u);
+}
+
+TEST_P(CuckooSwitchAllVariants, FillsTo95PercentWithoutLosingKeys) {
+  CuckooSwitchConfig config;
+  config.num_buckets = 128;  // capacity 1024
+  auto sw = Make(GetParam(), config);
+  const u32 target = sw->capacity() * 95 / 100;
+  u32 inserted = 0;
+  for (u32 i = 0; inserted < target && i < sw->capacity() * 2; ++i) {
+    if (sw->Insert(KeyOf(i), i)) {
+      ++inserted;
+    } else {
+      break;
+    }
+  }
+  ASSERT_GE(inserted, target) << "blocked cuckoo should reach 95% load";
+  // Every inserted key must still be retrievable with its value.
+  u32 found = 0;
+  for (u32 i = 0; i < inserted; ++i) {
+    const auto v = sw->Lookup(KeyOf(i));
+    ASSERT_TRUE(v.has_value()) << "lost key " << i;
+    ASSERT_EQ(*v, i);
+    ++found;
+  }
+  EXPECT_EQ(found, inserted);
+}
+
+TEST_P(CuckooSwitchAllVariants, FailedInsertLeavesTableIntact) {
+  CuckooSwitchConfig config;
+  config.num_buckets = 2;  // tiny: capacity 16
+  auto sw = Make(GetParam(), config);
+  std::vector<u32> inserted;
+  for (u32 i = 0; i < 64; ++i) {
+    if (sw->Insert(KeyOf(i), i)) {
+      inserted.push_back(i);
+    }
+  }
+  EXPECT_LT(inserted.size(), 64u);  // some must fail at this size
+  for (u32 i : inserted) {
+    EXPECT_EQ(sw->Lookup(KeyOf(i)), std::optional<u64>(i));
+  }
+}
+
+TEST_P(CuckooSwitchAllVariants, MatchesReferenceUnderChurn) {
+  CuckooSwitchConfig config;
+  config.num_buckets = 256;
+  auto sw = Make(GetParam(), config);
+  std::unordered_map<u32, u64> model;
+  pktgen::Rng rng(515);
+  for (int step = 0; step < 10000; ++step) {
+    const u32 id = static_cast<u32>(rng.NextBounded(600));
+    switch (rng.NextBounded(3)) {
+      case 0: {
+        const u64 val = rng.NextU64();
+        if (sw->Insert(KeyOf(id), val)) {
+          model[id] = val;
+        }
+        break;
+      }
+      case 1: {
+        const auto got = sw->Lookup(KeyOf(id));
+        const auto it = model.find(id);
+        if (it == model.end()) {
+          ASSERT_FALSE(got.has_value());
+        } else {
+          ASSERT_TRUE(got.has_value());
+          ASSERT_EQ(*got, it->second);
+        }
+        break;
+      }
+      default:
+        ASSERT_EQ(sw->Erase(KeyOf(id)), model.erase(id) > 0);
+        break;
+    }
+    ASSERT_EQ(sw->size(), model.size());
+  }
+}
+
+TEST_P(CuckooSwitchAllVariants, PacketPathHitsAndMisses) {
+  CuckooSwitchConfig config;
+  config.num_buckets = 64;
+  auto sw = Make(GetParam(), config);
+  const auto flows = pktgen::MakeFlowPopulation(8, 3);
+  for (u32 i = 0; i < 4; ++i) {
+    ASSERT_TRUE(sw->Insert(flows[i], i));
+  }
+  u32 tx = 0, drop = 0;
+  for (const auto& flow : flows) {
+    auto packet = pktgen::Packet::FromTuple(flow);
+    ebpf::XdpContext ctx{packet.frame, packet.frame + ebpf::kFrameSize, 0};
+    const auto action = sw->Process(ctx);
+    if (action == ebpf::XdpAction::kTx) {
+      ++tx;
+    } else if (action == ebpf::XdpAction::kDrop) {
+      ++drop;
+    }
+  }
+  EXPECT_EQ(tx, 4u);
+  EXPECT_EQ(drop, 4u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Variants, CuckooSwitchAllVariants,
+                         ::testing::Values(Kind::kEbpf, Kind::kKernel,
+                                           Kind::kEnetstl),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case Kind::kEbpf:
+                               return "eBPF";
+                             case Kind::kKernel:
+                               return "Kernel";
+                             default:
+                               return "eNetSTL";
+                           }
+                         });
+
+// Kernel and eNetSTL variants share the CRC hash family, so their physical
+// layouts and lookup answers coincide exactly.
+TEST(CuckooSwitchEquivalence, KernelAndEnetstlAgree) {
+  CuckooSwitchConfig config;
+  config.num_buckets = 128;
+  CuckooSwitchKernel kern(config);
+  CuckooSwitchEnetstl stl(config);
+  pktgen::Rng rng(99);
+  for (int i = 0; i < 800; ++i) {
+    const u32 id = static_cast<u32>(rng.NextBounded(1200));
+    const bool a = kern.Insert(KeyOf(id), id);
+    const bool b = stl.Insert(KeyOf(id), id);
+    ASSERT_EQ(a, b);
+  }
+  for (u32 id = 0; id < 1200; ++id) {
+    ASSERT_EQ(kern.Lookup(KeyOf(id)), stl.Lookup(KeyOf(id))) << id;
+  }
+}
+
+}  // namespace
+}  // namespace nf

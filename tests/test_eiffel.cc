@@ -1,0 +1,164 @@
+// Tests for the Eiffel cFFS priority queue: strict min-priority dequeue
+// order, FIFO within a priority, hierarchical bitmap maintenance across all
+// level configurations, and cross-variant equivalence (the structure is
+// identical; only the FFS primitive differs).
+#include "nf/eiffel.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <queue>
+
+#include "pktgen/flowgen.h"
+
+namespace nf {
+namespace {
+
+enum class Kind { kEbpf, kKernel, kEnetstl };
+
+std::unique_ptr<EiffelBase> Make(Kind kind, const EiffelConfig& config) {
+  switch (kind) {
+    case Kind::kEbpf:
+      return std::make_unique<EiffelEbpf>(config);
+    case Kind::kKernel:
+      return std::make_unique<EiffelKernel>(config);
+    case Kind::kEnetstl:
+      return std::make_unique<EiffelEnetstl>(config);
+  }
+  return nullptr;
+}
+
+using KindLevels = std::tuple<Kind, u32>;
+
+class EiffelAll : public ::testing::TestWithParam<KindLevels> {};
+
+TEST_P(EiffelAll, EmptyDequeueFails) {
+  EiffelConfig config;
+  config.levels = std::get<1>(GetParam());
+  auto q = Make(std::get<0>(GetParam()), config);
+  EiffelItem item;
+  EXPECT_FALSE(q->DequeueMin(&item));
+  EXPECT_EQ(q->size(), 0u);
+}
+
+TEST_P(EiffelAll, DequeuesInPriorityOrder) {
+  EiffelConfig config;
+  config.levels = std::get<1>(GetParam());
+  auto q = Make(std::get<0>(GetParam()), config);
+  const u32 p_max = q->num_priorities();
+  const u32 prios[] = {p_max - 1, 0, p_max / 2, 1, p_max / 3};
+  for (u32 p : prios) {
+    ASSERT_TRUE(q->Enqueue({p, p * 10}));
+  }
+  u32 last = 0;
+  for (std::size_t i = 0; i < std::size(prios); ++i) {
+    EiffelItem item;
+    ASSERT_TRUE(q->DequeueMin(&item));
+    EXPECT_GE(item.priority, last);
+    EXPECT_EQ(item.flow, item.priority * 10);
+    last = item.priority;
+  }
+}
+
+TEST_P(EiffelAll, FifoWithinSamePriority) {
+  EiffelConfig config;
+  config.levels = std::get<1>(GetParam());
+  auto q = Make(std::get<0>(GetParam()), config);
+  for (u32 i = 0; i < 5; ++i) {
+    ASSERT_TRUE(q->Enqueue({7, i}));
+  }
+  for (u32 i = 0; i < 5; ++i) {
+    EiffelItem item;
+    ASSERT_TRUE(q->DequeueMin(&item));
+    EXPECT_EQ(item.priority, 7u);
+    EXPECT_EQ(item.flow, i);
+  }
+}
+
+TEST_P(EiffelAll, RejectsOutOfRangePriority) {
+  EiffelConfig config;
+  config.levels = std::get<1>(GetParam());
+  auto q = Make(std::get<0>(GetParam()), config);
+  EXPECT_FALSE(q->Enqueue({q->num_priorities(), 1}));
+}
+
+TEST_P(EiffelAll, BitmapClearedWhenBucketDrains) {
+  EiffelConfig config;
+  config.levels = std::get<1>(GetParam());
+  auto q = Make(std::get<0>(GetParam()), config);
+  ASSERT_TRUE(q->Enqueue({5, 1}));
+  EiffelItem item;
+  ASSERT_TRUE(q->DequeueMin(&item));
+  // Queue must be truly empty: next dequeue fails rather than spinning on a
+  // stale bitmap bit.
+  EXPECT_FALSE(q->DequeueMin(&item));
+  // And a later priority works.
+  ASSERT_TRUE(q->Enqueue({11, 2}));
+  ASSERT_TRUE(q->DequeueMin(&item));
+  EXPECT_EQ(item.priority, 11u);
+}
+
+TEST_P(EiffelAll, MatchesReferencePriorityQueue) {
+  EiffelConfig config;
+  config.levels = std::get<1>(GetParam());
+  config.capacity = 4096;
+  auto q = Make(std::get<0>(GetParam()), config);
+  // Reference: map priority -> FIFO.
+  std::map<u32, std::queue<u32>> model;
+  std::size_t model_size = 0;
+  pktgen::Rng rng(606 + config.levels);
+  for (int step = 0; step < 20000; ++step) {
+    if (rng.NextBounded(2) == 0) {
+      const u32 prio = static_cast<u32>(rng.NextBounded(q->num_priorities()));
+      const u32 flow = static_cast<u32>(step);
+      if (q->Enqueue({prio, flow})) {
+        model[prio].push(flow);
+        ++model_size;
+      } else {
+        ASSERT_EQ(model_size, 4096u);
+      }
+    } else {
+      EiffelItem item;
+      const bool ok = q->DequeueMin(&item);
+      ASSERT_EQ(ok, model_size > 0);
+      if (ok) {
+        auto it = model.begin();
+        ASSERT_EQ(item.priority, it->first);
+        ASSERT_EQ(item.flow, it->second.front());
+        it->second.pop();
+        if (it->second.empty()) {
+          model.erase(it);
+        }
+        --model_size;
+      }
+    }
+    ASSERT_EQ(q->size(), model_size);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    VariantsAndLevels, EiffelAll,
+    ::testing::Combine(::testing::Values(Kind::kEbpf, Kind::kKernel,
+                                         Kind::kEnetstl),
+                       ::testing::Values(1u, 2u, 3u)),
+    [](const auto& info) {
+      const char* kind = std::get<0>(info.param) == Kind::kEbpf ? "eBPF"
+                         : std::get<0>(info.param) == Kind::kKernel
+                             ? "Kernel"
+                             : "eNetSTL";
+      return std::string(kind) + "_L" + std::to_string(std::get<1>(info.param));
+    });
+
+TEST(EiffelConfigTest, PriorityCountsGrowGeometrically) {
+  EiffelConfig c1{1, 16};
+  EiffelConfig c2{2, 16};
+  EiffelConfig c3{3, 16};
+  EiffelKernel q1(c1), q2(c2), q3(c3);
+  EXPECT_EQ(q1.num_priorities(), 64u);
+  EXPECT_EQ(q2.num_priorities(), 4096u);
+  EXPECT_EQ(q3.num_priorities(), 262144u);
+}
+
+}  // namespace
+}  // namespace nf

@@ -1,0 +1,132 @@
+// Failure-injection tests: allocator exhaustion in the memory wrapper must
+// leave every data structure built on it consistent, with balanced
+// references — the safe-termination and memory-safety properties of §4.4
+// under the one failure an eBPF program can actually hit (bpf_obj_new
+// returning NULL).
+#include <gtest/gtest.h>
+
+#include "core/memory_wrapper.h"
+#include "ebpf/verifier.h"
+#include "nf/lru_cache.h"
+#include "nf/skiplist.h"
+#include "pktgen/flowgen.h"
+
+namespace {
+
+using ebpf::u32;
+using ebpf::u64;
+
+TEST(FailureInjection, NodeAllocReturnsNullOnceThenRecovers) {
+  enetstl::NodeProxy proxy;
+  proxy.InjectAllocFailureAfter(2);
+  enetstl::Node* a = proxy.NodeAlloc(1, 1, 8);
+  enetstl::Node* b = proxy.NodeAlloc(1, 1, 8);
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(proxy.NodeAlloc(1, 1, 8), nullptr);  // injected failure
+  enetstl::Node* c = proxy.NodeAlloc(1, 1, 8);   // disarmed again
+  ASSERT_NE(c, nullptr);
+  proxy.NodeRelease(a);
+  proxy.NodeRelease(b);
+  proxy.NodeRelease(c);
+  EXPECT_EQ(proxy.live_nodes(), 0u);
+}
+
+nf::SkipKey SkipKeyOf(u64 i) {
+  nf::SkipKey k;
+  std::memcpy(k.bytes, &i, 8);
+  return k;
+}
+
+TEST(FailureInjection, SkipListUpdateAbortsCleanlyOnAllocFailure) {
+  nf::SkipListEnetstl list;
+  for (u64 i = 0; i < 100; ++i) {
+    list.Update(SkipKeyOf(i), nf::SkipValue{});
+  }
+  const u32 size_before = list.size();
+  const u32 live_before = list.proxy().live_nodes();
+
+  // Fail the very next allocation: the insert of a brand-new key.
+  const_cast<enetstl::NodeProxy&>(list.proxy()).InjectAllocFailureAfter(0);
+  list.Update(SkipKeyOf(10'000), nf::SkipValue{});
+
+  // No partial insert, no leaked references, structure still fully usable.
+  EXPECT_EQ(list.size(), size_before);
+  EXPECT_EQ(list.proxy().live_nodes(), live_before);
+  nf::SkipValue v;
+  EXPECT_FALSE(list.Lookup(SkipKeyOf(10'000), &v));
+  for (u64 i = 0; i < 100; ++i) {
+    ASSERT_TRUE(list.Lookup(SkipKeyOf(i), &v)) << i;
+  }
+  // And the failed key can be inserted once allocation recovers.
+  list.Update(SkipKeyOf(10'000), nf::SkipValue{});
+  EXPECT_TRUE(list.Lookup(SkipKeyOf(10'000), &v));
+  EXPECT_EQ(list.proxy().live_nodes(), list.size() + 1);
+}
+
+TEST(FailureInjection, SkipListSurvivesRepeatedRandomAllocFailures) {
+  nf::SkipListEnetstl list;
+  pktgen::Rng rng(515);
+  u32 failures_armed = 0;
+  for (int step = 0; step < 4000; ++step) {
+    const u64 id = rng.NextBounded(200);
+    if (rng.NextBounded(10) == 0) {
+      const_cast<enetstl::NodeProxy&>(list.proxy())
+          .InjectAllocFailureAfter(static_cast<u32>(rng.NextBounded(2)));
+      ++failures_armed;
+    }
+    switch (rng.NextBounded(3)) {
+      case 0:
+        list.Update(SkipKeyOf(id), nf::SkipValue{});
+        break;
+      case 1: {
+        nf::SkipValue v;
+        list.Lookup(SkipKeyOf(id), &v);
+        break;
+      }
+      default:
+        list.Erase(SkipKeyOf(id));
+        break;
+    }
+    // The structural invariant must hold after every operation, failed or
+    // not: live nodes == entries + head, i.e. no leak and no double free.
+    ASSERT_EQ(list.proxy().live_nodes(), list.size() + 1) << "step " << step;
+  }
+  ASSERT_GT(failures_armed, 100u);
+}
+
+ebpf::FiveTuple TupleOf(u32 i) {
+  ebpf::FiveTuple t;
+  t.src_ip = 0x0a000000u + i;
+  t.protocol = 6;
+  return t;
+}
+
+TEST(FailureInjection, LruCachePutDropsCleanlyOnAllocFailure) {
+  nf::LruCacheEnetstl cache(32);
+  for (u32 i = 0; i < 20; ++i) {
+    cache.Put(TupleOf(i), i);
+  }
+  const_cast<enetstl::NodeProxy&>(cache.proxy()).InjectAllocFailureAfter(0);
+  cache.Put(TupleOf(999), 999);  // dropped, not crashed
+  EXPECT_EQ(cache.Get(TupleOf(999)), std::nullopt);
+  EXPECT_EQ(cache.size(), 20u);
+  EXPECT_EQ(cache.proxy().live_nodes(), cache.size() + 2);
+  // Recovers on the next put.
+  cache.Put(TupleOf(999), 999);
+  EXPECT_EQ(cache.Get(TupleOf(999)), std::optional<u64>(999));
+}
+
+TEST(FailureInjection, RefLeakCheckerCatchesDoubleRelease) {
+  // The runtime analogue of the verifier's balance rule, exercised against a
+  // deliberately wrong sequence.
+  ebpf::RefLeakChecker checker;
+  enetstl::NodeProxy proxy;
+  enetstl::Node* node = proxy.NodeAlloc(1, 1, 8);
+  checker.OnAcquire(node, "mw_node");
+  EXPECT_TRUE(checker.OnRelease(node, "mw_node"));
+  EXPECT_FALSE(checker.OnRelease(node, "mw_node"));  // the bug, caught
+  proxy.NodeRelease(node);
+}
+
+}  // namespace

@@ -1,0 +1,154 @@
+// Tests for the FQ pacer (the third P1 NF): pacing semantics, global
+// earliest-deadline-first release order, treap invariants under churn,
+// kernel/eNetSTL equivalence, and memory accounting.
+#include "nf/fq_pacer.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "pktgen/flowgen.h"
+
+namespace nf {
+namespace {
+
+template <typename T>
+class FqPacerTyped : public ::testing::Test {};
+
+using Implementations = ::testing::Types<FqPacerKernel, FqPacerEnetstl>;
+TYPED_TEST_SUITE(FqPacerTyped, Implementations);
+
+TYPED_TEST(FqPacerTyped, PacesASingleFlow) {
+  TypeParam fq(1000);
+  EXPECT_EQ(fq.Enqueue(1, 0), 0u);
+  EXPECT_EQ(fq.Enqueue(1, 0), 1000u);   // gap applied
+  EXPECT_EQ(fq.Enqueue(1, 5000), 5000u);  // idle flow restarts at now
+  EXPECT_EQ(fq.size(), 3u);
+}
+
+TYPED_TEST(FqPacerTyped, DequeueRespectsSchedule) {
+  TypeParam fq(1000);
+  fq.Enqueue(1, 0);     // t = 0
+  fq.Enqueue(1, 0);     // t = 1000
+  EXPECT_EQ(fq.Dequeue(0)->time, 0u);
+  EXPECT_EQ(fq.Dequeue(500), std::nullopt);  // next packet not due yet
+  EXPECT_EQ(fq.Dequeue(1000)->time, 1000u);
+  EXPECT_EQ(fq.Dequeue(99999), std::nullopt);  // empty
+}
+
+TYPED_TEST(FqPacerTyped, InterleavesFlowsByDeadline) {
+  TypeParam fq(1000);
+  fq.Enqueue(1, 0);    // flow 1: 0, 1000, 2000
+  fq.Enqueue(1, 0);
+  fq.Enqueue(1, 0);
+  fq.Enqueue(2, 500);  // flow 2: 500, 1500
+  fq.Enqueue(2, 500);
+  std::vector<u64> times;
+  std::vector<u32> flows;
+  while (auto item = fq.Dequeue(~0ull >> 17)) {
+    times.push_back(item->time);
+    flows.push_back(item->flow);
+  }
+  const std::vector<u64> expected_times = {0, 500, 1000, 1500, 2000};
+  const std::vector<u32> expected_flows = {1, 2, 1, 2, 1};
+  EXPECT_EQ(times, expected_times);
+  EXPECT_EQ(flows, expected_flows);
+}
+
+TYPED_TEST(FqPacerTyped, FifoWithinEqualTimestamps) {
+  TypeParam fq(0);  // zero gap: everything schedules at `now`
+  for (u32 i = 0; i < 10; ++i) {
+    fq.Enqueue(100 + i, 42);
+  }
+  for (u32 i = 0; i < 10; ++i) {
+    const auto item = fq.Dequeue(42);
+    ASSERT_TRUE(item.has_value());
+    EXPECT_EQ(item->flow, 100 + i);  // enqueue order preserved
+  }
+}
+
+TYPED_TEST(FqPacerTyped, ReleaseOrderIsGloballySorted) {
+  TypeParam fq(64);
+  pktgen::Rng rng(31);
+  for (int i = 0; i < 3000; ++i) {
+    fq.Enqueue(static_cast<u32>(rng.NextBounded(50)), rng.NextBounded(100000));
+  }
+  u64 last = 0;
+  u32 drained = 0;
+  while (auto item = fq.Dequeue(~0ull >> 17)) {
+    ASSERT_GE(item->time, last);
+    last = item->time;
+    ++drained;
+  }
+  EXPECT_EQ(drained, 3000u);
+  EXPECT_EQ(fq.size(), 0u);
+}
+
+TEST(FqPacerEquivalence, KernelAndEnetstlReleaseIdenticalSequences) {
+  FqPacerKernel kern(128);
+  FqPacerEnetstl stl(128);
+  pktgen::Rng rng(41);
+  u64 now = 0;
+  for (int step = 0; step < 10000; ++step) {
+    now += rng.NextBounded(64);
+    if (rng.NextBounded(2) == 0) {
+      const u32 flow = static_cast<u32>(rng.NextBounded(64));
+      ASSERT_EQ(kern.Enqueue(flow, now), stl.Enqueue(flow, now));
+    } else {
+      const auto a = kern.Dequeue(now);
+      const auto b = stl.Dequeue(now);
+      ASSERT_EQ(a.has_value(), b.has_value()) << step;
+      if (a.has_value()) {
+        ASSERT_EQ(a->time, b->time);
+        ASSERT_EQ(a->flow, b->flow);
+      }
+    }
+    ASSERT_EQ(kern.size(), stl.size());
+  }
+}
+
+TEST(FqPacerEnetstlTreap, InvariantsHoldUnderChurn) {
+  FqPacerEnetstl fq(32);
+  pktgen::Rng rng(51);
+  u64 now = 0;
+  for (int step = 0; step < 3000; ++step) {
+    now += rng.NextBounded(16);
+    if (rng.NextBounded(3) != 0) {
+      fq.Enqueue(static_cast<u32>(rng.NextBounded(32)), now);
+    } else {
+      fq.Dequeue(now);
+    }
+    if (step % 100 == 0) {
+      ASSERT_TRUE(fq.CheckInvariants()) << "step " << step;
+    }
+    ASSERT_EQ(fq.proxy().live_nodes(), fq.size() + 1);  // + anchor
+  }
+  ASSERT_TRUE(fq.CheckInvariants());
+}
+
+TEST(FqPacerEnetstlTreap, StressDrainLeavesNoNodes) {
+  FqPacerEnetstl fq(8);
+  pktgen::Rng rng(61);
+  for (int i = 0; i < 5000; ++i) {
+    fq.Enqueue(static_cast<u32>(rng.NextBounded(128)), rng.NextBounded(4096));
+  }
+  ASSERT_TRUE(fq.CheckInvariants());
+  u32 drained = 0;
+  while (fq.Dequeue(~0ull >> 17).has_value()) {
+    ++drained;
+  }
+  EXPECT_EQ(drained, 5000u);
+  EXPECT_EQ(fq.proxy().live_nodes(), 1u);  // only the anchor remains
+}
+
+TEST(FqPacerPacketPath, TraceDrives) {
+  FqPacerEnetstl fq(256);
+  const auto flows = pktgen::MakeFlowPopulation(32, 71);
+  const auto trace = pktgen::MakeQueueingTrace(flows, 4000, 1024, 72);
+  pktgen::ReplayOnce(fq.Handler(), trace);
+  EXPECT_TRUE(fq.CheckInvariants());
+  EXPECT_EQ(fq.proxy().live_nodes(), fq.size() + 1);
+}
+
+}  // namespace
+}  // namespace nf

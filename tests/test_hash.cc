@@ -1,0 +1,152 @@
+// Tests for core/hash.h: hardware/software CRC parity, multi-hash lane
+// consistency (SIMD path == scalar lane recurrence), determinism, and basic
+// distribution sanity.
+#include "core/hash.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <set>
+#include <vector>
+
+#include "pktgen/flowgen.h"
+
+namespace enetstl {
+namespace {
+
+TEST(HwHashCrc, MatchesSoftwareCrcAllLengths) {
+  pktgen::Rng rng(42);
+  std::vector<u8> buf(256);
+  for (auto& b : buf) {
+    b = static_cast<u8>(rng.NextU32());
+  }
+  for (std::size_t len = 0; len <= buf.size(); ++len) {
+    ASSERT_EQ(HwHashCrc(buf.data(), len, 0), SoftCrc32c(buf.data(), len, 0))
+        << "len=" << len;
+    ASSERT_EQ(HwHashCrc(buf.data(), len, 0xdeadbeef),
+              SoftCrc32c(buf.data(), len, 0xdeadbeef))
+        << "len=" << len;
+  }
+}
+
+TEST(HwHashCrc, KnownVector) {
+  // CRC32C("123456789") = 0xE3069283 (iSCSI test vector, seed 0).
+  const char* s = "123456789";
+  EXPECT_EQ(SoftCrc32c(s, 9, 0), 0xe3069283u);
+  EXPECT_EQ(HwHashCrc(s, 9, 0), 0xe3069283u);
+}
+
+TEST(HwHashCrc, SeedChangesResult) {
+  const char* s = "packet";
+  EXPECT_NE(HwHashCrc(s, 6, 0), HwHashCrc(s, 6, 1));
+}
+
+TEST(XxHash32, Deterministic) {
+  const char* s = "five-tuple-key!!";
+  EXPECT_EQ(XxHash32(s, 16, 7), XxHash32(s, 16, 7));
+  EXPECT_NE(XxHash32(s, 16, 7), XxHash32(s, 16, 8));
+  EXPECT_NE(XxHash32(s, 16, 7), XxHash32(s, 15, 7));
+}
+
+TEST(XxHash32, EmptyKeyIsValid) {
+  EXPECT_EQ(XxHash32(nullptr, 0, 1), XxHash32(nullptr, 0, 1));
+  EXPECT_NE(XxHash32(nullptr, 0, 1), XxHash32(nullptr, 0, 2));
+}
+
+TEST(FastHash64, DeterministicAndSeeded) {
+  const char* s = "0123456789abcdefg";  // 17 bytes: block + tail
+  EXPECT_EQ(FastHash64(s, 17, 1), FastHash64(s, 17, 1));
+  EXPECT_NE(FastHash64(s, 17, 1), FastHash64(s, 17, 2));
+  EXPECT_NE(FastHash64(s, 16, 1), FastHash64(s, 17, 1));
+}
+
+// The defining property of the SIMD multi-hash: lane i equals the scalar
+// xxHash32 recurrence with LaneSeed(base, i), for every key length.
+TEST(MultiHash8, LanesMatchScalarReference) {
+  pktgen::Rng rng(99);
+  std::vector<u8> buf(64);
+  for (auto& b : buf) {
+    b = static_cast<u8>(rng.NextU32());
+  }
+  for (std::size_t len = 0; len <= buf.size(); ++len) {
+    u32 out[8];
+    MultiHash8ToMem(buf.data(), len, 0x1234u, out);
+    for (u32 lane = 0; lane < 8; ++lane) {
+      ASSERT_EQ(out[lane], XxHash32(buf.data(), len, LaneSeed(0x1234u, lane)))
+          << "len=" << len << " lane=" << lane;
+    }
+  }
+}
+
+TEST(MultiHash8, LanesAreDistinct) {
+  const char key[16] = "distinct-lanes!";
+  u32 out[8];
+  MultiHash8ToMem(key, sizeof(key), 0, out);
+  std::set<u32> unique(out, out + 8);
+  EXPECT_EQ(unique.size(), 8u);
+}
+
+// Loose avalanche check: flipping one input bit flips a substantial number
+// of output bits on average.
+TEST(HashQuality, XxHash32Avalanche) {
+  pktgen::Rng rng(3);
+  u32 total_flips = 0;
+  const int kTrials = 2000;
+  for (int t = 0; t < kTrials; ++t) {
+    u8 key[16];
+    for (auto& b : key) {
+      b = static_cast<u8>(rng.NextU32());
+    }
+    const u32 h1 = XxHash32(key, sizeof(key), 0);
+    key[rng.NextBounded(16)] ^= static_cast<u8>(1u << rng.NextBounded(8));
+    const u32 h2 = XxHash32(key, sizeof(key), 0);
+    total_flips += static_cast<u32>(std::popcount(h1 ^ h2));
+  }
+  const double avg = static_cast<double>(total_flips) / kTrials;
+  EXPECT_GT(avg, 12.0);
+  EXPECT_LT(avg, 20.0);
+}
+
+// Bucket distribution: hashing distinct keys into 256 buckets should not
+// leave any bucket pathologically over-full.
+TEST(HashQuality, Crc32BucketBalance) {
+  constexpr u32 kBuckets = 256;
+  constexpr u32 kKeys = 65536;
+  std::vector<u32> counts(kBuckets, 0);
+  for (u32 i = 0; i < kKeys; ++i) {
+    u64 key = i * 0x9e3779b97f4a7c15ull + 1;
+    ++counts[HwHashCrc(&key, sizeof(key), 0) & (kBuckets - 1)];
+  }
+  const u32 expected = kKeys / kBuckets;  // 256
+  for (u32 b = 0; b < kBuckets; ++b) {
+    EXPECT_GT(counts[b], expected / 2) << "bucket " << b;
+    EXPECT_LT(counts[b], expected * 2) << "bucket " << b;
+  }
+}
+
+// Parameterized: multi-hash lane parity across many key sizes including the
+// workload-relevant ones (4 = ip, 16 = 5-tuple, 32 = skiplist key).
+class MultiHashSizes : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(MultiHashSizes, ToMemMatchesLaneHash) {
+  const std::size_t len = GetParam();
+  std::vector<u8> key(len, 0);
+  for (std::size_t i = 0; i < len; ++i) {
+    key[i] = static_cast<u8>(i * 37 + 11);
+  }
+  u32 out[8];
+  MultiHash8ToMem(key.data(), len, 0xabcdefu, out);
+  for (u32 lane = 0; lane < 8; ++lane) {
+    EXPECT_EQ(out[lane], XxHash32(key.data(), len, LaneSeed(0xabcdefu, lane)));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(KeySizes, MultiHashSizes,
+                         ::testing::Values(std::size_t{1}, std::size_t{3},
+                                           std::size_t{4}, std::size_t{8},
+                                           std::size_t{13}, std::size_t{16},
+                                           std::size_t{32}, std::size_t{33},
+                                           std::size_t{64}));
+
+}  // namespace
+}  // namespace enetstl

@@ -1,0 +1,162 @@
+// Tests for the BPF-style lock-coupled linked list and its object pool.
+#include "ebpf/linklist.h"
+
+#include <gtest/gtest.h>
+
+#include <deque>
+
+#include "pktgen/flowgen.h"
+
+namespace ebpf {
+namespace {
+
+struct Item {
+  u64 value;
+};
+
+TEST(BpfObjPool, AllocFreeCycle) {
+  BpfObjPool<Item> pool(2);
+  const u32 a = pool.Alloc();
+  const u32 b = pool.Alloc();
+  ASSERT_NE(a, BpfObjPool<Item>::kNil);
+  ASSERT_NE(b, BpfObjPool<Item>::kNil);
+  EXPECT_EQ(pool.Alloc(), BpfObjPool<Item>::kNil);  // exhausted
+  EXPECT_EQ(pool.in_use(), 2u);
+  pool.Free(a);
+  EXPECT_EQ(pool.in_use(), 1u);
+  EXPECT_NE(pool.Alloc(), BpfObjPool<Item>::kNil);  // recycled
+}
+
+TEST(BpfList, PushPopFifo) {
+  BpfObjPool<Item> pool(16);
+  BpfSpinLock lock;
+  BpfList<Item> list;
+  for (u64 i = 0; i < 5; ++i) {
+    ASSERT_TRUE(list.PushBack(pool, lock, {i}));
+  }
+  EXPECT_EQ(list.size(), 5u);
+  for (u64 i = 0; i < 5; ++i) {
+    Item out{};
+    ASSERT_TRUE(list.PopFront(pool, lock, &out));
+    EXPECT_EQ(out.value, i);
+  }
+  EXPECT_TRUE(list.Empty());
+  Item out{};
+  EXPECT_FALSE(list.PopFront(pool, lock, &out));
+}
+
+TEST(BpfList, PushFrontPopBackActsAsQueueReversed) {
+  BpfObjPool<Item> pool(16);
+  BpfSpinLock lock;
+  BpfList<Item> list;
+  for (u64 i = 0; i < 4; ++i) {
+    ASSERT_TRUE(list.PushFront(pool, lock, {i}));
+  }
+  for (u64 i = 0; i < 4; ++i) {
+    Item out{};
+    ASSERT_TRUE(list.PopBack(pool, lock, &out));
+    EXPECT_EQ(out.value, i);
+  }
+}
+
+TEST(BpfList, PoolExhaustionFailsPush) {
+  BpfObjPool<Item> pool(2);
+  BpfSpinLock lock;
+  BpfList<Item> list;
+  EXPECT_TRUE(list.PushBack(pool, lock, {1}));
+  EXPECT_TRUE(list.PushBack(pool, lock, {2}));
+  EXPECT_FALSE(list.PushBack(pool, lock, {3}));
+  EXPECT_EQ(list.size(), 2u);
+}
+
+TEST(BpfList, MultipleListsShareOnePool) {
+  BpfObjPool<Item> pool(4);
+  BpfSpinLock lock_a, lock_b;
+  BpfList<Item> a, b;
+  EXPECT_TRUE(a.PushBack(pool, lock_a, {1}));
+  EXPECT_TRUE(b.PushBack(pool, lock_b, {2}));
+  EXPECT_TRUE(a.PushBack(pool, lock_a, {3}));
+  EXPECT_TRUE(b.PushBack(pool, lock_b, {4}));
+  EXPECT_FALSE(a.PushBack(pool, lock_a, {5}));
+  Item out{};
+  ASSERT_TRUE(b.PopFront(pool, lock_b, &out));
+  EXPECT_EQ(out.value, 2u);
+  EXPECT_TRUE(a.PushBack(pool, lock_a, {5}));  // freed capacity is shared
+}
+
+TEST(BpfList, LockReleasedAfterEveryOperation) {
+  BpfObjPool<Item> pool(4);
+  BpfSpinLock lock;
+  BpfList<Item> list;
+  list.PushBack(pool, lock, {1});
+  EXPECT_FALSE(lock.IsLocked());
+  Item out{};
+  list.PopFront(pool, lock, &out);
+  EXPECT_FALSE(lock.IsLocked());
+  list.PopFront(pool, lock, &out);  // empty pop still unlocks
+  EXPECT_FALSE(lock.IsLocked());
+}
+
+TEST(BpfSpinLock, LockUnlock) {
+  BpfSpinLock lock;
+  EXPECT_FALSE(lock.IsLocked());
+  lock.Lock();
+  EXPECT_TRUE(lock.IsLocked());
+  lock.Unlock();
+  EXPECT_FALSE(lock.IsLocked());
+}
+
+TEST(BpfList, MatchesDequeModelUnderRandomOps) {
+  BpfObjPool<Item> pool(128);
+  BpfSpinLock lock;
+  BpfList<Item> list;
+  std::deque<u64> model;
+  pktgen::Rng rng(606);
+  for (int step = 0; step < 20000; ++step) {
+    switch (rng.NextBounded(4)) {
+      case 0: {
+        const u64 v = rng.NextU64();
+        if (list.PushBack(pool, lock, {v})) {
+          model.push_back(v);
+        } else {
+          ASSERT_EQ(model.size(), 128u);
+        }
+        break;
+      }
+      case 1: {
+        const u64 v = rng.NextU64();
+        if (list.PushFront(pool, lock, {v})) {
+          model.push_front(v);
+        } else {
+          ASSERT_EQ(model.size(), 128u);
+        }
+        break;
+      }
+      case 2: {
+        Item out{};
+        const bool ok = list.PopFront(pool, lock, &out);
+        ASSERT_EQ(ok, !model.empty());
+        if (ok) {
+          ASSERT_EQ(out.value, model.front());
+          model.pop_front();
+        }
+        break;
+      }
+      default: {
+        Item out{};
+        const bool ok = list.PopBack(pool, lock, &out);
+        ASSERT_EQ(ok, !model.empty());
+        if (ok) {
+          ASSERT_EQ(out.value, model.back());
+          model.pop_back();
+        }
+        break;
+      }
+    }
+    ASSERT_EQ(list.size(), model.size());
+    ASSERT_EQ(pool.in_use(), model.size());
+  }
+}
+
+}  // namespace
+}  // namespace ebpf

@@ -1,0 +1,177 @@
+// Tests for the list-buckets data structure: FIFO/LIFO order, occupancy
+// bitmap consistency, capacity exhaustion, percpu isolation, argument
+// validation.
+#include "core/list_buckets.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "ebpf/helper.h"
+#include "pktgen/flowgen.h"
+
+namespace enetstl {
+namespace {
+
+struct Elem {
+  u64 a;
+  u64 b;
+};
+
+class ListBucketsTest : public ::testing::Test {
+ protected:
+  void SetUp() override { ebpf::SetCurrentCpu(0); }
+};
+
+TEST_F(ListBucketsTest, InsertTailPreservesFifoOrder) {
+  ListBuckets lb(8, 64, sizeof(Elem));
+  for (u64 i = 0; i < 10; ++i) {
+    Elem e{i, i * 2};
+    ASSERT_EQ(lb.InsertTail(3, &e, sizeof(e)), ebpf::kOk);
+  }
+  for (u64 i = 0; i < 10; ++i) {
+    Elem e{};
+    ASSERT_EQ(lb.PopFront(3, &e, sizeof(e)), ebpf::kOk);
+    EXPECT_EQ(e.a, i);
+    EXPECT_EQ(e.b, i * 2);
+  }
+  Elem e{};
+  EXPECT_EQ(lb.PopFront(3, &e, sizeof(e)), ebpf::kErrNoEnt);
+}
+
+TEST_F(ListBucketsTest, InsertFrontPreservesLifoOrder) {
+  ListBuckets lb(4, 16, sizeof(u64));
+  for (u64 i = 0; i < 5; ++i) {
+    ASSERT_EQ(lb.InsertFront(0, &i, sizeof(i)), ebpf::kOk);
+  }
+  for (u64 i = 5; i-- > 0;) {
+    u64 v = 0;
+    ASSERT_EQ(lb.PopFront(0, &v, sizeof(v)), ebpf::kOk);
+    EXPECT_EQ(v, i);
+  }
+}
+
+TEST_F(ListBucketsTest, PeekDoesNotRemove) {
+  ListBuckets lb(2, 8, sizeof(u64));
+  u64 v = 42;
+  ASSERT_EQ(lb.InsertTail(1, &v, sizeof(v)), ebpf::kOk);
+  u64 out = 0;
+  ASSERT_EQ(lb.PeekFront(1, &out, sizeof(out)), ebpf::kOk);
+  EXPECT_EQ(out, 42u);
+  EXPECT_EQ(lb.BucketLen(1), 1u);
+  ASSERT_EQ(lb.PopFront(1, &out, sizeof(out)), ebpf::kOk);
+  EXPECT_EQ(lb.BucketLen(1), 0u);
+}
+
+TEST_F(ListBucketsTest, InvalidBucketAndSizeRejected) {
+  ListBuckets lb(4, 8, sizeof(u64));
+  u64 v = 1;
+  EXPECT_EQ(lb.InsertTail(4, &v, sizeof(v)), ebpf::kErrInval);
+  EXPECT_EQ(lb.InsertTail(0, &v, 4), ebpf::kErrInval);
+  EXPECT_EQ(lb.PopFront(99, &v, sizeof(v)), ebpf::kErrInval);
+  EXPECT_EQ(lb.PeekFront(0, &v, 2), ebpf::kErrInval);
+}
+
+TEST_F(ListBucketsTest, CapacityExhaustionAndRecycling) {
+  ListBuckets lb(2, 4, sizeof(u64));
+  u64 v = 7;
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_EQ(lb.InsertTail(0, &v, sizeof(v)), ebpf::kOk);
+  }
+  EXPECT_EQ(lb.InsertTail(1, &v, sizeof(v)), ebpf::kErrNoSpc);
+  // Free one node: capacity becomes available again.
+  u64 out;
+  ASSERT_EQ(lb.PopFront(0, &out, sizeof(out)), ebpf::kOk);
+  EXPECT_EQ(lb.InsertTail(1, &v, sizeof(v)), ebpf::kOk);
+}
+
+TEST_F(ListBucketsTest, FirstNonEmptyTracksOccupancy) {
+  ListBuckets lb(256, 32, sizeof(u64));
+  EXPECT_EQ(lb.FirstNonEmpty(0), -1);
+  u64 v = 1;
+  lb.InsertTail(77, &v, sizeof(v));
+  lb.InsertTail(200, &v, sizeof(v));
+  EXPECT_EQ(lb.FirstNonEmpty(0), 77);
+  EXPECT_EQ(lb.FirstNonEmpty(77), 77);
+  EXPECT_EQ(lb.FirstNonEmpty(78), 200);
+  EXPECT_EQ(lb.FirstNonEmpty(201), -1);
+  u64 out;
+  lb.PopFront(77, &out, sizeof(out));
+  EXPECT_EQ(lb.FirstNonEmpty(0), 200);
+  lb.PopFront(200, &out, sizeof(out));
+  EXPECT_EQ(lb.FirstNonEmpty(0), -1);
+}
+
+TEST_F(ListBucketsTest, FirstNonEmptyOutOfRangeFrom) {
+  ListBuckets lb(16, 4, sizeof(u64));
+  u64 v = 1;
+  lb.InsertTail(3, &v, sizeof(v));
+  EXPECT_EQ(lb.FirstNonEmpty(16), -1);
+  EXPECT_EQ(lb.FirstNonEmpty(1000), -1);
+}
+
+TEST_F(ListBucketsTest, PercpuIsolation) {
+  ListBuckets lb(4, 8, sizeof(u64));
+  u64 v = 11;
+  ebpf::SetCurrentCpu(0);
+  ASSERT_EQ(lb.InsertTail(0, &v, sizeof(v)), ebpf::kOk);
+  ebpf::SetCurrentCpu(1);
+  EXPECT_EQ(lb.BucketLen(0), 0u);
+  u64 out;
+  EXPECT_EQ(lb.PopFront(0, &out, sizeof(out)), ebpf::kErrNoEnt);
+  v = 22;
+  ASSERT_EQ(lb.InsertTail(0, &v, sizeof(v)), ebpf::kOk);
+  ebpf::SetCurrentCpu(0);
+  ASSERT_EQ(lb.PopFront(0, &out, sizeof(out)), ebpf::kOk);
+  EXPECT_EQ(out, 11u);
+  ebpf::SetCurrentCpu(1);
+  ASSERT_EQ(lb.PopFront(0, &out, sizeof(out)), ebpf::kOk);
+  EXPECT_EQ(out, 22u);
+  ebpf::SetCurrentCpu(0);
+}
+
+// Property: interleaved inserts/pops across many buckets behave exactly like
+// a vector-of-deques model.
+TEST_F(ListBucketsTest, MatchesReferenceModelUnderRandomOps) {
+  constexpr u32 kBuckets = 32;
+  ListBuckets lb(kBuckets, 1024, sizeof(u64));
+  std::vector<std::vector<u64>> model(kBuckets);
+  pktgen::Rng rng(909);
+  for (int step = 0; step < 20000; ++step) {
+    const u32 bucket = static_cast<u32>(rng.NextBounded(kBuckets));
+    const u32 op = static_cast<u32>(rng.NextBounded(3));
+    if (op == 0) {  // insert tail
+      u64 v = rng.NextU64();
+      if (lb.InsertTail(bucket, &v, sizeof(v)) == ebpf::kOk) {
+        model[bucket].push_back(v);
+      }
+    } else if (op == 1) {  // insert front
+      u64 v = rng.NextU64();
+      if (lb.InsertFront(bucket, &v, sizeof(v)) == ebpf::kOk) {
+        model[bucket].insert(model[bucket].begin(), v);
+      }
+    } else {  // pop front
+      u64 v = 0;
+      const int rc = lb.PopFront(bucket, &v, sizeof(v));
+      if (model[bucket].empty()) {
+        ASSERT_EQ(rc, ebpf::kErrNoEnt);
+      } else {
+        ASSERT_EQ(rc, ebpf::kOk);
+        ASSERT_EQ(v, model[bucket].front());
+        model[bucket].erase(model[bucket].begin());
+      }
+    }
+    ASSERT_EQ(lb.BucketLen(bucket), model[bucket].size());
+  }
+  // Occupancy bitmap must agree with the model at the end.
+  s32 first = lb.FirstNonEmpty(0);
+  for (u32 b = 0; b < kBuckets; ++b) {
+    if (!model[b].empty()) {
+      ASSERT_EQ(first, static_cast<s32>(b));
+      break;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace enetstl

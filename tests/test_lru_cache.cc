@@ -1,0 +1,179 @@
+// Tests for the LRU flow cache (the §4.5 extension NF): exact LRU
+// semantics, equivalence between the native and memory-wrapper variants,
+// reference-count hygiene, and behavioural parity with the kernel's own LRU
+// map semantics.
+#include "nf/lru_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <list>
+#include <memory>
+#include <unordered_map>
+
+#include "pktgen/flowgen.h"
+#include "pktgen/pipeline.h"
+
+namespace nf {
+namespace {
+
+ebpf::FiveTuple KeyOf(u32 i) {
+  ebpf::FiveTuple t;
+  t.src_ip = 0x0a000000u + i;
+  t.dst_ip = 0x14000000u + i * 3;
+  t.src_port = static_cast<ebpf::u16>(i + 1);
+  t.protocol = 17;
+  return t;
+}
+
+template <typename T>
+class LruCacheTyped : public ::testing::Test {};
+
+using Implementations = ::testing::Types<LruCacheKernel, LruCacheEnetstl>;
+TYPED_TEST_SUITE(LruCacheTyped, Implementations);
+
+TYPED_TEST(LruCacheTyped, PutThenGet) {
+  TypeParam cache(4);
+  cache.Put(KeyOf(1), 100);
+  cache.Put(KeyOf(2), 200);
+  EXPECT_EQ(cache.Get(KeyOf(1)), std::optional<u64>(100));
+  EXPECT_EQ(cache.Get(KeyOf(2)), std::optional<u64>(200));
+  EXPECT_EQ(cache.Get(KeyOf(3)), std::nullopt);
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TYPED_TEST(LruCacheTyped, PutOverwrites) {
+  TypeParam cache(4);
+  cache.Put(KeyOf(1), 1);
+  cache.Put(KeyOf(1), 2);
+  EXPECT_EQ(cache.Get(KeyOf(1)), std::optional<u64>(2));
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TYPED_TEST(LruCacheTyped, EvictsLeastRecentlyUsed) {
+  TypeParam cache(3);
+  cache.Put(KeyOf(1), 1);
+  cache.Put(KeyOf(2), 2);
+  cache.Put(KeyOf(3), 3);
+  ASSERT_TRUE(cache.Get(KeyOf(1)).has_value());  // 2 becomes the oldest
+  cache.Put(KeyOf(4), 4);                        // evicts 2
+  EXPECT_EQ(cache.Get(KeyOf(2)), std::nullopt);
+  EXPECT_TRUE(cache.Get(KeyOf(1)).has_value());
+  EXPECT_TRUE(cache.Get(KeyOf(3)).has_value());
+  EXPECT_TRUE(cache.Get(KeyOf(4)).has_value());
+  EXPECT_EQ(cache.size(), 3u);
+}
+
+TYPED_TEST(LruCacheTyped, PutRefreshesRecency) {
+  TypeParam cache(2);
+  cache.Put(KeyOf(1), 1);
+  cache.Put(KeyOf(2), 2);
+  cache.Put(KeyOf(1), 11);  // 2 is now the oldest
+  cache.Put(KeyOf(3), 3);   // evicts 2
+  EXPECT_EQ(cache.Get(KeyOf(2)), std::nullopt);
+  EXPECT_EQ(cache.Get(KeyOf(1)), std::optional<u64>(11));
+}
+
+TYPED_TEST(LruCacheTyped, CapacityOneDegenerateCase) {
+  TypeParam cache(1);
+  cache.Put(KeyOf(1), 1);
+  cache.Put(KeyOf(2), 2);
+  EXPECT_EQ(cache.Get(KeyOf(1)), std::nullopt);
+  EXPECT_EQ(cache.Get(KeyOf(2)), std::optional<u64>(2));
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TYPED_TEST(LruCacheTyped, MatchesReferenceModelUnderChurn) {
+  constexpr u32 kCapacity = 32;
+  TypeParam cache(kCapacity);
+  // Reference model: list of keys, most recent first.
+  std::list<std::pair<u32, u64>> model;
+  auto model_find = [&](u32 id) {
+    for (auto it = model.begin(); it != model.end(); ++it) {
+      if (it->first == id) {
+        return it;
+      }
+    }
+    return model.end();
+  };
+  pktgen::Rng rng(777);
+  for (int step = 0; step < 20000; ++step) {
+    const u32 id = static_cast<u32>(rng.NextBounded(100));
+    if (rng.NextBounded(2) == 0) {
+      const u64 value = rng.NextU64();
+      cache.Put(KeyOf(id), value);
+      auto it = model_find(id);
+      if (it != model.end()) {
+        model.erase(it);
+      } else if (model.size() >= kCapacity) {
+        model.pop_back();
+      }
+      model.emplace_front(id, value);
+    } else {
+      const auto got = cache.Get(KeyOf(id));
+      auto it = model_find(id);
+      if (it == model.end()) {
+        ASSERT_FALSE(got.has_value()) << "step " << step;
+      } else {
+        ASSERT_TRUE(got.has_value()) << "step " << step;
+        ASSERT_EQ(*got, it->second);
+        model.splice(model.begin(), model, it);
+      }
+    }
+    ASSERT_EQ(cache.size(), model.size());
+  }
+}
+
+TEST(LruCacheEquivalence, KernelAndEnetstlBehaveIdentically) {
+  LruCacheKernel kern(16);
+  LruCacheEnetstl stl(16);
+  pktgen::Rng rng(888);
+  for (int step = 0; step < 10000; ++step) {
+    const u32 id = static_cast<u32>(rng.NextBounded(64));
+    if (rng.NextBounded(2) == 0) {
+      kern.Put(KeyOf(id), id);
+      stl.Put(KeyOf(id), id);
+    } else {
+      ASSERT_EQ(kern.Get(KeyOf(id)), stl.Get(KeyOf(id))) << step;
+    }
+    ASSERT_EQ(kern.size(), stl.size());
+  }
+}
+
+TEST(LruCacheEnetstlMemory, NodeCountTracksSizePlusSentinels) {
+  LruCacheEnetstl cache(8);
+  pktgen::Rng rng(999);
+  for (int step = 0; step < 5000; ++step) {
+    const u32 id = static_cast<u32>(rng.NextBounded(40));
+    if (rng.NextBounded(2) == 0) {
+      cache.Put(KeyOf(id), id);
+    } else {
+      cache.Get(KeyOf(id));
+    }
+    ASSERT_EQ(cache.proxy().live_nodes(), cache.size() + 2);  // + sentinels
+  }
+}
+
+TEST(LruCachePacketPath, HotFlowsHitColdFlowsMiss) {
+  LruCacheEnetstl cache(64);
+  const auto flows = pktgen::MakeFlowPopulation(256, 50);
+  const auto trace = pktgen::MakeZipfTrace(flows, 10000, 1.3, 51);
+  ebpf::u64 tx = 0, pass = 0;
+  for (const auto& p : trace) {
+    pktgen::Packet copy = p;
+    ebpf::XdpContext ctx{copy.frame, copy.frame + ebpf::kFrameSize, 0};
+    const auto action = cache.Process(ctx);
+    if (action == ebpf::XdpAction::kTx) {
+      ++tx;
+    } else {
+      ++pass;
+    }
+  }
+  // Zipf traffic against a cache that holds a quarter of the flows: the hot
+  // head must hit far more often than it misses.
+  EXPECT_GT(tx, 7000u);
+  EXPECT_EQ(tx + pass, 10000u);
+  EXPECT_EQ(cache.size(), 64u);
+}
+
+}  // namespace
+}  // namespace nf

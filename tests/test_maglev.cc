@@ -1,0 +1,89 @@
+// Tests for the Maglev consistent-hash ring used by the Katran app: full
+// coverage, near-perfect balance, determinism, and the minimal-disruption
+// property under backend changes that is Maglev's reason to exist.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "apps/katran_lb.h"
+
+namespace apps {
+namespace {
+
+constexpr u32 kRing = 4099;  // prime
+constexpr u32 kSeed = 0x1234;
+
+std::vector<u32> Backends(u32 n, u32 base = 100) {
+  std::vector<u32> backends(n);
+  for (u32 i = 0; i < n; ++i) {
+    backends[i] = base + i;
+  }
+  return backends;
+}
+
+TEST(Maglev, EverySlotAssigned) {
+  const auto ring = BuildMaglevRing(Backends(7), kRing, kSeed);
+  ASSERT_EQ(ring.size(), kRing);
+  for (u32 slot : ring) {
+    EXPECT_GE(slot, 100u);
+    EXPECT_LT(slot, 107u);
+  }
+}
+
+TEST(Maglev, Deterministic) {
+  EXPECT_EQ(BuildMaglevRing(Backends(9), kRing, kSeed),
+            BuildMaglevRing(Backends(9), kRing, kSeed));
+  EXPECT_NE(BuildMaglevRing(Backends(9), kRing, kSeed),
+            BuildMaglevRing(Backends(9), kRing, kSeed + 1));
+}
+
+TEST(Maglev, NearPerfectBalance) {
+  const auto backends = Backends(12);
+  const auto ring = BuildMaglevRing(backends, kRing, kSeed);
+  std::map<u32, u32> counts;
+  for (u32 slot : ring) {
+    ++counts[slot];
+  }
+  ASSERT_EQ(counts.size(), backends.size());
+  const u32 ideal = kRing / static_cast<u32>(backends.size());
+  for (const auto& [backend, count] : counts) {
+    // Maglev's guarantee: within ~1-2% of ideal (round-robin filling).
+    EXPECT_NEAR(count, ideal, ideal / 50 + 2) << backend;
+  }
+}
+
+TEST(Maglev, RemovalDisruptsOnlyTheRemovedBackendsShare) {
+  auto backends = Backends(10);
+  const auto before = BuildMaglevRing(backends, kRing, kSeed);
+  backends.erase(backends.begin() + 3);  // remove one backend
+  const auto after = BuildMaglevRing(backends, kRing, kSeed);
+  u32 moved_unnecessarily = 0;
+  u32 orphaned = 0;
+  for (u32 slot = 0; slot < kRing; ++slot) {
+    if (before[slot] == 103) {
+      ++orphaned;  // must move, by definition
+    } else if (before[slot] != after[slot]) {
+      ++moved_unnecessarily;
+    }
+  }
+  EXPECT_NEAR(orphaned, kRing / 10, kRing / 100);
+  // Maglev bounds collateral movement to a small fraction of slots.
+  EXPECT_LT(moved_unnecessarily, kRing / 10);
+}
+
+TEST(Maglev, SingleBackendOwnsRing) {
+  const auto ring = BuildMaglevRing({42}, kRing, kSeed);
+  for (u32 slot : ring) {
+    ASSERT_EQ(slot, 42u);
+  }
+}
+
+TEST(Maglev, EmptyBackendsYieldUnsetRing) {
+  const auto ring = BuildMaglevRing({}, 97, kSeed);
+  for (u32 slot : ring) {
+    ASSERT_EQ(slot, 0xffffffffu);
+  }
+}
+
+}  // namespace
+}  // namespace apps

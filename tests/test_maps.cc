@@ -1,0 +1,189 @@
+// Tests for the BPF map emulation: array bounds, hash map semantics under
+// churn, preallocation limits, LRU eviction order, blob maps, and percpu
+// isolation.
+#include "ebpf/maps.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+
+#include "pktgen/flowgen.h"
+
+namespace ebpf {
+namespace {
+
+TEST(ArrayMap, LookupBounds) {
+  ArrayMap<u64> map(4);
+  ASSERT_NE(map.LookupElem(0), nullptr);
+  ASSERT_NE(map.LookupElem(3), nullptr);
+  EXPECT_EQ(map.LookupElem(4), nullptr);
+  EXPECT_EQ(*map.LookupElem(0), 0u);  // zero-initialized
+}
+
+TEST(ArrayMap, UpdatePersists) {
+  ArrayMap<u32> map(2);
+  EXPECT_EQ(map.UpdateElem(1, 99), kOk);
+  EXPECT_EQ(*map.LookupElem(1), 99u);
+  EXPECT_EQ(map.UpdateElem(2, 1), kErrInval);
+}
+
+TEST(PercpuArrayMap, PerCpuViews) {
+  PercpuArrayMap<u32> map(1);
+  SetCurrentCpu(0);
+  *map.LookupElem(0) = 10;
+  SetCurrentCpu(1);
+  EXPECT_EQ(*map.LookupElem(0), 0u);
+  *map.LookupElem(0) = 20;
+  SetCurrentCpu(0);
+  EXPECT_EQ(*map.LookupElem(0), 10u);
+  EXPECT_EQ(*map.LookupElemOnCpu(0, 1), 20u);
+  EXPECT_EQ(map.LookupElemOnCpu(0, kNumPossibleCpus), nullptr);
+}
+
+struct Key8 {
+  u64 v;
+};
+
+TEST(HashMap, InsertLookupDelete) {
+  HashMap<Key8, u64> map(16);
+  EXPECT_EQ(map.LookupElem({1}), nullptr);
+  EXPECT_EQ(map.UpdateElem({1}, 100), kOk);
+  ASSERT_NE(map.LookupElem({1}), nullptr);
+  EXPECT_EQ(*map.LookupElem({1}), 100u);
+  EXPECT_EQ(map.UpdateElem({1}, 200), kOk);  // overwrite
+  EXPECT_EQ(*map.LookupElem({1}), 200u);
+  EXPECT_EQ(map.size(), 1u);
+  EXPECT_EQ(map.DeleteElem({1}), kOk);
+  EXPECT_EQ(map.LookupElem({1}), nullptr);
+  EXPECT_EQ(map.DeleteElem({1}), kErrNoEnt);
+  EXPECT_EQ(map.size(), 0u);
+}
+
+TEST(HashMap, FillsToCapacityThenRejects) {
+  HashMap<Key8, u32> map(8);
+  for (u64 i = 0; i < 8; ++i) {
+    ASSERT_EQ(map.UpdateElem({i}, static_cast<u32>(i)), kOk);
+  }
+  EXPECT_EQ(map.UpdateElem({100}, 1), kErrNoSpc);
+  // Existing keys still updatable at capacity.
+  EXPECT_EQ(map.UpdateElem({3}, 333), kOk);
+  EXPECT_EQ(*map.LookupElem({3}), 333u);
+  // Delete frees a slot for a new key.
+  EXPECT_EQ(map.DeleteElem({0}), kOk);
+  EXPECT_EQ(map.UpdateElem({100}, 1), kOk);
+}
+
+TEST(HashMap, MatchesReferenceUnderChurn) {
+  HashMap<Key8, u64> map(256);
+  std::unordered_map<u64, u64> model;
+  pktgen::Rng rng(808);
+  for (int step = 0; step < 20000; ++step) {
+    const u64 key = rng.NextBounded(400);
+    const u32 op = static_cast<u32>(rng.NextBounded(3));
+    if (op == 0) {
+      const u64 val = rng.NextU64();
+      const int rc = map.UpdateElem({key}, val);
+      if (model.size() < 256 || model.count(key)) {
+        ASSERT_EQ(rc, kOk);
+        model[key] = val;
+      } else {
+        ASSERT_EQ(rc, kErrNoSpc);
+      }
+    } else if (op == 1) {
+      u64* found = map.LookupElem({key});
+      if (model.count(key)) {
+        ASSERT_NE(found, nullptr);
+        ASSERT_EQ(*found, model[key]);
+      } else {
+        ASSERT_EQ(found, nullptr);
+      }
+    } else {
+      const int rc = map.DeleteElem({key});
+      ASSERT_EQ(rc, model.erase(key) ? kOk : kErrNoEnt);
+    }
+    ASSERT_EQ(map.size(), model.size());
+  }
+}
+
+TEST(LruHashMap, EvictsLeastRecentlyUsed) {
+  LruHashMap<Key8, u32> map(3);
+  map.UpdateElem({1}, 1);
+  map.UpdateElem({2}, 2);
+  map.UpdateElem({3}, 3);
+  // Touch 1 so 2 becomes the oldest.
+  ASSERT_NE(map.LookupElem({1}), nullptr);
+  map.UpdateElem({4}, 4);  // evicts 2
+  EXPECT_EQ(map.LookupElem({2}), nullptr);
+  EXPECT_NE(map.LookupElem({1}), nullptr);
+  EXPECT_NE(map.LookupElem({3}), nullptr);
+  EXPECT_NE(map.LookupElem({4}), nullptr);
+  EXPECT_EQ(map.size(), 3u);
+}
+
+TEST(LruHashMap, UpdateRefreshesRecency) {
+  LruHashMap<Key8, u32> map(2);
+  map.UpdateElem({1}, 1);
+  map.UpdateElem({2}, 2);
+  map.UpdateElem({1}, 11);  // 2 is now oldest
+  map.UpdateElem({3}, 3);   // evicts 2
+  EXPECT_EQ(map.LookupElem({2}), nullptr);
+  EXPECT_EQ(*map.LookupElem({1}), 11u);
+}
+
+TEST(LruHashMap, DeleteFreesSlot) {
+  LruHashMap<Key8, u32> map(2);
+  map.UpdateElem({1}, 1);
+  map.UpdateElem({2}, 2);
+  EXPECT_EQ(map.DeleteElem({1}), kOk);
+  EXPECT_EQ(map.size(), 1u);
+  map.UpdateElem({3}, 3);  // no eviction needed
+  EXPECT_NE(map.LookupElem({2}), nullptr);
+  EXPECT_NE(map.LookupElem({3}), nullptr);
+}
+
+TEST(LruHashMap, NeverExceedsCapacityUnderChurn) {
+  LruHashMap<Key8, u32> map(32);
+  pktgen::Rng rng(313);
+  for (int i = 0; i < 10000; ++i) {
+    map.UpdateElem({rng.NextBounded(1000)}, static_cast<u32>(i));
+    ASSERT_LE(map.size(), 32u);
+  }
+  EXPECT_EQ(map.size(), 32u);
+}
+
+TEST(RawArrayMap, BlobIsZeroedAndBounded) {
+  RawArrayMap map(2, 64);
+  void* blob = map.LookupElem(0);
+  ASSERT_NE(blob, nullptr);
+  auto* bytes = static_cast<u8*>(blob);
+  for (int i = 0; i < 64; ++i) {
+    ASSERT_EQ(bytes[i], 0);
+  }
+  EXPECT_NE(map.LookupElem(1), nullptr);
+  EXPECT_EQ(map.LookupElem(2), nullptr);
+  EXPECT_NE(map.LookupElem(0), map.LookupElem(1));
+}
+
+TEST(RawPercpuArrayMap, PerCpuBlobs) {
+  RawPercpuArrayMap map(1, 16);
+  SetCurrentCpu(0);
+  static_cast<u8*>(map.LookupElem(0))[0] = 0xaa;
+  SetCurrentCpu(2);
+  EXPECT_EQ(static_cast<u8*>(map.LookupElem(0))[0], 0);
+  SetCurrentCpu(0);
+  EXPECT_EQ(static_cast<u8*>(map.LookupElem(0))[0], 0xaa);
+  EXPECT_EQ(static_cast<u8*>(map.LookupElemOnCpu(0, 2))[0], 0);
+}
+
+TEST(HelperStats, CountsMapCalls) {
+  GlobalHelperStats().Reset();
+  ArrayMap<u32> map(1);
+  map.LookupElem(0);
+  map.LookupElem(0);
+  map.UpdateElem(0, 5);
+  EXPECT_EQ(GlobalHelperStats().map_lookup_calls, 2u);
+  EXPECT_EQ(GlobalHelperStats().map_update_calls, 1u);
+}
+
+}  // namespace
+}  // namespace ebpf

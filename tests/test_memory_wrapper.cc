@@ -1,0 +1,327 @@
+// Tests for the memory wrapper: proxy-based ownership, reference counting,
+// relationship bookkeeping, and — centrally — the lazy safety checking that
+// makes use-after-free impossible (§4.2 of the paper).
+#include "core/memory_wrapper.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "pktgen/flowgen.h"
+
+namespace enetstl {
+namespace {
+
+TEST(MemoryWrapper, AllocInitializesNode) {
+  NodeProxy proxy;
+  Node* n = proxy.NodeAlloc(2, 3, 16);
+  ASSERT_NE(n, nullptr);
+  EXPECT_EQ(n->num_outs, 2u);
+  EXPECT_EQ(n->num_ins, 3u);
+  EXPECT_EQ(n->data_size, 16u);
+  EXPECT_EQ(n->refcount, 1u);
+  EXPECT_EQ(n->outs()[0], nullptr);
+  EXPECT_EQ(n->outs()[1], nullptr);
+  EXPECT_EQ(proxy.live_nodes(), 1u);
+  proxy.NodeRelease(n);
+  EXPECT_EQ(proxy.live_nodes(), 0u);
+}
+
+TEST(MemoryWrapper, AllocRejectsAbsurdSizes) {
+  NodeProxy proxy;
+  EXPECT_EQ(proxy.NodeAlloc(65, 0, 8), nullptr);
+  EXPECT_EQ(proxy.NodeAlloc(0, 65, 8), nullptr);
+  EXPECT_EQ(proxy.NodeAlloc(1, 1, 1u << 20), nullptr);
+}
+
+TEST(MemoryWrapper, SetOwnerKeepsNodeAliveAfterRelease) {
+  NodeProxy proxy;
+  Node* n = proxy.NodeAlloc(1, 1, 8);
+  proxy.SetOwner(n);
+  EXPECT_EQ(proxy.owned_nodes(), 1u);
+  proxy.NodeRelease(n);  // program's reference gone; proxy still owns it
+  EXPECT_EQ(proxy.live_nodes(), 1u);
+  proxy.UnsetOwner(n);  // proxy reference gone -> destroyed
+  EXPECT_EQ(proxy.live_nodes(), 0u);
+  EXPECT_EQ(proxy.owned_nodes(), 0u);
+}
+
+TEST(MemoryWrapper, ConnectAndGetNext) {
+  NodeProxy proxy;
+  Node* a = proxy.NodeAlloc(1, 1, 8);
+  Node* b = proxy.NodeAlloc(1, 1, 8);
+  ASSERT_EQ(proxy.NodeConnect(a, 0, b, 0), ebpf::kOk);
+  Node* next = proxy.GetNext(a, 0);
+  EXPECT_EQ(next, b);
+  EXPECT_EQ(b->refcount, 2u);  // alloc ref + GetNext ref
+  proxy.NodeRelease(next);
+  EXPECT_EQ(b->refcount, 1u);
+  proxy.NodeRelease(a);
+  proxy.NodeRelease(b);
+  EXPECT_EQ(proxy.live_nodes(), 0u);
+}
+
+TEST(MemoryWrapper, GetNextOnEmptySlotReturnsNull) {
+  NodeProxy proxy;
+  Node* a = proxy.NodeAlloc(2, 0, 8);
+  EXPECT_EQ(proxy.GetNext(a, 0), nullptr);
+  EXPECT_EQ(proxy.GetNext(a, 5), nullptr);  // out of range
+  EXPECT_EQ(proxy.GetNext(nullptr, 0), nullptr);
+  proxy.NodeRelease(a);
+}
+
+TEST(MemoryWrapper, ConnectValidatesArguments) {
+  NodeProxy proxy;
+  Node* a = proxy.NodeAlloc(1, 1, 8);
+  Node* b = proxy.NodeAlloc(1, 1, 8);
+  EXPECT_EQ(proxy.NodeConnect(nullptr, 0, b, 0), ebpf::kErrInval);
+  EXPECT_EQ(proxy.NodeConnect(a, 1, b, 0), ebpf::kErrInval);
+  EXPECT_EQ(proxy.NodeConnect(a, 0, b, 1), ebpf::kErrInval);
+  proxy.NodeRelease(a);
+  proxy.NodeRelease(b);
+}
+
+TEST(MemoryWrapper, DisconnectClearsBothDirections) {
+  NodeProxy proxy;
+  Node* a = proxy.NodeAlloc(1, 0, 8);
+  Node* b = proxy.NodeAlloc(0, 1, 8);
+  proxy.NodeConnect(a, 0, b, 0);
+  EXPECT_EQ(proxy.NodeDisconnect(a, 0), ebpf::kOk);
+  EXPECT_EQ(proxy.GetNext(a, 0), nullptr);
+  EXPECT_EQ(b->ins()[0].from, nullptr);
+  // Disconnecting an empty slot is a no-op success.
+  EXPECT_EQ(proxy.NodeDisconnect(a, 0), ebpf::kOk);
+  proxy.NodeRelease(a);
+  proxy.NodeRelease(b);
+}
+
+// THE core guarantee: releasing a node whose relationships were not cleaned
+// up automatically nulls every pointer that targeted it (lazy safety
+// checking). This is the A->next use-after-free scenario from §4.2.
+TEST(MemoryWrapper, LazyCleanupPreventsUseAfterFree) {
+  NodeProxy proxy;
+  Node* a = proxy.NodeAlloc(1, 1, 8);
+  Node* b = proxy.NodeAlloc(1, 1, 8);
+  proxy.NodeConnect(a, 0, b, 0);  // A->next = B
+  // Buggy program: releases B without disconnecting it from A.
+  proxy.NodeRelease(b);
+  EXPECT_EQ(proxy.live_nodes(), 1u);
+  // A->next must now be NULL, not a dangling pointer.
+  EXPECT_EQ(proxy.GetNext(a, 0), nullptr);
+  EXPECT_EQ(a->outs()[0], nullptr);
+  proxy.NodeRelease(a);
+}
+
+TEST(MemoryWrapper, LazyCleanupHandlesMultiplePredecessors) {
+  NodeProxy proxy;
+  Node* target = proxy.NodeAlloc(0, 4, 8);
+  std::vector<Node*> preds;
+  for (u32 i = 0; i < 4; ++i) {
+    Node* p = proxy.NodeAlloc(1, 0, 8);
+    proxy.NodeConnect(p, 0, target, i);
+    preds.push_back(p);
+  }
+  proxy.NodeRelease(target);
+  for (Node* p : preds) {
+    EXPECT_EQ(p->outs()[0], nullptr);
+    proxy.NodeRelease(p);
+  }
+  EXPECT_EQ(proxy.live_nodes(), 0u);
+}
+
+TEST(MemoryWrapper, DestroyClearsOwnOutEdgesFromTargets) {
+  NodeProxy proxy;
+  Node* a = proxy.NodeAlloc(1, 0, 8);
+  Node* b = proxy.NodeAlloc(0, 1, 8);
+  proxy.NodeConnect(a, 0, b, 0);
+  proxy.NodeRelease(a);  // destroys a
+  // b's in-slot must no longer reference the destroyed a.
+  EXPECT_EQ(b->ins()[0].from, nullptr);
+  proxy.NodeRelease(b);
+}
+
+TEST(MemoryWrapper, GetNextRefKeepsTargetAliveAcrossRelease) {
+  NodeProxy proxy;
+  Node* a = proxy.NodeAlloc(1, 1, 8);
+  Node* b = proxy.NodeAlloc(1, 1, 8);
+  proxy.NodeConnect(a, 0, b, 0);
+  Node* held = proxy.GetNext(a, 0);  // refcount(b) = 2
+  proxy.NodeRelease(b);              // drops alloc ref; held ref remains
+  EXPECT_EQ(proxy.live_nodes(), 2u);
+  u8 buf[8];
+  EXPECT_EQ(proxy.NodeRead(held, 0, buf, 8), ebpf::kOk);  // still valid
+  proxy.NodeRelease(held);  // now destroyed; a->out auto-nulled
+  EXPECT_EQ(proxy.live_nodes(), 1u);
+  EXPECT_EQ(a->outs()[0], nullptr);
+  proxy.NodeRelease(a);
+}
+
+TEST(MemoryWrapper, NodeAcquireAddsReference) {
+  NodeProxy proxy;
+  Node* a = proxy.NodeAlloc(0, 0, 8);
+  EXPECT_EQ(proxy.NodeAcquire(a), a);
+  EXPECT_EQ(a->refcount, 2u);
+  proxy.NodeRelease(a);
+  EXPECT_EQ(proxy.live_nodes(), 1u);
+  proxy.NodeRelease(a);
+  EXPECT_EQ(proxy.live_nodes(), 0u);
+  EXPECT_EQ(proxy.NodeAcquire(nullptr), nullptr);
+}
+
+TEST(MemoryWrapper, ConnectOverwriteReroutesCleanly) {
+  // The Listing 3 pattern: head->B exists; insert N between head and B.
+  NodeProxy proxy;
+  Node* head = proxy.NodeAlloc(1, 0, 8);
+  Node* b = proxy.NodeAlloc(1, 1, 8);
+  Node* n = proxy.NodeAlloc(1, 1, 8);
+  proxy.NodeConnect(head, 0, b, 0);
+  proxy.NodeConnect(n, 0, b, 0);     // N->B (displaces head->B's reverse edge)
+  proxy.NodeConnect(head, 0, n, 0);  // head->N
+  Node* x = proxy.GetNext(head, 0);
+  EXPECT_EQ(x, n);
+  proxy.NodeRelease(x);
+  x = proxy.GetNext(n, 0);
+  EXPECT_EQ(x, b);
+  proxy.NodeRelease(x);
+  // Deleting N must auto-null head->out but leave B alive.
+  proxy.NodeRelease(n);
+  EXPECT_EQ(head->outs()[0], nullptr);
+  proxy.NodeRelease(head);
+  proxy.NodeRelease(b);
+  EXPECT_EQ(proxy.live_nodes(), 0u);
+}
+
+TEST(MemoryWrapper, SelfLoopDestructionIsSafe) {
+  NodeProxy proxy;
+  Node* a = proxy.NodeAlloc(1, 1, 8);
+  proxy.NodeConnect(a, 0, a, 0);
+  proxy.NodeRelease(a);  // must not crash or double-free
+  EXPECT_EQ(proxy.live_nodes(), 0u);
+}
+
+TEST(MemoryWrapper, NodeWriteReadBoundsChecked) {
+  NodeProxy proxy;
+  Node* a = proxy.NodeAlloc(0, 0, 16);
+  const u64 v = 0x1122334455667788ull;
+  EXPECT_EQ(proxy.NodeWrite(a, 0, &v, 8), ebpf::kOk);
+  EXPECT_EQ(proxy.NodeWrite(a, 8, &v, 8), ebpf::kOk);
+  EXPECT_EQ(proxy.NodeWrite(a, 9, &v, 8), ebpf::kErrInval);
+  EXPECT_EQ(proxy.NodeWrite(a, 17, &v, 0), ebpf::kErrInval);
+  u64 out = 0;
+  EXPECT_EQ(proxy.NodeRead(a, 8, &out, 8), ebpf::kOk);
+  EXPECT_EQ(out, v);
+  EXPECT_EQ(proxy.NodeRead(a, 12, &out, 8), ebpf::kErrInval);
+  EXPECT_EQ(proxy.NodeRead(nullptr, 0, &out, 8), ebpf::kErrInval);
+  proxy.NodeRelease(a);
+}
+
+TEST(MemoryWrapper, ProxyDestructorFreesOwnedNodes) {
+  {
+    NodeProxy proxy;
+    for (int i = 0; i < 100; ++i) {
+      Node* n = proxy.NodeAlloc(1, 1, 32);
+      proxy.SetOwner(n);
+      proxy.NodeRelease(n);
+    }
+    EXPECT_EQ(proxy.live_nodes(), 100u);
+  }  // destructor must free all without leaking (ASAN would catch leaks)
+}
+
+TEST(MemoryWrapper, FreelistRecyclesBlocks) {
+  NodeProxy proxy;
+  Node* a = proxy.NodeAlloc(1, 1, 64);
+  proxy.NodeRelease(a);
+  Node* b = proxy.NodeAlloc(1, 1, 64);  // same size class: recycled block
+  EXPECT_EQ(b, a);
+  // Recycled node must be fully re-initialized.
+  EXPECT_EQ(b->refcount, 1u);
+  EXPECT_EQ(b->outs()[0], nullptr);
+  EXPECT_EQ(b->ins()[0].from, nullptr);
+  proxy.NodeRelease(b);
+}
+
+// Eager mode must behave identically on correct programs (it only differs in
+// when the safety check happens).
+TEST(MemoryWrapper, EagerModeMatchesLazyOnChains) {
+  for (auto mode : {NodeProxy::CheckMode::kLazy, NodeProxy::CheckMode::kEager}) {
+    NodeProxy proxy(mode);
+    // Build a chain of 10 nodes, walk it, delete the middle, re-walk.
+    std::vector<Node*> nodes;
+    for (int i = 0; i < 10; ++i) {
+      Node* n = proxy.NodeAlloc(1, 1, 8);
+      proxy.SetOwner(n);
+      const u64 tag = 1000 + i;
+      proxy.NodeWrite(n, 0, &tag, 8);
+      if (!nodes.empty()) {
+        proxy.NodeConnect(nodes.back(), 0, n, 0);
+      }
+      nodes.push_back(n);
+      proxy.NodeRelease(n);
+    }
+    // Walk.
+    int count = 1;
+    Node* cur = nodes[0];
+    Node* ref = nullptr;
+    while (Node* next = proxy.GetNext(cur, 0)) {
+      if (ref != nullptr) {
+        proxy.NodeRelease(ref);
+      }
+      cur = next;
+      ref = next;
+      ++count;
+    }
+    if (ref != nullptr) {
+      proxy.NodeRelease(ref);
+    }
+    EXPECT_EQ(count, 10);
+    // Delete node 5 without rerouting: the chain must split safely.
+    proxy.UnsetOwner(nodes[5]);
+    EXPECT_EQ(proxy.GetNext(nodes[4], 0), nullptr);
+    EXPECT_EQ(proxy.live_nodes(), 9u);
+  }
+}
+
+// Randomized stress: arbitrary graph mutations never leave a dangling
+// out-pointer (every GetNext returns either null or a node that is live).
+TEST(MemoryWrapper, RandomGraphMutationsNeverDangle) {
+  NodeProxy proxy;
+  pktgen::Rng rng(424242);
+  constexpr u32 kSlots = 4;
+  std::vector<Node*> live;
+  for (int step = 0; step < 5000; ++step) {
+    const u32 op = static_cast<u32>(rng.NextBounded(10));
+    if (op < 4 || live.size() < 2) {  // alloc
+      if (live.size() < 64) {
+        Node* n = proxy.NodeAlloc(kSlots, kSlots, 8);
+        ASSERT_NE(n, nullptr);
+        proxy.SetOwner(n);
+        proxy.NodeRelease(n);
+        live.push_back(n);
+      }
+    } else if (op < 8) {  // connect two random nodes
+      Node* a = live[rng.NextBounded(live.size())];
+      Node* b = live[rng.NextBounded(live.size())];
+      proxy.NodeConnect(a, static_cast<u32>(rng.NextBounded(kSlots)), b,
+                        static_cast<u32>(rng.NextBounded(kSlots)));
+    } else {  // destroy a random node without any cleanup
+      const std::size_t idx = rng.NextBounded(live.size());
+      proxy.UnsetOwner(live[idx]);
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(idx));
+    }
+    // Invariant: every out-pointer of every live node targets a live node.
+    for (Node* n : live) {
+      for (u32 s = 0; s < kSlots; ++s) {
+        Node* t = proxy.GetNext(n, s);
+        if (t != nullptr) {
+          ASSERT_NE(std::find(live.begin(), live.end(), t), live.end());
+          proxy.NodeRelease(t);
+        }
+      }
+    }
+  }
+  EXPECT_EQ(proxy.live_nodes(), live.size());
+}
+
+}  // namespace
+}  // namespace enetstl

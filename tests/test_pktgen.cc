@@ -1,0 +1,200 @@
+// Tests for the traffic substrate: generator determinism, Zipf skew,
+// operation mixes, and the measurement pipeline's accounting.
+#include "pktgen/flowgen.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "pktgen/pipeline.h"
+
+namespace pktgen {
+namespace {
+
+TEST(Rng, DeterministicAndSeedSensitive) {
+  Rng a(1), b(1), c(2);
+  for (int i = 0; i < 100; ++i) {
+    const u64 va = a.NextU64();
+    ASSERT_EQ(va, b.NextU64());
+  }
+  int same = 0;
+  Rng a2(1);
+  for (int i = 0; i < 100; ++i) {
+    if (a2.NextU64() == c.NextU64()) {
+      ++same;
+    }
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, BoundedStaysInRange) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextBounded(17), 17u);
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+  EXPECT_EQ(rng.NextBounded(0), 0u);
+}
+
+TEST(FlowPopulation, DistinctAndDeterministic) {
+  const auto flows_a = MakeFlowPopulation(1000, 9);
+  const auto flows_b = MakeFlowPopulation(1000, 9);
+  ASSERT_EQ(flows_a.size(), 1000u);
+  EXPECT_TRUE(std::equal(flows_a.begin(), flows_a.end(), flows_b.begin()));
+  std::set<u32> src_ips;
+  for (const auto& f : flows_a) {
+    src_ips.insert(f.src_ip);
+  }
+  EXPECT_EQ(src_ips.size(), 1000u);  // unique per flow
+}
+
+TEST(UniformTrace, CoversFlows) {
+  const auto flows = MakeFlowPopulation(16, 1);
+  const auto trace = MakeUniformTrace(flows, 4096, 2);
+  ASSERT_EQ(trace.size(), 4096u);
+  std::map<u32, u32> counts;
+  for (const auto& p : trace) {
+    ebpf::XdpContext ctx{const_cast<u8*>(p.frame),
+                         const_cast<u8*>(p.frame) + ebpf::kFrameSize, 0};
+    ebpf::FiveTuple t;
+    ASSERT_TRUE(ebpf::ParseFiveTuple(ctx, &t));
+    ++counts[t.src_ip];
+  }
+  EXPECT_EQ(counts.size(), 16u);
+  for (const auto& [ip, c] : counts) {
+    EXPECT_GT(c, 128u);  // expected 256 each
+    EXPECT_LT(c, 512u);
+  }
+}
+
+TEST(ZipfTrace, SkewsTowardLowRanks) {
+  const auto flows = MakeFlowPopulation(1000, 4);
+  const auto trace = MakeZipfTrace(flows, 20000, 1.2, 5);
+  std::map<u32, u32> counts;
+  for (const auto& p : trace) {
+    ebpf::XdpContext ctx{const_cast<u8*>(p.frame),
+                         const_cast<u8*>(p.frame) + ebpf::kFrameSize, 0};
+    ebpf::FiveTuple t;
+    ebpf::ParseFiveTuple(ctx, &t);
+    ++counts[t.src_ip];
+  }
+  // Rank-0 flow (src ip of flows[0]) must dominate: > 5% of traffic.
+  EXPECT_GT(counts[flows[0].src_ip], 1000u);
+  // Zipf must produce far fewer distinct flows at the head than uniform.
+  u32 heavy = 0;
+  for (const auto& [ip, c] : counts) {
+    if (c > 200) {
+      ++heavy;
+    }
+  }
+  EXPECT_LT(heavy, 30u);
+}
+
+TEST(ZipfTrace, AlphaZeroIsUniformish) {
+  const auto flows = MakeFlowPopulation(100, 4);
+  const auto trace = MakeZipfTrace(flows, 10000, 0.0, 5);
+  std::map<u32, u32> counts;
+  for (const auto& p : trace) {
+    ebpf::XdpContext ctx{const_cast<u8*>(p.frame),
+                         const_cast<u8*>(p.frame) + ebpf::kFrameSize, 0};
+    ebpf::FiveTuple t;
+    ebpf::ParseFiveTuple(ctx, &t);
+    ++counts[t.src_ip];
+  }
+  for (const auto& [ip, c] : counts) {
+    EXPECT_GT(c, 40u);
+    EXPECT_LT(c, 200u);
+  }
+}
+
+TEST(OpMixTrace, RespectsWeights) {
+  const auto flows = MakeFlowPopulation(10, 1);
+  const auto trace = MakeOpMixTrace(flows, 10000, 0.5, 0.25, 0.25, 7);
+  u32 counts[3] = {0, 0, 0};
+  for (const auto& p : trace) {
+    const u32 op = p.PayloadWord(0);
+    ASSERT_LT(op, 3u);
+    ++counts[op];
+  }
+  EXPECT_NEAR(counts[0], 5000u, 400);
+  EXPECT_NEAR(counts[1], 2500u, 300);
+  EXPECT_NEAR(counts[2], 2500u, 300);
+}
+
+TEST(QueueingTrace, AlternatesOpsWithinHorizon) {
+  const auto flows = MakeFlowPopulation(10, 1);
+  const auto trace = MakeQueueingTrace(flows, 100, 512, 3);
+  for (u32 i = 0; i < trace.size(); ++i) {
+    EXPECT_EQ(trace[i].PayloadWord(0), i & 1u);
+    EXPECT_LT(trace[i].PayloadWord(1), 512u);
+  }
+}
+
+TEST(Pipeline, ThroughputCountsVerdicts) {
+  Pipeline::Options opts;
+  opts.warmup_packets = 10;
+  opts.measure_packets = 1000;
+  Pipeline pipeline(opts);
+  const auto flows = MakeFlowPopulation(4, 1);
+  const auto trace = MakeUniformTrace(flows, 64, 2);
+  u64 seen = 0;
+  auto handler = [&seen](ebpf::XdpContext& ctx) {
+    ++seen;
+    return (seen % 2 == 0) ? ebpf::XdpAction::kDrop : ebpf::XdpAction::kPass;
+  };
+  const ThroughputStats stats = pipeline.MeasureThroughput(handler, trace);
+  EXPECT_EQ(stats.packets, 1000u);
+  EXPECT_EQ(stats.dropped + stats.passed + stats.aborted, 1000u);
+  EXPECT_EQ(seen, 1010u);  // warmup + measured
+  EXPECT_GT(stats.pps, 0.0);
+  EXPECT_GT(stats.ns_per_packet, 0.0);
+}
+
+TEST(Pipeline, EmptyTraceYieldsZeroStats) {
+  Pipeline pipeline;
+  const ThroughputStats stats =
+      pipeline.MeasureThroughput([](ebpf::XdpContext&) {
+        return ebpf::XdpAction::kPass;
+      }, Trace{});
+  EXPECT_EQ(stats.packets, 0u);
+}
+
+TEST(Pipeline, LatencyPercentilesOrdered) {
+  Pipeline pipeline;
+  const auto flows = MakeFlowPopulation(4, 1);
+  const auto trace = MakeUniformTrace(flows, 16, 2);
+  const LatencyStats stats = pipeline.MeasureLatency(
+      [](ebpf::XdpContext&) { return ebpf::XdpAction::kPass; }, trace, 2000);
+  EXPECT_EQ(stats.packets, 2000u);
+  EXPECT_GT(stats.p50_ns, 0.0);
+  EXPECT_LE(stats.p50_ns, stats.p90_ns);
+  EXPECT_LE(stats.p90_ns, stats.p99_ns);
+  EXPECT_LE(stats.p99_ns, stats.max_ns);
+  EXPECT_GT(stats.mean_ns, 0.0);
+}
+
+TEST(Pipeline, ReplayOnceTouchesEveryPacket) {
+  const auto flows = MakeFlowPopulation(4, 1);
+  const auto trace = MakeUniformTrace(flows, 100, 2);
+  u64 n = 0;
+  ReplayOnce([&n](ebpf::XdpContext&) {
+    ++n;
+    return ebpf::XdpAction::kPass;
+  }, trace);
+  EXPECT_EQ(n, 100u);
+}
+
+TEST(Packet, PayloadWordsRoundTrip) {
+  Packet p = Packet::FromTuple(ebpf::FiveTuple{});
+  p.SetPayloadWord(0, 0xdeadbeef);
+  p.SetPayloadWord(1, 42);
+  EXPECT_EQ(p.PayloadWord(0), 0xdeadbeefu);
+  EXPECT_EQ(p.PayloadWord(1), 42u);
+}
+
+}  // namespace
+}  // namespace pktgen

@@ -1,0 +1,221 @@
+// Parameterized property sweeps across structure shapes: the invariants the
+// individual test files pin down for one configuration must hold across the
+// whole configuration space the NFs use.
+#include <gtest/gtest.h>
+
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "core/bits.h"
+#include "core/list_buckets.h"
+#include "core/post_hash.h"
+#include "ebpf/maps.h"
+#include "nf/cms.h"
+#include "nf/cuckoo_filter.h"
+#include "pktgen/flowgen.h"
+
+namespace {
+
+using ebpf::u32;
+using ebpf::u64;
+using ebpf::u8;
+
+// --- ListBuckets across element sizes ---------------------------------------
+
+class ListBucketsElemSize : public ::testing::TestWithParam<u32> {};
+
+TEST_P(ListBucketsElemSize, FifoAcrossPayloadSizes) {
+  const u32 elem_size = GetParam();
+  ebpf::SetCurrentCpu(0);
+  enetstl::ListBuckets lb(8, 128, elem_size);
+  std::vector<std::deque<std::vector<u8>>> model(8);
+  pktgen::Rng rng(100 + elem_size);
+  for (int step = 0; step < 3000; ++step) {
+    const u32 bucket = static_cast<u32>(rng.NextBounded(8));
+    if (rng.NextBounded(2) == 0) {
+      std::vector<u8> payload(elem_size);
+      for (auto& b : payload) {
+        b = static_cast<u8>(rng.NextU32());
+      }
+      if (lb.InsertTail(bucket, payload.data(), elem_size) == ebpf::kOk) {
+        model[bucket].push_back(payload);
+      }
+    } else {
+      std::vector<u8> out(elem_size);
+      const int rc = lb.PopFront(bucket, out.data(), elem_size);
+      if (model[bucket].empty()) {
+        ASSERT_EQ(rc, ebpf::kErrNoEnt);
+      } else {
+        ASSERT_EQ(rc, ebpf::kOk);
+        ASSERT_EQ(out, model[bucket].front());
+        model[bucket].pop_front();
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ElemSizes, ListBucketsElemSize,
+                         ::testing::Values(4u, 8u, 12u, 16u, 32u, 64u, 100u));
+
+// --- Count-min across column counts ------------------------------------------
+
+class CmsColumns : public ::testing::TestWithParam<u32> {};
+
+TEST_P(CmsColumns, NeverUnderestimatesAtAnyWidth) {
+  const u32 cols = GetParam();
+  ebpf::SetCurrentCpu(0);
+  nf::CmsConfig config;
+  config.rows = 4;
+  config.cols = cols;
+  nf::CmsEnetstl cms(config);
+  std::unordered_map<u64, u32> truth;
+  pktgen::Rng rng(200 + cols);
+  for (int i = 0; i < 2000; ++i) {
+    const u64 key = rng.NextBounded(150);
+    cms.Update(&key, 8, 1);
+    ++truth[key];
+  }
+  for (const auto& [key, count] : truth) {
+    ASSERT_GE(cms.Query(&key, 8), count) << "cols=" << cols;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, CmsColumns,
+                         ::testing::Values(64u, 128u, 512u, 2048u, 16384u));
+
+// --- Cuckoo filter across table sizes ----------------------------------------
+
+class FilterBuckets : public ::testing::TestWithParam<u32> {};
+
+TEST_P(FilterBuckets, NoFalseNegativesAtAnySize) {
+  const u32 buckets = GetParam();
+  nf::CuckooFilterConfig config;
+  config.num_buckets = buckets;
+  nf::CuckooFilterEnetstl filter(config);
+  const u32 to_add = buckets * nf::kFilterSlotsPerBucket / 2;  // 50% load
+  std::vector<ebpf::FiveTuple> added;
+  for (u32 i = 0; i < to_add; ++i) {
+    ebpf::FiveTuple t{};
+    t.src_ip = 0x01000000u + i;
+    t.dst_port = static_cast<ebpf::u16>(i);
+    if (filter.Add(t)) {
+      added.push_back(t);
+    }
+  }
+  ASSERT_EQ(added.size(), to_add);
+  for (const auto& t : added) {
+    ASSERT_TRUE(filter.Contains(t));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, FilterBuckets,
+                         ::testing::Values(16u, 64u, 256u, 1024u, 8192u));
+
+// --- Fused post-hash ops across row counts and mask widths --------------------
+
+struct PostHashShape {
+  u32 rows;
+  u32 mask_bits;
+};
+
+class PostHashShapes
+    : public ::testing::TestWithParam<std::tuple<u32, u32>> {};
+
+TEST_P(PostHashShapes, FusedEqualsComposedAtEveryShape) {
+  const u32 rows = std::get<0>(GetParam());
+  const u32 mask = (1u << std::get<1>(GetParam())) - 1;
+  std::vector<u32> fused((mask + 1) * rows, 0);
+  std::vector<u32> composed((mask + 1) * rows, 0);
+  pktgen::Rng rng(300 + rows * 31 + mask);
+  for (int i = 0; i < 500; ++i) {
+    u64 key[2] = {rng.NextU64(), rng.NextU64()};
+    enetstl::HashCnt(fused.data(), rows, mask, key, sizeof(key), 5, 1);
+    u32 h[8];
+    enetstl::MultiHash8ToMem(key, sizeof(key), 5, h);
+    for (u32 r = 0; r < rows; ++r) {
+      ++composed[r * (mask + 1) + (h[r] & mask)];
+    }
+  }
+  ASSERT_EQ(fused, composed);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, PostHashShapes,
+    ::testing::Combine(::testing::Values(1u, 2u, 3u, 4u, 5u, 8u),
+                       ::testing::Values(4u, 8u, 12u)));
+
+// --- BPF hash map across capacities -------------------------------------------
+
+class HashMapCapacity : public ::testing::TestWithParam<u32> {};
+
+TEST_P(HashMapCapacity, ChurnIsExactAtAnyCapacity) {
+  const u32 capacity = GetParam();
+  ebpf::HashMap<u64, u64> map(capacity);
+  std::unordered_map<u64, u64> model;
+  pktgen::Rng rng(400 + capacity);
+  for (int step = 0; step < 4000; ++step) {
+    const u64 key = rng.NextBounded(capacity * 2 + 1);
+    switch (rng.NextBounded(3)) {
+      case 0: {
+        const u64 value = rng.NextU64();
+        const int rc = map.UpdateElem(key, value);
+        if (model.size() < capacity || model.count(key)) {
+          ASSERT_EQ(rc, ebpf::kOk);
+          model[key] = value;
+        } else {
+          ASSERT_EQ(rc, ebpf::kErrNoSpc);
+        }
+        break;
+      }
+      case 1: {
+        u64* found = map.LookupElem(key);
+        if (model.count(key)) {
+          ASSERT_NE(found, nullptr);
+          ASSERT_EQ(*found, model[key]);
+        } else {
+          ASSERT_EQ(found, nullptr);
+        }
+        break;
+      }
+      default:
+        ASSERT_EQ(map.DeleteElem(key), model.erase(key) ? ebpf::kOk
+                                                        : ebpf::kErrNoEnt);
+        break;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Capacities, HashMapCapacity,
+                         ::testing::Values(1u, 2u, 7u, 64u, 1000u));
+
+// --- Bitmap across sizes crossing word boundaries -----------------------------
+
+class BitmapSizes : public ::testing::TestWithParam<u32> {};
+
+TEST_P(BitmapSizes, FirstSetMatchesNaiveAtAnySize) {
+  const u32 bits = GetParam();
+  enetstl::Bitmap bm(bits);
+  pktgen::Rng rng(500 + bits);
+  for (u32 i = 0; i < bits; ++i) {
+    if (rng.NextBounded(5) == 0) {
+      bm.Set(i);
+    }
+  }
+  for (u32 from = 0; from <= bits; ++from) {
+    u32 naive = bits;
+    for (u32 i = from; i < bits; ++i) {
+      if (bm.Test(i)) {
+        naive = i;
+        break;
+      }
+    }
+    ASSERT_EQ(bm.FindFirstSetFrom(from), naive) << "bits=" << bits;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, BitmapSizes,
+                         ::testing::Values(1u, 63u, 64u, 65u, 127u, 128u,
+                                           129u, 320u));
+
+}  // namespace

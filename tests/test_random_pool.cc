@@ -1,0 +1,138 @@
+// Tests for the random-pool data structures: determinism, automatic
+// reinjection (refill), uniformity, and the geometric distribution's moments.
+#include "core/random_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace enetstl {
+namespace {
+
+TEST(RandomPool, DeterministicForSameSeed) {
+  RandomPool a(64, 123);
+  RandomPool b(64, 123);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RandomPool, DifferentSeedsDiverge) {
+  RandomPool a(64, 1);
+  RandomPool b(64, 2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) {
+      ++same;
+    }
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(RandomPool, AutomaticReinjection) {
+  RandomPool pool(16, 7);
+  EXPECT_EQ(pool.refill_count(), 1u);  // initial fill
+  for (int i = 0; i < 16; ++i) {
+    pool.Next();
+  }
+  EXPECT_EQ(pool.Remaining(), 0u);
+  pool.Next();  // triggers refill
+  EXPECT_EQ(pool.refill_count(), 2u);
+  EXPECT_EQ(pool.Remaining(), 15u);
+}
+
+TEST(RandomPool, RemainingCountsDown) {
+  RandomPool pool(8, 9);
+  EXPECT_EQ(pool.Remaining(), 8u);
+  pool.Next();
+  EXPECT_EQ(pool.Remaining(), 7u);
+}
+
+TEST(RandomPool, RoughlyUniformBits) {
+  RandomPool pool(1024, 5);
+  u32 ones = 0;
+  const int kSamples = 10000;
+  for (int i = 0; i < kSamples; ++i) {
+    ones += std::popcount(pool.Next());
+  }
+  const double mean_bits = static_cast<double>(ones) / kSamples;
+  EXPECT_GT(mean_bits, 15.5);
+  EXPECT_LT(mean_bits, 16.5);
+}
+
+TEST(RandomPool, BucketUniformity) {
+  RandomPool pool(4096, 31);
+  constexpr u32 kBuckets = 64;
+  std::vector<u32> counts(kBuckets, 0);
+  const u32 kSamples = 64000;
+  for (u32 i = 0; i < kSamples; ++i) {
+    ++counts[pool.Next() & (kBuckets - 1)];
+  }
+  for (u32 c : counts) {
+    EXPECT_GT(c, 700u);   // expected 1000
+    EXPECT_LT(c, 1300u);
+  }
+}
+
+TEST(GeoRandomPool, SamplesArePositive) {
+  GeoRandomPool pool(256, 0.25, 11);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_GE(pool.NextGeo(), 1u);
+  }
+}
+
+TEST(GeoRandomPool, ProbabilityOneAlwaysReturnsOne) {
+  GeoRandomPool pool(64, 1.0, 3);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(pool.NextGeo(), 1u);
+  }
+}
+
+TEST(GeoRandomPool, MeanMatchesOneOverP) {
+  for (double p : {0.5, 0.25, 0.125, 0.0625}) {
+    GeoRandomPool pool(4096, p, 77);
+    const int kSamples = 100000;
+    double total = 0;
+    for (int i = 0; i < kSamples; ++i) {
+      total += pool.NextGeo();
+    }
+    const double mean = total / kSamples;
+    const double expected = 1.0 / p;
+    EXPECT_NEAR(mean, expected, expected * 0.05) << "p=" << p;
+  }
+}
+
+TEST(GeoRandomPool, VarianceMatchesGeometric) {
+  const double p = 0.25;
+  GeoRandomPool pool(4096, p, 13);
+  const int kSamples = 200000;
+  double sum = 0, sum_sq = 0;
+  for (int i = 0; i < kSamples; ++i) {
+    const double v = pool.NextGeo();
+    sum += v;
+    sum_sq += v * v;
+  }
+  const double mean = sum / kSamples;
+  const double var = sum_sq / kSamples - mean * mean;
+  const double expected_var = (1.0 - p) / (p * p);  // 12 for p = 0.25
+  EXPECT_NEAR(var, expected_var, expected_var * 0.10);
+}
+
+TEST(GeoRandomPool, RefillsAutomatically) {
+  GeoRandomPool pool(8, 0.5, 21);
+  for (int i = 0; i < 100; ++i) {
+    pool.NextGeo();
+  }
+  EXPECT_GE(pool.refill_count(), 12u);
+}
+
+TEST(GeoRandomPool, DegenerateProbabilityClamped) {
+  GeoRandomPool zero(16, 0.0, 1);
+  EXPECT_GE(zero.NextGeo(), 1u);  // does not crash; effectively huge steps
+  GeoRandomPool big(16, 2.0, 1);
+  EXPECT_EQ(big.NextGeo(), 1u);  // clamped to 1.0
+}
+
+}  // namespace
+}  // namespace enetstl

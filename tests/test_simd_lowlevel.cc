@@ -1,0 +1,239 @@
+// Tests for the low-level per-instruction SIMD wrappers (core/simd.h).
+// These exist for the Figure 6 ablation; their semantics must still be exact.
+#include "core/simd.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <bit>
+#include <cstring>
+
+#include "core/compare.h"
+#include "core/hash.h"
+#include "core/multihash_inl.h"
+#include "pktgen/flowgen.h"
+
+namespace enetstl {
+namespace {
+
+Vec256 FromU32(const u32 (&vals)[8]) {
+  Vec256 v;
+  std::memcpy(v.bytes, vals, 32);
+  return v;
+}
+
+void ToU32(const Vec256& v, u32 (&out)[8]) { std::memcpy(out, v.bytes, 32); }
+
+TEST(LowLevelSimd, LoadStoreRoundTrip) {
+  u8 src[32];
+  for (int i = 0; i < 32; ++i) {
+    src[i] = static_cast<u8>(i * 3);
+  }
+  Vec256 v;
+  lowlevel::LoadU256(&v, src);
+  u8 dst[32] = {};
+  lowlevel::StoreU256(dst, v);
+  EXPECT_EQ(std::memcmp(src, dst, 32), 0);
+}
+
+TEST(LowLevelSimd, Broadcast) {
+  Vec256 v;
+  lowlevel::BroadcastU32x8(&v, 0xdeadbeefu);
+  u32 lanes[8];
+  ToU32(v, lanes);
+  for (u32 lane : lanes) {
+    EXPECT_EQ(lane, 0xdeadbeefu);
+  }
+}
+
+TEST(LowLevelSimd, CmpEqProducesFullMasks) {
+  const u32 a_vals[8] = {1, 2, 3, 4, 5, 6, 7, 8};
+  const u32 b_vals[8] = {1, 0, 3, 0, 5, 0, 7, 0};
+  Vec256 a = FromU32(a_vals);
+  Vec256 b = FromU32(b_vals);
+  Vec256 r;
+  lowlevel::CmpEqU32x8(&r, a, b);
+  u32 lanes[8];
+  ToU32(r, lanes);
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(lanes[i], (i % 2 == 0) ? 0xffffffffu : 0u) << i;
+  }
+}
+
+TEST(LowLevelSimd, MovemaskMatchesSignBits) {
+  Vec256 v;
+  for (int i = 0; i < 32; ++i) {
+    v.bytes[i] = (i % 3 == 0) ? 0x80 : 0x00;
+  }
+  const u32 mask = lowlevel::MovemaskU8x32(v);
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_EQ((mask >> i) & 1u, (i % 3 == 0) ? 1u : 0u) << i;
+  }
+}
+
+TEST(LowLevelSimd, MinAddMulMatchScalar) {
+  pktgen::Rng rng(55);
+  for (int round = 0; round < 500; ++round) {
+    u32 a_vals[8], b_vals[8];
+    for (int i = 0; i < 8; ++i) {
+      a_vals[i] = rng.NextU32();
+      b_vals[i] = rng.NextU32();
+    }
+    const Vec256 a = FromU32(a_vals);
+    const Vec256 b = FromU32(b_vals);
+    Vec256 r;
+    u32 lanes[8];
+
+    lowlevel::MinU32x8(&r, a, b);
+    ToU32(r, lanes);
+    for (int i = 0; i < 8; ++i) {
+      ASSERT_EQ(lanes[i], std::min(a_vals[i], b_vals[i]));
+    }
+
+    lowlevel::AddU32x8(&r, a, b);
+    ToU32(r, lanes);
+    for (int i = 0; i < 8; ++i) {
+      ASSERT_EQ(lanes[i], a_vals[i] + b_vals[i]);
+    }
+
+    lowlevel::MulloU32x8(&r, a, b);
+    ToU32(r, lanes);
+    for (int i = 0; i < 8; ++i) {
+      ASSERT_EQ(lanes[i], a_vals[i] * b_vals[i]);
+    }
+  }
+}
+
+TEST(LowLevelSimd, XorShrRotlMatchScalar) {
+  pktgen::Rng rng(77);
+  for (int round = 0; round < 300; ++round) {
+    u32 a_vals[8], b_vals[8];
+    for (int i = 0; i < 8; ++i) {
+      a_vals[i] = rng.NextU32();
+      b_vals[i] = rng.NextU32();
+    }
+    const Vec256 a = FromU32(a_vals);
+    const Vec256 b = FromU32(b_vals);
+    Vec256 r;
+    u32 lanes[8];
+
+    lowlevel::XorU32x8(&r, a, b);
+    ToU32(r, lanes);
+    for (int i = 0; i < 8; ++i) {
+      ASSERT_EQ(lanes[i], a_vals[i] ^ b_vals[i]);
+    }
+
+    const int shift = 1 + static_cast<int>(rng.NextBounded(31));
+    lowlevel::ShrU32x8(&r, a, shift);
+    ToU32(r, lanes);
+    for (int i = 0; i < 8; ++i) {
+      ASSERT_EQ(lanes[i], a_vals[i] >> shift);
+    }
+
+    lowlevel::RotlU32x8(&r, a, shift);
+    ToU32(r, lanes);
+    for (int i = 0; i < 8; ++i) {
+      ASSERT_EQ(lanes[i],
+                (a_vals[i] << shift) | (a_vals[i] >> (32 - shift)));
+    }
+  }
+}
+
+// The full per-instruction multi-hash composition (the Figure 6 "low level"
+// design) must be bit-identical to the fused MultiHash8ToMem.
+TEST(LowLevelSimd, ComposedMultiHashMatchesFused) {
+  namespace ll = enetstl::lowlevel;
+  namespace in = enetstl::internal;
+  pktgen::Rng rng(88);
+  alignas(32) u32 seed_words[8];
+  for (u32 lane = 0; lane < 8; ++lane) {
+    seed_words[lane] = enetstl::LaneSeed(7, lane);
+  }
+  Vec256 seeds;
+  ll::LoadU256(&seeds, seed_words);
+  for (int round = 0; round < 500; ++round) {
+    u8 key[16];
+    for (auto& b : key) {
+      b = static_cast<u8>(rng.NextU32());
+    }
+    Vec256 a, b, c, d, tmp;
+    ll::BroadcastU32x8(&tmp, in::kPrime1 + 16);
+    ll::AddU32x8(&a, seeds, tmp);
+    ll::BroadcastU32x8(&tmp, in::kPrime2);
+    ll::AddU32x8(&b, seeds, tmp);
+    ll::BroadcastU32x8(&tmp, in::kPrime3);
+    ll::AddU32x8(&c, seeds, tmp);
+    ll::BroadcastU32x8(&tmp, in::kPrime4);
+    ll::AddU32x8(&d, seeds, tmp);
+    u32 w;
+    std::memcpy(&w, key + 0, 4);
+    ll::BroadcastU32x8(&tmp, w * in::kPrime3);
+    ll::AddU32x8(&a, a, tmp);
+    ll::RotlU32x8(&a, a, 13);
+    std::memcpy(&w, key + 4, 4);
+    ll::BroadcastU32x8(&tmp, w * in::kPrime3);
+    ll::AddU32x8(&b, b, tmp);
+    ll::RotlU32x8(&b, b, 11);
+    std::memcpy(&w, key + 8, 4);
+    ll::BroadcastU32x8(&tmp, w * in::kPrime3);
+    ll::AddU32x8(&c, c, tmp);
+    ll::RotlU32x8(&c, c, 15);
+    std::memcpy(&w, key + 12, 4);
+    ll::BroadcastU32x8(&tmp, w * in::kPrime3);
+    ll::AddU32x8(&d, d, tmp);
+    ll::RotlU32x8(&d, d, 7);
+    Vec256 h;
+    ll::RotlU32x8(&a, a, 1);
+    ll::RotlU32x8(&b, b, 7);
+    ll::RotlU32x8(&c, c, 12);
+    ll::RotlU32x8(&d, d, 18);
+    ll::AddU32x8(&h, a, b);
+    ll::AddU32x8(&h, h, c);
+    ll::AddU32x8(&h, h, d);
+    ll::ShrU32x8(&tmp, h, 15);
+    ll::XorU32x8(&h, h, tmp);
+    ll::BroadcastU32x8(&tmp, in::kPrime2);
+    ll::MulloU32x8(&h, h, tmp);
+    ll::ShrU32x8(&tmp, h, 13);
+    ll::XorU32x8(&h, h, tmp);
+    ll::BroadcastU32x8(&tmp, in::kPrime3);
+    ll::MulloU32x8(&h, h, tmp);
+    ll::ShrU32x8(&tmp, h, 16);
+    ll::XorU32x8(&h, h, tmp);
+    alignas(32) u32 composed[8];
+    ll::StoreU256(composed, h);
+
+    u32 fused[8];
+    enetstl::MultiHash8ToMem(key, sizeof(key), 7, fused);
+    for (int lane = 0; lane < 8; ++lane) {
+      ASSERT_EQ(composed[lane], fused[lane]) << "lane " << lane;
+    }
+  }
+}
+
+// The low-level instruction chain must compute the same find result as the
+// high-level FindU32 — the ablation compares cost, not semantics.
+TEST(LowLevelSimd, ComposedFindMatchesHighLevel) {
+  pktgen::Rng rng(66);
+  for (int round = 0; round < 200; ++round) {
+    u32 arr[8];
+    for (auto& v : arr) {
+      v = static_cast<u32>(rng.NextBounded(10));
+    }
+    const u32 key = static_cast<u32>(rng.NextBounded(10));
+    // Low-level composition: load, broadcast, cmpeq, movemask.
+    Vec256 data, keys, eq;
+    lowlevel::LoadU256(&data, arr);
+    lowlevel::BroadcastU32x8(&keys, key);
+    lowlevel::CmpEqU32x8(&eq, data, keys);
+    const u32 mask = lowlevel::MovemaskU8x32(eq);
+    s32 low_result = -1;
+    if (mask != 0) {
+      low_result = static_cast<s32>(std::countr_zero(mask) / 4);
+    }
+    ASSERT_EQ(low_result, FindU32(arr, 8, key));
+  }
+}
+
+}  // namespace
+}  // namespace enetstl

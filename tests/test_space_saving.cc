@@ -1,0 +1,145 @@
+// Tests for Space-Saving (the second P1 NF enabled by the memory wrapper):
+// the classic guarantees — monitored counts never underestimate, the
+// overestimate is bounded by the recorded error, heavy hitters are always
+// monitored — plus exact kernel/eNetSTL equivalence and list-order
+// invariants.
+#include "nf/space_saving.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "pktgen/flowgen.h"
+#include "pktgen/pipeline.h"
+
+namespace nf {
+namespace {
+
+template <typename T>
+class SpaceSavingTyped : public ::testing::Test {};
+
+using Implementations = ::testing::Types<SpaceSavingKernel, SpaceSavingEnetstl>;
+TYPED_TEST_SUITE(SpaceSavingTyped, Implementations);
+
+TYPED_TEST(SpaceSavingTyped, CountsExactWhileUnderCapacity) {
+  TypeParam ss(8);
+  for (int i = 0; i < 5; ++i) {
+    ss.Update(1);
+  }
+  for (int i = 0; i < 3; ++i) {
+    ss.Update(2);
+  }
+  const auto e1 = ss.Query(1);
+  ASSERT_TRUE(e1.has_value());
+  EXPECT_EQ(e1->count, 5u);
+  EXPECT_EQ(e1->error, 0u);
+  const auto e2 = ss.Query(2);
+  ASSERT_TRUE(e2.has_value());
+  EXPECT_EQ(e2->count, 3u);
+  EXPECT_EQ(ss.Query(3), std::nullopt);
+  EXPECT_EQ(ss.size(), 2u);
+}
+
+TYPED_TEST(SpaceSavingTyped, ReplacementInheritsMinCount) {
+  TypeParam ss(2);
+  ss.Update(1);
+  ss.Update(1);
+  ss.Update(2);  // counts: 1 -> 2, 2 -> 1
+  ss.Update(3);  // replaces flow 2 (min count 1): count = 2, error = 1
+  EXPECT_EQ(ss.Query(2), std::nullopt);
+  const auto e3 = ss.Query(3);
+  ASSERT_TRUE(e3.has_value());
+  EXPECT_EQ(e3->count, 2u);
+  EXPECT_EQ(e3->error, 1u);
+  EXPECT_EQ(ss.size(), 2u);
+}
+
+TYPED_TEST(SpaceSavingTyped, EntriesAreNonIncreasing) {
+  TypeParam ss(16);
+  pktgen::Rng rng(5);
+  for (int i = 0; i < 5000; ++i) {
+    ss.Update(static_cast<u32>(rng.NextBounded(64)) + 1);
+  }
+  const auto entries = ss.Entries();
+  EXPECT_EQ(entries.size(), 16u);
+  for (std::size_t i = 1; i < entries.size(); ++i) {
+    EXPECT_GE(entries[i - 1].count, entries[i].count) << i;
+  }
+}
+
+TYPED_TEST(SpaceSavingTyped, NeverUnderestimatesAndErrorBounds) {
+  TypeParam ss(32);
+  std::map<u32, u32> truth;
+  pktgen::Rng rng(7);
+  for (int i = 0; i < 20000; ++i) {
+    // Zipf-ish: small ids hit much more often.
+    const u32 flow = static_cast<u32>(rng.NextBounded(rng.NextBounded(200) + 1)) + 1;
+    ss.Update(flow);
+    ++truth[flow];
+  }
+  for (const auto& entry : ss.Entries()) {
+    const u32 true_count = truth[entry.flow];
+    EXPECT_GE(entry.count, true_count) << entry.flow;           // no under
+    EXPECT_LE(entry.count - entry.error, true_count) << entry.flow;
+  }
+}
+
+TYPED_TEST(SpaceSavingTyped, HeavyHittersAreAlwaysMonitored) {
+  TypeParam ss(32);
+  pktgen::Rng rng(9);
+  // One flow takes ~25% of 20000 packets; Space-Saving with m = 32
+  // guarantees any flow above n/m (625) is monitored.
+  for (int i = 0; i < 20000; ++i) {
+    const u32 flow = (rng.NextBounded(4) == 0)
+                         ? 7777u
+                         : static_cast<u32>(rng.NextBounded(2000)) + 1;
+    ss.Update(flow);
+  }
+  const auto hit = ss.Query(7777);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_GT(hit->count, 4000u);
+}
+
+TEST(SpaceSavingEquivalence, KernelAndEnetstlAgree) {
+  SpaceSavingKernel kern(24);
+  SpaceSavingEnetstl stl(24);
+  pktgen::Rng rng(11);
+  for (int i = 0; i < 15000; ++i) {
+    const u32 flow = static_cast<u32>(rng.NextBounded(300)) + 1;
+    kern.Update(flow);
+    stl.Update(flow);
+    ASSERT_EQ(kern.size(), stl.size());
+  }
+  // Same monitored set with same counts/errors (order of equal counts may
+  // differ; compare as maps).
+  std::map<u32, std::pair<u32, u32>> a, b;
+  for (const auto& e : kern.Entries()) {
+    a[e.flow] = {e.count, e.error};
+  }
+  for (const auto& e : stl.Entries()) {
+    b[e.flow] = {e.count, e.error};
+  }
+  EXPECT_EQ(a, b);
+}
+
+TEST(SpaceSavingEnetstlMemory, LiveNodesEqualSizePlusSentinels) {
+  SpaceSavingEnetstl ss(16);
+  pktgen::Rng rng(13);
+  for (int i = 0; i < 5000; ++i) {
+    ss.Update(static_cast<u32>(rng.NextBounded(100)) + 1);
+    ASSERT_EQ(ss.proxy().live_nodes(), ss.size() + 2);
+  }
+}
+
+TEST(SpaceSavingPacketPath, ZipfHeadDominatesEntries) {
+  SpaceSavingEnetstl ss(16);
+  const auto flows = pktgen::MakeFlowPopulation(1000, 21);
+  const auto trace = pktgen::MakeZipfTrace(flows, 20000, 1.3, 22);
+  pktgen::ReplayOnce(ss.Handler(), trace);
+  const auto entries = ss.Entries();
+  ASSERT_FALSE(entries.empty());
+  EXPECT_EQ(entries.front().flow, flows[0].src_ip);  // the Zipf head leads
+}
+
+}  // namespace
+}  // namespace nf
