@@ -97,4 +97,45 @@ ebpf::XdpAction KatranLb::Process(ebpf::XdpContext& ctx) {
   return ebpf::XdpAction::kTx;
 }
 
+void KatranLb::ProcessBurst(ebpf::XdpContext* ctxs, u32 count,
+                            ebpf::XdpAction* verdicts) {
+  if (core_ == CoreKind::kOrigin) {
+    // The BPF LRU hash has no batched lookup primitive; scalar loop.
+    nf::NetworkFunction::ProcessBurst(ctxs, count, verdicts);
+    return;
+  }
+  for (u32 start = 0; start < count; start += nf::kMaxNfBurst) {
+    const u32 chunk = (count - start < nf::kMaxNfBurst) ? count - start
+                                                        : nf::kMaxNfBurst;
+    ebpf::FiveTuple keys[nf::kMaxNfBurst];
+    std::optional<u64> found[nf::kMaxNfBurst];
+    u32 idx[nf::kMaxNfBurst];
+    u32 parsed = 0;
+    for (u32 i = 0; i < chunk; ++i) {
+      if (ebpf::ParseFiveTuple(ctxs[start + i], &keys[parsed])) {
+        idx[parsed++] = start + i;
+      } else {
+        verdicts[start + i] = ebpf::XdpAction::kAborted;
+      }
+    }
+    // Batched two-stage connection-table probe over the whole burst.
+    cuckoo_conn_->LookupBatch(keys, parsed, found);
+    for (u32 i = 0; i < parsed; ++i) {
+      if (found[i].has_value()) {
+        ++hits_;
+      } else if (cuckoo_conn_->Lookup(keys[i]).has_value()) {
+        // A new flow repeated within the burst: an earlier miss already
+        // recorded it, so per-packet semantics make this one a hit.
+        ++hits_;
+      } else {
+        ++misses_;
+        const u32 h = enetstl::HwHashCrc(&keys[i], sizeof(keys[i]),
+                                         config_.seed);
+        cuckoo_conn_->Insert(keys[i], ring_[h % config_.ring_size]);
+      }
+      verdicts[idx[i]] = ebpf::XdpAction::kTx;
+    }
+  }
+}
+
 }  // namespace apps

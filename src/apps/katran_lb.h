@@ -49,6 +49,14 @@ class KatranLb : public nf::NetworkFunction {
 
   ebpf::XdpAction Process(ebpf::XdpContext& ctx) override;
 
+  // Burst path. The eNetSTL core batches the connection-table lookup (one
+  // two-stage prefetched probe over the whole burst); misses then go through
+  // the scalar ring-hash + insert path in arrival order, so the backend
+  // decisions are identical to per-packet processing. The origin core has no
+  // batched map primitive and falls back to the scalar loop.
+  void ProcessBurst(ebpf::XdpContext* ctxs, u32 count,
+                    ebpf::XdpAction* verdicts) override;
+
   // Backend chosen for the given connection (records it, as Process does).
   u32 PickBackend(const ebpf::FiveTuple& tuple);
 

@@ -80,6 +80,53 @@ u64 FastHash64(const void* key, std::size_t len, u64 seed) {
   return mix(h);
 }
 
+ENETSTL_NOINLINE void HwHashCrcBatch(const void* keys, u32 stride,
+                                     std::size_t len, u32 n, u32 seed,
+                                     u32* out) {
+  ebpf::CompilerBarrier();
+  const u8* p = static_cast<const u8*>(keys);
+  for (u32 i = 0; i < n; ++i) {
+    out[i] = internal::HwHashCrcImpl(p + static_cast<std::size_t>(i) * stride,
+                                     len, seed);
+  }
+}
+
+ENETSTL_NOINLINE void HashPrefetchBatch(const void* keys, u32 stride,
+                                        std::size_t len, u32 n, u32 seed,
+                                        const void* base, u32 elem_size,
+                                        u32 mask, u32* out) {
+  ebpf::CompilerBarrier();
+  const u8* p = static_cast<const u8*>(keys);
+  const u8* b = static_cast<const u8*>(base);
+  for (u32 i = 0; i < n; ++i) {
+    const u32 h = internal::HwHashCrcImpl(
+        p + static_cast<std::size_t>(i) * stride, len, seed);
+    out[i] = h;
+    internal::PrefetchRead(b + static_cast<std::size_t>(h & mask) * elem_size);
+  }
+}
+
+ENETSTL_NOINLINE void MultiHashPrefetchBatch(const void* keys, u32 stride,
+                                             std::size_t len, u32 n,
+                                             u32 base_seed, u32 d, u32 mask,
+                                             const void* base, u32 elem_size,
+                                             u32 row_stride, u32* out) {
+  ebpf::CompilerBarrier();
+  const u8* p = static_cast<const u8*>(keys);
+  const u8* b = static_cast<const u8*>(base);
+  alignas(32) u32 h[8];
+  for (u32 i = 0; i < n; ++i) {
+    internal::MultiHashImpl(p + static_cast<std::size_t>(i) * stride, len,
+                            base_seed, d, h);
+    for (u32 r = 0; r < d; ++r) {
+      const u32 pos = h[r] & mask;
+      out[i * d + r] = pos;
+      internal::PrefetchRead(
+          b + (static_cast<std::size_t>(row_stride) * r + pos) * elem_size);
+    }
+  }
+}
+
 ENETSTL_NOINLINE void MultiHash8ToMem(const void* key, std::size_t len,
                                       u32 base_seed, u32 out[8]) {
   ebpf::CompilerBarrier();

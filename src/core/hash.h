@@ -69,6 +69,40 @@ inline constexpr u32 Fmix32(u32 h) {
 inline constexpr u32 kHashLaneStep = 0x9e3779b1u;
 inline u32 LaneSeed(u32 base_seed, u32 lane) { return base_seed + lane * kHashLaneStep; }
 
+// Batched single-hash: hashes n fixed-size keys laid out `stride` bytes
+// apart and stores the n results — one call boundary amortized over a whole
+// burst instead of one per packet. Exposed as kfunc "enetstl_hw_hash_crc_batch".
+ENETSTL_NOINLINE void HwHashCrcBatch(const void* keys, u32 stride,
+                                     std::size_t len, u32 n, u32 seed,
+                                     u32* out);
+
+// Fused batched hash + bucket prefetch — stage 1 of a two-stage batched
+// lookup (the CuckooSwitch/Katran batching pattern). For each key i it
+// computes out[i] = crc(key_i, seed) and issues a software prefetch of
+//   base + (out[i] & mask) * elem_size,
+// so by the time the caller's probe stage (stage 2) touches bucket i its
+// cache line is already in flight. Exposed as kfunc
+// "enetstl_hash_prefetch_batch" — an eBPF program has no prefetch
+// instruction, so the grouped prefetch is only reachable through the
+// library boundary.
+ENETSTL_NOINLINE void HashPrefetchBatch(const void* keys, u32 stride,
+                                        std::size_t len, u32 n, u32 seed,
+                                        const void* base, u32 elem_size,
+                                        u32 mask, u32* out);
+
+// Batched multi-hash + prefetch for d-row structures (sketches, d-ary cuckoo
+// tables): for each key i and row r < d it computes the masked position
+//   out[i*d + r] = h_r(key_i) & mask        (h_r = lane hash, seed_r)
+// and prefetches base + (row_stride * r + out[i*d + r]) * elem_size.
+// row_stride is the element distance between consecutive row bases
+// (cols for a rows x cols sketch, 0 when all rows index one shared array).
+// Exposed as kfunc "enetstl_multi_hash_prefetch_batch".
+ENETSTL_NOINLINE void MultiHashPrefetchBatch(const void* keys, u32 stride,
+                                             std::size_t len, u32 n,
+                                             u32 base_seed, u32 d, u32 mask,
+                                             const void* base, u32 elem_size,
+                                             u32 row_stride, u32* out);
+
 // Low-level multi-hash: computes 8 lane hashes and STORES them to out[0..7].
 // This is the counter-example interface from Listing 2 of the paper (SIMD
 // speedup negated by the mandatory store + reload); kept for the Figure 6

@@ -15,6 +15,17 @@
 namespace enetstl {
 namespace internal {
 
+// Read prefetch into all cache levels. A hint, never a fault: issuing it for
+// an address the probe stage may not touch (e.g. a bucket that turns out to
+// hold the key in its primary slot only) is safe.
+inline void PrefetchRead(const void* p) {
+#if defined(__GNUC__)
+  __builtin_prefetch(p, /*rw=*/0, /*locality=*/3);
+#else
+  (void)p;
+#endif
+}
+
 inline u32 HwHashCrcImpl(const void* key, std::size_t len, u32 seed) {
 #if defined(ENETSTL_HAVE_SSE42)
   const u8* p = static_cast<const u8*>(key);

@@ -39,6 +39,12 @@ int RegisterEnetstlKfuncs(ebpf::KfuncRegistry& registry) {
       // Hashing and fused post-hash operations.
       {"enetstl_hw_hash_crc", 0, "", net_types},
       {"enetstl_multi_hash8_to_mem", 0, "", net_types},
+      // Batched interfaces: one call boundary per burst, with grouped
+      // software prefetch of the addressed buckets (stage 1 of the
+      // two-stage batched lookup; eBPF itself has no prefetch instruction).
+      {"enetstl_hw_hash_crc_batch", 0, "", net_types},
+      {"enetstl_hash_prefetch_batch", 0, "", net_types},
+      {"enetstl_multi_hash_prefetch_batch", 0, "", net_types},
       {"enetstl_hash_cnt", 0, "", net_types},
       {"enetstl_hash_cnt_min", 0, "", net_types},
       {"enetstl_hash_set_bits", 0, "", net_types},

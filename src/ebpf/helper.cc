@@ -20,7 +20,9 @@ struct PrandomState {
   u32 s4 = 0x42f18d05u;
 };
 
-PrandomState g_prandom_state;
+// Thread-local like the simulated CPU id: each sharded-pipeline worker is
+// its own CPU and the kernel's prandom state is genuinely per-cpu.
+thread_local PrandomState g_prandom_state;
 
 }  // namespace
 
@@ -29,7 +31,10 @@ u32 CurrentCpu() { return g_current_cpu; }
 void SetCurrentCpu(u32 cpu) { g_current_cpu = cpu % kNumPossibleCpus; }
 
 HelperStats& GlobalHelperStats() {
-  static HelperStats stats;
+  // Thread-local so concurrent pipeline workers count their own helper
+  // calls without a data race (callers on the main thread see the same
+  // single-threaded semantics as before).
+  thread_local HelperStats stats;
   return stats;
 }
 

@@ -11,6 +11,30 @@
 namespace nf {
 
 // ---------------------------------------------------------------------------
+// CmsBase
+// ---------------------------------------------------------------------------
+
+void CmsBase::ProcessBurst(ebpf::XdpContext* ctxs, u32 count,
+                           ebpf::XdpAction* verdicts) {
+  for (u32 start = 0; start < count; start += kMaxNfBurst) {
+    const u32 chunk = (count - start < kMaxNfBurst) ? count - start
+                                                    : kMaxNfBurst;
+    ebpf::FiveTuple keys[kMaxNfBurst];
+    u32 parsed = 0;
+    for (u32 i = 0; i < chunk; ++i) {
+      if (ebpf::ParseFiveTuple(ctxs[start + i], &keys[parsed])) {
+        verdicts[start + i] = ebpf::XdpAction::kDrop;
+        ++parsed;
+      } else {
+        verdicts[start + i] = ebpf::XdpAction::kAborted;
+      }
+    }
+    UpdateBatch(keys, sizeof(ebpf::FiveTuple), sizeof(ebpf::FiveTuple),
+                parsed, 1);
+  }
+}
+
+// ---------------------------------------------------------------------------
 // CmsEbpf: percpu blob map + scalar hashes, the pure-eBPF shape.
 // ---------------------------------------------------------------------------
 
@@ -96,6 +120,41 @@ u32 CmsKernel::Query(const void* key, std::size_t len) {
 
 void CmsKernel::Reset() { std::fill(counters_.begin(), counters_.end(), 0u); }
 
+void CmsKernel::UpdateBatch(const void* keys, u32 stride, std::size_t len,
+                            u32 n, u32 inc) {
+  const u8* p = static_cast<const u8*>(keys);
+  u32* counters = counters_.data();
+  for (u32 start = 0; start < n; start += kMaxNfBurst) {
+    const u32 chunk = (n - start < kMaxNfBurst) ? n - start : kMaxNfBurst;
+    u32 pos[kMaxNfBurst * 8];
+    // Stage 1: all row positions of every key in the burst, prefetched.
+    for (u32 i = 0; i < chunk; ++i) {
+      const void* key = p + static_cast<std::size_t>(start + i) * stride;
+      alignas(32) u32 h[8];
+      if (config_.rows <= 2) {
+        h[0] = enetstl::internal::HwHashCrcImpl(key, len, config_.seed);
+        h[1] = enetstl::Fmix32(h[0] + 0x9e3779b9u);
+      } else {
+        enetstl::internal::MultiHashImpl(key, len, config_.seed, config_.rows,
+                                         h);
+      }
+      for (u32 r = 0; r < config_.rows; ++r) {
+        const u32 idx = r * config_.cols + (h[r] & col_mask_);
+        pos[i * 8 + r] = idx;
+        enetstl::internal::PrefetchRead(&counters[idx]);
+      }
+    }
+    // Stage 2: saturating increments.
+    for (u32 i = 0; i < chunk; ++i) {
+      for (u32 r = 0; r < config_.rows; ++r) {
+        u32& c = counters[pos[i * 8 + r]];
+        const u32 next = c + inc;
+        c = next >= c ? next : 0xffffffffu;
+      }
+    }
+  }
+}
+
 // ---------------------------------------------------------------------------
 // CmsEnetstl: eBPF program shape using the fused eNetSTL kfuncs.
 // ---------------------------------------------------------------------------
@@ -155,4 +214,52 @@ void CmsEnetstl::Reset() {
     std::memset(blob, 0, sketch_map_.value_size());
   }
 }
+
+void CmsEnetstl::UpdateBatch(const void* keys, u32 stride, std::size_t len,
+                             u32 n, u32 inc) {
+  auto* counters = static_cast<u32*>(sketch_map_.LookupElem(0));
+  if (counters == nullptr) {
+    return;
+  }
+  const u8* p = static_cast<const u8*>(keys);
+  for (u32 start = 0; start < n; start += kMaxNfBurst) {
+    const u32 chunk = (n - start < kMaxNfBurst) ? n - start : kMaxNfBurst;
+    if (config_.rows <= 2) {
+      // Few hash functions: batched hardware-CRC path. Stage 1 hashes the
+      // burst and prefetches every row-0 counter; row 1's position derives
+      // from h0 through the nonlinear finalizer, exactly as the scalar path.
+      u32 h0[kMaxNfBurst];
+      enetstl::HashPrefetchBatch(p + static_cast<std::size_t>(start) * stride,
+                                 stride, len, chunk, config_.seed, counters,
+                                 static_cast<u32>(sizeof(u32)), col_mask_, h0);
+      for (u32 i = 0; i < chunk; ++i) {
+        u32 h = h0[i];
+        for (u32 r = 0; r < config_.rows; ++r) {
+          u32& c = counters[r * config_.cols + (h & col_mask_)];
+          const u32 next = c + inc;
+          c = next >= c ? next : 0xffffffffu;
+          h = enetstl::Fmix32(h0[i] + 0x9e3779b9u);
+        }
+      }
+      continue;
+    }
+    // Stage 1: one kfunc computes every row position of every key and
+    // prefetches the addressed counters (row r's base is r * cols into the
+    // flat counter array).
+    u32 pos[kMaxNfBurst * 8];
+    enetstl::MultiHashPrefetchBatch(
+        p + static_cast<std::size_t>(start) * stride, stride, len, chunk,
+        config_.seed, config_.rows, col_mask_, counters,
+        static_cast<u32>(sizeof(u32)), /*row_stride=*/config_.cols, pos);
+    // Stage 2: saturating increments.
+    for (u32 i = 0; i < chunk; ++i) {
+      for (u32 r = 0; r < config_.rows; ++r) {
+        u32& c = counters[r * config_.cols + pos[i * config_.rows + r]];
+        const u32 next = c + inc;
+        c = next >= c ? next : 0xffffffffu;
+      }
+    }
+  }
+}
+
 }  // namespace nf

@@ -43,6 +43,18 @@ class CmsBase : public NetworkFunction {
   // Zeroes every counter (control-plane operation, e.g. epoch rollover).
   virtual void Reset() = 0;
 
+  // Batched update: n fixed-size keys laid out `stride` bytes apart, each
+  // incremented by `inc` — equivalent to n scalar Update() calls in order.
+  // Default is the scalar loop; kernel and eNetSTL variants override it with
+  // a two-stage hash+prefetch pipeline over the addressed counters.
+  virtual void UpdateBatch(const void* keys, u32 stride, std::size_t len,
+                           u32 n, u32 inc) {
+    const u8* p = static_cast<const u8*>(keys);
+    for (u32 i = 0; i < n; ++i) {
+      Update(p + static_cast<std::size_t>(i) * stride, len, inc);
+    }
+  }
+
   // Packet path: update the sketch with the packet's 5-tuple.
   ebpf::XdpAction Process(ebpf::XdpContext& ctx) override {
     ebpf::FiveTuple tuple;
@@ -52,6 +64,10 @@ class CmsBase : public NetworkFunction {
     Update(&tuple, sizeof(tuple), 1);
     return ebpf::XdpAction::kDrop;
   }
+
+  // Burst packet path: parse every tuple, one batched sketch update.
+  void ProcessBurst(ebpf::XdpContext* ctxs, u32 count,
+                    ebpf::XdpAction* verdicts) override;
 
   std::string_view name() const override { return "count-min-sketch"; }
   const CmsConfig& config() const { return config_; }
@@ -79,6 +95,8 @@ class CmsKernel : public CmsBase {
   void Update(const void* key, std::size_t len, u32 inc) override;
   u32 Query(const void* key, std::size_t len) override;
   void Reset() override;
+  void UpdateBatch(const void* keys, u32 stride, std::size_t len, u32 n,
+                   u32 inc) override;
   Variant variant() const override { return Variant::kKernel; }
 
  private:
@@ -91,6 +109,10 @@ class CmsEnetstl : public CmsBase {
   void Update(const void* key, std::size_t len, u32 inc) override;
   u32 Query(const void* key, std::size_t len) override;
   void Reset() override;
+  // One batched-hash kfunc call per burst (hash_prefetch_batch for rows <= 2,
+  // multi_hash_prefetch_batch otherwise), then the counter increments.
+  void UpdateBatch(const void* keys, u32 stride, std::size_t len, u32 n,
+                   u32 inc) override;
   Variant variant() const override { return Variant::kEnetstl; }
 
  private:

@@ -85,6 +85,34 @@ bool GenericAdd(FilterBucket* buckets, u32 mask, u32 max_kicks, u64& rng,
 }  // namespace
 
 // ---------------------------------------------------------------------------
+// CuckooFilterBase
+// ---------------------------------------------------------------------------
+
+void CuckooFilterBase::ProcessBurst(ebpf::XdpContext* ctxs, u32 count,
+                                    ebpf::XdpAction* verdicts) {
+  for (u32 start = 0; start < count; start += kMaxNfBurst) {
+    const u32 chunk = (count - start < kMaxNfBurst) ? count - start
+                                                    : kMaxNfBurst;
+    ebpf::FiveTuple keys[kMaxNfBurst];
+    bool member[kMaxNfBurst];
+    u32 idx[kMaxNfBurst];
+    u32 parsed = 0;
+    for (u32 i = 0; i < chunk; ++i) {
+      if (ebpf::ParseFiveTuple(ctxs[start + i], &keys[parsed])) {
+        idx[parsed++] = start + i;
+      } else {
+        verdicts[start + i] = ebpf::XdpAction::kAborted;
+      }
+    }
+    ContainsBatch(keys, parsed, member);
+    for (u32 i = 0; i < parsed; ++i) {
+      verdicts[idx[i]] =
+          member[i] ? ebpf::XdpAction::kPass : ebpf::XdpAction::kDrop;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
 // CuckooFilterEbpf
 // ---------------------------------------------------------------------------
 
@@ -189,6 +217,31 @@ bool CuckooFilterKernel::Remove(const ebpf::FiveTuple& key) {
   return false;
 }
 
+void CuckooFilterKernel::ContainsBatch(const ebpf::FiveTuple* keys, u32 n,
+                                       bool* out) {
+  FilterBucket* buckets = buckets_.data();
+  for (u32 start = 0; start < n; start += kMaxNfBurst) {
+    const u32 chunk = (n - start < kMaxNfBurst) ? n - start : kMaxNfBurst;
+    u16 fp[kMaxNfBurst];
+    u32 b1[kMaxNfBurst];
+    // Stage 1: hash the burst, prefetch every primary bucket.
+    for (u32 i = 0; i < chunk; ++i) {
+      const u32 h = enetstl::internal::HwHashCrcImpl(
+          &keys[start + i], sizeof(ebpf::FiveTuple), config_.seed);
+      fp[i] = MakeFp(h);
+      b1[i] = h & bucket_mask_;
+      enetstl::internal::PrefetchRead(&buckets[b1[i]]);
+    }
+    // Stage 2: fingerprint search across both candidate buckets.
+    for (u32 i = 0; i < chunk; ++i) {
+      out[start + i] =
+          KernelFindFp(buckets[b1[i]], fp[i]) >= 0 ||
+          KernelFindFp(buckets[AltBucket(b1[i], fp[i], bucket_mask_)],
+                       fp[i]) >= 0;
+    }
+  }
+}
+
 // ---------------------------------------------------------------------------
 // CuckooFilterEnetstl
 // ---------------------------------------------------------------------------
@@ -247,6 +300,34 @@ bool CuckooFilterEnetstl::Remove(const ebpf::FiveTuple& key) {
     }
   }
   return false;
+}
+
+void CuckooFilterEnetstl::ContainsBatch(const ebpf::FiveTuple* keys, u32 n,
+                                        bool* out) {
+  auto* buckets = static_cast<FilterBucket*>(table_map_.LookupElem(0));
+  if (buckets == nullptr) {
+    for (u32 i = 0; i < n; ++i) {
+      out[i] = false;
+    }
+    return;
+  }
+  for (u32 start = 0; start < n; start += kMaxNfBurst) {
+    const u32 chunk = (n - start < kMaxNfBurst) ? n - start : kMaxNfBurst;
+    u32 h[kMaxNfBurst];
+    // Stage 1: one hash_prefetch_batch kfunc call for the whole burst.
+    enetstl::HashPrefetchBatch(keys + start, sizeof(ebpf::FiveTuple),
+                               sizeof(ebpf::FiveTuple), chunk, config_.seed,
+                               buckets, static_cast<u32>(sizeof(FilterBucket)),
+                               bucket_mask_, h);
+    // Stage 2: find_simd kfunc probes.
+    for (u32 i = 0; i < chunk; ++i) {
+      const u16 fp = MakeFp(h[i]);
+      const u32 b1 = h[i] & bucket_mask_;
+      out[start + i] =
+          EnetstlFindFp(buckets[b1], fp) >= 0 ||
+          EnetstlFindFp(buckets[AltBucket(b1, fp, bucket_mask_)], fp) >= 0;
+    }
+  }
 }
 
 }  // namespace nf

@@ -39,6 +39,15 @@ class CuckooFilterBase : public NetworkFunction {
   virtual bool Contains(const ebpf::FiveTuple& key) = 0;
   virtual bool Remove(const ebpf::FiveTuple& key) = 0;
 
+  // Batched membership test: out[i] = Contains(keys[i]), bit-identical to
+  // the scalar path. Default is a scalar loop (the pure-eBPF shape); kernel
+  // and eNetSTL variants override it with the two-stage hash+prefetch form.
+  virtual void ContainsBatch(const ebpf::FiveTuple* keys, u32 n, bool* out) {
+    for (u32 i = 0; i < n; ++i) {
+      out[i] = Contains(keys[i]);
+    }
+  }
+
   // Packet path: membership test on the 5-tuple; member -> PASS, else DROP.
   ebpf::XdpAction Process(ebpf::XdpContext& ctx) override {
     ebpf::FiveTuple tuple;
@@ -47,6 +56,10 @@ class CuckooFilterBase : public NetworkFunction {
     }
     return Contains(tuple) ? ebpf::XdpAction::kPass : ebpf::XdpAction::kDrop;
   }
+
+  // Burst packet path: parse every tuple, one batched membership test.
+  void ProcessBurst(ebpf::XdpContext* ctxs, u32 count,
+                    ebpf::XdpAction* verdicts) override;
 
   std::string_view name() const override { return "cuckoo-filter"; }
   const CuckooFilterConfig& config() const { return config_; }
@@ -78,6 +91,7 @@ class CuckooFilterKernel : public CuckooFilterBase {
   bool Add(const ebpf::FiveTuple& key) override;
   bool Contains(const ebpf::FiveTuple& key) override;
   bool Remove(const ebpf::FiveTuple& key) override;
+  void ContainsBatch(const ebpf::FiveTuple* keys, u32 n, bool* out) override;
   Variant variant() const override { return Variant::kKernel; }
 
  private:
@@ -90,6 +104,7 @@ class CuckooFilterEnetstl : public CuckooFilterBase {
   bool Add(const ebpf::FiveTuple& key) override;
   bool Contains(const ebpf::FiveTuple& key) override;
   bool Remove(const ebpf::FiveTuple& key) override;
+  void ContainsBatch(const ebpf::FiveTuple* keys, u32 n, bool* out) override;
   Variant variant() const override { return Variant::kEnetstl; }
 
  private:

@@ -168,6 +168,34 @@ bool GenericErase(CuckooBucket* buckets, u32 mask, u32 seed, HashFn hash,
 }  // namespace
 
 // ---------------------------------------------------------------------------
+// CuckooSwitchBase
+// ---------------------------------------------------------------------------
+
+void CuckooSwitchBase::ProcessBurst(ebpf::XdpContext* ctxs, u32 count,
+                                    ebpf::XdpAction* verdicts) {
+  for (u32 start = 0; start < count; start += kMaxNfBurst) {
+    const u32 chunk = (count - start < kMaxNfBurst) ? count - start
+                                                    : kMaxNfBurst;
+    ebpf::FiveTuple keys[kMaxNfBurst];
+    std::optional<u64> results[kMaxNfBurst];
+    u32 idx[kMaxNfBurst];
+    u32 parsed = 0;
+    for (u32 i = 0; i < chunk; ++i) {
+      if (ebpf::ParseFiveTuple(ctxs[start + i], &keys[parsed])) {
+        idx[parsed++] = start + i;
+      } else {
+        verdicts[start + i] = ebpf::XdpAction::kAborted;
+      }
+    }
+    LookupBatch(keys, parsed, results);
+    for (u32 i = 0; i < parsed; ++i) {
+      verdicts[idx[i]] = results[i].has_value() ? ebpf::XdpAction::kTx
+                                                : ebpf::XdpAction::kDrop;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
 // CuckooSwitchEbpf
 // ---------------------------------------------------------------------------
 
@@ -317,6 +345,39 @@ bool CuckooSwitchKernel::Erase(const ebpf::FiveTuple& key) {
                       KernelFindSlot, key, &size_);
 }
 
+void CuckooSwitchKernel::LookupBatch(const ebpf::FiveTuple* keys, u32 n,
+                                     std::optional<u64>* out) {
+  CuckooBucket* buckets = buckets_.data();
+  for (u32 start = 0; start < n; start += kMaxNfBurst) {
+    const u32 chunk = (n - start < kMaxNfBurst) ? n - start : kMaxNfBurst;
+    u32 sig[kMaxNfBurst];
+    u32 b1[kMaxNfBurst];
+    // Stage 1: hash every key of the burst and prefetch its primary bucket,
+    // so the probe stage finds the cache lines already in flight.
+    for (u32 i = 0; i < chunk; ++i) {
+      const u32 h = KernelHash(&keys[start + i], sizeof(ebpf::FiveTuple),
+                               config_.seed);
+      sig[i] = MakeSig(h);
+      b1[i] = h & bucket_mask_;
+      enetstl::internal::PrefetchRead(&buckets[b1[i]]);
+    }
+    // Stage 2: probe primary, then alternate on signature miss.
+    for (u32 i = 0; i < chunk; ++i) {
+      const ebpf::FiveTuple& key = keys[start + i];
+      ebpf::s32 slot = KernelFindSlot(buckets[b1[i]], key, sig[i]);
+      if (slot >= 0) {
+        out[start + i] = buckets[b1[i]].values[slot];
+        continue;
+      }
+      const u32 b2 = AltBucket(b1[i], sig[i], bucket_mask_);
+      slot = KernelFindSlot(buckets[b2], key, sig[i]);
+      out[start + i] = slot >= 0
+                           ? std::optional<u64>(buckets[b2].values[slot])
+                           : std::nullopt;
+    }
+  }
+}
+
 // ---------------------------------------------------------------------------
 // CuckooSwitchEnetstl
 // ---------------------------------------------------------------------------
@@ -379,6 +440,43 @@ bool CuckooSwitchEnetstl::Erase(const ebpf::FiveTuple& key) {
   }
   return GenericErase(buckets, bucket_mask_, config_.seed, EnetstlHash,
                       EnetstlFindSlot, key, &size_);
+}
+
+void CuckooSwitchEnetstl::LookupBatch(const ebpf::FiveTuple* keys, u32 n,
+                                      std::optional<u64>* out) {
+  auto* buckets = static_cast<CuckooBucket*>(table_map_.LookupElem(0));
+  if (buckets == nullptr) {
+    for (u32 i = 0; i < n; ++i) {
+      out[i] = std::nullopt;
+    }
+    return;
+  }
+  for (u32 start = 0; start < n; start += kMaxNfBurst) {
+    const u32 chunk = (n - start < kMaxNfBurst) ? n - start : kMaxNfBurst;
+    u32 h[kMaxNfBurst];
+    // Stage 1: one kfunc call hashes the whole burst and prefetches every
+    // primary bucket — the per-packet call boundary is amortized over the
+    // burst, which a per-packet hw_hash_crc cannot do.
+    enetstl::HashPrefetchBatch(keys + start, sizeof(ebpf::FiveTuple),
+                               sizeof(ebpf::FiveTuple), chunk, config_.seed,
+                               buckets, static_cast<u32>(sizeof(CuckooBucket)),
+                               bucket_mask_, h);
+    // Stage 2: signature-first probes via the find_simd kfunc.
+    for (u32 i = 0; i < chunk; ++i) {
+      const ebpf::FiveTuple& key = keys[start + i];
+      const u32 sig = MakeSig(h[i]);
+      const u32 b1 = h[i] & bucket_mask_;
+      ebpf::s32 slot = EnetstlFindSlot(buckets[b1], key, sig);
+      if (slot >= 0) {
+        out[start + i] = buckets[b1].values[slot];
+        continue;
+      }
+      const u32 b2 = AltBucket(b1, sig, bucket_mask_);
+      slot = EnetstlFindSlot(buckets[b2], key, sig);
+      out[start + i] = slot >= 0 ? std::optional<u64>(buckets[b2].values[slot])
+                                 : std::nullopt;
+    }
+  }
 }
 
 }  // namespace nf

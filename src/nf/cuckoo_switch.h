@@ -52,6 +52,18 @@ class CuckooSwitchBase : public NetworkFunction {
   virtual std::optional<u64> Lookup(const ebpf::FiveTuple& key) = 0;
   virtual bool Erase(const ebpf::FiveTuple& key) = 0;
 
+  // Batched lookup: out[i] = Lookup(keys[i]) for i < n, bit-identical to the
+  // scalar path. Default is the scalar loop (the pure-eBPF shape); the
+  // kernel and eNetSTL variants override it with the CuckooSwitch two-stage
+  // pipeline — stage 1 hashes the whole burst and prefetches every primary
+  // bucket, stage 2 probes.
+  virtual void LookupBatch(const ebpf::FiveTuple* keys, u32 n,
+                           std::optional<u64>* out) {
+    for (u32 i = 0; i < n; ++i) {
+      out[i] = Lookup(keys[i]);
+    }
+  }
+
   // Packet path: FIB lookup on the 5-tuple; hit -> TX, miss -> DROP.
   ebpf::XdpAction Process(ebpf::XdpContext& ctx) override {
     ebpf::FiveTuple tuple;
@@ -61,6 +73,10 @@ class CuckooSwitchBase : public NetworkFunction {
     return Lookup(tuple).has_value() ? ebpf::XdpAction::kTx
                                      : ebpf::XdpAction::kDrop;
   }
+
+  // Burst packet path: parse every tuple, one batched FIB lookup, verdicts.
+  void ProcessBurst(ebpf::XdpContext* ctxs, u32 count,
+                    ebpf::XdpAction* verdicts) override;
 
   std::string_view name() const override { return "cuckoo-switch"; }
   const CuckooSwitchConfig& config() const { return config_; }
@@ -93,6 +109,9 @@ class CuckooSwitchKernel : public CuckooSwitchBase {
   bool Insert(const ebpf::FiveTuple& key, u64 value) override;
   std::optional<u64> Lookup(const ebpf::FiveTuple& key) override;
   bool Erase(const ebpf::FiveTuple& key) override;
+  // Two-stage batched lookup, all inline: hash+prefetch pass, then probe.
+  void LookupBatch(const ebpf::FiveTuple* keys, u32 n,
+                   std::optional<u64>* out) override;
   Variant variant() const override { return Variant::kKernel; }
 
  private:
@@ -105,6 +124,10 @@ class CuckooSwitchEnetstl : public CuckooSwitchBase {
   bool Insert(const ebpf::FiveTuple& key, u64 value) override;
   std::optional<u64> Lookup(const ebpf::FiveTuple& key) override;
   bool Erase(const ebpf::FiveTuple& key) override;
+  // Two-stage batched lookup: one hash_prefetch_batch kfunc call for the
+  // whole burst (stage 1), then per-key probes (stage 2).
+  void LookupBatch(const ebpf::FiveTuple* keys, u32 n,
+                   std::optional<u64>* out) override;
   Variant variant() const override { return Variant::kEnetstl; }
 
  private:

@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "core/hash.h"
+#include "core/hash_inl.h"
 #include "core/multihash_inl.h"
 #include "core/post_hash.h"
 
@@ -132,6 +133,34 @@ bool GenericErase(DaryCuckooState& state, FindFn find,
 }  // namespace
 
 // ---------------------------------------------------------------------------
+// DaryCuckooBase
+// ---------------------------------------------------------------------------
+
+void DaryCuckooBase::ProcessBurst(ebpf::XdpContext* ctxs, u32 count,
+                                  ebpf::XdpAction* verdicts) {
+  for (u32 start = 0; start < count; start += kMaxNfBurst) {
+    const u32 chunk = (count - start < kMaxNfBurst) ? count - start
+                                                    : kMaxNfBurst;
+    ebpf::FiveTuple keys[kMaxNfBurst];
+    std::optional<u64> results[kMaxNfBurst];
+    u32 idx[kMaxNfBurst];
+    u32 parsed = 0;
+    for (u32 i = 0; i < chunk; ++i) {
+      if (ebpf::ParseFiveTuple(ctxs[start + i], &keys[parsed])) {
+        idx[parsed++] = start + i;
+      } else {
+        verdicts[start + i] = ebpf::XdpAction::kAborted;
+      }
+    }
+    LookupBatch(keys, parsed, results);
+    for (u32 i = 0; i < parsed; ++i) {
+      verdicts[idx[i]] = results[i].has_value() ? ebpf::XdpAction::kTx
+                                                : ebpf::XdpAction::kDrop;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
 // DaryCuckooEbpf: d scalar BPF-codegen hashes + per-position compares.
 // ---------------------------------------------------------------------------
 
@@ -231,6 +260,37 @@ bool DaryCuckooKernel::Erase(const ebpf::FiveTuple& key) {
       key, &size_);
 }
 
+void DaryCuckooKernel::LookupBatch(const ebpf::FiveTuple* keys, u32 n,
+                                   std::optional<u64>* out) {
+  const u32 d = config_.d;
+  for (u32 start = 0; start < n; start += kMaxNfBurst) {
+    const u32 chunk = (n - start < kMaxNfBurst) ? n - start : kMaxNfBurst;
+    u32 pos[kMaxNfBurst * 8];
+    u32 sig[kMaxNfBurst];
+    // Stage 1: all d candidate positions of every key, prefetched.
+    for (u32 i = 0; i < chunk; ++i) {
+      const ebpf::FiveTuple& key = keys[start + i];
+      Positions(key, config_.seed, d, slot_mask_, &pos[i * 8]);
+      sig[i] = MakeSig(key, config_.seed);
+      for (u32 r = 0; r < d; ++r) {
+        enetstl::internal::PrefetchRead(&state_.sigs[pos[i * 8 + r]]);
+      }
+    }
+    // Stage 2: signature probes in row order.
+    for (u32 i = 0; i < chunk; ++i) {
+      const ebpf::FiveTuple& key = keys[start + i];
+      out[start + i] = std::nullopt;
+      for (u32 r = 0; r < d; ++r) {
+        const u32 p = pos[i * 8 + r];
+        if (state_.sigs[p] == sig[i] && KeyEquals(state_, p, key)) {
+          out[start + i] = state_.values[p];
+          break;
+        }
+      }
+    }
+  }
+}
+
 // ---------------------------------------------------------------------------
 // DaryCuckooEnetstl: one fused HashCmp kfunc per probe.
 // ---------------------------------------------------------------------------
@@ -290,6 +350,35 @@ bool DaryCuckooEnetstl::Erase(const ebpf::FiveTuple& key) {
         return EnetstlFind(state_, config_, slot_mask_, k);
       },
       key, &size_);
+}
+
+void DaryCuckooEnetstl::LookupBatch(const ebpf::FiveTuple* keys, u32 n,
+                                    std::optional<u64>* out) {
+  const u32 d = config_.d;
+  for (u32 start = 0; start < n; start += kMaxNfBurst) {
+    const u32 chunk = (n - start < kMaxNfBurst) ? n - start : kMaxNfBurst;
+    u32 pos[kMaxNfBurst * 8];
+    // Stage 1: one kfunc computes all d masked positions per key and
+    // prefetches every addressed slot (row_stride 0: the d rows index one
+    // shared signature array).
+    enetstl::MultiHashPrefetchBatch(
+        keys + start, sizeof(ebpf::FiveTuple), sizeof(ebpf::FiveTuple), chunk,
+        config_.seed, d, slot_mask_, state_.sigs.data(),
+        static_cast<u32>(sizeof(u32)), /*row_stride=*/0, pos);
+    // Stage 2: scalar signature probes over the prefetched candidates.
+    for (u32 i = 0; i < chunk; ++i) {
+      const ebpf::FiveTuple& key = keys[start + i];
+      const u32 sig = MakeSig(key, config_.seed);
+      out[start + i] = std::nullopt;
+      for (u32 r = 0; r < d; ++r) {
+        const u32 p = pos[i * d + r];
+        if (state_.sigs[p] == sig && KeyEquals(state_, p, key)) {
+          out[start + i] = state_.values[p];
+          break;
+        }
+      }
+    }
+  }
 }
 
 }  // namespace nf

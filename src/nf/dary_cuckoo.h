@@ -51,6 +51,17 @@ class DaryCuckooBase : public NetworkFunction {
   virtual std::optional<u64> Lookup(const ebpf::FiveTuple& key) = 0;
   virtual bool Erase(const ebpf::FiveTuple& key) = 0;
 
+  // Batched lookup: out[i] = Lookup(keys[i]), bit-identical to the scalar
+  // path. Default is the scalar loop; kernel and eNetSTL variants override
+  // it with a two-stage multi-hash+prefetch pipeline over all d candidate
+  // slots of every key in the burst.
+  virtual void LookupBatch(const ebpf::FiveTuple* keys, u32 n,
+                           std::optional<u64>* out) {
+    for (u32 i = 0; i < n; ++i) {
+      out[i] = Lookup(keys[i]);
+    }
+  }
+
   ebpf::XdpAction Process(ebpf::XdpContext& ctx) override {
     ebpf::FiveTuple tuple;
     if (!ebpf::ParseFiveTuple(ctx, &tuple)) {
@@ -59,6 +70,10 @@ class DaryCuckooBase : public NetworkFunction {
     return Lookup(tuple).has_value() ? ebpf::XdpAction::kTx
                                      : ebpf::XdpAction::kDrop;
   }
+
+  // Burst packet path: parse every tuple, one batched lookup, verdicts.
+  void ProcessBurst(ebpf::XdpContext* ctxs, u32 count,
+                    ebpf::XdpAction* verdicts) override;
 
   std::string_view name() const override { return "dary-cuckoo-kv"; }
   const DaryCuckooConfig& config() const { return config_; }
@@ -90,6 +105,8 @@ class DaryCuckooKernel : public DaryCuckooBase {
   bool Insert(const ebpf::FiveTuple& key, u64 value) override;
   std::optional<u64> Lookup(const ebpf::FiveTuple& key) override;
   bool Erase(const ebpf::FiveTuple& key) override;
+  void LookupBatch(const ebpf::FiveTuple* keys, u32 n,
+                   std::optional<u64>* out) override;
   Variant variant() const override { return Variant::kKernel; }
 
  private:
@@ -102,6 +119,10 @@ class DaryCuckooEnetstl : public DaryCuckooBase {
   bool Insert(const ebpf::FiveTuple& key, u64 value) override;
   std::optional<u64> Lookup(const ebpf::FiveTuple& key) override;
   bool Erase(const ebpf::FiveTuple& key) override;
+  // One multi_hash_prefetch_batch kfunc call per burst (stage 1), scalar
+  // signature probes over the prefetched candidate slots (stage 2).
+  void LookupBatch(const ebpf::FiveTuple* keys, u32 n,
+                   std::optional<u64>* out) override;
   Variant variant() const override { return Variant::kEnetstl; }
 
  private:

@@ -19,6 +19,11 @@ using ebpf::u32;
 using ebpf::u64;
 using ebpf::u8;
 
+// Largest burst the batched NF interfaces accept per internal chunk; batched
+// entry points split longer inputs. Matches the pipeline's burst ceiling so a
+// pipeline burst is always one NF chunk.
+inline constexpr u32 kMaxNfBurst = pktgen::kMaxBurstSize;
+
 // Which execution model an NF implementation targets.
 enum class Variant {
   kEbpf,     // pure eBPF: scalar code, helper-call boundary, BPF maps/lists
@@ -46,13 +51,40 @@ class NetworkFunction {
   // Processes one packet (the XDP entry point of this NF).
   virtual ebpf::XdpAction Process(ebpf::XdpContext& ctx) = 0;
 
+  // Processes a burst, writing one verdict per packet. The default is the
+  // scalar loop — all a pure-eBPF program can express. Batched variants
+  // override it with the two-stage (hash+prefetch, then probe) pipeline;
+  // overrides must produce verdicts bit-identical to per-packet Process.
+  virtual void ProcessBurst(ebpf::XdpContext* ctxs, u32 count,
+                            ebpf::XdpAction* verdicts) {
+    for (u32 i = 0; i < count; ++i) {
+      verdicts[i] = Process(ctxs[i]);
+    }
+  }
+
   virtual std::string_view name() const = 0;
   virtual Variant variant() const = 0;
 
-  // Adapter for the measurement pipeline.
-  pktgen::PacketHandler Handler() {
-    return [this](ebpf::XdpContext& ctx) { return Process(ctx); };
-  }
+  // Non-owning adapters for the measurement pipeline. Both convert implicitly
+  // to the pipeline's FunctionRef handler types at the call site; the NF must
+  // outlive the measurement call (it always does — the adapters are passed as
+  // temporaries within one full expression).
+  struct ScalarAdapter {
+    NetworkFunction* nf;
+    ebpf::XdpAction operator()(ebpf::XdpContext& ctx) const {
+      return nf->Process(ctx);
+    }
+  };
+  struct BurstAdapter {
+    NetworkFunction* nf;
+    void operator()(ebpf::XdpContext* ctxs, u32 count,
+                    ebpf::XdpAction* verdicts) const {
+      nf->ProcessBurst(ctxs, count, verdicts);
+    }
+  };
+
+  ScalarAdapter Handler() { return ScalarAdapter{this}; }
+  BurstAdapter BurstHandler() { return BurstAdapter{this}; }
 };
 
 }  // namespace nf

@@ -1,0 +1,57 @@
+// Non-owning callable reference used on the measurement hot loop.
+//
+// std::function dispatch costs a double indirection (type-erased wrapper
+// object, then the callable) plus possible heap storage. On a harness whose
+// per-packet work is tens of nanoseconds, that overhead is large enough to
+// mask the NF costs being measured. A FunctionRef is two words — the
+// callable's address and a trampoline pointer — so binding performs no
+// allocation and invocation is a single indirect call.
+//
+// Non-owning: the referenced callable must outlive the FunctionRef. The
+// measurement entry points only hold the reference for the duration of one
+// call, so passing a temporary lambda (or an NF adapter) at the call site is
+// safe; storing a FunctionRef beyond the full expression that created it is
+// not.
+#ifndef ENETSTL_PKTGEN_FUNCTION_REF_H_
+#define ENETSTL_PKTGEN_FUNCTION_REF_H_
+
+#include <memory>
+#include <type_traits>
+#include <utility>
+
+namespace pktgen {
+
+template <typename Signature>
+class FunctionRef;
+
+template <typename R, typename... Args>
+class FunctionRef<R(Args...)> {
+ public:
+  FunctionRef() = delete;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::remove_cvref_t<F>, FunctionRef> &&
+                std::is_invocable_r_v<R, F&, Args...>>>
+  // NOLINTNEXTLINE(google-explicit-constructor): implicit by design, so call
+  // sites can pass lambdas / NF adapters where a FunctionRef is expected.
+  FunctionRef(F&& f) noexcept
+      : obj_(const_cast<void*>(
+            static_cast<const void*>(std::addressof(f)))),
+        call_([](void* obj, Args... args) -> R {
+          return (*static_cast<std::remove_reference_t<F>*>(obj))(
+              std::forward<Args>(args)...);
+        }) {}
+
+  R operator()(Args... args) const {
+    return call_(obj_, std::forward<Args>(args)...);
+  }
+
+ private:
+  void* obj_;
+  R (*call_)(void*, Args...);
+};
+
+}  // namespace pktgen
+
+#endif  // ENETSTL_PKTGEN_FUNCTION_REF_H_

@@ -19,9 +19,13 @@ inline ebpf::XdpContext MakeContext(Packet& packet, ebpf::u64 ts_ns) {
   return ctx;
 }
 
+inline u32 ClampBurstSize(u32 burst_size) {
+  return std::clamp(burst_size, u32{1}, kMaxBurstSize);
+}
+
 }  // namespace
 
-ThroughputStats Pipeline::MeasureThroughput(const PacketHandler& handler,
+ThroughputStats Pipeline::MeasureThroughput(PacketHandler handler,
                                             const Trace& trace) const {
   ThroughputStats stats;
   if (trace.empty()) {
@@ -43,18 +47,7 @@ ThroughputStats Pipeline::MeasureThroughput(const PacketHandler& handler,
   const auto start = Clock::now();
   for (u64 i = 0; i < options_.measure_packets; ++i) {
     ebpf::XdpContext ctx = MakeContext(working[cursor], 0);
-    const ebpf::XdpAction action = handler(ctx);
-    switch (action) {
-      case ebpf::XdpAction::kDrop:
-        ++stats.dropped;
-        break;
-      case ebpf::XdpAction::kAborted:
-        ++stats.aborted;
-        break;
-      default:
-        ++stats.passed;
-        break;
-    }
+    stats.AccumulateVerdict(handler(ctx));
     cursor = cursor + 1 < n ? cursor + 1 : 0;
   }
   const auto end = Clock::now();
@@ -70,7 +63,60 @@ ThroughputStats Pipeline::MeasureThroughput(const PacketHandler& handler,
   return stats;
 }
 
-LatencyStats Pipeline::MeasureLatency(const PacketHandler& handler,
+ThroughputStats Pipeline::MeasureThroughputBurst(PacketBurstHandler handler,
+                                                 const Trace& trace) const {
+  ThroughputStats stats;
+  if (trace.empty()) {
+    return stats;
+  }
+  ebpf::SetCurrentCpu(options_.cpu);
+  Trace working = trace;
+  const std::size_t n = working.size();
+  const u32 burst = ClampBurstSize(options_.burst_size);
+
+  ebpf::XdpContext ctxs[kMaxBurstSize];
+  ebpf::XdpAction verdicts[kMaxBurstSize];
+  std::size_t cursor = 0;
+  auto fill_burst = [&](u32 count) {
+    for (u32 i = 0; i < count; ++i) {
+      ctxs[i] = MakeContext(working[cursor], 0);
+      cursor = cursor + 1 < n ? cursor + 1 : 0;
+    }
+  };
+
+  for (u64 done = 0; done < options_.warmup_packets;) {
+    const u32 count = static_cast<u32>(
+        std::min<u64>(burst, options_.warmup_packets - done));
+    fill_burst(count);
+    handler(ctxs, count, verdicts);
+    done += count;
+  }
+
+  const auto start = Clock::now();
+  for (u64 done = 0; done < options_.measure_packets;) {
+    const u32 count = static_cast<u32>(
+        std::min<u64>(burst, options_.measure_packets - done));
+    fill_burst(count);
+    handler(ctxs, count, verdicts);
+    for (u32 i = 0; i < count; ++i) {
+      stats.AccumulateVerdict(verdicts[i]);
+    }
+    done += count;
+  }
+  const auto end = Clock::now();
+
+  stats.packets = options_.measure_packets;
+  stats.seconds =
+      std::chrono::duration_cast<std::chrono::duration<double>>(end - start)
+          .count();
+  if (stats.seconds > 0.0) {
+    stats.pps = static_cast<double>(stats.packets) / stats.seconds;
+    stats.ns_per_packet = stats.seconds * 1e9 / static_cast<double>(stats.packets);
+  }
+  return stats;
+}
+
+LatencyStats Pipeline::MeasureLatency(PacketHandler handler,
                                       const Trace& trace, u64 packets) const {
   LatencyStats stats;
   if (trace.empty() || packets == 0) {
@@ -117,7 +163,7 @@ LatencyStats Pipeline::MeasureLatency(const PacketHandler& handler,
   return stats;
 }
 
-void ReplayOnce(const PacketHandler& handler, const Trace& trace) {
+void ReplayOnce(PacketHandler handler, const Trace& trace) {
   Trace working = trace;
   for (Packet& packet : working) {
     ebpf::XdpContext ctx = MakeContext(packet, 0);

@@ -4,21 +4,44 @@
 // to the (simulated) XDP hook on one CPU; throughput mode reports the
 // packets-per-second rate over a measured window after warmup, latency mode
 // timestamps each packet individually and reports percentiles.
+//
+// Two dispatch modes:
+//  * per-packet — one handler call per packet, the paper's baseline shape;
+//  * burst      — the handler receives up to Options::burst_size contexts at
+//                 once and fills one verdict per packet, the XDP native bulk
+//                 path (and what CuckooSwitch/Katran-style batched lookups
+//                 with grouped prefetching need to pay off).
+//
+// Handlers are passed as non-owning FunctionRefs so the harness's dispatch
+// cost is a single indirect call — std::function overhead would otherwise be
+// attributed to the NF under test.
 #ifndef ENETSTL_PKTGEN_PIPELINE_H_
 #define ENETSTL_PKTGEN_PIPELINE_H_
 
-#include <functional>
 #include <vector>
 
 #include "ebpf/program.h"
+#include "pktgen/function_ref.h"
 #include "pktgen/packet.h"
 
 namespace pktgen {
 
 // A packet handler under test: either an ebpf::XdpProgram or any callable
 // with the same shape (kernel-native baselines are plain callables — they do
-// not pass through the verifier).
-using PacketHandler = std::function<ebpf::XdpAction(ebpf::XdpContext&)>;
+// not pass through the verifier). Non-owning: the callable must outlive the
+// measurement call it is passed to.
+using PacketHandler = FunctionRef<ebpf::XdpAction(ebpf::XdpContext&)>;
+
+// A burst handler processes ctxs[0..count) in one call and writes exactly one
+// verdict per packet into verdicts[0..count). count never exceeds
+// kMaxBurstSize.
+using PacketBurstHandler =
+    FunctionRef<void(ebpf::XdpContext* ctxs, u32 count,
+                     ebpf::XdpAction* verdicts)>;
+
+// Upper bound on Options::burst_size; bounds the pipeline's per-burst stack
+// scratch (contexts + verdicts) and the NFs' batched-lookup scratch arrays.
+inline constexpr u32 kMaxBurstSize = 64;
 
 struct ThroughputStats {
   u64 packets = 0;
@@ -28,6 +51,20 @@ struct ThroughputStats {
   u64 dropped = 0;           // XDP_DROP verdicts
   u64 passed = 0;            // XDP_PASS verdicts
   u64 aborted = 0;           // XDP_ABORTED verdicts
+
+  void AccumulateVerdict(ebpf::XdpAction action) {
+    switch (action) {
+      case ebpf::XdpAction::kDrop:
+        ++dropped;
+        break;
+      case ebpf::XdpAction::kAborted:
+        ++aborted;
+        break;
+      default:
+        ++passed;
+        break;
+    }
+  }
 };
 
 struct LatencyStats {
@@ -45,18 +82,27 @@ class Pipeline {
     u64 warmup_packets = 50'000;
     u64 measure_packets = 1'000'000;
     u32 cpu = 0;
+    // Packets handed to the handler per call in burst mode; clamped to
+    // [1, kMaxBurstSize]. Per-packet mode ignores it.
+    u32 burst_size = 32;
   };
 
   Pipeline() : options_{} {}
   explicit Pipeline(const Options& options) : options_(options) {}
 
   // Replays the trace (wrapping around) through the handler and measures the
-  // aggregate packet rate.
-  ThroughputStats MeasureThroughput(const PacketHandler& handler,
+  // aggregate packet rate, one handler call per packet.
+  ThroughputStats MeasureThroughput(PacketHandler handler,
                                     const Trace& trace) const;
 
+  // Burst mode: replays the trace in bursts of Options::burst_size. Exactly
+  // Options::measure_packets packets are measured (the final burst is
+  // truncated when measure_packets is not a multiple of the burst size).
+  ThroughputStats MeasureThroughputBurst(PacketBurstHandler handler,
+                                         const Trace& trace) const;
+
   // Times each packet individually (low-offered-load latency measurement).
-  LatencyStats MeasureLatency(const PacketHandler& handler, const Trace& trace,
+  LatencyStats MeasureLatency(PacketHandler handler, const Trace& trace,
                               u64 packets) const;
 
   const Options& options() const { return options_; }
@@ -67,7 +113,7 @@ class Pipeline {
 
 // Convenience: runs every packet of the trace once through the handler
 // without timing (functional tests / state priming).
-void ReplayOnce(const PacketHandler& handler, const Trace& trace);
+void ReplayOnce(PacketHandler handler, const Trace& trace);
 
 }  // namespace pktgen
 

@@ -1,0 +1,214 @@
+#include "pktgen/sharded_pipeline.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "core/hash.h"
+#include "core/hash_inl.h"
+#include "ebpf/helper.h"
+
+#if defined(__linux__)
+#include <time.h>
+#endif
+
+namespace pktgen {
+
+namespace {
+
+using WallClock = std::chrono::steady_clock;
+
+// CPU time consumed by the calling thread. Falls back to wall time on
+// platforms without per-thread clocks (the dedicated-core model then degrades
+// to wall-clock scaling).
+double ThreadCpuSeconds() {
+#if defined(__linux__)
+  timespec ts;
+  if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) == 0) {
+    return static_cast<double>(ts.tv_sec) +
+           static_cast<double>(ts.tv_nsec) * 1e-9;
+  }
+#endif
+  return std::chrono::duration_cast<std::chrono::duration<double>>(
+             WallClock::now().time_since_epoch())
+      .count();
+}
+
+inline ebpf::XdpContext MakeContext(Packet& packet) {
+  ebpf::XdpContext ctx;
+  ctx.data = packet.frame;
+  ctx.data_end = packet.frame + ebpf::kFrameSize;
+  ctx.rx_timestamp_ns = 0;
+  return ctx;
+}
+
+struct WorkerTask {
+  u32 cpu = 0;
+  u32 burst = 1;
+  u64 warmup_packets = 0;
+  u64 measure_packets = 0;
+  Trace queue;  // this worker's steered sub-trace (owned, mutated in place)
+  ShardedPipeline::BurstHandler handler;
+
+  double busy_seconds = 0.0;
+  ThroughputStats stats;
+
+  void Run() {
+    ebpf::SetCurrentCpu(cpu);
+    if (queue.empty() || !handler) {
+      return;
+    }
+    const std::size_t n = queue.size();
+    ebpf::XdpContext ctxs[kMaxBurstSize];
+    ebpf::XdpAction verdicts[kMaxBurstSize];
+    std::size_t cursor = 0;
+    auto fill_burst = [&](u32 count) {
+      for (u32 i = 0; i < count; ++i) {
+        ctxs[i] = MakeContext(queue[cursor]);
+        cursor = cursor + 1 < n ? cursor + 1 : 0;
+      }
+    };
+
+    for (u64 done = 0; done < warmup_packets;) {
+      const u32 count =
+          static_cast<u32>(std::min<u64>(burst, warmup_packets - done));
+      fill_burst(count);
+      handler(ctxs, count, verdicts);
+      done += count;
+    }
+
+    const double t0 = ThreadCpuSeconds();
+    for (u64 done = 0; done < measure_packets;) {
+      const u32 count =
+          static_cast<u32>(std::min<u64>(burst, measure_packets - done));
+      fill_burst(count);
+      handler(ctxs, count, verdicts);
+      for (u32 i = 0; i < count; ++i) {
+        stats.AccumulateVerdict(verdicts[i]);
+      }
+      done += count;
+    }
+    busy_seconds = ThreadCpuSeconds() - t0;
+
+    stats.packets = measure_packets;
+    stats.seconds = busy_seconds;
+    if (busy_seconds > 0.0) {
+      stats.pps = static_cast<double>(stats.packets) / busy_seconds;
+      stats.ns_per_packet =
+          busy_seconds * 1e9 / static_cast<double>(stats.packets);
+    }
+  }
+};
+
+}  // namespace
+
+u32 RssQueueForTuple(const ebpf::FiveTuple& tuple, u32 num_queues, u32 seed) {
+  if (num_queues <= 1) {
+    return 0;
+  }
+  return enetstl::internal::HwHashCrcImpl(&tuple, sizeof(tuple), seed) %
+         num_queues;
+}
+
+u32 RssQueueForPacket(const Packet& packet, u32 num_queues, u32 seed) {
+  ebpf::XdpContext ctx;
+  ctx.data = const_cast<u8*>(packet.frame);
+  ctx.data_end = const_cast<u8*>(packet.frame) + ebpf::kFrameSize;
+  ebpf::FiveTuple tuple;
+  if (!ebpf::ParseFiveTuple(ctx, &tuple)) {
+    return 0;
+  }
+  return RssQueueForTuple(tuple, num_queues, seed);
+}
+
+ShardedPipeline::ShardedPipeline(const Options& options) : options_(options) {
+  options_.num_workers =
+      std::clamp(options_.num_workers, u32{1}, ebpf::kNumPossibleCpus);
+  options_.burst_size = std::clamp(options_.burst_size, u32{1}, kMaxBurstSize);
+}
+
+ShardedPipeline::Result ShardedPipeline::MeasureThroughput(
+    const HandlerFactory& factory, const Trace& trace) const {
+  Result result;
+  const u32 workers =
+      std::clamp(options_.num_workers, u32{1}, ebpf::kNumPossibleCpus);
+  const u32 burst = std::clamp(options_.burst_size, u32{1}, kMaxBurstSize);
+  if (trace.empty()) {
+    return result;  // no shards, no threads
+  }
+  result.shards.resize(workers);
+  for (u32 w = 0; w < workers; ++w) {
+    result.shards[w].cpu = w;
+  }
+
+  // Steer the trace: one sub-trace (RX queue) per worker.
+  std::vector<Trace> queues(workers);
+  for (const Packet& packet : trace) {
+    queues[RssQueueForPacket(packet, workers, options_.rss_seed)].push_back(
+        packet);
+  }
+
+  // Split the measured-packet budget proportionally to queue depth (offered
+  // load follows the flow split), making the remainders up on the deepest
+  // queues so the shard counts sum exactly to measure_packets.
+  std::vector<u64> quota(workers, 0);
+  u64 assigned = 0;
+  for (u32 w = 0; w < workers; ++w) {
+    quota[w] = options_.measure_packets * queues[w].size() / trace.size();
+    assigned += quota[w];
+  }
+  for (u64 leftover = options_.measure_packets - assigned; leftover > 0;) {
+    for (u32 w = 0; w < workers && leftover > 0; ++w) {
+      if (!queues[w].empty()) {
+        ++quota[w];
+        --leftover;
+      }
+    }
+  }
+
+  std::vector<WorkerTask> tasks(workers);
+  for (u32 w = 0; w < workers; ++w) {
+    tasks[w].cpu = w;
+    tasks[w].burst = burst;
+    tasks[w].warmup_packets = queues[w].empty() ? 0 : options_.warmup_packets;
+    tasks[w].measure_packets = quota[w];
+    tasks[w].queue = std::move(queues[w]);
+    tasks[w].handler = factory ? factory(w) : BurstHandler{};
+  }
+
+  const auto wall_start = WallClock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(workers);
+  for (u32 w = 0; w < workers; ++w) {
+    threads.emplace_back([&tasks, w] { tasks[w].Run(); });
+  }
+  for (std::thread& t : threads) {
+    t.join();
+  }
+  result.wall_seconds = std::chrono::duration_cast<
+                            std::chrono::duration<double>>(WallClock::now() -
+                                                           wall_start)
+                            .count();
+
+  double busy_total = 0.0;
+  for (u32 w = 0; w < workers; ++w) {
+    ShardStats& shard = result.shards[w];
+    shard.queue_depth = tasks[w].queue.size();
+    shard.busy_seconds = tasks[w].busy_seconds;
+    shard.stats = tasks[w].stats;
+    result.total.packets += shard.stats.packets;
+    result.total.dropped += shard.stats.dropped;
+    result.total.passed += shard.stats.passed;
+    result.total.aborted += shard.stats.aborted;
+    result.total.pps += shard.stats.pps;  // dedicated-core aggregate
+    busy_total += shard.busy_seconds;
+  }
+  result.total.seconds = result.wall_seconds;
+  if (result.total.packets > 0 && busy_total > 0.0) {
+    result.total.ns_per_packet =
+        busy_total * 1e9 / static_cast<double>(result.total.packets);
+  }
+  return result;
+}
+
+}  // namespace pktgen

@@ -163,6 +163,74 @@ TEST(Pipeline, EmptyTraceYieldsZeroStats) {
   EXPECT_EQ(stats.packets, 0u);
 }
 
+TEST(Pipeline, BurstCountsVerdictsWithTruncatedFinalBurst) {
+  Pipeline::Options opts;
+  opts.warmup_packets = 10;
+  opts.measure_packets = 1000;  // not a multiple of 32
+  opts.burst_size = 32;
+  Pipeline pipeline(opts);
+  const auto flows = MakeFlowPopulation(4, 1);
+  const auto trace = MakeUniformTrace(flows, 64, 2);
+  u64 seen = 0;
+  u32 max_count = 0;
+  auto handler = [&](ebpf::XdpContext* ctxs, u32 count,
+                     ebpf::XdpAction* verdicts) {
+    max_count = count > max_count ? count : max_count;
+    for (u32 i = 0; i < count; ++i) {
+      ++seen;
+      verdicts[i] = (seen % 3 == 0)   ? ebpf::XdpAction::kDrop
+                    : (seen % 3 == 1) ? ebpf::XdpAction::kPass
+                                      : ebpf::XdpAction::kAborted;
+    }
+  };
+  const ThroughputStats stats = pipeline.MeasureThroughputBurst(handler, trace);
+  EXPECT_EQ(stats.packets, 1000u);
+  EXPECT_EQ(stats.dropped + stats.passed + stats.aborted, 1000u);
+  // seen % 3: 1010 calls total (warmup included), measured window counts
+  // only the last 1000 — but the three verdict classes must each be ~1/3.
+  EXPECT_NEAR(static_cast<double>(stats.dropped), 333.0, 2.0);
+  EXPECT_NEAR(static_cast<double>(stats.passed), 333.0, 2.0);
+  EXPECT_NEAR(static_cast<double>(stats.aborted), 333.0, 2.0);
+  EXPECT_EQ(seen, 1010u);         // warmup + measured, exactly
+  EXPECT_EQ(max_count, 32u);      // full bursts are exactly burst_size
+  EXPECT_GT(stats.pps, 0.0);
+}
+
+TEST(Pipeline, BurstSizeIsClampedToValidRange) {
+  const auto flows = MakeFlowPopulation(4, 1);
+  const auto trace = MakeUniformTrace(flows, 64, 2);
+  auto run_with_burst = [&](u32 burst) {
+    Pipeline::Options opts;
+    opts.warmup_packets = 0;
+    opts.measure_packets = 500;
+    opts.burst_size = burst;
+    u32 max_count = 0;
+    Pipeline(opts).MeasureThroughputBurst(
+        [&](ebpf::XdpContext*, u32 count, ebpf::XdpAction* verdicts) {
+          max_count = count > max_count ? count : max_count;
+          for (u32 i = 0; i < count; ++i) {
+            verdicts[i] = ebpf::XdpAction::kPass;
+          }
+        },
+        trace);
+    return max_count;
+  };
+  EXPECT_EQ(run_with_burst(0), 1u);               // clamped up to 1
+  EXPECT_EQ(run_with_burst(1'000'000), kMaxBurstSize);  // clamped down
+}
+
+TEST(Pipeline, BurstEmptyTraceYieldsZeroStats) {
+  const ThroughputStats stats = Pipeline().MeasureThroughputBurst(
+      [](ebpf::XdpContext*, u32 count, ebpf::XdpAction* verdicts) {
+        for (u32 i = 0; i < count; ++i) {
+          verdicts[i] = ebpf::XdpAction::kPass;
+        }
+      },
+      Trace{});
+  EXPECT_EQ(stats.packets, 0u);
+  EXPECT_EQ(stats.dropped + stats.passed + stats.aborted, 0u);
+}
+
 TEST(Pipeline, LatencyPercentilesOrdered) {
   Pipeline pipeline;
   const auto flows = MakeFlowPopulation(4, 1);
