@@ -1,0 +1,157 @@
+#include "core/fault_injector.h"
+
+#include "ebpf/helper.h"
+
+namespace enetstl {
+
+namespace {
+
+inline u64 XorShift64(u64& state) {
+  state ^= state << 13;
+  state ^= state >> 7;
+  state ^= state << 17;
+  return state;
+}
+
+// Uniform [0, 1) from the top 53 bits, so rates compare exactly against the
+// same double on every platform.
+inline double ToUnit(u64 x) {
+  return static_cast<double>(x >> 11) * 0x1.0p-53;
+}
+
+bool GlobalHelperFaultTrampoline(const char* point) {
+  return FaultInjector::Global().ShouldFail(point);
+}
+
+}  // namespace
+
+FaultInjector::Point& FaultInjector::Upsert(std::string_view point) {
+  auto it = points_.find(point);
+  if (it == points_.end()) {
+    it = points_.emplace(std::string(point), Point{}).first;
+  }
+  return it->second;
+}
+
+void FaultInjector::RecountArmed() {
+  ebpf::u32 armed = 0;
+  for (const auto& [name, p] : points_) {
+    if (p.active) {
+      ++armed;
+    }
+  }
+  armed_points_.store(armed, std::memory_order_relaxed);
+}
+
+void FaultInjector::ArmOneShot(std::string_view point, u64 after) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Point& p = Upsert(point);
+  p.mode = Mode::kOneShot;
+  p.active = true;
+  // Relative to the hits already recorded, so re-arming after a fire behaves
+  // like InjectAllocFailureAfter's countdown.
+  p.param = p.hits + after;
+  RecountArmed();
+}
+
+void FaultInjector::ArmEveryNth(std::string_view point, u64 n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Point& p = Upsert(point);
+  if (n == 0) {
+    p.active = false;
+    RecountArmed();
+    return;
+  }
+  p.mode = Mode::kEveryNth;
+  p.active = true;
+  p.param = n;
+  RecountArmed();
+}
+
+void FaultInjector::ArmProbability(std::string_view point, double rate,
+                                   u64 seed) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Point& p = Upsert(point);
+  p.mode = Mode::kProbability;
+  p.active = true;
+  p.rate = rate;
+  p.rng = seed | 1u;  // xorshift64 must not start at 0
+  RecountArmed();
+}
+
+void FaultInjector::Disarm(std::string_view point) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = points_.find(point);
+  if (it != points_.end()) {
+    it->second.active = false;
+  }
+  RecountArmed();
+}
+
+void FaultInjector::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  points_.clear();
+  armed_points_.store(0, std::memory_order_relaxed);
+}
+
+bool FaultInjector::ShouldFail(std::string_view point) {
+  if (armed_points_.load(std::memory_order_relaxed) == 0) {
+    return false;  // fast path: nothing armed anywhere
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = points_.find(point);
+  if (it == points_.end() || !it->second.active) {
+    return false;
+  }
+  Point& p = it->second;
+  const u64 hit = p.hits++;
+  switch (p.mode) {
+    case Mode::kOneShot:
+      if (hit == p.param) {
+        p.active = false;
+        ++p.fires;
+        RecountArmed();
+        return true;
+      }
+      return false;
+    case Mode::kEveryNth:
+      if ((hit + 1) % p.param == 0) {
+        ++p.fires;
+        return true;
+      }
+      return false;
+    case Mode::kProbability:
+      if (ToUnit(XorShift64(p.rng)) < p.rate) {
+        ++p.fires;
+        return true;
+      }
+      return false;
+  }
+  return false;
+}
+
+u64 FaultInjector::hits(std::string_view point) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = points_.find(point);
+  return it == points_.end() ? 0 : it->second.hits;
+}
+
+u64 FaultInjector::fires(std::string_view point) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = points_.find(point);
+  return it == points_.end() ? 0 : it->second.fires;
+}
+
+FaultInjector& FaultInjector::Global() {
+  static FaultInjector instance;
+  // The ebpf layer cannot depend on core, so its fault hook is a raw function
+  // pointer we install exactly once here.
+  static const bool hook_installed = [] {
+    ebpf::SetHelperFaultHook(&GlobalHelperFaultTrampoline);
+    return true;
+  }();
+  (void)hook_installed;
+  return instance;
+}
+
+}  // namespace enetstl

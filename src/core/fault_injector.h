@@ -1,0 +1,111 @@
+// Seeded, deterministic fault-injection subsystem (§4.4 robustness harness).
+//
+// The paper's safety argument (safe termination + memory safety) promises
+// that an eBPF datapath survives runtime failures — bpf_obj_new exhaustion,
+// map updates returning -ENOSPC, cuckoo kick chains running out — without
+// crashing or corrupting state. This module makes those failures *routable*:
+// code declares named fault points and asks ShouldFail() at the moment the
+// real failure would surface; tests and benches arm schedules against the
+// points and assert the graceful-degradation paths (victim stash, incremental
+// migration, shard failover) actually hold.
+//
+// Three schedule modes per point, all deterministic under a fixed seed:
+//  * one-shot    — fire exactly once, on the hit with the given index;
+//  * every-Nth   — fire on every Nth hit (N = 1 fails every call);
+//  * probability — fire with rate p from a per-point xorshift64 stream, so a
+//                  run is reproducible from (point, rate, seed) alone.
+//
+// Concurrency: armed points are evaluated under a mutex (the sharded
+// pipeline's workers probe their kill points concurrently); the common case
+// — nothing armed anywhere — is a single relaxed atomic load, so datapath
+// code can leave its probes compiled in unconditionally.
+//
+// Layering: core depends on ebpf, not vice versa, so the ebpf helper layer
+// exposes a raw hook (ebpf::SetHelperFaultHook) and FaultInjector::Global()
+// installs itself there on first use. Fault point names used in-tree:
+//
+//   mem.node_alloc         NodeProxy::NodeAlloc (bpf_obj_new exhaustion)
+//   helper.map_update      ebpf map UpdateElem (-ENOSPC from the helper)
+//   cuckoo_switch.insert   forced kick-chain exhaustion -> victim stash
+//   dary_cuckoo.insert     forced displacement-walk failure -> victim stash
+//   cuckoo_filter.add      forced kick-chain exhaustion -> victim stash
+//   shard.kill.<cpu>       sharded-pipeline worker death -> failover
+#ifndef ENETSTL_CORE_FAULT_INJECTOR_H_
+#define ENETSTL_CORE_FAULT_INJECTOR_H_
+
+#include <atomic>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "ebpf/types.h"
+
+namespace enetstl {
+
+using ebpf::u64;
+
+class FaultInjector {
+ public:
+  FaultInjector() = default;
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  // Fires on the hit with 0-based index `after` (after = 0 fails the very
+  // next hit), then disarms the point.
+  void ArmOneShot(std::string_view point, u64 after);
+
+  // Fires on every nth hit: hits n-1, 2n-1, ... (n == 1 fails every call).
+  // n == 0 disarms.
+  void ArmEveryNth(std::string_view point, u64 n);
+
+  // Fires each hit independently with probability `rate` drawn from a
+  // per-point xorshift64 stream seeded with `seed` — deterministic across
+  // runs and independent of every other point's stream.
+  void ArmProbability(std::string_view point, double rate, u64 seed);
+
+  void Disarm(std::string_view point);
+
+  // Disarms every point and zeroes all hit/fire counters.
+  void Reset();
+
+  // Datapath probe: records a hit on the point and returns true when the
+  // armed schedule says this hit fails. Unarmed points (and the fully
+  // disarmed injector) return false; only armed points track hits.
+  bool ShouldFail(std::string_view point);
+
+  // Introspection (tests assert exact schedules from these).
+  u64 hits(std::string_view point) const;
+  u64 fires(std::string_view point) const;
+  bool armed() const {
+    return armed_points_.load(std::memory_order_relaxed) != 0;
+  }
+
+  // Process-wide instance every in-tree fault point consults. First access
+  // installs the ebpf helper-layer hook so map-update faults route here.
+  static FaultInjector& Global();
+
+ private:
+  enum class Mode { kOneShot, kEveryNth, kProbability };
+
+  struct Point {
+    Mode mode = Mode::kOneShot;
+    bool active = false;  // one-shots disarm in place, keeping counters
+    u64 param = 0;        // one-shot: target hit index; every-nth: n
+    u64 rng = 0;          // probability: xorshift64 state
+    double rate = 0.0;
+    u64 hits = 0;
+    u64 fires = 0;
+  };
+
+  Point& Upsert(std::string_view point);
+  void RecountArmed();
+
+  mutable std::mutex mu_;
+  std::atomic<ebpf::u32> armed_points_{0};
+  std::map<std::string, Point, std::less<>> points_;
+};
+
+}  // namespace enetstl
+
+#endif  // ENETSTL_CORE_FAULT_INJECTOR_H_

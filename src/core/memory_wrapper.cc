@@ -4,6 +4,8 @@
 #include <cstring>
 #include <new>
 
+#include "core/fault_injector.h"
+
 namespace enetstl {
 
 namespace {
@@ -66,7 +68,10 @@ ENETSTL_NOINLINE Node* NodeProxy::NodeAlloc(u32 num_outs, u32 num_ins,
     return nullptr;
   }
   if (alloc_fail_countdown_ >= 0 && alloc_fail_countdown_-- == 0) {
-    return nullptr;  // injected bpf_obj_new failure
+    return nullptr;  // injected bpf_obj_new failure (legacy one-shot hook)
+  }
+  if (FaultInjector::Global().ShouldFail("mem.node_alloc")) {
+    return nullptr;  // injected bpf_obj_new failure (scheduled)
   }
   const std::size_t size = BlockSize(num_outs, num_ins, data_size);
   void* block = AllocBlock(size);

@@ -1,5 +1,6 @@
 #include "ebpf/helper.h"
 
+#include <atomic>
 #include <chrono>
 
 namespace ebpf {
@@ -24,11 +25,23 @@ struct PrandomState {
 // its own CPU and the kernel's prandom state is genuinely per-cpu.
 thread_local PrandomState g_prandom_state;
 
+// Atomic: installed once (from any thread) and probed by every worker.
+std::atomic<HelperFaultHook> g_helper_fault_hook{nullptr};
+
 }  // namespace
 
 u32 CurrentCpu() { return g_current_cpu; }
 
 void SetCurrentCpu(u32 cpu) { g_current_cpu = cpu % kNumPossibleCpus; }
+
+void SetHelperFaultHook(HelperFaultHook hook) {
+  g_helper_fault_hook.store(hook, std::memory_order_release);
+}
+
+bool HelperFaultTriggered(const char* point) {
+  HelperFaultHook hook = g_helper_fault_hook.load(std::memory_order_acquire);
+  return hook != nullptr && hook(point);
+}
 
 HelperStats& GlobalHelperStats() {
   // Thread-local so concurrent pipeline workers count their own helper

@@ -45,6 +45,16 @@ struct HelperStats {
 
 HelperStats& GlobalHelperStats();
 
+// Fault-injection hook for helper-boundary operations. The ebpf layer cannot
+// depend on core (where FaultInjector lives), so fallible helpers consult
+// this raw hook; enetstl::FaultInjector::Global() installs itself here on
+// first use. With no hook installed the probe is a single branch.
+using HelperFaultHook = bool (*)(const char* point);
+void SetHelperFaultHook(HelperFaultHook hook);
+
+// True when an installed hook says the named fault point fails this call.
+bool HelperFaultTriggered(const char* point);
+
 namespace helpers {
 
 // bpf_get_prandom_u32: the kernel's tausworthe generator, including the

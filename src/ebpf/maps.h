@@ -86,6 +86,9 @@ class ArrayMap {
   ENETSTL_NOINLINE int UpdateElem(u32 index, const V& value) {
     ++GlobalHelperStats().map_update_calls;
     CompilerBarrier();
+    if (HelperFaultTriggered("helper.map_update")) {
+      return kErrNoSpc;
+    }
     if (index >= values_.size()) {
       return kErrInval;
     }
@@ -241,6 +244,9 @@ class HashMap {
   ENETSTL_NOINLINE int UpdateElem(const K& key, const V& value) {
     ++GlobalHelperStats().map_update_calls;
     CompilerBarrier();
+    if (HelperFaultTriggered("helper.map_update")) {
+      return kErrNoSpc;
+    }
     const u32 b = BucketOf(key);
     BpfSpinLockGuard guard(bucket_locks_[b]);
     for (u32 idx = buckets_[b]; idx != kNil; idx = elems_[idx].next) {
@@ -353,6 +359,9 @@ class LruHashMap {
   ENETSTL_NOINLINE int UpdateElem(const K& key, const V& value) {
     ++GlobalHelperStats().map_update_calls;
     CompilerBarrier();
+    if (HelperFaultTriggered("helper.map_update")) {
+      return kErrNoSpc;
+    }
     u32 idx = Find(key);
     if (idx != kNil) {
       elems_[idx].value = value;

@@ -91,10 +91,12 @@ VerifyResult Verifier::Verify(const ProgramSpec& spec) const {
 }
 
 void RefLeakChecker::OnAcquire(const void* ptr, const std::string& resource_class) {
+  std::lock_guard<std::mutex> lock(mu_);
   live_[ptr] = resource_class;
 }
 
 bool RefLeakChecker::OnRelease(const void* ptr, const std::string& resource_class) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = live_.find(ptr);
   if (it == live_.end() || it->second != resource_class) {
     return false;
@@ -103,9 +105,13 @@ bool RefLeakChecker::OnRelease(const void* ptr, const std::string& resource_clas
   return true;
 }
 
-std::size_t RefLeakChecker::LiveCount() const { return live_.size(); }
+std::size_t RefLeakChecker::LiveCount() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return live_.size();
+}
 
 std::size_t RefLeakChecker::LiveCount(const std::string& resource_class) const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::size_t count = 0;
   for (const auto& [ptr, cls] : live_) {
     if (cls == resource_class) {
@@ -115,6 +121,9 @@ std::size_t RefLeakChecker::LiveCount(const std::string& resource_class) const {
   return count;
 }
 
-void RefLeakChecker::Reset() { live_.clear(); }
+void RefLeakChecker::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  live_.clear();
+}
 
 }  // namespace ebpf

@@ -23,6 +23,7 @@
 
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <set>
 #include <string>
 #include <vector>
@@ -119,6 +120,8 @@ class Verifier {
 
 // Runtime acquire/release tracker. Datapath code does not use it; tests wrap
 // API sequences with it to prove the discipline holds dynamically.
+// Thread-safe: sharded-pipeline tests record acquires/releases from every
+// worker thread against one shared checker.
 class RefLeakChecker {
  public:
   void OnAcquire(const void* ptr, const std::string& resource_class);
@@ -130,6 +133,7 @@ class RefLeakChecker {
   void Reset();
 
  private:
+  mutable std::mutex mu_;
   std::map<const void*, std::string> live_;
 };
 

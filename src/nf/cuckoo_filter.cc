@@ -4,6 +4,7 @@
 
 #include "core/compare.h"
 #include "core/compare_inl.h"
+#include "core/fault_injector.h"
 #include "core/hash.h"
 #include "core/hash_inl.h"
 
@@ -36,9 +37,14 @@ inline ebpf::s32 ScalarFindFp(const FilterBucket& b, u16 fp) {
 
 // Shared displacement insert (fingerprints carry no key, so random-walk
 // kicking loses nothing: a displaced fingerprint is re-placed each step).
+// On kick exhaustion the new fingerprint is resident (the first kick wrote
+// it) and the final in-hand fingerprint — a previously added one — is
+// returned via *leftover_bucket / *leftover_fp for the caller to park;
+// returns false without touching the size counter in that case.
 template <typename FindFp>
 bool GenericAdd(FilterBucket* buckets, u32 mask, u32 max_kicks, u64& rng,
-                u32 b1, u16 fp, FindFp find_empty, u32* size) {
+                u32 b1, u16 fp, FindFp find_empty, u32* size,
+                u32* leftover_bucket, u16* leftover_fp) {
   const u32 b2 = AltBucket(b1, fp, mask);
   for (u32 b : {b1, b2}) {
     const ebpf::s32 empty = find_empty(buckets[b], u16{0});
@@ -67,18 +73,11 @@ bool GenericAdd(FilterBucket* buckets, u32 mask, u32 max_kicks, u64& rng,
       return true;
     }
   }
-  // Undo is impossible for a random walk; report failure with the last
-  // displaced fingerprint re-inserted where the new one went. To keep the
-  // filter lossless we swap the in-hand fingerprint back along... instead we
-  // simply re-place the in-hand fingerprint in its primary bucket by
-  // overwriting a pseudo-random slot: membership of previously added keys is
-  // preserved except for that one slot's fingerprint, which is the standard
-  // cuckoo-filter failure mode (the caller should treat Add() == false as
-  // "filter is over capacity").
-  rng ^= rng << 13;
-  rng ^= rng >> 7;
-  rng ^= rng << 17;
-  buckets[cur].fps[static_cast<u32>(rng) % kFilterSlotsPerBucket] = in_hand;
+  // Undo is impossible for a random walk: hand the in-hand fingerprint back
+  // to the caller. `cur` is on its two-bucket orbit, so (cur, in_hand)
+  // identifies it for stash membership checks.
+  *leftover_bucket = cur;
+  *leftover_fp = in_hand;
   return false;
 }
 
@@ -112,6 +111,62 @@ void CuckooFilterBase::ProcessBurst(ebpf::XdpContext* ctxs, u32 count,
   }
 }
 
+bool CuckooFilterBase::AddWithStash(FilterBucket* buckets, u32 h,
+                                    FindFpFn find_empty) {
+  const u16 fp = MakeFp(h);
+  const u32 b1 = h & bucket_mask_;
+  // Forced kick-chain exhaustion: skip placement, park the new fingerprint.
+  u32 leftover_bucket = b1;
+  u16 leftover_fp = fp;
+  const bool forced =
+      enetstl::FaultInjector::Global().ShouldFail("cuckoo_filter.add");
+  if (!forced &&
+      GenericAdd(buckets, bucket_mask_, config_.max_kicks, kick_rng_, b1, fp,
+                 find_empty, &size_, &leftover_bucket, &leftover_fp)) {
+    return true;
+  }
+  if (stash_.size() < config_.stash_capacity) {
+    stash_.push_back(FpStashEntry{leftover_bucket, leftover_fp});
+    ++degrade_stats_.stash_parks;
+    degraded_ = true;
+    ++size_;
+    return true;
+  }
+  // Stash full: historical lossy failure mode — the in-hand fingerprint
+  // overwrites a pseudo-random slot of its current bucket (net table
+  // population unchanged, so size_ stays consistent without an increment).
+  kick_rng_ ^= kick_rng_ << 13;
+  kick_rng_ ^= kick_rng_ >> 7;
+  kick_rng_ ^= kick_rng_ << 17;
+  buckets[leftover_bucket]
+      .fps[static_cast<u32>(kick_rng_) % kFilterSlotsPerBucket] = leftover_fp;
+  ++degrade_stats_.stash_drops;
+  return false;
+}
+
+bool CuckooFilterBase::StashContains(u32 b1, u16 fp) const {
+  for (const FpStashEntry& e : stash_) {
+    if (e.fp == fp &&
+        (e.bucket == b1 || e.bucket == AltBucket(b1, fp, bucket_mask_))) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool CuckooFilterBase::StashRemove(u32 b1, u16 fp) {
+  for (std::size_t i = 0; i < stash_.size(); ++i) {
+    const FpStashEntry& e = stash_[i];
+    if (e.fp == fp &&
+        (e.bucket == b1 || e.bucket == AltBucket(b1, fp, bucket_mask_))) {
+      stash_.erase(stash_.begin() + static_cast<std::ptrdiff_t>(i));
+      degraded_ = !stash_.empty();
+      return true;
+    }
+  }
+  return false;
+}
+
 // ---------------------------------------------------------------------------
 // CuckooFilterEbpf
 // ---------------------------------------------------------------------------
@@ -126,9 +181,7 @@ bool CuckooFilterEbpf::Add(const ebpf::FiveTuple& key) {
     return false;
   }
   const u32 h = enetstl::XxHash32Bpf(&key, sizeof(key), config_.seed);
-  const u16 fp = MakeFp(h);
-  return GenericAdd(buckets, bucket_mask_, config_.max_kicks, kick_rng_,
-                    h & bucket_mask_, fp, ScalarFindFp, &size_);
+  return AddWithStash(buckets, h, ScalarFindFp);
 }
 
 bool CuckooFilterEbpf::Contains(const ebpf::FiveTuple& key) {
@@ -143,7 +196,10 @@ bool CuckooFilterEbpf::Contains(const ebpf::FiveTuple& key) {
     return true;
   }
   const u32 b2 = AltBucket(b1, fp, bucket_mask_);
-  return ScalarFindFp(buckets[b2], fp) >= 0;
+  if (ScalarFindFp(buckets[b2], fp) >= 0) {
+    return true;
+  }
+  return degraded() && StashContains(b1, fp);
 }
 
 bool CuckooFilterEbpf::Remove(const ebpf::FiveTuple& key) {
@@ -161,6 +217,10 @@ bool CuckooFilterEbpf::Remove(const ebpf::FiveTuple& key) {
       --size_;
       return true;
     }
+  }
+  if (degraded() && StashRemove(b1, fp)) {
+    --size_;
+    return true;
   }
   return false;
 }
@@ -185,9 +245,7 @@ inline ebpf::s32 KernelFindFp(const FilterBucket& b, u16 fp) {
 bool CuckooFilterKernel::Add(const ebpf::FiveTuple& key) {
   const u32 h =
       enetstl::internal::HwHashCrcImpl(&key, sizeof(key), config_.seed);
-  const u16 fp = MakeFp(h);
-  return GenericAdd(buckets_.data(), bucket_mask_, config_.max_kicks, kick_rng_,
-                    h & bucket_mask_, fp, KernelFindFp, &size_);
+  return AddWithStash(buckets_.data(), h, KernelFindFp);
 }
 
 bool CuckooFilterKernel::Contains(const ebpf::FiveTuple& key) {
@@ -198,7 +256,10 @@ bool CuckooFilterKernel::Contains(const ebpf::FiveTuple& key) {
   if (KernelFindFp(buckets_[b1], fp) >= 0) {
     return true;
   }
-  return KernelFindFp(buckets_[AltBucket(b1, fp, bucket_mask_)], fp) >= 0;
+  if (KernelFindFp(buckets_[AltBucket(b1, fp, bucket_mask_)], fp) >= 0) {
+    return true;
+  }
+  return degraded() && StashContains(b1, fp);
 }
 
 bool CuckooFilterKernel::Remove(const ebpf::FiveTuple& key) {
@@ -213,6 +274,10 @@ bool CuckooFilterKernel::Remove(const ebpf::FiveTuple& key) {
       --size_;
       return true;
     }
+  }
+  if (degraded() && StashRemove(b1, fp)) {
+    --size_;
+    return true;
   }
   return false;
 }
@@ -237,7 +302,8 @@ void CuckooFilterKernel::ContainsBatch(const ebpf::FiveTuple* keys, u32 n,
       out[start + i] =
           KernelFindFp(buckets[b1[i]], fp[i]) >= 0 ||
           KernelFindFp(buckets[AltBucket(b1[i], fp[i], bucket_mask_)],
-                       fp[i]) >= 0;
+                       fp[i]) >= 0 ||
+          (degraded() && StashContains(b1[i], fp[i]));
     }
   }
 }
@@ -264,9 +330,7 @@ bool CuckooFilterEnetstl::Add(const ebpf::FiveTuple& key) {
     return false;
   }
   const u32 h = enetstl::HwHashCrc(&key, sizeof(key), config_.seed);
-  const u16 fp = MakeFp(h);
-  return GenericAdd(buckets, bucket_mask_, config_.max_kicks, kick_rng_,
-                    h & bucket_mask_, fp, EnetstlFindFp, &size_);
+  return AddWithStash(buckets, h, EnetstlFindFp);
 }
 
 bool CuckooFilterEnetstl::Contains(const ebpf::FiveTuple& key) {
@@ -280,7 +344,10 @@ bool CuckooFilterEnetstl::Contains(const ebpf::FiveTuple& key) {
   if (EnetstlFindFp(buckets[b1], fp) >= 0) {
     return true;
   }
-  return EnetstlFindFp(buckets[AltBucket(b1, fp, bucket_mask_)], fp) >= 0;
+  if (EnetstlFindFp(buckets[AltBucket(b1, fp, bucket_mask_)], fp) >= 0) {
+    return true;
+  }
+  return degraded() && StashContains(b1, fp);
 }
 
 bool CuckooFilterEnetstl::Remove(const ebpf::FiveTuple& key) {
@@ -298,6 +365,10 @@ bool CuckooFilterEnetstl::Remove(const ebpf::FiveTuple& key) {
       --size_;
       return true;
     }
+  }
+  if (degraded() && StashRemove(b1, fp)) {
+    --size_;
+    return true;
   }
   return false;
 }
@@ -325,7 +396,8 @@ void CuckooFilterEnetstl::ContainsBatch(const ebpf::FiveTuple* keys, u32 n,
       const u32 b1 = h[i] & bucket_mask_;
       out[start + i] =
           EnetstlFindFp(buckets[b1], fp) >= 0 ||
-          EnetstlFindFp(buckets[AltBucket(b1, fp, bucket_mask_)], fp) >= 0;
+          EnetstlFindFp(buckets[AltBucket(b1, fp, bucket_mask_)], fp) >= 0 ||
+          (degraded() && StashContains(b1, fp));
     }
   }
 }

@@ -8,6 +8,15 @@
 //
 // Variants mirror cuckoo_switch: eBPF (scalar hash + slot loop), kernel
 // (inline CRC + inline SIMD FindU16), eNetSTL (hw_hash_crc + FindU16 kfuncs).
+//
+// Graceful degradation (DESIGN.md "Robustness model"): a failed kick chain —
+// natural exhaustion or the forced "cuckoo_filter.add" fault point — parks
+// the in-hand fingerprint in a bounded victim stash instead of overwriting a
+// random occupant, so no previously added key loses membership. Unlike the
+// cuckoo tables the filter cannot resize incrementally: it stores only
+// (bucket, fingerprint), and the bucket index under a wider mask cannot be
+// recovered from the stored pair, so the stash is the whole degradation
+// story here.
 #ifndef ENETSTL_NF_CUCKOO_FILTER_H_
 #define ENETSTL_NF_CUCKOO_FILTER_H_
 
@@ -22,6 +31,8 @@ struct CuckooFilterConfig {
   u32 num_buckets = 4096;  // power of two
   u32 seed = 0xc3a5c85cu;
   u32 max_kicks = 256;
+  // Victim-stash bound; 0 restores the historical lossy kick-failure mode.
+  u32 stash_capacity = 16;
 };
 
 inline constexpr u32 kFilterSlotsPerBucket = 4;
@@ -63,14 +74,44 @@ class CuckooFilterBase : public NetworkFunction {
 
   std::string_view name() const override { return "cuckoo-filter"; }
   const CuckooFilterConfig& config() const { return config_; }
+  // Fingerprints accounted for: resident in the table or parked in the
+  // victim stash.
   u32 size() const { return size_; }
   u32 capacity() const { return config_.num_buckets * kFilterSlotsPerBucket; }
 
+  u32 stash_size() const { return static_cast<u32>(stash_.size()); }
+  bool degraded() const { return degraded_; }
+  const CuckooDegradeStats& degrade_stats() const { return degrade_stats_; }
+
  protected:
+  using FindFpFn = ebpf::s32 (*)(const FilterBucket& bucket, u16 fp);
+
+  // Shared add: displacement insert with the variant's empty-slot finder,
+  // stash parking on kick exhaustion, and the "cuckoo_filter.add" forced
+  // fault point. `h` is the variant hash of the key.
+  bool AddWithStash(FilterBucket* buckets, u32 h, FindFpFn find_empty);
+
+  // Stash probes for the degraded membership/removal paths. `b1` is the
+  // query's primary bucket; a stash entry matches if its fingerprint is
+  // equal and its recorded bucket is on the query's two-bucket orbit.
+  bool StashContains(u32 b1, u16 fp) const;
+  // Removes one matching stash entry; caller owns the size_ decrement.
+  bool StashRemove(u32 b1, u16 fp);
+
   CuckooFilterConfig config_;
   u32 bucket_mask_;
   u32 size_ = 0;
   u64 kick_rng_ = 0x9e3779b97f4a7c15ull;
+
+ private:
+  struct FpStashEntry {
+    u32 bucket;
+    u16 fp;
+  };
+
+  bool degraded_ = false;
+  std::vector<FpStashEntry> stash_;
+  CuckooDegradeStats degrade_stats_;
 };
 
 class CuckooFilterEbpf : public CuckooFilterBase {

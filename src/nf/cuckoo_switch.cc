@@ -4,6 +4,7 @@
 
 #include "core/compare.h"
 #include "core/compare_inl.h"
+#include "core/fault_injector.h"
 #include "core/hash.h"
 #include "core/hash_inl.h"
 
@@ -62,38 +63,46 @@ inline ebpf::s32 FindEmptySlot(const CuckooBucket& b) {
   return -1;
 }
 
-// BFS cuckoo insert: finds a displacement path to an empty slot and applies
-// it back-to-front, so a failed insert leaves the table untouched (no key is
-// ever lost). Shared across variants, parameterized only by the hash.
-template <typename HashFn>
-bool GenericInsert(CuckooBucket* buckets, u32 mask, u32 seed, HashFn hash,
-                   const ebpf::FiveTuple& key, u64 value, u32* size) {
-  const u32 h = hash(&key, sizeof(key), seed);
-  const u32 sig = MakeSig(h);
-  const u32 b1 = h & mask;
-  const u32 b2 = AltBucket(b1, sig, mask);
-
-  // Update in place if present.
-  for (u32 b : {b1, b2}) {
-    for (u32 s = 0; s < kCuckooSlotsPerBucket; ++s) {
-      if (buckets[b].sigs[s] == sig &&
-          std::memcmp(buckets[b].keys[s], &key, 16) == 0) {
-        buckets[b].values[s] = value;
-        return true;
-      }
+// Scalar signature+key match over a bucket (control plane and degraded
+// lookup path).
+inline ebpf::s32 ScalarFindSlot(const CuckooBucket& b, u32 sig,
+                                const u8* key16) {
+  for (u32 s = 0; s < kCuckooSlotsPerBucket; ++s) {
+    if (b.sigs[s] == sig && std::memcmp(b.keys[s], key16, 16) == 0) {
+      return static_cast<ebpf::s32>(s);
     }
   }
+  return -1;
+}
 
-  Entry entry;
-  entry.sig = sig;
-  std::memcpy(entry.key, &key, 16);
-  entry.value = value;
+// Update-in-place when the key is already resident in the given table.
+inline bool TryUpdateInPlace(CuckooBucket* buckets, u32 mask, u32 h, u32 sig,
+                             const ebpf::FiveTuple& key, u64 value) {
+  const u32 b1 = h & mask;
+  const u32 b2 = AltBucket(b1, sig, mask);
+  for (u32 b : {b1, b2}) {
+    const ebpf::s32 slot =
+        ScalarFindSlot(buckets[b], sig, reinterpret_cast<const u8*>(&key));
+    if (slot >= 0) {
+      buckets[b].values[slot] = value;
+      return true;
+    }
+  }
+  return false;
+}
+
+// BFS cuckoo placement of a NEW entry: finds a displacement path to an empty
+// slot and applies it back-to-front, so a failed placement leaves the table
+// untouched (no key is ever lost). Shared across variants and by the
+// migration/stash-drain machinery. Does NOT touch the size counter.
+bool TryPlaceNew(CuckooBucket* buckets, u32 mask, u32 h, const Entry& entry) {
+  const u32 b1 = h & mask;
+  const u32 b2 = AltBucket(b1, entry.sig, mask);
 
   for (u32 b : {b1, b2}) {
     const ebpf::s32 empty = FindEmptySlot(buckets[b]);
     if (empty >= 0) {
       WriteSlot(buckets[b], static_cast<u32>(empty), entry);
-      ++*size;
       return true;
     }
   }
@@ -136,7 +145,6 @@ bool GenericInsert(CuckooBucket* buckets, u32 mask, u32 seed, HashFn hash,
           cur = nodes[cur].parent;
         }
         WriteSlot(buckets[hole_bucket], hole_slot, entry);
-        ++*size;
         return true;
       }
       if (nodes.size() < kMaxNodes) {
@@ -147,22 +155,34 @@ bool GenericInsert(CuckooBucket* buckets, u32 mask, u32 seed, HashFn hash,
   return false;
 }
 
-template <typename HashFn, typename EraseFind>
-bool GenericErase(CuckooBucket* buckets, u32 mask, u32 seed, HashFn hash,
-                  EraseFind find_slot, const ebpf::FiveTuple& key, u32* size) {
-  const u32 h = hash(&key, sizeof(key), seed);
-  const u32 sig = MakeSig(h);
+inline bool EraseFromTable(CuckooBucket* buckets, u32 mask, u32 h, u32 sig,
+                           const ebpf::FiveTuple& key) {
   const u32 b1 = h & mask;
   const u32 b2 = AltBucket(b1, sig, mask);
   for (u32 b : {b1, b2}) {
-    const ebpf::s32 slot = find_slot(buckets[b], key, sig);
+    const ebpf::s32 slot =
+        ScalarFindSlot(buckets[b], sig, reinterpret_cast<const u8*>(&key));
     if (slot >= 0) {
       ClearSlot(buckets[b], static_cast<u32>(slot));
-      --*size;
       return true;
     }
   }
   return false;
+}
+
+// Per-variant datapath hashes (also used by the shared control plane so the
+// tables it builds are bit-identical to what each variant's lookup expects).
+
+inline u32 EbpfHash(const void* key, std::size_t len, u32 seed) {
+  return enetstl::XxHash32Bpf(key, len, seed);
+}
+
+inline u32 KernelHash(const void* key, std::size_t len, u32 seed) {
+  return enetstl::internal::HwHashCrcImpl(key, len, seed);
+}
+
+inline u32 EnetstlHash(const void* key, std::size_t len, u32 seed) {
+  return enetstl::HwHashCrc(key, len, seed);  // kfunc call
 }
 
 }  // namespace
@@ -195,12 +215,220 @@ void CuckooSwitchBase::ProcessBurst(ebpf::XdpContext* ctxs, u32 count,
   }
 }
 
+bool CuckooSwitchBase::InsertImpl(const ebpf::FiveTuple& key, u64 value) {
+  if (migrating()) {
+    MigrateStep();  // may finish the resize and swap tables
+  }
+  CuckooBucket* cur = MutableBuckets();
+  if (cur == nullptr) {
+    return false;
+  }
+  const u32 h = hash_fn_(&key, sizeof(key), config_.seed);
+  const u32 sig = MakeSig(h);
+
+  // Update wherever the key currently lives: stash, in-flight new table,
+  // primary table.
+  if (!stash_.empty()) {
+    for (StashEntry& e : stash_) {
+      if (e.sig == sig && std::memcmp(e.key, &key, 16) == 0) {
+        e.value = value;
+        return true;
+      }
+    }
+  }
+  if (migrating() &&
+      TryUpdateInPlace(next_.data(), next_mask_, h, sig, key, value)) {
+    return true;
+  }
+  if (TryUpdateInPlace(cur, bucket_mask_, h, sig, key, value)) {
+    return true;
+  }
+
+  Entry entry;
+  entry.sig = sig;
+  std::memcpy(entry.key, &key, 16);
+  entry.value = value;
+
+  // Forced kick-chain exhaustion: skip placement, go straight to the stash.
+  const bool forced =
+      enetstl::FaultInjector::Global().ShouldFail("cuckoo_switch.insert");
+  if (!forced) {
+    // During a migration new entries go to the new table only, so the
+    // migration cursor never has to revisit drained old buckets.
+    if (migrating()) {
+      if (TryPlaceNew(next_.data(), next_mask_, h, entry)) {
+        ++size_;
+        return true;
+      }
+    } else if (TryPlaceNew(cur, bucket_mask_, h, entry)) {
+      ++size_;
+      return true;
+    }
+  }
+
+  if (!StashPut(sig, entry.key, value)) {
+    return false;  // stash full: insert fails, table left untouched
+  }
+  ++size_;
+  MaybeStartResize();
+  return true;
+}
+
+bool CuckooSwitchBase::EraseImpl(const ebpf::FiveTuple& key) {
+  if (migrating()) {
+    MigrateStep();
+  }
+  CuckooBucket* cur = MutableBuckets();
+  if (cur == nullptr) {
+    return false;
+  }
+  const u32 h = hash_fn_(&key, sizeof(key), config_.seed);
+  const u32 sig = MakeSig(h);
+  if (EraseFromTable(cur, bucket_mask_, h, sig, key)) {
+    --size_;
+    return true;
+  }
+  if (migrating() && EraseFromTable(next_.data(), next_mask_, h, sig, key)) {
+    --size_;
+    return true;
+  }
+  for (std::size_t i = 0; i < stash_.size(); ++i) {
+    if (stash_[i].sig == sig && std::memcmp(stash_[i].key, &key, 16) == 0) {
+      stash_.erase(stash_.begin() + static_cast<std::ptrdiff_t>(i));
+      --size_;
+      UpdateDegraded();
+      return true;
+    }
+  }
+  return false;
+}
+
+std::optional<u64> CuckooSwitchBase::LookupDegraded(const ebpf::FiveTuple& key,
+                                                    u32 h) const {
+  const u32 sig = MakeSig(h);
+  if (!next_.empty()) {
+    const u32 b1 = h & next_mask_;
+    ebpf::s32 slot = ScalarFindSlot(next_[b1], sig,
+                                    reinterpret_cast<const u8*>(&key));
+    if (slot >= 0) {
+      return next_[b1].values[slot];
+    }
+    const u32 b2 = AltBucket(b1, sig, next_mask_);
+    slot = ScalarFindSlot(next_[b2], sig, reinterpret_cast<const u8*>(&key));
+    if (slot >= 0) {
+      return next_[b2].values[slot];
+    }
+  }
+  for (const StashEntry& e : stash_) {
+    if (e.sig == sig && std::memcmp(e.key, &key, 16) == 0) {
+      return e.value;
+    }
+  }
+  return std::nullopt;
+}
+
+bool CuckooSwitchBase::StashPut(u32 sig, const u8* key16, u64 value) {
+  if (stash_.size() >= config_.stash_capacity) {
+    return false;
+  }
+  StashEntry e;
+  e.sig = sig;
+  std::memcpy(e.key, key16, 16);
+  e.value = value;
+  stash_.push_back(e);
+  ++degrade_stats_.stash_parks;
+  UpdateDegraded();
+  return true;
+}
+
+void CuckooSwitchBase::MaybeStartResize() {
+  if (!config_.auto_resize || migrating()) {
+    return;
+  }
+  if (stash_.size() < config_.resize_watermark) {
+    return;
+  }
+  const u32 new_buckets = config_.num_buckets * 2;
+  next_.assign(new_buckets, CuckooBucket{});
+  next_mask_ = new_buckets - 1;
+  migrate_pos_ = 0;
+  ++degrade_stats_.resizes_started;
+  UpdateDegraded();
+}
+
+void CuckooSwitchBase::MigrateStep() {
+  CuckooBucket* cur = MutableBuckets();
+  if (cur == nullptr) {
+    return;
+  }
+  u32 budget = config_.migrate_buckets_per_op;
+  while (budget > 0 && migrate_pos_ < config_.num_buckets) {
+    CuckooBucket& b = cur[migrate_pos_];
+    for (u32 s = 0; s < kCuckooSlotsPerBucket; ++s) {
+      if (b.sigs[s] == 0) {
+        continue;
+      }
+      Entry e;
+      ReadSlot(b, s, &e);
+      const u32 h = hash_fn_(e.key, 16, config_.seed);
+      if (!TryPlaceNew(next_.data(), next_mask_, h, e)) {
+        // Placement into a half-empty 2x table should not fail; if it does,
+        // the stash is the backstop, and only a full stash loses the entry.
+        if (!StashPut(e.sig, e.key, e.value)) {
+          ++degrade_stats_.stash_drops;
+          --size_;
+        }
+      }
+      ClearSlot(b, s);
+    }
+    ++migrate_pos_;
+    --budget;
+    ++degrade_stats_.units_migrated;
+  }
+  if (migrate_pos_ >= config_.num_buckets) {
+    FinishResize();
+  }
+}
+
+void CuckooSwitchBase::FinishResize() {
+  const u32 new_buckets = next_mask_ + 1;
+  AdoptBuckets(next_, new_buckets);
+  config_.num_buckets = new_buckets;
+  bucket_mask_ = next_mask_;
+  next_.clear();
+  next_.shrink_to_fit();
+  next_mask_ = 0;
+  migrate_pos_ = 0;
+  ++degrade_stats_.resizes_completed;
+  DrainStash();
+  UpdateDegraded();
+}
+
+void CuckooSwitchBase::DrainStash() {
+  CuckooBucket* cur = MutableBuckets();
+  if (cur == nullptr) {
+    return;
+  }
+  for (std::size_t i = 0; i < stash_.size();) {
+    Entry e;
+    e.sig = stash_[i].sig;
+    std::memcpy(e.key, stash_[i].key, 16);
+    e.value = stash_[i].value;
+    const u32 h = hash_fn_(e.key, 16, config_.seed);
+    if (TryPlaceNew(cur, bucket_mask_, h, e)) {
+      stash_.erase(stash_.begin() + static_cast<std::ptrdiff_t>(i));
+    } else {
+      ++i;
+    }
+  }
+}
+
 // ---------------------------------------------------------------------------
 // CuckooSwitchEbpf
 // ---------------------------------------------------------------------------
 
 CuckooSwitchEbpf::CuckooSwitchEbpf(const CuckooSwitchConfig& config)
-    : CuckooSwitchBase(config),
+    : CuckooSwitchBase(config, EbpfHash),
       table_map_(/*max_entries=*/1,
                  /*value_size=*/config.num_buckets * sizeof(CuckooBucket)) {}
 
@@ -227,19 +455,23 @@ inline ebpf::s32 EbpfFindSlot(const CuckooBucket& b, const ebpf::FiveTuple& key,
   return -1;
 }
 
-inline u32 EbpfHash(const void* key, std::size_t len, u32 seed) {
-  return enetstl::XxHash32Bpf(key, len, seed);
-}
-
 }  // namespace
 
+CuckooBucket* CuckooSwitchEbpf::MutableBuckets() {
+  return static_cast<CuckooBucket*>(table_map_.LookupElem(0));
+}
+
+void CuckooSwitchEbpf::AdoptBuckets(const std::vector<CuckooBucket>& next,
+                                    u32 num_buckets) {
+  table_map_ = ebpf::RawArrayMap(/*max_entries=*/1,
+                                 /*value_size=*/num_buckets *
+                                     sizeof(CuckooBucket));
+  std::memcpy(table_map_.LookupElem(0), next.data(),
+              static_cast<std::size_t>(num_buckets) * sizeof(CuckooBucket));
+}
+
 bool CuckooSwitchEbpf::Insert(const ebpf::FiveTuple& key, u64 value) {
-  auto* buckets = static_cast<CuckooBucket*>(table_map_.LookupElem(0));
-  if (buckets == nullptr) {
-    return false;
-  }
-  return GenericInsert(buckets, bucket_mask_, config_.seed, EbpfHash, key,
-                       value, &size_);
+  return InsertImpl(key, value);
 }
 
 std::optional<u64> CuckooSwitchEbpf::Lookup(const ebpf::FiveTuple& key) {
@@ -259,16 +491,14 @@ std::optional<u64> CuckooSwitchEbpf::Lookup(const ebpf::FiveTuple& key) {
   if (slot >= 0) {
     return buckets[b2].values[slot];
   }
+  if (degraded()) {
+    return LookupDegraded(key, h);
+  }
   return std::nullopt;
 }
 
 bool CuckooSwitchEbpf::Erase(const ebpf::FiveTuple& key) {
-  auto* buckets = static_cast<CuckooBucket*>(table_map_.LookupElem(0));
-  if (buckets == nullptr) {
-    return false;
-  }
-  return GenericErase(buckets, bucket_mask_, config_.seed, EbpfHash,
-                      EbpfFindSlot, key, &size_);
+  return EraseImpl(key);
 }
 
 // ---------------------------------------------------------------------------
@@ -276,15 +506,11 @@ bool CuckooSwitchEbpf::Erase(const ebpf::FiveTuple& key) {
 // ---------------------------------------------------------------------------
 
 CuckooSwitchKernel::CuckooSwitchKernel(const CuckooSwitchConfig& config)
-    : CuckooSwitchBase(config), buckets_(config.num_buckets) {
+    : CuckooSwitchBase(config, KernelHash), buckets_(config.num_buckets) {
   std::memset(buckets_.data(), 0, buckets_.size() * sizeof(CuckooBucket));
 }
 
 namespace {
-
-inline u32 KernelHash(const void* key, std::size_t len, u32 seed) {
-  return enetstl::internal::HwHashCrcImpl(key, len, seed);
-}
 
 // Signature-first probing (the CuckooSwitch design): one SIMD compare over
 // the 32-byte signature lane finds the candidate slot, and only that slot's
@@ -319,9 +545,13 @@ inline ebpf::s32 KernelFindSlot(const CuckooBucket& b,
 
 }  // namespace
 
+void CuckooSwitchKernel::AdoptBuckets(const std::vector<CuckooBucket>& next,
+                                      u32 num_buckets) {
+  buckets_.assign(next.begin(), next.begin() + num_buckets);
+}
+
 bool CuckooSwitchKernel::Insert(const ebpf::FiveTuple& key, u64 value) {
-  return GenericInsert(buckets_.data(), bucket_mask_, config_.seed, KernelHash,
-                       key, value, &size_);
+  return InsertImpl(key, value);
 }
 
 std::optional<u64> CuckooSwitchKernel::Lookup(const ebpf::FiveTuple& key) {
@@ -337,12 +567,14 @@ std::optional<u64> CuckooSwitchKernel::Lookup(const ebpf::FiveTuple& key) {
   if (slot >= 0) {
     return buckets_[b2].values[slot];
   }
+  if (degraded()) {
+    return LookupDegraded(key, h);
+  }
   return std::nullopt;
 }
 
 bool CuckooSwitchKernel::Erase(const ebpf::FiveTuple& key) {
-  return GenericErase(buckets_.data(), bucket_mask_, config_.seed, KernelHash,
-                      KernelFindSlot, key, &size_);
+  return EraseImpl(key);
 }
 
 void CuckooSwitchKernel::LookupBatch(const ebpf::FiveTuple* keys, u32 n,
@@ -350,15 +582,16 @@ void CuckooSwitchKernel::LookupBatch(const ebpf::FiveTuple* keys, u32 n,
   CuckooBucket* buckets = buckets_.data();
   for (u32 start = 0; start < n; start += kMaxNfBurst) {
     const u32 chunk = (n - start < kMaxNfBurst) ? n - start : kMaxNfBurst;
+    u32 h[kMaxNfBurst];
     u32 sig[kMaxNfBurst];
     u32 b1[kMaxNfBurst];
     // Stage 1: hash every key of the burst and prefetch its primary bucket,
     // so the probe stage finds the cache lines already in flight.
     for (u32 i = 0; i < chunk; ++i) {
-      const u32 h = KernelHash(&keys[start + i], sizeof(ebpf::FiveTuple),
-                               config_.seed);
-      sig[i] = MakeSig(h);
-      b1[i] = h & bucket_mask_;
+      h[i] = KernelHash(&keys[start + i], sizeof(ebpf::FiveTuple),
+                        config_.seed);
+      sig[i] = MakeSig(h[i]);
+      b1[i] = h[i] & bucket_mask_;
       enetstl::internal::PrefetchRead(&buckets[b1[i]]);
     }
     // Stage 2: probe primary, then alternate on signature miss.
@@ -371,9 +604,11 @@ void CuckooSwitchKernel::LookupBatch(const ebpf::FiveTuple* keys, u32 n,
       }
       const u32 b2 = AltBucket(b1[i], sig[i], bucket_mask_);
       slot = KernelFindSlot(buckets[b2], key, sig[i]);
-      out[start + i] = slot >= 0
-                           ? std::optional<u64>(buckets[b2].values[slot])
-                           : std::nullopt;
+      if (slot >= 0) {
+        out[start + i] = buckets[b2].values[slot];
+        continue;
+      }
+      out[start + i] = degraded() ? LookupDegraded(key, h[i]) : std::nullopt;
     }
   }
 }
@@ -383,15 +618,11 @@ void CuckooSwitchKernel::LookupBatch(const ebpf::FiveTuple* keys, u32 n,
 // ---------------------------------------------------------------------------
 
 CuckooSwitchEnetstl::CuckooSwitchEnetstl(const CuckooSwitchConfig& config)
-    : CuckooSwitchBase(config),
+    : CuckooSwitchBase(config, EnetstlHash),
       table_map_(/*max_entries=*/1,
                  /*value_size=*/config.num_buckets * sizeof(CuckooBucket)) {}
 
 namespace {
-
-inline u32 EnetstlHash(const void* key, std::size_t len, u32 seed) {
-  return enetstl::HwHashCrc(key, len, seed);  // kfunc call
-}
 
 // find_simd kfunc over the bucket's signature lane, then a single full-key
 // confirm — the signature-first probe, with the SIMD compare as a kfunc.
@@ -404,13 +635,21 @@ inline ebpf::s32 EnetstlFindSlot(const CuckooBucket& b,
 
 }  // namespace
 
+CuckooBucket* CuckooSwitchEnetstl::MutableBuckets() {
+  return static_cast<CuckooBucket*>(table_map_.LookupElem(0));
+}
+
+void CuckooSwitchEnetstl::AdoptBuckets(const std::vector<CuckooBucket>& next,
+                                       u32 num_buckets) {
+  table_map_ = ebpf::RawArrayMap(/*max_entries=*/1,
+                                 /*value_size=*/num_buckets *
+                                     sizeof(CuckooBucket));
+  std::memcpy(table_map_.LookupElem(0), next.data(),
+              static_cast<std::size_t>(num_buckets) * sizeof(CuckooBucket));
+}
+
 bool CuckooSwitchEnetstl::Insert(const ebpf::FiveTuple& key, u64 value) {
-  auto* buckets = static_cast<CuckooBucket*>(table_map_.LookupElem(0));
-  if (buckets == nullptr) {
-    return false;
-  }
-  return GenericInsert(buckets, bucket_mask_, config_.seed, EnetstlHash, key,
-                       value, &size_);
+  return InsertImpl(key, value);
 }
 
 std::optional<u64> CuckooSwitchEnetstl::Lookup(const ebpf::FiveTuple& key) {
@@ -430,16 +669,14 @@ std::optional<u64> CuckooSwitchEnetstl::Lookup(const ebpf::FiveTuple& key) {
   if (slot >= 0) {
     return buckets[b2].values[slot];
   }
+  if (degraded()) {
+    return LookupDegraded(key, h);
+  }
   return std::nullopt;
 }
 
 bool CuckooSwitchEnetstl::Erase(const ebpf::FiveTuple& key) {
-  auto* buckets = static_cast<CuckooBucket*>(table_map_.LookupElem(0));
-  if (buckets == nullptr) {
-    return false;
-  }
-  return GenericErase(buckets, bucket_mask_, config_.seed, EnetstlHash,
-                      EnetstlFindSlot, key, &size_);
+  return EraseImpl(key);
 }
 
 void CuckooSwitchEnetstl::LookupBatch(const ebpf::FiveTuple* keys, u32 n,
@@ -473,8 +710,11 @@ void CuckooSwitchEnetstl::LookupBatch(const ebpf::FiveTuple* keys, u32 n,
       }
       const u32 b2 = AltBucket(b1, sig, bucket_mask_);
       slot = EnetstlFindSlot(buckets[b2], key, sig);
-      out[start + i] = slot >= 0 ? std::optional<u64>(buckets[b2].values[slot])
-                                 : std::nullopt;
+      if (slot >= 0) {
+        out[start + i] = buckets[b2].values[slot];
+        continue;
+      }
+      out[start + i] = degraded() ? LookupDegraded(key, h[i]) : std::nullopt;
     }
   }
 }

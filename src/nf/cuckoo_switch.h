@@ -14,6 +14,15 @@
 //  * CuckooSwitchEnetstl — eBPF shape: blob map lookup + hw_hash_crc kfunc +
 //                          find_simd kfuncs (FindU32 over signatures,
 //                          FindKey16 full-key confirm).
+//
+// Graceful degradation (DESIGN.md "Robustness model"): a failed kick chain —
+// natural BFS exhaustion or the forced "cuckoo_switch.insert" fault point —
+// parks the new entry in a bounded victim stash instead of failing the
+// insert. When stash occupancy crosses the resize watermark the table starts
+// an incremental 2x resize: a bounded number of old buckets migrates per
+// mutating operation, so lookups stay correct mid-migration (old table, then
+// new table, then stash). The fast lookup path pays one extra branch only
+// while the structure is degraded.
 #ifndef ENETSTL_NF_CUCKOO_SWITCH_H_
 #define ENETSTL_NF_CUCKOO_SWITCH_H_
 
@@ -29,6 +38,13 @@ struct CuckooSwitchConfig {
   u32 num_buckets = 1024;  // power of two
   u32 seed = 0x5bd1e995u;
   u32 max_kicks = 128;     // displacement bound on insert
+  // Degradation knobs. stash_capacity = 0 disables the stash (inserts fail
+  // hard after a kick-chain exhaustion, the historical behavior);
+  // auto_resize = false pins the table at its initial geometry.
+  u32 stash_capacity = 16;
+  u32 resize_watermark = 8;       // stash occupancy that triggers a resize
+  u32 migrate_buckets_per_op = 4; // old buckets migrated per mutating op
+  bool auto_resize = true;
 };
 
 inline constexpr u32 kCuckooSlotsPerBucket = 8;
@@ -43,11 +59,8 @@ struct CuckooBucket {
 
 class CuckooSwitchBase : public NetworkFunction {
  public:
-  explicit CuckooSwitchBase(const CuckooSwitchConfig& config)
-      : config_(config), bucket_mask_(config.num_buckets - 1) {}
-
-  // Returns false when the table could not place the key (insert failure
-  // after max_kicks displacements).
+  // Returns false only when the entry could not be placed anywhere — table,
+  // displacement path, and victim stash all full.
   virtual bool Insert(const ebpf::FiveTuple& key, u64 value) = 0;
   virtual std::optional<u64> Lookup(const ebpf::FiveTuple& key) = 0;
   virtual bool Erase(const ebpf::FiveTuple& key) = 0;
@@ -80,15 +93,73 @@ class CuckooSwitchBase : public NetworkFunction {
 
   std::string_view name() const override { return "cuckoo-switch"; }
   const CuckooSwitchConfig& config() const { return config_; }
+  // Entries accounted for: resident in the table (old or new) or parked in
+  // the victim stash.
   u32 size() const { return size_; }
   u32 capacity() const {
     return config_.num_buckets * kCuckooSlotsPerBucket;
   }
 
+  u32 stash_size() const { return static_cast<u32>(stash_.size()); }
+  bool migrating() const { return !next_.empty(); }
+  bool degraded() const { return degraded_; }
+  const CuckooDegradeStats& degrade_stats() const { return degrade_stats_; }
+
  protected:
+  // Control-plane hash over the flat 16-byte key; each variant passes its
+  // datapath hash so base-built tables are bit-identical to what the
+  // variant's lookup expects.
+  using HashFn = u32 (*)(const void* key, std::size_t len, u32 seed);
+
+  CuckooSwitchBase(const CuckooSwitchConfig& config, HashFn hash)
+      : config_(config), bucket_mask_(config.num_buckets - 1),
+        hash_fn_(hash) {}
+
+  // Primary-table access for the shared control-plane machinery. Map-backed
+  // variants route this through their map lookup; may return nullptr if the
+  // backing map lost its blob.
+  virtual CuckooBucket* MutableBuckets() = 0;
+  // Installs the fully migrated table as the variant's primary storage.
+  virtual void AdoptBuckets(const std::vector<CuckooBucket>& next,
+                            u32 num_buckets) = 0;
+
+  // Shared insert/erase: stash-aware, migration-aware, and the carrier of
+  // the "cuckoo_switch.insert" forced-fault point.
+  bool InsertImpl(const ebpf::FiveTuple& key, u64 value);
+  bool EraseImpl(const ebpf::FiveTuple& key);
+
+  // Degraded-path lookup, called by variants only after the primary-table
+  // probes miss while degraded(): consults the in-flight new table, then the
+  // stash. `h` is the variant hash of `key`.
+  std::optional<u64> LookupDegraded(const ebpf::FiveTuple& key, u32 h) const;
+
   CuckooSwitchConfig config_;
   u32 bucket_mask_;
   u32 size_ = 0;
+
+ private:
+  struct StashEntry {
+    u32 sig;
+    u8 key[16];
+    u64 value;
+  };
+
+  void MigrateStep();
+  void MaybeStartResize();
+  void FinishResize();
+  void DrainStash();
+  bool StashPut(u32 sig, const u8* key16, u64 value);
+  void UpdateDegraded() { degraded_ = !stash_.empty() || !next_.empty(); }
+
+  HashFn hash_fn_;
+  bool degraded_ = false;
+  std::vector<StashEntry> stash_;
+  // Incremental-resize state: while non-empty, `next_` is the 2x table being
+  // filled; buckets [0, migrate_pos_) of the old table are already drained.
+  std::vector<CuckooBucket> next_;
+  u32 next_mask_ = 0;
+  u32 migrate_pos_ = 0;
+  CuckooDegradeStats degrade_stats_;
 };
 
 class CuckooSwitchEbpf : public CuckooSwitchBase {
@@ -98,6 +169,11 @@ class CuckooSwitchEbpf : public CuckooSwitchBase {
   std::optional<u64> Lookup(const ebpf::FiveTuple& key) override;
   bool Erase(const ebpf::FiveTuple& key) override;
   Variant variant() const override { return Variant::kEbpf; }
+
+ protected:
+  CuckooBucket* MutableBuckets() override;
+  void AdoptBuckets(const std::vector<CuckooBucket>& next,
+                    u32 num_buckets) override;
 
  private:
   ebpf::RawArrayMap table_map_;
@@ -114,6 +190,11 @@ class CuckooSwitchKernel : public CuckooSwitchBase {
                    std::optional<u64>* out) override;
   Variant variant() const override { return Variant::kKernel; }
 
+ protected:
+  CuckooBucket* MutableBuckets() override { return buckets_.data(); }
+  void AdoptBuckets(const std::vector<CuckooBucket>& next,
+                    u32 num_buckets) override;
+
  private:
   std::vector<CuckooBucket> buckets_;
 };
@@ -129,6 +210,11 @@ class CuckooSwitchEnetstl : public CuckooSwitchBase {
   void LookupBatch(const ebpf::FiveTuple* keys, u32 n,
                    std::optional<u64>* out) override;
   Variant variant() const override { return Variant::kEnetstl; }
+
+ protected:
+  CuckooBucket* MutableBuckets() override;
+  void AdoptBuckets(const std::vector<CuckooBucket>& next,
+                    u32 num_buckets) override;
 
  private:
   ebpf::RawArrayMap table_map_;

@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "core/fault_injector.h"
 #include "core/hash.h"
 #include "core/hash_inl.h"
 #include "core/multihash_inl.h"
@@ -58,37 +59,34 @@ DaryCuckooState MakeState(u32 num_slots) {
   return state;
 }
 
-// Shared insert: control-plane operation, identical across variants (the
-// datapath-difference is in Lookup).
-bool GenericInsert(DaryCuckooState& state, const DaryCuckooConfig& config,
-                   u32 slot_mask, u64& rng, const ebpf::FiveTuple& key,
-                   u64 value, u32* size) {
-  u32 pos[8];
-  Positions(key, config.seed, config.d, slot_mask, pos);
-  const u32 sig = MakeSig(key, config.seed);
+struct DaryEntry {
+  u32 sig;
+  ebpf::FiveTuple key;
+  u64 value;
+};
 
-  // Update in place.
-  for (u32 r = 0; r < config.d; ++r) {
-    if (state.sigs[pos[r]] == sig && KeyEquals(state, pos[r], key)) {
-      state.values[pos[r]] = value;
-      return true;
-    }
-  }
-  // Empty candidate.
+// Places a NEW (not-resident) entry: empty candidate first, then a
+// random-walk displacement. Returns true when the walk terminates in an
+// empty slot with every displaced entry re-placed. When the walk exhausts
+// max_kicks the original entry IS resident (the first swap wrote it);
+// *leftover receives the final in-hand victim — a previously inserted
+// entry the caller must park or consciously drop — and the function
+// returns false. (Exception: with max_kicks == 0 and no empty candidate,
+// *leftover is the original entry itself, still unplaced — parking it
+// keeps the insert lossless either way.)
+bool PlaceNew(DaryCuckooState& state, const DaryCuckooConfig& config,
+              u32 mask, u64& rng, const DaryEntry& entry,
+              DaryEntry* leftover) {
+  u32 pos[8];
+  Positions(entry.key, config.seed, config.d, mask, pos);
   for (u32 r = 0; r < config.d; ++r) {
     if (state.sigs[pos[r]] == enetstl::kEmptySig) {
-      WriteSlot(state, pos[r], sig, key, value);
-      ++*size;
+      WriteSlot(state, pos[r], entry.sig, entry.key, entry.value);
       return true;
     }
   }
 
-  // Random-walk displacement. On failure the final in-hand entry is parked
-  // at its first candidate, displacing that occupant — the standard cuckoo
-  // over-capacity failure mode; callers treat false as "table full".
-  ebpf::FiveTuple in_key = key;
-  u64 in_value = value;
-  u32 in_sig = sig;
+  DaryEntry in = entry;
   u32 in_pos[8];
   std::memcpy(in_pos, pos, sizeof(in_pos));
   for (u32 kick = 0; kick < config.max_kicks; ++kick) {
@@ -97,37 +95,22 @@ bool GenericInsert(DaryCuckooState& state, const DaryCuckooConfig& config,
     rng ^= rng << 17;
     const u32 victim_pos = in_pos[static_cast<u32>(rng) % config.d];
     // Swap the in-hand entry with the victim.
-    ebpf::FiveTuple victim_key;
-    std::memcpy(&victim_key, state.keys[victim_pos].data(), 16);
-    const u64 victim_value = state.values[victim_pos];
-    const u32 victim_sig = state.sigs[victim_pos];
-    WriteSlot(state, victim_pos, in_sig, in_key, in_value);
-    in_key = victim_key;
-    in_value = victim_value;
-    in_sig = victim_sig;
-    Positions(in_key, config.seed, config.d, slot_mask, in_pos);
+    DaryEntry victim;
+    std::memcpy(&victim.key, state.keys[victim_pos].data(), 16);
+    victim.value = state.values[victim_pos];
+    victim.sig = state.sigs[victim_pos];
+    WriteSlot(state, victim_pos, in.sig, in.key, in.value);
+    in = victim;
+    Positions(in.key, config.seed, config.d, mask, in_pos);
     for (u32 r = 0; r < config.d; ++r) {
       if (state.sigs[in_pos[r]] == enetstl::kEmptySig) {
-        WriteSlot(state, in_pos[r], in_sig, in_key, in_value);
-        ++*size;
+        WriteSlot(state, in_pos[r], in.sig, in.key, in.value);
         return true;
       }
     }
   }
-  WriteSlot(state, in_pos[0], in_sig, in_key, in_value);
+  *leftover = in;
   return false;
-}
-
-template <typename FindFn>
-bool GenericErase(DaryCuckooState& state, FindFn find,
-                  const ebpf::FiveTuple& key, u32* size) {
-  const auto pos = find(key);
-  if (!pos.has_value()) {
-    return false;
-  }
-  ClearSlot(state, *pos);
-  --*size;
-  return true;
 }
 
 }  // namespace
@@ -135,6 +118,11 @@ bool GenericErase(DaryCuckooState& state, FindFn find,
 // ---------------------------------------------------------------------------
 // DaryCuckooBase
 // ---------------------------------------------------------------------------
+
+DaryCuckooBase::DaryCuckooBase(const DaryCuckooConfig& config)
+    : config_(config), slot_mask_(config.num_slots - 1) {
+  state_ = MakeState(config.num_slots);
+}
 
 void DaryCuckooBase::ProcessBurst(ebpf::XdpContext* ctxs, u32 count,
                                   ebpf::XdpAction* verdicts) {
@@ -160,14 +148,233 @@ void DaryCuckooBase::ProcessBurst(ebpf::XdpContext* ctxs, u32 count,
   }
 }
 
+bool DaryCuckooBase::InsertImpl(const ebpf::FiveTuple& key, u64 value) {
+  if (migrating()) {
+    MigrateStep();  // may finish the resize and swap tables
+  }
+  const u32 sig = MakeSig(key, config_.seed);
+
+  // Update wherever the key currently lives: stash, in-flight new table,
+  // primary table.
+  if (!stash_.empty()) {
+    for (StashEntry& e : stash_) {
+      if (e.sig == sig && std::memcmp(&e.key, &key, 16) == 0) {
+        e.value = value;
+        return true;
+      }
+    }
+  }
+  u32 pos[8];
+  if (migrating()) {
+    Positions(key, config_.seed, config_.d, next_mask_, pos);
+    for (u32 r = 0; r < config_.d; ++r) {
+      if (next_.sigs[pos[r]] == sig && KeyEquals(next_, pos[r], key)) {
+        next_.values[pos[r]] = value;
+        return true;
+      }
+    }
+  }
+  Positions(key, config_.seed, config_.d, slot_mask_, pos);
+  for (u32 r = 0; r < config_.d; ++r) {
+    if (state_.sigs[pos[r]] == sig && KeyEquals(state_, pos[r], key)) {
+      state_.values[pos[r]] = value;
+      return true;
+    }
+  }
+
+  // During a migration new entries go to the new table only, so the
+  // migration cursor never has to revisit drained old slots.
+  DaryCuckooState& target = migrating() ? next_ : state_;
+  const u32 mask = migrating() ? next_mask_ : slot_mask_;
+  const DaryEntry entry{sig, key, value};
+
+  // Forced kick-chain exhaustion: skip placement, go straight to the stash.
+  const bool forced =
+      enetstl::FaultInjector::Global().ShouldFail("dary_cuckoo.insert");
+  if (forced) {
+    if (!StashPut(sig, key, value)) {
+      return false;
+    }
+    ++size_;
+    MaybeStartResize();
+    return true;
+  }
+
+  DaryEntry leftover;
+  if (PlaceNew(target, config_, mask, kick_rng_, entry, &leftover)) {
+    ++size_;
+    return true;
+  }
+  // Walk exhausted: the new key is resident; park the displaced victim.
+  if (StashPut(leftover.sig, leftover.key, leftover.value)) {
+    ++size_;
+    MaybeStartResize();
+    return true;
+  }
+  // Stash full: historical lossy fallback — the victim overwrites the
+  // occupant of its first candidate slot (net table population unchanged,
+  // so size_ stays consistent without an increment).
+  u32 vpos[8];
+  Positions(leftover.key, config_.seed, config_.d, mask, vpos);
+  WriteSlot(target, vpos[0], leftover.sig, leftover.key, leftover.value);
+  ++degrade_stats_.stash_drops;
+  return false;
+}
+
+bool DaryCuckooBase::EraseImpl(const ebpf::FiveTuple& key) {
+  if (migrating()) {
+    MigrateStep();
+  }
+  const u32 sig = MakeSig(key, config_.seed);
+  u32 pos[8];
+  Positions(key, config_.seed, config_.d, slot_mask_, pos);
+  for (u32 r = 0; r < config_.d; ++r) {
+    if (state_.sigs[pos[r]] == sig && KeyEquals(state_, pos[r], key)) {
+      ClearSlot(state_, pos[r]);
+      --size_;
+      return true;
+    }
+  }
+  if (migrating()) {
+    Positions(key, config_.seed, config_.d, next_mask_, pos);
+    for (u32 r = 0; r < config_.d; ++r) {
+      if (next_.sigs[pos[r]] == sig && KeyEquals(next_, pos[r], key)) {
+        ClearSlot(next_, pos[r]);
+        --size_;
+        return true;
+      }
+    }
+  }
+  for (std::size_t i = 0; i < stash_.size(); ++i) {
+    if (stash_[i].sig == sig && std::memcmp(&stash_[i].key, &key, 16) == 0) {
+      stash_.erase(stash_.begin() + static_cast<std::ptrdiff_t>(i));
+      --size_;
+      UpdateDegraded();
+      return true;
+    }
+  }
+  return false;
+}
+
+std::optional<u64> DaryCuckooBase::LookupDegraded(
+    const ebpf::FiveTuple& key) const {
+  const u32 sig = MakeSig(key, config_.seed);
+  if (migrating()) {
+    u32 pos[8];
+    Positions(key, config_.seed, config_.d, next_mask_, pos);
+    for (u32 r = 0; r < config_.d; ++r) {
+      if (next_.sigs[pos[r]] == sig && KeyEquals(next_, pos[r], key)) {
+        return next_.values[pos[r]];
+      }
+    }
+  }
+  for (const StashEntry& e : stash_) {
+    if (e.sig == sig && std::memcmp(&e.key, &key, 16) == 0) {
+      return e.value;
+    }
+  }
+  return std::nullopt;
+}
+
+bool DaryCuckooBase::StashPut(u32 sig, const ebpf::FiveTuple& key, u64 value) {
+  if (stash_.size() >= config_.stash_capacity) {
+    return false;
+  }
+  stash_.push_back(StashEntry{sig, key, value});
+  ++degrade_stats_.stash_parks;
+  UpdateDegraded();
+  return true;
+}
+
+void DaryCuckooBase::MaybeStartResize() {
+  if (!config_.auto_resize || migrating()) {
+    return;
+  }
+  if (stash_.size() < config_.resize_watermark) {
+    return;
+  }
+  const u32 new_slots = config_.num_slots * 2;
+  next_ = MakeState(new_slots);
+  next_mask_ = new_slots - 1;
+  migrate_pos_ = 0;
+  ++degrade_stats_.resizes_started;
+  UpdateDegraded();
+}
+
+void DaryCuckooBase::MigrateStep() {
+  u32 budget = config_.migrate_slots_per_op;
+  const u32 old_slots = config_.num_slots;
+  while (budget > 0 && migrate_pos_ < old_slots) {
+    if (state_.sigs[migrate_pos_] != enetstl::kEmptySig) {
+      DaryEntry e;
+      e.sig = state_.sigs[migrate_pos_];
+      std::memcpy(&e.key, state_.keys[migrate_pos_].data(), 16);
+      e.value = state_.values[migrate_pos_];
+      ClearSlot(state_, migrate_pos_);
+      DaryEntry leftover;
+      if (!PlaceNew(next_, config_, next_mask_, kick_rng_, e, &leftover)) {
+        // Walk failure into a half-empty 2x table is near-impossible; the
+        // stash is the backstop and only a full stash loses the entry.
+        if (!StashPut(leftover.sig, leftover.key, leftover.value)) {
+          u32 vpos[8];
+          Positions(leftover.key, config_.seed, config_.d, next_mask_, vpos);
+          WriteSlot(next_, vpos[0], leftover.sig, leftover.key,
+                    leftover.value);
+          ++degrade_stats_.stash_drops;
+          --size_;
+        }
+      }
+    }
+    ++migrate_pos_;
+    --budget;
+    ++degrade_stats_.units_migrated;
+  }
+  if (migrate_pos_ >= old_slots) {
+    FinishResize();
+  }
+}
+
+void DaryCuckooBase::FinishResize() {
+  state_ = std::move(next_);
+  next_ = DaryCuckooState{};
+  slot_mask_ = next_mask_;
+  config_.num_slots = next_mask_ + 1;
+  next_mask_ = 0;
+  migrate_pos_ = 0;
+  ++degrade_stats_.resizes_completed;
+  DrainStash();
+  UpdateDegraded();
+}
+
+void DaryCuckooBase::DrainStash() {
+  // Re-place stash entries that now have an empty candidate (displacement
+  // walks are avoided here: a failed walk would just mint a new victim).
+  for (std::size_t i = 0; i < stash_.size();) {
+    u32 pos[8];
+    Positions(stash_[i].key, config_.seed, config_.d, slot_mask_, pos);
+    bool placed = false;
+    for (u32 r = 0; r < config_.d; ++r) {
+      if (state_.sigs[pos[r]] == enetstl::kEmptySig) {
+        WriteSlot(state_, pos[r], stash_[i].sig, stash_[i].key,
+                  stash_[i].value);
+        placed = true;
+        break;
+      }
+    }
+    if (placed) {
+      stash_.erase(stash_.begin() + static_cast<std::ptrdiff_t>(i));
+    } else {
+      ++i;
+    }
+  }
+}
+
 // ---------------------------------------------------------------------------
 // DaryCuckooEbpf: d scalar BPF-codegen hashes + per-position compares.
 // ---------------------------------------------------------------------------
 
 DaryCuckooEbpf::DaryCuckooEbpf(const DaryCuckooConfig& config)
-    : DaryCuckooBase(config) {
-  state_ = MakeState(config.num_slots);
-}
+    : DaryCuckooBase(config) {}
 
 namespace {
 
@@ -190,25 +397,22 @@ std::optional<u32> EbpfFind(const DaryCuckooState& state,
 }  // namespace
 
 bool DaryCuckooEbpf::Insert(const ebpf::FiveTuple& key, u64 value) {
-  return GenericInsert(state_, config_, slot_mask_, kick_rng_, key, value,
-                       &size_);
+  return InsertImpl(key, value);
 }
 
 std::optional<u64> DaryCuckooEbpf::Lookup(const ebpf::FiveTuple& key) {
   const auto pos = EbpfFind(state_, config_, slot_mask_, key);
-  if (!pos.has_value()) {
-    return std::nullopt;
+  if (pos.has_value()) {
+    return state_.values[*pos];
   }
-  return state_.values[*pos];
+  if (degraded()) {
+    return LookupDegraded(key);
+  }
+  return std::nullopt;
 }
 
 bool DaryCuckooEbpf::Erase(const ebpf::FiveTuple& key) {
-  return GenericErase(
-      state_,
-      [&](const ebpf::FiveTuple& k) {
-        return EbpfFind(state_, config_, slot_mask_, k);
-      },
-      key, &size_);
+  return EraseImpl(key);
 }
 
 // ---------------------------------------------------------------------------
@@ -216,9 +420,7 @@ bool DaryCuckooEbpf::Erase(const ebpf::FiveTuple& key) {
 // ---------------------------------------------------------------------------
 
 DaryCuckooKernel::DaryCuckooKernel(const DaryCuckooConfig& config)
-    : DaryCuckooBase(config) {
-  state_ = MakeState(config.num_slots);
-}
+    : DaryCuckooBase(config) {}
 
 namespace {
 
@@ -239,25 +441,22 @@ std::optional<u32> KernelFind(const DaryCuckooState& state,
 }  // namespace
 
 bool DaryCuckooKernel::Insert(const ebpf::FiveTuple& key, u64 value) {
-  return GenericInsert(state_, config_, slot_mask_, kick_rng_, key, value,
-                       &size_);
+  return InsertImpl(key, value);
 }
 
 std::optional<u64> DaryCuckooKernel::Lookup(const ebpf::FiveTuple& key) {
   const auto pos = KernelFind(state_, config_, slot_mask_, key);
-  if (!pos.has_value()) {
-    return std::nullopt;
+  if (pos.has_value()) {
+    return state_.values[*pos];
   }
-  return state_.values[*pos];
+  if (degraded()) {
+    return LookupDegraded(key);
+  }
+  return std::nullopt;
 }
 
 bool DaryCuckooKernel::Erase(const ebpf::FiveTuple& key) {
-  return GenericErase(
-      state_,
-      [&](const ebpf::FiveTuple& k) {
-        return KernelFind(state_, config_, slot_mask_, k);
-      },
-      key, &size_);
+  return EraseImpl(key);
 }
 
 void DaryCuckooKernel::LookupBatch(const ebpf::FiveTuple* keys, u32 n,
@@ -287,6 +486,9 @@ void DaryCuckooKernel::LookupBatch(const ebpf::FiveTuple* keys, u32 n,
           break;
         }
       }
+      if (!out[start + i].has_value() && degraded()) {
+        out[start + i] = LookupDegraded(key);
+      }
     }
   }
 }
@@ -296,9 +498,7 @@ void DaryCuckooKernel::LookupBatch(const ebpf::FiveTuple* keys, u32 n,
 // ---------------------------------------------------------------------------
 
 DaryCuckooEnetstl::DaryCuckooEnetstl(const DaryCuckooConfig& config)
-    : DaryCuckooBase(config) {
-  state_ = MakeState(config.num_slots);
-}
+    : DaryCuckooBase(config) {}
 
 namespace {
 
@@ -331,25 +531,22 @@ std::optional<u32> EnetstlFind(const DaryCuckooState& state,
 }  // namespace
 
 bool DaryCuckooEnetstl::Insert(const ebpf::FiveTuple& key, u64 value) {
-  return GenericInsert(state_, config_, slot_mask_, kick_rng_, key, value,
-                       &size_);
+  return InsertImpl(key, value);
 }
 
 std::optional<u64> DaryCuckooEnetstl::Lookup(const ebpf::FiveTuple& key) {
   const auto pos = EnetstlFind(state_, config_, slot_mask_, key);
-  if (!pos.has_value()) {
-    return std::nullopt;
+  if (pos.has_value()) {
+    return state_.values[*pos];
   }
-  return state_.values[*pos];
+  if (degraded()) {
+    return LookupDegraded(key);
+  }
+  return std::nullopt;
 }
 
 bool DaryCuckooEnetstl::Erase(const ebpf::FiveTuple& key) {
-  return GenericErase(
-      state_,
-      [&](const ebpf::FiveTuple& k) {
-        return EnetstlFind(state_, config_, slot_mask_, k);
-      },
-      key, &size_);
+  return EraseImpl(key);
 }
 
 void DaryCuckooEnetstl::LookupBatch(const ebpf::FiveTuple* keys, u32 n,
@@ -376,6 +573,9 @@ void DaryCuckooEnetstl::LookupBatch(const ebpf::FiveTuple* keys, u32 n,
           out[start + i] = state_.values[p];
           break;
         }
+      }
+      if (!out[start + i].has_value() && degraded()) {
+        out[start + i] = LookupDegraded(key);
       }
     }
   }

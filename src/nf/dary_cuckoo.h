@@ -12,6 +12,15 @@
 //  * DaryCuckooEbpf    — d scalar software hashes + per-position compares.
 //  * DaryCuckooKernel  — inline multi-hash + inline compares.
 //  * DaryCuckooEnetstl — one HashCmp kfunc per probe.
+//
+// Graceful degradation (DESIGN.md "Robustness model"): when a displacement
+// walk exhausts max_kicks the final in-hand entry — a previously inserted
+// resident, since the walk places the new key on its first swap — is parked
+// in a bounded victim stash instead of overwriting a random occupant (the
+// historical lossy failure mode, now reserved for a full stash). Crossing
+// the stash watermark starts an incremental 2x resize migrating a bounded
+// number of slots per mutating operation; lookups stay correct throughout
+// (old table, then new table, then stash).
 #ifndef ENETSTL_NF_DARY_CUCKOO_H_
 #define ENETSTL_NF_DARY_CUCKOO_H_
 
@@ -29,6 +38,12 @@ struct DaryCuckooConfig {
   u32 d = 4;             // hash functions / candidate positions (2..8)
   u32 max_kicks = 256;
   u32 seed = 0x243f6a88u;
+  // Degradation knobs; stash_capacity = 0 restores the historical lossy
+  // walk-failure behavior, auto_resize = false pins the geometry.
+  u32 stash_capacity = 16;
+  u32 resize_watermark = 8;
+  u32 migrate_slots_per_op = 32;  // old slots examined per mutating op
+  bool auto_resize = true;
 };
 
 // SoA layout: the signature lane is contiguous (HashCmp's input); keys and
@@ -41,12 +56,9 @@ struct DaryCuckooState {
 
 class DaryCuckooBase : public NetworkFunction {
  public:
-  explicit DaryCuckooBase(const DaryCuckooConfig& config)
-      : config_(config), slot_mask_(config.num_slots - 1) {}
-
-  // Returns false when no displacement sequence places the key within
-  // max_kicks (treat as over-capacity; one resident entry may be displaced
-  // to its own alternate position in the failing walk).
+  // Returns false only when the entry could not be placed anywhere — a
+  // walk exhaustion with the victim stash already full (in which case one
+  // resident entry may be displaced, the historical over-capacity mode).
   virtual bool Insert(const ebpf::FiveTuple& key, u64 value) = 0;
   virtual std::optional<u64> Lookup(const ebpf::FiveTuple& key) = 0;
   virtual bool Erase(const ebpf::FiveTuple& key) = 0;
@@ -77,14 +89,61 @@ class DaryCuckooBase : public NetworkFunction {
 
   std::string_view name() const override { return "dary-cuckoo-kv"; }
   const DaryCuckooConfig& config() const { return config_; }
+  // Entries accounted for: resident in the table (old or new) or parked in
+  // the victim stash.
   u32 size() const { return size_; }
   u32 capacity() const { return config_.num_slots; }
 
+  u32 stash_size() const { return static_cast<u32>(stash_.size()); }
+  bool migrating() const { return !next_.sigs.empty(); }
+  bool degraded() const { return degraded_; }
+  const CuckooDegradeStats& degrade_stats() const { return degrade_stats_; }
+
  protected:
+  explicit DaryCuckooBase(const DaryCuckooConfig& config);
+
+  // Shared insert/erase: stash-aware, migration-aware, and the carrier of
+  // the "dary_cuckoo.insert" forced-fault point. Inserts are control-plane
+  // operations, identical across variants (the datapath difference is in
+  // Lookup).
+  bool InsertImpl(const ebpf::FiveTuple& key, u64 value);
+  bool EraseImpl(const ebpf::FiveTuple& key);
+
+  // Degraded-path lookup, called by variants only after their primary-table
+  // probes miss while degraded(): consults the in-flight new table, then the
+  // stash.
+  std::optional<u64> LookupDegraded(const ebpf::FiveTuple& key) const;
+
   DaryCuckooConfig config_;
   u32 slot_mask_;
   u32 size_ = 0;
   u64 kick_rng_ = 0x0123456789abcdefull;
+  // Primary table, shared by all variants (they differ only in how they
+  // probe it).
+  DaryCuckooState state_;
+
+ private:
+  struct StashEntry {
+    u32 sig;
+    ebpf::FiveTuple key;
+    u64 value;
+  };
+
+  void MigrateStep();
+  void MaybeStartResize();
+  void FinishResize();
+  void DrainStash();
+  bool StashPut(u32 sig, const ebpf::FiveTuple& key, u64 value);
+  void UpdateDegraded() { degraded_ = !stash_.empty() || migrating(); }
+
+  bool degraded_ = false;
+  std::vector<StashEntry> stash_;
+  // Incremental-resize state: while non-empty, `next_` is the 2x table being
+  // filled; slots [0, migrate_pos_) of the old table are already drained.
+  DaryCuckooState next_;
+  u32 next_mask_ = 0;
+  u32 migrate_pos_ = 0;
+  CuckooDegradeStats degrade_stats_;
 };
 
 class DaryCuckooEbpf : public DaryCuckooBase {
@@ -94,9 +153,6 @@ class DaryCuckooEbpf : public DaryCuckooBase {
   std::optional<u64> Lookup(const ebpf::FiveTuple& key) override;
   bool Erase(const ebpf::FiveTuple& key) override;
   Variant variant() const override { return Variant::kEbpf; }
-
- private:
-  DaryCuckooState state_;
 };
 
 class DaryCuckooKernel : public DaryCuckooBase {
@@ -108,9 +164,6 @@ class DaryCuckooKernel : public DaryCuckooBase {
   void LookupBatch(const ebpf::FiveTuple* keys, u32 n,
                    std::optional<u64>* out) override;
   Variant variant() const override { return Variant::kKernel; }
-
- private:
-  DaryCuckooState state_;
 };
 
 class DaryCuckooEnetstl : public DaryCuckooBase {
@@ -124,9 +177,6 @@ class DaryCuckooEnetstl : public DaryCuckooBase {
   void LookupBatch(const ebpf::FiveTuple* keys, u32 n,
                    std::optional<u64>* out) override;
   Variant variant() const override { return Variant::kEnetstl; }
-
- private:
-  DaryCuckooState state_;
 };
 
 }  // namespace nf

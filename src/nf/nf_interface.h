@@ -43,6 +43,18 @@ inline std::string_view VariantName(Variant v) {
   return "?";
 }
 
+// Degradation bookkeeping shared by the cuckoo-family structures (see
+// DESIGN.md "Robustness model"). A structure enters degraded mode when a
+// kick-chain failure parks an entry in its victim stash; the stash watermark
+// then triggers an incremental resize (where the layout permits one).
+struct CuckooDegradeStats {
+  u64 stash_parks = 0;       // entries parked in the victim stash
+  u64 stash_drops = 0;       // entries lost because the stash was full
+  u64 resizes_started = 0;
+  u64 resizes_completed = 0;
+  u64 units_migrated = 0;    // buckets (blocked tables) or slots (d-ary)
+};
+
 // Base class for packet-driven NFs.
 class NetworkFunction {
  public:

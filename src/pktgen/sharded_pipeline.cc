@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <chrono>
+#include <string>
 #include <thread>
 
+#include "core/fault_injector.h"
 #include "core/hash.h"
 #include "core/hash_inl.h"
 #include "ebpf/helper.h"
@@ -49,15 +51,22 @@ struct WorkerTask {
   u64 measure_packets = 0;
   Trace queue;  // this worker's steered sub-trace (owned, mutated in place)
   ShardedPipeline::BurstHandler handler;
+  // Fault point probed once per measured burst; empty disables the probe
+  // (failover replay tasks run fault-free — one failover round per run).
+  std::string kill_point;
 
   double busy_seconds = 0.0;
   ThroughputStats stats;
+  bool failed = false;
 
   void Run() {
     ebpf::SetCurrentCpu(cpu);
     if (queue.empty() || !handler) {
       return;
     }
+    // Defensive re-clamp: callers clamp burst already, but a zero or
+    // oversized burst here would spin forever / overrun the stack scratch.
+    const u32 b = std::clamp(burst, u32{1}, kMaxBurstSize);
     const std::size_t n = queue.size();
     ebpf::XdpContext ctxs[kMaxBurstSize];
     ebpf::XdpAction verdicts[kMaxBurstSize];
@@ -71,16 +80,22 @@ struct WorkerTask {
 
     for (u64 done = 0; done < warmup_packets;) {
       const u32 count =
-          static_cast<u32>(std::min<u64>(burst, warmup_packets - done));
+          static_cast<u32>(std::min<u64>(b, warmup_packets - done));
       fill_burst(count);
       handler(ctxs, count, verdicts);
       done += count;
     }
 
+    u64 done = 0;
     const double t0 = ThreadCpuSeconds();
-    for (u64 done = 0; done < measure_packets;) {
+    while (done < measure_packets) {
+      if (!kill_point.empty() &&
+          enetstl::FaultInjector::Global().ShouldFail(kill_point)) {
+        failed = true;  // shard dies mid-measurement; drained by failover
+        break;
+      }
       const u32 count =
-          static_cast<u32>(std::min<u64>(burst, measure_packets - done));
+          static_cast<u32>(std::min<u64>(b, measure_packets - done));
       fill_burst(count);
       handler(ctxs, count, verdicts);
       for (u32 i = 0; i < count; ++i) {
@@ -90,9 +105,9 @@ struct WorkerTask {
     }
     busy_seconds = ThreadCpuSeconds() - t0;
 
-    stats.packets = measure_packets;
+    stats.packets = done;  // actual count: short of the quota if killed
     stats.seconds = busy_seconds;
-    if (busy_seconds > 0.0) {
+    if (busy_seconds > 0.0 && done > 0) {
       stats.pps = static_cast<double>(stats.packets) / busy_seconds;
       stats.ns_per_packet =
           busy_seconds * 1e9 / static_cast<double>(stats.packets);
@@ -119,6 +134,60 @@ u32 RssQueueForPacket(const Packet& packet, u32 num_queues, u32 seed) {
     return 0;
   }
   return RssQueueForTuple(tuple, num_queues, seed);
+}
+
+std::vector<u32> BuildRssIndirection(u32 num_queues) {
+  std::vector<u32> table(kRssIndirectionSize, 0);
+  if (num_queues == 0) {
+    return table;
+  }
+  for (u32 i = 0; i < kRssIndirectionSize; ++i) {
+    table[i] = i % num_queues;
+  }
+  return table;
+}
+
+void RebuildRssIndirection(std::vector<u32>& table,
+                           const std::vector<bool>& alive) {
+  std::vector<u32> survivors;
+  for (u32 q = 0; q < alive.size(); ++q) {
+    if (alive[q]) {
+      survivors.push_back(q);
+    }
+  }
+  if (survivors.empty()) {
+    return;
+  }
+  u32 rr = 0;
+  for (u32& q : table) {
+    if (q >= alive.size() || !alive[q]) {
+      q = survivors[rr];
+      rr = rr + 1 < survivors.size() ? rr + 1 : 0;
+    }
+  }
+}
+
+u32 RssQueueViaIndirection(const ebpf::FiveTuple& tuple,
+                           const std::vector<u32>& table, u32 seed) {
+  if (table.empty()) {
+    return 0;
+  }
+  const u32 slot = enetstl::internal::HwHashCrcImpl(&tuple, sizeof(tuple),
+                                                    seed) %
+                   static_cast<u32>(table.size());
+  return table[slot];
+}
+
+u32 RssQueueForPacketViaIndirection(const Packet& packet,
+                                    const std::vector<u32>& table, u32 seed) {
+  ebpf::XdpContext ctx;
+  ctx.data = const_cast<u8*>(packet.frame);
+  ctx.data_end = const_cast<u8*>(packet.frame) + ebpf::kFrameSize;
+  ebpf::FiveTuple tuple;
+  if (!ebpf::ParseFiveTuple(ctx, &tuple)) {
+    return table.empty() ? 0 : table[0];
+  }
+  return RssQueueViaIndirection(tuple, table, seed);
 }
 
 ShardedPipeline::ShardedPipeline(const Options& options) : options_(options) {
@@ -174,6 +243,7 @@ ShardedPipeline::Result ShardedPipeline::MeasureThroughput(
     tasks[w].measure_packets = quota[w];
     tasks[w].queue = std::move(queues[w]);
     tasks[w].handler = factory ? factory(w) : BurstHandler{};
+    tasks[w].kill_point = "shard.kill." + std::to_string(w);
   }
 
   const auto wall_start = WallClock::now();
@@ -185,6 +255,98 @@ ShardedPipeline::Result ShardedPipeline::MeasureThroughput(
   for (std::thread& t : threads) {
     t.join();
   }
+
+  // ---- Failover -----------------------------------------------------------
+  // Workers whose kill point fired are drained: their unserved packet budget
+  // is replayed on the survivors' handlers, with the dead queues re-steered
+  // through a rebuilt RSS indirection table. The replay runs inside the wall
+  // window (failover time is part of the measurement) and its per-shard
+  // counts land on the absorbing survivors, so shard counts still sum
+  // exactly to measure_packets.
+  std::vector<bool> alive(workers, true);
+  std::vector<u32> failed_workers;
+  for (u32 w = 0; w < workers; ++w) {
+    if (tasks[w].failed) {
+      alive[w] = false;
+      failed_workers.push_back(w);
+      result.shards[w].failed = true;
+    }
+  }
+  result.failed_workers = static_cast<u32>(failed_workers.size());
+  if (!failed_workers.empty() &&
+      failed_workers.size() < static_cast<std::size_t>(workers)) {
+    std::vector<u32> indirection = BuildRssIndirection(workers);
+    RebuildRssIndirection(indirection, alive);
+
+    // Re-steer every dead queue's packets onto survivors and collect the
+    // unserved budget.
+    std::vector<Trace> requeues(workers);
+    u64 unserved = 0;
+    for (u32 f : failed_workers) {
+      unserved += tasks[f].measure_packets - tasks[f].stats.packets;
+      for (const Packet& packet : tasks[f].queue) {
+        requeues[RssQueueForPacketViaIndirection(packet, indirection,
+                                                 options_.rss_seed)]
+            .push_back(packet);
+      }
+    }
+    u64 requeue_depth = 0;
+    for (const Trace& q : requeues) {
+      requeue_depth += q.size();
+    }
+
+    if (unserved > 0 && requeue_depth > 0) {
+      // Same exact-split scheme as the primary quota: proportional to the
+      // re-steered depth, remainders made up round-robin.
+      std::vector<u64> quota2(workers, 0);
+      u64 assigned2 = 0;
+      for (u32 w = 0; w < workers; ++w) {
+        quota2[w] = unserved * requeues[w].size() / requeue_depth;
+        assigned2 += quota2[w];
+      }
+      for (u64 leftover = unserved - assigned2; leftover > 0;) {
+        for (u32 w = 0; w < workers && leftover > 0; ++w) {
+          if (!requeues[w].empty()) {
+            ++quota2[w];
+            --leftover;
+          }
+        }
+      }
+
+      std::vector<WorkerTask> replay(workers);
+      std::vector<std::thread> replay_threads;
+      for (u32 w = 0; w < workers; ++w) {
+        if (quota2[w] == 0) {
+          continue;
+        }
+        replay[w].cpu = w;
+        replay[w].burst = burst;
+        replay[w].warmup_packets = 0;  // survivor state is already warm
+        replay[w].measure_packets = quota2[w];
+        replay[w].queue = std::move(requeues[w]);
+        replay[w].handler = tasks[w].handler;  // survivor's own NF state
+        // kill_point left empty: one failover round per run.
+        replay_threads.emplace_back([&replay, w] { replay[w].Run(); });
+      }
+      for (std::thread& t : replay_threads) {
+        t.join();
+      }
+
+      for (u32 w = 0; w < workers; ++w) {
+        if (quota2[w] == 0) {
+          continue;
+        }
+        tasks[w].busy_seconds += replay[w].busy_seconds;
+        tasks[w].stats.packets += replay[w].stats.packets;
+        tasks[w].stats.dropped += replay[w].stats.dropped;
+        tasks[w].stats.passed += replay[w].stats.passed;
+        tasks[w].stats.aborted += replay[w].stats.aborted;
+        tasks[w].stats.degraded += replay[w].stats.packets;
+        result.failover_packets += replay[w].stats.packets;
+      }
+    }
+  }
+
   result.wall_seconds = std::chrono::duration_cast<
                             std::chrono::duration<double>>(WallClock::now() -
                                                            wall_start)
@@ -196,10 +358,20 @@ ShardedPipeline::Result ShardedPipeline::MeasureThroughput(
     shard.queue_depth = tasks[w].queue.size();
     shard.busy_seconds = tasks[w].busy_seconds;
     shard.stats = tasks[w].stats;
+    // Recompute the per-shard rate over the merged (primary + failover)
+    // window; Run() computed it over the primary window only.
+    shard.stats.seconds = shard.busy_seconds;
+    if (shard.busy_seconds > 0.0 && shard.stats.packets > 0) {
+      shard.stats.pps =
+          static_cast<double>(shard.stats.packets) / shard.busy_seconds;
+      shard.stats.ns_per_packet = shard.busy_seconds * 1e9 /
+                                  static_cast<double>(shard.stats.packets);
+    }
     result.total.packets += shard.stats.packets;
     result.total.dropped += shard.stats.dropped;
     result.total.passed += shard.stats.passed;
     result.total.aborted += shard.stats.aborted;
+    result.total.degraded += shard.stats.degraded;
     result.total.pps += shard.stats.pps;  // dedicated-core aggregate
     busy_total += shard.busy_seconds;
   }

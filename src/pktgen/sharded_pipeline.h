@@ -36,6 +36,36 @@ u32 RssQueueForTuple(const ebpf::FiveTuple& tuple, u32 num_queues, u32 seed);
 // (real NICs steer non-IP traffic to a default queue).
 u32 RssQueueForPacket(const Packet& packet, u32 num_queues, u32 seed);
 
+// ---- RSS indirection table (failover re-steering) -------------------------
+//
+// Real NICs steer via hash -> indirection slot -> queue; shard failover is
+// the host rewriting the slots of a dead queue to point at survivors. The
+// sharded pipeline models that explicitly: the primary steering above is the
+// identity-indirection special case, and on a worker fault the failed
+// worker's unserved flows are re-steered through a rebuilt table.
+
+// Indirection slot count (128 matches common NIC defaults, e.g. ixgbe).
+inline constexpr u32 kRssIndirectionSize = 128;
+
+// Fresh table mapping slot i -> i % num_queues (every queue alive).
+std::vector<u32> BuildRssIndirection(u32 num_queues);
+
+// Rewrites every slot pointing at a dead queue (alive[q] == false) to a
+// surviving queue, round-robin so the orphaned load spreads evenly. Slots on
+// live queues are untouched (their flows keep their affinity). No-op when no
+// queue survives.
+void RebuildRssIndirection(std::vector<u32>& table,
+                           const std::vector<bool>& alive);
+
+// Steering through an indirection table: CRC32C(tuple) selects a slot, the
+// slot names the queue.
+u32 RssQueueViaIndirection(const ebpf::FiveTuple& tuple,
+                           const std::vector<u32>& table, u32 seed);
+
+// Packet-level variant; unparseable packets land on the queue in slot 0.
+u32 RssQueueForPacketViaIndirection(const Packet& packet,
+                                    const std::vector<u32>& table, u32 seed);
+
 class ShardedPipeline {
  public:
   struct Options {
@@ -51,17 +81,29 @@ class ShardedPipeline {
     u64 queue_depth = 0;        // distinct trace packets steered to this queue
     double busy_seconds = 0.0;  // thread CPU time spent in the measured loop
     // Per-shard counts; pps/ns_per_packet are computed from busy_seconds
-    // (dedicated-core model), seconds == busy_seconds.
+    // (dedicated-core model), seconds == busy_seconds. For a survivor that
+    // absorbed failover load, stats.degraded counts the absorbed packets.
     ThroughputStats stats;
+    // This worker tripped its "shard.kill.<cpu>" fault point mid-measurement
+    // and was drained; its stats cover only the packets it served pre-fault.
+    bool failed = false;
   };
 
   struct Result {
     // packets/dropped/passed/aborted are exact sums over shards; pps is the
     // sum of per-shard rates (aggregate dedicated-core throughput); seconds
-    // is the wall time of the whole measurement.
+    // is the wall time of the whole measurement. When failover ran,
+    // total.degraded counts packets served by survivors on behalf of failed
+    // shards — the per-shard counts still sum exactly to measure_packets.
     ThroughputStats total;
     std::vector<ShardStats> shards;
     double wall_seconds = 0.0;
+    // Failover summary: workers that tripped a kill fault, and the unserved
+    // packet budget replayed onto survivors via the rebuilt indirection.
+    // If every worker fails (or a failed worker's queue cannot be re-steered)
+    // the unserved budget is dropped and total.packets < measure_packets.
+    u32 failed_workers = 0;
+    u64 failover_packets = 0;
   };
 
   // Invoked once per worker on the calling thread before the workers start;
@@ -81,6 +123,14 @@ class ShardedPipeline {
   // measure_packets * (its queue depth / trace size) packets, so the
   // offered-load split matches the flow split and the per-shard counts sum
   // exactly to measure_packets.
+  //
+  // Failover: every worker probes its "shard.kill.<cpu>" fault point once
+  // per measured burst; a worker whose point fires stops serving, and after
+  // the join its unserved budget is replayed on the surviving workers'
+  // handlers with its queue re-steered through a rebuilt RSS indirection
+  // table. One failover round — the replay does not probe kill points
+  // (arming a second fault would need a second rebuild, which real NICs do,
+  // but one round is enough to measure the degradation cost).
   Result MeasureThroughput(const HandlerFactory& factory,
                            const Trace& trace) const;
 

@@ -102,8 +102,13 @@ TEST_P(CuckooSwitchAllVariants, FillsTo95PercentWithoutLosingKeys) {
 }
 
 TEST_P(CuckooSwitchAllVariants, FailedInsertLeavesTableIntact) {
+  // With the stash and auto-resize disabled, a kick-chain exhaustion fails
+  // the insert and leaves every previously inserted key untouched (the
+  // historical hard-failure semantics).
   CuckooSwitchConfig config;
   config.num_buckets = 2;  // tiny: capacity 16
+  config.stash_capacity = 0;
+  config.auto_resize = false;
   auto sw = Make(GetParam(), config);
   std::vector<u32> inserted;
   for (u32 i = 0; i < 64; ++i) {
@@ -112,8 +117,42 @@ TEST_P(CuckooSwitchAllVariants, FailedInsertLeavesTableIntact) {
     }
   }
   EXPECT_LT(inserted.size(), 64u);  // some must fail at this size
+  EXPECT_FALSE(sw->degraded());
   for (u32 i : inserted) {
     EXPECT_EQ(sw->Lookup(KeyOf(i)), std::optional<u64>(i));
+  }
+}
+
+TEST_P(CuckooSwitchAllVariants, OverfillGrowsViaStashAndResize) {
+  // Default config: overfilling a tiny table parks victims in the stash and
+  // triggers incremental 2x resizes, so every insert succeeds and every key
+  // stays resolvable throughout.
+  CuckooSwitchConfig config;
+  config.num_buckets = 2;  // capacity 16 before the first resize
+  auto sw = Make(GetParam(), config);
+  for (u32 i = 0; i < 64; ++i) {
+    ASSERT_TRUE(sw->Insert(KeyOf(i), i)) << "insert " << i;
+    for (u32 j = 0; j <= i; ++j) {
+      ASSERT_EQ(sw->Lookup(KeyOf(j)), std::optional<u64>(j))
+          << "key " << j << " lost after insert " << i;
+    }
+  }
+  EXPECT_EQ(sw->size(), 64u);
+  EXPECT_GE(sw->config().num_buckets, 8u);  // at least two resizes
+  EXPECT_GE(sw->degrade_stats().resizes_completed, 1u);
+  EXPECT_EQ(sw->degrade_stats().stash_drops, 0u);
+  // Erase half and confirm the remainder, exercising erase across table,
+  // in-flight migration target, and stash.
+  for (u32 i = 0; i < 64; i += 2) {
+    ASSERT_TRUE(sw->Erase(KeyOf(i)));
+  }
+  EXPECT_EQ(sw->size(), 32u);
+  for (u32 i = 0; i < 64; ++i) {
+    if (i % 2 == 0) {
+      EXPECT_FALSE(sw->Lookup(KeyOf(i)).has_value());
+    } else {
+      EXPECT_EQ(sw->Lookup(KeyOf(i)), std::optional<u64>(i));
+    }
   }
 }
 

@@ -3,10 +3,24 @@
 // references — the safe-termination and memory-safety properties of §4.4
 // under the one failure an eBPF program can actually hit (bpf_obj_new
 // returning NULL).
+//
+// The second half drives the seeded FaultInjector: schedule determinism,
+// helper-layer map-update faults, and the graceful-degradation soak — the
+// three cuckoo structures filled to 95% under a 1e-3 insert-fault rate,
+// checked entry-for-entry against a fault-free oracle.
 #include <gtest/gtest.h>
 
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "core/fault_injector.h"
 #include "core/memory_wrapper.h"
+#include "ebpf/maps.h"
 #include "ebpf/verifier.h"
+#include "nf/cuckoo_filter.h"
+#include "nf/cuckoo_switch.h"
+#include "nf/dary_cuckoo.h"
 #include "nf/lru_cache.h"
 #include "nf/skiplist.h"
 #include "pktgen/flowgen.h"
@@ -15,6 +29,7 @@ namespace {
 
 using ebpf::u32;
 using ebpf::u64;
+using enetstl::FaultInjector;
 
 TEST(FailureInjection, NodeAllocReturnsNullOnceThenRecovers) {
   enetstl::NodeProxy proxy;
@@ -127,6 +142,199 @@ TEST(FailureInjection, RefLeakCheckerCatchesDoubleRelease) {
   EXPECT_TRUE(checker.OnRelease(node, "mw_node"));
   EXPECT_FALSE(checker.OnRelease(node, "mw_node"));  // the bug, caught
   proxy.NodeRelease(node);
+}
+
+// ---- FaultInjector schedules ----------------------------------------------
+//
+// The injector is process-global and gtest shares one process across tests:
+// every fixture starts and ends fully disarmed.
+class FaultPoints : public ::testing::Test {
+ protected:
+  void SetUp() override { FaultInjector::Global().Reset(); }
+  void TearDown() override { FaultInjector::Global().Reset(); }
+};
+
+TEST_F(FaultPoints, OneShotFiresOnExactlyTheArmedHit) {
+  auto& fi = FaultInjector::Global();
+  fi.ArmOneShot("t.oneshot", 3);
+  for (u64 i = 0; i < 10; ++i) {
+    EXPECT_EQ(fi.ShouldFail("t.oneshot"), i == 3) << "hit " << i;
+  }
+  // The shot disarms the point in place; hits stop counting once disarmed.
+  EXPECT_EQ(fi.hits("t.oneshot"), 4u);
+  EXPECT_EQ(fi.fires("t.oneshot"), 1u);
+}
+
+TEST_F(FaultPoints, EveryNthFiresPeriodically) {
+  auto& fi = FaultInjector::Global();
+  fi.ArmEveryNth("t.nth", 4);
+  u64 fired = 0;
+  for (u64 i = 0; i < 16; ++i) {
+    if (fi.ShouldFail("t.nth")) {
+      ++fired;
+      EXPECT_EQ(i % 4, 3u) << "hit " << i;  // hits 3, 7, 11, 15
+    }
+  }
+  EXPECT_EQ(fired, 4u);
+  // n == 1 fails every call; disarming stops it.
+  fi.ArmEveryNth("t.nth", 1);
+  EXPECT_TRUE(fi.ShouldFail("t.nth"));
+  fi.Disarm("t.nth");
+  EXPECT_FALSE(fi.ShouldFail("t.nth"));
+}
+
+TEST_F(FaultPoints, ProbabilityIsSeedDeterministicAndRateShaped) {
+  auto& fi = FaultInjector::Global();
+  auto draw = [&fi](u64 seed) {
+    fi.Reset();
+    fi.ArmProbability("t.prob", 0.01, seed);
+    std::vector<bool> outcomes;
+    for (int i = 0; i < 20'000; ++i) {
+      outcomes.push_back(fi.ShouldFail("t.prob"));
+    }
+    return outcomes;
+  };
+  const auto a = draw(99);
+  const auto b = draw(99);
+  EXPECT_EQ(a, b);  // same (point, rate, seed) => identical schedule
+  const auto c = draw(100);
+  EXPECT_NE(a, c);  // seed-sensitive
+  const u64 fires = static_cast<u64>(std::count(a.begin(), a.end(), true));
+  EXPECT_GT(fires, 100u);  // ~200 expected at rate 1e-2
+  EXPECT_LT(fires, 400u);
+  // Unarmed points never fail and track nothing.
+  EXPECT_FALSE(fi.ShouldFail("t.never_armed"));
+  EXPECT_EQ(fi.fires("t.never_armed"), 0u);
+}
+
+TEST_F(FaultPoints, MapUpdateFaultSurfacesAsNoSpc) {
+  ebpf::HashMap<u32, u64> map(64);
+  ASSERT_EQ(map.UpdateElem(1, 100), ebpf::kOk);
+  FaultInjector::Global().ArmOneShot("helper.map_update", 0);
+  EXPECT_EQ(map.UpdateElem(2, 200), ebpf::kErrNoSpc);  // injected -ENOSPC
+  EXPECT_EQ(map.LookupElem(2), nullptr);               // nothing half-written
+  ASSERT_EQ(map.UpdateElem(2, 200), ebpf::kOk);        // disarmed again
+  EXPECT_EQ(*map.LookupElem(1), 100u);
+  EXPECT_EQ(*map.LookupElem(2), 200u);
+}
+
+TEST_F(FaultPoints, NodeAllocFaultPointMatchesLegacyInjection) {
+  enetstl::NodeProxy proxy;
+  FaultInjector::Global().ArmOneShot("mem.node_alloc", 0);
+  EXPECT_EQ(proxy.NodeAlloc(1, 1, 8), nullptr);  // injected bpf_obj_new fail
+  enetstl::Node* node = proxy.NodeAlloc(1, 1, 8);
+  ASSERT_NE(node, nullptr);
+  proxy.NodeRelease(node);
+  EXPECT_EQ(proxy.live_nodes(), 0u);
+}
+
+// ---- Graceful-degradation soak --------------------------------------------
+//
+// Each cuckoo structure is filled to 95% of its initial capacity while its
+// insert-path fault point fires with probability 1e-3. The victim stash and
+// (for the tables) incremental resize must make every forced failure
+// lossless: lookups stay bit-identical to a fault-free oracle, nothing is
+// dropped, and the structures stay internally consistent.
+
+TEST_F(FaultPoints, SoakCuckooSwitchLosslessUnderInsertFaults) {
+  FaultInjector::Global().ArmProbability("cuckoo_switch.insert", 1e-3, 7001);
+  nf::CuckooSwitchConfig config;  // 1024 buckets x 8 slots = 8192 capacity
+  nf::CuckooSwitchKernel sw(config);
+  const u32 n = sw.capacity() * 95 / 100;
+  const auto flows = pktgen::MakeFlowPopulation(n, 71);
+  std::unordered_map<u64, u64> oracle;  // src_ip|src_port uniquely ids a flow
+  for (u32 i = 0; i < n; ++i) {
+    ASSERT_TRUE(sw.Insert(flows[i], i + 1)) << "insert " << i;
+    oracle[(static_cast<u64>(flows[i].src_ip) << 16) | flows[i].src_port] =
+        i + 1;
+  }
+  ASSERT_GT(FaultInjector::Global().fires("cuckoo_switch.insert"), 0u);
+  EXPECT_EQ(sw.size(), oracle.size());
+  EXPECT_EQ(sw.degrade_stats().stash_drops, 0u);  // nothing lost
+  for (u32 i = 0; i < n; ++i) {
+    ASSERT_EQ(sw.Lookup(flows[i]), std::optional<u64>(i + 1)) << i;
+  }
+  // Absent keys still miss (the stash/migration paths add no ghosts).
+  const auto absent = pktgen::MakeFlowPopulation(64, 72);
+  for (const auto& key : absent) {
+    if (!oracle.count((static_cast<u64>(key.src_ip) << 16) | key.src_port)) {
+      EXPECT_EQ(sw.Lookup(key), std::nullopt);
+    }
+  }
+}
+
+TEST_F(FaultPoints, SoakDaryCuckooLosslessUnderInsertFaults) {
+  FaultInjector::Global().ArmProbability("dary_cuckoo.insert", 1e-3, 7002);
+  nf::DaryCuckooConfig config;  // 8192 single-slot positions, d = 4
+  nf::DaryCuckooKernel kv(config);
+  const u32 n = kv.capacity() * 95 / 100;
+  const auto flows = pktgen::MakeFlowPopulation(n, 73);
+  for (u32 i = 0; i < n; ++i) {
+    ASSERT_TRUE(kv.Insert(flows[i], i + 1)) << "insert " << i;
+  }
+  ASSERT_GT(FaultInjector::Global().fires("dary_cuckoo.insert"), 0u);
+  EXPECT_EQ(kv.size(), n);
+  EXPECT_EQ(kv.degrade_stats().stash_drops, 0u);
+  for (u32 i = 0; i < n; ++i) {
+    ASSERT_EQ(kv.Lookup(flows[i]), std::optional<u64>(i + 1)) << i;
+  }
+  // Erase a quarter (hits table, migration remnants, and stash), then verify
+  // the survivors are untouched.
+  for (u32 i = 0; i < n; i += 4) {
+    ASSERT_TRUE(kv.Erase(flows[i])) << i;
+  }
+  for (u32 i = 0; i < n; ++i) {
+    const auto expect = (i % 4 == 0) ? std::nullopt
+                                     : std::optional<u64>(i + 1);
+    ASSERT_EQ(kv.Lookup(flows[i]), expect) << i;
+  }
+}
+
+TEST_F(FaultPoints, SoakCuckooFilterNoFalseNegativesUnderAddFaults) {
+  FaultInjector::Global().ArmProbability("cuckoo_filter.add", 1e-3, 7003);
+  nf::CuckooFilterConfig config;  // 4096 buckets x 4 fingerprints
+  config.stash_capacity = 256;    // the filter cannot resize; size the stash
+                                  // for 95% fill + forced faults
+  nf::CuckooFilterKernel filter(config);
+  const u32 n = filter.capacity() * 95 / 100;
+  const auto flows = pktgen::MakeFlowPopulation(n, 75);
+  for (u32 i = 0; i < n; ++i) {
+    ASSERT_TRUE(filter.Add(flows[i])) << "add " << i;
+  }
+  ASSERT_GT(FaultInjector::Global().fires("cuckoo_filter.add"), 0u);
+  EXPECT_EQ(filter.size(), n);
+  EXPECT_EQ(filter.degrade_stats().stash_drops, 0u);
+  // An approximate structure's hard guarantee is no false negatives.
+  for (u32 i = 0; i < n; ++i) {
+    ASSERT_TRUE(filter.Contains(flows[i])) << i;
+  }
+}
+
+TEST_F(FaultPoints, SoakSkipListBalancedUnderGlobalAllocFaults) {
+  // The global "mem.node_alloc" point composes with the data-structure soak:
+  // random alloc failures during a mixed workload must never unbalance the
+  // node accounting (no leak, no double free).
+  nf::SkipListEnetstl list;  // built before arming: the head must exist
+  FaultInjector::Global().ArmProbability("mem.node_alloc", 1e-2, 7004);
+  pktgen::Rng rng(7005);
+  for (int step = 0; step < 4000; ++step) {
+    const u64 id = rng.NextBounded(400);
+    switch (rng.NextBounded(3)) {
+      case 0:
+        list.Update(SkipKeyOf(id), nf::SkipValue{});
+        break;
+      case 1: {
+        nf::SkipValue v;
+        list.Lookup(SkipKeyOf(id), &v);
+        break;
+      }
+      default:
+        list.Erase(SkipKeyOf(id));
+        break;
+    }
+    ASSERT_EQ(list.proxy().live_nodes(), list.size() + 1) << "step " << step;
+  }
+  ASSERT_GT(FaultInjector::Global().fires("mem.node_alloc"), 0u);
 }
 
 }  // namespace

@@ -7,6 +7,7 @@
 #include <algorithm>
 #include <map>
 #include <set>
+#include <vector>
 
 #include "pktgen/pipeline.h"
 
@@ -217,6 +218,38 @@ TEST(Pipeline, BurstSizeIsClampedToValidRange) {
   };
   EXPECT_EQ(run_with_burst(0), 1u);               // clamped up to 1
   EXPECT_EQ(run_with_burst(1'000'000), kMaxBurstSize);  // clamped down
+}
+
+// Explicit remainder-tail contract: when measure_packets is not a multiple
+// of the burst width, every burst but the last is exactly burst_size, the
+// last is exactly the remainder, and the handler is never invoked with a
+// zero count.
+TEST(Pipeline, BurstRemainderTailIsExact) {
+  Pipeline::Options opts;
+  opts.warmup_packets = 0;
+  opts.measure_packets = 70;  // 2 full bursts of 32 + a 6-packet tail
+  opts.burst_size = 32;
+  Pipeline pipeline(opts);
+  const auto flows = MakeFlowPopulation(4, 1);
+  const auto trace = MakeUniformTrace(flows, 64, 2);
+  std::vector<u32> counts;
+  const ThroughputStats stats = pipeline.MeasureThroughputBurst(
+      [&](ebpf::XdpContext*, u32 count, ebpf::XdpAction* verdicts) {
+        counts.push_back(count);
+        for (u32 i = 0; i < count; ++i) {
+          verdicts[i] = ebpf::XdpAction::kPass;
+        }
+      },
+      trace);
+  ASSERT_EQ(counts.size(), 3u);
+  EXPECT_EQ(counts[0], 32u);
+  EXPECT_EQ(counts[1], 32u);
+  EXPECT_EQ(counts[2], 6u);  // remainder tail, not a padded burst
+  for (u32 c : counts) {
+    EXPECT_GT(c, 0u);
+  }
+  EXPECT_EQ(stats.packets, 70u);
+  EXPECT_EQ(stats.passed, 70u);
 }
 
 TEST(Pipeline, BurstEmptyTraceYieldsZeroStats) {

@@ -1,0 +1,261 @@
+// Shard-failover tests: RSS indirection rebuild, exact accounting when a
+// worker dies mid-measurement, and the end-to-end acceptance run — a
+// million-packet sharded measurement over pre-populated cuckoo switches with
+// a seeded worker kill, finishing with exact counters and every pre-fault
+// key still resolvable.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/fault_injector.h"
+#include "nf/cuckoo_switch.h"
+#include "pktgen/flowgen.h"
+#include "pktgen/sharded_pipeline.h"
+
+namespace pktgen {
+namespace {
+
+using enetstl::FaultInjector;
+
+// The injector is process-global and gtest runs every test in one process:
+// each test starts and ends disarmed.
+class ShardFailover : public ::testing::Test {
+ protected:
+  void SetUp() override { FaultInjector::Global().Reset(); }
+  void TearDown() override { FaultInjector::Global().Reset(); }
+};
+
+TEST(RssIndirection, BuildIsRoundRobinOverQueues) {
+  const auto table = BuildRssIndirection(3);
+  ASSERT_EQ(table.size(), static_cast<std::size_t>(kRssIndirectionSize));
+  for (u32 i = 0; i < kRssIndirectionSize; ++i) {
+    EXPECT_EQ(table[i], i % 3u);
+  }
+  // Degenerate queue counts still produce a full, in-range table.
+  for (const u32 q : BuildRssIndirection(0)) {
+    EXPECT_EQ(q, 0u);
+  }
+  for (const u32 q : BuildRssIndirection(1)) {
+    EXPECT_EQ(q, 0u);
+  }
+}
+
+TEST(RssIndirection, RebuildReplacesOnlyDeadSlots) {
+  auto table = BuildRssIndirection(4);
+  const auto before = table;
+  RebuildRssIndirection(table, {true, false, true, true});
+  u32 reassigned[4] = {0, 0, 0, 0};
+  for (u32 i = 0; i < kRssIndirectionSize; ++i) {
+    EXPECT_NE(table[i], 1u);  // no slot points at the dead queue
+    if (before[i] != 1u) {
+      EXPECT_EQ(table[i], before[i]);  // live flows keep their affinity
+    } else {
+      ASSERT_LT(table[i], 4u);
+      ++reassigned[table[i]];
+    }
+  }
+  // 32 orphaned slots spread round-robin over 3 survivors: 11/11/10.
+  EXPECT_EQ(reassigned[0] + reassigned[2] + reassigned[3],
+            kRssIndirectionSize / 4);
+  EXPECT_GE(reassigned[0], 10u);
+  EXPECT_GE(reassigned[2], 10u);
+  EXPECT_GE(reassigned[3], 10u);
+}
+
+TEST(RssIndirection, RebuildWithNoSurvivorsIsANoOp) {
+  auto table = BuildRssIndirection(2);
+  const auto before = table;
+  RebuildRssIndirection(table, {false, false});
+  EXPECT_EQ(table, before);
+}
+
+TEST(RssIndirection, SteeringFollowsTheTable) {
+  const auto flows = MakeFlowPopulation(256, 31);
+  auto table = BuildRssIndirection(4);
+  RebuildRssIndirection(table, {true, true, false, true});
+  for (const auto& flow : flows) {
+    const u32 q = RssQueueViaIndirection(flow, table, 7);
+    EXPECT_LT(q, 4u);
+    EXPECT_NE(q, 2u);  // dead queue is unreachable after the rebuild
+    EXPECT_EQ(q, RssQueueViaIndirection(flow, table, 7));  // deterministic
+  }
+}
+
+TEST_F(ShardFailover, KilledWorkerIsDrainedWithExactAccounting) {
+  const auto flows = MakeFlowPopulation(512, 33);
+  const auto trace = MakeUniformTrace(flows, 4096, 34);
+  ShardedPipeline::Options opts;
+  opts.num_workers = 3;
+  opts.burst_size = 16;
+  opts.warmup_packets = 100;
+  opts.measure_packets = 30'000;
+  const ShardedPipeline pipeline(opts);
+
+  // Worker 1 dies on its 6th measured burst.
+  FaultInjector::Global().ArmOneShot("shard.kill.1", 5);
+
+  const auto result = pipeline.MeasureThroughput(
+      [](u32) -> ShardedPipeline::BurstHandler {
+        return [](ebpf::XdpContext*, u32 count, ebpf::XdpAction* verdicts) {
+          for (u32 i = 0; i < count; ++i) {
+            verdicts[i] = ebpf::XdpAction::kPass;
+          }
+        };
+      },
+      trace);
+
+  EXPECT_EQ(result.failed_workers, 1u);
+  ASSERT_EQ(result.shards.size(), 3u);
+  EXPECT_TRUE(result.shards[1].failed);
+  EXPECT_FALSE(result.shards[0].failed);
+  EXPECT_FALSE(result.shards[2].failed);
+
+  // The dead shard served exactly 5 bursts before the kill fired.
+  EXPECT_EQ(result.shards[1].stats.packets, 5u * 16u);
+  EXPECT_EQ(result.shards[1].stats.degraded, 0u);
+
+  // Its unserved budget was replayed on the survivors: the shard counts
+  // still sum exactly to measure_packets, and the absorbed packets are
+  // surfaced as degraded on the absorbing shards.
+  u64 packets = 0, degraded = 0, verdicts_total = 0;
+  for (const auto& shard : result.shards) {
+    packets += shard.stats.packets;
+    degraded += shard.stats.degraded;
+    verdicts_total +=
+        shard.stats.dropped + shard.stats.passed + shard.stats.aborted;
+  }
+  EXPECT_EQ(packets, opts.measure_packets);
+  EXPECT_EQ(result.total.packets, opts.measure_packets);
+  EXPECT_EQ(verdicts_total, opts.measure_packets);
+  EXPECT_GT(result.failover_packets, 0u);
+  EXPECT_EQ(degraded, result.failover_packets);
+  EXPECT_EQ(result.total.degraded, result.failover_packets);
+  // The replayed budget is exactly what the dead worker left unserved.
+  u64 primary_served = 0;
+  for (const auto& shard : result.shards) {
+    primary_served += shard.stats.packets - shard.stats.degraded;
+  }
+  EXPECT_EQ(result.failover_packets, opts.measure_packets - primary_served);
+}
+
+TEST_F(ShardFailover, NoFaultMeansNoFailover) {
+  const auto flows = MakeFlowPopulation(128, 35);
+  const auto trace = MakeUniformTrace(flows, 1024, 36);
+  ShardedPipeline::Options opts;
+  opts.num_workers = 2;
+  opts.burst_size = 16;
+  opts.warmup_packets = 0;
+  opts.measure_packets = 10'000;
+  const auto result = ShardedPipeline(opts).MeasureThroughput(
+      [](u32) -> ShardedPipeline::BurstHandler {
+        return [](ebpf::XdpContext*, u32 count, ebpf::XdpAction* verdicts) {
+          for (u32 i = 0; i < count; ++i) {
+            verdicts[i] = ebpf::XdpAction::kDrop;
+          }
+        };
+      },
+      trace);
+  EXPECT_EQ(result.failed_workers, 0u);
+  EXPECT_EQ(result.failover_packets, 0u);
+  EXPECT_EQ(result.total.degraded, 0u);
+  EXPECT_EQ(result.total.packets, opts.measure_packets);
+  for (const auto& shard : result.shards) {
+    EXPECT_FALSE(shard.failed);
+  }
+}
+
+TEST_F(ShardFailover, AllWorkersDeadDropsTheUnservedBudget) {
+  const auto flows = MakeFlowPopulation(64, 37);
+  const auto trace = MakeUniformTrace(flows, 512, 38);
+  ShardedPipeline::Options opts;
+  opts.num_workers = 1;
+  opts.burst_size = 16;
+  opts.warmup_packets = 0;
+  opts.measure_packets = 1'000;
+  FaultInjector::Global().ArmOneShot("shard.kill.0", 0);  // dies immediately
+  const auto result = ShardedPipeline(opts).MeasureThroughput(
+      [](u32) -> ShardedPipeline::BurstHandler {
+        return [](ebpf::XdpContext*, u32 count, ebpf::XdpAction* verdicts) {
+          for (u32 i = 0; i < count; ++i) {
+            verdicts[i] = ebpf::XdpAction::kPass;
+          }
+        };
+      },
+      trace);
+  EXPECT_EQ(result.failed_workers, 1u);
+  EXPECT_EQ(result.failover_packets, 0u);  // nobody left to fail over to
+  EXPECT_EQ(result.total.packets, 0u);     // honest shortfall, no crash
+}
+
+// Acceptance: a million-packet sharded run over per-worker cuckoo-switch
+// replicas with a seeded mid-run worker kill. Must finish with exact
+// counters and every pre-fault key still resolvable on every replica.
+TEST_F(ShardFailover, MillionPacketRunSurvivesSeededWorkerKill) {
+  constexpr u32 kWorkers = 4;
+  constexpr u32 kFlows = 2048;
+  const auto flows = MakeFlowPopulation(kFlows, 41);
+  const auto trace = MakeUniformTrace(flows, 8192, 42);
+
+  // Each worker owns a full replica of the FIB (the CuckooSwitch deployment
+  // shape: the control plane programs every core's table identically).
+  std::vector<std::unique_ptr<nf::CuckooSwitchKernel>> replicas;
+  nf::CuckooSwitchConfig config;
+  config.num_buckets = 1024;
+  for (u32 w = 0; w < kWorkers; ++w) {
+    replicas.push_back(std::make_unique<nf::CuckooSwitchKernel>(config));
+    for (u32 f = 0; f < kFlows; ++f) {
+      ASSERT_TRUE(replicas[w]->Insert(flows[f], f + 1));
+    }
+  }
+
+  ShardedPipeline::Options opts;
+  opts.num_workers = kWorkers;
+  opts.burst_size = 32;
+  opts.warmup_packets = 1'000;
+  opts.measure_packets = 1'000'000;
+  opts.rss_seed = 43;
+  const ShardedPipeline pipeline(opts);
+
+  // Worker 2 dies partway through its measured window.
+  FaultInjector::Global().ArmOneShot("shard.kill.2", 100);
+
+  const auto result = pipeline.MeasureThroughput(
+      [&replicas](u32 cpu) -> ShardedPipeline::BurstHandler {
+        nf::CuckooSwitchKernel* nf = replicas[cpu].get();
+        return [nf](ebpf::XdpContext* ctxs, u32 count,
+                    ebpf::XdpAction* verdicts) {
+          nf->ProcessBurst(ctxs, count, verdicts);
+        };
+      },
+      trace);
+
+  // Exact accounting end to end: the kill cost zero packets.
+  EXPECT_EQ(result.failed_workers, 1u);
+  EXPECT_TRUE(result.shards[2].failed);
+  EXPECT_EQ(result.total.packets, 1'000'000u);
+  EXPECT_EQ(result.total.dropped + result.total.passed + result.total.aborted,
+            1'000'000u);
+  // Every flow is in every replica, so nothing may drop or abort.
+  EXPECT_EQ(result.total.dropped, 0u);
+  EXPECT_EQ(result.total.aborted, 0u);
+  EXPECT_GT(result.failover_packets, 0u);
+  EXPECT_EQ(result.total.degraded, result.failover_packets);
+  u64 shard_sum = 0;
+  for (const auto& shard : result.shards) {
+    shard_sum += shard.stats.packets;
+  }
+  EXPECT_EQ(shard_sum, 1'000'000u);
+
+  // Every pre-fault key is still resolvable on every replica (including the
+  // dead worker's — its table was abandoned, not corrupted).
+  for (u32 w = 0; w < kWorkers; ++w) {
+    for (u32 f = 0; f < kFlows; ++f) {
+      ASSERT_EQ(replicas[w]->Lookup(flows[f]), std::optional<u64>(f + 1))
+          << "replica " << w << " flow " << f;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pktgen
