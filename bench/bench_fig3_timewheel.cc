@@ -6,7 +6,8 @@
 #include "bench/bench_util.h"
 #include "nf/timewheel.h"
 
-int main() {
+int main(int argc, char** argv) {
+  bench::JsonReport report("fig3_timewheel", argc, argv);
   bench::PrintHeader("Figure 3(f): time wheel vs slot granularity");
   const auto flows = pktgen::MakeFlowPopulation(1024, 31);
   const auto trace = pktgen::MakeQueueingTrace(
@@ -27,6 +28,10 @@ int main() {
     const double k = bench::MeasureMpps(kernel_tw.Handler(), trace);
     const double s = bench::MeasureMpps(enetstl_tw.Handler(), trace);
     bench::PrintSweepRow(std::to_string(granularity), e, k, s);
+    const std::string param = std::to_string(granularity);
+    report.Add("ebpf", param, e);
+    report.Add("kernel", param, k);
+    report.Add("enetstl", param, s);
     acc.Add(e, k, s);
   }
   acc.PrintSummary("time wheel (paper: +38.4% avg vs eBPF, -5.75% vs kernel)");

@@ -56,23 +56,6 @@ std::unique_ptr<nf::CuckooSwitchBase> MakeSwitch(
   return sw;
 }
 
-// Best of three repeats (shared/virtualized core: the max is the
-// least-perturbed estimate), burst mode.
-double MeasureBurstMpps(nf::NetworkFunction& nf, const pktgen::Trace& trace,
-                        u32 burst_size) {
-  pktgen::Pipeline::Options opts;
-  opts.warmup_packets = 20'000;
-  opts.measure_packets = 200'000;
-  opts.burst_size = burst_size;
-  const pktgen::Pipeline pipeline(opts);
-  double best = 0.0;
-  for (int rep = 0; rep < 3; ++rep) {
-    const auto stats = pipeline.MeasureThroughputBurst(nf.BurstHandler(), trace);
-    best = stats.pps > best ? stats.pps : best;
-  }
-  return best / 1e6;
-}
-
 struct ShardedPoint {
   double mpps = 0.0;
   bool sums_ok = false;
@@ -126,7 +109,8 @@ ShardedPoint MeasureShardedMpps(nf::Variant variant,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::JsonReport report("scaling", argc, argv);
   // Cuckoo-switch at ~95% occupancy with a uniform resident-flow trace (the
   // nf_roster heavy configuration).
   const auto flows = pktgen::MakeFlowPopulation(16384, 71);
@@ -167,11 +151,15 @@ int main() {
       if (burst == 1) {
         mpps[v] = bench::MeasureMpps(sw->Handler(), trace);
       } else {
-        mpps[v] = MeasureBurstMpps(*sw, trace, burst);
+        mpps[v] = bench::MeasureBurstMpps(*sw, trace, burst);
       }
     }
     bench::PrintSweepRow(burst == 1 ? "1 (per-pkt)" : std::to_string(burst),
                          mpps[0], mpps[1], mpps[2]);
+    const std::string param = "burst" + std::to_string(burst);
+    report.Add("ebpf", param, mpps[0]);
+    report.Add("kernel", param, mpps[1]);
+    report.Add("enetstl", param, mpps[2]);
     if (burst == 1) {
       per_packet_enetstl = mpps[2];
     } else if (burst == 8) {
@@ -206,6 +194,10 @@ int main() {
       mpps[v] = point.mpps;
     }
     bench::PrintSweepRow(std::to_string(workers), mpps[0], mpps[1], mpps[2]);
+    const std::string param = "cores" + std::to_string(workers);
+    report.Add("ebpf", param, mpps[0]);
+    report.Add("kernel", param, mpps[1]);
+    report.Add("enetstl", param, mpps[2]);
     enetstl_by_cores.push_back(mpps[2]);
   }
 

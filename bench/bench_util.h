@@ -4,6 +4,7 @@
 #define ENETSTL_BENCH_BENCH_UTIL_H_
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
@@ -16,12 +17,23 @@ namespace bench {
 using ebpf::u32;
 using ebpf::u64;
 
+// Measurement packet count, overridable via ENETSTL_BENCH_MEASURE_PACKETS so
+// CI smoke runs can shrink the benches without a recompile.
+inline u64 EnvPackets(u64 fallback) {
+  const char* env = std::getenv("ENETSTL_BENCH_MEASURE_PACKETS");
+  if (env == nullptr) {
+    return fallback;
+  }
+  const unsigned long long v = std::strtoull(env, nullptr, 10);
+  return v > 0 ? static_cast<u64>(v) : fallback;
+}
+
 // Standard measurement sizes: large enough for stable single-core numbers,
 // small enough that the full suite completes in minutes.
 inline pktgen::Pipeline MakePipeline() {
   pktgen::Pipeline::Options opts;
   opts.warmup_packets = 20'000;
-  opts.measure_packets = 200'000;
+  opts.measure_packets = EnvPackets(200'000);
   return pktgen::Pipeline(opts);
 }
 
@@ -33,6 +45,23 @@ inline double MeasureMpps(const pktgen::PacketHandler& handler,
   double best = 0.0;
   for (int rep = 0; rep < 3; ++rep) {
     const auto stats = pipeline.MeasureThroughput(handler, trace);
+    best = stats.pps > best ? stats.pps : best;
+  }
+  return best / 1e6;
+}
+
+// Best of three, burst-mode dispatch through the NF's ProcessBurst.
+inline double MeasureBurstMpps(nf::NetworkFunction& nf,
+                               const pktgen::Trace& trace, u32 burst_size) {
+  pktgen::Pipeline::Options opts;
+  opts.warmup_packets = 20'000;
+  opts.measure_packets = EnvPackets(200'000);
+  opts.burst_size = burst_size;
+  const pktgen::Pipeline pipeline(opts);
+  double best = 0.0;
+  for (int rep = 0; rep < 3; ++rep) {
+    const auto stats =
+        pipeline.MeasureThroughputBurst(nf.BurstHandler(), trace);
     best = stats.pps > best ? stats.pps : best;
   }
   return best / 1e6;
@@ -90,6 +119,93 @@ struct SweepAccumulator {
         "-- %s: avg +%.1f%% vs eBPF (peak +%.1f%%), avg -%.1f%% vs kernel\n",
         label, gain_sum / rows, gain_max, gap_sum / rows);
   }
+};
+
+// Short git revision of the working tree, "unknown" outside a checkout.
+inline std::string GitRevision() {
+  std::string rev = "unknown";
+#if defined(__unix__) || defined(__APPLE__)
+  if (FILE* p = ::popen("git rev-parse --short HEAD 2>/dev/null", "r")) {
+    char buf[64] = {};
+    if (std::fgets(buf, sizeof(buf), p) != nullptr) {
+      std::string s(buf);
+      while (!s.empty() && (s.back() == '\n' || s.back() == '\r')) {
+        s.pop_back();
+      }
+      if (!s.empty()) {
+        rev = s;
+      }
+    }
+    ::pclose(p);
+  }
+#endif
+  return rev;
+}
+
+// Machine-readable bench output. Each bench binary constructs one JsonReport
+// with its name and argc/argv; when `--json <path>` was passed, every Add()ed
+// row is written to <path> at destruction as
+//   {"bench": "...", "git_rev": "...",
+//    "rows": [{"series": "...", "param": "...", "mpps": ...}, ...]}
+// Without --json the report is inert, so the human-readable tables are
+// unchanged.
+class JsonReport {
+ public:
+  JsonReport(std::string bench_name, int argc, char** argv)
+      : bench_(std::move(bench_name)) {
+    for (int i = 1; i + 1 < argc; ++i) {
+      if (std::string(argv[i]) == "--json") {
+        path_ = argv[i + 1];
+        break;
+      }
+    }
+  }
+
+  ~JsonReport() { Write(); }
+
+  bool enabled() const { return !path_.empty(); }
+
+  void Add(const std::string& series, const std::string& param, double mpps) {
+    rows_.push_back({series, param, mpps});
+  }
+
+  void Write() {
+    if (path_.empty() || written_) {
+      return;
+    }
+    FILE* f = std::fopen(path_.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "JsonReport: cannot open %s\n", path_.c_str());
+      return;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"git_rev\": \"%s\",\n",
+                 bench_.c_str(), GitRevision().c_str());
+    std::fprintf(f, "  \"rows\": [\n");
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+      std::fprintf(f,
+                   "    {\"series\": \"%s\", \"param\": \"%s\", "
+                   "\"mpps\": %.6f}%s\n",
+                   rows_[i].series.c_str(), rows_[i].param.c_str(),
+                   rows_[i].mpps, i + 1 < rows_.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    written_ = true;
+    std::printf("-- json report written to %s (%zu rows)\n", path_.c_str(),
+                rows_.size());
+  }
+
+ private:
+  struct Row {
+    std::string series;
+    std::string param;
+    double mpps;
+  };
+
+  std::string bench_;
+  std::string path_;
+  std::vector<Row> rows_;
+  bool written_ = false;
 };
 
 }  // namespace bench

@@ -19,6 +19,11 @@ ENETSTL_NOINLINE s32 FindKey16(const u8* keys, u32 count, const u8* key) {
   return internal::FindKey16Impl(keys, count, key);
 }
 
+ENETSTL_NOINLINE s32 CompareKey32(const u8* a, const u8* b) {
+  ebpf::CompilerBarrier();
+  return internal::CompareKey32Impl(a, b);
+}
+
 ENETSTL_NOINLINE s32 MinIndexU32(const u32* arr, u32 count, u32* min_val) {
   ebpf::CompilerBarrier();
   return internal::MinIndexU32Impl(arr, count, min_val);

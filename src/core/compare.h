@@ -37,6 +37,11 @@ ENETSTL_NOINLINE s32 FindU16(const u16* arr, u32 count, u16 key);
 // equal to `key`, or -1. Full-key comparison for blocked cuckoo hash buckets.
 ENETSTL_NOINLINE s32 FindKey16(const u8* keys, u32 count, const u8* key);
 
+// Three-way compare of two 32-byte keys with memcmp ordering (sign of the
+// first differing byte), returning strictly -1/0/+1. One AVX2 compare +
+// movemask instead of a byte loop; used for skip-list SkipKey ordering.
+ENETSTL_NOINLINE s32 CompareKey32(const u8* a, const u8* b);
+
 // Index of the first minimum element; *min_val receives the minimum.
 // count == 0 returns -1.
 ENETSTL_NOINLINE s32 MinIndexU32(const u32* arr, u32 count, u32* min_val);
@@ -81,6 +86,15 @@ inline s32 FindKey16(const u8* keys, u32 count, const u8* key) {
     }
   }
   return -1;
+}
+
+inline s32 CompareKey32(const u8* a, const u8* b) {
+  for (u32 i = 0; i < 32; ++i) {
+    if (a[i] != b[i]) {
+      return a[i] < b[i] ? -1 : 1;
+    }
+  }
+  return 0;
 }
 
 inline s32 MinIndexU32(const u32* arr, u32 count, u32* min_val) {

@@ -91,6 +91,22 @@ inline s32 FindKey16Impl(const u8* keys, u32 count, const u8* key) {
 #endif
 }
 
+inline s32 CompareKey32Impl(const u8* a, const u8* b) {
+#if defined(ENETSTL_HAVE_AVX2)
+  const __m256i va = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a));
+  const __m256i vb = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b));
+  const u32 neq =
+      ~static_cast<u32>(_mm256_movemask_epi8(_mm256_cmpeq_epi8(va, vb)));
+  if (neq == 0) {
+    return 0;
+  }
+  const u32 i = Ffs64(neq);  // lowest set bit = first differing byte
+  return a[i] < b[i] ? -1 : 1;
+#else
+  return scalar::CompareKey32(a, b);
+#endif
+}
+
 inline s32 MinIndexU32Impl(const u32* arr, u32 count, u32* min_val) {
   if (count == 0) {
     return -1;

@@ -19,6 +19,11 @@ int RegisterEnetstlKfuncs(ebpf::KfuncRegistry& registry) {
       {"enetstl_node_disconnect", ebpf::kKfTrustedArgs, "mw_node", net_types},
       {"enetstl_get_next", ebpf::kKfAcquire | ebpf::kKfRetNull, "mw_node",
        net_types},
+      // Batched traversal: one call boundary advances a whole frontier of
+      // (node, out_idx) cursors with grouped software prefetch; every
+      // element of the result is an acquired, possibly-null node pointer.
+      {"enetstl_get_next_batch", ebpf::kKfAcquire | ebpf::kKfRetNull,
+       "mw_node", net_types},
       {"enetstl_node_acquire", ebpf::kKfAcquire, "mw_node", net_types},
       {"enetstl_node_release", ebpf::kKfRelease, "mw_node", net_types},
       {"enetstl_node_write", ebpf::kKfTrustedArgs, "mw_node", net_types},
@@ -33,6 +38,7 @@ int RegisterEnetstlKfuncs(ebpf::KfuncRegistry& registry) {
       {"enetstl_find_u32", 0, "", net_types},
       {"enetstl_find_u16", 0, "", net_types},
       {"enetstl_find_key16", 0, "", net_types},
+      {"enetstl_cmp_key32", 0, "", net_types},
       {"enetstl_min_index_u32", 0, "", net_types},
       {"enetstl_max_index_u32", 0, "", net_types},
 
@@ -64,6 +70,8 @@ int RegisterEnetstlKfuncs(ebpf::KfuncRegistry& registry) {
       {"enetstl_lb_insert_tail", ebpf::kKfTrustedArgs, "list_buckets",
        net_types},
       {"enetstl_lb_pop_front", ebpf::kKfTrustedArgs, "list_buckets", net_types},
+      {"enetstl_lb_pop_front_batch", ebpf::kKfTrustedArgs, "list_buckets",
+       net_types},
       {"enetstl_lb_peek_front", ebpf::kKfTrustedArgs, "list_buckets", net_types},
       {"enetstl_lb_first_nonempty", ebpf::kKfTrustedArgs, "list_buckets",
        net_types},

@@ -2,6 +2,18 @@
 
 namespace enetstl {
 
+namespace {
+
+inline void PrefetchRead(const void* p) {
+#if defined(__GNUC__)
+  __builtin_prefetch(p, /*rw=*/0, /*locality=*/3);
+#else
+  (void)p;
+#endif
+}
+
+}  // namespace
+
 ListBuckets::ListBuckets(u32 num_buckets, u32 capacity, u32 elem_size)
     : num_buckets_(num_buckets), capacity_(capacity), elem_size_(elem_size) {
   for (PerCpu& c : percpu_) {
@@ -91,6 +103,44 @@ ENETSTL_NOINLINE int ListBuckets::PopFront(u32 bucket, void* out, u32 size) {
   return ebpf::kOk;
 }
 
+ENETSTL_NOINLINE s32 ListBuckets::PopFrontBatch(u32 bucket, void* out, u32 max,
+                                                u32 size) {
+  ebpf::CompilerBarrier();
+  if (bucket >= num_buckets_ || size != elem_size_) {
+    return ebpf::kErrInval;
+  }
+  PerCpu& c = Cpu();
+  u32 idx = c.head[bucket];
+  u8* dst = static_cast<u8*>(out);
+  u32 n = 0;
+  while (n < max && idx != kNil) {
+    // Save the successor before FreeNode overwrites next[idx], and prefetch
+    // its payload so the copy-out latency of element k hides the miss of
+    // element k+1.
+    const u32 nxt = c.next[idx];
+    if (nxt != kNil) {
+      PrefetchRead(&c.payload[static_cast<std::size_t>(nxt) * elem_size_]);
+    }
+    std::memcpy(dst, &c.payload[static_cast<std::size_t>(idx) * elem_size_],
+                elem_size_);
+    dst += elem_size_;
+    FreeNode(c, idx);
+    idx = nxt;
+    ++n;
+  }
+  if (n > 0) {
+    c.head[bucket] = idx;
+    if (idx == kNil) {
+      c.tail[bucket] = kNil;
+    }
+    c.len[bucket] -= n;
+    if (c.len[bucket] == 0) {
+      MarkEmpty(c, bucket);
+    }
+  }
+  return static_cast<s32>(n);
+}
+
 ENETSTL_NOINLINE int ListBuckets::PeekFront(u32 bucket, void* out, u32 size) {
   ebpf::CompilerBarrier();
   if (bucket >= num_buckets_ || size != elem_size_) {
@@ -118,7 +168,16 @@ ENETSTL_NOINLINE s32 ListBuckets::FirstNonEmpty(u32 from) {
   while (true) {
     if (w != 0) {
       const u32 bucket = (word << 6) + Ffs64(w);
-      return bucket < num_buckets_ ? static_cast<s32>(bucket) : -1;
+      if (bucket >= num_buckets_) {
+        return -1;
+      }
+      // The caller is about to drain this bucket: start its head payload
+      // towards the cache while the caller consumes the return value.
+      const u32 head = c.head[bucket];
+      if (head != kNil) {
+        PrefetchRead(&c.payload[static_cast<std::size_t>(head) * elem_size_]);
+      }
+      return static_cast<s32>(bucket);
     }
     if (++word >= words) {
       return -1;

@@ -48,12 +48,21 @@ class ListBuckets {
   // kErrNoEnt if the bucket is empty.
   ENETSTL_NOINLINE int PopFront(u32 bucket, void* out, u32 size);
 
+  // kfunc: pop up to `max` front elements of `bucket` into `out` (an array of
+  // `size`-byte records, size == elem_size). One call boundary drains a whole
+  // bucket; the successor node's payload is prefetched while the current one
+  // is copied out. Returns the number popped (0 when already empty) or
+  // kErrInval; state after popping k elements is identical to k scalar
+  // PopFront calls.
+  ENETSTL_NOINLINE s32 PopFrontBatch(u32 bucket, void* out, u32 max, u32 size);
+
   // kfunc: copy the front element without removing it.
   ENETSTL_NOINLINE int PeekFront(u32 bucket, void* out, u32 size);
 
   // kfunc: index of the first non-empty bucket at or after `from` on the
   // current CPU (wrapping NOT applied); -1 if all empty. Uses the occupancy
-  // bitmap + hardware FFS.
+  // bitmap + hardware FFS, and prefetches the found bucket's head payload so
+  // the drain that follows starts warm.
   ENETSTL_NOINLINE s32 FirstNonEmpty(u32 from);
 
   // Introspection (harness side).

@@ -15,6 +15,14 @@ namespace {
 constexpr u32 kMaxSlots = 64;
 constexpr u32 kMaxDataSize = 64 * 1024;
 
+inline void PrefetchRead(const void* p) {
+#if defined(__GNUC__)
+  __builtin_prefetch(p, /*rw=*/0, /*locality=*/3);
+#else
+  (void)p;
+#endif
+}
+
 }  // namespace
 
 NodeProxy::NodeProxy(CheckMode mode) : mode_(mode) {}
@@ -23,8 +31,26 @@ NodeProxy::~NodeProxy() {
   // Destroy all still-owned nodes. Owned nodes hold exactly the proxy's
   // reference once programs have released theirs; force-destroy regardless so
   // teardown cannot leak (mirrors BPF map destruction releasing kptrs).
-  std::vector<Node*> owned(owned_.begin(), owned_.end());
+  // Collect first: Destroy frees slots, which would corrupt a live iteration.
+  std::vector<Node*> owned;
+  arena_.ForEachLive([&](void* slot) {
+    Node* node = static_cast<Node*>(slot);
+    if (node->owner == this) {
+      owned.push_back(node);
+    }
+  });
+  for (Node* node : oversize_live_) {
+    if (node->owner == this) {
+      owned.push_back(node);
+    }
+  }
   for (Node* node : owned) {
+    Destroy(node);
+  }
+  // Unowned leftovers in the arena are reclaimed with the slabs; unowned
+  // oversize leftovers (a program leak) are swept here too.
+  std::vector<Node*> leftover(oversize_live_.begin(), oversize_live_.end());
+  for (Node* node : leftover) {
     Destroy(node);
   }
   for (auto& [size, blocks] : freelists_) {
@@ -43,6 +69,12 @@ std::size_t NodeProxy::BlockSize(u32 num_outs, u32 num_ins, u32 data_size) {
   return (size + 15) & ~static_cast<std::size_t>(15);
 }
 
+u64 NodeProxy::ShapeKey(u32 num_outs, u32 num_ins, u32 data_size) {
+  // data_size <= 64 KiB (17 bits), slot counts <= 64 (7 bits each).
+  return static_cast<u64>(data_size) | (static_cast<u64>(num_ins) << 20) |
+         (static_cast<u64>(num_outs) << 28);
+}
+
 u64 NodeProxy::EdgeKey(const Node* from, u32 out_idx) {
   return reinterpret_cast<u64>(from) ^ (static_cast<u64>(out_idx) << 48);
 }
@@ -52,13 +84,19 @@ void* NodeProxy::AllocBlock(std::size_t size) {
   if (it != freelists_.end() && !it->second.empty()) {
     void* block = it->second.back();
     it->second.pop_back();
+    freed_bytes_held_ -= size;
     return block;
   }
   return ::operator new(size, std::align_val_t{alignof(Node)}, std::nothrow);
 }
 
 void NodeProxy::FreeBlock(void* block, std::size_t size) {
+  if (freed_bytes_held_ + size > kMaxCachedBytes) {
+    ::operator delete(block, std::align_val_t{alignof(Node)});
+    return;
+  }
   freelists_[size].push_back(block);
+  freed_bytes_held_ += size;
 }
 
 ENETSTL_NOINLINE Node* NodeProxy::NodeAlloc(u32 num_outs, u32 num_ins,
@@ -74,7 +112,16 @@ ENETSTL_NOINLINE Node* NodeProxy::NodeAlloc(u32 num_outs, u32 num_ins,
     return nullptr;  // injected bpf_obj_new failure (scheduled)
   }
   const std::size_t size = BlockSize(num_outs, num_ins, data_size);
-  void* block = AllocBlock(size);
+  void* block = nullptr;
+  u32 self = SlabArena::kNullHandle;
+  if (arena_.Slabbable(size)) {
+    const SlabArena::Allocation a =
+        arena_.Allocate(ShapeKey(num_outs, num_ins, data_size), size);
+    block = a.ptr;
+    self = a.handle;
+  } else {
+    block = AllocBlock(size);
+  }
   if (block == nullptr) {
     return nullptr;
   }
@@ -83,6 +130,7 @@ ENETSTL_NOINLINE Node* NodeProxy::NodeAlloc(u32 num_outs, u32 num_ins,
   node->num_outs = num_outs;
   node->num_ins = num_ins;
   node->data_size = data_size;
+  node->self = self;
   node->owner = nullptr;
   for (u32 i = 0; i < num_outs; ++i) {
     node->outs()[i] = nullptr;
@@ -91,6 +139,9 @@ ENETSTL_NOINLINE Node* NodeProxy::NodeAlloc(u32 num_outs, u32 num_ins,
     node->ins()[i] = Node::InEdge{};
   }
   std::memset(node->data(), 0, data_size);
+  if (self == SlabArena::kNullHandle) {
+    oversize_live_.insert(node);
+  }
   ++live_nodes_;
   return node;
 }
@@ -101,7 +152,7 @@ ENETSTL_NOINLINE void NodeProxy::SetOwner(Node* node) {
     return;
   }
   node->owner = this;
-  owned_.insert(node);
+  ++owned_nodes_;
   ++node->refcount;
 }
 
@@ -111,7 +162,7 @@ ENETSTL_NOINLINE void NodeProxy::UnsetOwner(Node* node) {
     return;
   }
   node->owner = nullptr;
-  owned_.erase(node);
+  --owned_nodes_;
   NodeRelease(node);
 }
 
@@ -181,6 +232,40 @@ ENETSTL_NOINLINE Node* NodeProxy::GetNext(Node* node, u32 out_idx) {
   return next;
 }
 
+ENETSTL_NOINLINE void NodeProxy::GetNextBatch(Node* const* nodes,
+                                              const u32* out_idxs, u32 n,
+                                              Node** out) {
+  ebpf::CompilerBarrier();
+  // Stage 1: resolve every target and prefetch it. The header line covers
+  // refcount + out-slot array starts; the following two lines cover the
+  // in-edge slots and the key-bearing start of the payload for the node
+  // shapes the pointer-based NFs use (skip-list heights <= 7 keep the key
+  // within three lines; taller nodes are geometrically rare).
+  for (u32 i = 0; i < n; ++i) {
+    Node* node = nodes[i];
+    Node* next = nullptr;
+    if (node != nullptr && out_idxs[i] < node->num_outs) {
+      if (mode_ != CheckMode::kEager ||
+          valid_edges_.find(EdgeKey(node, out_idxs[i])) != valid_edges_.end()) {
+        next = node->outs()[out_idxs[i]];
+      }
+    }
+    out[i] = next;
+    if (next != nullptr) {
+      const u8* p = reinterpret_cast<const u8*>(next);
+      PrefetchRead(p);
+      PrefetchRead(p + 64);
+      PrefetchRead(p + 128);
+    }
+  }
+  // Stage 2: take the references, by which time the prefetches have landed.
+  for (u32 i = 0; i < n; ++i) {
+    if (out[i] != nullptr) {
+      ++out[i]->refcount;
+    }
+  }
+}
+
 ENETSTL_NOINLINE Node* NodeProxy::NodeAcquire(Node* node) {
   ebpf::CompilerBarrier();
   if (node == nullptr) {
@@ -233,12 +318,19 @@ void NodeProxy::Destroy(Node* node) {
     }
   }
   if (node->owner == this) {
-    owned_.erase(node);
+    --owned_nodes_;
+    node->owner = nullptr;
   }
+  const u32 self = node->self;
   const std::size_t size =
       BlockSize(node->num_outs, node->num_ins, node->data_size);
   node->~Node();
-  FreeBlock(node, size);
+  if (self != SlabArena::kNullHandle) {
+    arena_.Free(self);
+  } else {
+    oversize_live_.erase(node);
+    FreeBlock(node, size);
+  }
   --live_nodes_;
 }
 

@@ -20,13 +20,21 @@
 //    use-after-free cannot occur even in buggy programs, and the cost is
 //    paid on the rare release path.
 //
+// Allocation is backed by the slab arena (core/arena.h): nodes of one shape
+// come from contiguous cache-line-aligned slots, each node carries its own
+// 32-bit arena handle (`self`) for O(1) free, and ownership is an intrusive
+// flag (`owner`) plus a counter — no hash set or size-class map touches the
+// SetOwner/UnsetOwner/Destroy paths. Shapes too large to slab (data_size
+// runs up to 64 KiB) fall back to a capped size-class block cache.
+//
 // The eager alternative (validate every GetNext against a hash set of live
 // relationships) is implemented behind CheckMode::kEager solely for the
 // lazy-vs-eager ablation benchmark.
 //
-// kfunc metadata (registered in kfunc_defs.cc): NodeAlloc and GetNext are
-// KF_ACQUIRE | KF_RET_NULL of resource class "mw_node"; NodeRelease is
-// KF_RELEASE. The verifier model enforces null checks and balance.
+// kfunc metadata (registered in kfunc_defs.cc): NodeAlloc, GetNext and
+// GetNextBatch are KF_ACQUIRE | KF_RET_NULL of resource class "mw_node";
+// NodeRelease is KF_RELEASE. The verifier model enforces null checks and
+// balance.
 #ifndef ENETSTL_CORE_MEMORY_WRAPPER_H_
 #define ENETSTL_CORE_MEMORY_WRAPPER_H_
 
@@ -35,6 +43,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "core/arena.h"
 #include "ebpf/helper.h"
 #include "ebpf/types.h"
 
@@ -55,6 +64,9 @@ struct Node {
   u32 num_outs = 0;
   u32 num_ins = 0;
   u32 data_size = 0;
+  // Arena handle of this node's slot; SlabArena::kNullHandle for oversize
+  // nodes served by the fallback block cache.
+  u32 self = SlabArena::kNullHandle;
   NodeProxy* owner = nullptr;
 
   struct InEdge {
@@ -110,6 +122,16 @@ class NodeProxy {
   // one load, one null test, one increment.
   ENETSTL_NOINLINE Node* GetNext(Node* node, u32 out_idx);
 
+  // kfunc [KF_ACQUIRE | KF_RET_NULL, per element]: follows
+  // nodes[i]->out[out_idxs[i]] for a whole frontier behind ONE call boundary.
+  // Stage 1 resolves every target and issues grouped software prefetches for
+  // the node headers and key-bearing payload lines; stage 2 takes the
+  // references. out[i] is nullptr where the slot is empty or invalid — the
+  // verifier model requires a null check on every element, exactly as for
+  // GetNext. Results are bit-identical to n scalar GetNext calls.
+  ENETSTL_NOINLINE void GetNextBatch(Node* const* nodes, const u32* out_idxs,
+                                     u32 n, Node** out);
+
   // kfunc [KF_ACQUIRE]: takes an additional reference on a node the program
   // already holds validly (the analogue of bpf_refcount_acquire). Used when
   // a pointer must outlive the reference it was obtained with, e.g. the
@@ -127,8 +149,11 @@ class NodeProxy {
 
   // Introspection.
   u32 live_nodes() const { return live_nodes_; }
-  u32 owned_nodes() const { return static_cast<u32>(owned_.size()); }
+  u32 owned_nodes() const { return owned_nodes_; }
   CheckMode mode() const { return mode_; }
+  const SlabArena& arena() const { return arena_; }
+  // Bytes parked in the oversize block cache (bounded by kMaxCachedBytes).
+  std::size_t freed_bytes_held() const { return freed_bytes_held_; }
 
   // Failure injection (tests only): after `countdown` further successful
   // allocations, NodeAlloc returns nullptr once and the countdown disarms.
@@ -137,22 +162,34 @@ class NodeProxy {
     alloc_fail_countdown_ = static_cast<s32>(countdown);
   }
 
+  // Cap on bytes the oversize block cache may hold; beyond it, freed blocks
+  // go back to the host allocator (shape-diverse churn must not grow the
+  // cache without bound).
+  static constexpr std::size_t kMaxCachedBytes = 1u << 20;
+
  private:
   void Destroy(Node* node);
   void* AllocBlock(std::size_t size);
   void FreeBlock(void* block, std::size_t size);
 
   static std::size_t BlockSize(u32 num_outs, u32 num_ins, u32 data_size);
+  static u64 ShapeKey(u32 num_outs, u32 num_ins, u32 data_size);
   static u64 EdgeKey(const Node* from, u32 out_idx);
 
   CheckMode mode_;
   u32 live_nodes_ = 0;
+  u32 owned_nodes_ = 0;
   s32 alloc_fail_countdown_ = -1;  // -1 = disarmed
-  std::unordered_set<Node*> owned_;
+  // Per-shape slabs for every datapath shape; nodes carry their handle.
+  SlabArena arena_;
+  // Oversize fallback path: nodes too big to slab (rare, cold) are tracked
+  // explicitly so the destructor can still force-release them, and their
+  // freed blocks are cached up to kMaxCachedBytes.
+  std::unordered_set<Node*> oversize_live_;
+  std::unordered_map<std::size_t, std::vector<void*>> freelists_;
+  std::size_t freed_bytes_held_ = 0;
   // Eager mode only: the set of live (from, out_idx) relationships.
   std::unordered_set<u64> valid_edges_;
-  // Size-class freelists so datapath alloc/release avoids malloc.
-  std::unordered_map<std::size_t, std::vector<void*>> freelists_;
 };
 
 }  // namespace enetstl

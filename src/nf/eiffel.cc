@@ -19,6 +19,14 @@ inline u32 Pow64(u32 k) {
 
 inline std::size_t AlignUp8(std::size_t v) { return (v + 7) & ~std::size_t{7}; }
 
+inline void PrefetchRead(const void* p) {
+#if defined(__GNUC__)
+  __builtin_prefetch(p, /*rw=*/0, /*locality=*/3);
+#else
+  (void)p;
+#endif
+}
+
 }  // namespace
 
 std::size_t EiffelState::BlobSize(const EiffelConfig& config) {
@@ -147,6 +155,53 @@ bool EiffelState::DequeueMin(EiffelItem* out, FfsFn ffs) {
   return true;
 }
 
+template <typename FfsFn>
+u32 EiffelState::DequeueMinBatch(EiffelItem* out, u32 max, FfsFn ffs) {
+  u32 n = 0;
+  while (n < max) {
+    // One root-to-leaf walk finds the minimum bucket; its whole FIFO is then
+    // drained before the next walk — identical pops to repeated DequeueMin,
+    // which would re-walk to the same bucket while it stays non-empty.
+    u32 idx = 0;
+    bool empty = false;
+    for (u32 k = 0; k < levels_; ++k) {
+      const u64 w = words_[level_offset_[k] + idx];
+      const u32 bit = ffs(w);
+      if (bit >= 64) {
+        empty = true;
+        break;
+      }
+      idx = idx * 64 + bit;
+    }
+    if (empty) {
+      break;
+    }
+    const u32 prio = idx;
+    u32 node = head_[prio];
+    u32 popped = 0;
+    while (n < max && node != kNil) {
+      const u32 nxt = next_[node];
+      if (nxt != kNil) {
+        PrefetchRead(&flow_[nxt]);
+      }
+      out[n].priority = prio;
+      out[n].flow = flow_[node];
+      ++n;
+      next_[node] = *free_head_;
+      *free_head_ = node;
+      node = nxt;
+      ++popped;
+    }
+    head_[prio] = node;
+    if (node == kNil) {
+      tail_[prio] = kNil;
+      ClearBits(prio);
+    }
+    *size_ -= popped;
+  }
+  return n;
+}
+
 ebpf::XdpAction EiffelBase::Process(ebpf::XdpContext& ctx) {
   ebpf::FiveTuple tuple;
   if (!ebpf::ParseFiveTuple(ctx, &tuple)) {
@@ -166,6 +221,50 @@ ebpf::XdpAction EiffelBase::Process(ebpf::XdpContext& ctx) {
     (void)DequeueMin(&item);
   }
   return ebpf::XdpAction::kDrop;
+}
+
+void EiffelBase::ProcessBurst(ebpf::XdpContext* ctxs, u32 count,
+                              ebpf::XdpAction* verdicts) {
+  EiffelItem drained[kMaxNfBurst];
+  u32 i = 0;
+  while (i < count) {
+    ebpf::FiveTuple tuple;
+    if (!ebpf::ParseFiveTuple(ctxs[i], &tuple)) {
+      verdicts[i] = ebpf::XdpAction::kAborted;
+      ++i;
+      continue;
+    }
+    u32 op = 0;
+    std::memcpy(&op, ctxs[i].data + ebpf::kL4HeaderOffset + 8, 4);
+    if (op == 1) {
+      verdicts[i] = Process(ctxs[i]);
+      ++i;
+      continue;
+    }
+    // Gather the contiguous run of dequeue packets: m scalar DequeueMin
+    // calls pop exactly the first min(m, size) items in min order, which is
+    // precisely DequeueMinBatch(out, m).
+    u32 m = 0;
+    u32 j = i;
+    while (j < count && m < kMaxNfBurst) {
+      ebpf::FiveTuple t2;
+      if (!ebpf::ParseFiveTuple(ctxs[j], &t2)) {
+        break;
+      }
+      u32 op2 = 0;
+      std::memcpy(&op2, ctxs[j].data + ebpf::kL4HeaderOffset + 8, 4);
+      if (op2 != 0) {
+        break;
+      }
+      ++m;
+      ++j;
+    }
+    (void)DequeueMinBatch(drained, m);
+    for (u32 k = 0; k < m; ++k) {
+      verdicts[i + k] = ebpf::XdpAction::kDrop;
+    }
+    i = j;
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -216,6 +315,11 @@ bool EiffelKernel::DequeueMin(EiffelItem* out) {
   return state_.DequeueMin(out, [](u64 w) { return enetstl::Ffs64(w); });
 }
 
+u32 EiffelKernel::DequeueMinBatch(EiffelItem* out, u32 max) {
+  return state_.DequeueMinBatch(out, max,
+                                [](u64 w) { return enetstl::Ffs64(w); });
+}
+
 u32 EiffelKernel::size() const { return state_.size(); }
 
 // ---------------------------------------------------------------------------
@@ -241,6 +345,13 @@ bool EiffelEnetstl::DequeueMin(EiffelItem* out) {
     return false;
   }
   return state_.DequeueMin(out, enetstl::kfunc::Ffs64);
+}
+
+u32 EiffelEnetstl::DequeueMinBatch(EiffelItem* out, u32 max) {
+  if (state_map_.LookupElem(0) == nullptr) {
+    return 0;
+  }
+  return state_.DequeueMinBatch(out, max, enetstl::kfunc::Ffs64);
 }
 
 u32 EiffelEnetstl::size() const { return state_.size(); }

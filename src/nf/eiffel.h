@@ -52,6 +52,14 @@ class EiffelState {
   template <typename FfsFn>
   bool DequeueMin(EiffelItem* out, FfsFn ffs);
 
+  // Pops up to `max` items in DequeueMin order, but with one root-to-leaf FFS
+  // walk per *bucket refill* instead of per item: a bucket's FIFO is drained
+  // straight through (prefetching the successor's flow word) before the next
+  // walk. The pop sequence and final state are exactly those of repeated
+  // DequeueMin calls. Returns the number popped.
+  template <typename FfsFn>
+  u32 DequeueMinBatch(EiffelItem* out, u32 max, FfsFn ffs);
+
   u32 size() const { return *size_; }
   u32 num_priorities() const { return num_priorities_; }
 
@@ -87,11 +95,27 @@ class EiffelBase : public NetworkFunction {
   virtual bool Enqueue(const EiffelItem& item) = 0;
   // Pops the item with the smallest priority; false when empty.
   virtual bool DequeueMin(EiffelItem* out) = 0;
+  // Pops up to `max` items in DequeueMin order; out[i] must match what the
+  // i-th scalar DequeueMin would have returned. Default is the scalar loop;
+  // the kernel and eNetSTL variants override it with the bucket-drain walk.
+  virtual u32 DequeueMinBatch(EiffelItem* out, u32 max) {
+    u32 n = 0;
+    while (n < max && DequeueMin(&out[n])) {
+      ++n;
+    }
+    return n;
+  }
   virtual u32 size() const = 0;
 
   // Packet path: payload word 0 = 1 -> enqueue with priority from payload
   // word 1; 0 -> dequeue-min.
   ebpf::XdpAction Process(ebpf::XdpContext& ctx) override;
+
+  // Burst path: contiguous runs of dequeue packets collapse into a single
+  // DequeueMinBatch (same pop sequence); enqueues stay scalar so the op
+  // interleaving is bit-identical to per-packet Process.
+  void ProcessBurst(ebpf::XdpContext* ctxs, u32 count,
+                    ebpf::XdpAction* verdicts) override;
 
   std::string_view name() const override { return "eiffel-cffs"; }
   const EiffelConfig& config() const { return config_; }
@@ -120,6 +144,7 @@ class EiffelKernel : public EiffelBase {
   explicit EiffelKernel(const EiffelConfig& config);
   bool Enqueue(const EiffelItem& item) override;
   bool DequeueMin(EiffelItem* out) override;
+  u32 DequeueMinBatch(EiffelItem* out, u32 max) override;
   u32 size() const override;
   Variant variant() const override { return Variant::kKernel; }
 
@@ -133,6 +158,7 @@ class EiffelEnetstl : public EiffelBase {
   explicit EiffelEnetstl(const EiffelConfig& config);
   bool Enqueue(const EiffelItem& item) override;
   bool DequeueMin(EiffelItem* out) override;
+  u32 DequeueMinBatch(EiffelItem* out, u32 max) override;
   u32 size() const override;
   Variant variant() const override { return Variant::kEnetstl; }
 

@@ -27,6 +27,14 @@ inline u32 GeometricHeight(u64& state, u32 max_height) {
   return h;
 }
 
+inline void PrefetchRead(const void* p) {
+#if defined(__GNUC__)
+  __builtin_prefetch(p, /*rw=*/0, /*locality=*/3);
+#else
+  (void)p;
+#endif
+}
+
 inline SkipValue ValueFromTuple(const ebpf::FiveTuple& tuple) {
   SkipValue v;
   for (u32 off = 0; off + sizeof(tuple) <= kSkipValueSize;
@@ -59,6 +67,52 @@ ebpf::XdpAction SkipListBase::Process(ebpf::XdpContext& ctx) {
       return Erase(key) ? ebpf::XdpAction::kDrop : ebpf::XdpAction::kPass;
   }
   return ebpf::XdpAction::kAborted;
+}
+
+void SkipListBase::ProcessBurst(ebpf::XdpContext* ctxs, u32 count,
+                                ebpf::XdpAction* verdicts) {
+  SkipKey keys[kMaxNfBurst];
+  SkipValue values[kMaxNfBurst];
+  bool found[kMaxNfBurst];
+  u32 pkt[kMaxNfBurst];
+  u32 i = 0;
+  while (i < count) {
+    ebpf::FiveTuple tuple;
+    if (!ebpf::ParseFiveTuple(ctxs[i], &tuple)) {
+      verdicts[i++] = ebpf::XdpAction::kAborted;
+      continue;
+    }
+    u32 op = 0;
+    std::memcpy(&op, ctxs[i].data + ebpf::kL4HeaderOffset + 8, 4);
+    if (static_cast<pktgen::KvOp>(op) != pktgen::KvOp::kLookup) {
+      verdicts[i] = Process(ctxs[i]);
+      ++i;
+      continue;
+    }
+    // Gather the contiguous lookup run; a mutation or malformed packet ends
+    // it (without being consumed), preserving the scalar op interleaving.
+    u32 m = 0;
+    while (i < count && m < kMaxNfBurst) {
+      ebpf::FiveTuple t;
+      if (!ebpf::ParseFiveTuple(ctxs[i], &t)) {
+        break;
+      }
+      u32 run_op = 0;
+      std::memcpy(&run_op, ctxs[i].data + ebpf::kL4HeaderOffset + 8, 4);
+      if (static_cast<pktgen::KvOp>(run_op) != pktgen::KvOp::kLookup) {
+        break;
+      }
+      keys[m] = SkipKey::FromTuple(t);
+      pkt[m] = i;
+      ++m;
+      ++i;
+    }
+    LookupBatch(keys, m, values, found);
+    for (u32 j = 0; j < m; ++j) {
+      verdicts[pkt[j]] =
+          found[j] ? ebpf::XdpAction::kPass : ebpf::XdpAction::kDrop;
+    }
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -99,6 +153,62 @@ bool SkipListKernel::Lookup(const SkipKey& key, SkipValue* value) {
     return true;
   }
   return false;
+}
+
+void SkipListKernel::LookupBatch(const SkipKey* keys, u32 n, SkipValue* values,
+                                 bool* found) {
+  while (n > kMaxNfBurst) {
+    LookupBatch(keys, kMaxNfBurst, values, found);
+    keys += kMaxNfBurst;
+    values += kMaxNfBurst;
+    found += kMaxNfBurst;
+    n -= kMaxNfBurst;
+  }
+  // Frontier walk: every still-searching key advances one hop per round; the
+  // round's successor nodes are prefetched as a group before any key compare
+  // touches them, so the per-key pointer-chase misses overlap.
+  Node* x[kMaxNfBurst];
+  Node* next[kMaxNfBurst];
+  int lvl[kMaxNfBurst];
+  bool done[kMaxNfBurst];
+  u32 active = n;
+  for (u32 i = 0; i < n; ++i) {
+    x[i] = head_;
+    lvl[i] = static_cast<int>(cur_height_) - 1;
+    done[i] = false;
+    found[i] = false;
+  }
+  while (active > 0) {
+    for (u32 i = 0; i < n; ++i) {
+      if (done[i]) {
+        continue;
+      }
+      next[i] = x[i]->next[lvl[i]];
+      if (next[i] != nullptr) {
+        PrefetchRead(next[i]);
+      }
+    }
+    for (u32 i = 0; i < n; ++i) {
+      if (done[i]) {
+        continue;
+      }
+      Node* nx = next[i];
+      if (nx != nullptr && CompareKeys(nx->key, keys[i]) < 0) {
+        x[i] = nx;
+      } else if (lvl[i] > 0) {
+        --lvl[i];
+      } else {
+        // Bottom level stop: nx is exactly the candidate the scalar path
+        // re-fetches (first node >= key at level 0).
+        if (nx != nullptr && nx->key == keys[i]) {
+          values[i] = nx->value;
+          found[i] = true;
+        }
+        done[i] = true;
+        --active;
+      }
+    }
+  }
 }
 
 void SkipListKernel::Update(const SkipKey& key, const SkipValue& value) {
@@ -185,9 +295,10 @@ u32 SkipListEnetstl::RandomHeight() {
 namespace {
 
 // The node payload starts with the key; reads of kfunc-returned node memory
-// are bounds-verified from metadata, so the key compare reads it in place.
+// are bounds-verified from metadata, so the key compare reads it in place
+// through the parallel-compare kernel (enetstl_cmp_key32's implementation).
 inline int CompareNodeKey(const enetstl::Node* node, const SkipKey& key) {
-  return std::memcmp(node->data(), key.bytes, kSkipKeySize);
+  return enetstl::internal::CompareKey32Impl(node->data(), key.bytes);
 }
 
 }  // namespace
@@ -226,6 +337,84 @@ bool SkipListEnetstl::Lookup(const SkipKey& key, SkipValue* value) {
     proxy_.NodeRelease(x_ref);
   }
   return found;
+}
+
+void SkipListEnetstl::LookupBatch(const SkipKey* keys, u32 n,
+                                  SkipValue* values, bool* found) {
+  while (n > kMaxNfBurst) {
+    LookupBatch(keys, kMaxNfBurst, values, found);
+    keys += kMaxNfBurst;
+    values += kMaxNfBurst;
+    found += kMaxNfBurst;
+    n -= kMaxNfBurst;
+  }
+  // Frontier walk over the per-level GetNext chains: one GetNextBatch call
+  // boundary advances every still-searching key one hop, with the targets
+  // prefetched as a group inside the kfunc (the HashPrefetchBatch two-stage
+  // pattern applied to pointer chains). The reference discipline per key is
+  // identical to the scalar Lookup: hold at most one traversal reference
+  // (the current predecessor) plus the in-flight successor.
+  enetstl::Node* x[kMaxNfBurst];
+  enetstl::Node* x_ref[kMaxNfBurst];
+  int lvl[kMaxNfBurst];
+  bool done[kMaxNfBurst];
+  enetstl::Node* req_node[kMaxNfBurst];
+  u32 req_idx[kMaxNfBurst];
+  u32 req_key[kMaxNfBurst];
+  enetstl::Node* next[kMaxNfBurst];
+  u32 active = n;
+  for (u32 i = 0; i < n; ++i) {
+    x[i] = head_;
+    x_ref[i] = nullptr;
+    lvl[i] = static_cast<int>(cur_height_) - 1;
+    done[i] = false;
+    found[i] = false;
+  }
+  while (active > 0) {
+    u32 m = 0;
+    for (u32 i = 0; i < n; ++i) {
+      if (done[i]) {
+        continue;
+      }
+      req_node[m] = x[i];
+      req_idx[m] = static_cast<u32>(lvl[i]);
+      req_key[m] = i;
+      ++m;
+    }
+    proxy_.GetNextBatch(req_node, req_idx, m, next);
+    for (u32 j = 0; j < m; ++j) {
+      const u32 i = req_key[j];
+      enetstl::Node* nx = next[j];
+      if (nx != nullptr && CompareNodeKey(nx, keys[i]) < 0) {
+        if (x_ref[i] != nullptr) {
+          proxy_.NodeRelease(x_ref[i]);
+        }
+        x[i] = nx;
+        x_ref[i] = nx;
+      } else if (lvl[i] > 0) {
+        if (nx != nullptr) {
+          proxy_.NodeRelease(nx);
+        }
+        --lvl[i];
+      } else {
+        // Bottom level stop: nx is exactly the candidate the scalar path
+        // re-fetches (first node >= key at level 0).
+        if (nx != nullptr) {
+          if (CompareNodeKey(nx, keys[i]) == 0) {
+            proxy_.NodeRead(nx, kValueOff, values[i].bytes, kSkipValueSize);
+            found[i] = true;
+          }
+          proxy_.NodeRelease(nx);
+        }
+        if (x_ref[i] != nullptr) {
+          proxy_.NodeRelease(x_ref[i]);
+          x_ref[i] = nullptr;
+        }
+        done[i] = true;
+        --active;
+      }
+    }
+  }
 }
 
 void SkipListEnetstl::Update(const SkipKey& key, const SkipValue& value) {

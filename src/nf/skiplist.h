@@ -20,6 +20,7 @@
 #include <memory>
 #include <optional>
 
+#include "core/compare_inl.h"
 #include "core/memory_wrapper.h"
 #include "nf/nf_interface.h"
 
@@ -45,8 +46,12 @@ struct SkipKey {
   }
 };
 
+// 32-byte key ordering through the parallel-compare kernel of core/compare.h
+// (the enetstl_cmp_key32 implementation): one AVX2 compare + movemask instead
+// of a byte loop, scalar fallback without SIMD. Sign-only contract — all call
+// sites test < 0 / == 0.
 inline int CompareKeys(const SkipKey& a, const SkipKey& b) {
-  return std::memcmp(a.bytes, b.bytes, kSkipKeySize);
+  return enetstl::internal::CompareKey32Impl(a.bytes, b.bytes);
 }
 
 struct SkipValue {
@@ -60,9 +65,27 @@ class SkipListBase : public NetworkFunction {
   virtual bool Erase(const SkipKey& key) = 0;
   virtual u32 size() const = 0;
 
+  // Batched lookup: found[i]/values[i] must match Lookup(keys[i]) exactly.
+  // The default is the scalar loop; the kernel and eNetSTL variants override
+  // it with a frontier walk — all still-searching keys advance one GetNext
+  // hop per round, with the next round's nodes prefetched as a group (the
+  // HashPrefetchBatch pattern applied to per-level pointer chains).
+  virtual void LookupBatch(const SkipKey* keys, u32 n, SkipValue* values,
+                           bool* found) {
+    for (u32 i = 0; i < n; ++i) {
+      found[i] = Lookup(keys[i], &values[i]);
+    }
+  }
+
   // Packet path: payload word 0 selects the operation (KvOp encoding);
   // lookups that hit pass, misses drop.
   ebpf::XdpAction Process(ebpf::XdpContext& ctx) override;
+
+  // Burst path: contiguous runs of lookup packets are funneled through
+  // LookupBatch; updates/deletes stay scalar so the op interleaving (and
+  // thus every verdict) is bit-identical to per-packet Process.
+  void ProcessBurst(ebpf::XdpContext* ctxs, u32 count,
+                    ebpf::XdpAction* verdicts) override;
 
   std::string_view name() const override { return "skiplist-kv"; }
 };
@@ -75,6 +98,8 @@ class SkipListKernel : public SkipListBase {
   SkipListKernel& operator=(const SkipListKernel&) = delete;
 
   bool Lookup(const SkipKey& key, SkipValue* value) override;
+  void LookupBatch(const SkipKey* keys, u32 n, SkipValue* values,
+                   bool* found) override;
   void Update(const SkipKey& key, const SkipValue& value) override;
   bool Erase(const SkipKey& key) override;
   u32 size() const override { return size_; }
@@ -108,6 +133,8 @@ class SkipListEnetstl : public SkipListBase {
   SkipListEnetstl& operator=(const SkipListEnetstl&) = delete;
 
   bool Lookup(const SkipKey& key, SkipValue* value) override;
+  void LookupBatch(const SkipKey* keys, u32 n, SkipValue* values,
+                   bool* found) override;
   void Update(const SkipKey& key, const SkipValue& value) override;
   bool Erase(const SkipKey& key) override;
   u32 size() const override { return size_; }

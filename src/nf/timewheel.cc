@@ -241,13 +241,28 @@ bool TimeWheelEnetstl::Enqueue(const TwElem& elem) {
 void TimeWheelEnetstl::Cascade() {
   const u32 idx2 =
       kTvrSize + (static_cast<u32>(clock_ns_ >> (shift_ + 8)) & kLvl2Mask);
-  TwElem elem;
-  while (buckets_.PopFront(idx2, &elem, sizeof(elem)) == ebpf::kOk) {
-    const u32 bucket = BucketFor(elem.expires, clock_ns_, shift_);
-    if (bucket < kTotalBuckets) {
-      PushBucket(bucket, elem);
-    } else {
-      --size_;
+  // Chunked drain: one PopFrontBatch boundary per 64 elements instead of one
+  // per element. Safe because no cascaded element can remap to idx2 itself:
+  // landing back on the level-2 bucket of the current clock would need
+  // delta >= kTvrSize * kTvnSize slots, but level-2 placement requires
+  // delta < kTvrSize * (kTvnSize - 1) — so re-pushes never feed the bucket
+  // being drained, and the chunked pop order equals the scalar pop order.
+  TwElem chunk[64];
+  while (true) {
+    const s32 got = buckets_.PopFrontBatch(idx2, chunk, 64, sizeof(TwElem));
+    if (got <= 0) {
+      break;
+    }
+    for (s32 i = 0; i < got; ++i) {
+      const u32 bucket = BucketFor(chunk[i].expires, clock_ns_, shift_);
+      if (bucket < kTotalBuckets) {
+        PushBucket(bucket, chunk[i]);
+      } else {
+        --size_;
+      }
+    }
+    if (static_cast<u32>(got) < 64) {
+      break;
     }
   }
 }
@@ -258,11 +273,10 @@ u32 TimeWheelEnetstl::AdvanceOneSlot(TwElem* out, u32 max) {
   if (cur == 0) {
     Cascade();
   }
-  u32 n = 0;
-  while (n < max &&
-         buckets_.PopFront(cur, &out[n], sizeof(TwElem)) == ebpf::kOk) {
-    ++n;
-  }
+  // Single batched pop replaces max scalar PopFront boundaries; the kfunc
+  // prefetches each successor's payload while copying the current one out.
+  const s32 got = buckets_.PopFrontBatch(cur, out, max, sizeof(TwElem));
+  const u32 n = got > 0 ? static_cast<u32>(got) : 0;
   size_ -= n;
   return n;
 }

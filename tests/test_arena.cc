@@ -1,0 +1,193 @@
+// Tests for the slab arena backing the memory wrapper: handle stability,
+// LIFO slot recycling (no ABA on the handle space), exhaustion behaviour,
+// and live-slot iteration.
+#include "core/arena.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <set>
+#include <vector>
+
+namespace enetstl {
+namespace {
+
+TEST(Arena, AllocateReturnsAlignedDistinctSlots) {
+  SlabArena arena;
+  std::set<void*> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto a = arena.Allocate(/*shape_key=*/1, 96);
+    ASSERT_NE(a.ptr, nullptr);
+    ASSERT_NE(a.handle, SlabArena::kNullHandle);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(a.ptr) %
+                  SlabArena::kCacheLineSize,
+              0u);
+    EXPECT_TRUE(seen.insert(a.ptr).second) << "slot handed out twice";
+  }
+  EXPECT_EQ(arena.live_slots(), 1000u);
+}
+
+TEST(Arena, HandleDerefIsStableAcrossOtherAllocations) {
+  SlabArena arena;
+  const auto a = arena.Allocate(1, 64);
+  ASSERT_NE(a.ptr, nullptr);
+  std::memset(a.ptr, 0x5a, 64);
+  // Trigger several slab growths in the same and other shape pools.
+  std::vector<SlabArena::Handle> extra;
+  for (int i = 0; i < 2000; ++i) {
+    extra.push_back(arena.Allocate(1 + (i % 3), 64).handle);
+  }
+  EXPECT_EQ(arena.Deref(a.handle), a.ptr);
+  EXPECT_TRUE(arena.IsLive(a.handle));
+  const u8* p = static_cast<const u8*>(a.ptr);
+  for (int i = 0; i < 64; ++i) {
+    ASSERT_EQ(p[i], 0x5a);
+  }
+  for (const auto h : extra) {
+    arena.Free(h);
+  }
+  arena.Free(a.handle);
+  EXPECT_EQ(arena.live_slots(), 0u);
+}
+
+TEST(Arena, FreeIsLifoSameShapeReusesSameSlot) {
+  SlabArena arena;
+  const auto a = arena.Allocate(7, 128);
+  ASSERT_NE(a.ptr, nullptr);
+  arena.Free(a.handle);
+  const auto b = arena.Allocate(7, 128);
+  // LIFO freelist: the most recently freed slot of the shape comes back
+  // first (the memory wrapper's recycling contract depends on this).
+  EXPECT_EQ(b.ptr, a.ptr);
+  EXPECT_EQ(b.handle, a.handle);
+}
+
+TEST(Arena, ShapesDoNotShareSlots) {
+  SlabArena arena;
+  const auto a = arena.Allocate(1, 64);
+  arena.Free(a.handle);
+  const auto b = arena.Allocate(2, 64);
+  // Different shape key -> different pool, even at equal slot size.
+  EXPECT_NE(b.ptr, a.ptr);
+  EXPECT_TRUE(arena.IsLive(b.handle));
+  EXPECT_FALSE(arena.IsLive(a.handle));
+}
+
+TEST(Arena, DoubleFreeAndGarbageHandlesIgnored) {
+  SlabArena arena;
+  const auto a = arena.Allocate(1, 64);
+  const auto b = arena.Allocate(1, 64);
+  arena.Free(a.handle);
+  arena.Free(a.handle);  // double free: must be a no-op, not a freelist cycle
+  arena.Free(SlabArena::kNullHandle);
+  arena.Free(0xdeadbeefu);
+  // The freelist must still hand out distinct slots: a's slot once, then a
+  // fresh one — not a's slot twice (the ABA a corrupted freelist would give).
+  const auto c = arena.Allocate(1, 64);
+  const auto d = arena.Allocate(1, 64);
+  EXPECT_EQ(c.ptr, a.ptr);
+  EXPECT_NE(d.ptr, a.ptr);
+  EXPECT_NE(d.ptr, b.ptr);
+  EXPECT_EQ(arena.live_slots(), 3u);
+}
+
+TEST(Arena, ExhaustionReturnsNullNotCrash) {
+  SlabArena::Options opts;
+  opts.max_slabs = 1;
+  opts.target_slab_bytes = 4 * 1024;
+  SlabArena arena(opts);
+  std::vector<SlabArena::Handle> held;
+  for (int i = 0; i < 10000; ++i) {
+    const auto a = arena.Allocate(1, 64);
+    if (a.ptr == nullptr) {
+      EXPECT_EQ(a.handle, SlabArena::kNullHandle);
+      break;
+    }
+    held.push_back(a.handle);
+  }
+  EXPECT_GT(held.size(), 0u);
+  EXPECT_LT(held.size(), 10000u);
+  // Freeing one slot makes exactly one allocation succeed again.
+  arena.Free(held.back());
+  held.pop_back();
+  EXPECT_NE(arena.Allocate(1, 64).ptr, nullptr);
+  EXPECT_EQ(arena.Allocate(1, 64).ptr, nullptr);
+}
+
+TEST(Arena, OversizeRequestsRefused) {
+  SlabArena arena;
+  EXPECT_FALSE(arena.Slabbable(arena.options().max_slot_bytes + 1));
+  const auto a = arena.Allocate(1, arena.options().max_slot_bytes + 1);
+  EXPECT_EQ(a.ptr, nullptr);
+  EXPECT_EQ(a.handle, SlabArena::kNullHandle);
+  EXPECT_TRUE(arena.Slabbable(arena.options().max_slot_bytes));
+}
+
+TEST(Arena, ForEachLiveVisitsExactlyLiveSlots) {
+  SlabArena arena;
+  std::set<void*> live;
+  std::vector<SlabArena::Handle> handles;
+  for (int i = 0; i < 600; ++i) {
+    const auto a = arena.Allocate(3, 80);
+    handles.push_back(a.handle);
+    live.insert(a.ptr);
+  }
+  // Free every third slot.
+  for (std::size_t i = 0; i < handles.size(); i += 3) {
+    live.erase(arena.Deref(handles[i]));
+    arena.Free(handles[i]);
+  }
+  std::set<void*> visited;
+  arena.ForEachLive([&](void* p) { visited.insert(p); });
+  EXPECT_EQ(visited, live);
+}
+
+TEST(Arena, BytesReservedGrowsWithSlabs) {
+  SlabArena arena;
+  EXPECT_EQ(arena.bytes_reserved(), 0u);
+  (void)arena.Allocate(1, 64);
+  const auto one_slab = arena.bytes_reserved();
+  EXPECT_GT(one_slab, 0u);
+  for (int i = 0; i < 5000; ++i) {
+    (void)arena.Allocate(1, 64);
+  }
+  EXPECT_GT(arena.bytes_reserved(), one_slab);
+  EXPECT_GT(arena.num_slabs(), 1u);
+}
+
+TEST(Arena, RandomChurnKeepsHandleSpaceConsistent) {
+  SlabArena arena;
+  u64 rng = 0x243f6a8885a308d3ull;
+  auto next = [&rng]() {
+    rng ^= rng << 13;
+    rng ^= rng >> 7;
+    rng ^= rng << 17;
+    return rng;
+  };
+  std::vector<std::pair<SlabArena::Handle, u8>> held;
+  for (int step = 0; step < 20000; ++step) {
+    if (held.empty() || (next() & 3) != 0) {
+      const u64 shape = 1 + (next() % 4);
+      const auto a = arena.Allocate(shape, 64 + 32 * (shape - 1));
+      ASSERT_NE(a.ptr, nullptr);
+      const u8 tag = static_cast<u8>(next());
+      std::memset(a.ptr, tag, 64);
+      held.push_back({a.handle, tag});
+    } else {
+      const std::size_t idx = next() % held.size();
+      const auto [h, tag] = held[idx];
+      ASSERT_TRUE(arena.IsLive(h));
+      const u8* p = static_cast<const u8*>(arena.Deref(h));
+      ASSERT_NE(p, nullptr);
+      ASSERT_EQ(p[0], tag) << "slot contents changed while held";
+      ASSERT_EQ(p[63], tag);
+      arena.Free(h);
+      held[idx] = held.back();
+      held.pop_back();
+    }
+  }
+  EXPECT_EQ(arena.live_slots(), held.size());
+}
+
+}  // namespace
+}  // namespace enetstl

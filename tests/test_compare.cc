@@ -190,5 +190,60 @@ INSTANTIATE_TEST_SUITE_P(Counts, CompareProperty,
                          ::testing::Values(0u, 1u, 2u, 3u, 4u, 7u, 8u, 9u, 15u,
                                            16u, 17u, 31u, 32u, 33u, 64u, 100u));
 
+// Sign of a memcmp-style comparison, for exact-value assertions.
+int Sign(int v) { return v < 0 ? -1 : (v > 0 ? 1 : 0); }
+
+TEST(CompareKey32, EqualKeysReturnZero) {
+  u8 a[32], b[32];
+  for (int i = 0; i < 32; ++i) {
+    a[i] = b[i] = static_cast<u8>(i * 7 + 1);
+  }
+  EXPECT_EQ(CompareKey32(a, b), 0);
+  EXPECT_EQ(scalar::CompareKey32(a, b), 0);
+}
+
+TEST(CompareKey32, FirstDifferingByteDecidesAtEveryPosition) {
+  // The result must depend on the FIRST differing byte, not any later one —
+  // plant a contradictory difference after the deciding byte to prove it.
+  for (int pos = 0; pos < 32; ++pos) {
+    u8 a[32], b[32];
+    for (int i = 0; i < 32; ++i) {
+      a[i] = b[i] = static_cast<u8>(0x80 + i);
+    }
+    a[pos] = 0x10;
+    b[pos] = 0x20;
+    if (pos + 1 < 32) {
+      a[pos + 1] = 0xff;  // later byte says a > b; must be ignored
+      b[pos + 1] = 0x00;
+    }
+    EXPECT_EQ(CompareKey32(a, b), -1) << "pos " << pos;
+    EXPECT_EQ(CompareKey32(b, a), 1) << "pos " << pos;
+    EXPECT_EQ(scalar::CompareKey32(a, b), -1) << "pos " << pos;
+  }
+}
+
+TEST(CompareKey32, MatchesScalarAndMemcmpOnRandomKeys) {
+  pktgen::Rng rng(5000);
+  for (int round = 0; round < 2000; ++round) {
+    u8 a[32], b[32];
+    for (int i = 0; i < 32; ++i) {
+      // Narrow byte range -> frequent equal prefixes and full equality.
+      a[i] = static_cast<u8>(rng.NextBounded(3));
+      b[i] = static_cast<u8>(rng.NextBounded(3));
+    }
+    const int simd = CompareKey32(a, b);
+    ASSERT_EQ(simd, scalar::CompareKey32(a, b));
+    ASSERT_EQ(simd, Sign(std::memcmp(a, b, 32)));
+    ASSERT_TRUE(simd == -1 || simd == 0 || simd == 1);
+  }
+}
+
+TEST(CompareKey32, ExtremeByteValues) {
+  u8 a[32] = {}, b[32] = {};
+  a[31] = 0xff;  // high bit set: the compare must be unsigned, like memcmp
+  EXPECT_EQ(CompareKey32(a, b), 1);
+  EXPECT_EQ(CompareKey32(b, a), -1);
+}
+
 }  // namespace
 }  // namespace enetstl

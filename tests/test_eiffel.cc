@@ -150,6 +150,63 @@ INSTANTIATE_TEST_SUITE_P(
       return std::string(kind) + "_L" + std::to_string(std::get<1>(info.param));
     });
 
+// DequeueMinBatch must pop exactly the sequence repeated DequeueMin would:
+// same items, same order, same final size — including batches that span
+// several priority buckets and batches larger than the queue.
+TEST_P(EiffelAll, DequeueMinBatchMatchesScalarDequeue) {
+  EiffelConfig config;
+  config.levels = std::get<1>(GetParam());
+  auto batch_q = Make(std::get<0>(GetParam()), config);
+  auto scalar_q = Make(std::get<0>(GetParam()), config);
+
+  pktgen::Rng rng(777);
+  for (int i = 0; i < 500; ++i) {
+    EiffelItem item;
+    item.priority = static_cast<u32>(rng.NextBounded(batch_q->num_priorities()));
+    item.flow = rng.NextU32();
+    ASSERT_TRUE(batch_q->Enqueue(item));
+    ASSERT_TRUE(scalar_q->Enqueue(item));
+  }
+
+  // Drain in uneven chunks so batches split and span buckets arbitrarily.
+  const u32 chunks[] = {1, 7, 64, 3, 200, 500};
+  for (const u32 chunk : chunks) {
+    std::vector<EiffelItem> out(chunk);
+    const u32 got = batch_q->DequeueMinBatch(out.data(), chunk);
+    for (u32 i = 0; i < chunk; ++i) {
+      EiffelItem ref;
+      const bool have = scalar_q->DequeueMin(&ref);
+      if (i < got) {
+        ASSERT_TRUE(have);
+        ASSERT_EQ(out[i].priority, ref.priority);
+        ASSERT_EQ(out[i].flow, ref.flow);
+      } else {
+        ASSERT_FALSE(have);
+      }
+    }
+    ASSERT_EQ(batch_q->size(), scalar_q->size());
+  }
+  EXPECT_EQ(batch_q->size(), 0u);
+
+  // Refill after a full drain: the freelists must have recycled identically.
+  for (int i = 0; i < 50; ++i) {
+    EiffelItem item;
+    item.priority = static_cast<u32>(rng.NextBounded(batch_q->num_priorities()));
+    item.flow = rng.NextU32();
+    ASSERT_TRUE(batch_q->Enqueue(item));
+    ASSERT_TRUE(scalar_q->Enqueue(item));
+  }
+  std::vector<EiffelItem> out(64);
+  const u32 got = batch_q->DequeueMinBatch(out.data(), 64);
+  ASSERT_EQ(got, 50u);
+  for (u32 i = 0; i < got; ++i) {
+    EiffelItem ref;
+    ASSERT_TRUE(scalar_q->DequeueMin(&ref));
+    ASSERT_EQ(out[i].priority, ref.priority);
+    ASSERT_EQ(out[i].flow, ref.flow);
+  }
+}
+
 TEST(EiffelConfigTest, PriorityCountsGrowGeometrically) {
   EiffelConfig c1{1, 16};
   EiffelConfig c2{2, 16};

@@ -173,5 +173,66 @@ TEST_F(ListBucketsTest, MatchesReferenceModelUnderRandomOps) {
   }
 }
 
+// PopFrontBatch(k) must leave the structure in exactly the state k scalar
+// PopFront calls would: same elements, same order, same freelist (verified
+// by interleaving with further inserts).
+TEST_F(ListBucketsTest, PopFrontBatchMatchesScalarPops) {
+  ListBuckets batch_lb(8, 64, sizeof(u64));
+  ListBuckets scalar_lb(8, 64, sizeof(u64));
+  for (u64 i = 0; i < 20; ++i) {
+    ASSERT_EQ(batch_lb.InsertTail(2, &i, sizeof(i)), ebpf::kOk);
+    ASSERT_EQ(scalar_lb.InsertTail(2, &i, sizeof(i)), ebpf::kOk);
+  }
+
+  u64 batched[8] = {};
+  ASSERT_EQ(batch_lb.PopFrontBatch(2, batched, 8, sizeof(u64)), 8);
+  for (u32 i = 0; i < 8; ++i) {
+    u64 v = 0;
+    ASSERT_EQ(scalar_lb.PopFront(2, &v, sizeof(v)), ebpf::kOk);
+    ASSERT_EQ(batched[i], v);
+  }
+  ASSERT_EQ(batch_lb.BucketLen(2), scalar_lb.BucketLen(2));
+
+  // The freelists must have recycled identically: subsequent inserts and
+  // drains keep agreeing element-for-element.
+  for (u64 i = 100; i < 140; ++i) {
+    ASSERT_EQ(batch_lb.InsertTail(5, &i, sizeof(i)),
+              scalar_lb.InsertTail(5, &i, sizeof(i)));
+  }
+  u64 rest_batch[64] = {};
+  const s32 got = batch_lb.PopFrontBatch(2, rest_batch, 64, sizeof(u64));
+  ASSERT_EQ(got, 12);
+  for (s32 i = 0; i < got; ++i) {
+    u64 v = 0;
+    ASSERT_EQ(scalar_lb.PopFront(2, &v, sizeof(v)), ebpf::kOk);
+    ASSERT_EQ(rest_batch[i], v);
+  }
+  EXPECT_EQ(batch_lb.BucketLen(2), 0u);
+  EXPECT_EQ(batch_lb.PopFrontBatch(2, rest_batch, 8, sizeof(u64)), 0);
+  u64 v = 0;
+  EXPECT_EQ(scalar_lb.PopFront(2, &v, sizeof(v)), ebpf::kErrNoEnt);
+}
+
+TEST_F(ListBucketsTest, PopFrontBatchValidatesArguments) {
+  ListBuckets lb(4, 16, sizeof(u64));
+  u64 out[4];
+  EXPECT_EQ(lb.PopFrontBatch(4, out, 4, sizeof(u64)), ebpf::kErrInval);
+  EXPECT_EQ(lb.PopFrontBatch(0, out, 4, sizeof(u32)), ebpf::kErrInval);
+  EXPECT_EQ(lb.PopFrontBatch(0, out, 0, sizeof(u64)), 0);
+}
+
+TEST_F(ListBucketsTest, PopFrontBatchClearsOccupancyWhenDrained) {
+  ListBuckets lb(8, 32, sizeof(u64));
+  u64 v = 7;
+  ASSERT_EQ(lb.InsertTail(3, &v, sizeof(v)), ebpf::kOk);
+  ASSERT_EQ(lb.InsertTail(6, &v, sizeof(v)), ebpf::kOk);
+  ASSERT_EQ(lb.FirstNonEmpty(0), 3);
+  u64 out[4];
+  ASSERT_EQ(lb.PopFrontBatch(3, out, 4, sizeof(u64)), 1);
+  EXPECT_EQ(lb.FirstNonEmpty(0), 6);
+  ASSERT_EQ(lb.PopFrontBatch(6, out, 4, sizeof(u64)), 1);
+  EXPECT_EQ(lb.FirstNonEmpty(0), -1);
+}
+
 }  // namespace
 }  // namespace enetstl

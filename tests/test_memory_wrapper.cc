@@ -323,5 +323,78 @@ TEST(MemoryWrapper, RandomGraphMutationsNeverDangle) {
   EXPECT_EQ(proxy.live_nodes(), live.size());
 }
 
+// The batched traversal kfunc must be bit-identical to n scalar GetNext
+// calls: same results, same refcounts, in both checking modes.
+TEST(MemoryWrapper, GetNextBatchMatchesGetNext) {
+  for (auto mode : {NodeProxy::CheckMode::kLazy, NodeProxy::CheckMode::kEager}) {
+    NodeProxy proxy(mode);
+    constexpr u32 kChain = 16;
+    std::vector<Node*> nodes;
+    for (u32 i = 0; i < kChain; ++i) {
+      Node* n = proxy.NodeAlloc(2, 2, 8);
+      ASSERT_NE(n, nullptr);
+      proxy.SetOwner(n);
+      nodes.push_back(n);
+    }
+    for (u32 i = 0; i + 1 < kChain; ++i) {
+      proxy.NodeConnect(nodes[i], 0, nodes[i + 1], 0);
+      if (i % 2 == 0) {
+        proxy.NodeConnect(nodes[i], 1, nodes[(i + 3) % kChain], 1);
+      }
+    }
+
+    // Query a mix of connected slots, empty slots, bad indices, and nulls.
+    std::vector<Node*> q_nodes;
+    std::vector<u32> q_idxs;
+    for (u32 i = 0; i < kChain; ++i) {
+      q_nodes.push_back(nodes[i]);
+      q_idxs.push_back(i % 3);  // 2 is out of range -> must yield nullptr
+    }
+    q_nodes.push_back(nullptr);
+    q_idxs.push_back(0);
+
+    const u32 n = static_cast<u32>(q_nodes.size());
+    std::vector<Node*> batched(n, nullptr);
+    proxy.GetNextBatch(q_nodes.data(), q_idxs.data(), n, batched.data());
+    for (u32 i = 0; i < n; ++i) {
+      Node* scalar = proxy.GetNext(q_nodes[i], q_idxs[i]);
+      EXPECT_EQ(batched[i], scalar) << "query " << i;
+      if (scalar != nullptr) {
+        proxy.NodeRelease(scalar);
+      }
+      if (batched[i] != nullptr) {
+        proxy.NodeRelease(batched[i]);
+      }
+    }
+    for (Node* node : nodes) {
+      proxy.NodeRelease(node);
+    }
+    // Owned nodes are destroyed by the proxy destructor.
+  }
+}
+
+// Recycled oversize blocks (shapes too big for the arena) are capped: the
+// cache never holds more than kMaxCachedBytes of freed memory.
+TEST(MemoryWrapper, FreedBytesHeldCapped) {
+  NodeProxy proxy;
+  // 32 KiB of payload per node -> oversize path (arena slots cap at 4 KiB).
+  constexpr u32 kBig = 32 * 1024;
+  constexpr int kChurn = 200;
+  for (int round = 0; round < kChurn; ++round) {
+    std::vector<Node*> batch;
+    for (int i = 0; i < 4; ++i) {
+      Node* n = proxy.NodeAlloc(1, 1, kBig);
+      ASSERT_NE(n, nullptr);
+      batch.push_back(n);
+    }
+    for (Node* n : batch) {
+      proxy.NodeRelease(n);
+    }
+    ASSERT_LE(proxy.freed_bytes_held(), NodeProxy::kMaxCachedBytes);
+  }
+  EXPECT_GT(proxy.freed_bytes_held(), 0u);  // some caching did happen
+  EXPECT_EQ(proxy.live_nodes(), 0u);
+}
+
 }  // namespace
 }  // namespace enetstl

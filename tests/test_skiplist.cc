@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <map>
 #include <memory>
 #include <vector>
@@ -216,6 +217,106 @@ TEST(SkipListPacketPath, OpMixDrivesOperations) {
     }
   }
   EXPECT_EQ(pass, 100u);
+}
+
+// LookupBatch must agree bit-for-bit with scalar Lookup on every key —
+// hits, misses, duplicate keys in one batch — for both overriding variants,
+// in lazy and eager checking modes, and leak no references.
+TEST(SkipListBatch, LookupBatchMatchesScalarLookup) {
+  auto run = [](SkipListBase& list) {
+    for (u64 i = 0; i < 300; ++i) {
+      list.Update(KeyOf(i * 3), ValueOf(i));  // keys 0,3,6,... present
+    }
+    std::vector<SkipKey> keys;
+    for (u64 i = 0; i < 150; ++i) {
+      keys.push_back(KeyOf(i));  // ~1/3 hits
+    }
+    keys.push_back(KeyOf(0));  // duplicate in the same batch
+    keys.push_back(KeyOf(0));
+    const u32 n = static_cast<u32>(keys.size());
+    std::vector<SkipValue> batch_vals(n), scalar_vals(n);
+    std::unique_ptr<bool[]> found(new bool[n]);
+    list.LookupBatch(keys.data(), n, batch_vals.data(), found.get());
+    for (u32 i = 0; i < n; ++i) {
+      const bool scalar = list.Lookup(keys[i], &scalar_vals[i]);
+      ASSERT_EQ(found[i], scalar) << "key " << i;
+      if (scalar) {
+        ASSERT_EQ(std::memcmp(batch_vals[i].bytes, scalar_vals[i].bytes,
+                              kSkipValueSize),
+                  0)
+            << "key " << i;
+      }
+    }
+  };
+  {
+    SkipListKernel kernel;
+    run(kernel);
+  }
+  for (auto mode : {enetstl::NodeProxy::CheckMode::kLazy,
+                    enetstl::NodeProxy::CheckMode::kEager}) {
+    SkipListEnetstl enetstl_list(0x853c49e6748fea9bull, mode);
+    run(enetstl_list);
+    // Reference discipline: only the sentinel head survives as a live
+    // traversal anchor; every acquired reference was released.
+    EXPECT_EQ(enetstl_list.proxy().live_nodes(), enetstl_list.size() + 1);
+  }
+}
+
+// Batches larger than kMaxNfBurst must chunk internally, not truncate.
+TEST(SkipListBatch, LookupBatchChunksLargeBatches) {
+  SkipListEnetstl list;
+  for (u64 i = 0; i < 200; ++i) {
+    list.Update(KeyOf(i), ValueOf(i));
+  }
+  const u32 n = 3 * kMaxNfBurst + 7;
+  std::vector<SkipKey> keys;
+  for (u32 i = 0; i < n; ++i) {
+    keys.push_back(KeyOf(i % 250));
+  }
+  std::vector<SkipValue> vals(n);
+  std::unique_ptr<bool[]> found(new bool[n]);
+  list.LookupBatch(keys.data(), n, vals.data(), found.get());
+  for (u32 i = 0; i < n; ++i) {
+    SkipValue v;
+    ASSERT_EQ(found[i], list.Lookup(keys[i], &v));
+  }
+}
+
+// ProcessBurst must produce exactly the verdicts of per-packet Process, for
+// an op mix that interleaves lookups with mutations (which break up the
+// batched lookup runs mid-burst).
+TEST(SkipListBatch, ProcessBurstMatchesScalarProcess) {
+  const auto flows = pktgen::MakeFlowPopulation(512, 42);
+  const auto trace = pktgen::MakeOpMixTrace(flows, 4096, 0.7, 0.2, 0.1, 99);
+
+  SkipListEnetstl batch_list, scalar_list;
+  for (const auto& flow : flows) {
+    batch_list.Update(SkipKey::FromTuple(flow), SkipValue{});
+    scalar_list.Update(SkipKey::FromTuple(flow), SkipValue{});
+  }
+
+  constexpr u32 kBurst = 32;
+  const std::vector<pktgen::Packet>& window = trace;
+  for (std::size_t base = 0; base < window.size(); base += kBurst) {
+    const u32 count =
+        static_cast<u32>(std::min<std::size_t>(kBurst, window.size() - base));
+    std::vector<pktgen::Packet> copies(window.begin() + base,
+                                       window.begin() + base + count);
+    std::vector<ebpf::XdpContext> ctxs;
+    for (auto& p : copies) {
+      ctxs.push_back({p.frame, p.frame + ebpf::kFrameSize, 0});
+    }
+    ebpf::XdpAction burst_verdicts[kBurst];
+    batch_list.ProcessBurst(ctxs.data(), count, burst_verdicts);
+
+    for (u32 i = 0; i < count; ++i) {
+      pktgen::Packet copy = window[base + i];
+      ebpf::XdpContext ctx{copy.frame, copy.frame + ebpf::kFrameSize, 0};
+      ASSERT_EQ(burst_verdicts[i], scalar_list.Process(ctx))
+          << "packet " << base + i;
+    }
+    ASSERT_EQ(batch_list.size(), scalar_list.size());
+  }
 }
 
 TEST(SkipListOrdering, KeysAreByteLexicographic) {
