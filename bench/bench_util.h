@@ -142,6 +142,40 @@ inline std::string GitRevision() {
   return rev;
 }
 
+// Escape a string for embedding in a JSON double-quoted literal.
+inline std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
 // Machine-readable bench output. Each bench binary constructs one JsonReport
 // with its name and argc/argv; when `--json <path>` was passed, every Add()ed
 // row is written to <path> at destruction as
@@ -179,14 +213,15 @@ class JsonReport {
       return;
     }
     std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"git_rev\": \"%s\",\n",
-                 bench_.c_str(), GitRevision().c_str());
+                 JsonEscape(bench_).c_str(), JsonEscape(GitRevision()).c_str());
     std::fprintf(f, "  \"rows\": [\n");
     for (std::size_t i = 0; i < rows_.size(); ++i) {
       std::fprintf(f,
                    "    {\"series\": \"%s\", \"param\": \"%s\", "
                    "\"mpps\": %.6f}%s\n",
-                   rows_[i].series.c_str(), rows_[i].param.c_str(),
-                   rows_[i].mpps, i + 1 < rows_.size() ? "," : "");
+                   JsonEscape(rows_[i].series).c_str(),
+                   JsonEscape(rows_[i].param).c_str(), rows_[i].mpps,
+                   i + 1 < rows_.size() ? "," : "");
     }
     std::fprintf(f, "  ]\n}\n");
     std::fclose(f);

@@ -3,6 +3,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <new>
+#include <type_traits>
 
 #include "core/fault_injector.h"
 
@@ -48,7 +49,10 @@ NodeProxy::~NodeProxy() {
     Destroy(node);
   }
   // Unowned leftovers in the arena are reclaimed with the slabs; unowned
-  // oversize leftovers (a program leak) are swept here too.
+  // oversize leftovers (a program leak) are swept here too. Slab teardown
+  // never runs ~Node or touches live_nodes_, which is only sound while Node
+  // has nothing to destroy.
+  static_assert(std::is_trivially_destructible_v<Node>);
   std::vector<Node*> leftover(oversize_live_.begin(), oversize_live_.end());
   for (Node* node : leftover) {
     Destroy(node);

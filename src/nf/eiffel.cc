@@ -253,8 +253,8 @@ void EiffelBase::ProcessBurst(ebpf::XdpContext* ctxs, u32 count,
       }
       u32 op2 = 0;
       std::memcpy(&op2, ctxs[j].data + ebpf::kL4HeaderOffset + 8, 4);
-      if (op2 != 0) {
-        break;
+      if (op2 == 1) {
+        break;  // scalar Process treats any op != 1 as a dequeue
       }
       ++m;
       ++j;

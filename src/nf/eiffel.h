@@ -108,7 +108,7 @@ class EiffelBase : public NetworkFunction {
   virtual u32 size() const = 0;
 
   // Packet path: payload word 0 = 1 -> enqueue with priority from payload
-  // word 1; 0 -> dequeue-min.
+  // word 1; any other value -> dequeue-min.
   ebpf::XdpAction Process(ebpf::XdpContext& ctx) override;
 
   // Burst path: contiguous runs of dequeue packets collapse into a single

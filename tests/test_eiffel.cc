@@ -6,10 +6,13 @@
 
 #include <gtest/gtest.h>
 
+#include <cstring>
 #include <map>
 #include <memory>
 #include <queue>
+#include <vector>
 
+#include "ebpf/program.h"
 #include "pktgen/flowgen.h"
 
 namespace nf {
@@ -205,6 +208,48 @@ TEST_P(EiffelAll, DequeueMinBatchMatchesScalarDequeue) {
     ASSERT_EQ(out[i].priority, ref.priority);
     ASSERT_EQ(out[i].flow, ref.flow);
   }
+}
+
+// ProcessBurst must terminate and match per-packet Process verdicts for
+// every op word, not just the generator's 0/1: scalar Process treats any
+// op != 1 as a dequeue, and the burst gather loop must consume those packets
+// too. Regression test: an op==2 packet used to make the gather break with
+// m == 0, hanging the loop without ever advancing i.
+TEST(EiffelBurst, ArbitraryOpWordsMatchScalarAndTerminate) {
+  const auto flows = pktgen::MakeFlowPopulation(16, 321);
+  // Mix of enqueue (1), dequeue (0), arbitrary non-enqueue ops (2, 0xdead),
+  // and an unparseable frame.
+  const u32 ops[] = {1, 1, 2, 0, 0xdead, 1, 2, 2, 0, 1, 0, 2};
+  const u32 n = static_cast<u32>(std::size(ops));
+  std::vector<pktgen::Packet> trace(n);
+  for (u32 i = 0; i < n; ++i) {
+    ebpf::BuildFrame(flows[i % flows.size()], trace[i].frame);
+    std::memcpy(trace[i].frame + ebpf::kL4HeaderOffset + 8, &ops[i], 4);
+    const u32 prio = i;
+    std::memcpy(trace[i].frame + ebpf::kL4HeaderOffset + 12, &prio, 4);
+  }
+  trace[4].frame[12] = 0x86;  // corrupt ethertype: parse fails
+  trace[4].frame[13] = 0xdd;
+
+  EiffelConfig config;
+  EiffelEnetstl burst_q(config);
+  EiffelEnetstl scalar_q(config);
+
+  auto trace_b = trace;
+  std::vector<ebpf::XdpContext> ctxs(n);
+  for (u32 i = 0; i < n; ++i) {
+    ctxs[i] = ebpf::XdpContext{trace[i].frame,
+                               trace[i].frame + ebpf::kFrameSize, 0};
+  }
+  std::vector<ebpf::XdpAction> verdicts(n, ebpf::XdpAction::kPass);
+  burst_q.ProcessBurst(ctxs.data(), n, verdicts.data());
+
+  for (u32 i = 0; i < n; ++i) {
+    ebpf::XdpContext ctx{trace_b[i].frame, trace_b[i].frame + ebpf::kFrameSize,
+                         0};
+    EXPECT_EQ(verdicts[i], scalar_q.Process(ctx)) << "i=" << i;
+  }
+  EXPECT_EQ(burst_q.size(), scalar_q.size());
 }
 
 TEST(EiffelConfigTest, PriorityCountsGrowGeometrically) {
