@@ -22,7 +22,10 @@ double RunMode(enetstl::NodeProxy::CheckMode mode, const pktgen::Trace& trace,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  if (const int code = bench::HandleRegistryArgs(&argc, argv); code >= 0) {
+    return code;
+  }
   bench::PrintHeader(
       "Ablation: lazy vs eager safety checking (memory wrapper, skip list)");
   std::printf("%-12s %-12s %12s %12s %10s\n", "elements", "workload",

@@ -185,7 +185,10 @@ void ShardFailoverSweep() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  if (const int code = bench::HandleRegistryArgs(&argc, argv); code >= 0) {
+    return code;
+  }
   InsertFaultSweep();
   ShardFailoverSweep();
   std::printf("\n%s (%d invariant failure%s)\n",

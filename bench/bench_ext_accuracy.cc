@@ -59,7 +59,10 @@ class SrcIpCms : public CmsT {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  if (const int code = bench::HandleRegistryArgs(&argc, argv); code >= 0) {
+    return code;
+  }
   bench::PrintHeader(
       "Extension: sketch accuracy vs throughput as d grows (cols = 512)");
   // Small sketch + many flows: collisions matter, so d visibly helps.

@@ -100,7 +100,10 @@ void RunLruCache() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  if (const int code = bench::HandleRegistryArgs(&argc, argv); code >= 0) {
+    return code;
+  }
   RunDaryCuckoo();
   RunLruCache();
   return 0;

@@ -53,7 +53,10 @@ void PrintRow(const char* obs, const char* nf, double op_ns, double total_ns) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  if (const int code = bench::HandleRegistryArgs(&argc, argv); code >= 0) {
+    return code;
+  }
   bench::PrintHeader(
       "Figure 1: share of execution time in the shared behaviors (eBPF "
       "variants)");

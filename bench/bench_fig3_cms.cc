@@ -4,7 +4,10 @@
 #include "bench/bench_util.h"
 #include "nf/cms.h"
 
-int main() {
+int main(int argc, char** argv) {
+  if (const int code = bench::HandleRegistryArgs(&argc, argv); code >= 0) {
+    return code;
+  }
   bench::PrintHeader("Figure 3(e): Count-min sketch vs #hash functions");
   const auto flows = pktgen::MakeFlowPopulation(4096, 7);
   const auto trace = pktgen::MakeZipfTrace(flows, 16384, 1.0, 8);

@@ -27,7 +27,10 @@ std::vector<ebpf::FiveTuple> Fill(nf::CuckooFilterBase& filter,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  if (const int code = bench::HandleRegistryArgs(&argc, argv); code >= 0) {
+    return code;
+  }
   bench::PrintHeader("Figure 3(g): cuckoo filter membership test vs load");
   nf::CuckooFilterConfig config;
   config.num_buckets = 2048;  // capacity 8192

@@ -30,7 +30,10 @@ std::vector<ebpf::FiveTuple> Fill(nf::CuckooSwitchBase& sw, double load_factor,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  if (const int code = bench::HandleRegistryArgs(&argc, argv); code >= 0) {
+    return code;
+  }
   bench::PrintHeader("Figure 3(c): CuckooSwitch FIB lookup vs load factor");
   nf::CuckooSwitchConfig config;
   config.num_buckets = 1024;  // capacity 8192

@@ -7,7 +7,10 @@
 #include "bench/bench_util.h"
 #include "nf/eiffel.h"
 
-int main() {
+int main(int argc, char** argv) {
+  if (const int code = bench::HandleRegistryArgs(&argc, argv); code >= 0) {
+    return code;
+  }
   bench::PrintHeader("Figure 3(h): Eiffel cFFS queue vs levels");
   const auto flows = pktgen::MakeFlowPopulation(1024, 51);
 

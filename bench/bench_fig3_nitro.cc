@@ -6,7 +6,10 @@
 #include "ebpf/helper.h"
 #include "nf/nitro.h"
 
-int main() {
+int main(int argc, char** argv) {
+  if (const int code = bench::HandleRegistryArgs(&argc, argv); code >= 0) {
+    return code;
+  }
   bench::PrintHeader("Figure 3(d): NitroSketch vs update probability (8 rows)");
   ebpf::helpers::SeedPrandom(0x12345);
   const auto flows = pktgen::MakeFlowPopulation(4096, 21);

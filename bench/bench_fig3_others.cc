@@ -25,7 +25,10 @@ void RunRow(const char* name, nf::NetworkFunction& e, nf::NetworkFunction& k,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  if (const int code = bench::HandleRegistryArgs(&argc, argv); code >= 0) {
+    return code;
+  }
   bench::PrintHeader(
       "Sec 6.2 other cases: EDF, TSS, HeavyKeeper, VBF (heavy configs)");
   ebpf::helpers::SeedPrandom(0x777);

@@ -69,6 +69,9 @@ void RunSweep(bool update_delete, bench::JsonReport& report) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (const int code = bench::HandleRegistryArgs(&argc, argv); code >= 0) {
+    return code;
+  }
   bench::JsonReport report("fig3_skiplist", argc, argv);
   bench::PrintHeader(
       "Figure 3(a): skip-list LOOKUP vs load (eBPF infeasible - P1)");

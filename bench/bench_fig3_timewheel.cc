@@ -7,6 +7,9 @@
 #include "nf/timewheel.h"
 
 int main(int argc, char** argv) {
+  if (const int code = bench::HandleRegistryArgs(&argc, argv); code >= 0) {
+    return code;
+  }
   bench::JsonReport report("fig3_timewheel", argc, argv);
   bench::PrintHeader("Figure 3(f): time wheel vs slot granularity");
   const auto flows = pktgen::MakeFlowPopulation(1024, 31);

@@ -3,16 +3,23 @@
 // handler latency percentiles directly). The claim to reproduce: eNetSTL
 // does NOT increase latency relative to pure eBPF — there is no batching.
 #include "bench/bench_util.h"
-#include "bench/nf_roster.h"
 
-int main() {
+int main(int argc, char** argv) {
+  std::string only;
+  if (const int code = bench::HandleRegistryArgs(&argc, argv, &only);
+      code >= 0) {
+    return code;
+  }
   bench::PrintHeader("Figure 4: NF latency under low load (p50/p99 ns)");
   std::printf("%-16s %10s %10s %10s %10s %10s %10s\n", "nf", "eBPF p50",
               "eBPF p99", "Kern p50", "Kern p99", "STL p50", "STL p99");
-  auto roster = bench::MakeRoster();
+  auto roster = nf::MakeBenchRoster();
   pktgen::Pipeline pipeline;
   constexpr bench::u64 kPackets = 20000;
   for (auto& setup : roster) {
+    if (!only.empty() && setup.name != only) {
+      continue;
+    }
     pktgen::LatencyStats e{}, k{}, s{};
     if (setup.ebpf) {
       e = pipeline.MeasureLatency(setup.ebpf->Handler(), setup.trace, kPackets);

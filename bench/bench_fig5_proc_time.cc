@@ -3,15 +3,22 @@
 // the same quantity measured over a long window). Claim to reproduce:
 // eNetSTL reduces per-packet processing time versus pure eBPF.
 #include "bench/bench_util.h"
-#include "bench/nf_roster.h"
 
-int main() {
+int main(int argc, char** argv) {
+  std::string only;
+  if (const int code = bench::HandleRegistryArgs(&argc, argv, &only);
+      code >= 0) {
+    return code;
+  }
   bench::PrintHeader("Figure 5: per-packet processing time (ns/packet)");
   std::printf("%-16s %12s %12s %12s %14s\n", "nf", "eBPF", "Kernel", "eNetSTL",
               "STL vs eBPF(%)");
-  auto roster = bench::MakeRoster();
+  auto roster = nf::MakeBenchRoster();
   const auto pipeline = bench::MakePipeline();
   for (auto& setup : roster) {
+    if (!only.empty() && setup.name != only) {
+      continue;
+    }
     double e = 0, k = 0, s = 0;
     if (setup.ebpf) {
       e = pipeline.MeasureThroughput(setup.ebpf->Handler(), setup.trace)

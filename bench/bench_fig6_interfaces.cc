@@ -6,6 +6,8 @@
 // Paper: the low-level designs lose 59.0%-73.1%.
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_util.h"
+
 #include <bit>
 #include <cstring>
 #include <vector>
@@ -214,4 +216,17 @@ BENCHMARK(BM_Hash_low_level);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Registry-aware main: --list / --nf= are handled before google-benchmark
+// sees the arguments (HandleRegistryArgs strips what it consumes).
+int main(int argc, char** argv) {
+  if (const int code = bench::HandleRegistryArgs(&argc, argv); code >= 0) {
+    return code;
+  }
+  ::benchmark::Initialize(&argc, argv);
+  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) {
+    return 1;
+  }
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  return 0;
+}

@@ -19,7 +19,10 @@ double RunApp(nf::NetworkFunction& app, const pktgen::Trace& trace) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  if (const int code = bench::HandleRegistryArgs(&argc, argv); code >= 0) {
+    return code;
+  }
   bench::PrintHeader("Figure 7: eNetSTL in real-world eBPF projects");
   ebpf::helpers::SeedPrandom(0x5151);
   const auto flows = pktgen::MakeFlowPopulation(4096, 91);

@@ -25,7 +25,10 @@ void Row(const char* name, double kernel_mpps, double enetstl_mpps) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  if (const int code = bench::HandleRegistryArgs(&argc, argv); code >= 0) {
+    return code;
+  }
   bench::PrintHeader(
       "P1 NFs enabled by the memory wrapper (no eBPF implementation exists)");
   std::printf("%-16s %12s %12s %14s %13s\n", "nf", "eBPF", "Kernel(Mpps)",

@@ -110,6 +110,9 @@ ShardedPoint MeasureShardedMpps(nf::Variant variant,
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (const int code = bench::HandleRegistryArgs(&argc, argv); code >= 0) {
+    return code;
+  }
   bench::JsonReport report("scaling", argc, argv);
   // Cuckoo-switch at ~95% occupancy with a uniform resident-flow trace (the
   // nf_roster heavy configuration).

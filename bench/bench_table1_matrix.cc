@@ -4,17 +4,24 @@
 // (P1) and, when it does, its throughput degradation versus the in-kernel
 // implementation (P2, reported at 14.8%-49.2% in the paper).
 #include "bench/bench_util.h"
-#include "bench/nf_roster.h"
 
-int main() {
+int main(int argc, char** argv) {
+  std::string only;
+  if (const int code = bench::HandleRegistryArgs(&argc, argv, &only);
+      code >= 0) {
+    return code;
+  }
   bench::PrintHeader(
       "Table 1: eBPF feasibility and degradation vs in-kernel baseline");
   std::printf("%-16s %-22s %12s %16s\n", "nf", "category", "eBPF?",
               "degradation(%)");
-  auto roster = bench::MakeRoster();
+  auto roster = nf::MakeBenchRoster();
   const auto pipeline = bench::MakePipeline();
   double worst = 0, best = 1e9;
   for (auto& setup : roster) {
+    if (!only.empty() && setup.name != only) {
+      continue;
+    }
     const double k =
         pipeline.MeasureThroughput(setup.kernel->Handler(), setup.trace).pps;
     if (!setup.ebpf) {

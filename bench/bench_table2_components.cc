@@ -4,6 +4,8 @@
 // google-benchmark; compare the "_enetstl" and "_ebpf" rows pairwise.
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_util.h"
+
 #include <vector>
 
 #include "core/bits.h"
@@ -350,4 +352,17 @@ BENCHMARK(BM_MemWrapper_get_next_chain);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Registry-aware main: --list / --nf= are handled before google-benchmark
+// sees the arguments (HandleRegistryArgs strips what it consumes).
+int main(int argc, char** argv) {
+  if (const int code = bench::HandleRegistryArgs(&argc, argv); code >= 0) {
+    return code;
+  }
+  ::benchmark::Initialize(&argc, argv);
+  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) {
+    return 1;
+  }
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  return 0;
+}

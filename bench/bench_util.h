@@ -5,10 +5,13 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <string>
 #include <vector>
 
+#include "apps/app_chains.h"
 #include "nf/nf_interface.h"
+#include "nf/nf_registry.h"
 #include "pktgen/flowgen.h"
 #include "pktgen/pipeline.h"
 
@@ -16,6 +19,76 @@ namespace bench {
 
 using ebpf::u32;
 using ebpf::u64;
+
+// Version of the JSON report layout written by JsonReport; bumped whenever a
+// field is added/renamed so downstream tooling can dispatch on it.
+inline constexpr int kJsonSchemaVersion = 2;
+
+// Prints every registry entry (registration order): name, category, variants,
+// capability flags. The output of --list and of an unknown --nf= value.
+inline void PrintRegistryList(FILE* out) {
+  std::fprintf(out, "%-20s %-22s %-22s %s\n", "nf", "category", "variants",
+               "caps");
+  for (const nf::NfEntry* entry : nf::NfRegistry::Global().Entries()) {
+    std::string variants;
+    for (const nf::Variant v : entry->variants) {
+      if (!variants.empty()) {
+        variants += ",";
+      }
+      variants += nf::VariantName(v);
+    }
+    std::string caps;
+    if (entry->caps.batched) {
+      caps += "batched ";
+    }
+    if (entry->caps.chainable) {
+      caps += "chainable ";
+    }
+    if (entry->prime) {
+      caps += "roster ";
+    }
+    std::fprintf(out, "%-20s %-22s %-22s %s\n", entry->name.c_str(),
+                 entry->category.c_str(), variants.c_str(), caps.c_str());
+  }
+}
+
+// Registry-driven argument handling shared by every bench binary:
+//   --list      print all registered NFs and exit 0
+//   --nf=NAME   validate NAME against the registry; unknown names exit 1
+//               with the list on stderr. Recognized names are stored in
+//               *selected (when provided) and stripped from argv so later
+//               parsers (gbench, JsonReport) never see them.
+// Registers the app-layer NFs first so composites are listable/selectable.
+// Returns an exit code >= 0 when the process should terminate, -1 to
+// continue.
+inline int HandleRegistryArgs(int* argc, char** argv,
+                              std::string* selected = nullptr) {
+  apps::RegisterAppNfs();
+  int out = 1;
+  int code = -1;
+  for (int i = 1; i < *argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--list") == 0) {
+      PrintRegistryList(stdout);
+      return 0;
+    }
+    if (std::strncmp(arg, "--nf=", 5) == 0) {
+      const std::string name = arg + 5;
+      if (nf::NfRegistry::Global().Lookup(name) == nullptr) {
+        std::fprintf(stderr, "unknown NF '%s'; registered NFs:\n",
+                     name.c_str());
+        PrintRegistryList(stderr);
+        code = 1;
+      } else if (selected != nullptr) {
+        *selected = name;
+      }
+      continue;  // strip --nf= either way
+    }
+    argv[out++] = argv[i];
+  }
+  *argc = out;
+  return code;
+}
 
 // Measurement packet count, overridable via ENETSTL_BENCH_MEASURE_PACKETS so
 // CI smoke runs can shrink the benches without a recompile.
@@ -179,7 +252,7 @@ inline std::string JsonEscape(const std::string& s) {
 // Machine-readable bench output. Each bench binary constructs one JsonReport
 // with its name and argc/argv; when `--json <path>` was passed, every Add()ed
 // row is written to <path> at destruction as
-//   {"bench": "...", "git_rev": "...",
+//   {"bench": "...", "schema_version": N, "git_rev": "...",
 //    "rows": [{"series": "...", "param": "...", "mpps": ...}, ...]}
 // Without --json the report is inert, so the human-readable tables are
 // unchanged.
@@ -212,8 +285,11 @@ class JsonReport {
       std::fprintf(stderr, "JsonReport: cannot open %s\n", path_.c_str());
       return;
     }
-    std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"git_rev\": \"%s\",\n",
-                 JsonEscape(bench_).c_str(), JsonEscape(GitRevision()).c_str());
+    std::fprintf(f,
+                 "{\n  \"bench\": \"%s\",\n  \"schema_version\": %d,\n"
+                 "  \"git_rev\": \"%s\",\n",
+                 JsonEscape(bench_).c_str(), kJsonSchemaVersion,
+                 JsonEscape(GitRevision()).c_str());
     std::fprintf(f, "  \"rows\": [\n");
     for (std::size_t i = 0; i < rows_.size(); ++i) {
       std::fprintf(f,

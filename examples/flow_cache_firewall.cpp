@@ -13,6 +13,7 @@
 #include <cstdio>
 
 #include "nf/lru_cache.h"
+#include "nf/nf_registry.h"
 #include "nf/tss.h"
 #include "pktgen/flowgen.h"
 #include "pktgen/pipeline.h"
@@ -23,9 +24,11 @@ int main() {
   ebpf::SetCurrentCpu(0);
 
   // Rule set: block one dst port entirely, allow two /16-ish source ranges
-  // with priorities, default-allow everything else.
-  nf::TssConfig tss_config;
-  nf::TssEnetstl classifier(tss_config);
+  // with priorities, default-allow everything else. The classifier is
+  // constructed through the central registry, then downcast for AddRule.
+  auto classifier_nf = nf::NfRegistry::Global().Create(
+      "tss-classifier", nf::Variant::kEnetstl);
+  auto& classifier = dynamic_cast<nf::TssEnetstl&>(*classifier_nf);
   constexpr u32 kDeny = 0;
   constexpr u32 kAllow = 1;
 
@@ -39,7 +42,9 @@ int main() {
   classifier.AddRule({ebpf::FiveTuple{}, any_mask, /*priority=*/1, kAllow});
 
   // LRU verdict cache in front of the classifier.
-  nf::LruCacheEnetstl cache(512);
+  auto cache_nf = nf::NfRegistry::Global().Create("lru-flow-cache",
+                                                  nf::Variant::kEnetstl);
+  auto& cache = dynamic_cast<nf::LruCacheEnetstl&>(*cache_nf);
 
   const auto flows = pktgen::MakeFlowPopulation(2048, 71);
   const auto trace = pktgen::MakeZipfTrace(flows, 100'000, 1.2, 72);

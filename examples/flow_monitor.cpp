@@ -15,6 +15,7 @@
 
 #include "ebpf/helper.h"
 #include "nf/heavykeeper.h"
+#include "nf/nf_registry.h"
 #include "nf/nitro.h"
 #include "pktgen/flowgen.h"
 #include "pktgen/pipeline.h"
@@ -24,17 +25,15 @@ int main() {
   ebpf::SetCurrentCpu(0);
   ebpf::helpers::SeedPrandom(0x2025);
 
-  nf::HeavyKeeperConfig hk_config;
-  hk_config.rows = 4;
-  hk_config.cols = 8192;
-  hk_config.topk = 10;
-  nf::HeavyKeeperEnetstl heavykeeper(hk_config);
-
-  nf::NitroConfig nitro_config;
-  nitro_config.rows = 8;
-  nitro_config.cols = 8192;
-  nitro_config.update_prob = 0.125;
-  nf::NitroEnetstl nitro(nitro_config);
+  // Construct both sketches through the central registry (the one
+  // construction path every bench and test uses), then downcast for the
+  // sketch-specific telemetry API.
+  auto hk_nf =
+      nf::NfRegistry::Global().Create("heavykeeper", nf::Variant::kEnetstl);
+  auto nitro_nf =
+      nf::NfRegistry::Global().Create("nitro-sketch", nf::Variant::kEnetstl);
+  auto& heavykeeper = dynamic_cast<nf::HeavyKeeperEnetstl&>(*hk_nf);
+  auto& nitro = dynamic_cast<nf::NitroEnetstl&>(*nitro_nf);
 
   // Traffic: 5000 flows, heavily skewed — a handful of elephants dominate.
   const auto flows = pktgen::MakeFlowPopulation(5000, 11);

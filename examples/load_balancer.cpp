@@ -7,16 +7,28 @@
 #include <cstdio>
 #include <map>
 
+#include "apps/app_chains.h"
 #include "apps/katran_lb.h"
+#include "nf/nf_registry.h"
 #include "pktgen/flowgen.h"
 #include "pktgen/pipeline.h"
 
 namespace {
 
+// One registry lookup covers both cores: Variant::kEbpf is the origin
+// (BPF-map) core, Variant::kEnetstl the component-swapped core.
+std::unique_ptr<apps::KatranLb> MakeLb(apps::CoreKind core) {
+  const nf::Variant variant = core == apps::CoreKind::kOrigin
+                                  ? nf::Variant::kEbpf
+                                  : nf::Variant::kEnetstl;
+  auto nf = nf::NfRegistry::Global().Create("katran-lb", variant);
+  return std::unique_ptr<apps::KatranLb>(
+      dynamic_cast<apps::KatranLb*>(nf.release()));
+}
+
 void RunCore(apps::CoreKind core, const pktgen::Trace& trace) {
-  apps::KatranConfig config;
-  config.num_backends = 8;
-  apps::KatranLb lb(core, config);
+  const auto lb_owner = MakeLb(core);
+  apps::KatranLb& lb = *lb_owner;
 
   pktgen::Pipeline::Options opts;
   opts.warmup_packets = 10'000;
@@ -34,13 +46,13 @@ void RunCore(apps::CoreKind core, const pktgen::Trace& trace) {
 
 int main() {
   ebpf::SetCurrentCpu(0);
+  apps::RegisterAppNfs();  // app-level NFs join the registry
   const auto flows = pktgen::MakeFlowPopulation(512, 31);
   const auto trace = pktgen::MakeZipfTrace(flows, 16384, 1.1, 32);
 
   // Functional check first: connection affinity with the eNetSTL core.
-  apps::KatranConfig config;
-  config.num_backends = 8;
-  apps::KatranLb lb(apps::CoreKind::kEnetstl, config);
+  const auto lb_owner = MakeLb(apps::CoreKind::kEnetstl);
+  apps::KatranLb& lb = *lb_owner;
   std::map<ebpf::u32, ebpf::u32> assignment;
   bool affine = true;
   for (int round = 0; round < 3; ++round) {

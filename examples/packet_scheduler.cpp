@@ -11,6 +11,7 @@
 #include <cstdio>
 
 #include "nf/eiffel.h"
+#include "nf/nf_registry.h"
 #include "nf/timewheel.h"
 #include "pktgen/flowgen.h"
 
@@ -19,13 +20,15 @@ int main() {
   using ebpf::u64;
   ebpf::SetCurrentCpu(0);
 
-  nf::TimeWheelConfig tw_config;
-  tw_config.granularity_ns = 1024;  // ~1 us pacing slots
-  nf::TimeWheelEnetstl wheel(tw_config);
-
-  nf::EiffelConfig pq_config;
-  pq_config.levels = 2;  // 4096 priorities
-  nf::EiffelEnetstl pq(pq_config);
+  // Both queueing structures come from the central registry (~1 us pacing
+  // slots in the bench configuration); the downcasts expose their
+  // enqueue/advance control planes.
+  auto wheel_nf =
+      nf::NfRegistry::Global().Create("timewheel", nf::Variant::kEnetstl);
+  auto pq_nf =
+      nf::NfRegistry::Global().Create("eiffel-cffs", nf::Variant::kEnetstl);
+  auto& wheel = dynamic_cast<nf::TimeWheelEnetstl&>(*wheel_nf);
+  auto& pq = dynamic_cast<nf::EiffelEnetstl&>(*pq_nf);
 
   // Shape 10k packets from 64 flows: each flow has a rate class that sets
   // both its pacing gap and its priority (lower = more urgent).

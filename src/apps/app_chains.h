@@ -1,0 +1,36 @@
+// App-level registry entries and composite service chains.
+//
+// RegisterAppNfs() adds the Figure-7 integration cases to the central NF
+// registry under their application names ("pcn-chain", "katran-lb",
+// "rakelimit", "sketch-service") plus the rakelimit -> katran composite
+// ("lb-chain"), so benches and tests construct applications through the same
+// single path as the library NFs. App entries map Variant::kEbpf to the
+// origin (BPF-map) core and Variant::kEnetstl to the eNetSTL core; there is
+// no kernel-native variant (the apps are eBPF programs by construction).
+#ifndef ENETSTL_APPS_APP_CHAINS_H_
+#define ENETSTL_APPS_APP_CHAINS_H_
+
+#include <memory>
+
+#include "apps/katran_lb.h"
+#include "apps/rakelimit.h"
+#include "nf/chain.h"
+
+namespace apps {
+
+// The L4 edge composite: DDoS mitigation in front of the load balancer
+// (rakelimit -> katran-lb). Rakelimit must come first — katran forwards
+// every parseable packet (kTx), which terminates a chain walk, so a
+// rate-limit stage behind it would never see traffic. Returns a loaded
+// chain; throws std::logic_error if verification fails.
+std::unique_ptr<nf::ChainExecutor> MakeLbChain(
+    CoreKind core, const RakeLimitConfig& rake_config = {},
+    const KatranConfig& katran_config = {});
+
+// Registers the app NFs and composites into NfRegistry::Global().
+// Idempotent — safe to call from every bench/test entry point.
+void RegisterAppNfs();
+
+}  // namespace apps
+
+#endif  // ENETSTL_APPS_APP_CHAINS_H_

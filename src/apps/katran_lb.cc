@@ -104,9 +104,7 @@ void KatranLb::ProcessBurst(ebpf::XdpContext* ctxs, u32 count,
     nf::NetworkFunction::ProcessBurst(ctxs, count, verdicts);
     return;
   }
-  for (u32 start = 0; start < count; start += nf::kMaxNfBurst) {
-    const u32 chunk = (count - start < nf::kMaxNfBurst) ? count - start
-                                                        : nf::kMaxNfBurst;
+  nf::ForEachNfChunk(count, [&](u32 start, u32 chunk) {
     ebpf::FiveTuple keys[nf::kMaxNfBurst];
     std::optional<u64> found[nf::kMaxNfBurst];
     u32 idx[nf::kMaxNfBurst];
@@ -135,7 +133,7 @@ void KatranLb::ProcessBurst(ebpf::XdpContext* ctxs, u32 count,
       }
       verdicts[idx[i]] = ebpf::XdpAction::kTx;
     }
-  }
+  });
 }
 
 }  // namespace apps

@@ -1,27 +1,27 @@
 #include "apps/pcn_bridge.h"
 
+#include <stdexcept>
+
 #include "core/post_hash.h"
 
 namespace apps {
 
-PcnBridge::PcnBridge(CoreKind core, const PcnBridgeConfig& config)
-    : core_(core), config_(config), route_map_(config.route_capacity) {
-  nf::CmsConfig cms_config;
-  cms_config.rows = config.rate_rows;
-  cms_config.cols = config.rate_cols;
-  cms_config.seed = config.seed ^ 0x51ed270bu;
+// ---------------------------------------------------------------------------
+// PcnAclStage
+// ---------------------------------------------------------------------------
+
+PcnAclStage::PcnAclStage(CoreKind core, const PcnBridgeConfig& config)
+    : core_(core), config_(config) {
   if (core_ == CoreKind::kOrigin) {
     acl_map_ = std::make_unique<ebpf::HashMap<ebpf::FiveTuple, u32>>(
         config.acl_capacity);
-    rate_sketch_ = std::make_unique<nf::CmsEbpf>(cms_config);
   } else {
     acl_bloom_map_ =
         std::make_unique<ebpf::RawArrayMap>(1, config.acl_bits / 8);
-    rate_sketch_ = std::make_unique<nf::CmsEnetstl>(cms_config);
   }
 }
 
-void PcnBridge::BlockFlow(const ebpf::FiveTuple& tuple) {
+void PcnAclStage::BlockFlow(const ebpf::FiveTuple& tuple) {
   if (core_ == CoreKind::kOrigin) {
     acl_map_->UpdateElem(tuple, 1);
     return;
@@ -33,20 +33,13 @@ void PcnBridge::BlockFlow(const ebpf::FiveTuple& tuple) {
   }
 }
 
-bool PcnBridge::AddRoute(u32 dst_ip, u32 port) {
-  return route_map_.UpdateElem(dst_ip, port) == ebpf::kOk;
-}
-
-ebpf::XdpAction PcnBridge::Process(ebpf::XdpContext& ctx) {
+ebpf::XdpAction PcnAclStage::Process(ebpf::XdpContext& ctx) {
   ebpf::FiveTuple tuple;
   if (!ebpf::ParseFiveTuple(ctx, &tuple)) {
     return ebpf::XdpAction::kAborted;
   }
-
-  // Stage 1: ACL deny list.
   if (core_ == CoreKind::kOrigin) {
     if (acl_map_->LookupElem(tuple) != nullptr) {
-      ++blocked_;
       return ebpf::XdpAction::kDrop;
     }
   } else {
@@ -54,27 +47,103 @@ ebpf::XdpAction PcnBridge::Process(ebpf::XdpContext& ctx) {
     if (bitmap != nullptr &&
         enetstl::HashTestBits(bitmap, config_.acl_hashes, config_.acl_bits - 1,
                               &tuple, sizeof(tuple), config_.seed)) {
-      ++blocked_;
       return ebpf::XdpAction::kDrop;
     }
   }
+  return ebpf::XdpAction::kPass;
+}
 
-  // Stage 2: DDoS mitigation — estimate the source's packet count and drop
-  // it once it exceeds the budget.
+// ---------------------------------------------------------------------------
+// PcnRateStage
+// ---------------------------------------------------------------------------
+
+PcnRateStage::PcnRateStage(CoreKind core, const PcnBridgeConfig& config)
+    : core_(core), config_(config) {
+  nf::CmsConfig cms_config;
+  cms_config.rows = config.rate_rows;
+  cms_config.cols = config.rate_cols;
+  cms_config.seed = config.seed ^ 0x51ed270bu;
+  if (core_ == CoreKind::kOrigin) {
+    rate_sketch_ = std::make_unique<nf::CmsEbpf>(cms_config);
+  } else {
+    rate_sketch_ = std::make_unique<nf::CmsEnetstl>(cms_config);
+  }
+}
+
+ebpf::XdpAction PcnRateStage::Process(ebpf::XdpContext& ctx) {
+  ebpf::FiveTuple tuple;
+  if (!ebpf::ParseFiveTuple(ctx, &tuple)) {
+    // Unreachable behind the ACL stage (it aborts unparseable packets), but
+    // the stage stays a well-formed standalone NF.
+    return ebpf::XdpAction::kAborted;
+  }
   rate_sketch_->Update(&tuple.src_ip, sizeof(tuple.src_ip), 1);
   if (rate_sketch_->Query(&tuple.src_ip, sizeof(tuple.src_ip)) >
       config_.rate_threshold) {
-    ++rate_limited_;
     return ebpf::XdpAction::kDrop;
   }
+  return ebpf::XdpAction::kPass;
+}
 
-  // Stage 3: route lookup on destination IP (shared BPF hash table).
+// ---------------------------------------------------------------------------
+// PcnRouteStage
+// ---------------------------------------------------------------------------
+
+PcnRouteStage::PcnRouteStage(const PcnBridgeConfig& config)
+    : route_map_(config.route_capacity) {}
+
+bool PcnRouteStage::AddRoute(u32 dst_ip, u32 port) {
+  return route_map_.UpdateElem(dst_ip, port) == ebpf::kOk;
+}
+
+ebpf::XdpAction PcnRouteStage::Process(ebpf::XdpContext& ctx) {
+  ebpf::FiveTuple tuple;
+  if (!ebpf::ParseFiveTuple(ctx, &tuple)) {
+    return ebpf::XdpAction::kAborted;
+  }
   if (route_map_.LookupElem(tuple.dst_ip) != nullptr) {
-    ++routed_;
     return ebpf::XdpAction::kTx;
   }
-  ++unrouted_;
   return ebpf::XdpAction::kPass;  // punt to the stack
+}
+
+// ---------------------------------------------------------------------------
+// PcnBridge facade
+// ---------------------------------------------------------------------------
+
+PcnBridge::PcnBridge(CoreKind core, const PcnBridgeConfig& config)
+    : core_(core), chain_("pcn-chain") {
+  auto acl = std::make_unique<PcnAclStage>(core, config);
+  auto rate = std::make_unique<PcnRateStage>(core, config);
+  auto route = std::make_unique<PcnRouteStage>(config);
+  acl_ = acl.get();
+  route_ = route.get();
+  chain_.AddStage(std::move(acl));
+  chain_.AddStage(std::move(rate));
+  chain_.AddStage(std::move(route));
+  const ebpf::VerifyResult result = chain_.Load();
+  if (!result.ok) {
+    throw std::logic_error("pcn-chain failed verification: " +
+                           (result.errors.empty() ? std::string("?")
+                                                  : result.errors.front()));
+  }
+}
+
+void PcnBridge::BlockFlow(const ebpf::FiveTuple& tuple) {
+  acl_->BlockFlow(tuple);
+}
+
+bool PcnBridge::AddRoute(u32 dst_ip, u32 port) {
+  return route_->AddRoute(dst_ip, port);
+}
+
+ebpf::XdpAction PcnBridge::Process(ebpf::XdpContext& ctx) {
+  return chain_.Process(ctx);
+}
+
+void PcnBridge::ProcessBurst(ebpf::XdpContext* ctxs, u32 count,
+                             ebpf::XdpAction* verdicts) {
+  chain_.ProcessBurst(ctxs, count, verdicts);
 }
 
 }  // namespace apps

@@ -39,6 +39,7 @@ struct HelperStats {
   u64 map_lookup_calls = 0;
   u64 map_update_calls = 0;
   u64 map_delete_calls = 0;
+  u64 tail_call_calls = 0;
 
   void Reset() { *this = HelperStats{}; }
 };

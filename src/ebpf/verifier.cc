@@ -26,7 +26,7 @@ const std::set<std::string>& Verifier::KnownHelpers() {
       "bpf_spin_unlock",      "bpf_obj_new",         "bpf_obj_drop",
       "bpf_list_push_front",  "bpf_list_push_back",  "bpf_list_pop_front",
       "bpf_list_pop_back",    "bpf_kptr_xchg",       "bpf_xdp_adjust_head",
-      "bpf_redirect",         "bpf_csum_diff",
+      "bpf_redirect",         "bpf_csum_diff",   "bpf_tail_call",
   };
   return helpers;
 }
@@ -42,6 +42,12 @@ VerifyResult Verifier::Verify(const ProgramSpec& spec) const {
   }
   if (spec.estimated_insns > kMaxInsns) {
     result.Fail(spec.name + ": verified-instruction estimate exceeds the 1M budget");
+  }
+  if (spec.tail_call_chain_depth > kMaxTailCallChain) {
+    result.Fail(spec.name + ": tail-call chain depth " +
+                std::to_string(spec.tail_call_chain_depth) +
+                " exceeds MAX_TAIL_CALL_CNT (" +
+                std::to_string(kMaxTailCallChain) + ")");
   }
 
   for (const auto& helper : spec.helpers_used) {

@@ -39,6 +39,12 @@ enum class ProgramType {
   kSocketFilter,
 };
 
+// The kernel's MAX_TAIL_CALL_CNT: at most 33 programs may execute in one
+// chain walk (the entry program plus 32 tail calls, bounded since 5.10 by a
+// per-walk counter). Both the verifier (declared chain depth) and the
+// bpf_tail_call runtime model (prog_array.h) enforce it.
+inline constexpr u32 kMaxTailCallChain = 33;
+
 // Kfunc metadata flags, mirroring the kernel's KF_* annotations.
 enum KfuncFlag : u32 {
   kKfAcquire = 1u << 0,   // returns a reference the program must release
@@ -87,6 +93,10 @@ struct ProgramSpec {
   // Verified-instruction estimate; 0 = not declared. The verifier enforces
   // the kernel's 1M-instruction complexity budget against it.
   u64 estimated_insns = 0;
+  // Programs reachable from this one through bpf_tail_call, counting the
+  // program itself (1 = no tail calls). Chains deeper than kMaxTailCallChain
+  // are rejected at load time.
+  u32 tail_call_chain_depth = 1;
 };
 
 struct VerifyResult {

@@ -1,0 +1,261 @@
+#include "nf/chain.h"
+
+#include <chrono>
+#include <stdexcept>
+#include <utility>
+
+namespace nf {
+
+namespace {
+
+void CountVerdict(ChainStageStats& stats, ebpf::XdpAction action) {
+  switch (action) {
+    case ebpf::XdpAction::kPass:
+      ++stats.pass;
+      break;
+    case ebpf::XdpAction::kDrop:
+      ++stats.drop;
+      break;
+    case ebpf::XdpAction::kTx:
+      ++stats.tx;
+      break;
+    case ebpf::XdpAction::kRedirect:
+      ++stats.redirect;
+      break;
+    case ebpf::XdpAction::kAborted:
+      ++stats.aborted;
+      break;
+  }
+}
+
+u64 NowNs() {
+  return static_cast<u64>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                              std::chrono::steady_clock::now()
+                                  .time_since_epoch())
+                              .count());
+}
+
+}  // namespace
+
+ChainExecutor::ChainExecutor(std::string name) : name_(std::move(name)) {}
+
+ChainExecutor::~ChainExecutor() = default;
+
+ChainExecutor& ChainExecutor::AddStage(std::unique_ptr<NetworkFunction> stage) {
+  if (loaded_) {
+    throw std::logic_error("ChainExecutor::AddStage after Load on '" + name_ +
+                           "'");
+  }
+  stages_.push_back(std::move(stage));
+  return *this;
+}
+
+ebpf::VerifyResult ChainExecutor::Load() {
+  ebpf::VerifyResult result;
+  if (stages_.empty()) {
+    result.Fail(name_ + ": chain has no stages");
+    return result;
+  }
+
+  const u32 depth = this->depth();
+  programs_.clear();
+  prog_array_ = std::make_unique<ebpf::ProgArrayMap>(depth);
+  stats_.assign(depth, ChainStageStats{});
+  for (u32 i = 0; i < depth; ++i) {
+    stats_[i].name = std::string(stages_[i]->name());
+    stats_[i].variant = stages_[i]->variant();
+  }
+
+  for (u32 i = 0; i < depth; ++i) {
+    ebpf::ProgramSpec spec;
+    spec.name = name_ + "/" + std::string(stages_[i]->name());
+    spec.type = ebpf::ProgramType::kXdp;
+    // Stage i can still walk through every downstream stage, so its declared
+    // chain depth is the remaining suffix; the entry program declares the
+    // full chain and is what trips the 33-program limit.
+    spec.tail_call_chain_depth = depth - i;
+    if (i + 1 < depth) {
+      spec.helpers_used.push_back("bpf_tail_call");
+    }
+    const bool last = i + 1 == depth;
+    programs_.push_back(std::make_unique<ebpf::XdpProgram>(
+        std::move(spec),
+        [this, i, last](ebpf::XdpContext& ctx) -> ebpf::XdpAction {
+          ChainStageStats& stats = stats_[i];
+          ++stats.in;
+          const ebpf::XdpAction action = stages_[i]->Process(ctx);
+          CountVerdict(stats, action);
+          if (action != ebpf::XdpAction::kPass || last) {
+            return action;
+          }
+          if (auto verdict = ebpf::TailCall(ctx, *prog_array_, i + 1)) {
+            return *verdict;
+          }
+          // Tail-call failure (missing slot / depth budget spent): the real
+          // program would fall through; with nothing after the call, the
+          // packet exits with the stage verdict.
+          return action;
+        }));
+    const ebpf::VerifyResult stage_result = programs_[i]->Load();
+    if (!stage_result.ok) {
+      result.ok = false;
+      for (const std::string& error : stage_result.errors) {
+        result.errors.push_back(error);
+      }
+    }
+  }
+
+  if (result.ok) {
+    for (u32 i = 0; i < depth; ++i) {
+      if (prog_array_->UpdateElem(i, programs_[i].get()) != ebpf::kOk) {
+        result.Fail(name_ + ": prog array rejected stage " +
+                    std::to_string(i));
+      }
+    }
+  }
+
+  loaded_ = result.ok;
+  return result;
+}
+
+ebpf::XdpAction ChainExecutor::Process(ebpf::XdpContext& ctx) {
+  if (!loaded_) {
+    throw std::logic_error("ChainExecutor::Process on unloaded chain '" +
+                           name_ + "'");
+  }
+  return ebpf::RunChainEntry(*programs_[0], ctx);
+}
+
+void ChainExecutor::ProcessBurst(ebpf::XdpContext* ctxs, u32 count,
+                                 ebpf::XdpAction* verdicts) {
+  if (!loaded_) {
+    throw std::logic_error("ChainExecutor::ProcessBurst on unloaded chain '" +
+                           name_ + "'");
+  }
+  ForEachNfChunk(count, [&](u32 start, u32 chunk) {
+    BurstChunk(ctxs + start, chunk, verdicts + start);
+  });
+}
+
+void ChainExecutor::BurstChunk(ebpf::XdpContext* ctxs, u32 count,
+                               ebpf::XdpAction* verdicts) {
+  // Compacted survivor set: live[i] holds the context of original slot
+  // slot_of[i], in arrival order. Each stage processes the whole survivor
+  // burst at once, then non-PASS packets retire their verdict into the
+  // original slot and PASS survivors regroup for the next stage.
+  ebpf::XdpContext live[kMaxNfBurst];
+  u32 slot_of[kMaxNfBurst];
+  ebpf::XdpAction stage_verdicts[kMaxNfBurst];
+  for (u32 i = 0; i < count; ++i) {
+    live[i] = ctxs[i];
+    slot_of[i] = i;
+  }
+
+  u32 survivors = count;
+  const u32 depth = this->depth();
+  for (u32 s = 0; s < depth && survivors > 0; ++s) {
+    ChainStageStats& stats = stats_[s];
+    const u64 t0 = NowNs();
+    stages_[s]->ProcessBurst(live, survivors, stage_verdicts);
+    stats.ns += NowNs() - t0;
+    stats.in += survivors;
+
+    const bool last = s + 1 == depth;
+    u32 next = 0;
+    for (u32 i = 0; i < survivors; ++i) {
+      const ebpf::XdpAction action = stage_verdicts[i];
+      CountVerdict(stats, action);
+      if (action == ebpf::XdpAction::kPass && !last) {
+        live[next] = live[i];
+        slot_of[next] = slot_of[i];
+        ++next;
+      } else {
+        verdicts[slot_of[i]] = action;
+      }
+    }
+    survivors = next;
+  }
+}
+
+Variant ChainExecutor::variant() const {
+  bool has_enetstl = false;
+  bool has_ebpf = false;
+  for (const auto& stage : stages_) {
+    switch (stage->variant()) {
+      case Variant::kEnetstl:
+        has_enetstl = true;
+        break;
+      case Variant::kEbpf:
+        has_ebpf = true;
+        break;
+      case Variant::kKernel:
+        break;
+    }
+  }
+  if (has_enetstl) {
+    return Variant::kEnetstl;
+  }
+  return has_ebpf ? Variant::kEbpf : Variant::kKernel;
+}
+
+void ChainExecutor::ResetStageStats() {
+  for (ChainStageStats& stats : stats_) {
+    const std::string name = stats.name;
+    const Variant variant = stats.variant;
+    stats = ChainStageStats{};
+    stats.name = name;
+    stats.variant = variant;
+  }
+}
+
+std::unique_ptr<ChainExecutor> MakeBenchChain(
+    const std::vector<std::string>& stage_names, Variant variant,
+    const BenchEnv& env, std::string chain_name) {
+  auto chain = std::make_unique<ChainExecutor>(std::move(chain_name));
+  for (const std::string& name : stage_names) {
+    const NfEntry* entry = NfRegistry::Global().Lookup(name);
+    if (entry == nullptr || !entry->Supports(variant)) {
+      return nullptr;
+    }
+    NfVariantSetup setup = MakeVariantSetup(*entry, variant, env);
+    if (setup.nf == nullptr) {
+      return nullptr;
+    }
+    chain->AddStage(std::move(setup.nf));
+  }
+  if (!chain->Load().ok) {
+    return nullptr;
+  }
+  return chain;
+}
+
+pktgen::ShardedPipeline::ProgramFactory ShardedChainFactory(
+    std::function<std::shared_ptr<ChainExecutor>(u32 cpu)> make_chain) {
+  return [make_chain =
+              std::move(make_chain)](u32 cpu) -> pktgen::ShardedPipeline::ShardProgram {
+    std::shared_ptr<ChainExecutor> chain = make_chain(cpu);
+    pktgen::ShardedPipeline::ShardProgram program;
+    program.handler = [chain](ebpf::XdpContext* ctxs, u32 count,
+                              ebpf::XdpAction* verdicts) {
+      chain->ProcessBurst(ctxs, count, verdicts);
+    };
+    program.finish = [chain](pktgen::ShardedPipeline::ShardStats& shard) {
+      shard.stages.clear();
+      for (const ChainStageStats& stage : chain->stage_stats()) {
+        pktgen::ShardedPipeline::StageBreakdown breakdown;
+        breakdown.name = stage.name;
+        breakdown.in = stage.in;
+        breakdown.pass = stage.pass;
+        breakdown.drop = stage.drop;
+        breakdown.tx = stage.tx;
+        breakdown.redirect = stage.redirect;
+        breakdown.aborted = stage.aborted;
+        breakdown.ns = stage.ns;
+        shard.stages.push_back(std::move(breakdown));
+      }
+    };
+    return program;
+  };
+}
+
+}  // namespace nf

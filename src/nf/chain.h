@@ -1,0 +1,120 @@
+// Service-chain runtime: an ordered NF chain executed through the tail-call
+// model (prog-array map, depth <= 33), over single packets and bursts.
+//
+// Scalar path — each stage is wrapped in an XdpProgram; stage i's program
+// runs its NF and, on kPass, bpf_tail_calls stage i+1 through the prog array
+// (the SRv6 service-function-chaining pattern). Any other verdict exits the
+// chain with that verdict, exactly as an XDP program returning DROP/TX ends
+// packet processing. Load() pushes every stage through the metadata-assisted
+// verifier; a chain of more than ebpf::kMaxTailCallChain (33) programs is
+// rejected at load time, mirroring MAX_TAIL_CALL_CNT.
+//
+// Burst path — the burst stays batched through the chain: each stage's
+// ProcessBurst runs over the compacted survivors of the previous stage, then
+// verdicts are partitioned (kPass continues, anything else exits at its
+// original slot) and survivors regrouped in arrival order. Because stages
+// are independent state machines and survivors keep arrival order, every
+// stage sees exactly the packets (in exactly the order) it would see under
+// per-packet scalar traversal — so chain verdicts are bit-identical to the
+// scalar path, given stage ProcessBurst == scalar Process (the repo-wide
+// batching invariant).
+#ifndef ENETSTL_NF_CHAIN_H_
+#define ENETSTL_NF_CHAIN_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ebpf/prog_array.h"
+#include "nf/nf_interface.h"
+#include "nf/nf_registry.h"
+#include "pktgen/sharded_pipeline.h"
+
+namespace nf {
+
+struct ChainStageStats {
+  std::string name;
+  Variant variant = Variant::kKernel;
+  u64 in = 0;  // packets entering the stage
+  // Verdict histogram; `pass` is also the packets-out count (survivors).
+  u64 pass = 0;
+  u64 drop = 0;
+  u64 tx = 0;
+  u64 redirect = 0;
+  u64 aborted = 0;
+  // Stage time, accumulated on the burst path only (per-packet timing would
+  // distort the scalar latency measurements).
+  u64 ns = 0;
+
+  u64 out() const { return pass; }
+};
+
+// An ordered NF chain that is itself a NetworkFunction, so chains register,
+// bench, and shard exactly like single NFs (and can nest).
+class ChainExecutor : public NetworkFunction {
+ public:
+  explicit ChainExecutor(std::string name = "chain");
+  ~ChainExecutor() override;
+
+  ChainExecutor(const ChainExecutor&) = delete;
+  ChainExecutor& operator=(const ChainExecutor&) = delete;
+
+  // Appends a stage; only valid before Load().
+  ChainExecutor& AddStage(std::unique_ptr<NetworkFunction> stage);
+
+  // Builds the per-stage XDP programs and the prog array, verifying every
+  // program. The chain is runnable only if the result is ok; chains deeper
+  // than ebpf::kMaxTailCallChain stages fail verification.
+  ebpf::VerifyResult Load();
+  bool loaded() const { return loaded_; }
+
+  // Scalar path: one tail-call walk per packet. Throws (like
+  // XdpProgram::Run) if the chain is not loaded.
+  ebpf::XdpAction Process(ebpf::XdpContext& ctx) override;
+
+  // Burst path: partition-and-regroup per stage; accepts any count.
+  void ProcessBurst(ebpf::XdpContext* ctxs, u32 count,
+                    ebpf::XdpAction* verdicts) override;
+
+  std::string_view name() const override { return name_; }
+  // The weakest execution model among the stages dominates the label:
+  // eNetSTL if any stage uses kfuncs, else eBPF if any stage is pure eBPF,
+  // else kernel.
+  Variant variant() const override;
+
+  u32 depth() const { return static_cast<u32>(stages_.size()); }
+  NetworkFunction& stage(u32 i) { return *stages_[i]; }
+  const std::vector<ChainStageStats>& stage_stats() const { return stats_; }
+  void ResetStageStats();
+
+ private:
+  void BurstChunk(ebpf::XdpContext* ctxs, u32 count, ebpf::XdpAction* verdicts);
+
+  std::string name_;
+  std::vector<std::unique_ptr<NetworkFunction>> stages_;
+  std::vector<std::unique_ptr<ebpf::XdpProgram>> programs_;
+  std::unique_ptr<ebpf::ProgArrayMap> prog_array_;
+  std::vector<ChainStageStats> stats_;
+  bool loaded_ = false;
+};
+
+// Builds (and Load()s) a chain whose stages are registry NFs in the given
+// variant, each primed with its bench resident state against `env` so
+// membership/classification stages see their intended hit rates. Returns
+// nullptr when a name is unknown, the variant is unsupported, or the chain
+// fails to load (e.g. more than 33 stages).
+std::unique_ptr<ChainExecutor> MakeBenchChain(
+    const std::vector<std::string>& stage_names, Variant variant,
+    const BenchEnv& env, std::string chain_name = "chain");
+
+// Adapts a per-cpu chain factory into a ShardedPipeline program factory:
+// every shard drives its own chain replica (the RSS model — flow-disjoint
+// shards, no cross-core state), and each chain's per-stage counters are
+// exported into the shard's StageBreakdown when the run finishes.
+pktgen::ShardedPipeline::ProgramFactory ShardedChainFactory(
+    std::function<std::shared_ptr<ChainExecutor>(u32 cpu)> make_chain);
+
+}  // namespace nf
+
+#endif  // ENETSTL_NF_CHAIN_H_

@@ -1,5 +1,7 @@
 #include "nf/cms.h"
 
+#include "nf/nf_registry.h"
+
 #include <algorithm>
 #include <cstring>
 
@@ -16,9 +18,7 @@ namespace nf {
 
 void CmsBase::ProcessBurst(ebpf::XdpContext* ctxs, u32 count,
                            ebpf::XdpAction* verdicts) {
-  for (u32 start = 0; start < count; start += kMaxNfBurst) {
-    const u32 chunk = (count - start < kMaxNfBurst) ? count - start
-                                                    : kMaxNfBurst;
+  ForEachNfChunk(count, [&](u32 start, u32 chunk) {
     ebpf::FiveTuple keys[kMaxNfBurst];
     u32 parsed = 0;
     for (u32 i = 0; i < chunk; ++i) {
@@ -31,7 +31,7 @@ void CmsBase::ProcessBurst(ebpf::XdpContext* ctxs, u32 count,
     }
     UpdateBatch(keys, sizeof(ebpf::FiveTuple), sizeof(ebpf::FiveTuple),
                 parsed, 1);
-  }
+  });
 }
 
 // ---------------------------------------------------------------------------
@@ -124,8 +124,7 @@ void CmsKernel::UpdateBatch(const void* keys, u32 stride, std::size_t len,
                             u32 n, u32 inc) {
   const u8* p = static_cast<const u8*>(keys);
   u32* counters = counters_.data();
-  for (u32 start = 0; start < n; start += kMaxNfBurst) {
-    const u32 chunk = (n - start < kMaxNfBurst) ? n - start : kMaxNfBurst;
+  ForEachNfChunk(n, [&](u32 start, u32 chunk) {
     u32 pos[kMaxNfBurst * 8];
     // Stage 1: all row positions of every key in the burst, prefetched.
     for (u32 i = 0; i < chunk; ++i) {
@@ -152,7 +151,7 @@ void CmsKernel::UpdateBatch(const void* keys, u32 stride, std::size_t len,
         c = next >= c ? next : 0xffffffffu;
       }
     }
-  }
+  });
 }
 
 // ---------------------------------------------------------------------------
@@ -222,8 +221,7 @@ void CmsEnetstl::UpdateBatch(const void* keys, u32 stride, std::size_t len,
     return;
   }
   const u8* p = static_cast<const u8*>(keys);
-  for (u32 start = 0; start < n; start += kMaxNfBurst) {
-    const u32 chunk = (n - start < kMaxNfBurst) ? n - start : kMaxNfBurst;
+  ForEachNfChunk(n, [&](u32 start, u32 chunk) {
     if (config_.rows <= 2) {
       // Few hash functions: batched hardware-CRC path. Stage 1 hashes the
       // burst and prefetches every row-0 counter; row 1's position derives
@@ -241,7 +239,7 @@ void CmsEnetstl::UpdateBatch(const void* keys, u32 stride, std::size_t len,
           h = enetstl::Fmix32(h0[i] + 0x9e3779b9u);
         }
       }
-      continue;
+      return;  // next chunk
     }
     // Stage 1: one kfunc computes every row position of every key and
     // prefetches the addressed counters (row r's base is r * cols into the
@@ -259,7 +257,37 @@ void CmsEnetstl::UpdateBatch(const void* keys, u32 stride, std::size_t len,
         c = next >= c ? next : 0xffffffffu;
       }
     }
-  }
+  });
 }
+
+namespace builtin {
+
+void RegisterCms(NfRegistry& registry) {
+  NfEntry entry;
+  entry.name = "count-min-sketch";
+  entry.category = "sketching";
+  entry.variants = {Variant::kEbpf, Variant::kKernel, Variant::kEnetstl};
+  entry.caps.batched = true;
+  entry.factory = [](Variant v) -> std::unique_ptr<NetworkFunction> {
+    CmsConfig config;
+    config.rows = 8;
+    config.cols = 4096;
+    switch (v) {
+      case Variant::kEbpf:
+        return std::make_unique<CmsEbpf>(config);
+      case Variant::kKernel:
+        return std::make_unique<CmsKernel>(config);
+      case Variant::kEnetstl:
+        return std::make_unique<CmsEnetstl>(config);
+    }
+    return nullptr;
+  };
+  entry.prime = [](const std::vector<NetworkFunction*>&, const BenchEnv& env) {
+    return env.zipf;
+  };
+  registry.Register(std::move(entry));
+}
+
+}  // namespace builtin
 
 }  // namespace nf

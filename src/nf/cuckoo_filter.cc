@@ -1,5 +1,7 @@
 #include "nf/cuckoo_filter.h"
 
+#include "nf/nf_registry.h"
+
 #include <cstring>
 
 #include "core/compare.h"
@@ -89,9 +91,7 @@ bool GenericAdd(FilterBucket* buckets, u32 mask, u32 max_kicks, u64& rng,
 
 void CuckooFilterBase::ProcessBurst(ebpf::XdpContext* ctxs, u32 count,
                                     ebpf::XdpAction* verdicts) {
-  for (u32 start = 0; start < count; start += kMaxNfBurst) {
-    const u32 chunk = (count - start < kMaxNfBurst) ? count - start
-                                                    : kMaxNfBurst;
+  ForEachNfChunk(count, [&](u32 start, u32 chunk) {
     ebpf::FiveTuple keys[kMaxNfBurst];
     bool member[kMaxNfBurst];
     u32 idx[kMaxNfBurst];
@@ -108,7 +108,7 @@ void CuckooFilterBase::ProcessBurst(ebpf::XdpContext* ctxs, u32 count,
       verdicts[idx[i]] =
           member[i] ? ebpf::XdpAction::kPass : ebpf::XdpAction::kDrop;
     }
-  }
+  });
 }
 
 bool CuckooFilterBase::AddWithStash(FilterBucket* buckets, u32 h,
@@ -285,8 +285,7 @@ bool CuckooFilterKernel::Remove(const ebpf::FiveTuple& key) {
 void CuckooFilterKernel::ContainsBatch(const ebpf::FiveTuple* keys, u32 n,
                                        bool* out) {
   FilterBucket* buckets = buckets_.data();
-  for (u32 start = 0; start < n; start += kMaxNfBurst) {
-    const u32 chunk = (n - start < kMaxNfBurst) ? n - start : kMaxNfBurst;
+  ForEachNfChunk(n, [&](u32 start, u32 chunk) {
     u16 fp[kMaxNfBurst];
     u32 b1[kMaxNfBurst];
     // Stage 1: hash the burst, prefetch every primary bucket.
@@ -305,7 +304,7 @@ void CuckooFilterKernel::ContainsBatch(const ebpf::FiveTuple* keys, u32 n,
                        fp[i]) >= 0 ||
           (degraded() && StashContains(b1[i], fp[i]));
     }
-  }
+  });
 }
 
 // ---------------------------------------------------------------------------
@@ -382,8 +381,7 @@ void CuckooFilterEnetstl::ContainsBatch(const ebpf::FiveTuple* keys, u32 n,
     }
     return;
   }
-  for (u32 start = 0; start < n; start += kMaxNfBurst) {
-    const u32 chunk = (n - start < kMaxNfBurst) ? n - start : kMaxNfBurst;
+  ForEachNfChunk(n, [&](u32 start, u32 chunk) {
     u32 h[kMaxNfBurst];
     // Stage 1: one hash_prefetch_batch kfunc call for the whole burst.
     enetstl::HashPrefetchBatch(keys + start, sizeof(ebpf::FiveTuple),
@@ -399,7 +397,42 @@ void CuckooFilterEnetstl::ContainsBatch(const ebpf::FiveTuple* keys, u32 n,
           EnetstlFindFp(buckets[AltBucket(b1, fp, bucket_mask_)], fp) >= 0 ||
           (degraded() && StashContains(b1, fp));
     }
-  }
+  });
 }
+
+namespace builtin {
+
+void RegisterCuckooFilter(NfRegistry& registry) {
+  NfEntry entry;
+  entry.name = "cuckoo-filter";
+  entry.category = "membership test";
+  entry.variants = {Variant::kEbpf, Variant::kKernel, Variant::kEnetstl};
+  entry.caps.batched = true;
+  entry.factory = [](Variant v) -> std::unique_ptr<NetworkFunction> {
+    CuckooFilterConfig config;
+    config.num_buckets = 1024;
+    switch (v) {
+      case Variant::kEbpf:
+        return std::make_unique<CuckooFilterEbpf>(config);
+      case Variant::kKernel:
+        return std::make_unique<CuckooFilterKernel>(config);
+      case Variant::kEnetstl:
+        return std::make_unique<CuckooFilterEnetstl>(config);
+    }
+    return nullptr;
+  };
+  entry.prime = [](const std::vector<NetworkFunction*>& nfs,
+                   const BenchEnv& env) {
+    for (u32 i = 0; i < 3500; ++i) {
+      for (NetworkFunction* nf : nfs) {
+        static_cast<CuckooFilterBase*>(nf)->Add(env.flows[i]);
+      }
+    }
+    return env.uniform;
+  };
+  registry.Register(std::move(entry));
+}
+
+}  // namespace builtin
 
 }  // namespace nf

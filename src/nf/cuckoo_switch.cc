@@ -1,5 +1,7 @@
 #include "nf/cuckoo_switch.h"
 
+#include "nf/nf_registry.h"
+
 #include <cstring>
 
 #include "core/compare.h"
@@ -193,9 +195,7 @@ inline u32 EnetstlHash(const void* key, std::size_t len, u32 seed) {
 
 void CuckooSwitchBase::ProcessBurst(ebpf::XdpContext* ctxs, u32 count,
                                     ebpf::XdpAction* verdicts) {
-  for (u32 start = 0; start < count; start += kMaxNfBurst) {
-    const u32 chunk = (count - start < kMaxNfBurst) ? count - start
-                                                    : kMaxNfBurst;
+  ForEachNfChunk(count, [&](u32 start, u32 chunk) {
     ebpf::FiveTuple keys[kMaxNfBurst];
     std::optional<u64> results[kMaxNfBurst];
     u32 idx[kMaxNfBurst];
@@ -212,7 +212,7 @@ void CuckooSwitchBase::ProcessBurst(ebpf::XdpContext* ctxs, u32 count,
       verdicts[idx[i]] = results[i].has_value() ? ebpf::XdpAction::kTx
                                                 : ebpf::XdpAction::kDrop;
     }
-  }
+  });
 }
 
 bool CuckooSwitchBase::InsertImpl(const ebpf::FiveTuple& key, u64 value) {
@@ -580,8 +580,7 @@ bool CuckooSwitchKernel::Erase(const ebpf::FiveTuple& key) {
 void CuckooSwitchKernel::LookupBatch(const ebpf::FiveTuple* keys, u32 n,
                                      std::optional<u64>* out) {
   CuckooBucket* buckets = buckets_.data();
-  for (u32 start = 0; start < n; start += kMaxNfBurst) {
-    const u32 chunk = (n - start < kMaxNfBurst) ? n - start : kMaxNfBurst;
+  ForEachNfChunk(n, [&](u32 start, u32 chunk) {
     u32 h[kMaxNfBurst];
     u32 sig[kMaxNfBurst];
     u32 b1[kMaxNfBurst];
@@ -610,7 +609,7 @@ void CuckooSwitchKernel::LookupBatch(const ebpf::FiveTuple* keys, u32 n,
       }
       out[start + i] = degraded() ? LookupDegraded(key, h[i]) : std::nullopt;
     }
-  }
+  });
 }
 
 // ---------------------------------------------------------------------------
@@ -688,8 +687,7 @@ void CuckooSwitchEnetstl::LookupBatch(const ebpf::FiveTuple* keys, u32 n,
     }
     return;
   }
-  for (u32 start = 0; start < n; start += kMaxNfBurst) {
-    const u32 chunk = (n - start < kMaxNfBurst) ? n - start : kMaxNfBurst;
+  ForEachNfChunk(n, [&](u32 start, u32 chunk) {
     u32 h[kMaxNfBurst];
     // Stage 1: one kfunc call hashes the whole burst and prefetches every
     // primary bucket — the per-packet call boundary is amortized over the
@@ -716,7 +714,57 @@ void CuckooSwitchEnetstl::LookupBatch(const ebpf::FiveTuple* keys, u32 n,
       }
       out[start + i] = degraded() ? LookupDegraded(key, h[i]) : std::nullopt;
     }
-  }
+  });
 }
+
+namespace builtin {
+
+void RegisterCuckooSwitch(NfRegistry& registry) {
+  NfEntry entry;
+  entry.name = "cuckoo-switch";
+  entry.category = "key-value query";
+  entry.variants = {Variant::kEbpf, Variant::kKernel, Variant::kEnetstl};
+  entry.caps.batched = true;
+  entry.factory = [](Variant v) -> std::unique_ptr<NetworkFunction> {
+    CuckooSwitchConfig config;
+    config.num_buckets = 1024;
+    switch (v) {
+      case Variant::kEbpf:
+        return std::make_unique<CuckooSwitchEbpf>(config);
+      case Variant::kKernel:
+        return std::make_unique<CuckooSwitchKernel>(config);
+      case Variant::kEnetstl:
+        return std::make_unique<CuckooSwitchEnetstl>(config);
+    }
+    return nullptr;
+  };
+  entry.prime = [](const std::vector<NetworkFunction*>& nfs,
+                   const BenchEnv& env) {
+    // Fill to 95% load jointly: a flow counts as resident only when every
+    // instance accepted it, so all variants hold the same resident set.
+    std::vector<ebpf::FiveTuple> resident;
+    const u64 target =
+        static_cast<CuckooSwitchBase*>(nfs.front())->capacity() * 95 / 100;
+    for (const auto& flow : env.flows) {
+      if (resident.size() >= target) {
+        break;
+      }
+      bool all = true;
+      for (NetworkFunction* nf : nfs) {
+        if (!static_cast<CuckooSwitchBase*>(nf)->Insert(flow, 1)) {
+          all = false;
+          break;
+        }
+      }
+      if (all) {
+        resident.push_back(flow);
+      }
+    }
+    return pktgen::MakeUniformTrace(resident, 16384, 75);
+  };
+  registry.Register(std::move(entry));
+}
+
+}  // namespace builtin
 
 }  // namespace nf

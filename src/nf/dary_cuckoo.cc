@@ -1,5 +1,7 @@
 #include "nf/dary_cuckoo.h"
 
+#include "nf/nf_registry.h"
+
 #include <cstring>
 
 #include "core/fault_injector.h"
@@ -126,9 +128,7 @@ DaryCuckooBase::DaryCuckooBase(const DaryCuckooConfig& config)
 
 void DaryCuckooBase::ProcessBurst(ebpf::XdpContext* ctxs, u32 count,
                                   ebpf::XdpAction* verdicts) {
-  for (u32 start = 0; start < count; start += kMaxNfBurst) {
-    const u32 chunk = (count - start < kMaxNfBurst) ? count - start
-                                                    : kMaxNfBurst;
+  ForEachNfChunk(count, [&](u32 start, u32 chunk) {
     ebpf::FiveTuple keys[kMaxNfBurst];
     std::optional<u64> results[kMaxNfBurst];
     u32 idx[kMaxNfBurst];
@@ -145,7 +145,7 @@ void DaryCuckooBase::ProcessBurst(ebpf::XdpContext* ctxs, u32 count,
       verdicts[idx[i]] = results[i].has_value() ? ebpf::XdpAction::kTx
                                                 : ebpf::XdpAction::kDrop;
     }
-  }
+  });
 }
 
 bool DaryCuckooBase::InsertImpl(const ebpf::FiveTuple& key, u64 value) {
@@ -462,8 +462,7 @@ bool DaryCuckooKernel::Erase(const ebpf::FiveTuple& key) {
 void DaryCuckooKernel::LookupBatch(const ebpf::FiveTuple* keys, u32 n,
                                    std::optional<u64>* out) {
   const u32 d = config_.d;
-  for (u32 start = 0; start < n; start += kMaxNfBurst) {
-    const u32 chunk = (n - start < kMaxNfBurst) ? n - start : kMaxNfBurst;
+  ForEachNfChunk(n, [&](u32 start, u32 chunk) {
     u32 pos[kMaxNfBurst * 8];
     u32 sig[kMaxNfBurst];
     // Stage 1: all d candidate positions of every key, prefetched.
@@ -490,7 +489,7 @@ void DaryCuckooKernel::LookupBatch(const ebpf::FiveTuple* keys, u32 n,
         out[start + i] = LookupDegraded(key);
       }
     }
-  }
+  });
 }
 
 // ---------------------------------------------------------------------------
@@ -552,8 +551,7 @@ bool DaryCuckooEnetstl::Erase(const ebpf::FiveTuple& key) {
 void DaryCuckooEnetstl::LookupBatch(const ebpf::FiveTuple* keys, u32 n,
                                     std::optional<u64>* out) {
   const u32 d = config_.d;
-  for (u32 start = 0; start < n; start += kMaxNfBurst) {
-    const u32 chunk = (n - start < kMaxNfBurst) ? n - start : kMaxNfBurst;
+  ForEachNfChunk(n, [&](u32 start, u32 chunk) {
     u32 pos[kMaxNfBurst * 8];
     // Stage 1: one kfunc computes all d masked positions per key and
     // prefetches every addressed slot (row_stride 0: the d rows index one
@@ -578,7 +576,32 @@ void DaryCuckooEnetstl::LookupBatch(const ebpf::FiveTuple* keys, u32 n,
         out[start + i] = LookupDegraded(key);
       }
     }
-  }
+  });
 }
+
+namespace builtin {
+
+void RegisterDaryCuckoo(NfRegistry& registry) {
+  NfEntry entry;
+  entry.name = "dary-cuckoo-kv";
+  entry.category = "key-value query";
+  entry.variants = {Variant::kEbpf, Variant::kKernel, Variant::kEnetstl};
+  entry.caps.batched = true;
+  entry.factory = [](Variant v) -> std::unique_ptr<NetworkFunction> {
+    const DaryCuckooConfig config;
+    switch (v) {
+      case Variant::kEbpf:
+        return std::make_unique<DaryCuckooEbpf>(config);
+      case Variant::kKernel:
+        return std::make_unique<DaryCuckooKernel>(config);
+      case Variant::kEnetstl:
+        return std::make_unique<DaryCuckooEnetstl>(config);
+    }
+    return nullptr;
+  };
+  registry.Register(std::move(entry));
+}
+
+}  // namespace builtin
 
 }  // namespace nf

@@ -1,5 +1,7 @@
 #include "nf/efd.h"
 
+#include "nf/nf_registry.h"
+
 #include <cstring>
 
 #include "core/hash.h"
@@ -154,5 +156,40 @@ u8 EfdEnetstl::Lookup(const ebpf::FiveTuple& key) {
   const EfdGroup& group = groups[h & group_mask_];
   return group.values[SlotOf(h, group.seed_idx, config_.slots_per_group - 1)];
 }
+
+namespace builtin {
+
+void RegisterEfd(NfRegistry& registry) {
+  NfEntry entry;
+  entry.name = "efd-load-balancer";
+  entry.category = "load balancing";
+  entry.variants = {Variant::kEbpf, Variant::kKernel, Variant::kEnetstl};
+  entry.factory = [](Variant v) -> std::unique_ptr<NetworkFunction> {
+    EfdConfig config;
+    config.num_groups = 1024;
+    switch (v) {
+      case Variant::kEbpf:
+        return std::make_unique<EfdEbpf>(config);
+      case Variant::kKernel:
+        return std::make_unique<EfdKernel>(config);
+      case Variant::kEnetstl:
+        return std::make_unique<EfdEnetstl>(config);
+    }
+    return nullptr;
+  };
+  entry.prime = [](const std::vector<NetworkFunction*>& nfs,
+                   const BenchEnv& env) {
+    for (u32 i = 0; i < 2048; ++i) {
+      const auto backend = static_cast<u8>(i % 16);
+      for (NetworkFunction* nf : nfs) {
+        static_cast<EfdBase*>(nf)->Insert(env.flows[i], backend);
+      }
+    }
+    return env.uniform;
+  };
+  registry.Register(std::move(entry));
+}
+
+}  // namespace builtin
 
 }  // namespace nf

@@ -1,5 +1,7 @@
 #include "nf/eiffel.h"
 
+#include "nf/nf_registry.h"
+
 #include <cstring>
 
 #include "core/bits.h"
@@ -355,5 +357,39 @@ u32 EiffelEnetstl::DequeueMinBatch(EiffelItem* out, u32 max) {
 }
 
 u32 EiffelEnetstl::size() const { return state_.size(); }
+
+namespace builtin {
+
+void RegisterEiffel(NfRegistry& registry) {
+  NfEntry entry;
+  entry.name = "eiffel-cffs";
+  entry.category = "queuing";
+  entry.variants = {Variant::kEbpf, Variant::kKernel, Variant::kEnetstl};
+  entry.caps.batched = true;
+  entry.caps.chainable = false;  // op-word driven payloads
+  entry.factory = [](Variant v) -> std::unique_ptr<NetworkFunction> {
+    EiffelConfig config;
+    config.levels = 3;
+    config.capacity = 65536;
+    switch (v) {
+      case Variant::kEbpf:
+        return std::make_unique<EiffelEbpf>(config);
+      case Variant::kKernel:
+        return std::make_unique<EiffelKernel>(config);
+      case Variant::kEnetstl:
+        return std::make_unique<EiffelEnetstl>(config);
+    }
+    return nullptr;
+  };
+  entry.prime = [](const std::vector<NetworkFunction*>& nfs,
+                   const BenchEnv& env) {
+    const u32 num_priorities =
+        static_cast<EiffelBase*>(nfs.front())->num_priorities();
+    return pktgen::MakeQueueingTrace(env.flows, 16384, num_priorities, 78);
+  };
+  registry.Register(std::move(entry));
+}
+
+}  // namespace builtin
 
 }  // namespace nf

@@ -1,5 +1,7 @@
 #include "nf/fq_pacer.h"
 
+#include "nf/nf_registry.h"
+
 #include <vector>
 
 namespace nf {
@@ -229,5 +231,29 @@ bool FqPacerEnetstl::CheckInvariants() const {
   }
   return ok;
 }
+
+namespace builtin {
+
+void RegisterFqPacer(NfRegistry& registry) {
+  NfEntry entry;
+  entry.name = "fq-pacer";
+  entry.category = "queuing";
+  entry.variants = {Variant::kKernel, Variant::kEnetstl};
+  entry.caps.chainable = false;  // op-word driven payloads
+  entry.factory = [](Variant v) -> std::unique_ptr<NetworkFunction> {
+    constexpr u64 kGapNs = 1000;
+    switch (v) {
+      case Variant::kKernel:
+        return std::make_unique<FqPacerKernel>(kGapNs);
+      case Variant::kEnetstl:
+        return std::make_unique<FqPacerEnetstl>(kGapNs);
+      default:
+        return nullptr;  // pure eBPF cannot express the rb-tree walk (P1)
+    }
+  };
+  registry.Register(std::move(entry));
+}
+
+}  // namespace builtin
 
 }  // namespace nf

@@ -1,5 +1,7 @@
 #include "nf/heavykeeper.h"
 
+#include "nf/nf_registry.h"
+
 #include <cmath>
 #include <cstring>
 
@@ -305,5 +307,35 @@ std::vector<HkTopEntry> HeavyKeeperEnetstl::TopK() const {
   }
   return out;
 }
+
+namespace builtin {
+
+void RegisterHeavyKeeper(NfRegistry& registry) {
+  NfEntry entry;
+  entry.name = "heavykeeper";
+  entry.category = "counting";
+  entry.variants = {Variant::kEbpf, Variant::kKernel, Variant::kEnetstl};
+  entry.factory = [](Variant v) -> std::unique_ptr<NetworkFunction> {
+    HeavyKeeperConfig config;
+    config.rows = 8;
+    config.cols = 8192;
+    config.topk = 32;
+    switch (v) {
+      case Variant::kEbpf:
+        return std::make_unique<HeavyKeeperEbpf>(config);
+      case Variant::kKernel:
+        return std::make_unique<HeavyKeeperKernel>(config);
+      case Variant::kEnetstl:
+        return std::make_unique<HeavyKeeperEnetstl>(config);
+    }
+    return nullptr;
+  };
+  entry.prime = [](const std::vector<NetworkFunction*>&, const BenchEnv& env) {
+    return env.zipf;
+  };
+  registry.Register(std::move(entry));
+}
+
+}  // namespace builtin
 
 }  // namespace nf

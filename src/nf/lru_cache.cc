@@ -1,5 +1,7 @@
 #include "nf/lru_cache.h"
 
+#include "nf/nf_registry.h"
+
 namespace nf {
 
 // ---------------------------------------------------------------------------
@@ -136,5 +138,28 @@ std::optional<u64> LruCacheEnetstl::Get(const ebpf::FiveTuple& key) {
   PushFront(node);
   return value;
 }
+
+namespace builtin {
+
+void RegisterLruCache(NfRegistry& registry) {
+  NfEntry entry;
+  entry.name = "lru-flow-cache";
+  entry.category = "key-value query";
+  entry.variants = {Variant::kKernel, Variant::kEnetstl};
+  entry.factory = [](Variant v) -> std::unique_ptr<NetworkFunction> {
+    constexpr u32 kCapacity = 4096;
+    switch (v) {
+      case Variant::kKernel:
+        return std::make_unique<LruCacheKernel>(kCapacity);
+      case Variant::kEnetstl:
+        return std::make_unique<LruCacheEnetstl>(kCapacity);
+      default:
+        return nullptr;  // pure eBPF cannot express the intrusive list (P1)
+    }
+  };
+  registry.Register(std::move(entry));
+}
+
+}  // namespace builtin
 
 }  // namespace nf

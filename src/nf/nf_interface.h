@@ -24,6 +24,18 @@ using ebpf::u8;
 // pipeline burst is always one NF chunk.
 inline constexpr u32 kMaxNfBurst = pktgen::kMaxBurstSize;
 
+// The one input-splitting loop every batched entry point shares: invokes
+// fn(start, chunk) over consecutive ranges [start, start+chunk) with
+// chunk <= kMaxNfBurst, including the remainder tail. Batched overrides size
+// their scratch arrays to kMaxNfBurst and rely on this for longer inputs.
+template <typename Fn>
+inline void ForEachNfChunk(u32 count, Fn&& fn) {
+  for (u32 start = 0; start < count; start += kMaxNfBurst) {
+    const u32 remaining = count - start;
+    fn(start, remaining < kMaxNfBurst ? remaining : kMaxNfBurst);
+  }
+}
+
 // Which execution model an NF implementation targets.
 enum class Variant {
   kEbpf,     // pure eBPF: scalar code, helper-call boundary, BPF maps/lists

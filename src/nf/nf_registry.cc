@@ -1,0 +1,135 @@
+#include "nf/nf_registry.h"
+
+#include "ebpf/helper.h"
+
+namespace nf {
+
+BenchEnv MakeDefaultBenchEnv() {
+  BenchEnv env;
+  env.flows = pktgen::MakeFlowPopulation(4096, 71);
+  env.zipf = pktgen::MakeZipfTrace(env.flows, 16384, 1.1, 72);
+  env.uniform = pktgen::MakeUniformTrace(env.flows, 16384, 73);
+  return env;
+}
+
+NfRegistry& NfRegistry::Global() {
+  static NfRegistry* registry = [] {
+    auto* r = new NfRegistry();
+    builtin::RegisterAll(*r);
+    return r;
+  }();
+  return *registry;
+}
+
+bool NfRegistry::Register(NfEntry entry) {
+  if (index_.count(entry.name) != 0) {
+    return false;
+  }
+  entries_.push_back(std::make_unique<NfEntry>(std::move(entry)));
+  index_.emplace(entries_.back()->name, entries_.back().get());
+  return true;
+}
+
+const NfEntry* NfRegistry::Lookup(std::string_view name) const {
+  auto it = index_.find(name);
+  return it == index_.end() ? nullptr : it->second;
+}
+
+bool NfRegistry::Supports(std::string_view name, Variant variant) const {
+  const NfEntry* entry = Lookup(name);
+  return entry != nullptr && entry->Supports(variant);
+}
+
+std::unique_ptr<NetworkFunction> NfRegistry::Create(std::string_view name,
+                                                    Variant variant) const {
+  const NfEntry* entry = Lookup(name);
+  if (entry == nullptr || !entry->Supports(variant)) {
+    return nullptr;
+  }
+  return entry->factory(variant);
+}
+
+std::vector<const NfEntry*> NfRegistry::Entries() const {
+  std::vector<const NfEntry*> out;
+  out.reserve(entries_.size());
+  for (const auto& entry : entries_) {
+    out.push_back(entry.get());
+  }
+  return out;
+}
+
+NfBenchSetup MakeBenchSetup(const NfEntry& entry, const BenchEnv& env) {
+  ebpf::helpers::SeedPrandom(0xfeed);
+  NfBenchSetup setup;
+  setup.name = entry.name;
+  setup.category = entry.category;
+  std::vector<NetworkFunction*> built;
+  for (const Variant v : entry.variants) {
+    auto nf = entry.factory(v);
+    if (nf == nullptr) {
+      continue;
+    }
+    built.push_back(nf.get());
+    switch (v) {
+      case Variant::kEbpf:
+        setup.ebpf = std::move(nf);
+        break;
+      case Variant::kKernel:
+        setup.kernel = std::move(nf);
+        break;
+      case Variant::kEnetstl:
+        setup.enetstl = std::move(nf);
+        break;
+    }
+  }
+  setup.trace = entry.prime ? entry.prime(built, env) : env.zipf;
+  return setup;
+}
+
+NfVariantSetup MakeVariantSetup(const NfEntry& entry, Variant variant,
+                                const BenchEnv& env) {
+  ebpf::helpers::SeedPrandom(0xfeed);
+  NfVariantSetup setup;
+  setup.nf = entry.factory(variant);
+  if (setup.nf == nullptr) {
+    return setup;
+  }
+  setup.trace = entry.prime ? entry.prime({setup.nf.get()}, env) : env.zipf;
+  return setup;
+}
+
+std::vector<NfBenchSetup> MakeBenchRoster() {
+  const BenchEnv env = MakeDefaultBenchEnv();
+  std::vector<NfBenchSetup> roster;
+  for (const NfEntry* entry : NfRegistry::Global().Entries()) {
+    if (!entry->prime) {
+      continue;
+    }
+    roster.push_back(MakeBenchSetup(*entry, env));
+  }
+  return roster;
+}
+
+namespace builtin {
+
+void RegisterAll(NfRegistry& registry) {
+  RegisterSkipList(registry);
+  RegisterCuckooSwitch(registry);
+  RegisterCuckooFilter(registry);
+  RegisterVbf(registry);
+  RegisterTss(registry);
+  RegisterEfd(registry);
+  RegisterHeavyKeeper(registry);
+  RegisterCms(registry);
+  RegisterNitro(registry);
+  RegisterTimeWheel(registry);
+  RegisterEiffel(registry);
+  RegisterDaryCuckoo(registry);
+  RegisterLruCache(registry);
+  RegisterSpaceSaving(registry);
+  RegisterFqPacer(registry);
+}
+
+}  // namespace builtin
+
+}  // namespace nf

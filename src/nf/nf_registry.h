@@ -1,0 +1,153 @@
+// Central NF registry: the one construction path for every network function.
+//
+// Each NF registers itself (name -> variants, capabilities, factory under the
+// bench "heavy" configuration, priming recipe) from its own translation unit
+// via an explicit registration function; NfRegistry::Global() assembles the
+// built-in set on first use, and the apps layer adds its composites through
+// apps::RegisterAppNfs(). Benches, tests, and examples look NFs up by name
+// instead of hardwiring constructors, and the figure-4/5/table-1 roster is
+// derived from the registry (MakeBenchRoster) rather than a parallel list.
+#ifndef ENETSTL_NF_NF_REGISTRY_H_
+#define ENETSTL_NF_NF_REGISTRY_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "nf/nf_interface.h"
+#include "pktgen/flowgen.h"
+
+namespace nf {
+
+// Shared flow population and traces the bench configurations prime against
+// and replay; one env is built per roster/benchmark so every NF sees the same
+// traffic mix (the nf_roster convention, now owned by the registry).
+struct BenchEnv {
+  std::vector<ebpf::FiveTuple> flows;
+  pktgen::Trace zipf;
+  pktgen::Trace uniform;
+};
+
+BenchEnv MakeDefaultBenchEnv();
+
+struct NfCapabilities {
+  // ProcessBurst is overridden with a real batched path (not the scalar
+  // fallback loop); such NFs must chunk >kMaxNfBurst inputs via
+  // ForEachNfChunk and are covered by the remainder-tail test.
+  bool batched = false;
+  // Verdicts are per-packet filter/forward decisions, so the NF composes as
+  // a ChainExecutor stage. Queueing NFs (op-word driven payloads) are not.
+  bool chainable = true;
+};
+
+struct NfEntry {
+  std::string name;  // equals name() of every instance the factory builds
+  std::string category;
+  std::vector<Variant> variants;  // construction order for rosters
+  NfCapabilities caps;
+  // Builds an unprimed instance under the bench (heavy) configuration;
+  // returns nullptr for variants the NF cannot implement (problem P1).
+  std::function<std::unique_ptr<NetworkFunction>(Variant)> factory;
+  // Primes freshly built instances with the bench resident state — jointly,
+  // so structures whose layout depends on insertion outcomes (cuckoo kick
+  // chains) hold the same resident set across variants — and returns the
+  // matching workload trace. Null for NFs outside the bench roster.
+  std::function<pktgen::Trace(const std::vector<NetworkFunction*>&,
+                              const BenchEnv&)>
+      prime;
+
+  bool Supports(Variant variant) const {
+    for (const Variant v : variants) {
+      if (v == variant) {
+        return true;
+      }
+    }
+    return false;
+  }
+};
+
+class NfRegistry {
+ public:
+  // The registry with every built-in NF registered. App-level NFs and chain
+  // composites join via apps::RegisterAppNfs().
+  static NfRegistry& Global();
+
+  // Registers an entry; duplicates by name are ignored (returns false).
+  bool Register(NfEntry entry);
+
+  const NfEntry* Lookup(std::string_view name) const;
+  bool Supports(std::string_view name, Variant variant) const;
+
+  // Builds an unprimed instance; nullptr when the name is unknown or the
+  // variant unsupported.
+  std::unique_ptr<NetworkFunction> Create(std::string_view name,
+                                          Variant variant) const;
+
+  // Entries in registration order (stable across calls; --list order).
+  std::vector<const NfEntry*> Entries() const;
+  std::size_t size() const { return entries_.size(); }
+
+ private:
+  std::vector<std::unique_ptr<NfEntry>> entries_;
+  std::map<std::string, NfEntry*, std::less<>> index_;
+};
+
+// One roster line: every implementable variant of one NF primed with its
+// heavy-configuration resident state, plus the matching workload trace.
+struct NfBenchSetup {
+  std::string name;
+  std::string category;
+  // Null ebpf means the NF is infeasible in pure eBPF (problem P1).
+  std::unique_ptr<NetworkFunction> ebpf;
+  std::unique_ptr<NetworkFunction> kernel;
+  std::unique_ptr<NetworkFunction> enetstl;
+  pktgen::Trace trace;
+};
+
+// Builds and jointly primes all variants of `entry`. Reseeds the prandom
+// helper first, so two setups of the same entry are bit-identical twins.
+NfBenchSetup MakeBenchSetup(const NfEntry& entry, const BenchEnv& env);
+
+// Single-variant setup through the same construction + priming path;
+// equivalence tests build deterministic twins with it.
+struct NfVariantSetup {
+  std::unique_ptr<NetworkFunction> nf;
+  pktgen::Trace trace;
+};
+NfVariantSetup MakeVariantSetup(const NfEntry& entry, Variant variant,
+                                const BenchEnv& env);
+
+// The figure-4/5/table-1 roster: every registered NF that has a bench
+// priming recipe, in registration order, primed against one default env.
+std::vector<NfBenchSetup> MakeBenchRoster();
+
+// Per-NF registration functions, each defined in its NF's own translation
+// unit. Global() invokes all of them once; they are exposed so tests can
+// populate private registries.
+namespace builtin {
+void RegisterSkipList(NfRegistry& registry);
+void RegisterCuckooSwitch(NfRegistry& registry);
+void RegisterCuckooFilter(NfRegistry& registry);
+void RegisterVbf(NfRegistry& registry);
+void RegisterTss(NfRegistry& registry);
+void RegisterEfd(NfRegistry& registry);
+void RegisterHeavyKeeper(NfRegistry& registry);
+void RegisterCms(NfRegistry& registry);
+void RegisterNitro(NfRegistry& registry);
+void RegisterTimeWheel(NfRegistry& registry);
+void RegisterEiffel(NfRegistry& registry);
+void RegisterDaryCuckoo(NfRegistry& registry);
+void RegisterLruCache(NfRegistry& registry);
+void RegisterSpaceSaving(NfRegistry& registry);
+void RegisterFqPacer(NfRegistry& registry);
+
+// Calls every per-NF registration above in roster order.
+void RegisterAll(NfRegistry& registry);
+}  // namespace builtin
+
+}  // namespace nf
+
+#endif  // ENETSTL_NF_NF_REGISTRY_H_

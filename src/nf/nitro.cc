@@ -1,5 +1,7 @@
 #include "nf/nitro.h"
 
+#include "nf/nf_registry.h"
+
 #include <algorithm>
 
 #include "core/hash.h"
@@ -139,5 +141,35 @@ u32 NitroEnetstl::Query(const void* key, std::size_t len) {
   }
   return MedianOfRows(vals);
 }
+
+namespace builtin {
+
+void RegisterNitro(NfRegistry& registry) {
+  NfEntry entry;
+  entry.name = "nitro-sketch";
+  entry.category = "sketching";
+  entry.variants = {Variant::kEbpf, Variant::kKernel, Variant::kEnetstl};
+  entry.factory = [](Variant v) -> std::unique_ptr<NetworkFunction> {
+    NitroConfig config;
+    config.rows = 8;
+    config.cols = 4096;
+    config.update_prob = 1.0 / 16;
+    switch (v) {
+      case Variant::kEbpf:
+        return std::make_unique<NitroEbpf>(config);
+      case Variant::kKernel:
+        return std::make_unique<NitroKernel>(config);
+      case Variant::kEnetstl:
+        return std::make_unique<NitroEnetstl>(config);
+    }
+    return nullptr;
+  };
+  entry.prime = [](const std::vector<NetworkFunction*>&, const BenchEnv& env) {
+    return env.zipf;
+  };
+  registry.Register(std::move(entry));
+}
+
+}  // namespace builtin
 
 }  // namespace nf

@@ -1,5 +1,7 @@
 #include "nf/skiplist.h"
 
+#include "nf/nf_registry.h"
+
 #include "pktgen/flowgen.h"
 
 namespace nf {
@@ -157,12 +159,11 @@ bool SkipListKernel::Lookup(const SkipKey& key, SkipValue* value) {
 
 void SkipListKernel::LookupBatch(const SkipKey* keys, u32 n, SkipValue* values,
                                  bool* found) {
-  while (n > kMaxNfBurst) {
-    LookupBatch(keys, kMaxNfBurst, values, found);
-    keys += kMaxNfBurst;
-    values += kMaxNfBurst;
-    found += kMaxNfBurst;
-    n -= kMaxNfBurst;
+  if (n > kMaxNfBurst) {
+    ForEachNfChunk(n, [&](u32 start, u32 chunk) {
+      LookupBatch(keys + start, chunk, values + start, found + start);
+    });
+    return;
   }
   // Frontier walk: every still-searching key advances one hop per round; the
   // round's successor nodes are prefetched as a group before any key compare
@@ -341,12 +342,11 @@ bool SkipListEnetstl::Lookup(const SkipKey& key, SkipValue* value) {
 
 void SkipListEnetstl::LookupBatch(const SkipKey* keys, u32 n,
                                   SkipValue* values, bool* found) {
-  while (n > kMaxNfBurst) {
-    LookupBatch(keys, kMaxNfBurst, values, found);
-    keys += kMaxNfBurst;
-    values += kMaxNfBurst;
-    found += kMaxNfBurst;
-    n -= kMaxNfBurst;
+  if (n > kMaxNfBurst) {
+    ForEachNfChunk(n, [&](u32 start, u32 chunk) {
+      LookupBatch(keys + start, chunk, values + start, found + start);
+    });
+    return;
   }
   // Frontier walk over the per-level GetNext chains: one GetNextBatch call
   // boundary advances every still-searching key one hop, with the targets
@@ -573,5 +573,42 @@ bool SkipListEnetstl::Erase(const SkipKey& key) {
   --size_;
   return true;
 }
+
+namespace builtin {
+
+void RegisterSkipList(NfRegistry& registry) {
+  NfEntry entry;
+  entry.name = "skiplist-kv";
+  entry.category = "key-value query";
+  entry.variants = {Variant::kKernel, Variant::kEnetstl};
+  entry.caps.batched = true;
+  entry.factory = [](Variant v) -> std::unique_ptr<NetworkFunction> {
+    switch (v) {
+      case Variant::kKernel:
+        return std::make_unique<SkipListKernel>();
+      case Variant::kEnetstl:
+        return std::make_unique<SkipListEnetstl>();
+      default:
+        return nullptr;  // pure eBPF cannot express the pointer chase (P1)
+    }
+  };
+  entry.prime = [](const std::vector<NetworkFunction*>& nfs,
+                   const BenchEnv& env) {
+    for (u32 i = 0; i < 2048; ++i) {
+      const SkipValue value{};
+      for (NetworkFunction* nf : nfs) {
+        static_cast<SkipListBase*>(nf)->Update(SkipKey::FromTuple(env.flows[i]),
+                                               value);
+      }
+    }
+    return pktgen::MakeOpMixTrace(
+        std::vector<ebpf::FiveTuple>(env.flows.begin(),
+                                     env.flows.begin() + 2048),
+        16384, 1.0, 0.0, 0.0, 74);
+  };
+  registry.Register(std::move(entry));
+}
+
+}  // namespace builtin
 
 }  // namespace nf

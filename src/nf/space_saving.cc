@@ -1,5 +1,7 @@
 #include "nf/space_saving.h"
 
+#include "nf/nf_registry.h"
+
 namespace nf {
 
 // ---------------------------------------------------------------------------
@@ -211,5 +213,28 @@ std::vector<SpaceSavingEntry> SpaceSavingEnetstl::Entries() const {
   }
   return out;
 }
+
+namespace builtin {
+
+void RegisterSpaceSaving(NfRegistry& registry) {
+  NfEntry entry;
+  entry.name = "space-saving";
+  entry.category = "counting";
+  entry.variants = {Variant::kKernel, Variant::kEnetstl};
+  entry.factory = [](Variant v) -> std::unique_ptr<NetworkFunction> {
+    constexpr u32 kCapacity = 1024;
+    switch (v) {
+      case Variant::kKernel:
+        return std::make_unique<SpaceSavingKernel>(kCapacity);
+      case Variant::kEnetstl:
+        return std::make_unique<SpaceSavingEnetstl>(kCapacity);
+      default:
+        return nullptr;  // pure eBPF cannot express the sorted list (P1)
+    }
+  };
+  registry.Register(std::move(entry));
+}
+
+}  // namespace builtin
 
 }  // namespace nf

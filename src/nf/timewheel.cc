@@ -1,5 +1,7 @@
 #include "nf/timewheel.h"
 
+#include "nf/nf_registry.h"
+
 namespace nf {
 
 namespace {
@@ -280,5 +282,36 @@ u32 TimeWheelEnetstl::AdvanceOneSlot(TwElem* out, u32 max) {
   size_ -= n;
   return n;
 }
+
+namespace builtin {
+
+void RegisterTimeWheel(NfRegistry& registry) {
+  NfEntry entry;
+  entry.name = "timewheel";
+  entry.category = "queuing";
+  entry.variants = {Variant::kEbpf, Variant::kKernel, Variant::kEnetstl};
+  entry.caps.chainable = false;  // op-word driven payloads
+  entry.factory = [](Variant v) -> std::unique_ptr<NetworkFunction> {
+    TimeWheelConfig config;
+    config.granularity_ns = 1024;
+    config.capacity = 65536;
+    switch (v) {
+      case Variant::kEbpf:
+        return std::make_unique<TimeWheelEbpf>(config);
+      case Variant::kKernel:
+        return std::make_unique<TimeWheelKernel>(config);
+      case Variant::kEnetstl:
+        return std::make_unique<TimeWheelEnetstl>(config);
+    }
+    return nullptr;
+  };
+  entry.prime = [](const std::vector<NetworkFunction*>&, const BenchEnv& env) {
+    return pktgen::MakeQueueingTrace(env.flows, 16384,
+                                     kTvrSize * (kTvnSize - 1) / 2, 77);
+  };
+  registry.Register(std::move(entry));
+}
+
+}  // namespace builtin
 
 }  // namespace nf

@@ -1,5 +1,7 @@
 #include "nf/tss.h"
 
+#include "nf/nf_registry.h"
+
 #include <cstring>
 
 #include "core/compare.h"
@@ -245,5 +247,47 @@ std::optional<u32> TssEnetstl::Classify(const ebpf::FiveTuple& packet) {
   }
   return best_action;
 }
+
+namespace builtin {
+
+void RegisterTss(NfRegistry& registry) {
+  NfEntry entry;
+  entry.name = "tss-classifier";
+  entry.category = "packet classification";
+  entry.variants = {Variant::kEbpf, Variant::kKernel, Variant::kEnetstl};
+  entry.factory = [](Variant v) -> std::unique_ptr<NetworkFunction> {
+    TssConfig config;
+    config.buckets_per_tuple = 1024;
+    switch (v) {
+      case Variant::kEbpf:
+        return std::make_unique<TssEbpf>(config);
+      case Variant::kKernel:
+        return std::make_unique<TssKernel>(config);
+      case Variant::kEnetstl:
+        return std::make_unique<TssEnetstl>(config);
+    }
+    return nullptr;
+  };
+  entry.prime = [](const std::vector<NetworkFunction*>& nfs,
+                   const BenchEnv& env) {
+    pktgen::Rng rng(76);
+    for (u32 t = 0; t < 16; ++t) {
+      ebpf::FiveTuple mask{};
+      mask.dst_port = 0xffff;
+      mask.dst_ip = 0xffff0000u | t;
+      for (u32 r = 0; r < 64; ++r) {
+        const TssRule rule{env.flows[rng.NextBounded(env.flows.size())], mask,
+                           t * 100 + r, r};
+        for (NetworkFunction* nf : nfs) {
+          static_cast<TssBase*>(nf)->AddRule(rule);
+        }
+      }
+    }
+    return env.zipf;
+  };
+  registry.Register(std::move(entry));
+}
+
+}  // namespace builtin
 
 }  // namespace nf

@@ -1,5 +1,7 @@
 #include "nf/vbf.h"
 
+#include "nf/nf_registry.h"
+
 #include "core/hash.h"
 #include "core/multihash_inl.h"
 #include "core/post_hash.h"
@@ -89,5 +91,41 @@ u32 VbfEnetstl::LookupSets(const void* key, std::size_t len) {
   return enetstl::HashMaskAnd(table, config_.rows, pos_mask_, key, len,
                               config_.seed);
 }
+
+namespace builtin {
+
+void RegisterVbf(NfRegistry& registry) {
+  NfEntry entry;
+  entry.name = "vbf-membership";
+  entry.category = "membership test";
+  entry.variants = {Variant::kEbpf, Variant::kKernel, Variant::kEnetstl};
+  entry.factory = [](Variant v) -> std::unique_ptr<NetworkFunction> {
+    VbfConfig config;
+    config.rows = 8;
+    config.positions = 1u << 16;
+    switch (v) {
+      case Variant::kEbpf:
+        return std::make_unique<VbfEbpf>(config);
+      case Variant::kKernel:
+        return std::make_unique<VbfKernel>(config);
+      case Variant::kEnetstl:
+        return std::make_unique<VbfEnetstl>(config);
+    }
+    return nullptr;
+  };
+  entry.prime = [](const std::vector<NetworkFunction*>& nfs,
+                   const BenchEnv& env) {
+    for (u32 i = 0; i < 2048; ++i) {
+      for (NetworkFunction* nf : nfs) {
+        static_cast<VbfBase*>(nf)->AddToSet(&env.flows[i],
+                                            sizeof(env.flows[i]), i % 16);
+      }
+    }
+    return env.uniform;
+  };
+  registry.Register(std::move(entry));
+}
+
+}  // namespace builtin
 
 }  // namespace nf

@@ -198,6 +198,15 @@ ShardedPipeline::ShardedPipeline(const Options& options) : options_(options) {
 
 ShardedPipeline::Result ShardedPipeline::MeasureThroughput(
     const HandlerFactory& factory, const Trace& trace) const {
+  ProgramFactory programs;
+  if (factory) {
+    programs = [&factory](u32 cpu) { return ShardProgram{factory(cpu), {}}; };
+  }
+  return MeasureThroughput(programs, trace);
+}
+
+ShardedPipeline::Result ShardedPipeline::MeasureThroughput(
+    const ProgramFactory& factory, const Trace& trace) const {
   Result result;
   const u32 workers =
       std::clamp(options_.num_workers, u32{1}, ebpf::kNumPossibleCpus);
@@ -236,13 +245,18 @@ ShardedPipeline::Result ShardedPipeline::MeasureThroughput(
   }
 
   std::vector<WorkerTask> tasks(workers);
+  std::vector<std::function<void(ShardStats&)>> finishers(workers);
   for (u32 w = 0; w < workers; ++w) {
     tasks[w].cpu = w;
     tasks[w].burst = burst;
     tasks[w].warmup_packets = queues[w].empty() ? 0 : options_.warmup_packets;
     tasks[w].measure_packets = quota[w];
     tasks[w].queue = std::move(queues[w]);
-    tasks[w].handler = factory ? factory(w) : BurstHandler{};
+    if (factory) {
+      ShardProgram program = factory(w);
+      tasks[w].handler = std::move(program.handler);
+      finishers[w] = std::move(program.finish);
+    }
     tasks[w].kill_point = "shard.kill." + std::to_string(w);
   }
 
@@ -379,6 +393,12 @@ ShardedPipeline::Result ShardedPipeline::MeasureThroughput(
   if (result.total.packets > 0 && busy_total > 0.0) {
     result.total.ns_per_packet =
         busy_total * 1e9 / static_cast<double>(result.total.packets);
+  }
+
+  for (u32 w = 0; w < workers; ++w) {
+    if (finishers[w]) {
+      finishers[w](result.shards[w]);
+    }
   }
   return result;
 }

@@ -23,6 +23,7 @@
 #define ENETSTL_PKTGEN_SHARDED_PIPELINE_H_
 
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "pktgen/pipeline.h"
@@ -76,6 +77,19 @@ class ShardedPipeline {
     u32 rss_seed = 0;
   };
 
+  // Per-stage verdict/time breakdown a multi-stage shard program (e.g. an NF
+  // chain) exports through its finish hook; empty for plain handlers.
+  struct StageBreakdown {
+    std::string name;
+    u64 in = 0;  // packets entering the stage on this shard
+    u64 pass = 0;
+    u64 drop = 0;
+    u64 tx = 0;
+    u64 redirect = 0;
+    u64 aborted = 0;
+    u64 ns = 0;  // stage time accumulated on this shard's burst path
+  };
+
   struct ShardStats {
     u32 cpu = 0;
     u64 queue_depth = 0;        // distinct trace packets steered to this queue
@@ -87,6 +101,8 @@ class ShardedPipeline {
     // This worker tripped its "shard.kill.<cpu>" fault point mid-measurement
     // and was drained; its stats cover only the packets it served pre-fault.
     bool failed = false;
+    // Filled by the shard program's finish hook, if it installed one.
+    std::vector<StageBreakdown> stages;
   };
 
   struct Result {
@@ -115,6 +131,16 @@ class ShardedPipeline {
       std::function<void(ebpf::XdpContext*, u32, ebpf::XdpAction*)>;
   using HandlerFactory = std::function<BurstHandler(u32 cpu)>;
 
+  // A shard program: the burst handler plus an optional finish hook, invoked
+  // on the coordinating thread after the shard's measurement (including any
+  // failover replay) completes. Multi-stage programs export their per-stage
+  // counters into the shard's StageBreakdown there.
+  struct ShardProgram {
+    BurstHandler handler;
+    std::function<void(ShardStats&)> finish;
+  };
+  using ProgramFactory = std::function<ShardProgram(u32 cpu)>;
+
   ShardedPipeline() : options_{} {}
   explicit ShardedPipeline(const Options& options);
 
@@ -132,6 +158,11 @@ class ShardedPipeline {
   // (arming a second fault would need a second rebuild, which real NICs do,
   // but one round is enough to measure the degradation cost).
   Result MeasureThroughput(const HandlerFactory& factory,
+                           const Trace& trace) const;
+
+  // Program-factory variant; the plain HandlerFactory overload forwards here
+  // with no finish hooks.
+  Result MeasureThroughput(const ProgramFactory& factory,
                            const Trace& trace) const;
 
   const Options& options() const { return options_; }

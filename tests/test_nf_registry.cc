@@ -1,0 +1,151 @@
+// Tests for the central NF registry: one construction path for every NF.
+// Round-trip (every declared variant constructible by name, names/variants
+// consistent), idempotent registration, unknown/unsupported rejections, the
+// registry-derived bench roster, and the shared-chunking remainder-tail
+// invariant for every batched NF.
+#include "nf/nf_registry.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "apps/app_chains.h"
+#include "nf/nf_interface.h"
+#include "pktgen/packet.h"
+
+namespace nf {
+namespace {
+
+TEST(NfRegistry, GlobalHasEveryBuiltin) {
+  const NfRegistry& registry = NfRegistry::Global();
+  EXPECT_GE(registry.size(), 15u);
+  const char* kBuiltins[] = {
+      "skiplist-kv",    "cuckoo-switch",  "cuckoo-filter", "vbf-membership",
+      "tss-classifier", "efd-load-balancer", "heavykeeper",
+      "count-min-sketch", "nitro-sketch", "timewheel",     "eiffel-cffs",
+      "dary-cuckoo-kv", "lru-flow-cache", "space-saving",  "fq-pacer"};
+  for (const char* name : kBuiltins) {
+    EXPECT_NE(registry.Lookup(name), nullptr) << name;
+  }
+}
+
+TEST(NfRegistry, RegistrationIsIdempotentByName) {
+  NfRegistry registry;
+  builtin::RegisterAll(registry);
+  const std::size_t n = registry.size();
+  EXPECT_GE(n, 15u);
+  builtin::RegisterAll(registry);  // duplicates ignored
+  EXPECT_EQ(registry.size(), n);
+}
+
+TEST(NfRegistry, AppLayerEntriesJoinTheGlobalRegistry) {
+  apps::RegisterAppNfs();
+  apps::RegisterAppNfs();  // idempotent
+  const NfRegistry& registry = NfRegistry::Global();
+  const char* kApps[] = {"pcn-chain", "katran-lb", "rakelimit",
+                         "sketch-service", "lb-chain"};
+  for (const char* name : kApps) {
+    const NfEntry* entry = registry.Lookup(name);
+    ASSERT_NE(entry, nullptr) << name;
+    EXPECT_EQ(entry->category, "application");
+    EXPECT_FALSE(entry->Supports(Variant::kKernel)) << name;
+  }
+}
+
+// The round-trip invariant: every (entry, declared variant) pair constructs,
+// the instance reports the entry's name, the requested variant, and a real
+// variant label (VariantName never "?").
+TEST(NfRegistry, EveryEntryConstructsEveryDeclaredVariant) {
+  apps::RegisterAppNfs();
+  const NfRegistry& registry = NfRegistry::Global();
+  std::set<std::string> seen;
+  for (const NfEntry* entry : registry.Entries()) {
+    EXPECT_TRUE(seen.insert(entry->name).second)
+        << "duplicate entry " << entry->name;
+    EXPECT_FALSE(entry->variants.empty()) << entry->name;
+    for (const Variant v : entry->variants) {
+      auto nf = registry.Create(entry->name, v);
+      ASSERT_NE(nf, nullptr) << entry->name << " " << VariantName(v);
+      EXPECT_EQ(nf->name(), entry->name);
+      EXPECT_EQ(nf->variant(), v) << entry->name;
+      EXPECT_NE(VariantName(nf->variant()), "?") << entry->name;
+    }
+  }
+}
+
+TEST(NfRegistry, UnknownAndUnsupportedCreateReturnsNull) {
+  const NfRegistry& registry = NfRegistry::Global();
+  EXPECT_EQ(registry.Create("no-such-nf", Variant::kKernel), nullptr);
+  EXPECT_EQ(registry.Lookup("no-such-nf"), nullptr);
+  // skiplist-kv is infeasible in pure eBPF (problem P1).
+  EXPECT_FALSE(registry.Supports("skiplist-kv", Variant::kEbpf));
+  EXPECT_EQ(registry.Create("skiplist-kv", Variant::kEbpf), nullptr);
+  EXPECT_NE(registry.Create("skiplist-kv", Variant::kKernel), nullptr);
+}
+
+TEST(NfRegistry, BenchRosterDerivesFromRegistry) {
+  const std::vector<NfBenchSetup> roster = MakeBenchRoster();
+  const char* kExpected[] = {
+      "skiplist-kv",      "cuckoo-switch", "cuckoo-filter",
+      "vbf-membership",   "tss-classifier", "efd-load-balancer",
+      "heavykeeper",      "count-min-sketch", "nitro-sketch",
+      "timewheel",        "eiffel-cffs"};
+  ASSERT_EQ(roster.size(), std::size(kExpected));
+  for (std::size_t i = 0; i < roster.size(); ++i) {
+    EXPECT_EQ(roster[i].name, kExpected[i]);
+    ASSERT_NE(roster[i].kernel, nullptr) << roster[i].name;
+    ASSERT_NE(roster[i].enetstl, nullptr) << roster[i].name;
+    EXPECT_FALSE(roster[i].trace.empty()) << roster[i].name;
+    // The only P1 (no-eBPF) roster NF is the skip list.
+    EXPECT_EQ(roster[i].ebpf == nullptr, roster[i].name == "skiplist-kv");
+  }
+}
+
+// Satellite invariant for the shared ForEachNfChunk helper: a single
+// ProcessBurst call over 3*kMaxNfBurst + 7 packets (three full chunks plus a
+// remainder tail) must match per-packet scalar processing on a deterministic
+// twin, for every batched NF and variant.
+TEST(NfRegistry, BatchedNfsSplitOversizedBurstsCorrectly) {
+  apps::RegisterAppNfs();
+  const BenchEnv env = MakeDefaultBenchEnv();
+  constexpr u32 kCount = 3 * kMaxNfBurst + 7;
+  u32 covered = 0;
+  for (const NfEntry* entry : NfRegistry::Global().Entries()) {
+    if (!entry->caps.batched) {
+      continue;
+    }
+    for (const Variant v : entry->variants) {
+      NfVariantSetup scalar = MakeVariantSetup(*entry, v, env);
+      NfVariantSetup burst = MakeVariantSetup(*entry, v, env);
+      ASSERT_NE(scalar.nf, nullptr) << entry->name;
+      ASSERT_NE(burst.nf, nullptr) << entry->name;
+      ASSERT_GE(scalar.trace.size(), kCount);
+
+      std::vector<pktgen::Packet> scalar_pkts(scalar.trace.begin(),
+                                              scalar.trace.begin() + kCount);
+      std::vector<pktgen::Packet> burst_pkts = scalar_pkts;
+      std::vector<ebpf::XdpContext> ctxs(kCount);
+      std::vector<ebpf::XdpAction> scalar_verdicts(kCount);
+      std::vector<ebpf::XdpAction> burst_verdicts(kCount);
+      for (u32 i = 0; i < kCount; ++i) {
+        ebpf::XdpContext ctx{scalar_pkts[i].frame,
+                             scalar_pkts[i].frame + ebpf::kFrameSize, 0};
+        scalar_verdicts[i] = scalar.nf->Process(ctx);
+        ctxs[i] = ebpf::XdpContext{burst_pkts[i].frame,
+                                   burst_pkts[i].frame + ebpf::kFrameSize, 0};
+      }
+      burst.nf->ProcessBurst(ctxs.data(), kCount, burst_verdicts.data());
+      for (u32 i = 0; i < kCount; ++i) {
+        ASSERT_EQ(scalar_verdicts[i], burst_verdicts[i])
+            << entry->name << " " << VariantName(v) << " packet " << i;
+      }
+      ++covered;
+    }
+  }
+  EXPECT_GE(covered, 10u);  // the batched set spans library + app NFs
+}
+
+}  // namespace
+}  // namespace nf

@@ -1,0 +1,205 @@
+// Tests for the prog-array map and the bpf_tail_call model: map semantics
+// (non-owning slots, loaded-programs-only), the never-returns-on-success /
+// falls-through-on-failure helper contract, the per-walk 33-program runtime
+// budget, and verifier rejection of over-deep declared chains.
+#include "ebpf/prog_array.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "ebpf/program.h"
+#include "ebpf/verifier.h"
+
+namespace ebpf {
+namespace {
+
+struct Frame {
+  alignas(8) u8 bytes[kFrameSize];
+  u8* data() { return bytes; }
+};
+
+Frame MakeFrame() {
+  Frame p;
+  FiveTuple tuple;
+  tuple.src_ip = 0x0a000001;
+  tuple.dst_ip = 0x0a000002;
+  tuple.src_port = 1234;
+  tuple.dst_port = 80;
+  tuple.protocol = 6;
+  BuildFrame(tuple, p.data());
+  return p;
+}
+
+ProgramSpec TailSpec(const std::string& name, u32 declared_depth = 1) {
+  ProgramSpec spec;
+  spec.name = name;
+  spec.type = ProgramType::kXdp;
+  spec.helpers_used.push_back("bpf_tail_call");
+  spec.tail_call_chain_depth = declared_depth;
+  return spec;
+}
+
+std::unique_ptr<XdpProgram> LoadedProgram(const std::string& name,
+                                          XdpProgram::Handler handler) {
+  auto prog = std::make_unique<XdpProgram>(TailSpec(name), std::move(handler));
+  EXPECT_TRUE(prog->Load().ok);
+  return prog;
+}
+
+TEST(ProgArrayMap, LookupEmptyAndOutOfRange) {
+  ProgArrayMap map(4);
+  EXPECT_EQ(map.max_entries(), 4u);
+  EXPECT_EQ(map.LookupElem(0), nullptr);
+  EXPECT_EQ(map.LookupElem(4), nullptr);
+  EXPECT_EQ(map.LookupElem(0xffffffffu), nullptr);
+}
+
+TEST(ProgArrayMap, UpdateRequiresLoadedProgram) {
+  ProgArrayMap map(2);
+  EXPECT_EQ(map.UpdateElem(0, nullptr), kErrInval);
+
+  // An unloaded program has no fd; the kernel cannot insert it.
+  XdpProgram unloaded(TailSpec("unloaded"),
+                      [](XdpContext&) { return XdpAction::kPass; });
+  EXPECT_EQ(map.UpdateElem(0, &unloaded), kErrInval);
+
+  auto prog =
+      LoadedProgram("ok", [](XdpContext&) { return XdpAction::kPass; });
+  EXPECT_EQ(map.UpdateElem(2, prog.get()), kErrInval);  // out of range
+  EXPECT_EQ(map.UpdateElem(0, prog.get()), kOk);
+  EXPECT_EQ(map.LookupElem(0), prog.get());
+}
+
+TEST(ProgArrayMap, DeleteSemantics) {
+  ProgArrayMap map(2);
+  EXPECT_EQ(map.DeleteElem(0), kErrNoEnt);
+  EXPECT_EQ(map.DeleteElem(5), kErrNoEnt);
+  auto prog =
+      LoadedProgram("ok", [](XdpContext&) { return XdpAction::kPass; });
+  ASSERT_EQ(map.UpdateElem(1, prog.get()), kOk);
+  EXPECT_EQ(map.DeleteElem(1), kOk);
+  EXPECT_EQ(map.LookupElem(1), nullptr);
+  EXPECT_EQ(map.DeleteElem(1), kErrNoEnt);
+}
+
+TEST(TailCall, SuccessReturnsCalleeVerdictAndCountsHelper) {
+  ProgArrayMap map(2);
+  auto callee =
+      LoadedProgram("callee", [](XdpContext&) { return XdpAction::kTx; });
+  ASSERT_EQ(map.UpdateElem(1, callee.get()), kOk);
+
+  auto entry = LoadedProgram("entry", [&](XdpContext& ctx) {
+    if (auto verdict = TailCall(ctx, map, 1)) {
+      return *verdict;  // helper never returns control on success
+    }
+    return XdpAction::kDrop;
+  });
+
+  const u64 calls_before = GlobalHelperStats().tail_call_calls;
+  auto frame = MakeFrame();
+  XdpContext ctx{frame.data(), frame.data() + kFrameSize, 0};
+  EXPECT_EQ(RunChainEntry(*entry, ctx), XdpAction::kTx);
+  EXPECT_EQ(GlobalHelperStats().tail_call_calls, calls_before + 1);
+}
+
+TEST(TailCall, EmptyOrOutOfRangeSlotFallsThrough) {
+  ProgArrayMap map(2);
+  auto entry = LoadedProgram("entry", [&](XdpContext& ctx) {
+    if (auto verdict = TailCall(ctx, map, 0)) {
+      return *verdict;
+    }
+    if (auto verdict = TailCall(ctx, map, 99)) {
+      return *verdict;
+    }
+    return XdpAction::kAborted;  // both calls must fall through
+  });
+  auto frame = MakeFrame();
+  XdpContext ctx{frame.data(), frame.data() + kFrameSize, 0};
+  EXPECT_EQ(RunChainEntry(*entry, ctx), XdpAction::kAborted);
+}
+
+TEST(TailCall, RuntimeBudgetStopsAtThirtyThreeExecutions) {
+  // A self-tail-calling program with a lying manifest (declared depth 1, so
+  // it loads): static depth checking cannot see dynamic cycles, which is
+  // exactly why the kernel also enforces the budget at runtime. The walk
+  // must execute 33 programs, then the 33rd call's bpf_tail_call becomes a
+  // no-op and it falls through.
+  ProgArrayMap map(1);
+  u32 executions = 0;
+  XdpProgram self(TailSpec("self"), [&](XdpContext& ctx) {
+    ++executions;
+    if (auto verdict = TailCall(ctx, map, 0)) {
+      return *verdict;
+    }
+    return XdpAction::kDrop;  // fall-through path
+  });
+  ASSERT_TRUE(self.Load().ok);
+  ASSERT_EQ(map.UpdateElem(0, &self), kOk);
+
+  auto frame = MakeFrame();
+  XdpContext ctx{frame.data(), frame.data() + kFrameSize, 0};
+  EXPECT_EQ(RunChainEntry(self, ctx), XdpAction::kDrop);
+  EXPECT_EQ(executions, kMaxTailCallChain);
+
+  // RunChainEntry resets the per-walk budget: a second packet gets the full
+  // 33 executions again.
+  executions = 0;
+  EXPECT_EQ(RunChainEntry(self, ctx), XdpAction::kDrop);
+  EXPECT_EQ(executions, kMaxTailCallChain);
+}
+
+TEST(TailCall, BudgetCarriesAcrossNestedCallsWithinOneWalk) {
+  // Linear walk through N distinct programs: all N run when N <= 33.
+  constexpr u32 kDepth = kMaxTailCallChain;
+  ProgArrayMap map(kDepth);
+  std::vector<std::unique_ptr<XdpProgram>> progs;
+  u32 executions = 0;
+  for (u32 i = 0; i < kDepth; ++i) {
+    progs.push_back(std::make_unique<XdpProgram>(
+        TailSpec("stage"), [&, i](XdpContext& ctx) {
+          ++executions;
+          if (auto verdict = TailCall(ctx, map, i + 1)) {
+            return *verdict;
+          }
+          return XdpAction::kPass;
+        }));
+    ASSERT_TRUE(progs.back()->Load().ok);
+  }
+  for (u32 i = 0; i < kDepth; ++i) {
+    ASSERT_EQ(map.UpdateElem(i, progs[i].get()), kOk);
+  }
+  auto frame = MakeFrame();
+  XdpContext ctx{frame.data(), frame.data() + kFrameSize, 0};
+  EXPECT_EQ(RunChainEntry(*progs[0], ctx), XdpAction::kPass);
+  EXPECT_EQ(executions, kDepth);
+}
+
+TEST(TailCallVerifier, BpfTailCallIsAKnownHelper) {
+  XdpProgram prog(TailSpec("uses-tail-call"),
+                  [](XdpContext&) { return XdpAction::kPass; });
+  EXPECT_TRUE(prog.Load().ok);
+}
+
+TEST(TailCallVerifier, DeclaredDepthAtLimitLoads) {
+  XdpProgram prog(TailSpec("deep-33", kMaxTailCallChain),
+                  [](XdpContext&) { return XdpAction::kPass; });
+  EXPECT_TRUE(prog.Load().ok);
+}
+
+TEST(TailCallVerifier, DeclaredDepthBeyondLimitRejected) {
+  XdpProgram prog(TailSpec("deep-34", kMaxTailCallChain + 1),
+                  [](XdpContext&) { return XdpAction::kPass; });
+  const VerifyResult result = prog.Load();
+  EXPECT_FALSE(result.ok);
+  ASSERT_FALSE(result.errors.empty());
+  EXPECT_NE(result.errors.front().find("MAX_TAIL_CALL_CNT"),
+            std::string::npos);
+  // And a rejected program is not insertable into a prog array.
+  ProgArrayMap map(1);
+  EXPECT_EQ(map.UpdateElem(0, &prog), kErrInval);
+}
+
+}  // namespace
+}  // namespace ebpf
