@@ -22,7 +22,8 @@ using ebpf::u64;
 
 // Version of the JSON report layout written by JsonReport; bumped whenever a
 // field is added/renamed so downstream tooling can dispatch on it.
-inline constexpr int kJsonSchemaVersion = 2;
+// v3: optional "obs" block (observability snapshot from obs::ObsReportJson).
+inline constexpr int kJsonSchemaVersion = 3;
 
 // Prints every registry entry (registration order): name, category, variants,
 // capability flags. The output of --list and of an unknown --nf= value.
@@ -253,6 +254,7 @@ inline std::string JsonEscape(const std::string& s) {
 // with its name and argc/argv; when `--json <path>` was passed, every Add()ed
 // row is written to <path> at destruction as
 //   {"bench": "...", "schema_version": N, "git_rev": "...",
+//    ["obs": {...},]  // only when SetObsBlock was called (schema v3)
 //    "rows": [{"series": "...", "param": "...", "mpps": ...}, ...]}
 // Without --json the report is inert, so the human-readable tables are
 // unchanged.
@@ -276,6 +278,10 @@ class JsonReport {
     rows_.push_back({series, param, mpps});
   }
 
+  // Attaches a pre-rendered JSON object (obs::ObsReportJson) emitted as the
+  // report's "obs" field. The value must be one self-contained JSON object.
+  void SetObsBlock(std::string obs_json) { obs_json_ = std::move(obs_json); }
+
   void Write() {
     if (path_.empty() || written_) {
       return;
@@ -290,6 +296,9 @@ class JsonReport {
                  "  \"git_rev\": \"%s\",\n",
                  JsonEscape(bench_).c_str(), kJsonSchemaVersion,
                  JsonEscape(GitRevision()).c_str());
+    if (!obs_json_.empty()) {
+      std::fprintf(f, "  \"obs\": %s,\n", obs_json_.c_str());
+    }
     std::fprintf(f, "  \"rows\": [\n");
     for (std::size_t i = 0; i < rows_.size(); ++i) {
       std::fprintf(f,
@@ -315,6 +324,7 @@ class JsonReport {
 
   std::string bench_;
   std::string path_;
+  std::string obs_json_;
   std::vector<Row> rows_;
   bool written_ = false;
 };

@@ -1,11 +1,16 @@
 // Flow monitor: the telemetry scenario from the paper's motivation — detect
 // elephant flows and estimate their rates inside the datapath.
 //
-// Combines two eNetSTL-backed sketches:
+// Part 1 combines two eNetSTL-backed sketches:
 //   * HeavyKeeper (top-k elephants, fused HashPositions + MinIndexU32)
 //   * NitroSketch (per-flow rates at update probability 1/8, geometric
 //     random pool + hardware CRC)
 // and compares their answers with ground truth computed by the harness.
+//
+// Part 2 watches the same traffic from *inside* a running service chain via
+// the observability plane: per-stage latency histograms from the percpu
+// telemetry maps, plus top-K flows estimated from the sampled ObsEvent
+// stream a RingbufConsumer drains off the BPF ring buffer.
 //
 // Build & run:  ./build/examples/flow_monitor
 #include <algorithm>
@@ -14,9 +19,14 @@
 #include <vector>
 
 #include "ebpf/helper.h"
+#include "ebpf/ringbuf.h"
+#include "nf/chain.h"
 #include "nf/heavykeeper.h"
 #include "nf/nf_registry.h"
 #include "nf/nitro.h"
+#include "obs/exporter.h"
+#include "obs/flow_sampler.h"
+#include "obs/telemetry.h"
 #include "pktgen/flowgen.h"
 #include "pktgen/pipeline.h"
 
@@ -90,5 +100,39 @@ int main() {
     }
   }
   std::printf("top-10 recall: %u/10\n", hits);
+
+  // --- Part 2: the same view from inside a running chain -----------------
+  if (!obs::kCompiledIn) {
+    std::printf("\nobservability compiled out (ENETSTL_OBS=OFF); "
+                "skipping the live telemetry view\n");
+    return 0;
+  }
+  std::printf("\n=== live telemetry: 2-stage chain, 1/8 sampling ===\n");
+
+  obs::Telemetry& telemetry = obs::Telemetry::Global();
+  obs::FlowSampler sampler(8);
+  ebpf::RingbufConsumer consumer(
+      telemetry.ring(), [&sampler](const void* payload, ebpf::u32 len) {
+        sampler.IngestRecord(payload, len);
+      });
+
+  const nf::BenchEnv env = nf::MakeDefaultBenchEnv();
+  auto chain = nf::MakeBenchChain({"cuckoo-filter", "vbf-membership"},
+                                  nf::Variant::kEnetstl, env, "monitor");
+  if (!chain) {
+    std::fprintf(stderr, "chain construction failed\n");
+    return 1;
+  }
+
+  telemetry.Enable(8);
+  pktgen::ReplayOnce([&](ebpf::XdpContext& ctx) { return chain->Process(ctx); },
+                     trace);
+  telemetry.Disable();
+  consumer.Stop();
+
+  const obs::ObsReport report = obs::CollectObsReport(telemetry, &sampler);
+  obs::PrintObsReport(stdout, report);
+  std::printf("ring events consumed: %llu\n",
+              static_cast<unsigned long long>(consumer.consumed()));
   return 0;
 }

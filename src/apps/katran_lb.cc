@@ -1,6 +1,7 @@
 #include "apps/katran_lb.h"
 
 #include "core/hash.h"
+#include "obs/telemetry.h"
 
 namespace apps {
 
@@ -52,6 +53,7 @@ KatranLb::KatranLb(CoreKind core, const KatranConfig& config)
     backends[b] = b;
   }
   ring_ = BuildMaglevRing(backends, config.ring_size, config.seed);
+  obs_scope_ = obs::Telemetry::Global().RegisterScope("app/katran-lb");
   if (core_ == CoreKind::kOrigin) {
     lru_conn_ = std::make_unique<ebpf::LruHashMap<ebpf::FiveTuple, u32>>(
         config.conn_table_size);
@@ -89,9 +91,13 @@ u32 KatranLb::PickBackend(const ebpf::FiveTuple& tuple) {
 }
 
 ebpf::XdpAction KatranLb::Process(ebpf::XdpContext& ctx) {
+  obs::ScalarSample sample(obs_scope_);
   ebpf::FiveTuple tuple;
   if (!ebpf::ParseFiveTuple(ctx, &tuple)) {
     return ebpf::XdpAction::kAborted;
+  }
+  if (sample.armed()) {
+    sample.set_flow(tuple.src_ip);
   }
   (void)PickBackend(tuple);
   return ebpf::XdpAction::kTx;
@@ -100,10 +106,16 @@ ebpf::XdpAction KatranLb::Process(ebpf::XdpContext& ctx) {
 void KatranLb::ProcessBurst(ebpf::XdpContext* ctxs, u32 count,
                             ebpf::XdpAction* verdicts) {
   if (core_ == CoreKind::kOrigin) {
-    // The BPF LRU hash has no batched lookup primitive; scalar loop.
+    // The BPF LRU hash has no batched lookup primitive; scalar loop (which
+    // samples per packet through Process).
     nf::NetworkFunction::ProcessBurst(ctxs, count, verdicts);
     return;
   }
+  // Burst-average attribution, as on the chain burst path: the batched core
+  // bypasses Process, so the burst itself is the sampling unit.
+  const bool sample_burst =
+      obs::kCompiledIn && obs::Telemetry::Global().enabled();
+  const u64 t0 = sample_burst ? ebpf::helpers::BpfKtimeGetNs() : 0;
   nf::ForEachNfChunk(count, [&](u32 start, u32 chunk) {
     ebpf::FiveTuple keys[nf::kMaxNfBurst];
     std::optional<u64> found[nf::kMaxNfBurst];
@@ -134,6 +146,11 @@ void KatranLb::ProcessBurst(ebpf::XdpContext* ctxs, u32 count,
       verdicts[idx[i]] = ebpf::XdpAction::kTx;
     }
   });
+  if (sample_burst) {
+    obs::Telemetry::Global().RecordBurst(
+        obs_scope_, ebpf::helpers::BpfKtimeGetNs() - t0, count,
+        [&](u32 i) { return obs::FlowOf(ctxs[i]); });
+  }
 }
 
 }  // namespace apps

@@ -79,6 +79,9 @@ class KatranLb : public nf::NetworkFunction {
   // eNetSTL connection table.
   std::unique_ptr<nf::CuckooSwitchEnetstl> cuckoo_conn_;
 
+  // Telemetry scope "app/katran-lb" (obs::kInvalidScope when compiled out).
+  ebpf::u16 obs_scope_ = 0xffff;
+
   u64 hits_ = 0;
   u64 misses_ = 0;
 };

@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "core/post_hash.h"
+#include "obs/telemetry.h"
 
 namespace apps {
 
@@ -127,6 +128,7 @@ PcnBridge::PcnBridge(CoreKind core, const PcnBridgeConfig& config)
                            (result.errors.empty() ? std::string("?")
                                                   : result.errors.front()));
   }
+  obs_scope_ = obs::Telemetry::Global().RegisterScope("app/pcn-chain");
 }
 
 void PcnBridge::BlockFlow(const ebpf::FiveTuple& tuple) {
@@ -138,6 +140,12 @@ bool PcnBridge::AddRoute(u32 dst_ip, u32 port) {
 }
 
 ebpf::XdpAction PcnBridge::Process(ebpf::XdpContext& ctx) {
+  // Facade-level sample: whole-walk latency, complementing the chain's
+  // per-stage scopes.
+  obs::ScalarSample sample(obs_scope_);
+  if (sample.armed()) {
+    sample.set_flow(obs::FlowOf(ctx));
+  }
   return chain_.Process(ctx);
 }
 

@@ -138,6 +138,9 @@ class PcnBridge : public nf::NetworkFunction {
   nf::ChainExecutor chain_;
   PcnAclStage* acl_ = nullptr;      // owned by chain_
   PcnRouteStage* route_ = nullptr;  // owned by chain_
+  // Facade-level telemetry scope "app/pcn-chain", covering the whole walk;
+  // the chain registers its own per-stage scopes at Load().
+  ebpf::u16 obs_scope_ = 0xffff;
 };
 
 }  // namespace apps

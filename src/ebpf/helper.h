@@ -40,6 +40,10 @@ struct HelperStats {
   u64 map_update_calls = 0;
   u64 map_delete_calls = 0;
   u64 tail_call_calls = 0;
+  u64 ringbuf_reserve_calls = 0;
+  u64 ringbuf_submit_calls = 0;
+  u64 ringbuf_discard_calls = 0;
+  u64 ringbuf_output_calls = 0;
 
   void Reset() { *this = HelperStats{}; }
 };

@@ -1,0 +1,189 @@
+#include "ebpf/ringbuf.h"
+
+#include <algorithm>
+#include <bit>
+#include <chrono>
+#include <cstring>
+
+namespace ebpf {
+
+int RegisterRingbufKfuncs(KfuncRegistry& registry) {
+  const std::vector<ProgramType> all_types = {
+      ProgramType::kXdp, ProgramType::kTcIngress, ProgramType::kTcEgress,
+      ProgramType::kSocketFilter};
+  int added = 0;
+  added += registry.Register({"bpf_ringbuf_reserve", kKfAcquire | kKfRetNull,
+                              RingbufMap::kResourceClass, all_types});
+  added += registry.Register(
+      {"bpf_ringbuf_submit", kKfRelease, RingbufMap::kResourceClass, all_types});
+  added += registry.Register({"bpf_ringbuf_discard", kKfRelease,
+                              RingbufMap::kResourceClass, all_types});
+  added += registry.Register({"bpf_ringbuf_output", 0, "", all_types});
+  added += registry.Register({"bpf_ringbuf_query", 0, "", all_types});
+  return added;
+}
+
+RingbufMap::RingbufMap(u32 size_bytes) {
+  capacity_ = std::max(kMinSize, std::bit_ceil(size_bytes));
+  mask_ = capacity_ - 1;
+  words_.assign(capacity_ / sizeof(u64), 0);
+}
+
+u32 RingbufMap::HeaderLoadAcquire(u32 off) const {
+  auto* p = reinterpret_cast<u32*>(const_cast<u8*>(Base()) + off);
+  return std::atomic_ref<u32>(*p).load(std::memory_order_acquire);
+}
+
+void RingbufMap::HeaderStore(u32 off, u32 value, std::memory_order order) {
+  auto* p = reinterpret_cast<u32*>(Base() + off);
+  std::atomic_ref<u32>(*p).store(value, order);
+}
+
+void* RingbufMap::ReserveImpl(u32 size) {
+  if (size == 0 || size > kLenMask) {
+    return nullptr;  // invalid size, as bpf_ringbuf_reserve rejects it
+  }
+  const u32 need = kHeaderSize + Align8(size);
+  if (need > capacity_) {
+    return nullptr;
+  }
+
+  BpfSpinLockGuard guard(producer_lock_);
+  u64 prod = producer_pos_.load(std::memory_order_relaxed);
+  const u64 cons = consumer_pos_.load(std::memory_order_acquire);
+  u32 off = static_cast<u32>(prod) & mask_;
+  // A record never straddles the ring end; if it would, a wrap marker fills
+  // the remainder and the record starts at offset 0. The marker's bytes stay
+  // occupied until the consumer skips them, so free-space accounting must
+  // include the pad.
+  const u32 pad = (need > capacity_ - off) ? capacity_ - off : 0;
+  if (prod + pad + need - cons > capacity_) {
+    dropped_events_.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
+  if (pad != 0) {
+    HeaderStore(off, kWrapBit, std::memory_order_relaxed);
+    prod += pad;
+    off = 0;
+  }
+  HeaderStore(off, kBusyBit | size, std::memory_order_relaxed);
+  // Release publishes the headers written above; the payload itself is
+  // published later by Submit's release store on the record header.
+  producer_pos_.store(prod + need, std::memory_order_release);
+  return Base() + off + kHeaderSize;
+}
+
+void RingbufMap::CompleteReservation(void* record, u32 extra_flags) {
+  const u32 off =
+      static_cast<u32>(static_cast<u8*>(record) - Base()) - kHeaderSize;
+  const u32 header = HeaderLoadAcquire(off);
+  HeaderStore(off, (header & ~kBusyBit) | extra_flags,
+              std::memory_order_release);
+}
+
+void* RingbufMap::Reserve(u32 size) {
+  ++GlobalHelperStats().ringbuf_reserve_calls;
+  CompilerBarrier();
+  void* payload = ReserveImpl(size);
+  if (payload != nullptr && ref_tracker_ != nullptr) {
+    ref_tracker_->OnAcquire(payload, kResourceClass);
+  }
+  return payload;
+}
+
+void RingbufMap::Submit(void* record) {
+  ++GlobalHelperStats().ringbuf_submit_calls;
+  CompilerBarrier();
+  if (ref_tracker_ != nullptr) {
+    ref_tracker_->OnRelease(record, kResourceClass);
+  }
+  CompleteReservation(record, 0);
+}
+
+void RingbufMap::Discard(void* record) {
+  ++GlobalHelperStats().ringbuf_discard_calls;
+  CompilerBarrier();
+  if (ref_tracker_ != nullptr) {
+    ref_tracker_->OnRelease(record, kResourceClass);
+  }
+  CompleteReservation(record, kDiscardBit);
+}
+
+int RingbufMap::Output(const void* data, u32 size) {
+  ++GlobalHelperStats().ringbuf_output_calls;
+  CompilerBarrier();
+  void* payload = ReserveImpl(size);
+  if (payload == nullptr) {
+    return kErrNoSpc;
+  }
+  std::memcpy(payload, data, size);
+  CompleteReservation(payload, 0);
+  return kOk;
+}
+
+u64 RingbufMap::AvailData() const {
+  CompilerBarrier();
+  return producer_pos_.load(std::memory_order_acquire) -
+         consumer_pos_.load(std::memory_order_acquire);
+}
+
+std::size_t RingbufMap::Consume(const std::function<void(const void*, u32)>& fn) {
+  std::size_t delivered = 0;
+  for (;;) {
+    const u64 cons = consumer_pos_.load(std::memory_order_relaxed);
+    const u64 prod = producer_pos_.load(std::memory_order_acquire);
+    if (cons >= prod) {
+      break;
+    }
+    const u32 off = static_cast<u32>(cons) & mask_;
+    const u32 header = HeaderLoadAcquire(off);
+    if ((header & kWrapBit) != 0) {
+      consumer_pos_.store(cons + (capacity_ - off), std::memory_order_release);
+      continue;
+    }
+    if ((header & kBusyBit) != 0) {
+      break;  // earliest record still reserved; later records must wait
+    }
+    const u32 len = header & kLenMask;
+    if ((header & kDiscardBit) == 0) {
+      fn(Base() + off + kHeaderSize, len);
+      ++delivered;
+    }
+    // Release so the producer's free-space check happens-after our payload
+    // read — the bytes may be overwritten once this store is visible.
+    consumer_pos_.store(cons + kHeaderSize + Align8(len),
+                        std::memory_order_release);
+  }
+  return delivered;
+}
+
+RingbufConsumer::RingbufConsumer(RingbufMap& ring, Callback callback,
+                                 std::chrono::microseconds poll_interval)
+    : ring_(ring),
+      callback_(std::move(callback)),
+      poll_interval_(poll_interval),
+      thread_([this] { Loop(); }) {}
+
+RingbufConsumer::~RingbufConsumer() { Stop(); }
+
+void RingbufConsumer::Stop() {
+  if (thread_.joinable()) {
+    stop_.store(true, std::memory_order_release);
+    thread_.join();
+  }
+}
+
+void RingbufConsumer::Loop() {
+  while (!stop_.load(std::memory_order_acquire)) {
+    const std::size_t n = ring_.Consume(callback_);
+    consumed_.fetch_add(n, std::memory_order_relaxed);
+    // Sleep even after a productive drain: waking per record would double
+    // the context-switch bill for no added throughput, since Consume already
+    // takes everything completed in one pass.
+    std::this_thread::sleep_for(poll_interval_);
+  }
+  // Final drain: anything submitted before Stop() is still delivered.
+  consumed_.fetch_add(ring_.Consume(callback_), std::memory_order_relaxed);
+}
+
+}  // namespace ebpf

@@ -1,0 +1,185 @@
+// BPF_MAP_TYPE_RINGBUF model: the canonical kernel->userspace telemetry
+// channel (Linux 5.8+), as surveyed in "The eBPF Runtime in the Linux
+// Kernel" (Gbadamosi et al.).
+//
+// Producer side (program-facing, helper-call boundary):
+//   * Reserve(size)  — bpf_ringbuf_reserve: carves a record out of the ring
+//     under the producer spinlock (the kernel serializes producers the same
+//     way) and returns a pointer to the payload, or NULL when the ring is
+//     full. The ring NEVER overwrites unconsumed data; a failed reserve
+//     bumps `dropped_events` and the caller moves on — exactly the
+//     overwrite-never, drop-on-full discipline of the real map.
+//   * Submit/Discard(rec) — bpf_ringbuf_submit/discard: completes the
+//     reservation, flipping the record's busy bit (release order) so the
+//     consumer may pass it. Discarded records are skipped, not delivered.
+//   * Output(data, size) — bpf_ringbuf_output: reserve + copy + submit.
+//
+// Verifier contract: bpf_ringbuf_reserve returns a referenced object the
+// program MUST pass to submit or discard before exiting — in the kernel this
+// is tracked as an acquired reference (ref_obj_id) with a may-be-null return.
+// That is precisely the kKfAcquire|kKfRetNull / kKfRelease metadata contract
+// the simulated verifier already enforces, so the ringbuf API registers its
+// entry points in the KfuncRegistry under resource class "ringbuf_rec"
+// (RegisterRingbufKfuncs) instead of the unchecked helper list: a manifest
+// that reserves without submitting/discarding is rejected at load, and
+// RefLeakChecker can confirm the discipline dynamically (SetRefTracker).
+//
+// Consumer side (userspace-facing, not a helper): Consume() drains completed
+// records in reservation order — a reserved-but-unsubmitted record blocks
+// later records, as in the kernel — and RingbufConsumer runs that drain on a
+// dedicated thread, the epoll-driven ring_buffer__poll() deployment shape.
+//
+// Layout: a power-of-two byte ring of 8-byte-aligned records, each preceded
+// by an 8-byte header carrying the payload length and BUSY/DISCARD flags.
+// The kernel makes wrapped records contiguous by double-mapping the ring's
+// pages; this model instead never wraps a record, writing a WRAP marker that
+// sends the consumer back to offset 0 (the marker's bytes count as occupied
+// space until consumed, so the no-overwrite accounting is unchanged).
+#ifndef ENETSTL_EBPF_RINGBUF_H_
+#define ENETSTL_EBPF_RINGBUF_H_
+
+#include <atomic>
+#include <chrono>
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "ebpf/helper.h"
+#include "ebpf/spinlock.h"
+#include "ebpf/types.h"
+#include "ebpf/verifier.h"
+
+namespace ebpf {
+
+// Registers the ringbuf entry points (reserve/submit/discard/output/query)
+// with their acquire/release/ret-null metadata into `registry`. Idempotent;
+// returns the number newly registered. Resource class: "ringbuf_rec".
+int RegisterRingbufKfuncs(KfuncRegistry& registry = KfuncRegistry::Global());
+
+class RingbufMap {
+ public:
+  static constexpr u32 kHeaderSize = 8;
+  static constexpr u32 kBusyBit = 1u << 31;
+  static constexpr u32 kDiscardBit = 1u << 30;
+  static constexpr u32 kWrapBit = 1u << 29;
+  static constexpr u32 kLenMask = kWrapBit - 1;
+  // Smallest ring the model accepts (one page, the kernel's floor).
+  static constexpr u32 kMinSize = 4096;
+
+  // `size_bytes` is rounded up to the next power of two >= kMinSize
+  // (BPF requires a page-aligned power-of-two max_entries).
+  explicit RingbufMap(u32 size_bytes);
+
+  RingbufMap(const RingbufMap&) = delete;
+  RingbufMap& operator=(const RingbufMap&) = delete;
+
+  // bpf_ringbuf_reserve: returns a `size`-byte payload pointer, or nullptr
+  // when the ring cannot hold the record (then `dropped_events` increments).
+  // The caller owns the reservation until Submit or Discard.
+  ENETSTL_NOINLINE void* Reserve(u32 size);
+
+  // bpf_ringbuf_submit: completes the reservation; the record becomes
+  // consumable once every earlier reservation is also completed.
+  ENETSTL_NOINLINE void Submit(void* record);
+
+  // bpf_ringbuf_discard: completes the reservation but marks the record
+  // skipped; the consumer reclaims its space without delivering it.
+  ENETSTL_NOINLINE void Discard(void* record);
+
+  // bpf_ringbuf_output: reserve + copy + submit in one helper call.
+  // Returns kOk or kErrNoSpc (which also counts as a dropped event).
+  ENETSTL_NOINLINE int Output(const void* data, u32 size);
+
+  // bpf_ringbuf_query(BPF_RB_AVAIL_DATA): bytes between the consumer and
+  // producer positions (completed or not).
+  ENETSTL_NOINLINE u64 AvailData() const;
+
+  // Userspace consumer: drains completed records in reservation order,
+  // invoking fn(payload, len) for each submitted (non-discarded) record.
+  // Stops at the first still-busy record. Returns records delivered.
+  // Single consumer only (like the kernel's epoll consumer).
+  std::size_t Consume(const std::function<void(const void*, u32)>& fn);
+
+  u32 size() const { return capacity_; }
+  u64 dropped_events() const {
+    return dropped_events_.load(std::memory_order_relaxed);
+  }
+  u64 producer_pos() const {
+    return producer_pos_.load(std::memory_order_acquire);
+  }
+  u64 consumer_pos() const {
+    return consumer_pos_.load(std::memory_order_acquire);
+  }
+
+  // Optional dynamic acquire/release tracking: every Reserve records an
+  // acquire of class "ringbuf_rec" against `tracker`, every Submit/Discard a
+  // release — the runtime companion to the verifier's static rule.
+  void SetRefTracker(RefLeakChecker* tracker) { ref_tracker_ = tracker; }
+
+  static constexpr const char* kResourceClass = "ringbuf_rec";
+
+ private:
+  static u32 Align8(u32 v) { return (v + 7u) & ~7u; }
+
+  u8* Base() { return reinterpret_cast<u8*>(words_.data()); }
+  const u8* Base() const { return reinterpret_cast<const u8*>(words_.data()); }
+
+  u32 HeaderLoadAcquire(u32 off) const;
+  void HeaderStore(u32 off, u32 value, std::memory_order order);
+
+  // Shared by Reserve and Output: no helper-stat / ref-tracker side effects.
+  void* ReserveImpl(u32 size);
+  void CompleteReservation(void* record, u32 extra_flags);
+
+  u32 capacity_ = 0;
+  u32 mask_ = 0;
+  // u64 words keep every 8-byte record header naturally aligned for the
+  // std::atomic_ref accesses that order producer/consumer hand-off.
+  std::vector<u64> words_;
+  BpfSpinLock producer_lock_;
+  std::atomic<u64> producer_pos_{0};
+  std::atomic<u64> consumer_pos_{0};
+  std::atomic<u64> dropped_events_{0};
+  RefLeakChecker* ref_tracker_ = nullptr;
+};
+
+// Drains a RingbufMap on a dedicated thread — the simulation's stand-in for
+// a userspace ring_buffer__poll() loop. The callback runs on the consumer
+// thread; Stop() (or destruction) performs a final drain of every completed
+// record before joining, so no submitted record is lost on shutdown.
+//
+// The thread polls at `poll_interval`, draining everything completed per
+// wake. Coarse polling is deliberate: each wake costs a context-switch pair,
+// and on a shared core that time comes straight out of the producers'
+// budget, so the consumer batches hundreds of records per wake rather than
+// chasing each one. Size the ring to cover the interval (a 64 KiB ring holds
+// 2048 32-byte records — ~4 ms of headroom at 500 kevents/s).
+class RingbufConsumer {
+ public:
+  using Callback = std::function<void(const void* payload, u32 len)>;
+
+  RingbufConsumer(
+      RingbufMap& ring, Callback callback,
+      std::chrono::microseconds poll_interval = std::chrono::microseconds(500));
+  ~RingbufConsumer();
+
+  RingbufConsumer(const RingbufConsumer&) = delete;
+  RingbufConsumer& operator=(const RingbufConsumer&) = delete;
+
+  void Stop();
+  u64 consumed() const { return consumed_.load(std::memory_order_relaxed); }
+
+ private:
+  void Loop();
+
+  RingbufMap& ring_;
+  Callback callback_;
+  std::chrono::microseconds poll_interval_;
+  std::atomic<bool> stop_{false};
+  std::atomic<u64> consumed_{0};
+  std::thread thread_;
+};
+
+}  // namespace ebpf
+
+#endif  // ENETSTL_EBPF_RINGBUF_H_

@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/telemetry.h"
+
 namespace nf {
 
 namespace {
@@ -61,9 +63,15 @@ ebpf::VerifyResult ChainExecutor::Load() {
   programs_.clear();
   prog_array_ = std::make_unique<ebpf::ProgArrayMap>(depth);
   stats_.assign(depth, ChainStageStats{});
+  stage_scopes_.assign(depth, obs::kInvalidScope);
   for (u32 i = 0; i < depth; ++i) {
     stats_[i].name = std::string(stages_[i]->name());
     stats_[i].variant = stages_[i]->variant();
+    // Registering scopes also constructs the telemetry singleton, which
+    // registers the ringbuf kfuncs the stage manifests below declare.
+    stage_scopes_[i] = obs::Telemetry::Global().RegisterScope(
+        name_ + "/" + std::to_string(i) + ":" +
+        std::string(stages_[i]->name()));
   }
 
   for (u32 i = 0; i < depth; ++i) {
@@ -77,13 +85,29 @@ ebpf::VerifyResult ChainExecutor::Load() {
     if (i + 1 < depth) {
       spec.helpers_used.push_back("bpf_tail_call");
     }
+    if constexpr (obs::kCompiledIn) {
+      // The sampled path times the stage and emits a ring event; the
+      // manifest declares it so the verifier sees the acquire/release pair.
+      spec.helpers_used.push_back("bpf_ktime_get_ns");
+      spec.kfunc_calls.push_back({"bpf_ringbuf_reserve", true});
+      spec.kfunc_calls.push_back({"bpf_ringbuf_submit", false});
+    }
     const bool last = i + 1 == depth;
     programs_.push_back(std::make_unique<ebpf::XdpProgram>(
         std::move(spec),
         [this, i, last](ebpf::XdpContext& ctx) -> ebpf::XdpAction {
           ChainStageStats& stats = stats_[i];
           ++stats.in;
-          const ebpf::XdpAction action = stages_[i]->Process(ctx);
+          ebpf::XdpAction action;
+          {
+            // Scoped so the sample covers only this stage's Process, not
+            // the tail-called suffix below.
+            obs::ScalarSample sample(stage_scopes_[i]);
+            if (sample.armed()) {
+              sample.set_flow(obs::FlowOf(ctx));
+            }
+            action = stages_[i]->Process(ctx);
+          }
           CountVerdict(stats, action);
           if (action != ebpf::XdpAction::kPass || last) {
             return action;
@@ -157,8 +181,17 @@ void ChainExecutor::BurstChunk(ebpf::XdpContext* ctxs, u32 count,
     ChainStageStats& stats = stats_[s];
     const u64 t0 = NowNs();
     stages_[s]->ProcessBurst(live, survivors, stage_verdicts);
-    stats.ns += NowNs() - t0;
+    const u64 stage_ns = NowNs() - t0;
+    stats.ns += stage_ns;
     stats.in += survivors;
+    if constexpr (obs::kCompiledIn) {
+      // Reuses the stage timing already taken above: sampled packets are
+      // attributed the burst-average latency, so the burst path adds no
+      // extra clock reads.
+      obs::Telemetry::Global().RecordBurst(
+          stage_scopes_[s], stage_ns, survivors,
+          [&](u32 idx) { return obs::FlowOf(live[idx]); });
+    }
 
     const bool last = s + 1 == depth;
     u32 next = 0;

@@ -96,6 +96,9 @@ class ChainExecutor : public NetworkFunction {
   std::vector<std::unique_ptr<ebpf::XdpProgram>> programs_;
   std::unique_ptr<ebpf::ProgArrayMap> prog_array_;
   std::vector<ChainStageStats> stats_;
+  // Telemetry scope per stage ("<chain>/<i>:<stage>"), registered at Load();
+  // obs::kInvalidScope when the observability plane is compiled out.
+  std::vector<u16> stage_scopes_;
   bool loaded_ = false;
 };
 

@@ -1,0 +1,68 @@
+#include "obs/flow_sampler.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace obs {
+
+namespace {
+
+nf::HeavyKeeperConfig SamplerConfig(u32 topk) {
+  nf::HeavyKeeperConfig config;
+  config.rows = 2;
+  config.cols = 1024;
+  config.topk = std::max<u32>(8, (topk + 7) & ~7u);
+  return config;
+}
+
+}  // namespace
+
+FlowSampler::FlowSampler(u32 topk)
+    : topk_(topk == 0 ? 1 : topk), keeper_(SamplerConfig(topk)) {}
+
+void FlowSampler::Ingest(const ObsEvent& event) {
+  if (event.flow == 0) {
+    return;  // unknown flow (unparsable frame)
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  keeper_.Update(&event.flow, sizeof(event.flow), event.flow);
+  ++events_;
+}
+
+bool FlowSampler::IngestRecord(const void* payload, u32 len) {
+  if (len != sizeof(ObsEvent)) {
+    return false;
+  }
+  ObsEvent event;
+  std::memcpy(&event, payload, sizeof(event));
+  Ingest(event);
+  return true;
+}
+
+std::vector<nf::HkTopEntry> FlowSampler::TopK() const {
+  std::vector<nf::HkTopEntry> entries;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    entries = keeper_.TopK();
+  }
+  entries.erase(std::remove_if(entries.begin(), entries.end(),
+                               [](const nf::HkTopEntry& e) {
+                                 return e.est == 0;
+                               }),
+                entries.end());
+  std::sort(entries.begin(), entries.end(),
+            [](const nf::HkTopEntry& a, const nf::HkTopEntry& b) {
+              return a.est > b.est;
+            });
+  if (entries.size() > topk_) {
+    entries.resize(topk_);
+  }
+  return entries;
+}
+
+u64 FlowSampler::events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_;
+}
+
+}  // namespace obs

@@ -1,0 +1,49 @@
+// Top-K heavy-flow sampling over the telemetry event stream.
+//
+// The userspace side of the observability plane: ObsEvent records drained
+// from the ring buffer carry a flow id per sampled packet, and this sampler
+// feeds them into a HeavyKeeper sketch (the repo's existing top-k elephant
+// NF, in its kernel variant — this runs in the consumer process, not on the
+// datapath) to estimate the heaviest flows without keeping per-flow state.
+// Under 1/N sampling the estimates approximate true_count / N.
+//
+// Thread-safe: Ingest* may be called from a RingbufConsumer thread while
+// TopK() is read from the control thread.
+#ifndef ENETSTL_OBS_FLOW_SAMPLER_H_
+#define ENETSTL_OBS_FLOW_SAMPLER_H_
+
+#include <mutex>
+#include <vector>
+
+#include "nf/heavykeeper.h"
+#include "obs/telemetry.h"
+
+namespace obs {
+
+class FlowSampler {
+ public:
+  // Tracks (at least) `topk` flows; the sketch table is rounded up to the
+  // multiple of 8 HeavyKeeper requires.
+  explicit FlowSampler(u32 topk = 8);
+
+  void Ingest(const ObsEvent& event);
+  // Parses a raw ring record; ignores (returns false for) payloads that are
+  // not ObsEvent-sized.
+  bool IngestRecord(const void* payload, u32 len);
+
+  // Heaviest flows seen so far: non-zero estimates, sorted descending,
+  // at most the requested top-k.
+  std::vector<nf::HkTopEntry> TopK() const;
+
+  u64 events() const;
+
+ private:
+  const u32 topk_;
+  mutable std::mutex mu_;
+  nf::HeavyKeeperKernel keeper_;
+  u64 events_ = 0;
+};
+
+}  // namespace obs
+
+#endif  // ENETSTL_OBS_FLOW_SAMPLER_H_

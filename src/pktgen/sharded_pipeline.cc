@@ -9,6 +9,7 @@
 #include "core/hash.h"
 #include "core/hash_inl.h"
 #include "ebpf/helper.h"
+#include "obs/telemetry.h"
 
 #if defined(__linux__)
 #include <time.h>
@@ -78,6 +79,29 @@ struct WorkerTask {
       }
     };
 
+    // Per-shard telemetry scope; the whole-burst latency complements the
+    // per-stage scopes a chain program registers itself. When telemetry is
+    // disabled the measured loop runs the handler with no extra clock reads.
+    ebpf::u16 obs_scope = obs::kInvalidScope;
+    if constexpr (obs::kCompiledIn) {
+      obs_scope =
+          obs::Telemetry::Global().RegisterScope("shard/" + std::to_string(cpu));
+    }
+    auto run_burst = [&](u32 count) {
+      if constexpr (obs::kCompiledIn) {
+        obs::Telemetry& telemetry = obs::Telemetry::Global();
+        if (telemetry.enabled()) {
+          const u64 h0 = ebpf::helpers::BpfKtimeGetNs();
+          handler(ctxs, count, verdicts);
+          telemetry.RecordBurst(obs_scope,
+                                ebpf::helpers::BpfKtimeGetNs() - h0, count,
+                                [&](u32 i) { return obs::FlowOf(ctxs[i]); });
+          return;
+        }
+      }
+      handler(ctxs, count, verdicts);
+    };
+
     for (u64 done = 0; done < warmup_packets;) {
       const u32 count =
           static_cast<u32>(std::min<u64>(b, warmup_packets - done));
@@ -97,7 +121,7 @@ struct WorkerTask {
       const u32 count =
           static_cast<u32>(std::min<u64>(b, measure_packets - done));
       fill_burst(count);
-      handler(ctxs, count, verdicts);
+      run_burst(count);
       for (u32 i = 0; i < count; ++i) {
         stats.AccumulateVerdict(verdicts[i]);
       }

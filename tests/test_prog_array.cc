@@ -150,6 +150,37 @@ TEST(TailCall, RuntimeBudgetStopsAtThirtyThreeExecutions) {
   EXPECT_EQ(executions, kMaxTailCallChain);
 }
 
+TEST(TailCall, RuntimeBudgetFiresOnManifestDeclaredCycle) {
+  // A cycle declared honestly at the depth cap: the manifest says 33 (which
+  // loads — it is exactly MAX_TAIL_CALL_CNT), but the cycle would run
+  // forever. Static admission cannot bound a cycle, so the per-walk runtime
+  // counter is what actually stops the walk at 33 executions.
+  ProgArrayMap map(2);
+  u32 executions[2] = {0, 0};
+  std::vector<std::unique_ptr<XdpProgram>> progs;
+  for (u32 i = 0; i < 2; ++i) {
+    progs.push_back(std::make_unique<XdpProgram>(
+        TailSpec("cycle", kMaxTailCallChain), [&, i](XdpContext& ctx) {
+          ++executions[i];
+          if (auto verdict = TailCall(ctx, map, 1 - i)) {
+            return *verdict;
+          }
+          return XdpAction::kPass;  // budget exhausted: fall through
+        }));
+    ASSERT_TRUE(progs.back()->Load().ok);
+  }
+  for (u32 i = 0; i < 2; ++i) {
+    ASSERT_EQ(map.UpdateElem(i, progs[i].get()), kOk);
+  }
+
+  auto frame = MakeFrame();
+  XdpContext ctx{frame.data(), frame.data() + kFrameSize, 0};
+  EXPECT_EQ(RunChainEntry(*progs[0], ctx), XdpAction::kPass);
+  EXPECT_EQ(executions[0] + executions[1], kMaxTailCallChain);
+  EXPECT_EQ(executions[0], 17u);  // entry runs first, then strict alternation
+  EXPECT_EQ(executions[1], 16u);
+}
+
 TEST(TailCall, BudgetCarriesAcrossNestedCallsWithinOneWalk) {
   // Linear walk through N distinct programs: all N run when N <= 33.
   constexpr u32 kDepth = kMaxTailCallChain;

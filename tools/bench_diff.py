@@ -1,0 +1,143 @@
+#!/usr/bin/env python3
+"""Compare bench JSON reports against checked-in baselines.
+
+First consumer of the JsonReport convention (BENCH_*.json, schema_version
+>= 2): rows are matched on (series, param) and the Mpps delta is reported.
+Deltas outside the band (default +-15%) are flagged as WARN; the script is a
+trend detector for shared CI runners, so warnings are non-fatal by default
+(--strict turns them into a nonzero exit). Structural problems — unreadable
+file, no matching rows — always exit nonzero.
+
+Usage:
+  bench_diff.py BASELINE.json FRESH.json [--band 15] [--strict]
+  bench_diff.py --baseline-dir DIR --fresh-dir DIR [--band 15] [--strict]
+
+Directory mode compares every BENCH_*.json present in BOTH directories
+(baselines without a fresh counterpart are listed as skipped).
+"""
+
+import argparse
+import json
+import os
+import sys
+
+
+def load_report(path):
+    with open(path, "r", encoding="utf-8") as f:
+        report = json.load(f)
+    if "rows" not in report:
+        raise ValueError(f"{path}: no 'rows' field (not a bench report?)")
+    return report
+
+
+def diff_reports(baseline_path, fresh_path, band_pct):
+    """Returns (lines, num_warn). Raises on structural problems."""
+    baseline = load_report(baseline_path)
+    fresh = load_report(fresh_path)
+
+    lines = []
+    if baseline.get("schema_version") != fresh.get("schema_version"):
+        lines.append(
+            f"  note: schema_version {baseline.get('schema_version')} -> "
+            f"{fresh.get('schema_version')} (rows compared by key regardless)"
+        )
+
+    base_rows = {(r["series"], r["param"]): r["mpps"] for r in baseline["rows"]}
+    fresh_rows = {(r["series"], r["param"]): r["mpps"] for r in fresh["rows"]}
+
+    common = [k for k in base_rows if k in fresh_rows]
+    if not common:
+        raise ValueError(
+            f"no common (series, param) rows between {baseline_path} and "
+            f"{fresh_path}"
+        )
+
+    warns = 0
+    for key in common:
+        base, new = base_rows[key], fresh_rows[key]
+        if base <= 0:
+            delta = 0.0
+        else:
+            delta = (new - base) / base * 100.0
+        flag = "ok"
+        if abs(delta) > band_pct:
+            flag = "WARN"
+            warns += 1
+        series, param = key
+        lines.append(
+            f"  {flag:4} {series:>16s}/{param:<8s} "
+            f"{base:10.3f} -> {new:10.3f} Mpps  ({delta:+6.1f}%)"
+        )
+    for key in sorted(set(base_rows) - set(fresh_rows)):
+        lines.append(f"  note: row {key} only in baseline")
+    for key in sorted(set(fresh_rows) - set(base_rows)):
+        lines.append(f"  note: row {key} only in fresh report")
+    return lines, warns
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("files", nargs="*", help="BASELINE.json FRESH.json")
+    parser.add_argument("--baseline-dir", help="directory of checked-in baselines")
+    parser.add_argument("--fresh-dir", help="directory of freshly produced reports")
+    parser.add_argument(
+        "--band",
+        type=float,
+        default=15.0,
+        help="warn when |delta| exceeds this percentage (default 15)",
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit nonzero when any row warns (default: warnings are informational)",
+    )
+    args = parser.parse_args()
+
+    pairs = []
+    if args.baseline_dir or args.fresh_dir:
+        if args.files or not (args.baseline_dir and args.fresh_dir):
+            parser.error("directory mode takes --baseline-dir AND --fresh-dir, no files")
+        names = sorted(
+            n
+            for n in os.listdir(args.baseline_dir)
+            if n.startswith("BENCH_") and n.endswith(".json")
+        )
+        for name in names:
+            fresh = os.path.join(args.fresh_dir, name)
+            if os.path.exists(fresh):
+                pairs.append((os.path.join(args.baseline_dir, name), fresh))
+            else:
+                print(f"skip {name}: no fresh report")
+    else:
+        if len(args.files) != 2:
+            parser.error("file mode takes exactly BASELINE.json FRESH.json")
+        pairs.append((args.files[0], args.files[1]))
+
+    if not pairs:
+        print("bench_diff: nothing to compare", file=sys.stderr)
+        return 1
+
+    total_warns = 0
+    for baseline_path, fresh_path in pairs:
+        print(f"== {os.path.basename(baseline_path)} "
+              f"(band +-{args.band:g}%) ==")
+        try:
+            lines, warns = diff_reports(baseline_path, fresh_path, args.band)
+        except (OSError, ValueError, KeyError, json.JSONDecodeError) as err:
+            print(f"bench_diff: {err}", file=sys.stderr)
+            return 1
+        total_warns += warns
+        print("\n".join(lines))
+
+    if total_warns:
+        print(f"bench_diff: {total_warns} row(s) outside the +-{args.band:g}% band"
+              " (informational unless --strict)")
+        if args.strict:
+            return 2
+    else:
+        print("bench_diff: all compared rows within band")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
