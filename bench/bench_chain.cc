@@ -1,15 +1,19 @@
 // Service-chain sweep: ChainExecutor throughput versus chain length (1..8
-// stages) for all three variants, plus the RSS-sharded chain deployment.
+// stages) for all three variants, the fused (hot-chain specialized) eNetSTL
+// path, plus the RSS-sharded chain deployment.
 //
 // Stages alternate the two membership NFs (cuckoo-filter, vbf-membership)
 // and the trace draws uniformly from flows resident in both, so nearly every
 // packet is PASS at every stage and traverses the whole chain — the sweep
 // measures the cost of chain depth (tail-call walk, per-stage verdict
-// partition/regroup), not early-exit shortcuts.
+// partition/regroup), not early-exit shortcuts. `--stages=a,b,c` benches an
+// arbitrary registry-named chain instead of the default alternating sweep.
 //
 // Before measuring, every (length, variant) point re-checks the chain
-// invariant on live traffic: burst-path verdicts must be bit-identical to
-// per-packet scalar traversal. A mismatch exits non-zero.
+// invariant on live traffic: burst-path verdicts — generic AND fused — must
+// be bit-identical to per-packet scalar traversal. A mismatch exits
+// non-zero.
+#include <cstring>
 #include <memory>
 #include <string>
 #include <vector>
@@ -33,6 +37,66 @@ std::vector<std::string> ChainStages(u32 length) {
   return names;
 }
 
+// Strips `--stages=a,b,c` from argv (the HandleRegistryArgs convention) and
+// validates every name against the registry. Returns an exit code >= 0 when
+// the process should terminate (unknown/unchainable stage), -1 to continue.
+int HandleStagesArg(int* argc, char** argv, std::vector<std::string>* stages) {
+  int out = 1;
+  int code = -1;
+  for (int i = 1; i < *argc; ++i) {
+    if (std::strncmp(argv[i], "--stages=", 9) != 0) {
+      argv[out++] = argv[i];
+      continue;
+    }
+    stages->clear();
+    std::string list = argv[i] + 9;
+    std::size_t pos = 0;
+    while (pos <= list.size()) {
+      const std::size_t comma = list.find(',', pos);
+      const std::string name =
+          list.substr(pos, comma == std::string::npos ? comma : comma - pos);
+      if (!name.empty()) {
+        stages->push_back(name);
+      }
+      if (comma == std::string::npos) {
+        break;
+      }
+      pos = comma + 1;
+    }
+    if (stages->empty()) {
+      std::fprintf(stderr, "--stages= needs a comma-separated NF list\n");
+      code = 1;
+      continue;
+    }
+    for (const std::string& name : *stages) {
+      const nf::NfEntry* entry = nf::NfRegistry::Global().Lookup(name);
+      if (entry == nullptr || !entry->caps.chainable) {
+        std::fprintf(stderr,
+                     "unknown or unchainable stage '%s'; registered NFs:\n",
+                     name.c_str());
+        bench::PrintRegistryList(stderr);
+        code = 1;
+        break;
+      }
+    }
+  }
+  *argc = out;
+  return code;
+}
+
+// True when every stage supports `variant` (apps have no kernel-native
+// build, so custom chains may cover only a subset of the sweep columns).
+bool ChainSupports(const std::vector<std::string>& stages,
+                   nf::Variant variant) {
+  for (const std::string& name : stages) {
+    const nf::NfEntry* entry = nf::NfRegistry::Global().Lookup(name);
+    if (entry == nullptr || !entry->Supports(variant)) {
+      return false;
+    }
+  }
+  return true;
+}
+
 // Uniform trace over flows resident in every stage's primed set (the vbf
 // recipe primes the first 2048 flows, cuckoo-filter a superset), so chains
 // stay on the all-PASS path.
@@ -43,16 +107,26 @@ pktgen::Trace MakeChainTrace(const nf::BenchEnv& env) {
 }
 
 // Scalar-vs-burst equivalence on deterministic twin chains; returns false
-// (and reports) on any verdict mismatch.
+// (and reports) on any verdict mismatch. With `fused` the burst twin runs
+// the promoted single-pass executor, so the check pins fused verdicts to
+// the scalar tail-call oracle.
 bool CheckChainInvariant(const std::vector<std::string>& stages,
                          nf::Variant variant, const nf::BenchEnv& env,
-                         const pktgen::Trace& trace) {
+                         const pktgen::Trace& trace, bool fused = false) {
   auto scalar_chain = nf::MakeBenchChain(stages, variant, env, "chain");
   auto burst_chain = nf::MakeBenchChain(stages, variant, env, "chain");
   if (!scalar_chain || !burst_chain) {
     std::fprintf(stderr, "chain construction failed (depth %zu, %s)\n",
                  stages.size(), std::string(nf::VariantName(variant)).c_str());
     return false;
+  }
+  if (fused) {
+    burst_chain->EnableFusion();
+    if (!burst_chain->TryPromoteNow()) {
+      std::fprintf(stderr, "fused promotion failed (depth %zu)\n",
+                   stages.size());
+      return false;
+    }
   }
   constexpr u32 kPackets = 4096;
   constexpr u32 kBurst = 32;
@@ -106,6 +180,11 @@ int main(int argc, char** argv) {
   if (const int code = bench::HandleRegistryArgs(&argc, argv); code >= 0) {
     return code;
   }
+  std::vector<std::string> custom_stages;
+  if (const int code = HandleStagesArg(&argc, argv, &custom_stages);
+      code >= 0) {
+    return code;
+  }
   bench::JsonReport report("chain", argc, argv);
   bench::PrintHeader(
       "Service chains: throughput vs chain length (tail-call model)");
@@ -115,32 +194,80 @@ int main(int argc, char** argv) {
   const nf::Variant kVariants[] = {nf::Variant::kEbpf, nf::Variant::kKernel,
                                    nf::Variant::kEnetstl};
 
+  // Sweep points: the default depth-1..8 alternating roster, or the one
+  // chain named on the command line.
+  std::vector<std::pair<std::string, std::vector<std::string>>> points;
+  if (custom_stages.empty()) {
+    for (u32 length = 1; length <= 8; ++length) {
+      points.emplace_back(std::to_string(length), ChainStages(length));
+    }
+  } else {
+    std::string label = custom_stages[0];
+    for (std::size_t i = 1; i < custom_stages.size(); ++i) {
+      label += "," + custom_stages[i];
+    }
+    std::printf("-- custom chain: %s\n", label.c_str());
+    points.emplace_back("custom", custom_stages);
+  }
+
   bench::PrintSweepHeader("chain_depth");
   bench::SweepAccumulator acc;
-  for (u32 length = 1; length <= 8; ++length) {
-    const std::vector<std::string> stages = ChainStages(length);
+  for (const auto& [param, stages] : points) {
     double mpps[3] = {0, 0, 0};
     for (int v = 0; v < 3; ++v) {
+      if (!ChainSupports(stages, kVariants[v])) {
+        std::printf("   (skipping %s: unsupported by a stage)\n",
+                    std::string(nf::VariantName(kVariants[v])).c_str());
+        continue;
+      }
       if (!CheckChainInvariant(stages, kVariants[v], env, trace)) {
         return 1;
       }
       auto chain = nf::MakeBenchChain(stages, kVariants[v], env, "chain");
       if (!chain) {
-        std::fprintf(stderr, "chain construction failed at depth %u\n",
-                     length);
+        std::fprintf(stderr, "chain construction failed (%s)\n",
+                     param.c_str());
         return 1;
       }
       mpps[v] = bench::MeasureBurstMpps(*chain, trace, 32);
-      report.Add(std::string(nf::VariantName(kVariants[v])),
-                 std::to_string(length), mpps[v]);
+      report.Add(std::string(nf::VariantName(kVariants[v])), param, mpps[v]);
     }
-    bench::PrintSweepRow(std::to_string(length), mpps[0], mpps[1], mpps[2]);
+    bench::PrintSweepRow(param, mpps[0], mpps[1], mpps[2]);
     acc.Add(mpps[0], mpps[1], mpps[2]);
+
+    // Fused (hot-chain specialized) eNetSTL path: invariant-checked against
+    // the scalar oracle, then measured with obs-driven promotion — fusion is
+    // armed and the chain promotes itself during warmup traffic.
+    if (!ChainSupports(stages, nf::Variant::kEnetstl)) {
+      continue;
+    }
+    if (!CheckChainInvariant(stages, nf::Variant::kEnetstl, env, trace,
+                             /*fused=*/true)) {
+      return 1;
+    }
+    auto fchain =
+        nf::MakeBenchChain(stages, nf::Variant::kEnetstl, env, "chain");
+    if (!fchain) {
+      std::fprintf(stderr, "chain construction failed (%s)\n", param.c_str());
+      return 1;
+    }
+    fchain->EnableFusion();
+    const double fused_mpps = bench::MeasureBurstMpps(*fchain, trace, 32);
+    if (!fchain->fused()) {
+      std::fprintf(stderr,
+                   "chain %s never promoted to the fused path under load\n",
+                   param.c_str());
+      return 1;
+    }
+    report.Add("eNetSTL-fused", param, fused_mpps);
+    std::printf("%-14s %12s %12s %12.3f %+14.1f (fused vs generic eNetSTL)\n",
+                (param + " fused").c_str(), "-", "-", fused_mpps,
+                bench::PercentGain(fused_mpps, mpps[2]));
   }
   acc.PrintSummary("chain sweep");
 
   // Per-stage breakdown of the deepest eNetSTL chain over one measured pass.
-  {
+  if (custom_stages.empty()) {
     auto chain =
         nf::MakeBenchChain(ChainStages(4), nf::Variant::kEnetstl, env, "chain");
     pktgen::Pipeline::Options opts;
@@ -156,7 +283,7 @@ int main(int argc, char** argv) {
 
   // RSS-sharded deployment: every shard runs its own replica of the depth-4
   // eNetSTL chain (flow-disjoint state, the multi-core model of PR 1).
-  {
+  if (custom_stages.empty()) {
     pktgen::ShardedPipeline::Options opts;
     opts.num_workers = 4;
     opts.burst_size = 32;

@@ -97,6 +97,21 @@ inline XdpAction RunChainEntry(const XdpProgram& entry, XdpContext& ctx) {
   return entry.Run(ctx);
 }
 
+// Fusion eligibility against the tail-call budget: a fused chain stands in
+// for one complete walk of `depth` programs, so it may only exist where the
+// generic walk itself fits the MAX_TAIL_CALL_CNT model. Chains past the
+// budget already fail Load(); this keeps the fused path from ever being
+// built for a shape the verifier would reject.
+inline bool FusionWithinTailCallBudget(u32 depth) {
+  return depth >= 1 && depth <= kMaxTailCallChain;
+}
+
+// Opens a fused walk: one fused burst stands in for `depth` per-packet
+// program executions, so the walk charges its full depth against the
+// per-walk budget up front. Callers must have passed
+// FusionWithinTailCallBudget(depth).
+inline void BeginFusedWalk(u32 depth) { detail::chain_programs_run = depth; }
+
 }  // namespace ebpf
 
 #endif  // ENETSTL_EBPF_PROG_ARRAY_H_

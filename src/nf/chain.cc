@@ -8,36 +8,7 @@
 
 namespace nf {
 
-namespace {
-
-void CountVerdict(ChainStageStats& stats, ebpf::XdpAction action) {
-  switch (action) {
-    case ebpf::XdpAction::kPass:
-      ++stats.pass;
-      break;
-    case ebpf::XdpAction::kDrop:
-      ++stats.drop;
-      break;
-    case ebpf::XdpAction::kTx:
-      ++stats.tx;
-      break;
-    case ebpf::XdpAction::kRedirect:
-      ++stats.redirect;
-      break;
-    case ebpf::XdpAction::kAborted:
-      ++stats.aborted;
-      break;
-  }
-}
-
-u64 NowNs() {
-  return static_cast<u64>(std::chrono::duration_cast<std::chrono::nanoseconds>(
-                              std::chrono::steady_clock::now()
-                                  .time_since_epoch())
-                              .count());
-}
-
-}  // namespace
+using detail::ChainNowNs;
 
 ChainExecutor::ChainExecutor(std::string name) : name_(std::move(name)) {}
 
@@ -52,6 +23,63 @@ ChainExecutor& ChainExecutor::AddStage(std::unique_ptr<NetworkFunction> stage) {
   return *this;
 }
 
+void ChainExecutor::RegisterStageScope(u32 i) {
+  // Registering scopes also constructs the telemetry singleton, which
+  // registers the ringbuf kfuncs the stage manifests declare.
+  stage_scopes_[i] = obs::Telemetry::Global().RegisterScope(
+      name_ + "/" + std::to_string(i) + ":" + std::string(stages_[i]->name()));
+}
+
+ebpf::VerifyResult ChainExecutor::BuildStageProgram(u32 i) {
+  const u32 depth = this->depth();
+  ebpf::ProgramSpec spec;
+  spec.name = name_ + "/" + std::string(stages_[i]->name());
+  spec.type = ebpf::ProgramType::kXdp;
+  // Stage i can still walk through every downstream stage, so its declared
+  // chain depth is the remaining suffix; the entry program declares the
+  // full chain and is what trips the 33-program limit.
+  spec.tail_call_chain_depth = depth - i;
+  if (i + 1 < depth) {
+    spec.helpers_used.push_back("bpf_tail_call");
+  }
+  if constexpr (obs::kCompiledIn) {
+    // The sampled path times the stage and emits a ring event; the
+    // manifest declares it so the verifier sees the acquire/release pair.
+    spec.helpers_used.push_back("bpf_ktime_get_ns");
+    spec.kfunc_calls.push_back({"bpf_ringbuf_reserve", true});
+    spec.kfunc_calls.push_back({"bpf_ringbuf_submit", false});
+  }
+  const bool last = i + 1 == depth;
+  programs_[i] = std::make_unique<ebpf::XdpProgram>(
+      std::move(spec),
+      [this, i, last](ebpf::XdpContext& ctx) -> ebpf::XdpAction {
+        ChainStageStats& stats = stats_[i];
+        ++stats.in;
+        ebpf::XdpAction action;
+        {
+          // Scoped so the sample covers only this stage's Process, not
+          // the tail-called suffix below.
+          obs::ScalarSample sample(stage_scopes_[i]);
+          if (sample.armed()) {
+            sample.set_flow(obs::FlowOf(ctx));
+          }
+          action = stages_[i]->Process(ctx);
+        }
+        stats.Count(action);
+        if (action != ebpf::XdpAction::kPass || last) {
+          return action;
+        }
+        if (auto verdict = ebpf::TailCall(ctx, *prog_array_, i + 1)) {
+          return *verdict;
+        }
+        // Tail-call failure (missing slot / depth budget spent): the real
+        // program would fall through; with nothing after the call, the
+        // packet exits with the stage verdict.
+        return action;
+      });
+  return programs_[i]->Load();
+}
+
 ebpf::VerifyResult ChainExecutor::Load() {
   ebpf::VerifyResult result;
   if (stages_.empty()) {
@@ -59,68 +87,25 @@ ebpf::VerifyResult ChainExecutor::Load() {
     return result;
   }
 
+  // (Re)loading is a reconfiguration: the fused program, if any, is built
+  // against the previous structure.
+  Demote();
+
   const u32 depth = this->depth();
   programs_.clear();
+  programs_.resize(depth);
   prog_array_ = std::make_unique<ebpf::ProgArrayMap>(depth);
   stats_.assign(depth, ChainStageStats{});
   stage_scopes_.assign(depth, obs::kInvalidScope);
+  fusion_scope_ = obs::Telemetry::Global().RegisterScope(name_ + "/fused");
   for (u32 i = 0; i < depth; ++i) {
     stats_[i].name = std::string(stages_[i]->name());
     stats_[i].variant = stages_[i]->variant();
-    // Registering scopes also constructs the telemetry singleton, which
-    // registers the ringbuf kfuncs the stage manifests below declare.
-    stage_scopes_[i] = obs::Telemetry::Global().RegisterScope(
-        name_ + "/" + std::to_string(i) + ":" +
-        std::string(stages_[i]->name()));
+    RegisterStageScope(i);
   }
 
   for (u32 i = 0; i < depth; ++i) {
-    ebpf::ProgramSpec spec;
-    spec.name = name_ + "/" + std::string(stages_[i]->name());
-    spec.type = ebpf::ProgramType::kXdp;
-    // Stage i can still walk through every downstream stage, so its declared
-    // chain depth is the remaining suffix; the entry program declares the
-    // full chain and is what trips the 33-program limit.
-    spec.tail_call_chain_depth = depth - i;
-    if (i + 1 < depth) {
-      spec.helpers_used.push_back("bpf_tail_call");
-    }
-    if constexpr (obs::kCompiledIn) {
-      // The sampled path times the stage and emits a ring event; the
-      // manifest declares it so the verifier sees the acquire/release pair.
-      spec.helpers_used.push_back("bpf_ktime_get_ns");
-      spec.kfunc_calls.push_back({"bpf_ringbuf_reserve", true});
-      spec.kfunc_calls.push_back({"bpf_ringbuf_submit", false});
-    }
-    const bool last = i + 1 == depth;
-    programs_.push_back(std::make_unique<ebpf::XdpProgram>(
-        std::move(spec),
-        [this, i, last](ebpf::XdpContext& ctx) -> ebpf::XdpAction {
-          ChainStageStats& stats = stats_[i];
-          ++stats.in;
-          ebpf::XdpAction action;
-          {
-            // Scoped so the sample covers only this stage's Process, not
-            // the tail-called suffix below.
-            obs::ScalarSample sample(stage_scopes_[i]);
-            if (sample.armed()) {
-              sample.set_flow(obs::FlowOf(ctx));
-            }
-            action = stages_[i]->Process(ctx);
-          }
-          CountVerdict(stats, action);
-          if (action != ebpf::XdpAction::kPass || last) {
-            return action;
-          }
-          if (auto verdict = ebpf::TailCall(ctx, *prog_array_, i + 1)) {
-            return *verdict;
-          }
-          // Tail-call failure (missing slot / depth budget spent): the real
-          // program would fall through; with nothing after the call, the
-          // packet exits with the stage verdict.
-          return action;
-        }));
-    const ebpf::VerifyResult stage_result = programs_[i]->Load();
+    const ebpf::VerifyResult stage_result = BuildStageProgram(i);
     if (!stage_result.ok) {
       result.ok = false;
       for (const std::string& error : stage_result.errors) {
@@ -142,6 +127,41 @@ ebpf::VerifyResult ChainExecutor::Load() {
   return result;
 }
 
+ebpf::VerifyResult ChainExecutor::ReplaceStage(
+    u32 i, std::unique_ptr<NetworkFunction> stage) {
+  ebpf::VerifyResult result;
+  if (!loaded_ || i >= depth() || stage == nullptr) {
+    result.Fail(name_ + ": ReplaceStage(" + std::to_string(i) +
+                ") on unloaded chain or bad argument");
+    return result;
+  }
+
+  // Structural change: back to the generic walk before the next burst.
+  Demote();
+
+  std::unique_ptr<NetworkFunction> old = std::move(stages_[i]);
+  stages_[i] = std::move(stage);
+  result = BuildStageProgram(i);
+  if (!result.ok) {
+    // Restore the old stage; it verified before, so this rebuild succeeds
+    // and the chain stays runnable.
+    stages_[i] = std::move(old);
+    (void)BuildStageProgram(i);
+    (void)prog_array_->UpdateElem(i, programs_[i].get());
+    return result;
+  }
+
+  stats_[i] = ChainStageStats{};
+  stats_[i].name = std::string(stages_[i]->name());
+  stats_[i].variant = stages_[i]->variant();
+  RegisterStageScope(i);
+  if (prog_array_->UpdateElem(i, programs_[i].get()) != ebpf::kOk) {
+    result.Fail(name_ + ": prog array rejected replacement stage " +
+                std::to_string(i));
+  }
+  return result;
+}
+
 ebpf::XdpAction ChainExecutor::Process(ebpf::XdpContext& ctx) {
   if (!loaded_) {
     throw std::logic_error("ChainExecutor::Process on unloaded chain '" +
@@ -157,19 +177,30 @@ void ChainExecutor::ProcessBurst(ebpf::XdpContext* ctxs, u32 count,
                            name_ + "'");
   }
   ForEachNfChunk(count, [&](u32 start, u32 chunk) {
+    if (fused_ != nullptr) {
+      ++fusion_stats_.fused_bursts;
+      fusion_stats_.fused_packets += chunk;
+      fused_->ExecuteBurst(ctxs + start, chunk, verdicts + start);
+      return;
+    }
+    ++fusion_stats_.generic_bursts;
     BurstChunk(ctxs + start, chunk, verdicts + start);
+    if (fusion_armed_) {
+      MaybePromote(chunk);
+    }
   });
 }
 
 void ChainExecutor::BurstChunk(ebpf::XdpContext* ctxs, u32 count,
                                ebpf::XdpAction* verdicts) {
-  // Compacted survivor set: live[i] holds the context of original slot
+  // Compacted survivor set (hoisted member scratch — no per-burst setup
+  // beyond the initial copy): live[i] holds the context of original slot
   // slot_of[i], in arrival order. Each stage processes the whole survivor
   // burst at once, then non-PASS packets retire their verdict into the
   // original slot and PASS survivors regroup for the next stage.
-  ebpf::XdpContext live[kMaxNfBurst];
-  u32 slot_of[kMaxNfBurst];
-  ebpf::XdpAction stage_verdicts[kMaxNfBurst];
+  ebpf::XdpContext* live = burst_live_;
+  u32* slot_of = burst_slot_of_;
+  ebpf::XdpAction* stage_verdicts = burst_verdicts_;
   for (u32 i = 0; i < count; ++i) {
     live[i] = ctxs[i];
     slot_of[i] = i;
@@ -179,9 +210,9 @@ void ChainExecutor::BurstChunk(ebpf::XdpContext* ctxs, u32 count,
   const u32 depth = this->depth();
   for (u32 s = 0; s < depth && survivors > 0; ++s) {
     ChainStageStats& stats = stats_[s];
-    const u64 t0 = NowNs();
+    const u64 t0 = ChainNowNs();
     stages_[s]->ProcessBurst(live, survivors, stage_verdicts);
-    const u64 stage_ns = NowNs() - t0;
+    const u64 stage_ns = ChainNowNs() - t0;
     stats.ns += stage_ns;
     stats.in += survivors;
     if constexpr (obs::kCompiledIn) {
@@ -197,7 +228,7 @@ void ChainExecutor::BurstChunk(ebpf::XdpContext* ctxs, u32 count,
     u32 next = 0;
     for (u32 i = 0; i < survivors; ++i) {
       const ebpf::XdpAction action = stage_verdicts[i];
-      CountVerdict(stats, action);
+      stats.Count(action);
       if (action == ebpf::XdpAction::kPass && !last) {
         live[next] = live[i];
         slot_of[next] = slot_of[i];
@@ -207,6 +238,103 @@ void ChainExecutor::BurstChunk(ebpf::XdpContext* ctxs, u32 count,
       }
     }
     survivors = next;
+  }
+}
+
+// --------------------------------------------------------------------------
+// Fusion state machine
+// --------------------------------------------------------------------------
+
+void ChainExecutor::EnableFusion(FusionPolicy policy) {
+  fusion_policy_ = policy;
+  if (fusion_policy_.hot_bursts == 0) {
+    fusion_policy_.hot_bursts = 1;
+  }
+  fusion_armed_ = true;
+  stable_bursts_ = 0;
+  observed_pkts_ = 0;
+}
+
+void ChainExecutor::DisableFusion() {
+  Demote();
+  fusion_armed_ = false;
+}
+
+bool ChainExecutor::TryPromoteNow() {
+  if (!fusion_armed_ || !loaded_) {
+    return false;
+  }
+  return PromoteNow();
+}
+
+void ChainExecutor::MaybePromote(u32 pkts) {
+  observed_pkts_ += pkts;
+  ++stable_bursts_;
+  if (stable_bursts_ < fusion_policy_.hot_bursts ||
+      observed_pkts_ < fusion_policy_.min_packets) {
+    return;
+  }
+  // Cross-check hotness against the chain's own observability plane: the
+  // entry stage's counters must account for the traffic, so a freshly
+  // reset / reconfigured chain never promotes on stale bookkeeping.
+  if (stats_.empty() || stats_[0].in < fusion_policy_.min_packets) {
+    return;
+  }
+  (void)PromoteNow();
+}
+
+bool ChainExecutor::PromoteNow() {
+  if (fused_ != nullptr) {
+    return true;
+  }
+  const u32 depth = this->depth();
+  if (!ebpf::FusionWithinTailCallBudget(depth)) {
+    return false;
+  }
+  // Constant-fold the per-stage config: stage pointers, scope ids, stats
+  // slots, observed latency, and key-level lowerings resolve once, here.
+  std::vector<FusedStage> fused_stages;
+  fused_stages.reserve(depth);
+  for (u32 i = 0; i < depth; ++i) {
+    FusedStage stage;
+    stage.nf = stages_[i].get();
+    stage.scope = stage_scopes_[i];
+    stage.stats = &stats_[i];
+    if (auto op = stages_[i]->LowerToKeyOp()) {
+      stage.lowered = true;
+      stage.contains = std::move(op->contains);
+    }
+    if constexpr (obs::kCompiledIn) {
+      const obs::LatencyHist hist =
+          obs::Telemetry::Global().Snapshot(stage_scopes_[i]);
+      stage.expected_ns = hist.samples > 0 ? hist.total_ns / hist.samples : 0;
+    }
+    fused_stages.push_back(std::move(stage));
+  }
+  fused_ = FusedChain::Fuse(std::move(fused_stages), fusion_stats_.generation);
+  if (fused_ == nullptr) {
+    return false;
+  }
+  ++fusion_stats_.promotions;
+  if constexpr (obs::kCompiledIn) {
+    obs::Telemetry::Global().RecordControl(fusion_scope_, kFusionPromoteCode,
+                                           fusion_stats_.generation);
+  }
+  return true;
+}
+
+void ChainExecutor::Demote() {
+  stable_bursts_ = 0;
+  observed_pkts_ = 0;
+  ++fusion_stats_.generation;
+  if (fused_ == nullptr) {
+    return;
+  }
+  fused_.reset();
+  ++fusion_stats_.demotions;
+  if constexpr (obs::kCompiledIn) {
+    obs::Telemetry::Global().RecordControl(fusion_scope_, kFusionDemoteCode,
+                                           fusion_stats_.generation);
   }
 }
 

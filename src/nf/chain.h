@@ -18,6 +18,12 @@
 // per-packet scalar traversal — so chain verdicts are bit-identical to the
 // scalar path, given stage ProcessBurst == scalar Process (the repo-wide
 // batching invariant).
+//
+// Fused path (nf/fused_chain.h) — chains observed hot and structurally
+// stable promote to a single-pass specialized executor that carries a
+// per-burst verdict bitmask through constant-folded stages; any
+// reconfiguration demotes back to the generic walk, which remains the
+// semantic oracle.
 #ifndef ENETSTL_NF_CHAIN_H_
 #define ENETSTL_NF_CHAIN_H_
 
@@ -27,6 +33,7 @@
 #include <vector>
 
 #include "ebpf/prog_array.h"
+#include "nf/fused_chain.h"
 #include "nf/nf_interface.h"
 #include "nf/nf_registry.h"
 #include "pktgen/sharded_pipeline.h"
@@ -48,6 +55,28 @@ struct ChainStageStats {
   u64 ns = 0;
 
   u64 out() const { return pass; }
+
+  // Verdict-histogram update shared by the scalar walk, the generic burst
+  // walk, and the fused executor.
+  void Count(ebpf::XdpAction action) {
+    switch (action) {
+      case ebpf::XdpAction::kPass:
+        ++pass;
+        break;
+      case ebpf::XdpAction::kDrop:
+        ++drop;
+        break;
+      case ebpf::XdpAction::kTx:
+        ++tx;
+        break;
+      case ebpf::XdpAction::kRedirect:
+        ++redirect;
+        break;
+      case ebpf::XdpAction::kAborted:
+        ++aborted;
+        break;
+    }
+  }
 };
 
 // An ordered NF chain that is itself a NetworkFunction, so chains register,
@@ -88,8 +117,47 @@ class ChainExecutor : public NetworkFunction {
   const std::vector<ChainStageStats>& stage_stats() const { return stats_; }
   void ResetStageStats();
 
+  // --- Hot-chain specialization (see nf/fused_chain.h) ---
+
+  // Arms obs-driven promotion: once the chain has been observed hot and
+  // structurally stable against `policy` (judged from stage_stats, the same
+  // counters the telemetry plane attributes), bursts switch to the fused
+  // single-pass executor. Scalar Process() always takes the generic
+  // tail-call walk — the semantic oracle fusion is checked against.
+  void EnableFusion(FusionPolicy policy = FusionPolicy{});
+  // Demotes (if fused) and disarms promotion.
+  void DisableFusion();
+  // Forces promotion immediately, bypassing the hotness thresholds (benches
+  // and tests). Returns false when fusion is not armed, the chain is
+  // unloaded, or the depth fails the tail-call budget eligibility check;
+  // true when the chain is fused on return.
+  bool TryPromoteNow();
+  bool fused() const { return fused_ != nullptr; }
+  const FusionPolicy& fusion_policy() const { return fusion_policy_; }
+  const FusionStats& fusion_stats() const { return fusion_stats_; }
+
+  // Atomically replaces stage `i`: verifies a fresh program for the new NF
+  // and swaps the prog-array slot (the live-update idiom prog arrays exist
+  // for). Any reconfiguration demotes the chain to the generic walk before
+  // the next burst; on verification failure the old stage is restored and
+  // the chain stays runnable.
+  ebpf::VerifyResult ReplaceStage(u32 i,
+                                  std::unique_ptr<NetworkFunction> stage);
+
  private:
   void BurstChunk(ebpf::XdpContext* ctxs, u32 count, ebpf::XdpAction* verdicts);
+
+  // Builds + verifies stage i's XDP program into programs_[i] (factored out
+  // of Load so ReplaceStage goes through the same verification path). Does
+  // not touch the prog array.
+  ebpf::VerifyResult BuildStageProgram(u32 i);
+  void RegisterStageScope(u32 i);
+
+  // Fusion state machine (chain.cc): burst-path promotion bookkeeping,
+  // constant-folding promotion, and reconfiguration demotion.
+  void MaybePromote(u32 pkts);
+  bool PromoteNow();
+  void Demote();
 
   std::string name_;
   std::vector<std::unique_ptr<NetworkFunction>> stages_;
@@ -100,6 +168,23 @@ class ChainExecutor : public NetworkFunction {
   // obs::kInvalidScope when the observability plane is compiled out.
   std::vector<u16> stage_scopes_;
   bool loaded_ = false;
+
+  // Fused-path state.
+  bool fusion_armed_ = false;
+  FusionPolicy fusion_policy_;
+  FusionStats fusion_stats_;
+  std::unique_ptr<FusedChain> fused_;
+  u32 stable_bursts_ = 0;
+  u64 observed_pkts_ = 0;
+  // Control scope ("<chain>/fused") for promote/demote kControl events.
+  u16 fusion_scope_ = obs::kInvalidScope;
+
+  // Generic-walk burst scratch, hoisted out of the per-burst hot path (the
+  // executor is single-threaded per shard, like its stats): the compacted
+  // survivor set, its original-slot map, and the per-stage verdicts.
+  ebpf::XdpContext burst_live_[kMaxNfBurst];
+  u32 burst_slot_of_[kMaxNfBurst];
+  ebpf::XdpAction burst_verdicts_[kMaxNfBurst];
 };
 
 // Builds (and Load()s) a chain whose stages are registry NFs in the given

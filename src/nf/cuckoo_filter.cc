@@ -111,6 +111,14 @@ void CuckooFilterBase::ProcessBurst(ebpf::XdpContext* ctxs, u32 count,
   });
 }
 
+std::optional<FusedKeyOp> CuckooFilterBase::LowerToKeyOp() {
+  FusedKeyOp op;
+  op.contains = [this](const ebpf::FiveTuple* keys, u32 n, bool* out) {
+    ContainsBatch(keys, n, out);
+  };
+  return op;
+}
+
 bool CuckooFilterBase::AddWithStash(FilterBucket* buckets, u32 h,
                                     FindFpFn find_empty) {
   const u16 fp = MakeFp(h);

@@ -72,6 +72,12 @@ class CuckooFilterBase : public NetworkFunction {
   void ProcessBurst(ebpf::XdpContext* ctxs, u32 count,
                     ebpf::XdpAction* verdicts) override;
 
+  // Chain-fusion lowering: the packet path is exactly parse -> Contains, so
+  // the stage lowers to the variant's ContainsBatch (see FusedKeyOp contract
+  // in nf_interface.h). Membership probes never mutate the filter, stash
+  // included, so the op is side-effect free even in degraded mode.
+  std::optional<FusedKeyOp> LowerToKeyOp() override;
+
   std::string_view name() const override { return "cuckoo-filter"; }
   const CuckooFilterConfig& config() const { return config_; }
   // Fingerprints accounted for: resident in the table or parked in the

@@ -4,7 +4,9 @@
 #ifndef ENETSTL_NF_NF_INTERFACE_H_
 #define ENETSTL_NF_NF_INTERFACE_H_
 
+#include <functional>
 #include <memory>
+#include <optional>
 #include <string>
 #include <string_view>
 
@@ -67,6 +69,28 @@ struct CuckooDegradeStats {
   u64 units_migrated = 0;    // buckets (blocked tables) or slots (d-ary)
 };
 
+// Key-level lowering of a membership-style stage, produced by
+// NetworkFunction::LowerToKeyOp() for the fused chain path (see
+// nf/fused_chain.h). A stage that lowers declares that its scalar Process()
+// is exactly: parse the 5-tuple (failure -> kAborted), then map
+// contains(key) to kPass / !contains(key) to kDrop — so the fused executor
+// can parse each packet once and drive the stage through a batched key op
+// instead of re-entering the packet path per stage.
+//
+// Contract for `contains`:
+//  * out[i] must equal the stage's scalar membership decision for keys[i],
+//    for every i in [0, n) — bit-identical, including degraded paths
+//    (victim stashes etc.).
+//  * Side-effect free: no structure mutation, no packet access, no verdict
+//    state. The fused executor may evaluate dead lanes (keys whose packet
+//    already exited the chain) when the burst is dense, so the op must
+//    tolerate arbitrary key values and its per-key cost must not depend on
+//    chain history.
+//  * n is at most kMaxNfBurst.
+struct FusedKeyOp {
+  std::function<void(const ebpf::FiveTuple* keys, u32 n, bool* out)> contains;
+};
+
 // Base class for packet-driven NFs.
 class NetworkFunction {
  public:
@@ -85,6 +109,12 @@ class NetworkFunction {
       verdicts[i] = Process(ctxs[i]);
     }
   }
+
+  // Key-level lowering hook for the fused chain executor. Stages whose
+  // packet path is a pure parse-then-membership decision return a FusedKeyOp
+  // honouring the contract above; everything else keeps the default
+  // (nullopt), and the fused path falls back to ProcessBurst for that stage.
+  virtual std::optional<FusedKeyOp> LowerToKeyOp() { return std::nullopt; }
 
   virtual std::string_view name() const = 0;
   virtual Variant variant() const = 0;

@@ -3,10 +3,31 @@
 #include "nf/nf_registry.h"
 
 #include "core/hash.h"
+#include "core/hash_inl.h"
 #include "core/multihash_inl.h"
 #include "core/post_hash.h"
 
 namespace nf {
+
+// Rows is bounded at 8 (MultiHashImpl's lane ceiling), so per-chunk position
+// scratch is kMaxNfBurst * 8 entries.
+namespace {
+inline constexpr u32 kMaxVbfRows = 8;
+}  // namespace
+
+std::optional<FusedKeyOp> VbfBase::LowerToKeyOp() {
+  FusedKeyOp op;
+  op.contains = [this](const ebpf::FiveTuple* keys, u32 n, bool* out) {
+    u32 sets[kMaxNfBurst];
+    ForEachNfChunk(n, [&](u32 start, u32 chunk) {
+      LookupSetsBatch(keys + start, chunk, sets);
+      for (u32 i = 0; i < chunk; ++i) {
+        out[start + i] = sets[i] != 0;
+      }
+    });
+  };
+  return op;
+}
 
 // ---------------------------------------------------------------------------
 // VbfEbpf: scalar hash per row.
@@ -67,6 +88,35 @@ u32 VbfKernel::LookupSets(const void* key, std::size_t len) {
   return result;
 }
 
+void VbfKernel::LookupSetsBatch(const ebpf::FiveTuple* keys, u32 n, u32* out) {
+  const u32 d = config_.rows;
+  const u32* table = table_.data();
+  ForEachNfChunk(n, [&](u32 start, u32 chunk) {
+    u32 pos[kMaxNfBurst * kMaxVbfRows];
+    // Stage 1: hash every key, prefetch all d positions — the cross-key
+    // overlap the scalar path's d serialized dependent reads cannot get.
+    for (u32 i = 0; i < chunk; ++i) {
+      alignas(32) u32 h[8];
+      enetstl::internal::MultiHashImpl(&keys[start + i],
+                                       sizeof(ebpf::FiveTuple), config_.seed,
+                                       d, h);
+      for (u32 r = 0; r < d; ++r) {
+        const u32 p = h[r] & pos_mask_;
+        pos[i * d + r] = p;
+        enetstl::internal::PrefetchRead(&table[p]);
+      }
+    }
+    // Stage 2: gather-AND over the now-resident positions.
+    for (u32 i = 0; i < chunk; ++i) {
+      u32 result = 0xffffffffu;
+      for (u32 r = 0; r < d; ++r) {
+        result &= table[pos[i * d + r]];
+      }
+      out[start + i] = result;
+    }
+  });
+}
+
 // ---------------------------------------------------------------------------
 // VbfEnetstl: one fused kfunc per operation.
 // ---------------------------------------------------------------------------
@@ -90,6 +140,37 @@ u32 VbfEnetstl::LookupSets(const void* key, std::size_t len) {
   }
   return enetstl::HashMaskAnd(table, config_.rows, pos_mask_, key, len,
                               config_.seed);
+}
+
+void VbfEnetstl::LookupSetsBatch(const ebpf::FiveTuple* keys, u32 n,
+                                 u32* out) {
+  auto* table = static_cast<u32*>(table_map_.LookupElem(0));
+  if (table == nullptr) {
+    for (u32 i = 0; i < n; ++i) {
+      out[i] = 0;
+    }
+    return;
+  }
+  const u32 d = config_.rows;
+  ForEachNfChunk(n, [&](u32 start, u32 chunk) {
+    u32 pos[kMaxNfBurst * kMaxVbfRows];
+    // Stage 1: one multi_hash_prefetch_batch kfunc hashes every key's d
+    // lanes and prefetches the masked positions (row_stride 0: one shared
+    // position array). Lane seeds match HashMaskAnd, so positions are
+    // bit-identical to the scalar lookup.
+    enetstl::MultiHashPrefetchBatch(keys + start, sizeof(ebpf::FiveTuple),
+                                    sizeof(ebpf::FiveTuple), chunk,
+                                    config_.seed, d, pos_mask_, table,
+                                    sizeof(u32), 0, pos);
+    // Stage 2: gather-AND over the prefetched positions.
+    for (u32 i = 0; i < chunk; ++i) {
+      u32 result = 0xffffffffu;
+      for (u32 r = 0; r < d; ++r) {
+        result &= table[pos[i * d + r]];
+      }
+      out[start + i] = result;
+    }
+  });
 }
 
 namespace builtin {

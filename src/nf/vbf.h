@@ -34,6 +34,20 @@ class VbfBase : public NetworkFunction {
   // Bit i of the result: key possibly belongs to set i.
   virtual u32 LookupSets(const void* key, std::size_t len) = 0;
 
+  // Batched multi-set lookup over parsed 5-tuple keys: out[i] =
+  // LookupSets(&keys[i], sizeof(keys[i])), bit-identical to the scalar path.
+  // Default is the scalar loop (the pure-eBPF shape); kernel and eNetSTL
+  // variants override it with the two-stage (multi-hash + cross-key
+  // prefetch, then gather-AND) form. Feeds the fused chain path, which is
+  // where VBF's batching lives — the packet-at-a-time walk has no burst
+  // override, so its d serialized row reads per packet are the chain's
+  // dominant cost at depth.
+  virtual void LookupSetsBatch(const ebpf::FiveTuple* keys, u32 n, u32* out) {
+    for (u32 i = 0; i < n; ++i) {
+      out[i] = LookupSets(&keys[i], sizeof(keys[i]));
+    }
+  }
+
   ebpf::XdpAction Process(ebpf::XdpContext& ctx) override {
     ebpf::FiveTuple tuple;
     if (!ebpf::ParseFiveTuple(ctx, &tuple)) {
@@ -42,6 +56,11 @@ class VbfBase : public NetworkFunction {
     return LookupSets(&tuple, sizeof(tuple)) != 0 ? ebpf::XdpAction::kPass
                                                   : ebpf::XdpAction::kDrop;
   }
+
+  // Chain-fusion lowering: the packet path is exactly parse -> any-set
+  // membership, so the stage lowers to a batched key op built on
+  // LookupSetsBatch (see FusedKeyOp contract in nf_interface.h).
+  std::optional<FusedKeyOp> LowerToKeyOp() override;
 
   std::string_view name() const override { return "vbf-membership"; }
   const VbfConfig& config() const { return config_; }
@@ -67,6 +86,7 @@ class VbfKernel : public VbfBase {
   explicit VbfKernel(const VbfConfig& config);
   void AddToSet(const void* key, std::size_t len, u32 set_id) override;
   u32 LookupSets(const void* key, std::size_t len) override;
+  void LookupSetsBatch(const ebpf::FiveTuple* keys, u32 n, u32* out) override;
   Variant variant() const override { return Variant::kKernel; }
 
  private:
@@ -78,6 +98,7 @@ class VbfEnetstl : public VbfBase {
   explicit VbfEnetstl(const VbfConfig& config);
   void AddToSet(const void* key, std::size_t len, u32 set_id) override;
   u32 LookupSets(const void* key, std::size_t len) override;
+  void LookupSetsBatch(const ebpf::FiveTuple* keys, u32 n, u32* out) override;
   Variant variant() const override { return Variant::kEnetstl; }
 
  private:

@@ -21,6 +21,9 @@ FlowSampler::FlowSampler(u32 topk)
     : topk_(topk == 0 ? 1 : topk), keeper_(SamplerConfig(topk)) {}
 
 void FlowSampler::Ingest(const ObsEvent& event) {
+  if (event.kind == ObsEvent::kControl) {
+    return;  // control transitions carry a code, not a flow id
+  }
   if (event.flow == 0) {
     return;  // unknown flow (unparsable frame)
   }

@@ -69,6 +69,16 @@ void Telemetry::RecordSample(u16 scope, u64 ns, u32 flow) {
   EmitEvent(scope, ObsEvent::kScalar, flow, ns);
 }
 
+void Telemetry::RecordControl(u16 scope, u32 code, u64 value) {
+  if constexpr (!kCompiledIn) {
+    return;
+  }
+  if (scope == kInvalidScope || !enabled_.load(std::memory_order_relaxed)) {
+    return;
+  }
+  EmitEvent(scope, ObsEvent::kControl, code, value);
+}
+
 void Telemetry::HistAdd(u16 scope, u64 ns, u32 weight) {
   // A real program updates its percpu slot through the map-lookup helper;
   // this is the sampled path, so the boundary cost is intended.

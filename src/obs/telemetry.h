@@ -66,12 +66,15 @@ inline u32 Log2Bucket(u64 ns) {
 
 // Fixed-size record pushed through the ring buffer for each sampled event.
 struct ObsEvent {
-  static constexpr u16 kScalar = 0;  // individually timed packet
-  static constexpr u16 kBurst = 1;   // burst-average attributed packet
+  static constexpr u16 kScalar = 0;   // individually timed packet
+  static constexpr u16 kBurst = 1;    // burst-average attributed packet
+  static constexpr u16 kControl = 2;  // control-plane transition (not a pkt)
 
   u16 scope = kInvalidScope;
   u16 kind = kScalar;
-  u32 flow = 0;  // flow id (src ip in the packet workloads); 0 = unknown
+  u32 flow = 0;  // flow id (src ip in the packet workloads); 0 = unknown.
+                 // For kControl events this carries the transition code
+                 // instead (e.g. chain fusion promote/demote).
   u64 latency_ns = 0;
   u64 seq = 0;  // per-producer-thread sequence number
 };
@@ -143,6 +146,13 @@ class Telemetry {
   // Records one individually timed sample: histogram update on the current
   // CPU plus one ObsEvent through the ring buffer.
   void RecordSample(u16 scope, u64 ns, u32 flow);
+
+  // Emits a control-plane transition event (kControl) — e.g. a chain
+  // promoting to / demoting from its fused path. Control events are rare by
+  // construction, so they bypass the 1/N sampler: every transition is
+  // visible in the event stream when telemetry is enabled. `code` rides in
+  // the flow field, `value` in latency_ns; neither touches the histograms.
+  void RecordControl(u16 scope, u32 code, u64 value);
 
   // Burst-path recording: one histogram lookup attributes the burst-average
   // latency to every sampled packet, and each sampled packet emits its own

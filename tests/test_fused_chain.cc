@@ -1,0 +1,533 @@
+// Differential suite for the fused (hot-chain specialized) executor: fused
+// bursts must be bit-identical to the generic tail-call walk — verdicts,
+// per-stage counters, and the sampled obs event stream — across depths 1..8,
+// all variants, seeded traffic mixes (resident / non-resident / corrupted
+// frames), burst shapes, and fault-injection-degraded structures. Plus the
+// promotion/demotion state machine: obs-driven promotion thresholds, and
+// demotion-before-next-burst on every reconfiguration.
+#include "nf/fused_chain.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/fault_injector.h"
+#include "nf/chain.h"
+#include "nf/nf_registry.h"
+#include "obs/telemetry.h"
+#include "pktgen/flowgen.h"
+
+namespace nf {
+namespace {
+
+const BenchEnv& Env() {
+  static const BenchEnv env = MakeDefaultBenchEnv();
+  return env;
+}
+
+std::vector<std::string> StageNames(u32 length) {
+  static const char* kCycle[] = {"cuckoo-filter", "vbf-membership"};
+  std::vector<std::string> names;
+  for (u32 i = 0; i < length; ++i) {
+    names.push_back(kCycle[i % 2]);
+  }
+  return names;
+}
+
+ebpf::XdpContext ContextFor(pktgen::Packet& packet) {
+  return ebpf::XdpContext{packet.frame, packet.frame + ebpf::kFrameSize, 0};
+}
+
+// Builds a deterministic primed chain and, when `fused`, promotes it
+// immediately (TryPromoteNow bypasses the hotness gate but not the budget
+// eligibility check).
+std::unique_ptr<ChainExecutor> MakeChain(const std::vector<std::string>& names,
+                                         Variant v, bool fused) {
+  auto chain = MakeBenchChain(names, v, Env());
+  if (chain != nullptr && fused) {
+    chain->EnableFusion();
+    if (!chain->TryPromoteNow()) {
+      return nullptr;
+    }
+  }
+  return chain;
+}
+
+// Seeded op mix: uniform packets over a flow window [first, first + count),
+// with every `corrupt_every`-th frame's Ethernet header zeroed so parsing
+// fails (kAborted at the first stage that looks).
+std::vector<pktgen::Packet> MakeMix(u32 first_flow, u32 flow_count,
+                                    u32 packets, u32 seed,
+                                    u32 corrupt_every = 0) {
+  const std::vector<ebpf::FiveTuple> flows(
+      Env().flows.begin() + first_flow,
+      Env().flows.begin() + first_flow + flow_count);
+  const pktgen::Trace trace = pktgen::MakeUniformTrace(flows, packets, seed);
+  std::vector<pktgen::Packet> pkts(trace.begin(), trace.begin() + packets);
+  if (corrupt_every != 0) {
+    for (u32 i = corrupt_every - 1; i < packets; i += corrupt_every) {
+      std::memset(pkts[i].frame, 0, 14);  // wreck the Ethernet header
+    }
+  }
+  return pkts;
+}
+
+// Per-stage counters without the timing field (fused and generic walks read
+// the clock differently, everything else must match exactly).
+struct StageCounts {
+  u64 in, pass, drop, tx, redirect, aborted;
+  bool operator==(const StageCounts& o) const {
+    return in == o.in && pass == o.pass && drop == o.drop && tx == o.tx &&
+           redirect == o.redirect && aborted == o.aborted;
+  }
+};
+
+std::vector<StageCounts> Counts(const ChainExecutor& chain) {
+  std::vector<StageCounts> out;
+  for (const ChainStageStats& s : chain.stage_stats()) {
+    out.push_back({s.in, s.pass, s.drop, s.tx, s.redirect, s.aborted});
+  }
+  return out;
+}
+
+// Drives `chain` over `pkts` in bursts of `burst`, returning the verdicts.
+// Each call deep-copies the packets so frame state never leaks between the
+// generic and fused runs.
+std::vector<ebpf::XdpAction> RunChain(ChainExecutor& chain,
+                                 const std::vector<pktgen::Packet>& pkts,
+                                 u32 burst) {
+  std::vector<pktgen::Packet> copies = pkts;
+  std::vector<ebpf::XdpAction> verdicts(copies.size());
+  std::vector<ebpf::XdpContext> ctxs(copies.size());
+  for (std::size_t i = 0; i < copies.size(); ++i) {
+    ctxs[i] = ContextFor(copies[i]);
+  }
+  for (std::size_t base = 0; base < copies.size(); base += burst) {
+    const u32 n = static_cast<u32>(
+        std::min<std::size_t>(burst, copies.size() - base));
+    chain.ProcessBurst(ctxs.data() + base, n, verdicts.data() + base);
+  }
+  return verdicts;
+}
+
+// Core differential check: twin chains, one generic, one fused; identical
+// traffic; verdicts and per-stage counters must match bit for bit. Also
+// pins both to the scalar tail-call oracle on a third twin.
+void ExpectFusedMatchesGeneric(const std::vector<std::string>& names,
+                               Variant v,
+                               const std::vector<pktgen::Packet>& pkts,
+                               u32 burst, const std::string& label) {
+  auto generic = MakeChain(names, v, false);
+  auto fused = MakeChain(names, v, true);
+  auto oracle = MakeChain(names, v, false);
+  ASSERT_NE(generic, nullptr) << label;
+  ASSERT_NE(fused, nullptr) << label;
+  ASSERT_NE(oracle, nullptr) << label;
+  ASSERT_TRUE(fused->fused()) << label;
+
+  const std::vector<ebpf::XdpAction> generic_verdicts =
+      RunChain(*generic, pkts, burst);
+  const std::vector<ebpf::XdpAction> fused_verdicts = RunChain(*fused, pkts, burst);
+  ASSERT_TRUE(fused->fused()) << label << " (demoted mid-traffic?)";
+
+  for (std::size_t i = 0; i < pkts.size(); ++i) {
+    ASSERT_EQ(generic_verdicts[i], fused_verdicts[i])
+        << label << " packet " << i;
+  }
+  EXPECT_EQ(Counts(*generic), Counts(*fused)) << label;
+
+  // Scalar oracle spot check (every 7th packet keeps the test fast).
+  for (std::size_t i = 0; i < pkts.size(); i += 7) {
+    pktgen::Packet copy = pkts[i];
+    ebpf::XdpContext ctx = ContextFor(copy);
+    ASSERT_EQ(oracle->Process(ctx), fused_verdicts[i])
+        << label << " scalar oracle, packet " << i;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Differential: depths x variants x op mixes x burst shapes
+// ---------------------------------------------------------------------------
+
+TEST(FusedChainDifferential, MatchesGenericAcrossDepthsVariantsAndMixes) {
+  const Variant kVariants[] = {Variant::kEbpf, Variant::kKernel,
+                               Variant::kEnetstl};
+  // Three seeded mixes: resident-heavy (nearly all PASS, dense lanes),
+  // non-resident-heavy (drop at the first stage, sparse lanes), and a mixed
+  // window with corrupted frames (kAborted interleaved).
+  struct Mix {
+    const char* name;
+    u32 first, flows, corrupt;
+  };
+  const Mix kMixes[] = {
+      {"resident", 0, 2048, 0},
+      {"nonresident", 3500, 596, 0},
+      {"mixed+corrupt", 1024, 3000, 13},
+  };
+  for (u32 depth = 1; depth <= 8; ++depth) {
+    const std::vector<std::string> names = StageNames(depth);
+    for (const Variant v : kVariants) {
+      for (const Mix& mix : kMixes) {
+        const u32 seed = 1000 * depth + 10 * static_cast<u32>(v) + mix.first;
+        const std::vector<pktgen::Packet> pkts =
+            MakeMix(mix.first, mix.flows, 256, seed, mix.corrupt);
+        ExpectFusedMatchesGeneric(
+            names, v, pkts, 32,
+            "depth " + std::to_string(depth) + " " +
+                std::string(VariantName(v)) + " " + mix.name);
+      }
+    }
+  }
+}
+
+TEST(FusedChainDifferential, BurstShapesIncludingOversized) {
+  const std::vector<std::string> names = StageNames(4);
+  const std::vector<pktgen::Packet> pkts = MakeMix(1024, 3000, 417, 21, 11);
+  for (const u32 burst : {1u, 7u, 32u, kMaxNfBurst, 3 * kMaxNfBurst + 7}) {
+    ExpectFusedMatchesGeneric(names, Variant::kEnetstl, pkts, burst,
+                              "burst " + std::to_string(burst));
+  }
+}
+
+// A stateful, non-lowered stage (heavykeeper mutates its sketch on every
+// packet) between two lowered membership stages: the fused walk must feed it
+// the exact survivor sequence the generic walk does, and re-parse keys after
+// it (the stage may touch frames).
+TEST(FusedChainDifferential, MixedChainWithNonLoweredStage) {
+  const std::vector<std::string> names = {"cuckoo-filter", "heavykeeper",
+                                          "vbf-membership"};
+  const std::vector<pktgen::Packet> pkts = MakeMix(1500, 2500, 384, 33, 17);
+  for (const Variant v : {Variant::kEbpf, Variant::kKernel,
+                          Variant::kEnetstl}) {
+    ExpectFusedMatchesGeneric(names, v, pkts, 32,
+                              "mixed " + std::string(VariantName(v)));
+  }
+  // Sanity: heavykeeper must really be the non-lowered one.
+  auto chain = MakeChain(names, Variant::kEnetstl, true);
+  ASSERT_NE(chain, nullptr);
+  EXPECT_FALSE(chain->stage(1).LowerToKeyOp().has_value());
+  EXPECT_TRUE(chain->stage(0).LowerToKeyOp().has_value());
+}
+
+// ---------------------------------------------------------------------------
+// Differential under fault injection (degraded structures)
+// ---------------------------------------------------------------------------
+
+// Forced kick-chain exhaustion during priming parks fingerprints in the
+// cuckoo filter's victim stash, so membership takes the degraded
+// stash-probing path — which the fused key op must reproduce exactly.
+TEST(FusedChainDifferential, DegradedFilterViaFaultInjectionMatches) {
+  auto& inj = enetstl::FaultInjector::Global();
+  const std::vector<std::string> names = StageNames(4);
+  const std::vector<pktgen::Packet> pkts = MakeMix(0, 4096, 384, 55, 19);
+
+  struct Arm {
+    const char* name;
+    void (*arm)(enetstl::FaultInjector&);
+  };
+  const Arm kArms[] = {
+      {"every-40th",
+       [](enetstl::FaultInjector& f) {
+         f.ArmEveryNth("cuckoo_filter.add", 40);
+       }},
+      {"p=0.02 seeded",
+       [](enetstl::FaultInjector& f) {
+         f.ArmProbability("cuckoo_filter.add", 0.02, 0xfa7);
+       }},
+  };
+  for (const Arm& arm : kArms) {
+    // Re-arm identically before each build so both twins prime against the
+    // same deterministic fault stream (and disarm before traffic: lookups
+    // have no fault point, this degrades construction only).
+    inj.Reset();
+    arm.arm(inj);
+    auto generic = MakeChain(names, Variant::kEnetstl, false);
+    inj.Reset();
+    arm.arm(inj);
+    auto fused = MakeChain(names, Variant::kEnetstl, true);
+    inj.Reset();
+    ASSERT_NE(generic, nullptr);
+    ASSERT_NE(fused, nullptr);
+
+    const std::vector<ebpf::XdpAction> gv = RunChain(*generic, pkts, 32);
+    const std::vector<ebpf::XdpAction> fv = RunChain(*fused, pkts, 32);
+    for (std::size_t i = 0; i < pkts.size(); ++i) {
+      ASSERT_EQ(gv[i], fv[i]) << arm.name << " packet " << i;
+    }
+    EXPECT_EQ(Counts(*generic), Counts(*fused)) << arm.name;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Obs event-stream / histogram parity
+// ---------------------------------------------------------------------------
+
+struct SampledEvent {
+  obs::u16 scope;
+  obs::u16 kind;
+  u32 flow;
+};
+
+std::vector<SampledEvent> DrainSampled(obs::Telemetry& telemetry) {
+  std::vector<SampledEvent> events;
+  telemetry.ring().Consume([&](const void* data, ebpf::u32 len) {
+    if (len != sizeof(obs::ObsEvent)) {
+      return;
+    }
+    obs::ObsEvent event;
+    std::memcpy(&event, data, sizeof(event));
+    if (event.kind == obs::ObsEvent::kControl) {
+      return;  // promote/demote markers are fused-path-only by design
+    }
+    events.push_back({event.scope, event.kind, event.flow});
+  });
+  return events;
+}
+
+// The fused walk must advance the 1/N sampler identically to the generic
+// walk: same per-stage event counts, same (scope, kind, flow) sequence —
+// only latency values (and hence histogram bucket shapes) may differ, since
+// being faster is the point. Sample-every=1 makes the comparison exact and
+// independent of the thread-local countdown's starting phase.
+TEST(FusedChainObs, SampledEventStreamMatchesGeneric) {
+  if constexpr (!obs::kCompiledIn) {
+    GTEST_SKIP() << "observability compiled out";
+  }
+  obs::Telemetry& telemetry = obs::Telemetry::Global();
+  const std::vector<std::string> names = StageNames(3);
+  const std::vector<pktgen::Packet> pkts = MakeMix(1024, 3000, 192, 91, 13);
+
+  auto generic = MakeChain(names, Variant::kEnetstl, false);
+  auto fused = MakeChain(names, Variant::kEnetstl, true);
+  ASSERT_NE(generic, nullptr);
+  ASSERT_NE(fused, nullptr);
+
+  telemetry.Enable(1);
+  (void)DrainSampled(telemetry);  // discard anything older
+
+  telemetry.ResetCounts();
+  (void)RunChain(*generic, pkts, 32);
+  const std::vector<SampledEvent> generic_events = DrainSampled(telemetry);
+  std::vector<u64> generic_samples;
+  for (u32 s = 0; s < generic->depth(); ++s) {
+    // Twin chains share scope ids (same chain/stage names), so snapshots
+    // taken between runs need a reset, not separate scopes.
+    generic_samples.push_back(
+        telemetry
+            .Snapshot(obs::Telemetry::Global().RegisterScope(
+                "chain/" + std::to_string(s) + ":" +
+                std::string(generic->stage(s).name())))
+            .samples);
+  }
+
+  telemetry.ResetCounts();
+  (void)RunChain(*fused, pkts, 32);
+  const std::vector<SampledEvent> fused_events = DrainSampled(telemetry);
+  std::vector<u64> fused_samples;
+  for (u32 s = 0; s < fused->depth(); ++s) {
+    fused_samples.push_back(
+        telemetry
+            .Snapshot(obs::Telemetry::Global().RegisterScope(
+                "chain/" + std::to_string(s) + ":" +
+                std::string(fused->stage(s).name())))
+            .samples);
+  }
+  telemetry.Disable();
+
+  ASSERT_EQ(generic_events.size(), fused_events.size());
+  for (std::size_t i = 0; i < generic_events.size(); ++i) {
+    EXPECT_EQ(generic_events[i].scope, fused_events[i].scope) << i;
+    EXPECT_EQ(generic_events[i].kind, fused_events[i].kind) << i;
+    EXPECT_EQ(generic_events[i].flow, fused_events[i].flow) << i;
+  }
+  EXPECT_EQ(generic_samples, fused_samples);
+}
+
+TEST(FusedChainObs, PromotionAndDemotionEmitControlEvents) {
+  if constexpr (!obs::kCompiledIn) {
+    GTEST_SKIP() << "observability compiled out";
+  }
+  obs::Telemetry& telemetry = obs::Telemetry::Global();
+  auto chain = MakeChain(StageNames(2), Variant::kEnetstl, false);
+  ASSERT_NE(chain, nullptr);
+  const obs::u16 scope = telemetry.RegisterScope("chain/fused");
+
+  telemetry.Enable(1);
+  telemetry.ring().Consume([](const void*, ebpf::u32) {});  // drain
+  chain->EnableFusion();
+  ASSERT_TRUE(chain->TryPromoteNow());
+  chain->DisableFusion();
+  telemetry.Disable();
+
+  std::vector<obs::ObsEvent> controls;
+  telemetry.ring().Consume([&](const void* data, ebpf::u32 len) {
+    if (len != sizeof(obs::ObsEvent)) {
+      return;
+    }
+    obs::ObsEvent event;
+    std::memcpy(&event, data, sizeof(event));
+    if (event.kind == obs::ObsEvent::kControl && event.scope == scope) {
+      controls.push_back(event);
+    }
+  });
+  ASSERT_EQ(controls.size(), 2u);
+  EXPECT_EQ(controls[0].flow, kFusionPromoteCode);
+  EXPECT_EQ(controls[1].flow, kFusionDemoteCode);
+}
+
+// ---------------------------------------------------------------------------
+// Promotion / demotion state machine
+// ---------------------------------------------------------------------------
+
+TEST(FusedChainStateMachine, PromotionIsObsDrivenByHotStableTraffic) {
+  auto chain = MakeChain(StageNames(2), Variant::kEnetstl, false);
+  ASSERT_NE(chain, nullptr);
+  FusionPolicy policy;
+  policy.hot_bursts = 4;
+  policy.min_packets = 4 * 32;
+  chain->EnableFusion(policy);
+  EXPECT_FALSE(chain->fused());
+
+  const std::vector<pktgen::Packet> pkts = MakeMix(0, 2048, 32, 7);
+  // Three bursts: hot_bursts not reached yet.
+  for (int i = 0; i < 3; ++i) {
+    (void)RunChain(*chain, pkts, 32);
+    EXPECT_FALSE(chain->fused()) << "burst " << i;
+  }
+  // The 4th burst satisfies both thresholds; the 5th runs fused.
+  (void)RunChain(*chain, pkts, 32);
+  EXPECT_TRUE(chain->fused());
+  EXPECT_EQ(chain->fusion_stats().promotions, 1u);
+  const u64 generic_bursts = chain->fusion_stats().generic_bursts;
+  (void)RunChain(*chain, pkts, 32);
+  EXPECT_EQ(chain->fusion_stats().generic_bursts, generic_bursts);
+  EXPECT_GT(chain->fusion_stats().fused_bursts, 0u);
+}
+
+TEST(FusedChainStateMachine, PromotionNeverFiresWithoutArming) {
+  auto chain = MakeChain(StageNames(2), Variant::kEnetstl, false);
+  ASSERT_NE(chain, nullptr);
+  EXPECT_FALSE(chain->TryPromoteNow());
+  const std::vector<pktgen::Packet> pkts = MakeMix(0, 2048, 64, 9);
+  for (int i = 0; i < 64; ++i) {
+    (void)RunChain(*chain, pkts, 32);
+  }
+  EXPECT_FALSE(chain->fused());
+  EXPECT_EQ(chain->fusion_stats().promotions, 0u);
+}
+
+// The acceptance-critical property: reconfiguring a fused chain mid-traffic
+// demotes it before the next burst, and the post-reconfig traffic takes the
+// generic walk with the new stage in place.
+TEST(FusedChainStateMachine, ReplaceStageDemotesBeforeNextBurst) {
+  auto chain = MakeChain(StageNames(2), Variant::kEnetstl, true);
+  ASSERT_NE(chain, nullptr);
+  ASSERT_TRUE(chain->fused());
+  const u32 gen_before = chain->fusion_stats().generation;
+
+  const std::vector<pktgen::Packet> pkts = MakeMix(0, 2048, 64, 11);
+  (void)RunChain(*chain, pkts, 32);
+  ASSERT_TRUE(chain->fused());
+
+  // Swap stage 1 for an unprimed vbf (empty table: everything drops there).
+  auto replacement =
+      NfRegistry::Global().Create("vbf-membership", Variant::kEnetstl);
+  ASSERT_NE(replacement, nullptr);
+  ASSERT_TRUE(chain->ReplaceStage(1, std::move(replacement)).ok);
+
+  EXPECT_FALSE(chain->fused());
+  EXPECT_EQ(chain->fusion_stats().demotions, 1u);
+  EXPECT_GT(chain->fusion_stats().generation, gen_before);
+
+  // Next burst runs generic — and reflects the new (empty) stage.
+  const u64 generic_bursts = chain->fusion_stats().generic_bursts;
+  const std::vector<ebpf::XdpAction> verdicts = RunChain(*chain, pkts, 32);
+  EXPECT_GT(chain->fusion_stats().generic_bursts, generic_bursts);
+  for (std::size_t i = 0; i < verdicts.size(); ++i) {
+    EXPECT_NE(verdicts[i], ebpf::XdpAction::kPass) << i;
+  }
+
+  // Re-promotion needs the hotness thresholds all over again...
+  EXPECT_FALSE(chain->fused());
+  // ...but stays available: force it and check the fused walk agrees with a
+  // freshly built oracle of the same post-reconfig shape.
+  ASSERT_TRUE(chain->TryPromoteNow());
+  ASSERT_TRUE(chain->fused());
+  const std::vector<ebpf::XdpAction> fused_verdicts = RunChain(*chain, pkts, 32);
+  for (std::size_t i = 0; i < fused_verdicts.size(); ++i) {
+    EXPECT_EQ(fused_verdicts[i], verdicts[i]) << i;
+  }
+}
+
+TEST(FusedChainStateMachine, ReloadAndDisableDemote) {
+  auto chain = MakeChain(StageNames(2), Variant::kEnetstl, true);
+  ASSERT_NE(chain, nullptr);
+  ASSERT_TRUE(chain->fused());
+  ASSERT_TRUE(chain->Load().ok);
+  EXPECT_FALSE(chain->fused()) << "Load() is a reconfiguration";
+
+  ASSERT_TRUE(chain->TryPromoteNow());
+  chain->DisableFusion();
+  EXPECT_FALSE(chain->fused());
+  EXPECT_FALSE(chain->TryPromoteNow()) << "disarmed";
+  EXPECT_EQ(chain->fusion_stats().demotions, 2u);
+}
+
+TEST(FusedChainStateMachine, FailedReplacementRollsBackAndStaysRunnable) {
+  auto chain = MakeChain(StageNames(2), Variant::kEnetstl, true);
+  ASSERT_NE(chain, nullptr);
+  ASSERT_TRUE(chain->fused());
+  // Null replacement: rejected up front, but still a demotion-triggering
+  // reconfiguration attempt is NOT made (argument never checked out).
+  EXPECT_FALSE(chain->ReplaceStage(1, nullptr).ok);
+  EXPECT_FALSE(chain->ReplaceStage(99, nullptr).ok);
+  // The chain is still runnable on the generic or fused path.
+  const std::vector<pktgen::Packet> pkts = MakeMix(0, 2048, 32, 13);
+  const std::vector<ebpf::XdpAction> verdicts = RunChain(*chain, pkts, 32);
+  EXPECT_EQ(verdicts.size(), pkts.size());
+}
+
+// ---------------------------------------------------------------------------
+// Tail-call budget eligibility
+// ---------------------------------------------------------------------------
+
+class PassNf : public NetworkFunction {
+ public:
+  ebpf::XdpAction Process(ebpf::XdpContext&) override {
+    return ebpf::XdpAction::kPass;
+  }
+  std::string_view name() const override { return "pass"; }
+  Variant variant() const override { return Variant::kKernel; }
+};
+
+TEST(FusedChainBudget, DepthAtTailCallLimitFusesAndRuns) {
+  ChainExecutor chain("deep-33-fused");
+  for (u32 i = 0; i < ebpf::kMaxTailCallChain; ++i) {
+    chain.AddStage(std::make_unique<PassNf>());
+  }
+  ASSERT_TRUE(chain.Load().ok);
+  chain.EnableFusion();
+  ASSERT_TRUE(chain.TryPromoteNow());
+  pktgen::Packet pkt = Env().uniform[0];
+  ebpf::XdpContext ctx = ContextFor(pkt);
+  ebpf::XdpAction verdict;
+  chain.ProcessBurst(&ctx, 1, &verdict);
+  EXPECT_EQ(verdict, ebpf::XdpAction::kPass);
+  EXPECT_EQ(chain.stage_stats().back().pass, 1u);
+}
+
+TEST(FusedChainBudget, EligibilityTracksTailCallBudget) {
+  EXPECT_TRUE(ebpf::FusionWithinTailCallBudget(1));
+  EXPECT_TRUE(ebpf::FusionWithinTailCallBudget(ebpf::kMaxTailCallChain));
+  EXPECT_FALSE(ebpf::FusionWithinTailCallBudget(0));
+  EXPECT_FALSE(ebpf::FusionWithinTailCallBudget(ebpf::kMaxTailCallChain + 1));
+  // FusedChain::Fuse enforces it independently of the executor.
+  std::vector<FusedStage> too_deep(ebpf::kMaxTailCallChain + 1);
+  EXPECT_EQ(FusedChain::Fuse(std::move(too_deep), 0), nullptr);
+}
+
+}  // namespace
+}  // namespace nf
