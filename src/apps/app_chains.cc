@@ -131,6 +131,33 @@ std::unique_ptr<nf::ChainExecutor> MakeLbChain(
   return chain;
 }
 
+nf::ReconfigResult SwapLbBackends(nf::ChainReconfig& plane,
+                                  const std::vector<ebpf::u32>& backends,
+                                  const nf::SwapOptions& options) {
+  // Clone the running stage's core and config, changing only the backend
+  // set; the replacement inherits the connection table via state transfer.
+  const KatranLb* running = nullptr;
+  nf::ChainExecutor& chain = plane.chain();
+  for (ebpf::u32 i = 0; i < chain.depth(); ++i) {
+    running = dynamic_cast<const KatranLb*>(&chain.stage(i));
+    if (running != nullptr) {
+      break;
+    }
+  }
+  if (running == nullptr) {
+    nf::ReconfigResult result;
+    result.error = nf::ReconfigError::kBadStage;
+    result.message = "chain '" + std::string(chain.name()) +
+                     "' has no katran-lb stage";
+    return result;
+  }
+  KatranConfig config = running->config();
+  config.backends = backends;
+  config.num_backends = static_cast<ebpf::u32>(backends.size());
+  auto replacement = std::make_unique<KatranLb>(running->core(), config);
+  return plane.SwapNfWith("katran-lb", std::move(replacement), options);
+}
+
 void RegisterAppNfs() {
   static const bool registered = [] {
     nf::NfRegistry& registry = nf::NfRegistry::Global();

@@ -11,10 +11,12 @@
 #define ENETSTL_APPS_APP_CHAINS_H_
 
 #include <memory>
+#include <vector>
 
 #include "apps/katran_lb.h"
 #include "apps/rakelimit.h"
 #include "nf/chain.h"
+#include "nf/reconfig.h"
 
 namespace apps {
 
@@ -30,6 +32,18 @@ std::unique_ptr<nf::ChainExecutor> MakeLbChain(
 // Registers the app NFs and composites into NfRegistry::Global().
 // Idempotent — safe to call from every bench/test entry point.
 void RegisterAppNfs();
+
+// Live backend-set change on a running LB chain (the katran operational
+// event hot swap exists for: backends drain for maintenance or join after
+// provisioning). Builds a KatranLb with the new backend set on the same
+// core/config as the running stage, then hot-swaps it in through `plane`
+// under connection-table state transfer — established connections keep
+// their recorded backend (Katran's affinity contract); only new flows hash
+// against the new Maglev ring. The plane must wrap a chain containing a
+// "katran-lb" stage; failures are the plane's typed rollbacks.
+nf::ReconfigResult SwapLbBackends(nf::ChainReconfig& plane,
+                                  const std::vector<ebpf::u32>& backends,
+                                  const nf::SwapOptions& options = {});
 
 }  // namespace apps
 

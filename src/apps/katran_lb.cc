@@ -1,5 +1,8 @@
 #include "apps/katran_lb.h"
 
+#include <cstddef>
+#include <cstring>
+
 #include "core/hash.h"
 #include "obs/telemetry.h"
 
@@ -48,9 +51,12 @@ std::vector<u32> BuildMaglevRing(const std::vector<u32>& backends,
 
 KatranLb::KatranLb(CoreKind core, const KatranConfig& config)
     : core_(core), config_(config) {
-  std::vector<u32> backends(config.num_backends);
-  for (u32 b = 0; b < config.num_backends; ++b) {
-    backends[b] = b;
+  std::vector<u32> backends = config.backends;
+  if (backends.empty()) {
+    backends.resize(config.num_backends);
+    for (u32 b = 0; b < config.num_backends; ++b) {
+      backends[b] = b;
+    }
   }
   ring_ = BuildMaglevRing(backends, config.ring_size, config.seed);
   obs_scope_ = obs::Telemetry::Global().RegisterScope("app/katran-lb");
@@ -88,6 +94,59 @@ u32 KatranLb::PickBackend(const ebpf::FiveTuple& tuple) {
   const u32 backend = ring_[h % config_.ring_size];
   cuckoo_conn_->Insert(tuple, backend);
   return backend;
+}
+
+bool KatranLb::ExportState(std::vector<ebpf::u8>& out) const {
+  const auto append = [&out](const void* p, std::size_t n) {
+    const auto* bytes = static_cast<const ebpf::u8*>(p);
+    out.insert(out.end(), bytes, bytes + n);
+  };
+  const std::size_t count_at = out.size();
+  u32 count = 0;
+  append(&count, sizeof(count));  // patched below
+  const auto emit = [&](const ebpf::FiveTuple& tuple, u64 backend) {
+    const u32 b = static_cast<u32>(backend);
+    append(&tuple, sizeof(tuple));
+    append(&b, sizeof(b));
+    ++count;
+  };
+  if (core_ == CoreKind::kOrigin) {
+    lru_conn_->ForEach(
+        [&](const ebpf::FiveTuple& tuple, u32 backend) { emit(tuple, backend); });
+  } else {
+    cuckoo_conn_->ForEachEntry(emit);
+  }
+  std::memcpy(out.data() + count_at, &count, sizeof(count));
+  return true;
+}
+
+bool KatranLb::ImportState(const ebpf::u8* data, std::size_t len) {
+  constexpr std::size_t kEntrySize = sizeof(ebpf::FiveTuple) + sizeof(u32);
+  u32 count = 0;
+  if (len < sizeof(count)) {
+    return false;
+  }
+  std::memcpy(&count, data, sizeof(count));
+  if (len != sizeof(count) + static_cast<std::size_t>(count) * kEntrySize) {
+    return false;
+  }
+  const ebpf::u8* p = data + sizeof(count);
+  for (u32 i = 0; i < count; ++i) {
+    ebpf::FiveTuple tuple;
+    u32 backend;
+    std::memcpy(&tuple, p, sizeof(tuple));
+    std::memcpy(&backend, p + sizeof(tuple), sizeof(backend));
+    p += kEntrySize;
+    // Replay through the normal record path: existing connections keep the
+    // exported backend even if this instance's ring would pick differently
+    // (connection affinity survives the backend-set change).
+    if (core_ == CoreKind::kOrigin) {
+      lru_conn_->UpdateElem(tuple, backend);
+    } else {
+      cuckoo_conn_->Insert(tuple, backend);
+    }
+  }
+  return true;
 }
 
 ebpf::XdpAction KatranLb::Process(ebpf::XdpContext& ctx) {

@@ -34,6 +34,12 @@ struct KatranConfig {
   u32 num_backends = 16;
   u32 conn_table_size = 16384; // connections tracked
   u32 seed = 0x8f1bbcdcu;
+  // Explicit backend-id set for the Maglev ring; empty means the identity
+  // set {0 .. num_backends-1}. A backend-set change is a live
+  // reconfiguration: build a new KatranLb with the new set and hot-swap it
+  // in (apps::SwapLbBackends) — recorded connections keep their old backend
+  // through state transfer, exactly Katran's connection-affinity contract.
+  std::vector<u32> backends;
 };
 
 // Builds a Maglev consistent-hash ring (Eisenbud et al., NSDI '16 — the
@@ -68,6 +74,18 @@ class KatranLb : public nf::NetworkFunction {
 
   u64 hits() const { return hits_; }
   u64 misses() const { return misses_; }
+  CoreKind core() const { return core_; }
+  const KatranConfig& config() const { return config_; }
+
+  // Connection-table state transfer for live hot swap. The blob format is
+  // owned by the NF family, not the core: u32 entry count, then per entry
+  // the flat 16-byte 5-tuple and the u32 backend id — so an origin-core
+  // table exports into an eNetSTL-core replacement and vice versa (the
+  // component-swap axis of the paper's Figure 7 case). Export order is
+  // LRU-oldest-first on the origin core, so an import through the LRU map
+  // reproduces eviction order for live connections.
+  bool ExportState(std::vector<ebpf::u8>& out) const override;
+  bool ImportState(const ebpf::u8* data, std::size_t len) override;
 
  private:
   CoreKind core_;

@@ -24,12 +24,16 @@
 // exposes a raw hook (ebpf::SetHelperFaultHook) and FaultInjector::Global()
 // installs itself there on first use. Fault point names used in-tree:
 //
-//   mem.node_alloc         NodeProxy::NodeAlloc (bpf_obj_new exhaustion)
-//   helper.map_update      ebpf map UpdateElem (-ENOSPC from the helper)
-//   cuckoo_switch.insert   forced kick-chain exhaustion -> victim stash
-//   dary_cuckoo.insert     forced displacement-walk failure -> victim stash
-//   cuckoo_filter.add      forced kick-chain exhaustion -> victim stash
-//   shard.kill.<cpu>       sharded-pipeline worker death -> failover
+//   mem.node_alloc             NodeProxy::NodeAlloc (bpf_obj_new exhaustion)
+//   helper.map_update          ebpf map UpdateElem (-ENOSPC from the helper)
+//   helper.prog_array_update   ProgArrayMap::UpdateElem (-ENOMEM; slot kept)
+//   helper.ringbuf_reserve     ringbuf Reserve/Output (NULL + dropped_events)
+//   cuckoo_switch.insert       forced kick-chain exhaustion -> victim stash
+//   dary_cuckoo.insert         forced displacement-walk failure -> victim stash
+//   cuckoo_filter.add          forced kick-chain exhaustion -> victim stash
+//   shard.kill.<cpu>           sharded-pipeline worker death -> failover
+//   reconfig.state_transfer    SwapNf state export alloc -> swap aborted
+//   reconfig.swap_commit       SwapNf commit -> rollback, chain unchanged
 #ifndef ENETSTL_CORE_FAULT_INJECTOR_H_
 #define ENETSTL_CORE_FAULT_INJECTOR_H_
 

@@ -400,6 +400,19 @@ class LruHashMap {
   u32 size() const { return size_; }
   u32 max_entries() const { return max_entries_; }
 
+  // Control-plane snapshot walk (state transfer, not a datapath helper —
+  // real LRU maps are walked with bpf_map_get_next_key from user space).
+  // Visits every live entry oldest-first, so replaying the walk through
+  // UpdateElem on a fresh map reproduces the recency order: the last entry
+  // visited (most recent here) is the most recent there too, and future
+  // evictions pick the same victims. Does not touch recency itself.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (u32 idx = lru_tail_; idx != kNil; idx = elems_[idx].lru_prev) {
+      fn(elems_[idx].key, elems_[idx].value);
+    }
+  }
+
  private:
   static constexpr u32 kNil = 0xffffffffu;
 

@@ -37,12 +37,18 @@ class ProgArrayMap {
   }
 
   // The kernel only accepts fds of successfully loaded programs; unloaded
-  // (verifier-rejected) programs are not insertable.
+  // (verifier-rejected) programs are not insertable. The fault point models
+  // the allocation the kernel performs for the fd reference on update
+  // (-ENOMEM): the slot is left untouched, so a failed live update never
+  // half-installs a program — callers (chain load/replace) roll back.
   ENETSTL_NOINLINE int UpdateElem(u32 index, XdpProgram* prog) {
     ++GlobalHelperStats().map_update_calls;
     CompilerBarrier();
     if (index >= slots_.size() || prog == nullptr || !prog->loaded()) {
       return kErrInval;
+    }
+    if (HelperFaultTriggered("helper.prog_array_update")) {
+      return kErrNoSpc;
     }
     slots_[index] = prog;
     return kOk;

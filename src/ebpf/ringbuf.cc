@@ -84,6 +84,13 @@ void RingbufMap::CompleteReservation(void* record, u32 extra_flags) {
 void* RingbufMap::Reserve(u32 size) {
   ++GlobalHelperStats().ringbuf_reserve_calls;
   CompilerBarrier();
+  // Injected reservation failure takes the same path as a full ring: NULL
+  // return, dropped_events bump, and the producer moves on — callers already
+  // handle the may-be-null contract the verifier enforces on them.
+  if (HelperFaultTriggered("helper.ringbuf_reserve")) {
+    dropped_events_.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
   void* payload = ReserveImpl(size);
   if (payload != nullptr && ref_tracker_ != nullptr) {
     ref_tracker_->OnAcquire(payload, kResourceClass);
@@ -112,6 +119,12 @@ void RingbufMap::Discard(void* record) {
 int RingbufMap::Output(const void* data, u32 size) {
   ++GlobalHelperStats().ringbuf_output_calls;
   CompilerBarrier();
+  // bpf_ringbuf_output is reserve+copy+submit, so it shares the reserve
+  // fault point and the same drop-on-full degradation.
+  if (HelperFaultTriggered("helper.ringbuf_reserve")) {
+    dropped_events_.fetch_add(1, std::memory_order_relaxed);
+    return kErrNoSpc;
+  }
   void* payload = ReserveImpl(size);
   if (payload == nullptr) {
     return kErrNoSpc;

@@ -30,10 +30,11 @@ void ChainExecutor::RegisterStageScope(u32 i) {
       name_ + "/" + std::to_string(i) + ":" + std::string(stages_[i]->name()));
 }
 
-ebpf::VerifyResult ChainExecutor::BuildStageProgram(u32 i) {
-  const u32 depth = this->depth();
+ebpf::VerifyResult ChainExecutor::BuildProgramFor(
+    NetworkFunction* nf, u32 i, u32 depth,
+    std::unique_ptr<ebpf::XdpProgram>* out) {
   ebpf::ProgramSpec spec;
-  spec.name = name_ + "/" + std::string(stages_[i]->name());
+  spec.name = name_ + "/" + std::string(nf->name());
   spec.type = ebpf::ProgramType::kXdp;
   // Stage i can still walk through every downstream stage, so its declared
   // chain depth is the remaining suffix; the entry program declares the
@@ -50,9 +51,12 @@ ebpf::VerifyResult ChainExecutor::BuildStageProgram(u32 i) {
     spec.kfunc_calls.push_back({"bpf_ringbuf_submit", false});
   }
   const bool last = i + 1 == depth;
-  programs_[i] = std::make_unique<ebpf::XdpProgram>(
+  // The NF pointer is bound here, at build time: a replacement program runs
+  // its replacement NF, and the old program keeps running the old NF until
+  // the prog-array slot flips — that slot update is the commit point.
+  *out = std::make_unique<ebpf::XdpProgram>(
       std::move(spec),
-      [this, i, last](ebpf::XdpContext& ctx) -> ebpf::XdpAction {
+      [this, nf, i, last](ebpf::XdpContext& ctx) -> ebpf::XdpAction {
         ChainStageStats& stats = stats_[i];
         ++stats.in;
         ebpf::XdpAction action;
@@ -63,7 +67,7 @@ ebpf::VerifyResult ChainExecutor::BuildStageProgram(u32 i) {
           if (sample.armed()) {
             sample.set_flow(obs::FlowOf(ctx));
           }
-          action = stages_[i]->Process(ctx);
+          action = nf->Process(ctx);
         }
         stats.Count(action);
         if (action != ebpf::XdpAction::kPass || last) {
@@ -77,7 +81,14 @@ ebpf::VerifyResult ChainExecutor::BuildStageProgram(u32 i) {
         // packet exits with the stage verdict.
         return action;
       });
-  return programs_[i]->Load();
+  return (*out)->Load();
+}
+
+void ChainExecutor::BindStageMeta(u32 i) {
+  stats_[i] = ChainStageStats{};
+  stats_[i].name = std::string(stages_[i]->name());
+  stats_[i].variant = stages_[i]->variant();
+  RegisterStageScope(i);
 }
 
 ebpf::VerifyResult ChainExecutor::Load() {
@@ -105,7 +116,8 @@ ebpf::VerifyResult ChainExecutor::Load() {
   }
 
   for (u32 i = 0; i < depth; ++i) {
-    const ebpf::VerifyResult stage_result = BuildStageProgram(i);
+    const ebpf::VerifyResult stage_result =
+        BuildProgramFor(stages_[i].get(), i, depth, &programs_[i]);
     if (!stage_result.ok) {
       result.ok = false;
       for (const std::string& error : stage_result.errors) {
@@ -136,28 +148,168 @@ ebpf::VerifyResult ChainExecutor::ReplaceStage(
     return result;
   }
 
-  // Structural change: back to the generic walk before the next burst.
-  Demote();
-
-  std::unique_ptr<NetworkFunction> old = std::move(stages_[i]);
-  stages_[i] = std::move(stage);
-  result = BuildStageProgram(i);
+  // Build + verify the replacement program aside. Nothing is committed yet:
+  // a rejected replacement must leave the chain bit-identical — old stage,
+  // old program, and a live fused program all intact (no spurious
+  // demotion/generation bump, which the pre-commit rollback contract of the
+  // reconfig plane relies on).
+  std::unique_ptr<ebpf::XdpProgram> program;
+  result = BuildProgramFor(stage.get(), i, depth(), &program);
   if (!result.ok) {
-    // Restore the old stage; it verified before, so this rebuild succeeds
-    // and the chain stays runnable.
-    stages_[i] = std::move(old);
-    (void)BuildStageProgram(i);
-    (void)prog_array_->UpdateElem(i, programs_[i].get());
     return result;
   }
 
-  stats_[i] = ChainStageStats{};
-  stats_[i].name = std::string(stages_[i]->name());
-  stats_[i].variant = stages_[i]->variant();
-  RegisterStageScope(i);
-  if (prog_array_->UpdateElem(i, programs_[i].get()) != ebpf::kOk) {
+  // Commit point: the PROG_ARRAY slot update. If the helper rejects it
+  // (injected -ENOMEM), the slot still holds the old program and no chain
+  // state has changed.
+  if (prog_array_->UpdateElem(i, program.get()) != ebpf::kOk) {
     result.Fail(name_ + ": prog array rejected replacement stage " +
                 std::to_string(i));
+    return result;
+  }
+
+  // Committed. Structural change: drop the fused program (folded over the
+  // old stage pointer) before the old NF is destroyed, so the generic walk
+  // with the new stage is what the next burst runs.
+  Demote();
+  stages_[i] = std::move(stage);
+  programs_[i] = std::move(program);
+  BindStageMeta(i);
+  return result;
+}
+
+ebpf::VerifyResult ChainExecutor::InsertStage(
+    u32 pos, std::unique_ptr<NetworkFunction> stage) {
+  ebpf::VerifyResult result;
+  if (!loaded_ || pos > depth() || stage == nullptr) {
+    result.Fail(name_ + ": InsertStage(" + std::to_string(pos) +
+                ") on unloaded chain or bad argument");
+    return result;
+  }
+  const u32 new_depth = depth() + 1;
+  // Tail-call budget revalidation before anything is built: an edit may
+  // never produce a chain Load() would reject.
+  if (new_depth > ebpf::kMaxTailCallChain) {
+    result.Fail(name_ + ": InsertStage would exceed the tail-call budget (" +
+                std::to_string(new_depth) + " > " +
+                std::to_string(ebpf::kMaxTailCallChain) + ")");
+    return result;
+  }
+
+  // Post-edit stage view (suffix depths shift, so every program rebuilds).
+  std::vector<NetworkFunction*> view;
+  view.reserve(new_depth);
+  for (u32 i = 0; i < pos; ++i) {
+    view.push_back(stages_[i].get());
+  }
+  view.push_back(stage.get());
+  for (u32 i = pos; i < depth(); ++i) {
+    view.push_back(stages_[i].get());
+  }
+
+  std::vector<std::unique_ptr<ebpf::XdpProgram>> programs(new_depth);
+  std::unique_ptr<ebpf::ProgArrayMap> array =
+      std::make_unique<ebpf::ProgArrayMap>(new_depth);
+  for (u32 i = 0; i < new_depth; ++i) {
+    const ebpf::VerifyResult stage_result =
+        BuildProgramFor(view[i], i, new_depth, &programs[i]);
+    if (!stage_result.ok) {
+      result.ok = false;
+      for (const std::string& error : stage_result.errors) {
+        result.errors.push_back(error);
+      }
+    }
+  }
+  if (result.ok) {
+    for (u32 i = 0; i < new_depth; ++i) {
+      if (array->UpdateElem(i, programs[i].get()) != ebpf::kOk) {
+        result.Fail(name_ + ": prog array rejected stage " +
+                    std::to_string(i) + " during insert");
+        break;
+      }
+    }
+  }
+  if (!result.ok) {
+    return result;  // nothing committed; chain bit-identical
+  }
+
+  // Commit the whole post-edit set at once (no packet observes a mix of old
+  // and new suffix depths), demoting any fused program first.
+  Demote();
+  stages_.insert(stages_.begin() + pos, std::move(stage));
+  programs_ = std::move(programs);
+  prog_array_ = std::move(array);
+  stats_.insert(stats_.begin() + pos, ChainStageStats{});
+  stage_scopes_.assign(new_depth, obs::kInvalidScope);
+  for (u32 i = 0; i < new_depth; ++i) {
+    // Scope names embed the stage index, so every slot re-registers; the
+    // surviving stages keep their verdict counters.
+    stats_[i].name = std::string(stages_[i]->name());
+    stats_[i].variant = stages_[i]->variant();
+    RegisterStageScope(i);
+  }
+  return result;
+}
+
+ebpf::VerifyResult ChainExecutor::RemoveStage(u32 pos) {
+  ebpf::VerifyResult result;
+  if (!loaded_ || pos >= depth()) {
+    result.Fail(name_ + ": RemoveStage(" + std::to_string(pos) +
+                ") on unloaded chain or bad position");
+    return result;
+  }
+  if (depth() == 1) {
+    result.Fail(name_ + ": RemoveStage would leave an empty chain");
+    return result;
+  }
+  const u32 new_depth = depth() - 1;
+
+  std::vector<NetworkFunction*> view;
+  view.reserve(new_depth);
+  for (u32 i = 0; i < depth(); ++i) {
+    if (i != pos) {
+      view.push_back(stages_[i].get());
+    }
+  }
+
+  std::vector<std::unique_ptr<ebpf::XdpProgram>> programs(new_depth);
+  std::unique_ptr<ebpf::ProgArrayMap> array =
+      std::make_unique<ebpf::ProgArrayMap>(new_depth);
+  for (u32 i = 0; i < new_depth; ++i) {
+    const ebpf::VerifyResult stage_result =
+        BuildProgramFor(view[i], i, new_depth, &programs[i]);
+    if (!stage_result.ok) {
+      result.ok = false;
+      for (const std::string& error : stage_result.errors) {
+        result.errors.push_back(error);
+      }
+    }
+  }
+  if (result.ok) {
+    for (u32 i = 0; i < new_depth; ++i) {
+      if (array->UpdateElem(i, programs[i].get()) != ebpf::kOk) {
+        result.Fail(name_ + ": prog array rejected stage " +
+                    std::to_string(i) + " during remove");
+        break;
+      }
+    }
+  }
+  if (!result.ok) {
+    return result;
+  }
+
+  // Commit: demote first — the fused program folded the removed stage's NF
+  // pointer, which is destroyed by the erase below.
+  Demote();
+  stages_.erase(stages_.begin() + pos);
+  programs_ = std::move(programs);
+  prog_array_ = std::move(array);
+  stats_.erase(stats_.begin() + pos);
+  stage_scopes_.assign(new_depth, obs::kInvalidScope);
+  for (u32 i = 0; i < new_depth; ++i) {
+    stats_[i].name = std::string(stages_[i]->name());
+    stats_[i].variant = stages_[i]->variant();
+    RegisterStageScope(i);
   }
   return result;
 }
@@ -177,10 +329,14 @@ void ChainExecutor::ProcessBurst(ebpf::XdpContext* ctxs, u32 count,
                            name_ + "'");
   }
   ForEachNfChunk(count, [&](u32 start, u32 chunk) {
-    if (fused_ != nullptr) {
+    // One fused-program read per chunk: a demotion (reconfiguration) between
+    // chunks is honored at the next chunk boundary and is never observed
+    // mid-walk — the chunk runs to completion on the program it started on.
+    FusedChain* const fused = fused_.get();
+    if (fused != nullptr) {
       ++fusion_stats_.fused_bursts;
       fusion_stats_.fused_packets += chunk;
-      fused_->ExecuteBurst(ctxs + start, chunk, verdicts + start);
+      fused->ExecuteBurst(ctxs + start, chunk, verdicts + start);
       return;
     }
     ++fusion_stats_.generic_bursts;

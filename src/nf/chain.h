@@ -136,21 +136,43 @@ class ChainExecutor : public NetworkFunction {
   const FusionPolicy& fusion_policy() const { return fusion_policy_; }
   const FusionStats& fusion_stats() const { return fusion_stats_; }
 
-  // Atomically replaces stage `i`: verifies a fresh program for the new NF
-  // and swaps the prog-array slot (the live-update idiom prog arrays exist
-  // for). Any reconfiguration demotes the chain to the generic walk before
-  // the next burst; on verification failure the old stage is restored and
-  // the chain stays runnable.
+  // Atomically replaces stage `i`: builds and verifies a fresh program bound
+  // to the new NF first, then commits by updating the PROG_ARRAY slot (the
+  // live-update idiom prog arrays exist for) and swapping the stage in.
+  // Ordering guarantees:
+  //  * verification failure or a rejected prog-array update happens BEFORE
+  //    anything is committed — the chain (including a live fused program) is
+  //    left bit-identical to its pre-call state;
+  //  * a successful replacement demotes the chain to the generic walk before
+  //    the next burst (the fused program never outlives the stage set it was
+  //    folded from).
   ebpf::VerifyResult ReplaceStage(u32 i,
                                   std::unique_ptr<NetworkFunction> stage);
+
+  // Structural chain edits on a loaded chain. Stage program manifests
+  // declare the remaining suffix depth, so an edit rebuilds and re-verifies
+  // EVERY stage program and a fresh prog array aside, then commits the whole
+  // set at once — no packet can observe a half-edited chain, and the
+  // tail-call budget (<= 33 stages) is revalidated before any commit.
+  // Failure leaves the chain bit-identical; success demotes any fused
+  // program. `pos` for InsertStage may equal depth() (append).
+  ebpf::VerifyResult InsertStage(u32 pos,
+                                 std::unique_ptr<NetworkFunction> stage);
+  ebpf::VerifyResult RemoveStage(u32 pos);
 
  private:
   void BurstChunk(ebpf::XdpContext* ctxs, u32 count, ebpf::XdpAction* verdicts);
 
-  // Builds + verifies stage i's XDP program into programs_[i] (factored out
-  // of Load so ReplaceStage goes through the same verification path). Does
-  // not touch the prog array.
-  ebpf::VerifyResult BuildStageProgram(u32 i);
+  // Builds + verifies one stage program bound to `nf` at slot `i` of a chain
+  // of `depth` stages, into *out. Binding the NF pointer at build time (not
+  // looking stages_[i] up at run time) is what makes a prog-array slot
+  // update the real commit point of a replacement: the old program keeps
+  // running the old NF until the slot flips. Touches no chain state, so
+  // build-aside-then-commit edits verify before mutating anything.
+  ebpf::VerifyResult BuildProgramFor(NetworkFunction* nf, u32 i, u32 depth,
+                                     std::unique_ptr<ebpf::XdpProgram>* out);
+  // Rebuilds stats_[i] identity + telemetry scope after a stage change.
+  void BindStageMeta(u32 i);
   void RegisterStageScope(u32 i);
 
   // Fusion state machine (chain.cc): burst-path promotion bookkeeping,

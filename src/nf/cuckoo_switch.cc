@@ -327,6 +327,36 @@ std::optional<u64> CuckooSwitchBase::LookupDegraded(const ebpf::FiveTuple& key,
   return std::nullopt;
 }
 
+void CuckooSwitchBase::ForEachEntry(
+    const std::function<void(const ebpf::FiveTuple&, u64)>& fn) {
+  const auto visit_table = [&](CuckooBucket* table, u32 mask) {
+    if (table == nullptr) {
+      return;
+    }
+    for (u32 b = 0; b <= mask; ++b) {
+      for (u32 s = 0; s < kCuckooSlotsPerBucket; ++s) {
+        if (table[b].sigs[s] == 0) {
+          continue;
+        }
+        ebpf::FiveTuple key;
+        std::memcpy(&key, table[b].keys[s], sizeof(key));
+        fn(key, table[b].values[s]);
+      }
+    }
+  };
+  // Entries drained by migration are ClearSlot()ed out of the old table, so
+  // the three stores partition the resident set.
+  visit_table(MutableBuckets(), bucket_mask_);
+  if (migrating()) {
+    visit_table(next_.data(), next_mask_);
+  }
+  for (const StashEntry& e : stash_) {
+    ebpf::FiveTuple key;
+    std::memcpy(&key, e.key, sizeof(key));
+    fn(key, e.value);
+  }
+}
+
 bool CuckooSwitchBase::StashPut(u32 sig, const u8* key16, u64 value) {
   if (stash_.size() >= config_.stash_capacity) {
     return false;

@@ -26,6 +26,7 @@
 #ifndef ENETSTL_NF_CUCKOO_SWITCH_H_
 #define ENETSTL_NF_CUCKOO_SWITCH_H_
 
+#include <functional>
 #include <optional>
 #include <vector>
 
@@ -104,6 +105,15 @@ class CuckooSwitchBase : public NetworkFunction {
   bool migrating() const { return !next_.empty(); }
   bool degraded() const { return degraded_; }
   const CuckooDegradeStats& degrade_stats() const { return degrade_stats_; }
+
+  // Control-plane snapshot walk over every resident entry (state transfer,
+  // not a datapath operation): primary table, in-flight resize table, and
+  // victim stash. Duplicate-free because migration ClearSlot()s drained
+  // buckets — an entry lives in exactly one of the three places. Visit order
+  // is layout order, which carries no semantics for a cuckoo table; replaying
+  // the walk through Insert on a fresh table reproduces the resident set.
+  void ForEachEntry(
+      const std::function<void(const ebpf::FiveTuple&, u64)>& fn);
 
  protected:
   // Control-plane hash over the flat 16-byte key; each variant passes its

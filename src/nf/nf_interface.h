@@ -4,11 +4,13 @@
 #ifndef ENETSTL_NF_NF_INTERFACE_H_
 #define ENETSTL_NF_NF_INTERFACE_H_
 
+#include <cstddef>
 #include <functional>
 #include <memory>
 #include <optional>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "ebpf/program.h"
 #include "pktgen/pipeline.h"
@@ -115,6 +117,27 @@ class NetworkFunction {
   // honouring the contract above; everything else keeps the default
   // (nullopt), and the fused path falls back to ProcessBurst for that stage.
   virtual std::optional<FusedKeyOp> LowerToKeyOp() { return std::nullopt; }
+
+  // --- Live-reconfiguration state transfer (nf/reconfig.h) ---
+  //
+  // An NF family that can serialize its live state for whole-NF hot swap
+  // appends an opaque blob to `out` and returns true; the replacement
+  // instance (same family, any variant — the blob format is owned by the
+  // family, not the variant) restores it through ImportState before the swap
+  // commits. Both default to unsupported, in which case the reconfig plane
+  // falls back to bounded dual-write shadowing to warm the replacement.
+  // Contract: ImportState(ExportState output) must reproduce every
+  // externally observable decision the old instance would have made for live
+  // entries (e.g. connection affinity); internal layout may differ.
+  virtual bool ExportState(std::vector<u8>& out) const {
+    (void)out;
+    return false;
+  }
+  virtual bool ImportState(const u8* data, std::size_t len) {
+    (void)data;
+    (void)len;
+    return false;
+  }
 
   virtual std::string_view name() const = 0;
   virtual Variant variant() const = 0;

@@ -42,11 +42,38 @@ bool NfRegistry::Supports(std::string_view name, Variant variant) const {
 
 std::unique_ptr<NetworkFunction> NfRegistry::Create(std::string_view name,
                                                     Variant variant) const {
+  return CreateChecked(name, variant).nf;
+}
+
+NfCreateResult NfRegistry::CreateChecked(std::string_view name,
+                                         Variant variant) const {
+  NfCreateResult result;
   const NfEntry* entry = Lookup(name);
-  if (entry == nullptr || !entry->Supports(variant)) {
-    return nullptr;
+  if (entry == nullptr) {
+    result.error = NfCreateError::kUnknownName;
+    // Mirrors bench_util's HandleRegistryArgs wording: name the offender,
+    // then enumerate what is registered.
+    result.message = "unknown NF '" + std::string(name) + "'; registered NFs:";
+    for (const auto& e : entries_) {
+      result.message += " " + e->name;
+    }
+    return result;
   }
-  return entry->factory(variant);
+  if (!entry->Supports(variant)) {
+    result.error = NfCreateError::kUnsupportedVariant;
+    result.message = "NF '" + std::string(name) + "' has no " +
+                     std::string(VariantName(variant)) + " variant";
+    return result;
+  }
+  result.nf = entry->factory(variant);
+  if (result.nf == nullptr) {
+    // Declared but infeasible (problem P1 — e.g. pure-eBPF cannot express
+    // the structure): same taxonomy as an undeclared variant.
+    result.error = NfCreateError::kUnsupportedVariant;
+    result.message = "NF '" + std::string(name) + "' cannot be built as " +
+                     std::string(VariantName(variant));
+  }
+  return result;
 }
 
 std::vector<const NfEntry*> NfRegistry::Entries() const {

@@ -69,6 +69,24 @@ struct NfEntry {
   }
 };
 
+// Typed failure taxonomy for checked NF construction. A failed construction
+// is an expected control-plane outcome (reconfiguration requests name NFs at
+// run time), never an abort; the message mirrors the bench `--nf=` contract —
+// unknown names enumerate the registered set, unsupported variants name the
+// NF and the variant.
+enum class NfCreateError {
+  kOk = 0,
+  kUnknownName,
+  kUnsupportedVariant,
+};
+
+struct NfCreateResult {
+  std::unique_ptr<NetworkFunction> nf;  // non-null iff error == kOk
+  NfCreateError error = NfCreateError::kOk;
+  std::string message;  // empty on success
+  bool ok() const { return error == NfCreateError::kOk; }
+};
+
 class NfRegistry {
  public:
   // The registry with every built-in NF registered. App-level NFs and chain
@@ -82,9 +100,16 @@ class NfRegistry {
   bool Supports(std::string_view name, Variant variant) const;
 
   // Builds an unprimed instance; nullptr when the name is unknown or the
-  // variant unsupported.
+  // variant unsupported. Thin wrapper over CreateChecked for callers that
+  // only need the pointer.
   std::unique_ptr<NetworkFunction> Create(std::string_view name,
                                           Variant variant) const;
+
+  // Checked construction: like Create, but a failure carries a typed error
+  // and a diagnostic message instead of a bare nullptr. The reconfig plane
+  // (nf/reconfig.h) surfaces these verbatim, so a bad SwapNf request fails
+  // with the same wording the bench --nf= flag prints.
+  NfCreateResult CreateChecked(std::string_view name, Variant variant) const;
 
   // Entries in registration order (stable across calls; --list order).
   std::vector<const NfEntry*> Entries() const;

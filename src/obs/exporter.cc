@@ -60,6 +60,7 @@ ObsReport CollectObsReport(Telemetry& telemetry, const FlowSampler* sampler) {
   report.enabled = telemetry.enabled();
   report.sample_every = telemetry.sample_every();
   report.ring_dropped = telemetry.ring().dropped_events();
+  report.control_events = telemetry.control_events();
   const std::vector<std::string> names = telemetry.ScopeNames();
   for (std::size_t id = 0; id < names.size(); ++id) {
     const LatencyHist hist = telemetry.Snapshot(static_cast<u16>(id));
@@ -83,13 +84,14 @@ ObsReport CollectObsReport(Telemetry& telemetry, const FlowSampler* sampler) {
 
 std::string ObsReportJson(const ObsReport& report) {
   std::string out = "{";
-  char buf[160];
+  char buf[224];
   std::snprintf(buf, sizeof(buf),
                 "\"compiled_in\": %s, \"enabled\": %s, \"sample_every\": %u, "
-                "\"ring_dropped\": %" PRIu64 ", \"scopes\": [",
+                "\"ring_dropped\": %" PRIu64 ", \"control_events\": %" PRIu64
+                ", \"scopes\": [",
                 report.compiled_in ? "true" : "false",
                 report.enabled ? "true" : "false", report.sample_every,
-                report.ring_dropped);
+                report.ring_dropped, report.control_events);
   out += buf;
   for (std::size_t i = 0; i < report.scopes.size(); ++i) {
     const ObsScopeReport& scope = report.scopes[i];
@@ -145,9 +147,9 @@ void PrintObsReport(FILE* out, const ObsReport& report) {
   }
   std::fprintf(out,
                "telemetry: %s, 1/%u sampling, %" PRIu64
-               " ring event(s) dropped\n",
+               " ring event(s) dropped, %" PRIu64 " control event(s)\n",
                report.enabled ? "enabled" : "disabled", report.sample_every,
-               report.ring_dropped);
+               report.ring_dropped, report.control_events);
   for (const ObsScopeReport& scope : report.scopes) {
     std::fprintf(out,
                  "  %-28s samples=%" PRIu64 " avg=%" PRIu64 "ns p50<=%" PRIu64

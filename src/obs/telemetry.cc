@@ -76,6 +76,7 @@ void Telemetry::RecordControl(u16 scope, u32 code, u64 value) {
   if (scope == kInvalidScope || !enabled_.load(std::memory_order_relaxed)) {
     return;
   }
+  control_events_.fetch_add(1, std::memory_order_relaxed);
   EmitEvent(scope, ObsEvent::kControl, code, value);
 }
 

@@ -190,6 +190,14 @@ class Telemetry {
   // The event ring (for wiring up a RingbufConsumer / FlowSampler).
   ebpf::RingbufMap& ring() { return ring_; }
 
+  // Control-plane transitions emitted since start (fusion promote/demote,
+  // reconfiguration begin/commit/rollback). Counted at the emission point,
+  // so it includes events the ring dropped; the reconfig chaos harness
+  // cross-checks its event log against this.
+  u64 control_events() const {
+    return control_events_.load(std::memory_order_relaxed);
+  }
+
   // Harness-side: histogram for `scope` merged across all CPUs. Like the
   // percpu-map harness accessors, this reads without synchronizing against
   // in-flight producers — call it after the datapath has quiesced (or accept
@@ -209,6 +217,7 @@ class Telemetry {
 
   ebpf::PercpuArrayMap<LatencyHist> hists_;
   ebpf::RingbufMap ring_;
+  std::atomic<u64> control_events_{0};
   std::atomic<bool> enabled_{false};
   std::atomic<u32> sample_every_{1};
   mutable std::mutex mu_;  // guards scopes_

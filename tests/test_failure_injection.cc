@@ -10,6 +10,7 @@
 // checked entry-for-entry against a fault-free oracle.
 #include <gtest/gtest.h>
 
+#include <cstring>
 #include <optional>
 #include <unordered_map>
 #include <vector>
@@ -17,6 +18,9 @@
 #include "core/fault_injector.h"
 #include "core/memory_wrapper.h"
 #include "ebpf/maps.h"
+#include "ebpf/prog_array.h"
+#include "ebpf/program.h"
+#include "ebpf/ringbuf.h"
 #include "ebpf/verifier.h"
 #include "nf/cuckoo_filter.h"
 #include "nf/cuckoo_switch.h"
@@ -308,6 +312,82 @@ TEST_F(FaultPoints, SoakCuckooFilterNoFalseNegativesUnderAddFaults) {
   for (u32 i = 0; i < n; ++i) {
     ASSERT_TRUE(filter.Contains(flows[i])) << i;
   }
+}
+
+// ---- Helper-layer fault points: prog-array update, ringbuf reserve --------
+
+TEST_F(FaultPoints, ProgArrayUpdateFaultLeavesSlotUntouched) {
+  ebpf::ProgramSpec spec_a;
+  spec_a.name = "fp/a";
+  spec_a.type = ebpf::ProgramType::kXdp;
+  ebpf::XdpProgram a(spec_a, [](ebpf::XdpContext&) {
+    return ebpf::XdpAction::kPass;
+  });
+  ASSERT_TRUE(a.Load().ok);
+  ebpf::ProgramSpec spec_b;
+  spec_b.name = "fp/b";
+  spec_b.type = ebpf::ProgramType::kXdp;
+  ebpf::XdpProgram b(spec_b, [](ebpf::XdpContext&) {
+    return ebpf::XdpAction::kDrop;
+  });
+  ASSERT_TRUE(b.Load().ok);
+
+  ebpf::ProgArrayMap map(2);
+  ASSERT_EQ(map.UpdateElem(0, &a), ebpf::kOk);
+
+  // Injected -ENOMEM on the slot update: typed error, slot keeps the old
+  // program — exactly what live-swap rollback relies on.
+  FaultInjector::Global().ArmOneShot("helper.prog_array_update", 0);
+  EXPECT_EQ(map.UpdateElem(0, &b), ebpf::kErrNoSpc);
+  EXPECT_EQ(map.LookupElem(0), &a);
+  EXPECT_EQ(FaultInjector::Global().fires("helper.prog_array_update"), 1u);
+
+  // Disarmed: the same update commits.
+  EXPECT_EQ(map.UpdateElem(0, &b), ebpf::kOk);
+  EXPECT_EQ(map.LookupElem(0), &b);
+}
+
+TEST_F(FaultPoints, ProgArrayUpdateFaultFiresAfterArgumentValidation) {
+  // The fault models an allocation inside a valid update; invalid arguments
+  // are still rejected with kErrInval first and never consume the shot.
+  ebpf::ProgArrayMap map(1);
+  FaultInjector::Global().ArmOneShot("helper.prog_array_update", 0);
+  EXPECT_EQ(map.UpdateElem(0, nullptr), ebpf::kErrInval);
+  EXPECT_EQ(FaultInjector::Global().fires("helper.prog_array_update"), 0u);
+}
+
+TEST_F(FaultPoints, RingbufReserveFaultDropsEventAndRecovers) {
+  ebpf::RingbufMap ring(4096);
+  const u64 dropped_before = ring.dropped_events();
+
+  FaultInjector::Global().ArmOneShot("helper.ringbuf_reserve", 0);
+  EXPECT_EQ(ring.Reserve(16), nullptr);
+  EXPECT_EQ(ring.dropped_events(), dropped_before + 1);
+
+  // Degrades gracefully: the producer moves on, and the next reservation
+  // (disarmed) succeeds and round-trips through the consumer.
+  void* rec = ring.Reserve(16);
+  ASSERT_NE(rec, nullptr);
+  std::memset(rec, 0xab, 16);
+  ring.Submit(rec);
+  u32 delivered = 0;
+  ring.Consume([&](const void* data, u32 len) {
+    EXPECT_EQ(len, 16u);
+    EXPECT_EQ(static_cast<const ebpf::u8*>(data)[0], 0xab);
+    ++delivered;
+  });
+  EXPECT_EQ(delivered, 1u);
+}
+
+TEST_F(FaultPoints, RingbufOutputSharesTheReserveFaultPoint) {
+  ebpf::RingbufMap ring(4096);
+  const u64 payload = 0x1122334455667788ull;
+  FaultInjector::Global().ArmOneShot("helper.ringbuf_reserve", 0);
+  EXPECT_EQ(ring.Output(&payload, sizeof(payload)), ebpf::kErrNoSpc);
+  EXPECT_EQ(ring.Output(&payload, sizeof(payload)), ebpf::kOk);
+  u32 delivered = 0;
+  ring.Consume([&](const void*, u32) { ++delivered; });
+  EXPECT_EQ(delivered, 1u);
 }
 
 TEST_F(FaultPoints, SoakSkipListBalancedUnderGlobalAllocFaults) {

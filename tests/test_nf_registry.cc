@@ -85,6 +85,62 @@ TEST(NfRegistry, UnknownAndUnsupportedCreateReturnsNull) {
   EXPECT_NE(registry.Create("skiplist-kv", Variant::kKernel), nullptr);
 }
 
+// Typed error paths: a failed construction is an expected control-plane
+// outcome (reconfiguration requests NFs by name at run time) with a
+// taxonomy and message, never a bare nullptr surprise or an abort. The
+// unknown-name message mirrors the bench --nf= contract — name the
+// offender, then enumerate the registered set (the bench prints the same
+// wording to stderr and exits 1).
+TEST(NfRegistry, CreateCheckedUnknownNameListsRegisteredSet) {
+  const NfRegistry& registry = NfRegistry::Global();
+  const NfCreateResult result =
+      registry.CreateChecked("no-such-nf", Variant::kKernel);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.error, NfCreateError::kUnknownName);
+  EXPECT_EQ(result.nf, nullptr);
+  EXPECT_NE(result.message.find("unknown NF 'no-such-nf'"), std::string::npos)
+      << result.message;
+  EXPECT_NE(result.message.find("registered NFs:"), std::string::npos)
+      << result.message;
+  // The enumeration is the real registry, not boilerplate.
+  for (const NfEntry* entry : registry.Entries()) {
+    EXPECT_NE(result.message.find(entry->name), std::string::npos)
+        << entry->name;
+  }
+}
+
+TEST(NfRegistry, CreateCheckedUnsupportedVariantNamesNfAndVariant) {
+  const NfRegistry& registry = NfRegistry::Global();
+  // skiplist-kv declares no pure-eBPF variant (problem P1).
+  const NfCreateResult result =
+      registry.CreateChecked("skiplist-kv", Variant::kEbpf);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.error, NfCreateError::kUnsupportedVariant);
+  EXPECT_EQ(result.nf, nullptr);
+  EXPECT_NE(result.message.find("skiplist-kv"), std::string::npos)
+      << result.message;
+  EXPECT_NE(result.message.find("eBPF"), std::string::npos) << result.message;
+  // App entries reject the kernel variant through the same taxonomy.
+  apps::RegisterAppNfs();
+  const NfCreateResult app =
+      registry.CreateChecked("katran-lb", Variant::kKernel);
+  EXPECT_EQ(app.error, NfCreateError::kUnsupportedVariant);
+  EXPECT_NE(app.message.find("katran-lb"), std::string::npos) << app.message;
+}
+
+TEST(NfRegistry, CreateCheckedSucceedsAndCreateStaysConsistent) {
+  const NfRegistry& registry = NfRegistry::Global();
+  NfCreateResult result =
+      registry.CreateChecked("cuckoo-filter", Variant::kEnetstl);
+  ASSERT_TRUE(result.ok());
+  ASSERT_NE(result.nf, nullptr);
+  EXPECT_TRUE(result.message.empty());
+  EXPECT_EQ(result.nf->name(), "cuckoo-filter");
+  // Create is the unchecked view of the same path.
+  EXPECT_NE(registry.Create("cuckoo-filter", Variant::kEnetstl), nullptr);
+  EXPECT_EQ(registry.Create("no-such-nf", Variant::kKernel), nullptr);
+}
+
 TEST(NfRegistry, BenchRosterDerivesFromRegistry) {
   const std::vector<NfBenchSetup> roster = MakeBenchRoster();
   const char* kExpected[] = {

@@ -9,11 +9,19 @@ trend detector for shared CI runners, so warnings are non-fatal by default
 file, no matching rows — always exit nonzero.
 
 Usage:
-  bench_diff.py BASELINE.json FRESH.json [--band 15] [--strict]
+  bench_diff.py BASELINE.json FRESH.json [--band 15] [--strict] [--require NAME]
   bench_diff.py --baseline-dir DIR --fresh-dir DIR [--band 15] [--strict]
+                [--require NAME ...]
 
 Directory mode compares every BENCH_*.json present in BOTH directories
 (baselines without a fresh counterpart are listed as skipped).
+
+--require NAME (repeatable, comma-separated values allowed) marks a
+checked-in baseline as mandatory: the baseline must exist, a fresh
+counterpart must have been produced, and every (series, param) row of the
+baseline must be present in the fresh report. Any violation exits nonzero
+even without --strict — a required report silently skipped (bench crashed,
+wasn't run, or dropped a row) must fail the perf job, not WARN past it.
 """
 
 import argparse
@@ -30,8 +38,13 @@ def load_report(path):
     return report
 
 
-def diff_reports(baseline_path, fresh_path, band_pct):
-    """Returns (lines, num_warn). Raises on structural problems."""
+def diff_reports(baseline_path, fresh_path, band_pct, required=False):
+    """Returns (lines, num_warn, num_missing_required).
+
+    Raises on structural problems. Baseline rows absent from the fresh
+    report are informational notes, unless `required` — then they count as
+    missing-key failures (the third return value).
+    """
     baseline = load_report(baseline_path)
     fresh = load_report(fresh_path)
 
@@ -68,11 +81,16 @@ def diff_reports(baseline_path, fresh_path, band_pct):
             f"  {flag:4} {series:>16s}/{param:<8s} "
             f"{base:10.3f} -> {new:10.3f} Mpps  ({delta:+6.1f}%)"
         )
+    missing = 0
     for key in sorted(set(base_rows) - set(fresh_rows)):
-        lines.append(f"  note: row {key} only in baseline")
+        if required:
+            lines.append(f"  MISSING required baseline row {key} absent from fresh report")
+            missing += 1
+        else:
+            lines.append(f"  note: row {key} only in baseline")
     for key in sorted(set(fresh_rows) - set(base_rows)):
         lines.append(f"  note: row {key} only in fresh report")
-    return lines, warns
+    return lines, warns, missing
 
 
 def main():
@@ -91,9 +109,20 @@ def main():
         action="store_true",
         help="exit nonzero when any row warns (default: warnings are informational)",
     )
+    parser.add_argument(
+        "--require",
+        action="append",
+        default=[],
+        metavar="NAME",
+        help="baseline report name (e.g. BENCH_reconfig.json) that must exist, "
+        "have a fresh counterpart, and keep every baseline row; repeatable, "
+        "comma-separated values allowed",
+    )
     args = parser.parse_args()
+    required = {n for arg in args.require for n in arg.split(",") if n}
 
     pairs = []
+    required_failures = 0
     if args.baseline_dir or args.fresh_dir:
         if args.files or not (args.baseline_dir and args.fresh_dir):
             parser.error("directory mode takes --baseline-dir AND --fresh-dir, no files")
@@ -102,10 +131,18 @@ def main():
             for n in os.listdir(args.baseline_dir)
             if n.startswith("BENCH_") and n.endswith(".json")
         )
+        for name in required - set(names):
+            print(f"bench_diff: required baseline {name} missing from "
+                  f"{args.baseline_dir}", file=sys.stderr)
+            required_failures += 1
         for name in names:
             fresh = os.path.join(args.fresh_dir, name)
             if os.path.exists(fresh):
                 pairs.append((os.path.join(args.baseline_dir, name), fresh))
+            elif name in required:
+                print(f"bench_diff: required report {name} has no fresh "
+                      f"counterpart in {args.fresh_dir}", file=sys.stderr)
+                required_failures += 1
             else:
                 print(f"skip {name}: no fresh report")
     else:
@@ -113,7 +150,7 @@ def main():
             parser.error("file mode takes exactly BASELINE.json FRESH.json")
         pairs.append((args.files[0], args.files[1]))
 
-    if not pairs:
+    if not pairs and not required_failures:
         print("bench_diff: nothing to compare", file=sys.stderr)
         return 1
 
@@ -121,13 +158,21 @@ def main():
     for baseline_path, fresh_path in pairs:
         print(f"== {os.path.basename(baseline_path)} "
               f"(band +-{args.band:g}%) ==")
+        is_required = os.path.basename(baseline_path) in required
         try:
-            lines, warns = diff_reports(baseline_path, fresh_path, args.band)
+            lines, warns, missing = diff_reports(
+                baseline_path, fresh_path, args.band, required=is_required)
         except (OSError, ValueError, KeyError, json.JSONDecodeError) as err:
             print(f"bench_diff: {err}", file=sys.stderr)
             return 1
         total_warns += warns
+        required_failures += missing
         print("\n".join(lines))
+
+    if required_failures:
+        print(f"bench_diff: {required_failures} required report/row(s) missing",
+              file=sys.stderr)
+        return 1
 
     if total_warns:
         print(f"bench_diff: {total_warns} row(s) outside the +-{args.band:g}% band"
