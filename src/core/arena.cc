@@ -74,6 +74,7 @@ bool SlabArena::Grow(u32 pool_idx) {
 }
 
 SlabArena::Allocation SlabArena::Allocate(u64 shape_key, std::size_t bytes) {
+  NoteShardOp();
   if (!Slabbable(bytes)) {
     return Allocation{};
   }
@@ -94,6 +95,7 @@ SlabArena::Allocation SlabArena::Allocate(u64 shape_key, std::size_t bytes) {
 }
 
 void SlabArena::Free(Handle handle) {
+  NoteShardOp();
   if (handle == kNullHandle) {
     return;
   }

@@ -25,9 +25,11 @@
 #ifndef ENETSTL_CORE_ARENA_H_
 #define ENETSTL_CORE_ARENA_H_
 
+#include <atomic>
 #include <cstddef>
 #include <vector>
 
+#include "ebpf/helper.h"
 #include "ebpf/types.h"
 
 namespace enetstl {
@@ -112,6 +114,25 @@ class SlabArena {
   u64 bytes_reserved() const { return bytes_reserved_; }
   const Options& options() const { return options_; }
 
+  // --- Shard ownership (scale-out pipeline) ---
+  //
+  // The scale-out datapath gives every worker its own arena with the rule
+  // that no datapath allocation ever crosses a shard boundary (the slab
+  // freelist is unsynchronized by design — sharing it across cores would be
+  // both a race and a false-sharing magnet). Binding the arena to its
+  // owning simulated CPU makes the rule checkable: every Allocate/Free
+  // arriving from a different ebpf::CurrentCpu() bumps cross_shard_ops(),
+  // which correctness tests pin at zero.
+  void BindOwner(u32 cpu) {
+    owner_cpu_ = cpu;
+    owner_bound_ = true;
+  }
+  bool owner_bound() const { return owner_bound_; }
+  u32 owner_cpu() const { return owner_cpu_; }
+  u64 cross_shard_ops() const {
+    return cross_shard_ops_.load(std::memory_order_relaxed);
+  }
+
  private:
   static constexpr u32 kLiveWords = kSlotsPerSlab / 64;
 
@@ -139,7 +160,19 @@ class SlabArena {
   u32 FindOrCreatePool(u64 shape_key, u32 slot_size);
   bool Grow(u32 pool_idx);
 
+  // Ownership-rule probe on the alloc/free path: one branch when unbound.
+  // The counter is atomic because a violation is by definition a foreign
+  // thread touching this arena concurrently with its owner.
+  void NoteShardOp() {
+    if (owner_bound_ && ebpf::CurrentCpu() != owner_cpu_) {
+      cross_shard_ops_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
   Options options_;
+  bool owner_bound_ = false;
+  u32 owner_cpu_ = 0;
+  std::atomic<u64> cross_shard_ops_{0};
   u32 live_slots_ = 0;
   u64 bytes_reserved_ = 0;
   std::vector<Slab> slabs_;

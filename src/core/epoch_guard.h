@@ -1,0 +1,93 @@
+// Quiescence primitives shared by the control planes.
+//
+// Two planes in the codebase need "commit only at a burst boundary":
+//
+//  * nf/reconfig serializes chain mutations against the datapath with a
+//    mutex held across every burst AND every control operation, so a control
+//    op can only ever run between bursts (the chain's quiescent points).
+//    That mutex-plus-committed-epoch pair is EpochGuard.
+//  * the scale-out pipeline re-steers RSS indirection slots while workers
+//    keep running. Workers must not take a lock per burst there — the whole
+//    point is independent shards — so steering commits are published through
+//    a lock-free monotonically increasing generation counter (SteeringEpoch)
+//    that workers poll once per burst boundary and act on cooperatively.
+//
+// Both encode the same contract: a mutation becomes visible only at a
+// boundary the datapath chose to observe it, never mid-burst.
+#ifndef ENETSTL_CORE_EPOCH_GUARD_H_
+#define ENETSTL_CORE_EPOCH_GUARD_H_
+
+#include <atomic>
+#include <mutex>
+
+#include "ebpf/types.h"
+
+namespace enetstl {
+
+using ebpf::u64;
+
+// Mutex-based quiescence guard: the datapath holds the guard for the length
+// of each burst, control operations hold it for the length of the mutation,
+// so mutations interleave only at burst boundaries. `epoch()` counts
+// committed control operations (advanced by the control side while holding
+// the guard).
+class EpochGuard {
+ public:
+  EpochGuard() = default;
+  EpochGuard(const EpochGuard&) = delete;
+  EpochGuard& operator=(const EpochGuard&) = delete;
+
+  // Datapath side: held across one burst.
+  std::unique_lock<std::mutex> LockBurst() {
+    return std::unique_lock<std::mutex>(mu_);
+  }
+  // Control side: held across one control operation. Same mutex — the two
+  // names document which role the caller plays.
+  std::unique_lock<std::mutex> LockControl() {
+    return std::unique_lock<std::mutex>(mu_);
+  }
+
+  // Marks one committed control operation. Caller holds the guard.
+  void AdvanceEpoch() { epoch_.fetch_add(1, std::memory_order_relaxed); }
+
+  u64 epoch() const { return epoch_.load(std::memory_order_relaxed); }
+
+ private:
+  std::mutex mu_;
+  std::atomic<u64> epoch_{0};
+};
+
+// Lock-free generation counter for published-state commits (e.g. a live RSS
+// indirection table). The publisher bumps the generation with release order
+// after its stores; a subscriber that observes the new generation (acquire)
+// at its next burst boundary is guaranteed to see the published stores.
+class SteeringEpoch {
+ public:
+  SteeringEpoch() = default;
+  SteeringEpoch(const SteeringEpoch&) = delete;
+  SteeringEpoch& operator=(const SteeringEpoch&) = delete;
+
+  // Publisher: call after the stores the new generation covers.
+  void Publish() { gen_.fetch_add(1, std::memory_order_release); }
+
+  // Subscriber: current generation; pairs with Publish via acquire.
+  u64 Read() const { return gen_.load(std::memory_order_acquire); }
+
+  // Subscriber convenience: true (and updates `last_seen`) when the
+  // generation moved since `last_seen`.
+  bool Changed(u64& last_seen) const {
+    const u64 now = Read();
+    if (now == last_seen) {
+      return false;
+    }
+    last_seen = now;
+    return true;
+  }
+
+ private:
+  std::atomic<u64> gen_{0};
+};
+
+}  // namespace enetstl
+
+#endif  // ENETSTL_CORE_EPOCH_GUARD_H_

@@ -26,8 +26,9 @@ using s64 = std::int64_t;
 // Number of simulated CPUs for percpu maps / percpu data structures. The
 // measurement pipeline is single-core (matching the paper's RSS-to-one-queue
 // setup), but percpu structures are modeled faithfully so that the CPU-local
-// fast path is exercised.
-inline constexpr u32 kNumPossibleCpus = 4;
+// fast path is exercised. 16 covers the scale-out pipeline's widest sharding
+// configuration (the scaling-matrix bench runs 1..16 RSS queues).
+inline constexpr u32 kNumPossibleCpus = 16;
 
 // Return codes mirroring the XDP program verdicts.
 enum class XdpAction : u32 {

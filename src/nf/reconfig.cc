@@ -63,7 +63,7 @@ void ChainReconfig::RecordControlLocked(u32 code, u64 value) {
 
 void ChainReconfig::ProcessBurst(ebpf::XdpContext* ctxs, u32 count,
                                  ebpf::XdpAction* verdicts) {
-  std::lock_guard<std::mutex> guard(mu_);
+  auto guard = guard_.LockBurst();
   chain_.ProcessBurst(ctxs, count, verdicts);
   if (pending_ == nullptr) {
     return;
@@ -127,7 +127,7 @@ ReconfigResult ChainReconfig::SwapNfWith(
     return result;
   }
 
-  std::lock_guard<std::mutex> guard(mu_);
+  auto guard = guard_.LockControl();
   const u64 begin_ns = ChainNowNs();
   if (pending_ != nullptr) {
     result.error = ReconfigError::kEditPending;
@@ -214,7 +214,7 @@ ReconfigResult ChainReconfig::CommitSwapLocked(
     return result;
   }
   ++stats_.swaps_committed;
-  ++stats_.epoch;
+  guard_.AdvanceEpoch();
   stats_.last_swap_ns = ChainNowNs() - begin_ns;
   RecordControlLocked(kReconfigSwapCommitCode, index);
   return result;
@@ -223,7 +223,7 @@ ReconfigResult ChainReconfig::CommitSwapLocked(
 ReconfigResult ChainReconfig::InsertStage(
     u32 pos, std::unique_ptr<NetworkFunction> stage) {
   ReconfigResult result;
-  std::lock_guard<std::mutex> guard(mu_);
+  auto guard = guard_.LockControl();
   if (pending_ != nullptr) {
     result.error = ReconfigError::kEditPending;
     result.message = "a staged swap is still warming up";
@@ -247,14 +247,14 @@ ReconfigResult ChainReconfig::InsertStage(
     return result;
   }
   ++stats_.inserts;
-  ++stats_.epoch;
+  guard_.AdvanceEpoch();
   RecordControlLocked(kReconfigInsertCode, pos);
   return result;
 }
 
 ReconfigResult ChainReconfig::RemoveStage(u32 pos) {
   ReconfigResult result;
-  std::lock_guard<std::mutex> guard(mu_);
+  auto guard = guard_.LockControl();
   if (pending_ != nullptr) {
     result.error = ReconfigError::kEditPending;
     result.message = "a staged swap is still warming up";
@@ -273,19 +273,21 @@ ReconfigResult ChainReconfig::RemoveStage(u32 pos) {
     return result;
   }
   ++stats_.removes;
-  ++stats_.epoch;
+  guard_.AdvanceEpoch();
   RecordControlLocked(kReconfigRemoveCode, pos);
   return result;
 }
 
 bool ChainReconfig::swap_pending() const {
-  std::lock_guard<std::mutex> guard(mu_);
+  auto guard = guard_.LockControl();
   return pending_ != nullptr;
 }
 
 ReconfigStats ChainReconfig::stats() const {
-  std::lock_guard<std::mutex> guard(mu_);
-  return stats_;
+  auto guard = guard_.LockControl();
+  ReconfigStats out = stats_;
+  out.epoch = guard_.epoch();
+  return out;
 }
 
 }  // namespace nf

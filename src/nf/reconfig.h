@@ -36,10 +36,10 @@
 #define ENETSTL_NF_RECONFIG_H_
 
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 
+#include "core/epoch_guard.h"
 #include "nf/chain.h"
 #include "nf/nf_registry.h"
 
@@ -164,21 +164,22 @@ class ChainReconfig {
 
   // Finds the stage index by NF name; depth() if absent.
   u32 FindStage(std::string_view name) const;
-  // Stages or commits `replacement` into stage `index`; mu_ held.
+  // Stages or commits `replacement` into stage `index`; guard held.
   ReconfigResult StageOrCommitLocked(u32 index,
                                      std::unique_ptr<NetworkFunction> repl,
                                      const SwapOptions& options, u64 begin_ns);
-  // Commits a built-and-warmed replacement; mu_ held.
+  // Commits a built-and-warmed replacement; guard held.
   ReconfigResult CommitSwapLocked(u32 index,
                                   std::unique_ptr<NetworkFunction> repl,
                                   u64 begin_ns);
   void RecordControlLocked(u32 code, u64 value);
 
   ChainExecutor& chain_;
-  // Epoch guard: held across every datapath burst and every control
-  // operation, so control mutations only ever interleave at burst
-  // boundaries (the quiescent points).
-  mutable std::mutex mu_;
+  // Quiescence guard (core/epoch_guard.h): held across every datapath burst
+  // and every control operation, so control mutations only ever interleave
+  // at burst boundaries (the quiescent points). Its epoch counts committed
+  // control operations and surfaces as ReconfigStats::epoch.
+  mutable enetstl::EpochGuard guard_;
   ReconfigStats stats_;
   std::unique_ptr<PendingSwap> pending_;
   // Control scope "<chain>/reconfig" for kControl events.

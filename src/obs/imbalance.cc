@@ -1,0 +1,88 @@
+#include "obs/imbalance.h"
+
+namespace obs {
+
+ImbalanceSignal ComputeShardImbalance(const std::vector<double>& costs) {
+  ImbalanceSignal signal;
+  double max_cost = 0.0, min_cost = 0.0, sum = 0.0;
+  u32 nonzero = 0;
+  bool have_idle = false;
+  u32 first_idle = 0;
+  for (u32 i = 0; i < costs.size(); ++i) {
+    const double c = costs[i];
+    if (c <= 0.0) {
+      if (!have_idle) {
+        have_idle = true;
+        first_idle = i;
+      }
+      continue;
+    }
+    sum += c;
+    if (nonzero == 0 || c > max_cost) {
+      max_cost = c;
+      signal.hottest = i;
+    }
+    if (nonzero == 0 || c < min_cost) {
+      min_cost = c;
+      signal.coldest = i;
+    }
+    ++nonzero;
+  }
+  if (nonzero < 2 && !(nonzero == 1 && have_idle)) {
+    return signal;  // nothing to balance against
+  }
+  if (have_idle) {
+    signal.coldest = first_idle;
+  }
+  // Mean over ALL shards, idle ones included: one busy shard next to N-1
+  // drained ones is the strongest imbalance there is (skew -> N), not a
+  // balanced system — averaging over the nonzero shards only would read it
+  // as skew 1.0 and never act.
+  signal.skew = max_cost / (sum / static_cast<double>(costs.size()));
+  signal.valid = true;
+  return signal;
+}
+
+ShardSignalReader::ShardSignalReader(std::vector<u16> scopes)
+    : scopes_(std::move(scopes)),
+      last_window_(scopes_.size()),
+      seen_samples_(scopes_.size(), 0),
+      seen_total_ns_(scopes_.size(), 0) {
+  for (std::size_t i = 0; i < scopes_.size(); ++i) {
+    last_window_[i].scope = scopes_[i];
+  }
+}
+
+std::vector<ShardSignal> ShardSignalReader::Poll() {
+  for (std::size_t i = 0; i < scopes_.size(); ++i) {
+    ShardSignal& sig = last_window_[i];
+    sig.samples = 0;
+    sig.total_ns = 0;
+    sig.mean_ns = 0.0;
+    if (scopes_[i] == kInvalidScope) {
+      continue;
+    }
+    const LatencyHist hist = Telemetry::Global().Snapshot(scopes_[i]);
+    // Cumulative counters only grow; a delta of zero means an idle window.
+    sig.samples = hist.samples - seen_samples_[i];
+    sig.total_ns = hist.total_ns - seen_total_ns_[i];
+    seen_samples_[i] = hist.samples;
+    seen_total_ns_[i] = hist.total_ns;
+    if (sig.samples > 0) {
+      sig.mean_ns =
+          static_cast<double>(sig.total_ns) / static_cast<double>(sig.samples);
+    }
+  }
+  return last_window_;
+}
+
+double ShardSignalReader::MeanNsOr(std::size_t i, u64 min_samples,
+                                   double fallback) const {
+  if (i >= last_window_.size() || last_window_[i].samples < min_samples ||
+      last_window_[i].mean_ns <= 0.0) {
+    return fallback;
+  }
+  return last_window_[i].mean_ns;
+}
+
+}  // namespace obs

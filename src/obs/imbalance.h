@@ -1,0 +1,71 @@
+// Shard-imbalance signal derived from the telemetry plane.
+//
+// The scale-out pipeline's migration controller needs two things from PR 5's
+// per-shard observability: the per-shard mean service time (from the
+// "shard/<cpu>" log2 latency histograms) and a skew verdict over the shards'
+// estimated completion costs. Both live here, on the obs side, so the
+// controller consumes a signal rather than raw histograms — and so the same
+// signal is exportable to any other consumer (bench tables, exporter).
+//
+// Windowing: Telemetry histograms are cumulative; ShardSignalReader keeps
+// the last observed (samples, total_ns) per scope and reports per-window
+// deltas, which is what a K-consecutive-windows trigger needs. With
+// ENETSTL_OBS=OFF the snapshots are empty, every window reports zero
+// samples, and consumers fall back to their obs-free estimate (the
+// controller uses backlog alone) — the plane degrades, never breaks.
+#ifndef ENETSTL_OBS_IMBALANCE_H_
+#define ENETSTL_OBS_IMBALANCE_H_
+
+#include <vector>
+
+#include "obs/telemetry.h"
+
+namespace obs {
+
+// One shard's telemetry window: histogram delta since the previous Poll.
+struct ShardSignal {
+  u16 scope = kInvalidScope;
+  u64 samples = 0;     // sampled packets this window
+  u64 total_ns = 0;    // their accumulated latency
+  double mean_ns = 0;  // total_ns / samples; 0 when the window is empty
+};
+
+// Skew verdict over per-shard estimated completion costs.
+struct ImbalanceSignal {
+  bool valid = false;  // >= 2 busy shards, or 1 busy shard next to idle ones
+  double skew = 0.0;   // max cost / mean cost over ALL shards
+  u32 hottest = 0;     // index of the max-cost shard
+  u32 coldest = 0;     // index of the min-cost shard; idle shards win
+};
+
+// max/mean skew over `costs` (one estimated completion cost per shard). The
+// mean includes idle (zero-cost) shards — one busy shard next to N-1 drained
+// ones is the strongest imbalance, skew -> N, not a balanced system. An idle
+// shard is preferred as `coldest` over any merely-cold busy shard.
+ImbalanceSignal ComputeShardImbalance(const std::vector<double>& costs);
+
+// Per-window histogram reader over a fixed set of telemetry scopes.
+class ShardSignalReader {
+ public:
+  explicit ShardSignalReader(std::vector<u16> scopes);
+
+  // Snapshot every scope and report the delta since the previous Poll.
+  // First call reports everything accumulated so far.
+  std::vector<ShardSignal> Poll();
+
+  // Mean service time for shard `i` from its last Poll window, falling back
+  // to the given default when the window held fewer than `min_samples`.
+  // (A thin window's mean is noise; the controller would rather weigh
+  // backlog alone than steer on three samples.)
+  double MeanNsOr(std::size_t i, u64 min_samples, double fallback) const;
+
+ private:
+  std::vector<u16> scopes_;
+  std::vector<ShardSignal> last_window_;
+  std::vector<u64> seen_samples_;
+  std::vector<u64> seen_total_ns_;
+};
+
+}  // namespace obs
+
+#endif  // ENETSTL_OBS_IMBALANCE_H_

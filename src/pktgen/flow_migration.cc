@@ -1,0 +1,120 @@
+#include "pktgen/flow_migration.h"
+
+#include <algorithm>
+
+namespace pktgen {
+
+LiveRssIndirection::LiveRssIndirection(const std::vector<u32>& initial) {
+  for (u32 s = 0; s < kRssIndirectionSize; ++s) {
+    owner_[s].store(s < initial.size() ? initial[s] : 0,
+                    std::memory_order_relaxed);
+  }
+  // The constructor runs before any worker thread starts; the thread spawn
+  // publishes the initial table.
+}
+
+bool LiveRssIndirection::Resteer(u32 slot, u32 from, u32 to) {
+  if (slot >= kRssIndirectionSize || from == to) {
+    return false;
+  }
+  u32 expected = from;
+  if (!owner_[slot].compare_exchange_strong(expected, to,
+                                            std::memory_order_acq_rel,
+                                            std::memory_order_acquire)) {
+    return false;  // lost a race with another re-steer of this slot
+  }
+  epoch_.Publish();
+  return true;
+}
+
+std::vector<u32> LiveRssIndirection::SnapshotTable() const {
+  std::vector<u32> table(kRssIndirectionSize);
+  for (u32 s = 0; s < kRssIndirectionSize; ++s) {
+    table[s] = owner_[s].load(std::memory_order_acquire);
+  }
+  return table;
+}
+
+std::vector<u32> PlanMigration(std::vector<SlotLoad> hot_slots,
+                               double hot_cost_ns, double cold_cost_ns,
+                               double hot_svc_ns, double cold_svc_ns,
+                               u32 max_slots) {
+  std::vector<u32> moves;
+  if (max_slots == 0) {
+    return moves;
+  }
+  hot_svc_ns = std::max(hot_svc_ns, 1.0);
+  cold_svc_ns = std::max(cold_svc_ns, 1.0);
+  // Largest-backlog first; slot id breaks ties so the plan is deterministic.
+  std::sort(hot_slots.begin(), hot_slots.end(),
+            [](const SlotLoad& a, const SlotLoad& b) {
+              return a.backlog != b.backlog ? a.backlog > b.backlog
+                                            : a.slot < b.slot;
+            });
+  std::vector<bool> taken(hot_slots.size(), false);
+  while (moves.size() < max_slots) {
+    const double gap = hot_cost_ns - cold_cost_ns;
+    if (gap <= 0.0) {
+      break;
+    }
+    // Preferred: the largest group whose removal cost fits in half the gap —
+    // the no-overshoot guarantee (new gap = gap - removal - addition >= 0
+    // when removal <= gap/2 and the cold shard is no slower than the hot).
+    std::size_t pick = hot_slots.size();
+    for (std::size_t i = 0; i < hot_slots.size(); ++i) {
+      if (taken[i] || hot_slots[i].backlog == 0) {
+        continue;
+      }
+      const double removal =
+          static_cast<double>(hot_slots[i].backlog) * hot_svc_ns;
+      if (removal <= gap / 2.0) {
+        pick = i;
+        break;  // sorted desc: first fit is the largest fit
+      }
+    }
+    if (pick == hot_slots.size()) {
+      // Nothing fits half the gap: the hot shard is dominated by elephant
+      // groups. Take the SMALLEST group that still strictly shrinks the
+      // max — splitting two colliding elephants across shards is exactly
+      // this branch.
+      for (std::size_t i = hot_slots.size(); i-- > 0;) {
+        if (taken[i] || hot_slots[i].backlog == 0) {
+          continue;
+        }
+        const double addition =
+            static_cast<double>(hot_slots[i].backlog) * cold_svc_ns;
+        if (cold_cost_ns + addition < hot_cost_ns) {
+          pick = i;
+          break;  // sorted desc: last fit is the smallest fit
+        }
+      }
+    }
+    if (pick == hot_slots.size()) {
+      break;  // no move improves the balance
+    }
+    taken[pick] = true;
+    moves.push_back(hot_slots[pick].slot);
+    hot_cost_ns -= static_cast<double>(hot_slots[pick].backlog) * hot_svc_ns;
+    cold_cost_ns += static_cast<double>(hot_slots[pick].backlog) * cold_svc_ns;
+  }
+  return moves;
+}
+
+u32 ChooseLeastLoadedQueue(const std::vector<bool>& alive,
+                           const std::vector<u64>& load) {
+  u32 best = static_cast<u32>(alive.size());
+  u64 best_load = 0;
+  for (u32 q = 0; q < alive.size(); ++q) {
+    if (!alive[q]) {
+      continue;
+    }
+    const u64 l = q < load.size() ? load[q] : 0;
+    if (best == static_cast<u32>(alive.size()) || l < best_load) {
+      best = q;
+      best_load = l;
+    }
+  }
+  return best;
+}
+
+}  // namespace pktgen

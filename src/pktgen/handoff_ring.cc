@@ -1,0 +1,31 @@
+#include "pktgen/handoff_ring.h"
+
+#include <cstring>
+
+namespace pktgen {
+
+bool HandoffRing::Donate(const SlotHandoff& handoff) {
+  void* rec = ring_.Reserve(sizeof(SlotHandoff));
+  if (rec == nullptr) {
+    return false;  // ring full; ringbuf counted the dropped event
+  }
+  std::memcpy(rec, &handoff, sizeof(SlotHandoff));
+  ring_.Submit(rec);
+  return true;
+}
+
+std::size_t HandoffRing::Drain(
+    const std::function<void(const SlotHandoff&)>& fn) {
+  const std::size_t n = ring_.Consume([&fn](const void* payload, u32 len) {
+    if (len != sizeof(SlotHandoff)) {
+      return;  // foreign record; the scale-out plane only writes SlotHandoff
+    }
+    SlotHandoff handoff;
+    std::memcpy(&handoff, payload, sizeof(SlotHandoff));
+    fn(handoff);
+  });
+  delivered_ += n;
+  return n;
+}
+
+}  // namespace pktgen

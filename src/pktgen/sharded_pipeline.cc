@@ -10,6 +10,7 @@
 #include "core/hash_inl.h"
 #include "ebpf/helper.h"
 #include "obs/telemetry.h"
+#include "pktgen/flow_migration.h"
 
 #if defined(__linux__)
 #include <time.h>
@@ -172,33 +173,70 @@ std::vector<u32> BuildRssIndirection(u32 num_queues) {
 }
 
 void RebuildRssIndirection(std::vector<u32>& table,
-                           const std::vector<bool>& alive) {
-  std::vector<u32> survivors;
+                           const std::vector<bool>& alive,
+                           const std::vector<u64>& queue_depths) {
+  bool any_alive = false;
+  u64 total_depth = 0;
+  std::vector<u64> load(alive.size(), 0);
   for (u32 q = 0; q < alive.size(); ++q) {
     if (alive[q]) {
-      survivors.push_back(q);
+      any_alive = true;
+      if (q < queue_depths.size()) {
+        load[q] = queue_depths[q];
+        total_depth += queue_depths[q];
+      }
+    } else if (q < queue_depths.size()) {
+      total_depth += queue_depths[q];
     }
   }
-  if (survivors.empty()) {
+  if (!any_alive || table.empty()) {
     return;
   }
-  u32 rr = 0;
+  // A slot's estimated share of the offered load; >= 1 so the depth-blind
+  // variant still spreads orphans evenly instead of piling them on one
+  // survivor.
+  const u64 slot_share =
+      std::max<u64>(1, total_depth / static_cast<u64>(table.size()));
   for (u32& q : table) {
-    if (q >= alive.size() || !alive[q]) {
-      q = survivors[rr];
-      rr = rr + 1 < survivors.size() ? rr + 1 : 0;
+    if (q < alive.size() && alive[q]) {
+      continue;  // live flows keep their affinity
     }
+    const u32 target = ChooseLeastLoadedQueue(alive, load);
+    q = target;
+    load[target] += slot_share;
   }
 }
+
+void RebuildRssIndirection(std::vector<u32>& table,
+                           const std::vector<bool>& alive) {
+  RebuildRssIndirection(table, alive, {});
+}
+
+namespace {
+
+// CRC32 with the seed as init value is affine in the seed: over fixed-length
+// keys, two seeds differ by one constant XOR on every hash, so `% table_size`
+// only relabels slots — which flows COLLIDE never changes. Real RSS re-keying
+// repartitions flows; a multiplicative finalizer (murmur3 fmix32) breaks the
+// GF(2) linearity and restores that.
+u32 RssFlowHash(const ebpf::FiveTuple& tuple, u32 seed) {
+  u32 h = enetstl::internal::HwHashCrcImpl(&tuple, sizeof(tuple), seed);
+  h ^= h >> 16;
+  h *= 0x85ebca6bu;
+  h ^= h >> 13;
+  h *= 0xc2b2ae35u;
+  h ^= h >> 16;
+  return h;
+}
+
+}  // namespace
 
 u32 RssQueueViaIndirection(const ebpf::FiveTuple& tuple,
                            const std::vector<u32>& table, u32 seed) {
   if (table.empty()) {
     return 0;
   }
-  const u32 slot = enetstl::internal::HwHashCrcImpl(&tuple, sizeof(tuple),
-                                                    seed) %
-                   static_cast<u32>(table.size());
+  const u32 slot = RssFlowHash(tuple, seed) % static_cast<u32>(table.size());
   return table[slot];
 }
 
@@ -212,6 +250,48 @@ u32 RssQueueForPacketViaIndirection(const Packet& packet,
     return table.empty() ? 0 : table[0];
   }
   return RssQueueViaIndirection(tuple, table, seed);
+}
+
+u32 RssSlotForPacket(const Packet& packet, u32 table_size, u32 seed) {
+  if (table_size <= 1) {
+    return 0;
+  }
+  ebpf::XdpContext ctx;
+  ctx.data = const_cast<u8*>(packet.frame);
+  ctx.data_end = const_cast<u8*>(packet.frame) + ebpf::kFrameSize;
+  ebpf::FiveTuple tuple;
+  if (!ebpf::ParseFiveTuple(ctx, &tuple)) {
+    return 0;
+  }
+  return RssFlowHash(tuple, seed) % table_size;
+}
+
+std::vector<ShardedPipeline::StageBreakdown> MergeStageBreakdowns(
+    const std::vector<ShardedPipeline::ShardStats>& shards) {
+  std::vector<ShardedPipeline::StageBreakdown> merged;
+  for (const ShardedPipeline::ShardStats& shard : shards) {
+    for (const ShardedPipeline::StageBreakdown& stage : shard.stages) {
+      ShardedPipeline::StageBreakdown* into = nullptr;
+      for (ShardedPipeline::StageBreakdown& m : merged) {
+        if (m.name == stage.name) {
+          into = &m;
+          break;
+        }
+      }
+      if (into == nullptr) {
+        merged.push_back(stage);
+        continue;
+      }
+      into->in += stage.in;
+      into->pass += stage.pass;
+      into->drop += stage.drop;
+      into->tx += stage.tx;
+      into->redirect += stage.redirect;
+      into->aborted += stage.aborted;
+      into->ns += stage.ns;
+    }
+  }
+  return merged;
 }
 
 ShardedPipeline::ShardedPipeline(const Options& options) : options_(options) {
@@ -314,7 +394,13 @@ ShardedPipeline::Result ShardedPipeline::MeasureThroughput(
   if (!failed_workers.empty() &&
       failed_workers.size() < static_cast<std::size_t>(workers)) {
     std::vector<u32> indirection = BuildRssIndirection(workers);
-    RebuildRssIndirection(indirection, alive);
+    // Load-aware rebuild: orphaned slots land on the survivors with the
+    // least queue depth, not round-robin by slot order.
+    std::vector<u64> depths(workers, 0);
+    for (u32 w = 0; w < workers; ++w) {
+      depths[w] = tasks[w].queue.size();
+    }
+    RebuildRssIndirection(indirection, alive, depths);
 
     // Re-steer every dead queue's packets onto survivors and collect the
     // unserved budget.
@@ -412,11 +498,17 @@ ShardedPipeline::Result ShardedPipeline::MeasureThroughput(
     result.total.degraded += shard.stats.degraded;
     result.total.pps += shard.stats.pps;  // dedicated-core aggregate
     busy_total += shard.busy_seconds;
+    result.makespan_seconds =
+        std::max(result.makespan_seconds, shard.busy_seconds);
   }
   result.total.seconds = result.wall_seconds;
   if (result.total.packets > 0 && busy_total > 0.0) {
     result.total.ns_per_packet =
         busy_total * 1e9 / static_cast<double>(result.total.packets);
+  }
+  if (result.makespan_seconds > 0.0) {
+    result.offered_pps =
+        static_cast<double>(result.total.packets) / result.makespan_seconds;
   }
 
   for (u32 w = 0; w < workers; ++w) {
@@ -424,6 +516,7 @@ ShardedPipeline::Result ShardedPipeline::MeasureThroughput(
       finishers[w](result.shards[w]);
     }
   }
+  result.total_stages = MergeStageBreakdowns(result.shards);
   return result;
 }
 

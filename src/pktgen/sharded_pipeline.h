@@ -51,10 +51,19 @@ inline constexpr u32 kRssIndirectionSize = 128;
 // Fresh table mapping slot i -> i % num_queues (every queue alive).
 std::vector<u32> BuildRssIndirection(u32 num_queues);
 
-// Rewrites every slot pointing at a dead queue (alive[q] == false) to a
-// surviving queue, round-robin so the orphaned load spreads evenly. Slots on
+// Rewrites every slot pointing at a dead queue (alive[q] == false) to the
+// least-loaded surviving queue. A survivor's load starts at its own queue
+// depth (`queue_depths[q]`, packets already steered to it) and grows by one
+// estimated slot share per absorbed slot, so the orphaned load lands on the
+// queues with headroom instead of spreading blindly by slot order. Slots on
 // live queues are untouched (their flows keep their affinity). No-op when no
-// queue survives.
+// queue survives. Ties go to the lowest queue index (deterministic).
+void RebuildRssIndirection(std::vector<u32>& table,
+                           const std::vector<bool>& alive,
+                           const std::vector<u64>& queue_depths);
+
+// Depth-blind variant: every survivor starts at zero load, so the rebuild
+// degenerates to an even spread (one slot share each, round-robin order).
 void RebuildRssIndirection(std::vector<u32>& table,
                            const std::vector<bool>& alive);
 
@@ -66,6 +75,40 @@ u32 RssQueueViaIndirection(const ebpf::FiveTuple& tuple,
 // Packet-level variant; unparseable packets land on the queue in slot 0.
 u32 RssQueueForPacketViaIndirection(const Packet& packet,
                                     const std::vector<u32>& table, u32 seed);
+
+// Indirection slot (not queue) a packet hashes to: CRC32C(tuple) % size.
+// Unparseable packets land on slot 0. The scale-out pipeline splits its
+// trace by slot — the slot is the migration unit (a flow-group).
+u32 RssSlotForPacket(const Packet& packet, u32 table_size, u32 seed);
+
+// ---- Scale-out migration policy ------------------------------------------
+
+// Obs-driven flow-migration controller configuration (MeasureScaleOut).
+struct MigrationPolicy {
+  // Master switch: false runs the same slot-granular engine with the table
+  // frozen — the static-RSS oracle the differential tests compare against.
+  bool enabled = true;
+  u32 window_us = 200;           // controller poll period
+  u32 k_windows = 3;             // consecutive over-threshold windows to act
+  double skew_threshold = 1.25;  // max/mean estimated completion cost
+  u32 max_slots_per_round = 4;   // re-steers per migration round
+  u64 min_window_samples = 32;   // obs samples needed to trust a shard mean
+  u32 ring_bytes = 1 << 14;      // per-shard handoff ring capacity
+};
+
+struct MigrationStats {
+  u64 windows = 0;            // controller windows evaluated
+  u64 triggers = 0;           // windows whose skew exceeded the threshold
+  u64 rounds = 0;             // migration rounds that re-steered >= 1 slot
+  u64 slots_moved = 0;        // successful Resteer commits (controller)
+  u64 handoffs = 0;           // flow-group descriptors delivered
+  u64 handoff_retries = 0;    // donations deferred by a full ring
+  u64 failover_donations = 0; // slots donated by dying workers
+  u64 swept_handoffs = 0;     // descriptors the controller re-delivered
+                              // from retired shards' rings
+  double last_skew = 0.0;     // skew at the controller's final window
+  u64 final_generation = 0;   // steering generation at the end of the run
+};
 
 class ShardedPipeline {
  public:
@@ -103,6 +146,10 @@ class ShardedPipeline {
     bool failed = false;
     // Filled by the shard program's finish hook, if it installed one.
     std::vector<StageBreakdown> stages;
+    // Scale-out runs only: flow-group (indirection-slot) churn on this shard.
+    u32 slots_initial = 0;  // slots owned at the start barrier
+    u32 slots_adopted = 0;  // slots adopted from handoff descriptors
+    u32 slots_donated = 0;  // slots donated away (migration or death)
   };
 
   struct Result {
@@ -120,6 +167,19 @@ class ShardedPipeline {
     // the unserved budget is dropped and total.packets < measure_packets.
     u32 failed_workers = 0;
     u64 failover_packets = 0;
+    // Makespan view of the dedicated-core model: the run completes when its
+    // slowest shard does, so the skew-honest aggregate rate is
+    // packets / max_w(busy_seconds_w) — the number the scaling matrix and
+    // its parallel-efficiency criterion use. total.pps (sum of per-shard
+    // rates) is blind to imbalance: an idle shard contributes its full rate.
+    double makespan_seconds = 0.0;
+    double offered_pps = 0.0;
+    // Per-stage counters merged across shards BY STAGE NAME (heterogeneous
+    // shard programs keep their counters attributed to the right stage even
+    // when stage positions differ between shards).
+    std::vector<StageBreakdown> total_stages;
+    // Scale-out runs only; zeroed by MeasureThroughput.
+    MigrationStats migration;
   };
 
   // Invoked once per worker on the calling thread before the workers start;
@@ -165,11 +225,41 @@ class ShardedPipeline {
   Result MeasureThroughput(const ProgramFactory& factory,
                            const Trace& trace) const;
 
+  // Skew-resilient scale-out engine (src/pktgen/scale_out.cc). Differences
+  // from MeasureThroughput:
+  //  * the work unit is the RSS indirection slot (flow-group), not the whole
+  //    queue: the trace is pre-split into 128 per-slot sub-traces with the
+  //    packet budget divided proportionally to slot depth;
+  //  * slot ownership is a live indirection table (flow_migration.h); an
+  //    obs-driven controller watches the per-shard "shard/<cpu>" latency
+  //    histograms plus per-slot backlog and re-steers the hottest shard's
+  //    slots to the coldest after `policy.k_windows` consecutive windows
+  //    over `policy.skew_threshold`;
+  //  * re-steered slot state moves through per-shard MPSC handoff rings at
+  //    burst boundaries (handoff_ring.h) — per-flow order is preserved
+  //    across every re-steer, and a dying worker ("shard.kill.<cpu>", same
+  //    fault points as MeasureThroughput) donates its slots the same way,
+  //    so migration and failover compose;
+  //  * each worker binds its own SlabArena for all datapath bookkeeping
+  //    (slot run-lists), so no allocation crosses a shard boundary.
+  //
+  // `policy.enabled = false` freezes the table: the engine then IS the
+  // static-RSS semantics, which the differential tests use as the oracle.
+  Result MeasureScaleOut(const ProgramFactory& factory, const Trace& trace,
+                         const MigrationPolicy& policy) const;
+
   const Options& options() const { return options_; }
 
  private:
   Options options_;
 };
+
+// Aggregates per-shard stage breakdowns by stage NAME, preserving first-seen
+// order. Merging by name (not index) keeps counters correctly attributed
+// when shard programs are heterogeneous — e.g. a survivor replaying a dead
+// shard's budget through a chain with different stage positions.
+std::vector<ShardedPipeline::StageBreakdown> MergeStageBreakdowns(
+    const std::vector<ShardedPipeline::ShardStats>& shards);
 
 }  // namespace pktgen
 

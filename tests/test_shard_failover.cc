@@ -70,6 +70,63 @@ TEST(RssIndirection, RebuildWithNoSurvivorsIsANoOp) {
   EXPECT_EQ(table, before);
 }
 
+TEST(RssIndirection, RebuildSendsOrphansToTheLeastLoadedSurvivor) {
+  auto table = BuildRssIndirection(4);
+  const auto before = table;
+  // Queue 1 dies. Queue 2 is nearly idle; 0 and 3 carry real backlog. The
+  // orphaned load share (1710/128 = 13 per slot, 32 slots = 416 packets)
+  // never catches up with queue 3's 500, so every orphan lands on queue 2.
+  RebuildRssIndirection(table, {true, false, true, true},
+                        {1000, 200, 10, 500});
+  for (u32 i = 0; i < kRssIndirectionSize; ++i) {
+    if (before[i] == 1u) {
+      EXPECT_EQ(table[i], 2u) << "slot " << i;
+    } else {
+      EXPECT_EQ(table[i], before[i]) << "slot " << i;
+    }
+  }
+}
+
+TEST(RssIndirection, RebuildSpillsOverWhenTheLeastLoadedFillsUp) {
+  auto table = BuildRssIndirection(4);
+  const auto before = table;
+  // Queue 2 starts below queue 3 but absorbs slot shares until it crosses
+  // it, after which the remaining orphans alternate between the two. Queue 0
+  // is far too loaded to ever absorb anything.
+  RebuildRssIndirection(table, {true, false, true, true}, {1000, 200, 10, 60});
+  u32 reassigned[4] = {0, 0, 0, 0};
+  for (u32 i = 0; i < kRssIndirectionSize; ++i) {
+    if (before[i] == 1u) {
+      ++reassigned[table[i]];
+    } else {
+      EXPECT_EQ(table[i], before[i]);
+    }
+  }
+  EXPECT_EQ(reassigned[0], 0u);
+  EXPECT_EQ(reassigned[1], 0u);
+  EXPECT_GT(reassigned[2], 0u);
+  EXPECT_GT(reassigned[3], 0u);
+  EXPECT_GT(reassigned[2], reassigned[3]);  // it started lighter
+  EXPECT_EQ(reassigned[2] + reassigned[3], kRssIndirectionSize / 4);
+}
+
+TEST(RssIndirection, RebuildWithDepthsAndNoSurvivorsIsANoOp) {
+  auto table = BuildRssIndirection(4);
+  const auto before = table;
+  RebuildRssIndirection(table, {false, false, false, false},
+                        {100, 200, 300, 400});
+  EXPECT_EQ(table, before);
+}
+
+TEST(RssIndirection, RebuildSingleSurvivorAbsorbsEverything) {
+  auto table = BuildRssIndirection(4);
+  RebuildRssIndirection(table, {false, false, true, false},
+                        {500, 400, 100, 300});
+  for (const u32 q : table) {
+    EXPECT_EQ(q, 2u);
+  }
+}
+
 TEST(RssIndirection, SteeringFollowsTheTable) {
   const auto flows = MakeFlowPopulation(256, 31);
   auto table = BuildRssIndirection(4);
@@ -80,6 +137,77 @@ TEST(RssIndirection, SteeringFollowsTheTable) {
     EXPECT_NE(q, 2u);  // dead queue is unreachable after the rebuild
     EXPECT_EQ(q, RssQueueViaIndirection(flow, table, 7));  // deterministic
   }
+}
+
+TEST(RssIndirection, UnparseablePacketLandsOnTheSlotZeroQueue) {
+  Packet junk{};  // all-zero frame: no EtherType, 5-tuple parse fails
+  std::vector<u32> table(kRssIndirectionSize, 3);
+  table[0] = 7;
+  EXPECT_EQ(RssQueueForPacketViaIndirection(junk, table, 9), 7u);
+  EXPECT_EQ(RssQueueForPacketViaIndirection(junk, {}, 9), 0u);
+  EXPECT_EQ(RssSlotForPacket(junk, kRssIndirectionSize, 9), 0u);
+}
+
+TEST(RssIndirection, NonDividingTableSizesStayInRangeAndDeterministic) {
+  const auto flows = MakeFlowPopulation(256, 61);
+  const auto trace = MakeUniformTrace(flows, 512, 62);
+  // Sizes that do not divide (or are not divided by) the queue count or the
+  // canonical 128: steering must stay in range, be deterministic, and reach
+  // more than one queue once the table is big enough to alias several slots
+  // per queue.
+  for (const u32 size : {1u, 3u, 5u, 96u, 100u, 127u}) {
+    std::vector<u32> table(size);
+    for (u32 i = 0; i < size; ++i) {
+      table[i] = i % 4u;
+    }
+    u32 hits[4] = {0, 0, 0, 0};
+    for (const auto& flow : flows) {
+      const u32 q = RssQueueViaIndirection(flow, table, 7);
+      ASSERT_LT(q, 4u);
+      EXPECT_EQ(q, RssQueueViaIndirection(flow, table, 7));
+      ++hits[q];
+    }
+    if (size >= 96u) {
+      for (const u32 h : hits) {
+        EXPECT_GT(h, 0u) << "table size " << size;
+      }
+    }
+    for (const auto& packet : trace) {
+      ASSERT_LT(RssSlotForPacket(packet, size, 7), size);
+    }
+  }
+  // Degenerate sizes collapse to slot 0.
+  EXPECT_EQ(RssSlotForPacket(trace[0], 0, 7), 0u);
+  EXPECT_EQ(RssSlotForPacket(trace[0], 1, 7), 0u);
+}
+
+TEST(RssIndirection, SlotAndQueueSteeringAgree) {
+  // The scale-out engine splits its trace with RssSlotForPacket and then
+  // steers by table[slot]; both must name the same queue the packet-level
+  // steering helper does.
+  const auto flows = MakeFlowPopulation(256, 63);
+  const auto trace = MakeUniformTrace(flows, 512, 64);
+  const auto table = BuildRssIndirection(5);
+  for (const auto& packet : trace) {
+    const u32 slot = RssSlotForPacket(packet, kRssIndirectionSize, 11);
+    EXPECT_EQ(RssQueueForPacketViaIndirection(packet, table, 11), table[slot]);
+  }
+}
+
+TEST(RssIndirection, SeedChangesTheSteering) {
+  const auto flows = MakeFlowPopulation(256, 65);
+  const auto table = BuildRssIndirection(8);
+  u32 moved = 0;
+  for (const auto& flow : flows) {
+    if (RssQueueViaIndirection(flow, table, 7) !=
+        RssQueueViaIndirection(flow, table, 8)) {
+      ++moved;
+    }
+  }
+  // CRC seed sensitivity: a different seed re-shuffles a healthy fraction of
+  // the flows (exact count is hash-dependent; zero would mean the seed is
+  // dead weight).
+  EXPECT_GT(moved, 64u);
 }
 
 TEST_F(ShardFailover, KilledWorkerIsDrainedWithExactAccounting) {
