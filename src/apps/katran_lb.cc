@@ -60,39 +60,45 @@ KatranLb::KatranLb(CoreKind core, const KatranConfig& config)
   }
   ring_ = BuildMaglevRing(backends, config.ring_size, config.seed);
   obs_scope_ = obs::Telemetry::Global().RegisterScope("app/katran-lb");
+  // Both cores track connections through the shared conntrack engines. The
+  // LB's virtual clock never advances (now = 0), so entries live until LRU
+  // pressure or an explicit teardown — the original conn-table semantics.
+  nf::FlowTableConfig ft;
+  ft.max_flows = config.conn_table_size;
+  ft.seed = config.seed;
   if (core_ == CoreKind::kOrigin) {
-    lru_conn_ = std::make_unique<ebpf::LruHashMap<ebpf::FiveTuple, u32>>(
-        config.conn_table_size);
+    lru_conn_ = std::make_unique<nf::LruFlowTable>(ft);
   } else {
-    nf::CuckooSwitchConfig cc;
-    cc.num_buckets = config.conn_table_size / nf::kCuckooSlotsPerBucket;
-    cc.seed = config.seed;
-    cuckoo_conn_ = std::make_unique<nf::CuckooSwitchEnetstl>(cc);
+    conn_ = std::make_unique<nf::FlowTable>(ft);
   }
 }
 
 u32 KatranLb::PickBackend(const ebpf::FiveTuple& tuple) {
   if (core_ == CoreKind::kOrigin) {
     // BPF LRU hash lookup (helper call).
-    if (u32* backend = lru_conn_->LookupElem(tuple)) {
+    if (nf::CtFlowValue* v = lru_conn_->Find(tuple, 0)) {
       ++hits_;
-      return *backend;
+      return v->value;
     }
     ++misses_;
     const u32 h = enetstl::XxHash32Bpf(&tuple, sizeof(tuple), config_.seed);
     const u32 backend = ring_[h % config_.ring_size];
-    lru_conn_->UpdateElem(tuple, backend);
+    lru_conn_->Insert(tuple, nf::FlowTable::ReverseTuple(tuple), backend,
+                      nf::FlowState::kEstablished, 0, 0, 0);
     return backend;
   }
-  // eNetSTL core: blocked-cuckoo connection table + hardware CRC ring hash.
-  if (auto backend = cuckoo_conn_->Lookup(tuple)) {
+  // eNetSTL core: arena-backed paired flow table + hardware CRC ring hash.
+  u8 dir;
+  u32 handle;
+  if (nf::FlowEntry* e = conn_->Find(tuple, 0, &dir, &handle)) {
     ++hits_;
-    return static_cast<u32>(*backend);
+    return e->value;
   }
   ++misses_;
   const u32 h = enetstl::HwHashCrc(&tuple, sizeof(tuple), config_.seed);
   const u32 backend = ring_[h % config_.ring_size];
-  cuckoo_conn_->Insert(tuple, backend);
+  conn_->Insert(tuple, nf::FlowTable::ReverseTuple(tuple), backend,
+                nf::FlowState::kEstablished, 0, 0, 0, &handle);
   return backend;
 }
 
@@ -111,10 +117,13 @@ bool KatranLb::ExportState(std::vector<ebpf::u8>& out) const {
     ++count;
   };
   if (core_ == CoreKind::kOrigin) {
-    lru_conn_->ForEach(
-        [&](const ebpf::FiveTuple& tuple, u32 backend) { emit(tuple, backend); });
+    lru_conn_->ForEachForwardOldestFirst(
+        [&](const ebpf::FiveTuple& tuple, const nf::CtFlowValue& v) {
+          emit(tuple, v.value);
+        });
   } else {
-    cuckoo_conn_->ForEachEntry(emit);
+    conn_->ForEachLruOldestFirst(
+        [&](const nf::FlowEntry& e) { emit(e.key[0], e.value); });
   }
   std::memcpy(out.data() + count_at, &count, sizeof(count));
   return true;
@@ -139,11 +148,15 @@ bool KatranLb::ImportState(const ebpf::u8* data, std::size_t len) {
     p += kEntrySize;
     // Replay through the normal record path: existing connections keep the
     // exported backend even if this instance's ring would pick differently
-    // (connection affinity survives the backend-set change).
+    // (connection affinity survives the backend-set change). Records arrive
+    // oldest-first, so the replay reproduces LRU eviction order too.
     if (core_ == CoreKind::kOrigin) {
-      lru_conn_->UpdateElem(tuple, backend);
+      lru_conn_->Insert(tuple, nf::FlowTable::ReverseTuple(tuple), backend,
+                        nf::FlowState::kEstablished, 0, 0, 0);
     } else {
-      cuckoo_conn_->Insert(tuple, backend);
+      u32 handle;
+      conn_->Insert(tuple, nf::FlowTable::ReverseTuple(tuple), backend,
+                    nf::FlowState::kEstablished, 0, 0, 0, &handle);
     }
   }
   return true;
@@ -177,7 +190,7 @@ void KatranLb::ProcessBurst(ebpf::XdpContext* ctxs, u32 count,
   const u64 t0 = sample_burst ? ebpf::helpers::BpfKtimeGetNs() : 0;
   nf::ForEachNfChunk(count, [&](u32 start, u32 chunk) {
     ebpf::FiveTuple keys[nf::kMaxNfBurst];
-    std::optional<u64> found[nf::kMaxNfBurst];
+    nf::FlowTable::Lookup looks[nf::kMaxNfBurst];
     u32 idx[nf::kMaxNfBurst];
     u32 parsed = 0;
     for (u32 i = 0; i < chunk; ++i) {
@@ -187,20 +200,29 @@ void KatranLb::ProcessBurst(ebpf::XdpContext* ctxs, u32 count,
         verdicts[start + i] = ebpf::XdpAction::kAborted;
       }
     }
-    // Batched two-stage connection-table probe over the whole burst.
-    cuckoo_conn_->LookupBatch(keys, parsed, found);
+    // Batched two-stage paired probe over the whole burst; cached results
+    // are trusted until the first in-burst insert bumps the mutation epoch.
+    conn_->FindBatch(keys, parsed, 0, looks);
+    const u64 epoch = conn_->mutation_epoch();
     for (u32 i = 0; i < parsed; ++i) {
-      if (found[i].has_value()) {
-        ++hits_;
-      } else if (cuckoo_conn_->Lookup(keys[i]).has_value()) {
-        // A new flow repeated within the burst: an earlier miss already
-        // recorded it, so per-packet semantics make this one a hit.
+      if (conn_->mutation_epoch() == epoch &&
+          looks[i].kind == nf::FlowTable::Lookup::kHit) {
         ++hits_;
       } else {
-        ++misses_;
-        const u32 h = enetstl::HwHashCrc(&keys[i], sizeof(keys[i]),
-                                         config_.seed);
-        cuckoo_conn_->Insert(keys[i], ring_[h % config_.ring_size]);
+        u8 dir;
+        u32 handle;
+        if (conn_->Find(keys[i], 0, &dir, &handle) != nullptr) {
+          // A new flow repeated within the burst: an earlier miss already
+          // recorded it, so per-packet semantics make this one a hit.
+          ++hits_;
+        } else {
+          ++misses_;
+          const u32 h = enetstl::HwHashCrc(&keys[i], sizeof(keys[i]),
+                                           config_.seed);
+          conn_->Insert(keys[i], nf::FlowTable::ReverseTuple(keys[i]),
+                        ring_[h % config_.ring_size],
+                        nf::FlowState::kEstablished, 0, 0, 0, &handle);
+        }
       }
       verdicts[idx[i]] = ebpf::XdpAction::kTx;
     }

@@ -4,18 +4,20 @@
 // on miss, pick a backend from the VIP's consistent-hash ring and record the
 // connection -> forward.
 //
-// Origin core: BPF LRU hash connection table + scalar software hash over the
-// ring (what Katran's eBPF datapath uses). eNetSTL core: blocked-cuckoo
-// connection table (CuckooSwitchEnetstl) + hardware-CRC ring hash — the
-// component swap the paper performs.
+// Origin core: BPF-LRU-model flow table + scalar software hash over the ring
+// (what Katran's eBPF datapath uses). eNetSTL core: the arena-backed paired
+// FlowTable with batched prefetched lookups + hardware-CRC ring hash — the
+// component swap the paper performs. Both tables are the shared nf/conntrack
+// engines (the app used to own a private LRU map / cuckoo table); pairing
+// means return-direction traffic of a recorded connection hits the same
+// backend for free.
 #ifndef ENETSTL_APPS_KATRAN_LB_H_
 #define ENETSTL_APPS_KATRAN_LB_H_
 
 #include <memory>
 #include <vector>
 
-#include "ebpf/maps.h"
-#include "nf/cuckoo_switch.h"
+#include "nf/conntrack.h"
 #include "nf/nf_interface.h"
 
 namespace apps {
@@ -92,10 +94,10 @@ class KatranLb : public nf::NetworkFunction {
   KatranConfig config_;
   std::vector<u32> ring_;  // ring slot -> backend id
 
-  // Origin connection table.
-  std::unique_ptr<ebpf::LruHashMap<ebpf::FiveTuple, u32>> lru_conn_;
-  // eNetSTL connection table.
-  std::unique_ptr<nf::CuckooSwitchEnetstl> cuckoo_conn_;
+  // Origin connection table: the conntrack family's BPF-LRU-map engine.
+  std::unique_ptr<nf::LruFlowTable> lru_conn_;
+  // eNetSTL connection table: the arena-backed paired flow table.
+  std::unique_ptr<nf::FlowTable> conn_;
 
   // Telemetry scope "app/katran-lb" (obs::kInvalidScope when compiled out).
   ebpf::u16 obs_scope_ = 0xffff;

@@ -92,8 +92,11 @@ class SlabArena {
 
   bool IsLive(Handle handle) const;
 
-  // Invokes fn(void* slot) for every live slot. The callback must not
-  // allocate or free (collect first, then mutate).
+  // Invokes fn(void* slot) for every live slot. Each occupancy word is
+  // copied before its slots are visited, so the callback MAY free the slot
+  // it is currently visiting (teardown walks rely on this); it must not
+  // allocate, and must not free any OTHER slot — a not-yet-visited slot
+  // freed mid-walk would still be visited from the stale word copy.
   template <typename Fn>
   void ForEachLive(Fn&& fn) const {
     for (const Slab& slab : slabs_) {
@@ -103,6 +106,26 @@ class SlabArena {
           const u32 slot = (word << 6) + static_cast<u32>(__builtin_ctzll(bits));
           bits &= bits - 1;
           fn(static_cast<void*>(slab.base +
+                                static_cast<std::size_t>(slot) * slab.slot_size));
+        }
+      }
+    }
+  }
+
+  // ForEachLive variant that also hands the callback each slot's handle, for
+  // intrusive structures that need it to free the visited slot (same
+  // concurrent-with-free contract as ForEachLive).
+  template <typename Fn>
+  void ForEachLiveHandle(Fn&& fn) const {
+    for (u32 si = 0; si < static_cast<u32>(slabs_.size()); ++si) {
+      const Slab& slab = slabs_[si];
+      for (u32 word = 0; word < kLiveWords; ++word) {
+        u64 bits = slab.live[word];
+        while (bits != 0) {
+          const u32 slot = (word << 6) + static_cast<u32>(__builtin_ctzll(bits));
+          bits &= bits - 1;
+          fn((si << kSlotBits) | slot,
+             static_cast<void*>(slab.base +
                                 static_cast<std::size_t>(slot) * slab.slot_size));
         }
       }

@@ -34,6 +34,7 @@
 //   shard.kill.<cpu>           sharded-pipeline worker death -> failover
 //   reconfig.state_transfer    SwapNf state export alloc -> swap aborted
 //   reconfig.swap_commit       SwapNf commit -> rollback, chain unchanged
+//   conntrack.insert           forced arena exhaustion -> LRU pair eviction
 #ifndef ENETSTL_CORE_FAULT_INJECTOR_H_
 #define ENETSTL_CORE_FAULT_INJECTOR_H_
 

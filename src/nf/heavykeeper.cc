@@ -94,6 +94,52 @@ inline u32 BlobSize(const HeavyKeeperConfig& cfg) {
                           2u * cfg.topk * sizeof(u32));
 }
 
+// Family-owned state-transfer blob, shared by the three variants: a {rows,
+// cols, topk} geometry header followed by the raw bucket array and the top-k
+// flow/estimate tables. The top-k tables are position-free, so they re-home
+// exactly under any variant pairing; the bucket array is laid out by the
+// exporter's hash family, so bucket-level estimates survive exactly only
+// when the importer hashes the same way (a same-variant swap).
+bool HkExportState(const HeavyKeeperConfig& cfg, const HkBucket* buckets,
+                   const u32* flows, const u32* ests, std::vector<u8>& out) {
+  const auto append = [&out](const void* p, std::size_t n) {
+    const auto* bytes = static_cast<const u8*>(p);
+    out.insert(out.end(), bytes, bytes + n);
+  };
+  append(&cfg.rows, sizeof(u32));
+  append(&cfg.cols, sizeof(u32));
+  append(&cfg.topk, sizeof(u32));
+  append(buckets, static_cast<std::size_t>(cfg.rows) * cfg.cols * sizeof(HkBucket));
+  append(flows, cfg.topk * sizeof(u32));
+  append(ests, cfg.topk * sizeof(u32));
+  return true;
+}
+
+bool HkImportState(const HeavyKeeperConfig& cfg, HkBucket* buckets, u32* flows,
+                   u32* ests, const u8* data, std::size_t len) {
+  u32 geom[3];
+  if (len < sizeof(geom)) {
+    return false;
+  }
+  std::memcpy(geom, data, sizeof(geom));
+  if (geom[0] != cfg.rows || geom[1] != cfg.cols || geom[2] != cfg.topk) {
+    return false;  // geometry mismatch: the blob cannot be re-homed
+  }
+  const std::size_t bucket_bytes =
+      static_cast<std::size_t>(cfg.rows) * cfg.cols * sizeof(HkBucket);
+  const std::size_t top_bytes = cfg.topk * sizeof(u32);
+  if (len != sizeof(geom) + bucket_bytes + 2 * top_bytes) {
+    return false;
+  }
+  const u8* p = data + sizeof(geom);
+  std::memcpy(buckets, p, bucket_bytes);
+  p += bucket_bytes;
+  std::memcpy(flows, p, top_bytes);
+  p += top_bytes;
+  std::memcpy(ests, p, top_bytes);
+  return true;
+}
+
 }  // namespace
 
 HeavyKeeperEbpf::HeavyKeeperEbpf(const HeavyKeeperConfig& config)
@@ -167,6 +213,19 @@ std::vector<HkTopEntry> HeavyKeeperEbpf::TopK() const {
   return out;
 }
 
+bool HeavyKeeperEbpf::ExportState(std::vector<u8>& out) const {
+  auto* self = const_cast<HeavyKeeperEbpf*>(this);
+  void* blob = self->state_map_.LookupElem(0);
+  HkLayout v = ViewBlob(blob, config_);
+  return HkExportState(config_, v.buckets, v.flows, v.ests, out);
+}
+
+bool HeavyKeeperEbpf::ImportState(const u8* data, std::size_t len) {
+  void* blob = state_map_.LookupElem(0);
+  HkLayout v = ViewBlob(blob, config_);
+  return HkImportState(config_, v.buckets, v.flows, v.ests, data, len);
+}
+
 // ---------------------------------------------------------------------------
 // HeavyKeeperKernel
 // ---------------------------------------------------------------------------
@@ -235,6 +294,16 @@ std::vector<HkTopEntry> HeavyKeeperKernel::TopK() const {
     }
   }
   return out;
+}
+
+bool HeavyKeeperKernel::ExportState(std::vector<u8>& out) const {
+  return HkExportState(config_, buckets_.data(), top_flows_.data(),
+                       top_ests_.data(), out);
+}
+
+bool HeavyKeeperKernel::ImportState(const u8* data, std::size_t len) {
+  return HkImportState(config_, buckets_.data(), top_flows_.data(),
+                       top_ests_.data(), data, len);
 }
 
 // ---------------------------------------------------------------------------
@@ -306,6 +375,19 @@ std::vector<HkTopEntry> HeavyKeeperEnetstl::TopK() const {
     }
   }
   return out;
+}
+
+bool HeavyKeeperEnetstl::ExportState(std::vector<u8>& out) const {
+  auto* self = const_cast<HeavyKeeperEnetstl*>(this);
+  void* blob = self->state_map_.LookupElem(0);
+  HkLayout v = ViewBlob(blob, config_);
+  return HkExportState(config_, v.buckets, v.flows, v.ests, out);
+}
+
+bool HeavyKeeperEnetstl::ImportState(const u8* data, std::size_t len) {
+  void* blob = state_map_.LookupElem(0);
+  HkLayout v = ViewBlob(blob, config_);
+  return HkImportState(config_, v.buckets, v.flows, v.ests, data, len);
 }
 
 namespace builtin {

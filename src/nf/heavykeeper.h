@@ -79,12 +79,22 @@ class HeavyKeeperBase : public NetworkFunction {
   std::vector<u32> decay_thresholds_;
 };
 
+// All three variants implement the family-owned state-transfer blob
+// (ExportState/ImportState): {u32 rows, cols, topk} geometry header, then the
+// full bucket array and the top-k (flows, ests) tables. Import requires
+// matching geometry. The top-K set and its estimates transfer exactly under
+// any variant pairing; bucket-level Query estimates transfer exactly when
+// exporter and importer share a hash layout (same-variant swap) — the
+// variants hash with different families, so a cross-variant import keeps the
+// heavy-hitter table authoritative and lets the buckets re-converge.
 class HeavyKeeperEbpf : public HeavyKeeperBase {
  public:
   explicit HeavyKeeperEbpf(const HeavyKeeperConfig& config);
   void Update(const void* key, std::size_t len, u32 flow_id) override;
   u32 Query(const void* key, std::size_t len) override;
   std::vector<HkTopEntry> TopK() const override;
+  bool ExportState(std::vector<u8>& out) const override;
+  bool ImportState(const u8* data, std::size_t len) override;
   Variant variant() const override { return Variant::kEbpf; }
 
  private:
@@ -97,6 +107,8 @@ class HeavyKeeperKernel : public HeavyKeeperBase {
   void Update(const void* key, std::size_t len, u32 flow_id) override;
   u32 Query(const void* key, std::size_t len) override;
   std::vector<HkTopEntry> TopK() const override;
+  bool ExportState(std::vector<u8>& out) const override;
+  bool ImportState(const u8* data, std::size_t len) override;
   Variant variant() const override { return Variant::kKernel; }
 
  private:
@@ -112,6 +124,8 @@ class HeavyKeeperEnetstl : public HeavyKeeperBase {
   void Update(const void* key, std::size_t len, u32 flow_id) override;
   u32 Query(const void* key, std::size_t len) override;
   std::vector<HkTopEntry> TopK() const override;
+  bool ExportState(std::vector<u8>& out) const override;
+  bool ImportState(const u8* data, std::size_t len) override;
   Variant variant() const override { return Variant::kEnetstl; }
 
  private:

@@ -155,6 +155,8 @@ void RegisterAll(NfRegistry& registry) {
   RegisterLruCache(registry);
   RegisterSpaceSaving(registry);
   RegisterFqPacer(registry);
+  RegisterConntrack(registry);
+  RegisterNat(registry);
 }
 
 }  // namespace builtin

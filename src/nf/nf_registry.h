@@ -168,6 +168,8 @@ void RegisterDaryCuckoo(NfRegistry& registry);
 void RegisterLruCache(NfRegistry& registry);
 void RegisterSpaceSaving(NfRegistry& registry);
 void RegisterFqPacer(NfRegistry& registry);
+void RegisterConntrack(NfRegistry& registry);
+void RegisterNat(NfRegistry& registry);
 
 // Calls every per-NF registration above in roster order.
 void RegisterAll(NfRegistry& registry);

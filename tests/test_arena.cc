@@ -142,6 +142,52 @@ TEST(Arena, ForEachLiveVisitsExactlyLiveSlots) {
   EXPECT_EQ(visited, live);
 }
 
+TEST(Arena, ForEachLiveCallbackMayFreeTheVisitedSlot) {
+  // The documented concurrent-with-free contract: the walk copies each
+  // occupancy word before dispatching, so the callback may free the slot it
+  // is visiting (conntrack's Clear() relies on this). Every slot must still
+  // be visited exactly once and the arena must end empty.
+  SlabArena arena;
+  std::vector<SlabArena::Handle> handles;
+  for (int i = 0; i < 700; ++i) {
+    const auto a = arena.Allocate(5, 96);
+    ASSERT_NE(a.ptr, nullptr);
+    handles.push_back(a.handle);
+  }
+  std::set<void*> visited;
+  arena.ForEachLiveHandle([&](SlabArena::Handle h, void* p) {
+    EXPECT_TRUE(visited.insert(p).second) << "slot visited twice";
+    arena.Free(h);  // frees the slot being visited
+  });
+  EXPECT_EQ(visited.size(), handles.size());
+  EXPECT_EQ(arena.live_slots(), 0u);
+  // The handle space is intact: all slots come back out of the freelist.
+  for (int i = 0; i < 700; ++i) {
+    ASSERT_NE(arena.Allocate(5, 96).ptr, nullptr);
+  }
+  EXPECT_EQ(arena.live_slots(), 700u);
+}
+
+TEST(Arena, ForEachLiveHandleReportsDerefConsistentHandles) {
+  SlabArena arena;
+  std::set<SlabArena::Handle> live;
+  std::vector<SlabArena::Handle> handles;
+  for (int i = 0; i < 300; ++i) {
+    handles.push_back(arena.Allocate(2, 64).handle);
+    live.insert(handles.back());
+  }
+  for (std::size_t i = 0; i < handles.size(); i += 4) {
+    arena.Free(handles[i]);
+    live.erase(handles[i]);
+  }
+  std::set<SlabArena::Handle> visited;
+  arena.ForEachLiveHandle([&](SlabArena::Handle h, void* p) {
+    EXPECT_EQ(arena.Deref(h), p);  // handle and pointer name the same slot
+    EXPECT_TRUE(visited.insert(h).second);
+  });
+  EXPECT_EQ(visited, live);
+}
+
 TEST(Arena, BytesReservedGrowsWithSlabs) {
   SlabArena arena;
   EXPECT_EQ(arena.bytes_reserved(), 0u);

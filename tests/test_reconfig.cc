@@ -23,6 +23,7 @@
 #include "apps/katran_lb.h"
 #include "core/fault_injector.h"
 #include "nf/chain.h"
+#include "nf/heavykeeper.h"
 #include "nf/nf_registry.h"
 #include "obs/telemetry.h"
 #include "pktgen/flowgen.h"
@@ -300,6 +301,79 @@ TEST_F(Reconfig, KatranBackendSwapPreservesConnectionAffinity) {
     EXPECT_EQ(swapped->hits(), hits_before + 512);
     // ...while a fresh connection lands on the new ring.
     EXPECT_GE(swapped->PickBackend(Env().flows[4000]), 100u);
+  }
+}
+
+TEST_F(Reconfig, HeavyKeeperSwapPreservesTopK) {
+  // The heavykeeper family owns a variant-agnostic state blob (geometry
+  // header + buckets + top-k tables), so a hot swap commits inline via state
+  // transfer and the replacement's top-K set — flows and estimates — is
+  // identical to the exporter's, whatever the variant pairing. Bucket-level
+  // Query estimates additionally survive when the pairing shares a hash
+  // layout (same-variant swap).
+  const std::pair<Variant, Variant> pairings[] = {
+      {Variant::kEnetstl, Variant::kEnetstl},
+      {Variant::kEnetstl, Variant::kEbpf},
+      {Variant::kEbpf, Variant::kKernel},
+      {Variant::kKernel, Variant::kEnetstl},
+  };
+  for (const auto& [from, to] : pairings) {
+    SCOPED_TRACE(std::string(VariantName(from)) + " -> " +
+                 std::string(VariantName(to)));
+    // Build the initial stage through the same registry factory SwapNf uses,
+    // so exporter and replacement share sketch geometry.
+    NfCreateResult built = NfRegistry::Global().CreateChecked(
+        "heavykeeper", from);
+    ASSERT_TRUE(built.ok()) << built.message;
+    ChainExecutor chain("hk");
+    chain.AddStage(std::move(built.nf));
+    ASSERT_TRUE(chain.Load().ok);
+    ChainReconfig plane(chain);
+
+    // Skewed traffic so a distinctive top-K table forms.
+    const std::vector<ebpf::FiveTuple> flows(Env().flows.begin(),
+                                             Env().flows.begin() + 1024);
+    const pktgen::Trace trace = pktgen::MakeZipfTrace(flows, 8192, 1.2, 71);
+    RunPlane(plane,
+             std::vector<pktgen::Packet>(trace.begin(), trace.end()), 64);
+
+    auto* before = dynamic_cast<HeavyKeeperBase*>(&chain.stage(0));
+    ASSERT_NE(before, nullptr);
+    const std::vector<HkTopEntry> top_before = before->TopK();
+    u32 populated = 0;
+    for (const HkTopEntry& e : top_before) {
+      populated += e.est > 0 ? 1 : 0;
+    }
+    ASSERT_GT(populated, 0u) << "top-K table never filled";
+    std::vector<u32> est_before(64);
+    for (u32 f = 0; f < 64; ++f) {
+      est_before[f] = before->Query(&flows[f], sizeof(flows[f]));
+    }
+
+    const ReconfigResult result = plane.SwapNf("heavykeeper", to);
+    ASSERT_TRUE(result.ok()) << result.message;
+    EXPECT_EQ(plane.stats().swaps_committed, 1u);
+    EXPECT_GT(plane.stats().state_bytes, 0u);
+    EXPECT_FALSE(plane.swap_pending()) << "state transfer commits inline";
+    EXPECT_EQ(plane.stats().shadow_bursts, 0u)
+        << "state transfer replaces dual-write warm-up";
+
+    auto* after = dynamic_cast<HeavyKeeperBase*>(&chain.stage(0));
+    ASSERT_NE(after, nullptr);
+    ASSERT_NE(after, before) << "stage instance was replaced";
+    EXPECT_EQ(after->variant(), to);
+    const std::vector<HkTopEntry> top_after = after->TopK();
+    ASSERT_EQ(top_after.size(), top_before.size());
+    for (std::size_t i = 0; i < top_before.size(); ++i) {
+      EXPECT_EQ(top_after[i].flow, top_before[i].flow) << "slot " << i;
+      EXPECT_EQ(top_after[i].est, top_before[i].est) << "slot " << i;
+    }
+    if (from == to) {
+      for (u32 f = 0; f < 64; ++f) {
+        EXPECT_EQ(after->Query(&flows[f], sizeof(flows[f])), est_before[f])
+            << "flow " << f;
+      }
+    }
   }
 }
 
