@@ -1,0 +1,531 @@
+// Adversarial scenario matrix under open-loop offered load (ROADMAP item 5).
+//
+// Every other bench is closed-loop: the harness offers the next burst only
+// after the previous one returns, so it can never see queueing collapse and
+// its latency numbers suffer coordinated omission. This bench drives the
+// subsystems the repo built — conntrack (PR 9), HeavyKeeper/observability
+// (PR 5), graceful degradation (PR 2) — through pktgen's open-loop arrival
+// engine (pktgen/openloop.h) at offered loads swept from 0.5x to 2x the
+// NF's measured closed-loop capacity, and reports the latency-SLO curve
+// (p50/p99/p999 sojourn from VIRTUAL ARRIVAL) plus the SLO knee per
+// scenario (obs/slo.h, JSON schema v4 "slo" block).
+//
+// Scenarios (each a fresh NF per sweep point; arrivals deterministic):
+//   syn_flood        TCP SYN unique-source spray vs a small conntrack table:
+//                    table exhaustion + LRU pair-eviction churn at line rate.
+//   elephant_mice    ON/OFF bursty Zipf mix vs HeavyKeeper top-K: the head
+//                    elephant must stay in the top-K under overload.
+//   table_exhaustion uniform churn over 16x more flows than the conntrack
+//                    table holds, with a twin-replay verdict-divergence
+//                    check on every served packet.
+//   overload_2x      sustained 2x offered overload: bounded queue depth,
+//                    exact drop accounting, zero verdict divergence on
+//                    admitted packets, achieved rate must hold near capacity
+//                    (graceful degradation, not collapse). The 2.0x point
+//                    scales 10x under ENETSTL_NIGHTLY. A ramp arrival run
+//                    (0.5x -> 2.5x in one trace) cross-checks where loss
+//                    first appears.
+//
+// Invariant violations are FATAL (nonzero exit): this bench is a gate, like
+// bench_scaling's skew gate, not just a reporter.
+#include <cmath>
+#include <cstring>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "nf/conntrack.h"
+#include "nf/heavykeeper.h"
+#include "obs/exporter.h"
+#include "obs/slo.h"
+#include "pktgen/openloop.h"
+
+namespace {
+
+using bench::u32;
+using bench::u64;
+
+constexpr double kLoads[] = {0.5, 0.75, 1.0, 1.25, 1.5, 2.0};
+constexpr u32 kQueueCapacity = 2048;
+constexpr u32 kBurst = 32;
+// Honest service for a 32-packet burst here is 2-8 us; 50 us is an order of
+// magnitude of genuine-slowdown headroom, while OS preemptions of the
+// harness (multi-ms on shared runners) are clipped instead of being charged
+// to the NF as fake queueing collapse. See OpenLoopConfig::max_service_ns.
+constexpr u64 kServiceCeilingNs = 50'000;
+
+const char* const kScenarioNames[] = {"syn_flood", "elephant_mice",
+                                      "table_exhaustion", "overload_2x"};
+
+std::vector<std::string> g_failures;
+
+void Fail(const std::string& msg) {
+  std::fprintf(stderr, "INVARIANT FAILED: %s\n", msg.c_str());
+  g_failures.push_back(msg);
+}
+
+// Closed-loop capacity: best-of-3 burst-mode rate over the scenario trace.
+// The sweep's load multiples are relative to this, so the open-loop points
+// and the capacity share one machine and one measurement method.
+double MeasureCapacityPps(nf::NetworkFunction& nf, const pktgen::Trace& trace,
+                          u64 packets) {
+  pktgen::Pipeline::Options opts;
+  opts.warmup_packets = std::min<u64>(packets / 4, 20'000);
+  opts.measure_packets = packets;
+  opts.burst_size = kBurst;
+  const pktgen::Pipeline pipeline(opts);
+  double best = 0.0;
+  for (int rep = 0; rep < 3; ++rep) {
+    const auto stats = pipeline.MeasureThroughputBurst(nf.BurstHandler(), trace);
+    best = stats.pps > best ? stats.pps : best;
+  }
+  return best;
+}
+
+// The per-scenario NF factory: sweep points and twin replays both construct
+// through it so divergence checks compare bit-identical twins.
+using NfFactory = std::function<std::unique_ptr<nf::NetworkFunction>()>;
+
+// Universal invariants every run must satisfy: exact drop accounting and a
+// bounded ingress queue.
+void CheckAccounting(const char* scenario, double load,
+                     const pktgen::OpenLoopStats& stats) {
+  char buf[160];
+  if (stats.offered != stats.admitted + stats.dropped ||
+      stats.admitted != stats.served) {
+    std::snprintf(buf, sizeof(buf),
+                  "%s@%.2fx: drop accounting offered=%llu admitted=%llu "
+                  "dropped=%llu served=%llu",
+                  scenario, load,
+                  static_cast<unsigned long long>(stats.offered),
+                  static_cast<unsigned long long>(stats.admitted),
+                  static_cast<unsigned long long>(stats.dropped),
+                  static_cast<unsigned long long>(stats.served));
+    Fail(buf);
+  }
+  if (stats.max_queue_depth > kQueueCapacity) {
+    std::snprintf(buf, sizeof(buf),
+                  "%s@%.2fx: queue depth %llu exceeds capacity %u", scenario,
+                  load, static_cast<unsigned long long>(stats.max_queue_depth),
+                  kQueueCapacity);
+    Fail(buf);
+  }
+}
+
+// Graceful-degradation divergence check: replay the exact admitted sequence
+// (service order) through a freshly built twin, scalar closed-loop, and
+// demand bit-identical verdicts. Overload must only DROP excess packets,
+// never change decisions on the packets that got through.
+void CheckDivergence(
+    const char* scenario, double load, const NfFactory& factory,
+    const pktgen::Trace& trace,
+    const std::vector<std::pair<u32, ebpf::XdpAction>>& served_log) {
+  auto twin = factory();
+  pktgen::Trace replay = trace;  // fresh frames (NFs may rewrite in place)
+  u64 divergent = 0;
+  for (const auto& [idx, verdict] : served_log) {
+    ebpf::XdpContext ctx{replay[idx].frame,
+                         replay[idx].frame + ebpf::kFrameSize, 0};
+    if (twin->Process(ctx) != verdict) {
+      ++divergent;
+    }
+  }
+  if (divergent != 0) {
+    char buf[128];
+    std::snprintf(buf, sizeof(buf),
+                  "%s@%.2fx: %llu of %zu admitted packets diverged from twin",
+                  scenario, load, static_cast<unsigned long long>(divergent),
+                  served_log.size());
+    Fail(buf);
+  }
+}
+
+struct SweepContext {
+  const char* name;
+  NfFactory factory;
+  pktgen::Trace trace;
+  // Arrival generator for one sweep point: rate -> timestamps for
+  // trace.size() packets.
+  std::function<std::vector<u64>(double rate_pps, u32 count)> arrivals;
+  // Scenario hook run after each point (invariant checks on the NF).
+  std::function<void(double load, nf::NetworkFunction&,
+                     const pktgen::OpenLoopStats&)>
+      post_point;
+  bool check_divergence = false;
+  // Gate the 2.0x point on graceful degradation: drops must appear AND
+  // achieved rate must hold near open-loop capacity (shed excess, don't
+  // collapse).
+  bool graceful_gate = false;
+  u64 nightly_scale_at_2x = 1;  // multiply the 2.0x point's packets by this
+};
+
+obs::SloScenario RunSweep(const SweepContext& sc, bench::JsonReport* report) {
+  obs::SloScenario slo;
+  slo.name = sc.name;
+
+  // Closed-loop burst rate: the number every other bench would report. The
+  // sweep is NOT calibrated against it — per-burst timing and the engine's
+  // bookkeeping between bursts make the open-loop server measurably slower
+  // than a tight closed loop, and a sweep keyed to the wrong capacity puts
+  // every point past the knee.
+  auto closed_nf = sc.factory();
+  const double closed_pps =
+      MeasureCapacityPps(*closed_nf, sc.trace, bench::EnvPackets(200'000));
+
+  // Open-loop capacity: a saturation run (offered 4x the closed-loop rate)
+  // through the same engine, queue, and burst size as the sweep points.
+  // Under saturation the queue never empties, so achieved == service rate —
+  // the self-consistent 1.0x reference. The gap to closed_pps is harness
+  // overhead, reported alongside.
+  const double capacity_pps = [&] {
+    const auto arrivals = pktgen::MakePoissonArrivals(
+        4.0 * closed_pps, static_cast<u32>(sc.trace.size()), 909);
+    pktgen::OpenLoopConfig cfg;
+    cfg.queue_capacity = kQueueCapacity;
+    cfg.burst_size = kBurst;
+    cfg.max_service_ns = kServiceCeilingNs;
+    const pktgen::OpenLoopEngine engine(cfg);
+    double best = 0.0;
+    for (int rep = 0; rep < 2; ++rep) {  // rep 0 warms the engine+NF paths
+      auto nf = sc.factory();
+      const double pps =
+          engine.Run(sc.trace, arrivals,
+                     pktgen::MeasuredService(nf->BurstHandler()))
+              .achieved_pps;
+      best = pps > best ? pps : best;
+    }
+    return best;
+  }();
+  slo.capacity_mpps = capacity_pps / 1e6;
+
+  obs::u16 scope = obs::Telemetry::Global().RegisterScope(
+      std::string("openloop/") + sc.name);
+
+  std::printf("%-18s open-loop capacity %8.3f Mpps (closed-loop %8.3f)\n",
+              sc.name, slo.capacity_mpps, closed_pps / 1e6);
+  std::printf("  %-7s %12s %12s %10s %10s %10s %10s %8s\n", "load",
+              "offered", "achieved", "p50(us)", "p99(us)", "p999(us)",
+              "drop", "maxq");
+
+  for (const double load : kLoads) {
+    pktgen::Trace trace = sc.trace;
+    if (load == 2.0 && sc.nightly_scale_at_2x > 1) {
+      // Sustained-overload soak: replicate the trace to hold 2x for longer.
+      const std::size_t base = trace.size();
+      trace.reserve(base * sc.nightly_scale_at_2x);
+      for (u64 r = 1; r < sc.nightly_scale_at_2x; ++r) {
+        trace.insert(trace.end(), sc.trace.begin(), sc.trace.end());
+      }
+    }
+    const double rate = load * capacity_pps;
+    const std::vector<u64> arrivals =
+        sc.arrivals(rate, static_cast<u32>(trace.size()));
+
+    std::vector<std::pair<u32, ebpf::XdpAction>> served_log;
+    pktgen::OpenLoopConfig cfg;
+    cfg.queue_capacity = kQueueCapacity;
+    cfg.burst_size = kBurst;
+    cfg.max_service_ns = kServiceCeilingNs;
+    cfg.obs_scope = scope;
+    if (sc.check_divergence) {
+      cfg.served_log = &served_log;
+    }
+    auto nf = sc.factory();
+    const pktgen::OpenLoopEngine engine(cfg);
+    const pktgen::OpenLoopStats stats =
+        engine.Run(trace, arrivals, pktgen::MeasuredService(nf->BurstHandler()));
+
+    CheckAccounting(sc.name, load, stats);
+    if (sc.check_divergence) {
+      CheckDivergence(sc.name, load, sc.factory, trace, served_log);
+    }
+    if (sc.post_point) {
+      sc.post_point(load, *nf, stats);
+    }
+    if (sc.graceful_gate && load == 2.0) {
+      if (stats.dropped == 0) {
+        Fail(std::string(sc.name) +
+             "@2.00x: no tail drops at 2x offered load — the arrival engine "
+             "is not actually open-loop");
+      }
+      if (stats.achieved_pps < 0.6 * capacity_pps) {
+        char buf[128];
+        std::snprintf(buf, sizeof(buf),
+                      "%s@2.00x: achieved %.3f Mpps collapsed below 60%% of "
+                      "open-loop capacity %.3f Mpps",
+                      sc.name, stats.achieved_pps / 1e6, capacity_pps / 1e6);
+        Fail(buf);
+      }
+    }
+
+    obs::SloPoint point;
+    point.load_multiple = load;
+    point.offered_mpps = stats.offered_pps / 1e6;
+    point.achieved_mpps = stats.achieved_pps / 1e6;
+    point.drop_fraction = stats.drop_fraction();
+    point.max_queue_depth = stats.max_queue_depth;
+    point.sojourn = obs::SummarizeHist(stats.sojourn);
+    point.service = obs::SummarizeHist(stats.service);
+    slo.points.push_back(point);
+
+    std::printf("  %5.2fx %12.3f %12.3f %10.2f %10.2f %10.2f %9.4f%% %8llu\n",
+                load, point.offered_mpps, point.achieved_mpps,
+                point.sojourn.p50_ns / 1e3, point.sojourn.p99_ns / 1e3,
+                point.sojourn.p999_ns / 1e3, point.drop_fraction * 100.0,
+                static_cast<unsigned long long>(point.max_queue_depth));
+
+    char param[16];
+    std::snprintf(param, sizeof(param), "%.2fx", load);
+    report->Add(sc.name, param, point.achieved_mpps);
+    report->Add(std::string(sc.name) + "_p99us", param,
+                point.sojourn.p99_ns / 1e3);
+  }
+
+  // SLO: p99 sojourn within 8x of the uncongested (0.5x) point, drops
+  // within 0.1%. The knee is where offered load first breaks either.
+  slo.budget.p99_budget_ns =
+      std::max(8.0 * slo.points.front().sojourn.p99_ns, 20'000.0);
+  slo.budget.drop_budget = 0.001;
+  obs::LocateKnee(&slo);
+  if (slo.knee_load > 0) {
+    std::printf("  SLO knee at %.2fx (p99 budget %.1f us, drop budget "
+                "%.2f%%)\n",
+                slo.knee_load, slo.budget.p99_budget_ns / 1e3,
+                slo.budget.drop_budget * 100.0);
+  } else {
+    std::printf("  SLO held at every point (p99 budget %.1f us, drop budget "
+                "%.2f%%)\n",
+                slo.budget.p99_budget_ns / 1e3, slo.budget.drop_budget * 100.0);
+  }
+  report->Add(sc.name, "capacity", slo.capacity_mpps);
+  report->Add(sc.name, "closed_loop", closed_pps / 1e6);
+  report->Add(sc.name, "knee", slo.knee_load);
+  return slo;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double zipf_alpha = 1.1;
+  std::string only_nf;
+  if (const int code =
+          bench::HandleRegistryArgs(&argc, argv, &only_nf, &zipf_alpha);
+      code >= 0) {
+    return code;
+  }
+
+  // --scenario=NAME filter, unknown-value wording per the registry CLI.
+  std::string only_scenario;
+  {
+    int out = 1;
+    for (int i = 1; i < argc; ++i) {
+      if (std::strncmp(argv[i], "--scenario=", 11) == 0) {
+        const std::string name = argv[i] + 11;
+        bool known = false;
+        for (const char* s : kScenarioNames) {
+          known = known || name == s;
+        }
+        if (!known) {
+          std::fprintf(stderr, "unknown scenario '%s'; scenarios:\n",
+                       name.c_str());
+          for (const char* s : kScenarioNames) {
+            std::fprintf(stderr, "  %s\n", s);
+          }
+          return 1;
+        }
+        only_scenario = name;
+        continue;
+      }
+      argv[out++] = argv[i];
+    }
+    argc = out;
+  }
+
+  const bool nightly = std::getenv("ENETSTL_NIGHTLY") != nullptr;
+  bench::JsonReport report("bench_scenarios", argc, argv);
+  bench::PrintHeader(
+      "Scenario matrix: open-loop offered-load sweeps + latency SLO");
+
+  obs::Telemetry& telemetry = obs::Telemetry::Global();
+  telemetry.Enable(64);
+
+  const u32 n_packets = static_cast<u32>(bench::EnvPackets(200'000));
+  std::vector<obs::SloScenario> scenarios;
+
+  auto want = [&](const char* name) {
+    return only_scenario.empty() || only_scenario == name;
+  };
+
+  // --- syn_flood: unique-source SYN spray vs a small conntrack table ---
+  if (want("syn_flood")) {
+    SweepContext sc;
+    sc.name = "syn_flood";
+    sc.factory = [] {
+      nf::ConntrackConfig cfg;
+      cfg.mode = nf::CtMode::kTrack;
+      cfg.table.max_flows = 8192;
+      return std::make_unique<nf::ConntrackEnetstl>(cfg);
+    };
+    ebpf::FiveTuple victim;
+    victim.dst_ip = 0x0a0a0a0au;
+    victim.dst_port = 443;
+    sc.trace = pktgen::MakeSynFloodTrace(victim, n_packets, 0x5f00d5eedull);
+    sc.arrivals = [](double rate, u32 count) {
+      return pktgen::MakePoissonArrivals(rate, count, 101);
+    };
+    sc.post_point = [](double load, nf::NetworkFunction& nf,
+                       const pktgen::OpenLoopStats& stats) {
+      auto& ct = static_cast<nf::ConntrackEnetstl&>(nf);
+      if (ct.table().stats().lru_evictions == 0) {
+        char buf[96];
+        std::snprintf(buf, sizeof(buf),
+                      "syn_flood@%.2fx: no LRU pair evictions — flood never "
+                      "exhausted the table",
+                      load);
+        Fail(buf);
+      }
+      if (stats.aborted != 0) {
+        Fail("syn_flood: aborted verdicts on well-formed SYN frames");
+      }
+    };
+    scenarios.push_back(RunSweep(sc, &report));
+  }
+
+  // --- elephant_mice: bursty Zipf mix vs HeavyKeeper top-K ---
+  if (want("elephant_mice")) {
+    SweepContext sc;
+    sc.name = "elephant_mice";
+    sc.factory = [] {
+      nf::HeavyKeeperConfig cfg;  // bench-heavy defaults
+      return std::make_unique<nf::HeavyKeeperEnetstl>(cfg);
+    };
+    const auto flows = pktgen::MakeFlowPopulation(16384, 7);
+    sc.trace = pktgen::MakeZipfTrace(flows, n_packets, zipf_alpha, 11);
+    sc.arrivals = [](double rate, u32 count) {
+      // Markov-modulated bursts: ON half the time at 2x the mean rate.
+      // 50 us mean ON dwell gives hundreds of ON/OFF cycles per sweep
+      // point, so the realized mean rate concentrates near the target.
+      return pktgen::MakeOnOffArrivals(rate * 2.0, 0.5, 50e3, count, 202);
+    };
+    const u32 head_flow = flows[0].src_ip;
+    sc.post_point = [head_flow](double load, nf::NetworkFunction& nf,
+                                const pktgen::OpenLoopStats& stats) {
+      (void)stats;
+      auto& hk = static_cast<nf::HeavyKeeperEnetstl&>(nf);
+      bool found = false;
+      for (const nf::HkTopEntry& e : hk.TopK()) {
+        found = found || e.flow == head_flow;
+      }
+      if (!found) {
+        char buf[96];
+        std::snprintf(buf, sizeof(buf),
+                      "elephant_mice@%.2fx: head elephant missing from "
+                      "HeavyKeeper top-K",
+                      load);
+        Fail(buf);
+      }
+    };
+    scenarios.push_back(RunSweep(sc, &report));
+  }
+
+  // --- table_exhaustion: 16x more flows than table slots, twin-replay ---
+  if (want("table_exhaustion")) {
+    SweepContext sc;
+    sc.name = "table_exhaustion";
+    sc.factory = [] {
+      nf::ConntrackConfig cfg;
+      cfg.mode = nf::CtMode::kTrack;
+      cfg.table.max_flows = 4096;
+      return std::make_unique<nf::ConntrackEnetstl>(cfg);
+    };
+    const auto flows = pktgen::MakeFlowPopulation(65536, 13);
+    sc.trace = pktgen::MakeUniformTrace(flows, n_packets, 17);
+    sc.arrivals = [](double rate, u32 count) {
+      return pktgen::MakePoissonArrivals(rate, count, 303);
+    };
+    sc.check_divergence = true;
+    sc.post_point = [](double load, nf::NetworkFunction& nf,
+                       const pktgen::OpenLoopStats& stats) {
+      (void)stats;
+      auto& ct = static_cast<nf::ConntrackEnetstl&>(nf);
+      const auto& ts = ct.table().stats();
+      if (ts.lru_evictions == 0) {
+        char buf[96];
+        std::snprintf(buf, sizeof(buf),
+                      "table_exhaustion@%.2fx: churn never forced LRU "
+                      "eviction",
+                      load);
+        Fail(buf);
+      }
+      if (ct.table().live_flows() > ct.table().config().max_flows) {
+        Fail("table_exhaustion: live flows exceed configured capacity");
+      }
+    };
+    scenarios.push_back(RunSweep(sc, &report));
+  }
+
+  // --- overload_2x: sustained 2x offered load, graceful degradation ---
+  if (want("overload_2x")) {
+    SweepContext sc;
+    sc.name = "overload_2x";
+    sc.factory = [] {
+      nf::ConntrackConfig cfg;
+      cfg.mode = nf::CtMode::kTrack;
+      cfg.table.max_flows = 65536;
+      return std::make_unique<nf::ConntrackEnetstl>(cfg);
+    };
+    const auto flows = pktgen::MakeFlowPopulation(8192, 23);
+    sc.trace = pktgen::MakeZipfTrace(flows, n_packets, 0.9, 29);
+    sc.arrivals = [](double rate, u32 count) {
+      return pktgen::MakePoissonArrivals(rate, count, 404);
+    };
+    sc.check_divergence = true;
+    sc.graceful_gate = true;
+    sc.nightly_scale_at_2x = nightly ? 10 : 1;
+    obs::SloScenario slo = RunSweep(sc, &report);
+
+    // Ramp cross-check: one run sweeping 0.5x -> 2.5x capacity; report the
+    // load multiple at which tail loss first appears (informational row).
+    {
+      auto nf = sc.factory();
+      const double cap_pps = slo.capacity_mpps * 1e6;
+      const auto arrivals = pktgen::MakeRampArrivals(
+          0.5 * cap_pps, 2.5 * cap_pps, static_cast<u32>(sc.trace.size()), 505);
+      std::vector<std::pair<u32, ebpf::XdpAction>> served_log;
+      pktgen::OpenLoopConfig cfg;
+      cfg.queue_capacity = kQueueCapacity;
+      cfg.burst_size = kBurst;
+      cfg.max_service_ns = kServiceCeilingNs;
+      const pktgen::OpenLoopEngine engine(cfg);
+      const auto stats = engine.Run(
+          sc.trace, arrivals, pktgen::MeasuredService(nf->BurstHandler()));
+      // First drop happens somewhere along the linear 0.5->2.5 ramp;
+      // located by the fraction of arrivals admitted before loss began.
+      double ramp_knee = 0.0;
+      if (stats.dropped > 0 && stats.offered > 0) {
+        const double survived = static_cast<double>(stats.admitted) /
+                                static_cast<double>(stats.offered);
+        ramp_knee = 0.5 + 2.0 * survived;  // lower bound on the loss onset
+      }
+      std::printf("  ramp 0.5x->2.5x: %llu dropped, loss onset >= %.2fx\n",
+                  static_cast<unsigned long long>(stats.dropped), ramp_knee);
+      report.Add("overload_2x", "ramp_knee", ramp_knee);
+    }
+    scenarios.push_back(std::move(slo));
+  }
+
+  report.SetSloBlock(obs::SloReportJson(scenarios));
+  const obs::ObsReport obs_report = obs::CollectObsReport();
+  report.SetObsBlock(obs::ObsReportJson(obs_report));
+  report.Write();
+
+  if (!g_failures.empty()) {
+    std::fprintf(stderr, "\nbench_scenarios: %zu invariant failure(s)\n",
+                 g_failures.size());
+    return 1;
+  }
+  std::printf("\n-- all scenario invariants held (%zu scenario(s))\n",
+              scenarios.size());
+  return 0;
+}

@@ -23,7 +23,8 @@ using ebpf::u64;
 // Version of the JSON report layout written by JsonReport; bumped whenever a
 // field is added/renamed so downstream tooling can dispatch on it.
 // v3: optional "obs" block (observability snapshot from obs::ObsReportJson).
-inline constexpr int kJsonSchemaVersion = 3;
+// v4: optional "slo" block (open-loop sweep results from obs::SloReportJson).
+inline constexpr int kJsonSchemaVersion = 4;
 
 // Prints every registry entry (registration order): name, category, variants,
 // capability flags. The output of --list and of an unknown --nf= value.
@@ -59,11 +60,16 @@ inline void PrintRegistryList(FILE* out) {
 //               with the list on stderr. Recognized names are stored in
 //               *selected (when provided) and stripped from argv so later
 //               parsers (gbench, JsonReport) never see them.
+//   --zipf=A    Zipf skew alpha for the bench's workload generator (parsed
+//               into *zipf_alpha when provided). A must be a non-negative
+//               number consuming the whole token; anything else exits 1 with
+//               the same unknown-value wording as --nf=.
 // Registers the app-layer NFs first so composites are listable/selectable.
 // Returns an exit code >= 0 when the process should terminate, -1 to
 // continue.
 inline int HandleRegistryArgs(int* argc, char** argv,
-                              std::string* selected = nullptr) {
+                              std::string* selected = nullptr,
+                              double* zipf_alpha = nullptr) {
   apps::RegisterAppNfs();
   int out = 1;
   int code = -1;
@@ -84,6 +90,21 @@ inline int HandleRegistryArgs(int* argc, char** argv,
         *selected = name;
       }
       continue;  // strip --nf= either way
+    }
+    if (std::strncmp(arg, "--zipf=", 7) == 0) {
+      const char* value = arg + 7;
+      char* end = nullptr;
+      const double alpha = std::strtod(value, &end);
+      if (value[0] == '\0' || end == nullptr || *end != '\0' || alpha < 0.0) {
+        std::fprintf(stderr,
+                     "unknown --zipf value '%s'; expected a non-negative "
+                     "skew alpha (e.g. --zipf=1.1)\n",
+                     value);
+        code = 1;
+      } else if (zipf_alpha != nullptr) {
+        *zipf_alpha = alpha;
+      }
+      continue;  // strip --zipf= either way
     }
     argv[out++] = argv[i];
   }
@@ -282,6 +303,10 @@ class JsonReport {
   // report's "obs" field. The value must be one self-contained JSON object.
   void SetObsBlock(std::string obs_json) { obs_json_ = std::move(obs_json); }
 
+  // Attaches a pre-rendered JSON object (obs::SloReportJson) emitted as the
+  // report's "slo" field (schema v4). One self-contained JSON object.
+  void SetSloBlock(std::string slo_json) { slo_json_ = std::move(slo_json); }
+
   void Write() {
     if (path_.empty() || written_) {
       return;
@@ -298,6 +323,9 @@ class JsonReport {
                  JsonEscape(GitRevision()).c_str());
     if (!obs_json_.empty()) {
       std::fprintf(f, "  \"obs\": %s,\n", obs_json_.c_str());
+    }
+    if (!slo_json_.empty()) {
+      std::fprintf(f, "  \"slo\": %s,\n", slo_json_.c_str());
     }
     std::fprintf(f, "  \"rows\": [\n");
     for (std::size_t i = 0; i < rows_.size(); ++i) {
@@ -325,6 +353,7 @@ class JsonReport {
   std::string bench_;
   std::string path_;
   std::string obs_json_;
+  std::string slo_json_;
   std::vector<Row> rows_;
   bool written_ = false;
 };

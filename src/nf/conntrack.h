@@ -290,6 +290,7 @@ struct ConntrackConfig {
 // TCP flag bits at kL4HeaderOffset + 13 (standard TCP header offset; the
 // 64-byte frames carry them in payload word 1, byte 1).
 inline constexpr u8 kTcpFin = 0x01;
+inline constexpr u8 kTcpSyn = 0x02;
 inline constexpr u8 kTcpRst = 0x04;
 inline constexpr u8 kTcpAck = 0x10;
 inline constexpr u8 kProtoTcp = 6;

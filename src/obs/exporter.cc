@@ -33,27 +33,9 @@ std::string JsonEscape(const std::string& s) {
   return out;
 }
 
-u64 BucketUpperNs(u32 bucket) {
-  return bucket == 0 ? 0 : (1ull << bucket) - 1;
-}
+u64 BucketUpperNs(u32 bucket) { return HistBucketUpperNs(bucket); }
 
 }  // namespace
-
-u64 HistPercentileNs(const LatencyHist& hist, double q) {
-  if (hist.samples == 0) {
-    return 0;
-  }
-  const u64 rank =
-      std::max<u64>(1, static_cast<u64>(q * static_cast<double>(hist.samples)));
-  u64 cumulative = 0;
-  for (u32 b = 0; b < LatencyHist::kBuckets; ++b) {
-    cumulative += hist.counts[b];
-    if (cumulative >= rank) {
-      return BucketUpperNs(b);
-    }
-  }
-  return BucketUpperNs(LatencyHist::kBuckets - 1);
-}
 
 ObsReport CollectObsReport(Telemetry& telemetry, const FlowSampler* sampler) {
   ObsReport report;

@@ -11,13 +11,10 @@
 
 #include "nf/heavykeeper.h"
 #include "obs/flow_sampler.h"
+#include "obs/percentile.h"  // HistPercentileNs and friends live there now
 #include "obs/telemetry.h"
 
 namespace obs {
-
-// Upper-edge latency (ns) of the histogram bucket containing quantile q
-// (0 < q <= 1); 0 when the histogram is empty.
-u64 HistPercentileNs(const LatencyHist& hist, double q);
 
 struct ObsScopeReport {
   std::string name;

@@ -1,0 +1,81 @@
+#include "obs/percentile.h"
+
+#include <algorithm>
+
+namespace obs {
+
+double SortedQuantile(const double* sorted, std::size_t n, double q) {
+  if (n == 0) {
+    return 0.0;
+  }
+  q = std::clamp(q, 0.0, 1.0);
+  const std::size_t idx =
+      static_cast<std::size_t>(q * static_cast<double>(n - 1));
+  return sorted[idx];
+}
+
+u64 HistBucketUpperNs(u32 bucket) {
+  return bucket == 0 ? 0 : (1ull << bucket) - 1;
+}
+
+namespace {
+
+// Rank (1-based) and bucket shared by both histogram quantile flavours.
+// Returns false when the histogram is empty; otherwise *bucket is the log2
+// bucket containing rank floor(q * samples) (clamped to >= 1) and
+// *rank_in_bucket is that rank's 1-based position within the bucket.
+bool HistRankBucket(const LatencyHist& hist, double q, u32* bucket,
+                    u64* rank_in_bucket) {
+  if (hist.samples == 0) {
+    return false;
+  }
+  const u64 rank =
+      std::max<u64>(1, static_cast<u64>(q * static_cast<double>(hist.samples)));
+  u64 cumulative = 0;
+  for (u32 b = 0; b < LatencyHist::kBuckets; ++b) {
+    cumulative += hist.counts[b];
+    if (cumulative >= rank) {
+      *bucket = b;
+      *rank_in_bucket = rank - (cumulative - hist.counts[b]);
+      return true;
+    }
+  }
+  *bucket = LatencyHist::kBuckets - 1;
+  *rank_in_bucket = std::max<u64>(1, hist.counts[LatencyHist::kBuckets - 1]);
+  return true;
+}
+
+}  // namespace
+
+u64 HistPercentileNs(const LatencyHist& hist, double q) {
+  u32 bucket = 0;
+  u64 rank_in_bucket = 0;
+  if (!HistRankBucket(hist, q, &bucket, &rank_in_bucket)) {
+    return 0;
+  }
+  return HistBucketUpperNs(bucket);
+}
+
+double HistQuantileInterpolatedNs(const LatencyHist& hist, double q) {
+  u32 bucket = 0;
+  u64 rank_in_bucket = 0;
+  if (!HistRankBucket(hist, q, &bucket, &rank_in_bucket)) {
+    return 0.0;
+  }
+  if (bucket == 0) {
+    return 0.0;  // bucket 0 holds exactly-zero samples
+  }
+  const double lo = static_cast<double>(1ull << (bucket - 1));
+  const double width = lo;  // bucket b spans [2^(b-1), 2^b)
+  const double in_bucket = static_cast<double>(hist.counts[bucket]);
+  // rank_in_bucket in [1, counts[bucket]]; place the k-th of m samples at
+  // fraction k/m through the bucket.
+  const double frac =
+      in_bucket > 0 ? static_cast<double>(rank_in_bucket) / in_bucket : 1.0;
+  // Clamp to the bucket's inclusive upper edge (2^b - 1) so the interpolated
+  // answer never exceeds HistPercentileNs for the same (hist, q).
+  return std::min(lo + frac * width,
+                  static_cast<double>(HistBucketUpperNs(bucket)));
+}
+
+}  // namespace obs

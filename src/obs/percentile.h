@@ -1,0 +1,57 @@
+// Shared quantile helpers for the measurement planes.
+//
+// One definition of "percentile" for the whole repo — the sorted-sample math
+// the latency pipeline uses and the log2-histogram math the telemetry
+// exporter and the SLO plane use previously lived as private copies in
+// pktgen/pipeline.cc, obs/exporter.cc, and bench_fig4_latency's consumer.
+// They are centralized here with their interpolation semantics spelled out,
+// because a p999 claim is only comparable across reports when every reader
+// resolves ranks the same way.
+//
+// Semantics:
+//
+//  * SortedQuantile — lower nearest-rank over an ascending-sorted array:
+//    index floor(q * (n - 1)), no interpolation. Matches what
+//    Pipeline::MeasureLatency has always reported, so bench_fig4 numbers are
+//    unchanged by the extraction.
+//
+//  * HistPercentileNs — conservative upper-edge rank over a log2 histogram:
+//    the rank is floor(q * samples) clamped to >= 1, and the result is the
+//    UPPER edge of the bucket containing that rank (2^b - 1 ns, the largest
+//    value the bucket can hold). An over-estimate of the rank's true value
+//    by up to 2x at high buckets; never an under-estimate of it. This is the
+//    exporter's historical p50/p99 semantics, preserved bit-for-bit.
+//
+//  * HistQuantileInterpolatedNs — same rank rule, but linearly interpolates
+//    within the winning bucket assuming samples are uniform across the
+//    bucket's [2^(b-1), 2^b) range. Tighter than the upper edge (the SLO
+//    plane's p999 would otherwise always read as a power of two); still at
+//    most one bucket width of error. Always <= HistPercentileNs for the
+//    same (hist, q).
+#ifndef ENETSTL_OBS_PERCENTILE_H_
+#define ENETSTL_OBS_PERCENTILE_H_
+
+#include <cstddef>
+
+#include "obs/telemetry.h"
+
+namespace obs {
+
+// Lower nearest-rank quantile of `sorted[0..n)` (ascending). q in [0, 1];
+// returns 0 when n == 0.
+double SortedQuantile(const double* sorted, std::size_t n, double q);
+
+// Upper edge (ns) of the log2 bucket containing quantile q (0 < q <= 1);
+// 0 when the histogram is empty.
+u64 HistPercentileNs(const LatencyHist& hist, double q);
+
+// Linearly interpolated quantile (ns) within the winning log2 bucket;
+// 0 when the histogram is empty.
+double HistQuantileInterpolatedNs(const LatencyHist& hist, double q);
+
+// Upper edge (ns) of log2 bucket b (bucket 0 holds exactly 0 ns).
+u64 HistBucketUpperNs(u32 bucket);
+
+}  // namespace obs
+
+#endif  // ENETSTL_OBS_PERCENTILE_H_

@@ -1,0 +1,68 @@
+#include "obs/slo.h"
+
+#include <cstdio>
+
+namespace obs {
+
+SloQuantiles SummarizeHist(const LatencyHist& hist) {
+  SloQuantiles q;
+  q.samples = hist.samples;
+  q.p50_ns = HistQuantileInterpolatedNs(hist, 0.50);
+  q.p99_ns = HistQuantileInterpolatedNs(hist, 0.99);
+  q.p999_ns = HistQuantileInterpolatedNs(hist, 0.999);
+  return q;
+}
+
+double LocateKnee(SloScenario* scenario) {
+  scenario->knee_load = 0.0;
+  for (const SloPoint& p : scenario->points) {
+    const bool latency_violated = scenario->budget.p99_budget_ns > 0.0 &&
+                                  p.sojourn.p99_ns >
+                                      scenario->budget.p99_budget_ns;
+    const bool drop_violated = p.drop_fraction > scenario->budget.drop_budget;
+    if (latency_violated || drop_violated) {
+      scenario->knee_load = p.load_multiple;
+      break;
+    }
+  }
+  return scenario->knee_load;
+}
+
+std::string SloReportJson(const std::vector<SloScenario>& scenarios) {
+  std::string out = "{\"scenarios\": [";
+  char buf[320];
+  for (std::size_t s = 0; s < scenarios.size(); ++s) {
+    const SloScenario& sc = scenarios[s];
+    out += s == 0 ? "" : ", ";
+    // Scenario names are library-chosen identifiers (no escaping needed, and
+    // keeping this file free of an escaper avoids a third private copy; the
+    // bench report's own string fields go through bench::JsonEscape).
+    std::snprintf(buf, sizeof(buf),
+                  "{\"name\": \"%s\", \"capacity_mpps\": %.6f, "
+                  "\"knee_load\": %.3f, \"p99_budget_ns\": %.1f, "
+                  "\"drop_budget\": %.6f, \"points\": [",
+                  sc.name.c_str(), sc.capacity_mpps, sc.knee_load,
+                  sc.budget.p99_budget_ns, sc.budget.drop_budget);
+    out += buf;
+    for (std::size_t i = 0; i < sc.points.size(); ++i) {
+      const SloPoint& p = sc.points[i];
+      out += i == 0 ? "" : ", ";
+      std::snprintf(
+          buf, sizeof(buf),
+          "{\"load\": %.3f, \"offered_mpps\": %.6f, \"achieved_mpps\": %.6f, "
+          "\"drop_fraction\": %.6f, \"max_queue_depth\": %llu, "
+          "\"p50_us\": %.3f, \"p99_us\": %.3f, \"p999_us\": %.3f, "
+          "\"service_p99_us\": %.3f}",
+          p.load_multiple, p.offered_mpps, p.achieved_mpps, p.drop_fraction,
+          static_cast<unsigned long long>(p.max_queue_depth),
+          p.sojourn.p50_ns / 1e3, p.sojourn.p99_ns / 1e3,
+          p.sojourn.p999_ns / 1e3, p.service.p99_ns / 1e3);
+      out += buf;
+    }
+    out += "]}";
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace obs

@@ -1,0 +1,85 @@
+// Latency-SLO reporting plane over the open-loop measurement engine.
+//
+// Closed-loop benches report a single throughput number; an open-loop run is
+// characterized by a CURVE: for each offered-load level, the achieved rate,
+// the drop fraction, and the sojourn-time tail (p50/p99/p999 measured from
+// VIRTUAL ARRIVAL, the coordinated-omission-correct definition — see
+// pktgen/openloop.h). This module turns those per-level observations into:
+//
+//  * SloPoint / SloScenario — structured sweep results, one scenario's
+//    points ordered by offered-load multiple;
+//  * knee location — the lowest load multiple at which the scenario violates
+//    its SLO predicate (p99 sojourn above budget, or drop fraction above
+//    budget). 0 means the SLO held across the whole sweep;
+//  * a self-contained JSON object for the bench report's "slo" block
+//    (JsonReport schema_version 4).
+//
+// Quantiles come from the shared log2-histogram helpers (obs/percentile.h),
+// interpolated — the upper-edge flavour would round every p999 to a power of
+// two and hide knee movement smaller than 2x.
+#ifndef ENETSTL_OBS_SLO_H_
+#define ENETSTL_OBS_SLO_H_
+
+#include <string>
+#include <vector>
+
+#include "obs/percentile.h"
+#include "obs/telemetry.h"
+
+namespace obs {
+
+// Sojourn-tail summary of one latency histogram (interpolated quantiles).
+struct SloQuantiles {
+  u64 samples = 0;
+  double p50_ns = 0.0;
+  double p99_ns = 0.0;
+  double p999_ns = 0.0;
+};
+
+SloQuantiles SummarizeHist(const LatencyHist& hist);
+
+// One offered-load level of one scenario sweep.
+struct SloPoint {
+  double load_multiple = 0.0;   // offered / measured closed-loop capacity
+  double offered_mpps = 0.0;    // arrival rate actually generated
+  double achieved_mpps = 0.0;   // served / virtual makespan
+  double drop_fraction = 0.0;   // tail drops / offered
+  u64 max_queue_depth = 0;      // deepest any ingress queue got
+  SloQuantiles sojourn;         // latency from virtual arrival to departure
+  SloQuantiles service;         // service time only (the closed-loop view)
+};
+
+// The SLO predicate a scenario is judged against.
+struct SloBudget {
+  double p99_budget_ns = 0.0;     // 0 disables the latency clause
+  double drop_budget = 0.0;       // admissible drop fraction (exact 0 = none)
+};
+
+struct SloScenario {
+  std::string name;
+  double capacity_mpps = 0.0;  // closed-loop capacity the sweep is scaled by
+  SloBudget budget;
+  std::vector<SloPoint> points;  // ascending load_multiple
+  // Lowest load multiple violating the budget; 0.0 when the SLO held
+  // everywhere. Filled by LocateKnee.
+  double knee_load = 0.0;
+};
+
+// Scans points in ascending load order and records the first SLO violation
+// in scenario->knee_load (0.0 when none). Returns knee_load.
+double LocateKnee(SloScenario* scenario);
+
+// Renders scenarios as one self-contained JSON object:
+//   {"scenarios": [{"name": ..., "capacity_mpps": ..., "knee_load": ...,
+//                   "p99_budget_ns": ..., "drop_budget": ...,
+//                   "points": [{"load": ..., "offered_mpps": ...,
+//                               "achieved_mpps": ..., "drop_fraction": ...,
+//                               "max_queue_depth": ...,
+//                               "p50_us": ..., "p99_us": ..., "p999_us": ...,
+//                               "service_p99_us": ...}, ...]}, ...]}
+// Suitable for JsonReport::SetSloBlock (bench schema_version 4).
+std::string SloReportJson(const std::vector<SloScenario>& scenarios);
+
+}  // namespace obs
+
+#endif  // ENETSTL_OBS_SLO_H_

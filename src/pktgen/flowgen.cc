@@ -129,6 +129,35 @@ Trace MakeQueueingTrace(const std::vector<FiveTuple>& flows, u32 length,
   return trace;
 }
 
+Trace MakeSynFloodTrace(const FiveTuple& victim, u32 length, u64 seed) {
+  // Murmur3 fmix32: a bijection on u32, so distinct packet indices map to
+  // distinct spoofed source ips — unique-source spraying by construction.
+  auto fmix32 = [](u32 x) {
+    x ^= x >> 16;
+    x *= 0x85ebca6bu;
+    x ^= x >> 13;
+    x *= 0xc2b2ae35u;
+    x ^= x >> 16;
+    return x;
+  };
+  const u32 salt_ip = static_cast<u32>(seed);
+  const u32 salt_port = static_cast<u32>(seed >> 32) | 1u;
+  Trace trace;
+  trace.reserve(length);
+  for (u32 i = 0; i < length; ++i) {
+    FiveTuple t;
+    t.src_ip = fmix32(i) ^ salt_ip;  // bijective in i -> unique per packet
+    t.src_port = static_cast<u16>(1024 + (fmix32(i ^ salt_port) % 60000));
+    t.dst_ip = victim.dst_ip;
+    t.dst_port = victim.dst_port;
+    t.protocol = 6;  // TCP
+    Packet p = Packet::FromTuple(t);
+    p.frame[ebpf::kL4HeaderOffset + 13] = 0x02;  // TCP SYN flag byte
+    trace.push_back(p);
+  }
+  return trace;
+}
+
 bool SaveTraceCsv(const Trace& trace, const std::string& path) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {

@@ -57,6 +57,15 @@ Trace MakeOpMixTrace(const std::vector<FiveTuple>& flows, u32 length,
 Trace MakeQueueingTrace(const std::vector<FiveTuple>& flows, u32 length,
                         u32 horizon, u64 seed);
 
+// SYN-flood mutation trace (unique-source spraying): every packet is a TCP
+// SYN aimed at `victim`'s destination ip:port, with a freshly mutated
+// spoofed source — the (src_ip, src_port) pair is UNIQUE per packet (the
+// source ip runs through a seeded bijective 32-bit mix of the packet index),
+// so a conntrack table sees `length` distinct NEW flows and its
+// table-exhaustion / LRU-churn path is exercised at line rate.
+// Deterministic given the seed.
+Trace MakeSynFloodTrace(const FiveTuple& victim, u32 length, u64 seed);
+
 // Trace persistence: one packet per line as
 //   src_ip,dst_ip,src_port,dst_port,protocol[,payload_word0,payload_word1]
 // (IPs and ports in decimal host order). Lets experiments replay captured

@@ -4,6 +4,7 @@
 #include <chrono>
 
 #include "ebpf/helper.h"
+#include "obs/percentile.h"
 
 namespace pktgen {
 
@@ -150,9 +151,7 @@ LatencyStats Pipeline::MeasureLatency(PacketHandler handler,
 
   std::sort(samples.begin(), samples.end());
   auto percentile = [&](double p) {
-    const std::size_t idx = static_cast<std::size_t>(
-        p * static_cast<double>(samples.size() - 1));
-    return samples[idx];
+    return obs::SortedQuantile(samples.data(), samples.size(), p);
   };
   stats.packets = packets;
   stats.p50_ns = percentile(0.50);

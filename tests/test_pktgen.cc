@@ -297,5 +297,51 @@ TEST(Packet, PayloadWordsRoundTrip) {
   EXPECT_EQ(p.PayloadWord(1), 42u);
 }
 
+TEST(SynFloodTrace, UniqueSpoofedSourcesAimedAtVictim) {
+  ebpf::FiveTuple victim;
+  victim.dst_ip = 0xc0a80001u;
+  victim.dst_port = 443;
+  const auto trace = MakeSynFloodTrace(victim, 10'000, 77);
+  ASSERT_EQ(trace.size(), 10'000u);
+  std::set<u32> sources;
+  for (const Packet& p : trace) {
+    ebpf::XdpContext ctx{const_cast<u8*>(p.frame),
+                         const_cast<u8*>(p.frame) + ebpf::kFrameSize, 0};
+    ebpf::FiveTuple t;
+    ASSERT_TRUE(ebpf::ParseFiveTuple(ctx, &t));
+    EXPECT_EQ(t.dst_ip, victim.dst_ip);
+    EXPECT_EQ(t.dst_port, victim.dst_port);
+    EXPECT_EQ(t.protocol, 6);  // TCP
+    sources.insert(t.src_ip);
+    // The SYN flag must be set in the TCP flags byte — that is what makes
+    // conntrack open a fresh flow per packet.
+    EXPECT_EQ(p.frame[ebpf::kL4HeaderOffset + 13] & 0x02, 0x02);
+  }
+  // fmix32 is a bijection on packet index: every spoofed source is unique.
+  EXPECT_EQ(sources.size(), trace.size());
+}
+
+TEST(SynFloodTrace, DeterministicPerSeedAndSeedSensitive) {
+  ebpf::FiveTuple victim;
+  victim.dst_ip = 0x01020304u;
+  victim.dst_port = 80;
+  const auto a = MakeSynFloodTrace(victim, 256, 1);
+  const auto b = MakeSynFloodTrace(victim, 256, 1);
+  const auto c = MakeSynFloodTrace(victim, 256, 2);
+  ASSERT_EQ(a.size(), b.size());
+  bool all_equal = true;
+  bool any_differs_from_c = false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    all_equal = all_equal &&
+                std::equal(a[i].frame, a[i].frame + ebpf::kFrameSize,
+                           b[i].frame);
+    any_differs_from_c =
+        any_differs_from_c ||
+        !std::equal(a[i].frame, a[i].frame + ebpf::kFrameSize, c[i].frame);
+  }
+  EXPECT_TRUE(all_equal);
+  EXPECT_TRUE(any_differs_from_c);
+}
+
 }  // namespace
 }  // namespace pktgen
